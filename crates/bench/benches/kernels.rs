@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks of the application kernels the evaluation is
+//! built on: the 64-point FFT, the K=7 Viterbi decoder, the 8x8 DCT, AES
+//! and the CIC/FIR chain.  These measure the golden Rust implementations
+//! (the substrate), not the modelled Synchroscalar hardware.
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use synchro_apps::aes::{cbc_mac, encrypt_block, KeySchedule};
+use synchro_apps::ddc::{CicFilter, FirFilter};
+use synchro_apps::mpeg4::{dct8x8, idct8x8};
+use synchro_apps::wifi::{convolutional_encode, fft, Complex, ViterbiDecoder};
+
+fn bench_fft(c: &mut Criterion) {
+    let data: Vec<Complex> = (0..64)
+        .map(|k| Complex::new((k * 523) % 8192 - 4096, (k * 131) % 8192 - 4096))
+        .collect();
+    c.bench_function("fft_64pt", |b| {
+        b.iter(|| {
+            let mut d = data.clone();
+            fft(black_box(&mut d));
+            d
+        })
+    });
+}
+
+fn bench_viterbi(c: &mut Criterion) {
+    let info: Vec<u8> = (0..512).map(|i| ((i * 37 + 11) % 2) as u8).collect();
+    let coded = convolutional_encode(&info);
+    c.bench_function("viterbi_k7_512bits", |b| {
+        b.iter(|| ViterbiDecoder::decode(black_box(&coded)))
+    });
+}
+
+fn bench_dct(c: &mut Criterion) {
+    let mut block = [0i32; 64];
+    for (i, v) in block.iter_mut().enumerate() {
+        *v = ((i as i32 * 31) % 255) - 128;
+    }
+    c.bench_function("dct8x8_plus_idct", |b| {
+        b.iter(|| idct8x8(&dct8x8(black_box(&block))))
+    });
+}
+
+fn bench_aes(c: &mut Criterion) {
+    let key = [0x5Au8; 16];
+    let keys = KeySchedule::new(&key);
+    let block = [0x33u8; 16];
+    c.bench_function("aes128_block", |b| {
+        b.iter(|| encrypt_block(black_box(&block), &keys))
+    });
+    let message = vec![0xA7u8; 1024];
+    c.bench_function("aes128_cbc_mac_1k", |b| {
+        b.iter(|| cbc_mac(black_box(&message), &key))
+    });
+}
+
+fn bench_ddc_filters(c: &mut Criterion) {
+    let samples: Vec<i32> = (0..1024).map(|k| ((k * 97) % 4001) - 2000).collect();
+    c.bench_function("cic_4stage_dec16_1k", |b| {
+        b.iter(|| {
+            let mut cic = CicFilter::new(4, 16);
+            cic.filter_block(black_box(&samples))
+        })
+    });
+    c.bench_function("pfir_63tap_1k", |b| {
+        b.iter(|| {
+            let mut fir = FirFilter::pfir();
+            fir.filter_block(black_box(&samples))
+        })
+    });
+}
+
+criterion_group!(
+    kernels,
+    bench_fft,
+    bench_viterbi,
+    bench_dct,
+    bench_aes,
+    bench_ddc_filters
+);
+criterion_main!(kernels);

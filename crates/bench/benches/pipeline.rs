@@ -1,0 +1,39 @@
+//! Criterion benchmarks of the evaluation pipeline and the cycle-accurate
+//! column simulator: how fast a full table/figure regeneration runs.
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use synchro_apps::{Application, ApplicationProfile};
+use synchro_isa::assemble;
+use synchro_power::Technology;
+use synchro_sim::{Column, ColumnConfig};
+use synchroscalar::experiments::{figure8, leakage_sensitivity, table4};
+use synchroscalar::pipeline::{evaluate_application, EvaluationOptions};
+
+fn bench_power_pipeline(c: &mut Criterion) {
+    let tech = Technology::isca2004();
+    let profile = ApplicationProfile::of(Application::Wifi80211a);
+    c.bench_function("evaluate_802_11a", |b| {
+        b.iter(|| evaluate_application(black_box(&profile), &tech, &EvaluationOptions::default()))
+    });
+    c.bench_function("table4_full", |b| b.iter(|| table4(black_box(&tech))));
+    c.bench_function("figure8_bus_sweep", |b| b.iter(|| figure8(black_box(&tech))));
+    c.bench_function("leakage_sensitivity_full", |b| {
+        b.iter(|| leakage_sensitivity(black_box(&tech)))
+    });
+}
+
+fn bench_column_simulator(c: &mut Criterion) {
+    let program = assemble(
+        "setp p0, 0\nsetp p1, 256\nclracc a0\nloop 64, 5\nld r0, p0, 0\nld r1, p1, 0\nmac a0, r0, r1\naddp p0, 1\naddp p1, 1\nmovacc r2, a0\nhalt\n",
+    )
+    .unwrap();
+    c.bench_function("column_dot_product_64", |b| {
+        b.iter(|| {
+            let mut col = Column::new(ColumnConfig::isca2004(), program.clone(), None);
+            col.run(10_000).unwrap()
+        })
+    });
+}
+
+criterion_group!(pipeline, bench_power_pipeline, bench_column_simulator);
+criterion_main!(pipeline);

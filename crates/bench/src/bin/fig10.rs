@@ -1,0 +1,19 @@
+//! Regenerates Figure 10: leakage sensitivity for the MPEG-4 and Stereo
+//! Vision parallelisation variants (including the cross-over the paper
+//! highlights near 14.8 mA/tile).
+use synchro_power::Technology;
+use synchroscalar::experiments::leakage_sensitivity;
+
+fn main() {
+    let tech = Technology::isca2004();
+    println!("Figure 10: Leakage sensitivity for MPEG4 and Stereo Vision");
+    println!("{:<16} {:>6} {:>14} {:>12}", "Application", "Tiles", "Leak (mA/tile)", "Power (mW)");
+    for p in leakage_sensitivity(&tech) {
+        if p.application.starts_with("MPEG4") || p.application == "Stereo Vision" {
+            println!(
+                "{:<16} {:>6} {:>14.1} {:>12.1}",
+                p.application, p.tiles, p.leakage_ma_per_tile, p.power_mw
+            );
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Regenerates Figure 5: the voltage/frequency curves for 15- and 20-FO4
+//! critical paths in the 130 nm process.
+use synchro_power::Technology;
+use synchroscalar::experiments::figure5;
+
+fn main() {
+    let tech = Technology::isca2004();
+    println!("Figure 5: Voltage-Frequency curve for a pipelined processor");
+    println!("{:>8} {:>14} {:>14}", "V", "20 FO4 (MHz)", "15 FO4 (MHz)");
+    for p in figure5(&tech, 31) {
+        println!(
+            "{:>8.2} {:>14.1} {:>14.1}",
+            p.voltage, p.frequency_fo4_20, p.frequency_fo4_15
+        );
+    }
+}

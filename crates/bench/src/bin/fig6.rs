@@ -1,0 +1,19 @@
+//! Regenerates Figure 6: application power with and without per-column
+//! voltage scaling.
+use synchro_power::Technology;
+use synchroscalar::experiments::figure6;
+
+fn main() {
+    let tech = Technology::isca2004();
+    println!("Figure 6: Power Consumption by Application");
+    println!(
+        "{:<16} {:>16} {:>22} {:>10}",
+        "Application", "Scaled (mW)", "Extra w/o scaling (mW)", "Savings"
+    );
+    for bar in figure6(&tech) {
+        println!(
+            "{:<16} {:>16.1} {:>22.1} {:>9.0}%",
+            bar.application, bar.scaled_mw, bar.additional_unscaled_mw, bar.savings_percent
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! Regenerates Figure 7: application power at different parallelisation
+//! levels, split into compute and interconnect + leakage.
+use synchro_power::Technology;
+use synchroscalar::experiments::figure7;
+
+fn main() {
+    let tech = Technology::isca2004();
+    println!("Figure 7: Power Consumption with varying parallelization");
+    println!(
+        "{:<16} {:>6} {:>14} {:>20} {:>12} {:>9}",
+        "Application", "Tiles", "Compute (mW)", "Intercon+Leak (mW)", "Total (mW)", "Feasible"
+    );
+    for bar in figure7(&tech) {
+        println!(
+            "{:<16} {:>6} {:>14.1} {:>20.1} {:>12.1} {:>9}",
+            bar.application,
+            bar.tiles,
+            bar.compute_mw,
+            bar.overhead_mw,
+            bar.total_mw(),
+            if bar.feasible { "yes" } else { "no" }
+        );
+    }
+}

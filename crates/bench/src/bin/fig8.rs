@@ -1,0 +1,19 @@
+//! Regenerates Figure 8: Viterbi ACS power vs area for 8/16/32 tiles across
+//! bus widths of 32..1024 bits.
+use synchro_power::Technology;
+use synchroscalar::experiments::figure8;
+
+fn main() {
+    let tech = Technology::isca2004();
+    println!("Figure 8: Power Consumption of Viterbi ACS with varying bus widths");
+    println!(
+        "{:>6} {:>10} {:>12} {:>12}",
+        "Tiles", "Bus bits", "Area (mm^2)", "Power (mW)"
+    );
+    for p in figure8(&tech) {
+        println!(
+            "{:>6} {:>10} {:>12.2} {:>12.1}",
+            p.tiles, p.bus_width_bits, p.area_mm2, p.power_mw
+        );
+    }
+}

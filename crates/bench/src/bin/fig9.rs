@@ -1,0 +1,18 @@
+//! Regenerates Figure 9: leakage sensitivity for the DDC and 802.11a
+//! parallelisation variants.
+use synchro_power::Technology;
+use synchroscalar::experiments::leakage_sensitivity;
+
+fn main() {
+    let tech = Technology::isca2004();
+    println!("Figure 9: Leakage sensitivity for DDC and 802.11a");
+    println!("{:<16} {:>6} {:>14} {:>12}", "Application", "Tiles", "Leak (mA/tile)", "Power (mW)");
+    for p in leakage_sensitivity(&tech) {
+        if p.application == "DDC" || p.application == "802.11a" {
+            println!(
+                "{:<16} {:>6} {:>14.1} {:>12.1}",
+                p.application, p.tiles, p.leakage_ma_per_tile, p.power_mw
+            );
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Regenerates the Section 5.5 tile-power sensitivity analysis: total
+//! application power as the normalised tile power U is varied.
+use synchro_power::Technology;
+use synchroscalar::experiments::tile_power_sensitivity;
+
+fn main() {
+    let tech = Technology::isca2004();
+    println!("Section 5.5: sensitivity of application power to tile power U");
+    println!("{:>14} {:<16} {:>12}", "U (mW/MHz)", "Application", "Power (mW)");
+    for p in tile_power_sensitivity(&tech) {
+        println!(
+            "{:>14.2} {:<16} {:>12.1}",
+            p.tile_power_mw_per_mhz, p.application, p.power_mw
+        );
+    }
+}

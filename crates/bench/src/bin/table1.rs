@@ -1,0 +1,14 @@
+//! Regenerates Table 1: technology parameters.
+use synchro_power::Technology;
+use synchroscalar::experiments::table1;
+
+fn main() {
+    let tech = Technology::isca2004();
+    println!("Table 1: Technology Parameters");
+    bench::rule(72);
+    println!("{:<22} {:<18} {}", "Parameter", "Value", "Source");
+    bench::rule(72);
+    for (name, value, source) in table1(&tech) {
+        println!("{name:<22} {value:<18} {source}");
+    }
+}

@@ -1,0 +1,25 @@
+//! Regenerates Table 2: tile and SIMD controller / DOU area estimation.
+use synchroscalar::experiments::table2;
+
+fn main() {
+    let (tile, ctrl) = table2();
+    println!("Table 2: Tile and DOU and SIMD Control Area Estimation");
+    bench::rule(60);
+    println!("{:<45} {:>12}", "TILE COMPONENT", "Area (um^2)");
+    bench::rule(60);
+    let mut total = 0.0;
+    for (name, area) in &tile {
+        println!("{name:<45} {area:>12.0}");
+        total += area;
+    }
+    println!("{:<45} {total:>12.0}", "Total");
+    bench::rule(60);
+    println!("{:<45} {:>12}", "SIMD CONTROLLER and DOU", "Area (um^2)");
+    bench::rule(60);
+    let mut total = 0.0;
+    for (name, area) in &ctrl {
+        println!("{name:<45} {area:>12.0}");
+        total += area;
+    }
+    println!("{:<45} {total:>12.0}", "Total");
+}

@@ -1,0 +1,44 @@
+//! Regenerates Table 3: power comparison of Synchroscalar with other
+//! platforms, plus the headline ASIC/DSP efficiency ratios.
+use synchro_apps::Application;
+use synchro_power::Technology;
+use synchroscalar::experiments::{efficiency_ratios, table3};
+
+fn main() {
+    let tech = Technology::isca2004();
+    println!("Table 3: Power Comparison of Synchroscalar with other platforms");
+    bench::rule(100);
+    println!(
+        "{:<14} {:<22} {:>10} {:>12}  {}",
+        "Application", "Platform", "Area mm^2", "Power mW", "Notes"
+    );
+    bench::rule(100);
+    for row in table3(&tech) {
+        let area = row
+            .area_mm2
+            .map(|a| format!("{a:.2}"))
+            .unwrap_or_else(|| "UNK".to_owned());
+        println!(
+            "{:<14} {:<22} {:>10} {:>12.2}  {}",
+            row.application, row.platform, area, row.power_mw, row.notes
+        );
+    }
+    bench::rule(100);
+    println!("Headline efficiency ratios (rate-normalised):");
+    for app in [
+        Application::Ddc,
+        Application::StereoVision,
+        Application::Wifi80211a,
+        Application::Mpeg4Qcif,
+        Application::Mpeg4Cif,
+    ] {
+        if let Some(r) = efficiency_ratios(&tech, app) {
+            println!(
+                "  {:<14} {:>6.1}x of best ASIC, {:>7.1}x better than the Blackfin DSP",
+                app.name(),
+                r.vs_asic,
+                r.vs_dsp
+            );
+        }
+    }
+}

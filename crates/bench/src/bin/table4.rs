@@ -1,0 +1,31 @@
+//! Regenerates Table 4: per-algorithm tiles, frequency, voltage and power
+//! with and without per-column voltage scaling.
+use synchro_power::Technology;
+use synchroscalar::experiments::table4;
+
+fn main() {
+    let tech = Technology::isca2004();
+    println!("Table 4: Power Results Summary on the Synchroscalar Processor");
+    bench::rule(100);
+    println!(
+        "{:<14} {:<24} {:>5} {:>8} {:>6} {:>10} {:>12} {:>9}",
+        "Application", "Algorithm", "Tiles", "MHz", "V", "Power mW", "1-Volt mW", "Savings"
+    );
+    bench::rule(100);
+    for row in table4(&tech) {
+        if row.algorithm == "TOTAL" {
+            println!(
+                "{:<14} {:<24} {:>5} {:>8} {:>6} {:>10.2} {:>12.2} {:>8.0}%",
+                row.application, row.algorithm, row.tiles, "", "", row.power_mw,
+                row.single_voltage_mw, row.savings_percent()
+            );
+            bench::rule(100);
+        } else {
+            println!(
+                "{:<14} {:<24} {:>5} {:>8.0} {:>6.1} {:>10.2} {:>12.2} {:>8.0}%",
+                row.application, row.algorithm, row.tiles, row.frequency_mhz, row.voltage,
+                row.power_mw, row.single_voltage_mw, row.savings_percent()
+            );
+        }
+    }
+}

@@ -1,0 +1,676 @@
+//! Regeneration of every table and figure in the paper's evaluation
+//! (Section 5).  Each function returns structured data; the `bench` crate's
+//! binaries print them in the paper's row/series format, and
+//! `EXPERIMENTS.md` records paper-versus-measured values.
+
+use crate::pipeline::{
+    evaluate_application, evaluate_voltage_scaling, savings_percent, ApplicationReport,
+    EvaluationOptions,
+};
+use synchro_apps::{Application, ApplicationProfile};
+use synchro_baselines::{table3_reference_rows, Platform, PlatformKind};
+use synchro_power::{
+    AreaModel, ColumnActivity, ColumnPower, CriticalPath, LeakageModel, SimdDouArea, Technology,
+    TileArea, VfCurve,
+};
+
+/// One point of the Figure 5 voltage/frequency curves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VfPoint {
+    /// Supply voltage in volts.
+    pub voltage: f64,
+    /// Maximum operating frequency at a 20-FO4 critical path (MHz).
+    pub frequency_fo4_20: f64,
+    /// Maximum operating frequency at a 15-FO4 critical path (MHz).
+    pub frequency_fo4_15: f64,
+}
+
+/// Figure 5: sweep the supply voltage from 0.62 V to 2.12 V and report the
+/// 15- and 20-FO4 operating frequencies.
+pub fn figure5(tech: &Technology, points: usize) -> Vec<VfPoint> {
+    let c20 = VfCurve::with_critical_path(tech, CriticalPath::Fo4_20);
+    let c15 = VfCurve::with_critical_path(tech, CriticalPath::Fo4_15);
+    c20.sweep(0.62, 2.12, points)
+        .into_iter()
+        .map(|(v, f20)| VfPoint {
+            voltage: v,
+            frequency_fo4_20: f20,
+            frequency_fo4_15: c15.interpolate(v),
+        })
+        .collect()
+}
+
+/// Table 1 rows as (parameter, value, source) strings.
+pub fn table1(tech: &Technology) -> Vec<(String, String, String)> {
+    vec![
+        ("Technology".into(), format!("{} nm", tech.feature_nm), "Table 1".into()),
+        ("Minimum Voltage".into(), format!("{} V", tech.min_voltage), "Blackfin DSP".into()),
+        ("Maximum Voltage".into(), format!("{} V", tech.max_voltage), "Estimated (BPTM)".into()),
+        ("Threshold Voltage".into(), format!("{} V", tech.threshold_voltage), "BPTM".into()),
+        ("Max Frequency".into(), format!("{} MHz", tech.max_frequency_mhz), "SPICE substitute (VF curve)".into()),
+        ("Tile Power".into(), format!("{} mW/MHz", tech.tile_power_mw_per_mhz), "Synthesis estimate".into()),
+        ("Tile Size".into(), format!("{} mm^2", tech.tile_area_mm2), "Section 4.6".into()),
+        ("Wire Cap.".into(), format!("{} fF/mm", tech.wire_cap_ff_per_mm), "The Future of Wires".into()),
+        ("Leakage / tile".into(), format!("{} mA", tech.leakage_ma_per_tile), "Section 4.4".into()),
+    ]
+}
+
+/// Table 2 rows: (component, area in µm²) for the tile and the SIMD
+/// controller + DOU.
+pub fn table2() -> (Vec<(String, f64)>, Vec<(String, f64)>) {
+    let tile = TileArea::isca2004();
+    let ctrl = SimdDouArea::isca2004();
+    (
+        tile.components()
+            .iter()
+            .map(|c| (c.name.to_owned(), c.area_um2))
+            .collect(),
+        ctrl.components()
+            .iter()
+            .map(|c| (c.name.to_owned(), c.area_um2))
+            .collect(),
+    )
+}
+
+/// One Synchroscalar row of Table 3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3Row {
+    /// Application name.
+    pub application: String,
+    /// Platform name ("Synchroscalar" for our rows).
+    pub platform: String,
+    /// Platform class.
+    pub kind: PlatformKind,
+    /// Area in mm² when known.
+    pub area_mm2: Option<f64>,
+    /// Power in mW.
+    pub power_mw: f64,
+    /// Note string.
+    pub notes: String,
+}
+
+/// Table 3: the Synchroscalar rows (computed by the pipeline) followed by
+/// the published reference platforms.
+pub fn table3(tech: &Technology) -> Vec<Table3Row> {
+    let mut rows = Vec::new();
+    for app in [
+        Application::Ddc,
+        Application::StereoVision,
+        Application::Wifi80211a,
+        Application::Mpeg4Qcif,
+        Application::Mpeg4Cif,
+    ] {
+        let profile = ApplicationProfile::of(app);
+        let report = evaluate_application(&profile, tech, &EvaluationOptions::default());
+        rows.push(Table3Row {
+            application: profile.application.name().to_owned(),
+            platform: "Synchroscalar".to_owned(),
+            kind: PlatformKind::Synchroscalar,
+            area_mm2: Some(report.area_mm2()),
+            power_mw: report.total_mw(),
+            notes: format!("Programmable, {}", profile.throughput),
+        });
+    }
+    for p in table3_reference_rows() {
+        rows.push(Table3Row {
+            application: p.application.to_owned(),
+            platform: p.name.to_owned(),
+            kind: p.kind,
+            area_mm2: p.area_mm2,
+            power_mw: p.power_mw,
+            notes: p.notes.to_owned(),
+        });
+    }
+    rows
+}
+
+/// The headline ratios of Table 3 / the abstract: how far Synchroscalar is
+/// from the best ASIC, and how much better it is than the rate-normalised
+/// DSP, for one application.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EfficiencyRatios {
+    /// Synchroscalar power divided by the best (lowest-power) ASIC.
+    pub vs_asic: f64,
+    /// Rate-normalised DSP power divided by Synchroscalar power.
+    pub vs_dsp: f64,
+}
+
+/// Compute the ASIC / DSP efficiency ratios for one application.
+pub fn efficiency_ratios(tech: &Technology, app: Application) -> Option<EfficiencyRatios> {
+    let profile = ApplicationProfile::of(app);
+    let report = evaluate_application(&profile, tech, &EvaluationOptions::default());
+    let references: Vec<Platform> = table3_reference_rows()
+        .into_iter()
+        .filter(|p| p.application == profile.application.name())
+        .collect();
+    let best_asic = references
+        .iter()
+        .filter(|p| matches!(p.kind, PlatformKind::Asic | PlatformKind::Asip))
+        .map(|p| p.power_mw / p.rate_fraction.max(1e-9))
+        .fold(f64::INFINITY, f64::min);
+    let dsp = references
+        .iter()
+        .filter(|p| p.name.contains("Blackfin"))
+        .map(Platform::rate_normalized_power_mw)
+        .fold(f64::INFINITY, f64::min);
+    if !best_asic.is_finite() || !dsp.is_finite() {
+        return None;
+    }
+    Some(EfficiencyRatios {
+        vs_asic: report.total_mw() / best_asic,
+        vs_dsp: dsp / report.total_mw(),
+    })
+}
+
+/// One Table 4 row: a block's operating point and power under both voltage
+/// policies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table4Row {
+    /// Application name.
+    pub application: String,
+    /// Algorithm block name.
+    pub algorithm: String,
+    /// Tiles assigned.
+    pub tiles: u32,
+    /// Frequency in MHz.
+    pub frequency_mhz: f64,
+    /// Per-column voltage in volts.
+    pub voltage: f64,
+    /// Power with per-column voltage scaling (mW).
+    pub power_mw: f64,
+    /// Power with a single application-wide voltage (mW).
+    pub single_voltage_mw: f64,
+}
+
+impl Table4Row {
+    /// Percentage power saved by per-column voltages for this block.
+    pub fn savings_percent(&self) -> f64 {
+        if self.single_voltage_mw <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.power_mw / self.single_voltage_mw) * 100.0
+    }
+}
+
+/// Table 4: every application's per-block rows plus totals.
+pub fn table4(tech: &Technology) -> Vec<Table4Row> {
+    let mut rows = Vec::new();
+    for app in Application::all() {
+        let profile = ApplicationProfile::of(app);
+        let (per_column, single) =
+            evaluate_voltage_scaling(&profile, tech, &EvaluationOptions::default());
+        for (pc, sv) in per_column.blocks.iter().zip(&single.blocks) {
+            rows.push(Table4Row {
+                application: profile.application.name().to_owned(),
+                algorithm: pc.name.clone(),
+                tiles: pc.tiles,
+                frequency_mhz: pc.frequency_mhz,
+                voltage: pc.voltage,
+                power_mw: pc.total_mw(),
+                single_voltage_mw: sv.total_mw(),
+            });
+        }
+        rows.push(Table4Row {
+            application: profile.application.name().to_owned(),
+            algorithm: "TOTAL".to_owned(),
+            tiles: per_column.total_tiles(),
+            frequency_mhz: 0.0,
+            voltage: 0.0,
+            power_mw: per_column.total_mw(),
+            single_voltage_mw: single.total_mw(),
+        });
+    }
+    rows
+}
+
+/// One bar of Figure 6: application power with and without per-column
+/// voltage scaling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure6Bar {
+    /// Application name.
+    pub application: String,
+    /// Power with per-column voltage scaling (mW).
+    pub scaled_mw: f64,
+    /// Additional power without voltage scaling (mW).
+    pub additional_unscaled_mw: f64,
+    /// Savings percentage.
+    pub savings_percent: f64,
+}
+
+/// Figure 6: per-application power with vs without voltage scaling.
+pub fn figure6(tech: &Technology) -> Vec<Figure6Bar> {
+    Application::all()
+        .into_iter()
+        .map(|app| {
+            let profile = ApplicationProfile::of(app);
+            let (per_column, single) =
+                evaluate_voltage_scaling(&profile, tech, &EvaluationOptions::default());
+            Figure6Bar {
+                application: profile.application.name().to_owned(),
+                scaled_mw: per_column.total_mw(),
+                additional_unscaled_mw: (single.total_mw() - per_column.total_mw()).max(0.0),
+                savings_percent: savings_percent(&per_column, &single),
+            }
+        })
+        .collect()
+}
+
+/// One bar of Figure 7: an application at one parallelisation level, split
+/// into compute power and interconnect + leakage overhead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure7Bar {
+    /// Application name.
+    pub application: String,
+    /// Total tiles in this variant.
+    pub tiles: u32,
+    /// Compute (tile) power in mW.
+    pub compute_mw: f64,
+    /// Interconnect + leakage power in mW.
+    pub overhead_mw: f64,
+    /// Whether every block fits the supply envelope at this parallelism.
+    pub feasible: bool,
+}
+
+impl Figure7Bar {
+    /// Total power of the bar.
+    pub fn total_mw(&self) -> f64 {
+        self.compute_mw + self.overhead_mw
+    }
+}
+
+/// Figure 7: sweep each application over its studied parallelisation
+/// levels.
+pub fn figure7(tech: &Technology) -> Vec<Figure7Bar> {
+    figure7_with_options(tech, &EvaluationOptions::default())
+}
+
+/// Figure 7 with overridden evaluation options (used by the leakage
+/// sensitivity sweeps of Figures 9 and 10).
+pub fn figure7_with_options(tech: &Technology, options: &EvaluationOptions) -> Vec<Figure7Bar> {
+    let mut bars = Vec::new();
+    for app in Application::all() {
+        let profile = ApplicationProfile::of(app);
+        for &total in &profile.parallelization_variants {
+            let allocation = profile.allocation_for_total(total);
+            let tiles: u32 = allocation.iter().sum();
+            let report = evaluate_application(
+                &profile,
+                tech,
+                &EvaluationOptions {
+                    allocation: Some(allocation),
+                    ..options.clone()
+                },
+            );
+            bars.push(Figure7Bar {
+                application: profile.application.name().to_owned(),
+                tiles,
+                compute_mw: report.compute_mw(),
+                overhead_mw: report.overhead_mw(),
+                feasible: report.feasible(),
+            });
+        }
+    }
+    bars
+}
+
+/// One point of Figure 8: the Viterbi ACS mapped onto a tile count with a
+/// given bus width.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure8Point {
+    /// Tiles running the ACS trellis.
+    pub tiles: u32,
+    /// Bus width in bits.
+    pub bus_width_bits: u32,
+    /// Chip area of the configuration in mm².
+    pub area_mm2: f64,
+    /// Power in mW.
+    pub power_mw: f64,
+}
+
+/// Figure 8: power/area of the Viterbi ACS for 8/16/32 tiles across bus
+/// widths from 32 to 1024 bits.
+///
+/// Narrower buses move fewer words per cycle, so the tiles stall waiting
+/// for path-metric exchanges and the column must run (and be supplied)
+/// faster; wider buses trade area for lower frequency and voltage.
+pub fn figure8(tech: &Technology) -> Vec<Figure8Point> {
+    let wifi = ApplicationProfile::of(Application::Wifi80211a);
+    let acs = wifi
+        .algorithms
+        .iter()
+        .find(|a| a.name == "Viterbi ACS")
+        .expect("profile has a Viterbi ACS block");
+    // Split the reference operating point into compute and communication
+    // components: at the reference 16 tiles / 256-bit bus, the bus moves
+    // the ACS's word traffic at 8 words per cycle per column.
+    let ref_tiles = acs.reference_tiles;
+    let ref_columns = f64::from(ref_tiles.div_ceil(tech.tiles_per_column));
+    let ref_splits = 8.0;
+    let words_per_us = acs.reference_bus_words_per_second / 1e6;
+    let ref_comm_mhz = words_per_us / (ref_splits * ref_columns);
+    let compute_work_mhz_tiles =
+        (acs.reference_frequency_mhz - ref_comm_mhz) * f64::from(ref_tiles);
+
+    let area = AreaModel::isca2004();
+    let curve = VfCurve::fo4_20(tech);
+    let leakage = LeakageModel::new(tech);
+    let mut points = Vec::new();
+    for &tiles in &[8u32, 16, 32] {
+        for &width in &[32u32, 64, 128, 256, 512, 1024] {
+            let splits = f64::from(width / 32);
+            let columns = f64::from(tiles.div_ceil(tech.tiles_per_column));
+            let comm_mhz = words_per_us / (splits * columns);
+            let frequency = compute_work_mhz_tiles / f64::from(tiles) + comm_mhz;
+            let (voltage, _within) = curve.voltage_for_frequency_extrapolated(frequency);
+            let bus_tech = tech.clone().with_bus_width(width);
+            let activity = ColumnActivity {
+                tiles,
+                frequency_mhz: frequency,
+                voltage,
+                bus_words_per_second: acs.reference_bus_words_per_second,
+                bus_length_mm: tech.column_bus_length_mm,
+            };
+            let power = ColumnPower::estimate_with(
+                &synchro_power::TilePowerModel::new(&bus_tech),
+                &synchro_power::InterconnectModel::new(&bus_tech),
+                &leakage,
+                &bus_tech,
+                &activity,
+            );
+            points.push(Figure8Point {
+                tiles,
+                bus_width_bits: width,
+                area_mm2: area.chip_area_with_bus_mm2(tiles, width / 32),
+                power_mw: power.total_mw(),
+            });
+        }
+    }
+    points
+}
+
+/// One curve point of Figures 9/10: an application variant's total power at
+/// a given per-tile leakage current.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeakagePoint {
+    /// Application name.
+    pub application: String,
+    /// Tiles in the variant.
+    pub tiles: u32,
+    /// Leakage current per tile in mA.
+    pub leakage_ma_per_tile: f64,
+    /// Total power in mW.
+    pub power_mw: f64,
+}
+
+/// Figures 9 and 10: sweep per-tile leakage over the paper's nine points
+/// for every parallelisation variant of every application.  Figure 9 plots
+/// the DDC and 802.11a subsets, Figure 10 the MPEG-4 and Stereo Vision
+/// subsets.
+pub fn leakage_sensitivity(tech: &Technology) -> Vec<LeakagePoint> {
+    let mut points = Vec::new();
+    for &leak in LeakageModel::figure9_sweep_points() {
+        let bars = figure7_with_options(
+            tech,
+            &EvaluationOptions {
+                leakage_ma_per_tile: Some(leak),
+                ..EvaluationOptions::default()
+            },
+        );
+        for bar in bars {
+            points.push(LeakagePoint {
+                application: bar.application.clone(),
+                tiles: bar.tiles,
+                leakage_ma_per_tile: leak,
+                power_mw: bar.total_mw(),
+            });
+        }
+    }
+    points
+}
+
+/// One point of the Section 5.5 tile-power sensitivity analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensitivityPoint {
+    /// Tile power `U` in mW/MHz.
+    pub tile_power_mw_per_mhz: f64,
+    /// Application name.
+    pub application: String,
+    /// Total power at that `U` (mW).
+    pub power_mw: f64,
+}
+
+/// Section 5.5: sweep the tile power parameter `U` from 0.05 to
+/// 0.2 mW/MHz and report every application's total power.
+pub fn tile_power_sensitivity(tech: &Technology) -> Vec<SensitivityPoint> {
+    let mut out = Vec::new();
+    for &u in &[0.05, 0.07, 0.1, 0.15, 0.2] {
+        for app in Application::all() {
+            let profile = ApplicationProfile::of(app);
+            let report = evaluate_application(
+                &profile,
+                tech,
+                &EvaluationOptions {
+                    tile_power_mw_per_mhz: Some(u),
+                    ..EvaluationOptions::default()
+                },
+            );
+            out.push(SensitivityPoint {
+                tile_power_mw_per_mhz: u,
+                application: profile.application.name().to_owned(),
+                power_mw: report.total_mw(),
+            });
+        }
+    }
+    out
+}
+
+/// Convenience: the reference report of every application (used by the
+/// examples and the benchmark harness).
+pub fn reference_reports(tech: &Technology) -> Vec<ApplicationReport> {
+    Application::all()
+        .into_iter()
+        .map(|app| {
+            evaluate_application(
+                &ApplicationProfile::of(app),
+                tech,
+                &EvaluationOptions::default(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::isca2004()
+    }
+
+    #[test]
+    fn figure5_is_monotone_and_fo4_15_is_faster() {
+        let pts = figure5(&tech(), 31);
+        assert_eq!(pts.len(), 31);
+        for pair in pts.windows(2) {
+            assert!(pair[1].frequency_fo4_20 >= pair[0].frequency_fo4_20);
+        }
+        for p in &pts {
+            assert!(p.frequency_fo4_15 > p.frequency_fo4_20);
+        }
+    }
+
+    #[test]
+    fn table1_and_table2_have_the_published_shape() {
+        let t1 = table1(&tech());
+        assert!(t1.iter().any(|(k, v, _)| k == "Tile Power" && v.contains("0.1")));
+        let (tile, ctrl) = table2();
+        assert_eq!(tile.len(), 7);
+        assert_eq!(ctrl.len(), 6);
+        let total: f64 = tile.iter().map(|(_, a)| a).sum();
+        assert!((total / 1e6 - 7.27).abs() < 0.01);
+    }
+
+    #[test]
+    fn table3_contains_synchroscalar_and_reference_rows() {
+        let rows = table3(&tech());
+        let synchro = rows
+            .iter()
+            .filter(|r| r.platform == "Synchroscalar")
+            .count();
+        assert_eq!(synchro, 5);
+        assert!(rows.len() > 15);
+        // The DDC Synchroscalar row should land near the paper's 2427 mW.
+        let ddc = rows
+            .iter()
+            .find(|r| r.platform == "Synchroscalar" && r.application == "DDC")
+            .unwrap();
+        assert!(ddc.power_mw > 2100.0 && ddc.power_mw < 2800.0);
+    }
+
+    #[test]
+    fn efficiency_ratios_match_the_headline_claims() {
+        // The abstract claims 8–30× of ASIC power and 10–60× better than
+        // DSPs; allow a generous band around those ranges.
+        let t = tech();
+        for app in [Application::Wifi80211a, Application::Ddc, Application::Mpeg4Qcif] {
+            let r = efficiency_ratios(&t, app).unwrap();
+            assert!(
+                r.vs_asic > 1.0 && r.vs_asic < 60.0,
+                "{app:?}: vs ASIC ratio {:.1}",
+                r.vs_asic
+            );
+            assert!(
+                r.vs_dsp > 3.0,
+                "{app:?}: vs DSP ratio {:.1} should show a large advantage",
+                r.vs_dsp
+            );
+        }
+    }
+
+    #[test]
+    fn table4_totals_are_consistent_with_blocks() {
+        let rows = table4(&tech());
+        for app in Application::all() {
+            let name = app.name();
+            let blocks: Vec<&Table4Row> = rows
+                .iter()
+                .filter(|r| r.application == name && r.algorithm != "TOTAL")
+                .collect();
+            let total = rows
+                .iter()
+                .find(|r| r.application == name && r.algorithm == "TOTAL")
+                .unwrap();
+            let sum: f64 = blocks.iter().map(|r| r.power_mw).sum();
+            assert!((sum - total.power_mw).abs() < 1e-6);
+            assert!(total.single_voltage_mw >= total.power_mw - 1e-9);
+        }
+    }
+
+    #[test]
+    fn figure6_savings_are_nonnegative_and_bounded() {
+        for bar in figure6(&tech()) {
+            assert!(bar.savings_percent >= 0.0 && bar.savings_percent < 60.0);
+            assert!(bar.additional_unscaled_mw >= 0.0);
+        }
+    }
+
+    #[test]
+    fn figure7_more_tiles_reduces_compute_power_for_wifi() {
+        let bars = figure7(&tech());
+        let wifi: Vec<&Figure7Bar> = bars.iter().filter(|b| b.application == "802.11a").collect();
+        assert_eq!(wifi.len(), 3);
+        // 12 → 20 → 36 tiles: compute power falls as frequency and voltage
+        // scale down, and so does the total despite the growing tile count.
+        assert!(wifi[0].compute_mw > wifi[1].compute_mw);
+        assert!(wifi[1].compute_mw >= wifi[2].compute_mw);
+        assert!(wifi[0].total_mw() > wifi[1].total_mw());
+        assert!(wifi[1].total_mw() > wifi[2].total_mw());
+        // The 12-tile squeeze pushes the Viterbi ACS past the supply
+        // envelope while the reference 20-tile mapping fits.
+        assert!(!wifi[0].feasible);
+        assert!(wifi[1].feasible);
+    }
+
+    #[test]
+    fn figure8_reproduces_the_bus_width_knee() {
+        let pts = figure8(&tech());
+        assert_eq!(pts.len(), 18);
+        let power = |tiles: u32, width: u32| {
+            pts.iter()
+                .find(|p| p.tiles == tiles && p.bus_width_bits == width)
+                .unwrap()
+                .power_mw
+        };
+        for tiles in [8, 16, 32] {
+            let gain_128_to_256 = power(tiles, 128) - power(tiles, 256);
+            let gain_256_to_512 = power(tiles, 256) - power(tiles, 512);
+            assert!(gain_128_to_256 > 0.0, "wider bus must save power");
+            assert!(
+                gain_128_to_256 > gain_256_to_512,
+                "diminishing returns beyond 256 bits for {tiles} tiles"
+            );
+        }
+        // Area grows with both tiles and bus width.
+        let area = |tiles: u32, width: u32| {
+            pts.iter()
+                .find(|p| p.tiles == tiles && p.bus_width_bits == width)
+                .unwrap()
+                .area_mm2
+        };
+        assert!(area(32, 256) > area(16, 256));
+        assert!(area(16, 1024) > area(16, 32));
+    }
+
+    #[test]
+    fn leakage_sensitivity_reproduces_the_crossover_behaviour() {
+        let pts = leakage_sensitivity(&tech());
+        // At low leakage the most-parallel MPEG-4 variant is at least as
+        // good as the 12-tile variant; at the highest leakage the ordering
+        // flips (Figure 10's cross-over).
+        let power = |tiles: u32, leak: f64| {
+            pts.iter()
+                .find(|p| {
+                    p.application == "MPEG4 CIF"
+                        && p.tiles == tiles
+                        && (p.leakage_ma_per_tile - leak).abs() < 1e-9
+                })
+                .map(|p| p.power_mw)
+                .unwrap()
+        };
+        let lowest = LeakageModel::figure9_sweep_points()[0];
+        let highest = *LeakageModel::figure9_sweep_points().last().unwrap();
+        let low_36 = power(36, lowest);
+        let low_12 = power(12, lowest);
+        let high_36 = power(36, highest);
+        let high_12 = power(12, highest);
+        assert!(low_36 <= low_12 * 1.05, "at low leakage more tiles should win or tie");
+        assert!(high_36 > high_12, "at high leakage fewer tiles must win");
+    }
+
+    #[test]
+    fn leakage_sweep_covers_every_variant_and_point() {
+        let pts = leakage_sensitivity(&tech());
+        let variants: usize = Application::all()
+            .iter()
+            .map(|&a| ApplicationProfile::of(a).parallelization_variants.len())
+            .sum();
+        assert_eq!(pts.len(), variants * 9);
+    }
+
+    #[test]
+    fn sensitivity_sweep_is_monotone_in_u() {
+        let pts = tile_power_sensitivity(&tech());
+        let ddc: Vec<&SensitivityPoint> =
+            pts.iter().filter(|p| p.application == "DDC").collect();
+        for pair in ddc.windows(2) {
+            assert!(pair[1].power_mw > pair[0].power_mw);
+        }
+    }
+
+    #[test]
+    fn reference_reports_cover_all_applications() {
+        let reports = reference_reports(&tech());
+        assert_eq!(reports.len(), 6);
+        assert!(reports.iter().all(|r| r.total_mw() > 0.0));
+    }
+}

@@ -1,0 +1,53 @@
+//! # Synchroscalar
+//!
+//! A reproduction of *Synchroscalar: A Multiple Clock Domain, Power-Aware,
+//! Tile-Based Embedded Processor* (ISCA 2004) as a Rust library.
+//!
+//! The crate ties the substrates together into the paper's evaluation
+//! methodology (Section 4.1):
+//!
+//! 1. describe an application as mapped algorithm blocks
+//!    ([`synchro_apps::profiles`]),
+//! 2. derive each block's operating frequency from its work and tile
+//!    allocation,
+//! 3. pick the minimum supply voltage able to sustain that frequency from
+//!    the Figure 5 voltage/frequency curve ([`synchro_power::VfCurve`]),
+//! 4. roll up dynamic tile power, interconnect power and leakage into a
+//!    per-block and per-application power report ([`pipeline`]),
+//! 5. regenerate every table and figure of the paper's evaluation
+//!    ([`experiments`]).
+//!
+//! ```
+//! use synchroscalar::pipeline::{evaluate_application, EvaluationOptions};
+//! use synchro_apps::{Application, ApplicationProfile};
+//! use synchro_power::Technology;
+//!
+//! let tech = Technology::isca2004();
+//! let profile = ApplicationProfile::of(Application::Ddc);
+//! let report = evaluate_application(&profile, &tech, &EvaluationOptions::default());
+//! // The 50-tile DDC lands in the low single-digit watts (Table 4: 2.43 W).
+//! assert!(report.total_mw() > 1500.0 && report.total_mw() < 3500.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod pipeline;
+
+pub use pipeline::{
+    evaluate_application, ApplicationReport, BlockReport, EvaluationOptions, VoltagePolicy,
+};
+
+// Re-export the substrate crates so downstream users need only one
+// dependency.
+pub use synchro_apps as apps;
+pub use synchro_baselines as baselines;
+pub use synchro_bus as bus;
+pub use synchro_dou as dou;
+pub use synchro_isa as isa;
+pub use synchro_power as power;
+pub use synchro_sdf as sdf;
+pub use synchro_sim as sim;
+pub use synchro_simd as simd;
+pub use synchro_tile as tile;

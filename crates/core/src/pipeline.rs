@@ -1,0 +1,445 @@
+//! The power-evaluation pipeline: from an application mapping to a
+//! per-block and per-application power report (methodology steps 7–9).
+
+use synchro_apps::ApplicationProfile;
+use synchro_power::{
+    ColumnActivity, ColumnPower, InterconnectModel, LeakageModel, Technology, TilePowerModel,
+    VfCurve,
+};
+
+/// How supply voltages are assigned to the application's blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VoltagePolicy {
+    /// Each block (column group) gets the minimum voltage its frequency
+    /// needs — Synchroscalar's per-column voltage domains.
+    #[default]
+    PerColumn,
+    /// Every block runs at the single highest voltage any block needs —
+    /// the "Single Voltage" comparison column of Table 4 / Figure 6.
+    SingleVoltage,
+}
+
+/// Options controlling one evaluation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvaluationOptions {
+    /// Voltage assignment policy.
+    pub voltage_policy: VoltagePolicy,
+    /// Override of the per-block tile allocation (same order and length as
+    /// the profile's algorithm list).  `None` uses the Table 4 reference
+    /// allocation.
+    pub allocation: Option<Vec<u32>>,
+    /// Per-tile leakage current override in mA (Figures 9/10 sweep this);
+    /// `None` uses the technology default (1.5 mA).
+    pub leakage_ma_per_tile: Option<f64>,
+    /// Tile power (`U`, mW/MHz) override for the Section 5.5 sensitivity
+    /// analysis; `None` uses the technology default (0.1 mW/MHz).
+    pub tile_power_mw_per_mhz: Option<f64>,
+}
+
+impl Default for EvaluationOptions {
+    fn default() -> Self {
+        EvaluationOptions {
+            voltage_policy: VoltagePolicy::PerColumn,
+            allocation: None,
+            leakage_ma_per_tile: None,
+            tile_power_mw_per_mhz: None,
+        }
+    }
+}
+
+/// The evaluated operating point and power of one algorithm block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockReport {
+    /// Block name (Table 4 row).
+    pub name: String,
+    /// Tiles assigned.
+    pub tiles: u32,
+    /// Required per-tile frequency in MHz.
+    pub frequency_mhz: f64,
+    /// Assigned supply voltage in volts.
+    pub voltage: f64,
+    /// Whether the operating point fits inside the technology's supply
+    /// envelope (false means the voltage was extrapolated beyond the
+    /// maximum supply — an under-provisioned mapping).
+    pub within_envelope: bool,
+    /// Power breakdown at the assigned operating point.
+    pub power: ColumnPower,
+}
+
+impl BlockReport {
+    /// Total block power in milliwatts.
+    pub fn total_mw(&self) -> f64 {
+        self.power.total_mw()
+    }
+}
+
+/// The evaluated power of a whole application mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApplicationReport {
+    /// Application name.
+    pub application: String,
+    /// Throughput target description.
+    pub throughput: String,
+    /// Voltage policy used.
+    pub voltage_policy: VoltagePolicy,
+    /// Per-block reports in profile order.
+    pub blocks: Vec<BlockReport>,
+}
+
+impl ApplicationReport {
+    /// Total tiles used.
+    pub fn total_tiles(&self) -> u32 {
+        self.blocks.iter().map(|b| b.tiles).sum()
+    }
+
+    /// Total application power in milliwatts.
+    pub fn total_mw(&self) -> f64 {
+        self.blocks.iter().map(BlockReport::total_mw).sum()
+    }
+
+    /// Total compute (tile) power in milliwatts.
+    pub fn compute_mw(&self) -> f64 {
+        self.blocks.iter().map(|b| b.power.tile_mw).sum()
+    }
+
+    /// Total interconnect + leakage power in milliwatts (the dark portion
+    /// of the Figure 7 bars).
+    pub fn overhead_mw(&self) -> f64 {
+        self.blocks
+            .iter()
+            .map(|b| b.power.interconnect_mw + b.power.leakage_mw)
+            .sum()
+    }
+
+    /// True if every block's operating point fits the supply envelope.
+    pub fn feasible(&self) -> bool {
+        self.blocks.iter().all(|b| b.within_envelope)
+    }
+
+    /// Silicon area of the configuration in mm² (tiles rounded up to whole
+    /// columns plus per-column control, Table 3's area column).
+    pub fn area_mm2(&self) -> f64 {
+        synchro_power::AreaModel::isca2004().chip_area_mm2(self.total_tiles())
+    }
+}
+
+fn technology_with_overrides(tech: &Technology, options: &EvaluationOptions) -> Technology {
+    let mut t = tech.clone();
+    if let Some(leak) = options.leakage_ma_per_tile {
+        t = t.with_leakage_ma_per_tile(leak);
+    }
+    if let Some(u) = options.tile_power_mw_per_mhz {
+        t = t.with_tile_power(u);
+    }
+    t
+}
+
+/// Evaluate an application mapping under the given technology and options,
+/// producing the per-block operating points and power (methodology steps
+/// 7–9 of Section 4.1).
+pub fn evaluate_application(
+    profile: &ApplicationProfile,
+    tech: &Technology,
+    options: &EvaluationOptions,
+) -> ApplicationReport {
+    let tech = technology_with_overrides(tech, options);
+    let curve = VfCurve::fo4_20(&tech);
+    let tile_model = TilePowerModel::new(&tech);
+    let bus_model = InterconnectModel::new(&tech);
+    let leakage_model = LeakageModel::new(&tech);
+
+    let allocation: Vec<u32> = match &options.allocation {
+        Some(explicit) => explicit.clone(),
+        None => profile
+            .algorithms
+            .iter()
+            .map(|a| a.reference_tiles)
+            .collect(),
+    };
+    assert_eq!(
+        allocation.len(),
+        profile.algorithms.len(),
+        "allocation must cover every algorithm block"
+    );
+
+    // First pass: frequencies and per-block minimum voltages.
+    let mut operating: Vec<(f64, f64, bool)> = Vec::with_capacity(profile.algorithms.len());
+    for (algorithm, &tiles) in profile.algorithms.iter().zip(&allocation) {
+        let frequency = algorithm.frequency_for_tiles(tiles);
+        let (voltage, within) = curve.voltage_for_frequency_extrapolated(frequency);
+        operating.push((frequency, voltage, within));
+    }
+
+    // Single-voltage policy: every block runs at the highest voltage.
+    let max_voltage = operating
+        .iter()
+        .map(|&(_, v, _)| v)
+        .fold(tech.min_voltage, f64::max);
+
+    let mut blocks = Vec::with_capacity(profile.algorithms.len());
+    for ((algorithm, &tiles), &(frequency, min_voltage, within)) in profile
+        .algorithms
+        .iter()
+        .zip(&allocation)
+        .zip(&operating)
+    {
+        let voltage = match options.voltage_policy {
+            VoltagePolicy::PerColumn => min_voltage,
+            VoltagePolicy::SingleVoltage => max_voltage,
+        };
+        let activity = ColumnActivity {
+            tiles,
+            frequency_mhz: frequency,
+            voltage,
+            bus_words_per_second: algorithm.bus_words_for_tiles(tiles),
+            bus_length_mm: tech.column_bus_length_mm,
+        };
+        let power = ColumnPower::estimate_with(
+            &tile_model,
+            &bus_model,
+            &leakage_model,
+            &tech,
+            &activity,
+        );
+        blocks.push(BlockReport {
+            name: algorithm.name.to_owned(),
+            tiles,
+            frequency_mhz: frequency,
+            voltage,
+            within_envelope: within,
+            power,
+        });
+    }
+
+    ApplicationReport {
+        application: profile.application.name().to_owned(),
+        throughput: profile.throughput.to_owned(),
+        voltage_policy: options.voltage_policy,
+        blocks,
+    }
+}
+
+/// Evaluate both voltage policies and return `(per_column, single_voltage)`
+/// — the pair Table 4 and Figure 6 compare.
+pub fn evaluate_voltage_scaling(
+    profile: &ApplicationProfile,
+    tech: &Technology,
+    options: &EvaluationOptions,
+) -> (ApplicationReport, ApplicationReport) {
+    let per_column = evaluate_application(
+        profile,
+        tech,
+        &EvaluationOptions {
+            voltage_policy: VoltagePolicy::PerColumn,
+            ..options.clone()
+        },
+    );
+    let single = evaluate_application(
+        profile,
+        tech,
+        &EvaluationOptions {
+            voltage_policy: VoltagePolicy::SingleVoltage,
+            ..options.clone()
+        },
+    );
+    (per_column, single)
+}
+
+/// Percentage power saved by per-column voltage scaling relative to the
+/// single-voltage design.
+pub fn savings_percent(per_column: &ApplicationReport, single: &ApplicationReport) -> f64 {
+    let single_total = single.total_mw();
+    if single_total <= 0.0 {
+        return 0.0;
+    }
+    (1.0 - per_column.total_mw() / single_total) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synchro_apps::{Application, ApplicationProfile};
+
+    fn tech() -> Technology {
+        Technology::isca2004()
+    }
+
+    #[test]
+    fn table4_operating_points_are_reproduced_for_ddc() {
+        let profile = ApplicationProfile::of(Application::Ddc);
+        let report = evaluate_application(&profile, &tech(), &EvaluationOptions::default());
+        let expected = [
+            ("Digital Mixer", 8, 120.0, 0.8),
+            ("CIC Integrator", 8, 200.0, 1.0),
+            ("CIC Comb", 2, 40.0, 0.7),
+            ("CFIR", 16, 380.0, 1.3),
+            ("PFIR", 16, 370.0, 1.3),
+        ];
+        for (block, (name, tiles, freq, volt)) in report.blocks.iter().zip(expected) {
+            assert_eq!(block.name, name);
+            assert_eq!(block.tiles, tiles);
+            assert!((block.frequency_mhz - freq).abs() < 1e-9, "{name} frequency");
+            assert!((block.voltage - volt).abs() < 1e-9, "{name} voltage");
+            assert!(block.within_envelope);
+        }
+    }
+
+    #[test]
+    fn ddc_total_power_is_near_table4() {
+        // Table 4: 2427 mW total for the 50-tile DDC.
+        let profile = ApplicationProfile::of(Application::Ddc);
+        let report = evaluate_application(&profile, &tech(), &EvaluationOptions::default());
+        let total = report.total_mw();
+        assert!(
+            total > 2100.0 && total < 2800.0,
+            "DDC total {total} mW outside the Table 4 neighbourhood"
+        );
+        assert_eq!(report.total_tiles(), 50);
+    }
+
+    #[test]
+    fn wifi_total_power_is_near_table4() {
+        // Table 4: 3930 mW for the 20-tile 802.11a receiver.
+        let profile = ApplicationProfile::of(Application::Wifi80211a);
+        let report = evaluate_application(&profile, &tech(), &EvaluationOptions::default());
+        let total = report.total_mw();
+        assert!(
+            total > 3400.0 && total < 4400.0,
+            "802.11a total {total} mW outside the Table 4 neighbourhood"
+        );
+    }
+
+    #[test]
+    fn single_voltage_policy_costs_more_power() {
+        let t = tech();
+        for app in Application::all() {
+            let profile = ApplicationProfile::of(app);
+            let (per_column, single) =
+                evaluate_voltage_scaling(&profile, &t, &EvaluationOptions::default());
+            assert!(
+                single.total_mw() >= per_column.total_mw() - 1e-9,
+                "{}: single-voltage must not be cheaper",
+                profile.application.name()
+            );
+        }
+    }
+
+    #[test]
+    fn voltage_scaling_savings_match_paper_ordering() {
+        // The paper reports ~32 % savings for Stereo Vision, ~11 % for DDC
+        // and only ~3 % for 802.11a (Table 4): SV benefits most because one
+        // serial block pins the single-voltage design at 1.5 V.
+        let t = tech();
+        let sv = {
+            let p = ApplicationProfile::of(Application::StereoVision);
+            let (a, b) = evaluate_voltage_scaling(&p, &t, &EvaluationOptions::default());
+            savings_percent(&a, &b)
+        };
+        let ddc = {
+            let p = ApplicationProfile::of(Application::Ddc);
+            let (a, b) = evaluate_voltage_scaling(&p, &t, &EvaluationOptions::default());
+            savings_percent(&a, &b)
+        };
+        let wifi = {
+            let p = ApplicationProfile::of(Application::Wifi80211a);
+            let (a, b) = evaluate_voltage_scaling(&p, &t, &EvaluationOptions::default());
+            savings_percent(&a, &b)
+        };
+        assert!(sv > ddc, "SV savings {sv:.1}% should exceed DDC {ddc:.1}%");
+        assert!(ddc > wifi, "DDC savings {ddc:.1}% should exceed 802.11a {wifi:.1}%");
+        assert!(sv > 15.0 && sv < 50.0, "SV savings {sv:.1}%");
+        assert!(wifi < 10.0, "802.11a savings {wifi:.1}%");
+    }
+
+    #[test]
+    fn fewer_tiles_means_higher_frequency_and_voltage() {
+        let profile = ApplicationProfile::of(Application::Mpeg4Cif);
+        let t = tech();
+        let reference = evaluate_application(&profile, &t, &EvaluationOptions::default());
+        let squeezed = evaluate_application(
+            &profile,
+            &t,
+            &EvaluationOptions {
+                allocation: Some(profile.allocation_for_total(8)),
+                ..EvaluationOptions::default()
+            },
+        );
+        assert!(squeezed.total_tiles() < reference.total_tiles());
+        assert!(
+            squeezed.blocks[0].frequency_mhz > reference.blocks[0].frequency_mhz,
+            "squeezing tiles must raise the ME frequency"
+        );
+        assert!(squeezed.blocks[0].voltage >= reference.blocks[0].voltage);
+    }
+
+    #[test]
+    fn leakage_override_raises_power_linearly_in_tiles() {
+        let profile = ApplicationProfile::of(Application::Wifi80211a);
+        let t = tech();
+        let base = evaluate_application(&profile, &t, &EvaluationOptions::default());
+        let leaky = evaluate_application(
+            &profile,
+            &t,
+            &EvaluationOptions {
+                leakage_ma_per_tile: Some(59.3),
+                ..EvaluationOptions::default()
+            },
+        );
+        assert!(leaky.total_mw() > base.total_mw());
+        let leak_delta = leaky.overhead_mw() - base.overhead_mw();
+        // (59.3 - 1.5) mA × Σ(V·tiles) should match the overhead increase.
+        let expected: f64 = base
+            .blocks
+            .iter()
+            .map(|b| (59.3 - 1.5) * b.voltage * f64::from(b.tiles))
+            .sum();
+        assert!((leak_delta - expected).abs() / expected < 1e-6);
+    }
+
+    #[test]
+    fn tile_power_sensitivity_is_roughly_linear() {
+        // Section 5.5: total power is roughly linear in U because tile
+        // power dominates.
+        let profile = ApplicationProfile::of(Application::Ddc);
+        let t = tech();
+        let base = evaluate_application(&profile, &t, &EvaluationOptions::default());
+        let doubled = evaluate_application(
+            &profile,
+            &t,
+            &EvaluationOptions {
+                tile_power_mw_per_mhz: Some(0.2),
+                ..EvaluationOptions::default()
+            },
+        );
+        let ratio = doubled.total_mw() / base.total_mw();
+        assert!(ratio > 1.7 && ratio < 2.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn infeasible_allocations_are_flagged_not_dropped() {
+        // Forcing the whole 802.11a Viterbi ACS onto 8 tiles needs over a
+        // gigahertz — beyond the supply envelope.
+        let profile = ApplicationProfile::of(Application::Wifi80211a);
+        let report = evaluate_application(
+            &profile,
+            &tech(),
+            &EvaluationOptions {
+                allocation: Some(vec![2, 1, 8, 1]),
+                ..EvaluationOptions::default()
+            },
+        );
+        let acs = &report.blocks[2];
+        assert!(acs.frequency_mhz > 1000.0);
+        assert!(!acs.within_envelope);
+        assert!(!report.feasible());
+        assert!(acs.voltage > 1.7);
+    }
+
+    #[test]
+    fn area_reporting_uses_whole_columns() {
+        let profile = ApplicationProfile::of(Application::StereoVision);
+        let report = evaluate_application(&profile, &tech(), &EvaluationOptions::default());
+        // 17 tiles round up to 5 columns of 4 tiles.
+        assert!(report.area_mm2() > 5.0 * 4.0 * 1.82 - 1.0);
+    }
+}

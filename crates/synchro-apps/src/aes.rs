@@ -1,0 +1,296 @@
+//! AES-128 — the message-authentication workload the paper composes with
+//! the 802.11a receiver (Table 4, "802.11a + AES").  A complete, from
+//! scratch implementation of the AES-128 block cipher (encryption and
+//! decryption) plus a CBC-MAC construction used as the authentication code.
+
+/// The AES block size in bytes.
+pub const BLOCK_SIZE: usize = 16;
+/// Number of rounds for AES-128.
+pub const ROUNDS: usize = 10;
+
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+];
+
+const RCON: [u8; 11] = [0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+fn inv_sbox() -> [u8; 256] {
+    let mut inv = [0u8; 256];
+    for (i, &s) in SBOX.iter().enumerate() {
+        inv[s as usize] = i as u8;
+    }
+    inv
+}
+
+fn xtime(x: u8) -> u8 {
+    (x << 1) ^ (if x & 0x80 != 0 { 0x1b } else { 0 })
+}
+
+fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    p
+}
+
+/// The expanded key schedule for AES-128: 11 round keys of 16 bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeySchedule {
+    round_keys: [[u8; 16]; ROUNDS + 1],
+}
+
+impl KeySchedule {
+    /// Expand a 128-bit key.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let mut w = [[0u8; 4]; 4 * (ROUNDS + 1)];
+        for i in 0..4 {
+            w[i].copy_from_slice(&key[4 * i..4 * i + 4]);
+        }
+        for i in 4..4 * (ROUNDS + 1) {
+            let mut temp = w[i - 1];
+            if i % 4 == 0 {
+                temp.rotate_left(1);
+                for b in &mut temp {
+                    *b = SBOX[*b as usize];
+                }
+                temp[0] ^= RCON[i / 4];
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; ROUNDS + 1];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+        }
+        KeySchedule { round_keys }
+    }
+
+    /// The round key for round `r` (0 ..= 10).
+    pub fn round_key(&self, r: usize) -> &[u8; 16] {
+        &self.round_keys[r]
+    }
+}
+
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for (s, k) in state.iter_mut().zip(rk) {
+        *s ^= k;
+    }
+}
+
+fn sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+fn inv_sub_bytes(state: &mut [u8; 16], inv: &[u8; 256]) {
+    for b in state.iter_mut() {
+        *b = inv[*b as usize];
+    }
+}
+
+fn shift_rows(state: &mut [u8; 16]) {
+    // State is column-major: byte (row, col) is state[col*4 + row].
+    let s = *state;
+    for row in 1..4 {
+        for col in 0..4 {
+            state[col * 4 + row] = s[((col + row) % 4) * 4 + row];
+        }
+    }
+}
+
+fn inv_shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    for row in 1..4 {
+        for col in 0..4 {
+            state[((col + row) % 4) * 4 + row] = s[col * 4 + row];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for col in 0..4 {
+        let c = &mut state[col * 4..col * 4 + 4];
+        let (a0, a1, a2, a3) = (c[0], c[1], c[2], c[3]);
+        c[0] = gmul(a0, 2) ^ gmul(a1, 3) ^ a2 ^ a3;
+        c[1] = a0 ^ gmul(a1, 2) ^ gmul(a2, 3) ^ a3;
+        c[2] = a0 ^ a1 ^ gmul(a2, 2) ^ gmul(a3, 3);
+        c[3] = gmul(a0, 3) ^ a1 ^ a2 ^ gmul(a3, 2);
+    }
+}
+
+fn inv_mix_columns(state: &mut [u8; 16]) {
+    for col in 0..4 {
+        let c = &mut state[col * 4..col * 4 + 4];
+        let (a0, a1, a2, a3) = (c[0], c[1], c[2], c[3]);
+        c[0] = gmul(a0, 14) ^ gmul(a1, 11) ^ gmul(a2, 13) ^ gmul(a3, 9);
+        c[1] = gmul(a0, 9) ^ gmul(a1, 14) ^ gmul(a2, 11) ^ gmul(a3, 13);
+        c[2] = gmul(a0, 13) ^ gmul(a1, 9) ^ gmul(a2, 14) ^ gmul(a3, 11);
+        c[3] = gmul(a0, 11) ^ gmul(a1, 13) ^ gmul(a2, 9) ^ gmul(a3, 14);
+    }
+}
+
+/// Encrypt one 16-byte block with AES-128.
+pub fn encrypt_block(block: &[u8; 16], keys: &KeySchedule) -> [u8; 16] {
+    let mut state = *block;
+    add_round_key(&mut state, keys.round_key(0));
+    for round in 1..ROUNDS {
+        sub_bytes(&mut state);
+        shift_rows(&mut state);
+        mix_columns(&mut state);
+        add_round_key(&mut state, keys.round_key(round));
+    }
+    sub_bytes(&mut state);
+    shift_rows(&mut state);
+    add_round_key(&mut state, keys.round_key(ROUNDS));
+    state
+}
+
+/// Decrypt one 16-byte block with AES-128.
+pub fn decrypt_block(block: &[u8; 16], keys: &KeySchedule) -> [u8; 16] {
+    let inv = inv_sbox();
+    let mut state = *block;
+    add_round_key(&mut state, keys.round_key(ROUNDS));
+    for round in (1..ROUNDS).rev() {
+        inv_shift_rows(&mut state);
+        inv_sub_bytes(&mut state, &inv);
+        add_round_key(&mut state, keys.round_key(round));
+        inv_mix_columns(&mut state);
+    }
+    inv_shift_rows(&mut state);
+    inv_sub_bytes(&mut state, &inv);
+    add_round_key(&mut state, keys.round_key(0));
+    state
+}
+
+/// CBC-MAC over `message` with zero IV and zero padding of the final block:
+/// the AES-based message authentication code composed with the 802.11a
+/// receiver in the paper's "802.11a + AES" configuration.
+pub fn cbc_mac(message: &[u8], key: &[u8; 16]) -> [u8; 16] {
+    let keys = KeySchedule::new(key);
+    let mut mac = [0u8; 16];
+    for chunk in message.chunks(BLOCK_SIZE) {
+        let mut block = [0u8; 16];
+        block[..chunk.len()].copy_from_slice(chunk);
+        for (m, b) in mac.iter_mut().zip(&block) {
+            *m ^= b;
+        }
+        mac = encrypt_block(&mac, &keys);
+    }
+    mac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// FIPS-197 Appendix B example vector.
+    #[test]
+    fn fips197_appendix_b_vector() {
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let plaintext = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let expected = [
+            0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+            0x0b, 0x32,
+        ];
+        let keys = KeySchedule::new(&key);
+        assert_eq!(encrypt_block(&plaintext, &keys), expected);
+    }
+
+    /// FIPS-197 Appendix C.1 (AES-128) vector.
+    #[test]
+    fn fips197_appendix_c1_vector() {
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let plaintext: [u8; 16] = core::array::from_fn(|i| (i as u8) * 0x11);
+        let expected = [
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+            0xc5, 0x5a,
+        ];
+        let keys = KeySchedule::new(&key);
+        assert_eq!(encrypt_block(&plaintext, &keys), expected);
+        assert_eq!(decrypt_block(&expected, &keys), plaintext);
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip_random_blocks() {
+        let key = [0xA5u8; 16];
+        let keys = KeySchedule::new(&key);
+        for seed in 0u32..32 {
+            let block: [u8; 16] =
+                core::array::from_fn(|i| (seed.wrapping_mul(2654435761).wrapping_add(i as u32 * 97) >> 3) as u8);
+            let ct = encrypt_block(&block, &keys);
+            assert_ne!(ct, block);
+            assert_eq!(decrypt_block(&ct, &keys), block);
+        }
+    }
+
+    #[test]
+    fn key_schedule_first_and_last_words_match_fips() {
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let ks = KeySchedule::new(&key);
+        assert_eq!(ks.round_key(0), &key);
+        // w[43] of the FIPS-197 key expansion example is b6 63 0c a6.
+        let last = ks.round_key(10);
+        assert_eq!(&last[12..], &[0xb6, 0x63, 0x0c, 0xa6]);
+    }
+
+    #[test]
+    fn cbc_mac_detects_any_single_byte_change() {
+        let key = [0x13u8; 16];
+        let message: Vec<u8> = (0..100).map(|i| (i * 7) as u8).collect();
+        let mac = cbc_mac(&message, &key);
+        for idx in [0usize, 17, 50, 99] {
+            let mut tampered = message.clone();
+            tampered[idx] ^= 0x80;
+            assert_ne!(cbc_mac(&tampered, &key), mac, "tamper at {idx} undetected");
+        }
+        assert_eq!(cbc_mac(&message, &key), mac, "MAC must be deterministic");
+    }
+
+    #[test]
+    fn cbc_mac_depends_on_the_key() {
+        let message = b"Synchroscalar 802.11a + AES composition";
+        let mac1 = cbc_mac(message, &[1u8; 16]);
+        let mac2 = cbc_mac(message, &[2u8; 16]);
+        assert_ne!(mac1, mac2);
+    }
+
+    #[test]
+    fn gf_multiplication_basics() {
+        assert_eq!(gmul(0x57, 0x02), 0xae);
+        assert_eq!(gmul(0x57, 0x13), 0xfe);
+        assert_eq!(gmul(1, 0xca), 0xca);
+    }
+}

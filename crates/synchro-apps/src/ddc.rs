@@ -1,0 +1,410 @@
+//! Digital Down Conversion (DDC) — the GSM-grade 64 MS/s receiver chain of
+//! Section 3: a numerically controlled oscillator (NCO), a digital mixer, a
+//! cascaded-integrator-comb (CIC) decimation filter, a 21-tap compensating
+//! FIR (CFIR) and a 63-tap programmable FIR (PFIR).
+//!
+//! Everything is 16/32-bit fixed point, as a Blackfin-class tile would run
+//! it.  Phase is a 32-bit accumulator; sine values are Q15.
+
+/// Number of fractional bits in the Q15 sine table / coefficients.
+pub const Q15: i32 = 15;
+
+/// A numerically controlled oscillator producing Q15 sine/cosine pairs from
+/// a 32-bit phase accumulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Nco {
+    phase: u32,
+    step: u32,
+    table: Vec<i16>,
+}
+
+impl Nco {
+    /// Table length (quarter-wave symmetric full table).
+    pub const TABLE_LEN: usize = 1024;
+
+    /// Create an NCO whose output frequency is `frequency_hz` at a sample
+    /// rate of `sample_rate_hz`.
+    pub fn new(frequency_hz: f64, sample_rate_hz: f64) -> Self {
+        let step = ((frequency_hz / sample_rate_hz) * 2f64.powi(32)).round() as i64 as u32;
+        let table = (0..Self::TABLE_LEN)
+            .map(|i| {
+                let angle = 2.0 * std::f64::consts::PI * i as f64 / Self::TABLE_LEN as f64;
+                (angle.sin() * f64::from((1 << Q15) - 1)).round() as i16
+            })
+            .collect();
+        Nco {
+            phase: 0,
+            step,
+            table,
+        }
+    }
+
+    /// Advance one sample and return `(sin, cos)` in Q15.
+    pub fn next_sample(&mut self) -> (i16, i16) {
+        let index = (self.phase >> 22) as usize; // top 10 bits index the table
+        let sin = self.table[index];
+        let cos = self.table[(index + Self::TABLE_LEN / 4) % Self::TABLE_LEN];
+        self.phase = self.phase.wrapping_add(self.step);
+        (sin, cos)
+    }
+
+    /// The current phase accumulator value (for tests).
+    pub fn phase(&self) -> u32 {
+        self.phase
+    }
+}
+
+/// Multiply an input sample by the NCO outputs, producing the in-phase and
+/// quadrature baseband components (Q15 × Q15 → Q15 with rounding).
+pub fn mix(sample: i16, sin: i16, cos: i16) -> (i16, i16) {
+    let i = (i32::from(sample) * i32::from(cos) + (1 << (Q15 - 1))) >> Q15;
+    let q = (i32::from(sample) * i32::from(sin) + (1 << (Q15 - 1))) >> Q15;
+    (i as i16, q as i16)
+}
+
+/// A cascaded-integrator-comb decimation filter with `stages` stages and a
+/// decimation ratio of `decimation`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CicFilter {
+    stages: usize,
+    decimation: usize,
+    integrators: Vec<i64>,
+    combs: Vec<i64>,
+    sample_count: usize,
+}
+
+impl CicFilter {
+    /// Build a CIC filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` or `decimation` is zero.
+    pub fn new(stages: usize, decimation: usize) -> Self {
+        assert!(stages > 0, "CIC needs at least one stage");
+        assert!(decimation > 0, "decimation ratio must be positive");
+        CicFilter {
+            stages,
+            decimation,
+            integrators: vec![0; stages],
+            combs: vec![0; stages],
+            sample_count: 0,
+        }
+    }
+
+    /// The DC gain of the filter (`decimation ^ stages`), needed to scale
+    /// outputs back to the input range.
+    pub fn gain(&self) -> i64 {
+        (self.decimation as i64).pow(self.stages as u32)
+    }
+
+    /// Push one input sample; returns `Some(output)` every `decimation`
+    /// samples.
+    pub fn push(&mut self, sample: i32) -> Option<i64> {
+        // Integrator cascade at the input rate.
+        let mut acc = i64::from(sample);
+        for stage in &mut self.integrators {
+            *stage = stage.wrapping_add(acc);
+            acc = *stage;
+        }
+        self.sample_count += 1;
+        if self.sample_count % self.decimation != 0 {
+            return None;
+        }
+        // Comb cascade at the decimated rate.
+        let mut value = acc;
+        for prev in &mut self.combs {
+            let out = value - *prev;
+            *prev = value;
+            value = out;
+        }
+        Some(value)
+    }
+
+    /// Filter a whole block, returning the decimated output scaled by the
+    /// filter gain back to roughly the input amplitude.
+    pub fn filter_block(&mut self, samples: &[i32]) -> Vec<i32> {
+        let gain = self.gain();
+        samples
+            .iter()
+            .filter_map(|&s| self.push(s))
+            .map(|v| (v / gain) as i32)
+            .collect()
+    }
+}
+
+/// A direct-form FIR filter with Q15 coefficients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FirFilter {
+    coefficients: Vec<i16>,
+    delay_line: Vec<i32>,
+    position: usize,
+}
+
+impl FirFilter {
+    /// Build a filter from Q15 coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coefficients` is empty.
+    pub fn new(coefficients: Vec<i16>) -> Self {
+        assert!(!coefficients.is_empty(), "FIR needs at least one tap");
+        let taps = coefficients.len();
+        FirFilter {
+            coefficients,
+            delay_line: vec![0; taps],
+            position: 0,
+        }
+    }
+
+    /// The paper's 21-tap compensating FIR (CFIR): a symmetric low-pass
+    /// that flattens the CIC droop.  Coefficients are a raised-cosine
+    /// window in Q15.
+    pub fn cfir() -> Self {
+        Self::new(windowed_lowpass(21, 0.25))
+    }
+
+    /// The paper's 63-tap programmable FIR (PFIR): the final channel
+    /// shaping filter.
+    pub fn pfir() -> Self {
+        Self::new(windowed_lowpass(63, 0.125))
+    }
+
+    /// Number of taps.
+    pub fn taps(&self) -> usize {
+        self.coefficients.len()
+    }
+
+    /// Push one sample and produce one output (Q15 coefficient scaling).
+    pub fn push(&mut self, sample: i32) -> i32 {
+        self.delay_line[self.position] = sample;
+        let taps = self.coefficients.len();
+        let mut acc: i64 = 0;
+        for k in 0..taps {
+            let idx = (self.position + taps - k) % taps;
+            acc += i64::from(self.delay_line[idx]) * i64::from(self.coefficients[k]);
+        }
+        self.position = (self.position + 1) % taps;
+        (acc >> Q15) as i32
+    }
+
+    /// Filter a whole block.
+    pub fn filter_block(&mut self, samples: &[i32]) -> Vec<i32> {
+        samples.iter().map(|&s| self.push(s)).collect()
+    }
+}
+
+/// Windowed-sinc low-pass coefficients in Q15 (Hamming window), normalised
+/// to unity DC gain.
+fn windowed_lowpass(taps: usize, cutoff: f64) -> Vec<i16> {
+    let m = (taps - 1) as f64;
+    let mut coeffs: Vec<f64> = (0..taps)
+        .map(|n| {
+            let x = n as f64 - m / 2.0;
+            let sinc = if x.abs() < 1e-12 {
+                2.0 * cutoff
+            } else {
+                (2.0 * std::f64::consts::PI * cutoff * x).sin() / (std::f64::consts::PI * x)
+            };
+            let window = 0.54 - 0.46 * (2.0 * std::f64::consts::PI * n as f64 / m).cos();
+            sinc * window
+        })
+        .collect();
+    let sum: f64 = coeffs.iter().sum();
+    for c in &mut coeffs {
+        *c /= sum;
+    }
+    coeffs
+        .into_iter()
+        .map(|c| (c * f64::from(1 << Q15)).round() as i16)
+        .collect()
+}
+
+/// The full DDC chain at the paper's configuration: mixer → 4-stage CIC
+/// (decimate by 16) → CFIR → PFIR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DdcChain {
+    nco: Nco,
+    cic_i: CicFilter,
+    cic_q: CicFilter,
+    cfir_i: FirFilter,
+    cfir_q: FirFilter,
+    pfir_i: FirFilter,
+    pfir_q: FirFilter,
+}
+
+/// One complex baseband output sample of the DDC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IqSample {
+    /// In-phase component.
+    pub i: i32,
+    /// Quadrature component.
+    pub q: i32,
+}
+
+impl DdcChain {
+    /// Build the chain for a tuner frequency of `carrier_hz` at the 64 MS/s
+    /// input rate.
+    pub fn new(carrier_hz: f64) -> Self {
+        DdcChain {
+            nco: Nco::new(carrier_hz, 64e6),
+            cic_i: CicFilter::new(4, 16),
+            cic_q: CicFilter::new(4, 16),
+            cfir_i: FirFilter::cfir(),
+            cfir_q: FirFilter::cfir(),
+            pfir_i: FirFilter::pfir(),
+            pfir_q: FirFilter::pfir(),
+        }
+    }
+
+    /// Process a block of ADC samples, producing decimated baseband I/Q.
+    pub fn process(&mut self, samples: &[i16]) -> Vec<IqSample> {
+        let gain_i = self.cic_i.gain();
+        let gain_q = self.cic_q.gain();
+        let mut out = Vec::new();
+        for &s in samples {
+            let (sin, cos) = self.nco.next_sample();
+            let (i, q) = mix(s, sin, cos);
+            let ci = self.cic_i.push(i32::from(i)).map(|v| (v / gain_i) as i32);
+            let cq = self.cic_q.push(i32::from(q)).map(|v| (v / gain_q) as i32);
+            if let (Some(ci), Some(cq)) = (ci, cq) {
+                let fi = self.cfir_i.push(ci);
+                let fq = self.cfir_q.push(cq);
+                out.push(IqSample {
+                    i: self.pfir_i.push(fi),
+                    q: self.pfir_q.push(fq),
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nco_produces_a_clean_tone() {
+        let mut nco = Nco::new(1e6, 64e6);
+        // Over one full period (64 samples) the sine should average to ~0
+        // and reach close to full scale.
+        let samples: Vec<i16> = (0..64).map(|_| nco.next_sample().0).collect();
+        let max = samples.iter().copied().max().unwrap();
+        let mean: f64 = samples.iter().map(|&s| f64::from(s)).sum::<f64>() / 64.0;
+        assert!(max > 30000, "peak {max} should be near full scale");
+        assert!(mean.abs() < 600.0, "mean {mean} should be near zero");
+    }
+
+    #[test]
+    fn nco_phase_wraps() {
+        let mut nco = Nco::new(32e6, 64e6); // half the sample rate
+        let p0 = nco.phase();
+        nco.next_sample();
+        nco.next_sample();
+        // Two steps of half the sample rate wrap the 32-bit phase once.
+        assert_eq!(nco.phase(), p0);
+    }
+
+    #[test]
+    fn mixer_with_dc_carrier_passes_signal_through() {
+        // cos = full scale, sin = 0: I ≈ sample, Q ≈ 0.
+        let (i, q) = mix(1234, 0, i16::MAX);
+        assert!((i32::from(i) - 1233).abs() <= 1);
+        assert_eq!(q, 0);
+    }
+
+    #[test]
+    fn mixer_shifts_a_tone_to_baseband() {
+        // A 5 MHz tone mixed with a 5 MHz NCO should produce a strong DC
+        // (baseband) component in I.
+        let mut nco = Nco::new(5e6, 64e6);
+        let n = 4096;
+        let mut dc: i64 = 0;
+        for k in 0..n {
+            let tone = ((2.0 * std::f64::consts::PI * 5e6 * k as f64 / 64e6).cos() * 20000.0) as i16;
+            let (sin, cos) = nco.next_sample();
+            let (i, _q) = mix(tone, sin, cos);
+            dc += i64::from(i);
+        }
+        let mean = dc as f64 / n as f64;
+        assert!(mean > 5000.0, "baseband DC component {mean} too small");
+    }
+
+    #[test]
+    fn cic_gain_and_dc_response() {
+        // A constant input through a CIC comes out (after gain removal) as
+        // the same constant.
+        let mut cic = CicFilter::new(4, 16);
+        assert_eq!(cic.gain(), 16i64.pow(4));
+        let input = vec![1000i32; 16 * 20];
+        let out = cic.filter_block(&input);
+        assert_eq!(out.len(), 20);
+        // Skip the filter's settling transient (stages × decimation).
+        assert!(out[8..].iter().all(|&v| (v - 1000).abs() <= 1), "{out:?}");
+    }
+
+    #[test]
+    fn cic_decimates_by_the_configured_ratio() {
+        let mut cic = CicFilter::new(2, 8);
+        let out = cic.filter_block(&vec![1; 80]);
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "decimation ratio")]
+    fn cic_rejects_zero_decimation() {
+        let _ = CicFilter::new(2, 0);
+    }
+
+    #[test]
+    fn fir_dc_gain_is_unity() {
+        let mut f = FirFilter::cfir();
+        assert_eq!(f.taps(), 21);
+        let out = f.filter_block(&vec![10000; 100]);
+        // After the filter fills, a DC input passes at unity gain (±1%).
+        let settled = out[40];
+        assert!((settled - 10000).abs() < 120, "settled value {settled}");
+    }
+
+    #[test]
+    fn pfir_attenuates_high_frequencies() {
+        let mut f = FirFilter::pfir();
+        assert_eq!(f.taps(), 63);
+        // Nyquist-rate alternating input should be strongly attenuated.
+        let input: Vec<i32> = (0..256).map(|k| if k % 2 == 0 { 10000 } else { -10000 }).collect();
+        let out = f.filter_block(&input);
+        let tail_max = out[128..].iter().map(|v| v.abs()).max().unwrap();
+        assert!(tail_max < 600, "high-frequency leakage {tail_max}");
+    }
+
+    #[test]
+    fn fir_impulse_response_equals_coefficients() {
+        let coeffs: Vec<i16> = vec![1 << (Q15 - 1), 1 << (Q15 - 2), 1 << (Q15 - 3)]
+            .into_iter()
+            .map(|c: i32| c as i16)
+            .collect();
+        let mut f = FirFilter::new(coeffs);
+        let mut impulse = vec![0i32; 5];
+        impulse[0] = 1 << Q15;
+        let out = f.filter_block(&impulse);
+        assert_eq!(out[0], 1 << (Q15 - 1));
+        assert_eq!(out[1], 1 << (Q15 - 2));
+        assert_eq!(out[2], 1 << (Q15 - 3));
+        assert_eq!(out[3], 0);
+    }
+
+    #[test]
+    fn full_chain_produces_decimated_output() {
+        let mut ddc = DdcChain::new(8e6);
+        // 64 × 16 input samples → 64 output samples (16× decimation).
+        let input: Vec<i16> = (0..1024)
+            .map(|k| ((2.0 * std::f64::consts::PI * 8e6 * k as f64 / 64e6).cos() * 8000.0) as i16)
+            .collect();
+        let out = ddc.process(&input);
+        assert_eq!(out.len(), 64);
+        // The tone sits exactly at the carrier, so baseband I should carry
+        // significant energy once the filters settle.
+        let energy: i64 = out[32..].iter().map(|s| i64::from(s.i).abs()).sum();
+        assert!(energy > 0, "chain produced no baseband energy");
+    }
+}

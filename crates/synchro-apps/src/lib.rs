@@ -1,0 +1,38 @@
+//! The Synchroscalar application suite (Section 3 of the paper).
+//!
+//! The paper drives its evaluation with four signal-processing
+//! applications, each too demanding for the DSPs of the time, plus an
+//! AES-based message-authentication code composed with the 802.11a
+//! receiver:
+//!
+//! * **Digital Down Conversion (DDC)** — NCO, digital mixer, CIC filter,
+//!   compensating 21-tap FIR (CFIR) and 63-tap FIR (PFIR) at 64 MS/s
+//!   ([`ddc`]),
+//! * **Stereo Vision (SV)** — Tomasi–Kanade point-feature extraction and
+//!   SVD-based feature correlation at 10 frames/s over 256×256 frames
+//!   ([`stereo`]),
+//! * **802.11a receiver** — 64-point FFT, demodulation, de-interleaving and
+//!   a K=7 Viterbi decoder at 54 Mbps ([`wifi`]),
+//! * **MPEG-4 encoding** — motion estimation, DCT, quantisation and the
+//!   reconstruction path at QCIF/CIF 30 frames/s ([`mpeg4`]),
+//! * **AES-128** — the message-authentication workload composed with
+//!   802.11a ([`aes`]).
+//!
+//! Every module contains a *golden* functional implementation (used by the
+//! tests, the examples and the workload generators) and [`profiles`] carries
+//! the Synchroscalar mapping of every algorithm (tiles, per-sample work,
+//! communication) from which the evaluation's frequencies, voltages and
+//! power are derived.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod ddc;
+pub mod mpeg4;
+pub mod profiles;
+pub mod stereo;
+pub mod wifi;
+pub mod workloads;
+
+pub use profiles::{AlgorithmProfile, Application, ApplicationProfile};

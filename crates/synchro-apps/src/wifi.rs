@@ -1,0 +1,546 @@
+//! The 802.11a OFDM receiver (Section 3): 64-point FFT, demodulation,
+//! de-interleaving and a K=7 Viterbi decoder, the end-to-end 54 Mbps
+//! workload whose Viterbi add-compare-select stage dominates the paper's
+//! power budget (Table 4, Figure 8).
+//!
+//! The implementations here are the *golden* functional kernels: a fixed
+//! point radix-2 FFT, BPSK/QPSK/16-QAM demappers, the standard 802.11a
+//! block de-interleaver, and a full K=7 (64-state) Viterbi decoder with a
+//! matching convolutional encoder for test and workload generation.
+
+/// A complex sample in Q15 fixed point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: i32,
+    /// Imaginary part.
+    pub im: i32,
+}
+
+impl Complex {
+    /// Construct a complex value.
+    pub fn new(re: i32, im: i32) -> Self {
+        Complex { re, im }
+    }
+}
+
+/// Number of sub-carriers in an 802.11a OFDM symbol.
+pub const FFT_SIZE: usize = 64;
+
+/// In-place radix-2 decimation-in-time FFT over `Q15` complex samples.
+/// The length must be a power of two.  Scaling by 1/2 per stage keeps the
+/// fixed-point result in range (total scaling 1/N).
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+pub fn fft(data: &mut [Complex]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    // Butterfly stages with per-stage 1/2 scaling.
+    let mut len = 2;
+    while len <= n {
+        let half = len / 2;
+        for start in (0..n).step_by(len) {
+            for k in 0..half {
+                let angle = -2.0 * std::f64::consts::PI * k as f64 / len as f64;
+                let wr = (angle.cos() * 32767.0) as i64;
+                let wi = (angle.sin() * 32767.0) as i64;
+                let a = data[start + k];
+                let b = data[start + k + half];
+                let tr = (i64::from(b.re) * wr - i64::from(b.im) * wi) >> 15;
+                let ti = (i64::from(b.re) * wi + i64::from(b.im) * wr) >> 15;
+                data[start + k] = Complex::new(
+                    ((i64::from(a.re) + tr) >> 1) as i32,
+                    ((i64::from(a.im) + ti) >> 1) as i32,
+                );
+                data[start + k + half] = Complex::new(
+                    ((i64::from(a.re) - tr) >> 1) as i32,
+                    ((i64::from(a.im) - ti) >> 1) as i32,
+                );
+            }
+        }
+        len *= 2;
+    }
+}
+
+/// Inverse FFT (no scaling beyond the forward transform's 1/N), used for
+/// workload generation and round-trip tests.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+pub fn ifft(data: &mut [Complex]) {
+    for c in data.iter_mut() {
+        c.im = -c.im;
+    }
+    fft(data);
+    let n = data.len() as i64;
+    for c in data.iter_mut() {
+        c.re = (i64::from(c.re) * n) as i32;
+        c.im = (-(i64::from(c.im)) * n) as i32;
+    }
+}
+
+/// 802.11a modulation orders supported by the demapper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Modulation {
+    /// 1 bit per sub-carrier (6/9 Mbps rates).
+    Bpsk,
+    /// 2 bits per sub-carrier (12/18 Mbps rates).
+    Qpsk,
+    /// 4 bits per sub-carrier (24/36 Mbps rates).
+    Qam16,
+    /// 6 bits per sub-carrier (48/54 Mbps rates).
+    Qam64,
+}
+
+impl Modulation {
+    /// Coded bits carried per sub-carrier.
+    pub fn bits_per_symbol(self) -> usize {
+        match self {
+            Modulation::Bpsk => 1,
+            Modulation::Qpsk => 2,
+            Modulation::Qam16 => 4,
+            Modulation::Qam64 => 6,
+        }
+    }
+}
+
+/// Map bits to a constellation point (unit amplitude ≈ 8192 in Q15/4).
+pub fn modulate(bits: &[u8], modulation: Modulation) -> Complex {
+    const A: i32 = 8192;
+    match modulation {
+        Modulation::Bpsk => Complex::new(if bits[0] == 1 { A } else { -A }, 0),
+        Modulation::Qpsk => Complex::new(
+            if bits[0] == 1 { A } else { -A },
+            if bits[1] == 1 { A } else { -A },
+        ),
+        Modulation::Qam16 => {
+            let level = |b0: u8, b1: u8| match (b0, b1) {
+                (0, 0) => -3,
+                (0, 1) => -1,
+                (1, 1) => 1,
+                _ => 3,
+            };
+            Complex::new(level(bits[0], bits[1]) * A / 3, level(bits[2], bits[3]) * A / 3)
+        }
+        Modulation::Qam64 => {
+            let level = |b0: u8, b1: u8, b2: u8| {
+                let g = (b0 << 2) | (b1 << 1) | b2;
+                // Gray-coded 8-level axis.
+                [-7i32, -5, -1, -3, 7, 5, 1, 3][g as usize]
+            };
+            Complex::new(
+                level(bits[0], bits[1], bits[2]) * A / 7,
+                level(bits[3], bits[4], bits[5]) * A / 7,
+            )
+        }
+    }
+}
+
+/// Hard-decision demap of one equalised sub-carrier back to coded bits.
+pub fn demodulate(symbol: Complex, modulation: Modulation) -> Vec<u8> {
+    const A: i32 = 8192;
+    match modulation {
+        Modulation::Bpsk => vec![u8::from(symbol.re > 0)],
+        Modulation::Qpsk => vec![u8::from(symbol.re > 0), u8::from(symbol.im > 0)],
+        Modulation::Qam16 => {
+            let axis = |v: i32| {
+                let t = A * 2 / 3;
+                if v < -t {
+                    (0, 0)
+                } else if v < 0 {
+                    (0, 1)
+                } else if v < t {
+                    (1, 1)
+                } else {
+                    (1, 0)
+                }
+            };
+            let (b0, b1) = axis(symbol.re);
+            let (b2, b3) = axis(symbol.im);
+            vec![b0, b1, b2, b3]
+        }
+        Modulation::Qam64 => {
+            let axis = |v: i32| -> [u8; 3] {
+                let step = A / 7;
+                let levels = [-7i32, -5, -1, -3, 7, 5, 1, 3];
+                let codes = [0b000u8, 0b001, 0b010, 0b011, 0b100, 0b101, 0b110, 0b111];
+                let mut best = 0usize;
+                let mut best_d = i64::MAX;
+                for (i, &l) in levels.iter().enumerate() {
+                    let d = i64::from(v - l * step).pow(2);
+                    if d < best_d {
+                        best_d = d;
+                        best = i;
+                    }
+                }
+                let g = codes[best];
+                [(g >> 2) & 1, (g >> 1) & 1, g & 1]
+            };
+            let re = axis(symbol.re);
+            let im = axis(symbol.im);
+            vec![re[0], re[1], re[2], im[0], im[1], im[2]]
+        }
+    }
+}
+
+/// The 802.11a block interleaver for one OFDM symbol of `n_cbps` coded bits
+/// (first permutation only differs per modulation through `n_cbps`).
+pub fn interleave(bits: &[u8]) -> Vec<u8> {
+    let n = bits.len();
+    assert!(n % 16 == 0, "coded bits per symbol must be a multiple of 16");
+    let mut out = vec![0u8; n];
+    for k in 0..n {
+        // i = (N/16)(k mod 16) + floor(k/16)
+        let i = (n / 16) * (k % 16) + k / 16;
+        out[i] = bits[k];
+    }
+    out
+}
+
+/// The matching de-interleaver.
+pub fn deinterleave(bits: &[u8]) -> Vec<u8> {
+    let n = bits.len();
+    assert!(n % 16 == 0, "coded bits per symbol must be a multiple of 16");
+    let mut out = vec![0u8; n];
+    for i in 0..n {
+        let k = 16 * (i % (n / 16)) + i / (n / 16);
+        out[k] = bits[i];
+    }
+    out
+}
+
+/// Constraint length of the 802.11a convolutional code.
+pub const CONSTRAINT_LENGTH: usize = 7;
+/// Number of trellis states (2^(K-1)).
+pub const NUM_STATES: usize = 1 << (CONSTRAINT_LENGTH - 1);
+const POLY_A: u32 = 0o133;
+const POLY_B: u32 = 0o171;
+
+/// Rate-1/2, K=7 convolutional encoder (generators 133/171 octal), the code
+/// every 802.11a rate uses before puncturing.
+pub fn convolutional_encode(bits: &[u8]) -> Vec<u8> {
+    let mut state: u32 = 0;
+    let mut out = Vec::with_capacity(bits.len() * 2);
+    for &b in bits {
+        state = ((state << 1) | u32::from(b & 1)) & 0x7F;
+        out.push(((state & POLY_A).count_ones() & 1) as u8);
+        out.push(((state & POLY_B).count_ones() & 1) as u8);
+    }
+    out
+}
+
+/// The K=7 Viterbi decoder: hard-decision add-compare-select over 64 states
+/// plus register-exchange-free traceback.
+#[derive(Debug, Clone)]
+pub struct ViterbiDecoder {
+    /// Path metrics per state.
+    metrics: Vec<u32>,
+    /// Survivor decisions per trellis step (bit per state).
+    survivors: Vec<[u8; NUM_STATES]>,
+}
+
+impl ViterbiDecoder {
+    /// A fresh decoder assuming the encoder starts in state 0.
+    pub fn new() -> Self {
+        let mut metrics = vec![u32::MAX / 2; NUM_STATES];
+        metrics[0] = 0;
+        ViterbiDecoder {
+            metrics,
+            survivors: Vec::new(),
+        }
+    }
+
+    fn branch_output(state: usize, bit: u8) -> (u8, u8) {
+        let reg = (((state as u32) << 1) | u32::from(bit)) & 0x7F;
+        (
+            ((reg & POLY_A).count_ones() & 1) as u8,
+            ((reg & POLY_B).count_ones() & 1) as u8,
+        )
+    }
+
+    /// Run one add-compare-select step for a received coded bit pair.
+    pub fn acs_step(&mut self, received: (u8, u8)) {
+        let mut next = vec![u32::MAX / 2; NUM_STATES];
+        let mut decisions = [0u8; NUM_STATES];
+        for state in 0..NUM_STATES {
+            let metric = self.metrics[state];
+            if metric >= u32::MAX / 2 {
+                continue;
+            }
+            for bit in 0u8..2 {
+                let (a, b) = Self::branch_output(state, bit);
+                let cost =
+                    u32::from(a ^ received.0) + u32::from(b ^ received.1);
+                let next_state = ((state << 1) | usize::from(bit)) & (NUM_STATES - 1);
+                let candidate = metric + cost;
+                if candidate < next[next_state] {
+                    next[next_state] = candidate;
+                    decisions[next_state] = (state >> (CONSTRAINT_LENGTH - 2)) as u8 & 1;
+                }
+            }
+        }
+        // Track the predecessor's top bit so traceback can reconstruct the
+        // state sequence; store full predecessor state instead for clarity.
+        let mut predecessors = [0u8; NUM_STATES];
+        for (s, d) in decisions.iter().enumerate() {
+            predecessors[s] = *d;
+        }
+        self.survivors.push(predecessors);
+        self.metrics = next;
+    }
+
+    /// Decode a sequence of received coded bits (pairs), returning the most
+    /// likely information bits.
+    pub fn decode(coded: &[u8]) -> Vec<u8> {
+        let mut dec = ViterbiDecoder::new();
+        for pair in coded.chunks_exact(2) {
+            dec.acs_step((pair[0], pair[1]));
+        }
+        dec.traceback()
+    }
+
+    /// Traceback from the best end state, reconstructing the input bits.
+    pub fn traceback(&self) -> Vec<u8> {
+        let steps = self.survivors.len();
+        if steps == 0 {
+            return Vec::new();
+        }
+        // Best final state.
+        let mut state = self
+            .metrics
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &m)| m)
+            .map(|(s, _)| s)
+            .unwrap_or(0);
+        let mut bits = vec![0u8; steps];
+        for t in (0..steps).rev() {
+            // The input bit that led into `state` is its LSB.
+            bits[t] = (state & 1) as u8;
+            let msb_of_predecessor = self.survivors[t][state];
+            state = (state >> 1) | (usize::from(msb_of_predecessor) << (CONSTRAINT_LENGTH - 2));
+        }
+        bits
+    }
+
+    /// The best (smallest) path metric, i.e. the number of corrected coded
+    /// bit errors along the surviving path.
+    pub fn best_metric(&self) -> u32 {
+        *self.metrics.iter().min().unwrap_or(&0)
+    }
+}
+
+impl Default for ViterbiDecoder {
+    fn default() -> Self {
+        ViterbiDecoder::new()
+    }
+}
+
+/// End-to-end helper: encode, interleave, modulate onto OFDM sub-carriers,
+/// pass through an ideal channel, then FFT/demap/de-interleave/decode.
+/// Returns the recovered information bits — used by integration tests and
+/// the workload generators.
+pub fn loopback_54mbps(info_bits: &[u8]) -> Vec<u8> {
+    let coded = convolutional_encode(info_bits);
+    // Pad to a whole number of 48-carrier × 6-bit symbols (288 bits).
+    let n_cbps = 288;
+    let mut padded = coded.clone();
+    while padded.len() % n_cbps != 0 {
+        padded.push(0);
+    }
+    let mut recovered_coded = Vec::with_capacity(padded.len());
+    for symbol_bits in padded.chunks(n_cbps) {
+        let interleaved = interleave(symbol_bits);
+        // Map 48 data carriers (64-QAM); remaining carriers are pilots/nulls.
+        let mut carriers = [Complex::default(); FFT_SIZE];
+        for (c, bits) in interleaved.chunks(6).enumerate() {
+            carriers[c] = modulate(bits, Modulation::Qam64);
+        }
+        // Ideal channel: transmit IFFT, receive FFT.
+        let mut time = carriers;
+        ifft(&mut time);
+        let mut received = time;
+        fft(&mut received);
+        let mut symbol_coded = Vec::with_capacity(n_cbps);
+        for carrier in received.iter().take(48) {
+            symbol_coded.extend(demodulate(*carrier, Modulation::Qam64));
+        }
+        recovered_coded.extend(deinterleave(&symbol_coded));
+    }
+    recovered_coded.truncate(coded.len());
+    ViterbiDecoder::decode(&recovered_coded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![Complex::default(); 64];
+        data[0] = Complex::new(32767, 0);
+        fft(&mut data);
+        // Impulse → constant spectrum (32767/64 per bin after 1/N scaling).
+        for c in &data {
+            assert!((c.re - 511).abs() <= 2, "bin re {}", c.re);
+            assert!(c.im.abs() <= 2);
+        }
+    }
+
+    #[test]
+    fn fft_resolves_a_single_tone() {
+        let n = 64;
+        let mut data: Vec<Complex> = (0..n)
+            .map(|k| {
+                let angle = 2.0 * std::f64::consts::PI * 5.0 * k as f64 / n as f64;
+                Complex::new((angle.cos() * 16000.0) as i32, (angle.sin() * 16000.0) as i32)
+            })
+            .collect();
+        fft(&mut data);
+        let magnitudes: Vec<i64> = data
+            .iter()
+            .map(|c| i64::from(c.re).pow(2) + i64::from(c.im).pow(2))
+            .collect();
+        let peak = magnitudes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &m)| m)
+            .unwrap()
+            .0;
+        assert_eq!(peak, 5, "tone should land in bin 5");
+    }
+
+    #[test]
+    fn fft_ifft_roundtrip_preserves_signal() {
+        let original: Vec<Complex> = (0..64)
+            .map(|k| {
+                Complex::new(
+                    ((k as i32 * 131) % 4096 - 2048) * 8,
+                    ((k as i32 * 71) % 4096 - 2048) * 8,
+                )
+            })
+            .collect();
+        let mut data = original.clone();
+        fft(&mut data);
+        ifft(&mut data);
+        // The forward transform's per-stage truncation costs a few LSBs per
+        // stage, amplified back by N on the inverse: allow ~2 % of full
+        // scale.
+        for (a, b) in original.iter().zip(&data) {
+            assert!((a.re - b.re).abs() <= 400, "re {} vs {}", a.re, b.re);
+            assert!((a.im - b.im).abs() <= 400, "im {} vs {}", a.im, b.im);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_power_of_two() {
+        let mut data = vec![Complex::default(); 48];
+        fft(&mut data);
+    }
+
+    #[test]
+    fn modulation_demodulation_roundtrip_all_orders() {
+        for modulation in [
+            Modulation::Bpsk,
+            Modulation::Qpsk,
+            Modulation::Qam16,
+            Modulation::Qam64,
+        ] {
+            let bps = modulation.bits_per_symbol();
+            // Exhaustively test every bit pattern for this order.
+            for pattern in 0..(1u32 << bps) {
+                let bits: Vec<u8> = (0..bps).map(|i| ((pattern >> (bps - 1 - i)) & 1) as u8).collect();
+                let symbol = modulate(&bits, modulation);
+                let back = demodulate(symbol, modulation);
+                assert_eq!(back, bits, "{modulation:?} pattern {pattern:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn interleaver_roundtrip_and_spreading() {
+        let n = 288;
+        let bits: Vec<u8> = (0..n).map(|i| ((i * 7 + 3) % 2) as u8).collect();
+        let interleaved = interleave(&bits);
+        assert_ne!(interleaved, bits, "interleaver must permute");
+        assert_eq!(deinterleave(&interleaved), bits);
+        // Adjacent coded bits must be spread at least N/16 apart.
+        let pos_of = |k: usize| (n / 16) * (k % 16) + k / 16;
+        let distance = (pos_of(1) as i64 - pos_of(0) as i64).unsigned_abs() as usize;
+        assert!(distance >= n / 16);
+    }
+
+    #[test]
+    fn convolutional_encoder_matches_known_vector() {
+        // All-zero input stays all-zero (linear code).
+        assert_eq!(convolutional_encode(&[0, 0, 0, 0]), vec![0; 8]);
+        // A single 1 produces the generator impulse response 11 01 11 ...
+        let out = convolutional_encode(&[1, 0, 0]);
+        assert_eq!(out[0..2], [1, 1]);
+        assert_eq!(out.len(), 6);
+    }
+
+    #[test]
+    fn viterbi_decodes_a_clean_stream() {
+        let info: Vec<u8> = (0..200).map(|i| ((i * 37 + 11) % 2) as u8).collect();
+        let coded = convolutional_encode(&info);
+        let decoded = ViterbiDecoder::decode(&coded);
+        assert_eq!(decoded, info);
+    }
+
+    #[test]
+    fn viterbi_corrects_scattered_bit_errors() {
+        let info: Vec<u8> = (0..120).map(|i| ((i * 13 + 5) % 2) as u8).collect();
+        let mut coded = convolutional_encode(&info);
+        // Flip isolated coded bits well separated (> constraint length).
+        for idx in [10usize, 60, 130, 200] {
+            coded[idx] ^= 1;
+        }
+        let decoded = ViterbiDecoder::decode(&coded);
+        assert_eq!(decoded, info, "K=7 code corrects isolated errors");
+    }
+
+    #[test]
+    fn viterbi_best_metric_counts_channel_errors() {
+        let info: Vec<u8> = (0..64).map(|i| (i % 2) as u8).collect();
+        let mut coded = convolutional_encode(&info);
+        coded[20] ^= 1;
+        coded[81] ^= 1;
+        let mut dec = ViterbiDecoder::new();
+        for pair in coded.chunks_exact(2) {
+            dec.acs_step((pair[0], pair[1]));
+        }
+        assert_eq!(dec.best_metric(), 2);
+    }
+
+    #[test]
+    fn full_receiver_loopback_recovers_information_bits() {
+        let info: Vec<u8> = (0..432).map(|i| ((i * 29 + 7) % 2) as u8).collect();
+        let decoded = loopback_54mbps(&info);
+        assert_eq!(decoded.len(), info.len());
+        assert_eq!(decoded, info);
+    }
+
+    #[test]
+    fn empty_decoder_traceback_is_empty() {
+        let dec = ViterbiDecoder::new();
+        assert!(dec.traceback().is_empty());
+        assert_eq!(ViterbiDecoder::decode(&[]), Vec::<u8>::new());
+    }
+}

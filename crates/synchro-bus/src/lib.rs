@@ -1,0 +1,499 @@
+//! The Synchroscalar segmented bus (Section 2.3 of the paper).
+//!
+//! Each column owns a 256-bit vertical bus organised as eight separable
+//! 32-bit *splits*.  Between each pair of adjacent tiles every split has a
+//! *segment switch*; closing all switches turns a split into a broadcast
+//! bus, while opening some of them lets disjoint tile groups exchange
+//! different words on the same split in the same cycle (mesh-like local
+//! bandwidth).  A single horizontal bus connects the columns.
+//!
+//! The bus itself is passive: the per-column DOU decides, cycle by cycle,
+//! which switches are closed and which tile's write buffer drives which
+//! split (crate `synchro-dou`).  This crate checks that a requested set of
+//! transfers is physically realisable (no two drivers on an electrically
+//! connected segment group) and counts traffic for the power model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when validating bus activity for one cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BusError {
+    /// A tile or split index was out of range for this bus.
+    IndexOutOfRange {
+        /// Description of the offending index ("tile" or "split").
+        what: &'static str,
+        /// The index supplied.
+        index: usize,
+        /// Number of valid positions.
+        limit: usize,
+    },
+    /// Two transfers drive the same electrically-connected segment group of
+    /// the same split in the same cycle.
+    DriverConflict {
+        /// The split on which the conflict occurs.
+        split: usize,
+        /// The first driving tile.
+        first_driver: usize,
+        /// The second driving tile.
+        second_driver: usize,
+    },
+    /// A consumer is not electrically reachable from the producer with the
+    /// given segment configuration.
+    Unreachable {
+        /// The split used for the transfer.
+        split: usize,
+        /// The producing tile.
+        producer: usize,
+        /// The unreachable consuming tile.
+        consumer: usize,
+    },
+}
+
+impl fmt::Display for BusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BusError::IndexOutOfRange { what, index, limit } => {
+                write!(f, "{what} index {index} out of range (limit {limit})")
+            }
+            BusError::DriverConflict {
+                split,
+                first_driver,
+                second_driver,
+            } => write!(
+                f,
+                "split {split}: tiles {first_driver} and {second_driver} drive the same segment group"
+            ),
+            BusError::Unreachable {
+                split,
+                producer,
+                consumer,
+            } => write!(
+                f,
+                "split {split}: consumer tile {consumer} is not connected to producer tile {producer}"
+            ),
+        }
+    }
+}
+
+impl Error for BusError {}
+
+/// Per-split segment switch configuration for one cycle.
+///
+/// `closed[s][g]` is true when the switch in gap `g` (between tile `g` and
+/// tile `g+1`) of split `s` is closed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentConfig {
+    closed: Vec<Vec<bool>>,
+}
+
+impl SegmentConfig {
+    /// All switches closed: every split is a column-wide broadcast bus.
+    pub fn all_closed(splits: usize, tiles: usize) -> Self {
+        SegmentConfig {
+            closed: vec![vec![true; tiles.saturating_sub(1)]; splits],
+        }
+    }
+
+    /// All switches open: every tile is isolated on every split.
+    pub fn all_open(splits: usize, tiles: usize) -> Self {
+        SegmentConfig {
+            closed: vec![vec![false; tiles.saturating_sub(1)]; splits],
+        }
+    }
+
+    /// Number of splits configured.
+    pub fn splits(&self) -> usize {
+        self.closed.len()
+    }
+
+    /// Number of tiles this configuration spans.
+    pub fn tiles(&self) -> usize {
+        self.closed.first().map_or(0, |gaps| gaps.len() + 1)
+    }
+
+    /// Open or close the switch in `gap` of `split`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `split` or `gap` is out of range.
+    pub fn set(&mut self, split: usize, gap: usize, closed: bool) {
+        self.closed[split][gap] = closed;
+    }
+
+    /// Is the switch in `gap` of `split` closed?
+    pub fn is_closed(&self, split: usize, gap: usize) -> bool {
+        self.closed[split][gap]
+    }
+
+    /// The set of tiles electrically connected to `tile` on `split`
+    /// (including `tile` itself).
+    pub fn connected_group(&self, split: usize, tile: usize) -> BTreeSet<usize> {
+        let mut group = BTreeSet::new();
+        group.insert(tile);
+        // Walk down while switches are closed.
+        let gaps = &self.closed[split];
+        let mut lo = tile;
+        while lo > 0 && gaps[lo - 1] {
+            lo -= 1;
+            group.insert(lo);
+        }
+        let mut hi = tile;
+        while hi < gaps.len() && gaps[hi] {
+            hi += 1;
+            group.insert(hi);
+        }
+        group
+    }
+}
+
+/// One requested word transfer on the column bus in a given cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BusOp {
+    /// Which 32-bit split carries the word.
+    pub split: usize,
+    /// The producing tile (drives the split from its write buffer).
+    pub producer: usize,
+    /// The consuming tiles (latch the split into their read buffers).
+    pub consumers: Vec<usize>,
+}
+
+/// Traffic counters the power model consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BusStats {
+    /// Cycles on which at least one transfer occurred.
+    pub active_cycles: u64,
+    /// Total word transfers (one per producer per cycle, regardless of how
+    /// many consumers latch it — the wire switches once).
+    pub word_transfers: u64,
+    /// Total consumer deliveries.
+    pub deliveries: u64,
+}
+
+/// A column's segmented vertical bus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentedBus {
+    splits: usize,
+    tiles: usize,
+    stats: BusStats,
+}
+
+impl SegmentedBus {
+    /// The paper's configuration: 8 splits of 32 bits spanning 4 tiles.
+    pub fn isca2004() -> Self {
+        Self::new(8, 4)
+    }
+
+    /// A bus with `splits` 32-bit splits spanning `tiles` tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `splits` or `tiles` is zero.
+    pub fn new(splits: usize, tiles: usize) -> Self {
+        assert!(splits > 0, "a bus needs at least one split");
+        assert!(tiles > 0, "a bus needs at least one tile");
+        SegmentedBus {
+            splits,
+            tiles,
+            stats: BusStats::default(),
+        }
+    }
+
+    /// Number of 32-bit splits.
+    pub fn splits(&self) -> usize {
+        self.splits
+    }
+
+    /// Number of tiles spanned.
+    pub fn tiles(&self) -> usize {
+        self.tiles
+    }
+
+    /// Accumulated traffic statistics.
+    pub fn stats(&self) -> BusStats {
+        self.stats
+    }
+
+    /// Validate and account one cycle of transfers under a segment
+    /// configuration.  On success returns, for each op, the set of
+    /// consumers that latched the producer's word.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BusError`] when indices are out of range, two producers
+    /// drive the same connected segment group of one split, or a consumer
+    /// is not reachable from its producer.
+    pub fn cycle(
+        &mut self,
+        config: &SegmentConfig,
+        ops: &[BusOp],
+    ) -> Result<Vec<Vec<usize>>, BusError> {
+        // Per split, remember which (producer, group) pairs already drive.
+        let mut drivers: Vec<Vec<(usize, BTreeSet<usize>)>> = vec![Vec::new(); self.splits];
+        let mut delivered = Vec::with_capacity(ops.len());
+
+        for op in ops {
+            if op.split >= self.splits {
+                return Err(BusError::IndexOutOfRange {
+                    what: "split",
+                    index: op.split,
+                    limit: self.splits,
+                });
+            }
+            if op.producer >= self.tiles {
+                return Err(BusError::IndexOutOfRange {
+                    what: "tile",
+                    index: op.producer,
+                    limit: self.tiles,
+                });
+            }
+            for &c in &op.consumers {
+                if c >= self.tiles {
+                    return Err(BusError::IndexOutOfRange {
+                        what: "tile",
+                        index: c,
+                        limit: self.tiles,
+                    });
+                }
+            }
+            let group = config.connected_group(op.split, op.producer);
+            for (other, other_group) in &drivers[op.split] {
+                if !group.is_disjoint(other_group) {
+                    return Err(BusError::DriverConflict {
+                        split: op.split,
+                        first_driver: *other,
+                        second_driver: op.producer,
+                    });
+                }
+            }
+            for &c in &op.consumers {
+                if !group.contains(&c) {
+                    return Err(BusError::Unreachable {
+                        split: op.split,
+                        producer: op.producer,
+                        consumer: c,
+                    });
+                }
+            }
+            drivers[op.split].push((op.producer, group));
+            delivered.push(op.consumers.clone());
+        }
+
+        if !ops.is_empty() {
+            self.stats.active_cycles += 1;
+            self.stats.word_transfers += ops.len() as u64;
+            self.stats.deliveries += ops.iter().map(|o| o.consumers.len() as u64).sum::<u64>();
+        }
+        Ok(delivered)
+    }
+}
+
+/// The single horizontal bus connecting the columns: one transfer per cycle,
+/// any column to any set of columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HorizontalBus {
+    columns: usize,
+    stats: BusStats,
+}
+
+impl HorizontalBus {
+    /// A horizontal bus spanning `columns` columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns` is zero.
+    pub fn new(columns: usize) -> Self {
+        assert!(columns > 0, "a horizontal bus needs at least one column");
+        HorizontalBus {
+            columns,
+            stats: BusStats::default(),
+        }
+    }
+
+    /// Number of columns spanned.
+    pub fn columns(&self) -> usize {
+        self.columns
+    }
+
+    /// Accumulated traffic statistics.
+    pub fn stats(&self) -> BusStats {
+        self.stats
+    }
+
+    /// Account one inter-column transfer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::IndexOutOfRange`] if a column index is invalid.
+    pub fn transfer(&mut self, from: usize, to: &[usize]) -> Result<(), BusError> {
+        if from >= self.columns {
+            return Err(BusError::IndexOutOfRange {
+                what: "column",
+                index: from,
+                limit: self.columns,
+            });
+        }
+        for &c in to {
+            if c >= self.columns {
+                return Err(BusError::IndexOutOfRange {
+                    what: "column",
+                    index: c,
+                    limit: self.columns,
+                });
+            }
+        }
+        self.stats.active_cycles += 1;
+        self.stats.word_transfers += 1;
+        self.stats.deliveries += to.len() as u64;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_configuration_matches_paper() {
+        let bus = SegmentedBus::isca2004();
+        assert_eq!(bus.splits(), 8);
+        assert_eq!(bus.tiles(), 4);
+    }
+
+    #[test]
+    fn all_closed_is_a_broadcast_bus() {
+        let cfg = SegmentConfig::all_closed(8, 4);
+        let group = cfg.connected_group(0, 0);
+        assert_eq!(group.into_iter().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn all_open_isolates_tiles() {
+        let cfg = SegmentConfig::all_open(8, 4);
+        let group = cfg.connected_group(3, 2);
+        assert_eq!(group.into_iter().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn broadcast_reaches_all_tiles() {
+        let mut bus = SegmentedBus::isca2004();
+        let cfg = SegmentConfig::all_closed(8, 4);
+        let delivered = bus
+            .cycle(
+                &cfg,
+                &[BusOp {
+                    split: 0,
+                    producer: 0,
+                    consumers: vec![1, 2, 3],
+                }],
+            )
+            .unwrap();
+        assert_eq!(delivered, vec![vec![1, 2, 3]]);
+        assert_eq!(bus.stats().word_transfers, 1);
+        assert_eq!(bus.stats().deliveries, 3);
+    }
+
+    #[test]
+    fn segmentation_allows_two_messages_on_one_split() {
+        // Open the middle gap: tiles {0,1} and {2,3} form independent
+        // segments and can each carry a message on the same split — the
+        // "approximate bandwidth of a mesh" property from the paper.
+        let mut bus = SegmentedBus::isca2004();
+        let mut cfg = SegmentConfig::all_closed(8, 4);
+        cfg.set(0, 1, false);
+        let ops = [
+            BusOp { split: 0, producer: 0, consumers: vec![1] },
+            BusOp { split: 0, producer: 3, consumers: vec![2] },
+        ];
+        let delivered = bus.cycle(&cfg, &ops).unwrap();
+        assert_eq!(delivered.len(), 2);
+    }
+
+    #[test]
+    fn driver_conflict_is_detected() {
+        let mut bus = SegmentedBus::isca2004();
+        let cfg = SegmentConfig::all_closed(8, 4);
+        let ops = [
+            BusOp { split: 2, producer: 0, consumers: vec![1] },
+            BusOp { split: 2, producer: 3, consumers: vec![2] },
+        ];
+        let err = bus.cycle(&cfg, &ops).unwrap_err();
+        assert!(matches!(err, BusError::DriverConflict { split: 2, .. }));
+    }
+
+    #[test]
+    fn different_splits_never_conflict() {
+        let mut bus = SegmentedBus::isca2004();
+        let cfg = SegmentConfig::all_closed(8, 4);
+        let ops: Vec<BusOp> = (0..8)
+            .map(|s| BusOp { split: s, producer: s % 4, consumers: vec![(s + 1) % 4] })
+            .collect();
+        assert!(bus.cycle(&cfg, &ops).is_ok());
+        assert_eq!(bus.stats().word_transfers, 8);
+    }
+
+    #[test]
+    fn unreachable_consumer_is_detected() {
+        let mut bus = SegmentedBus::isca2004();
+        let mut cfg = SegmentConfig::all_closed(8, 4);
+        cfg.set(5, 1, false);
+        let err = bus
+            .cycle(
+                &cfg,
+                &[BusOp { split: 5, producer: 0, consumers: vec![3] }],
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            BusError::Unreachable { split: 5, producer: 0, consumer: 3 }
+        ));
+    }
+
+    #[test]
+    fn out_of_range_indices_are_rejected() {
+        let mut bus = SegmentedBus::isca2004();
+        let cfg = SegmentConfig::all_closed(8, 4);
+        assert!(bus
+            .cycle(&cfg, &[BusOp { split: 8, producer: 0, consumers: vec![] }])
+            .is_err());
+        assert!(bus
+            .cycle(&cfg, &[BusOp { split: 0, producer: 4, consumers: vec![] }])
+            .is_err());
+        assert!(bus
+            .cycle(&cfg, &[BusOp { split: 0, producer: 0, consumers: vec![9] }])
+            .is_err());
+    }
+
+    #[test]
+    fn idle_cycles_do_not_count_as_active() {
+        let mut bus = SegmentedBus::isca2004();
+        let cfg = SegmentConfig::all_closed(8, 4);
+        bus.cycle(&cfg, &[]).unwrap();
+        assert_eq!(bus.stats().active_cycles, 0);
+        assert_eq!(bus.stats().word_transfers, 0);
+    }
+
+    #[test]
+    fn horizontal_bus_counts_traffic_and_validates() {
+        let mut h = HorizontalBus::new(4);
+        h.transfer(0, &[1, 2]).unwrap();
+        h.transfer(3, &[0]).unwrap();
+        assert_eq!(h.stats().word_transfers, 2);
+        assert_eq!(h.stats().deliveries, 3);
+        assert!(h.transfer(4, &[0]).is_err());
+        assert!(h.transfer(0, &[7]).is_err());
+        assert_eq!(h.columns(), 4);
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = BusError::DriverConflict { split: 1, first_driver: 0, second_driver: 2 };
+        assert!(e.to_string().contains("split 1"));
+        let e = BusError::Unreachable { split: 0, producer: 1, consumer: 3 };
+        assert!(e.to_string().contains("consumer tile 3"));
+    }
+}

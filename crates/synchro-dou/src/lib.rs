@@ -1,0 +1,515 @@
+//! The Data Orchestration Unit (DOU) — Section 2.3 / Figure 3 of the paper.
+//!
+//! Each column has one DOU: a 128-state finite state machine clocked at the
+//! bus frequency whose per-state outputs drive the column's bus segment
+//! switches and the per-tile communication buffers, providing
+//! *zero-overhead, statically-scheduled* inter-tile communication.  Four
+//! pre-programmed 32-bit down-counters let the FSM encode up to four nested
+//! loops: each state names the counter it tests (`CNTR`); if that counter
+//! is zero the FSM takes `NXTSTATE0` and reloads the counter, otherwise it
+//! decrements the counter and takes `NXTSTATE1`.
+//!
+//! [`ScheduleCompiler`] builds a DOU program from a periodic communication
+//! pattern (a list of per-cycle bus operations repeated a given number of
+//! times), which is how the application mappings in `synchro-apps` express
+//! their communication.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+use synchro_bus::{BusOp, SegmentConfig};
+
+/// Maximum number of states a DOU can hold (Figure 3: 128 states).
+pub const MAX_STATES: usize = 128;
+/// Number of nested-loop down-counters (Figure 3: four).
+pub const NUM_COUNTERS: usize = 4;
+
+/// Errors raised while building or running a DOU program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DouError {
+    /// The program needs more than [`MAX_STATES`] states.
+    TooManyStates {
+        /// Number of states requested.
+        requested: usize,
+    },
+    /// A state referenced a counter outside `0..NUM_COUNTERS`.
+    BadCounter {
+        /// The counter index used.
+        counter: usize,
+    },
+    /// A next-state pointer referenced a state outside the program.
+    BadNextState {
+        /// The state holding the bad pointer.
+        state: usize,
+        /// The out-of-range target.
+        target: usize,
+    },
+    /// The compiler was given an empty communication pattern.
+    EmptyPattern,
+}
+
+impl fmt::Display for DouError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DouError::TooManyStates { requested } => write!(
+                f,
+                "DOU program needs {requested} states but the hardware holds only {MAX_STATES}"
+            ),
+            DouError::BadCounter { counter } => {
+                write!(f, "counter index {counter} out of range (0..{NUM_COUNTERS})")
+            }
+            DouError::BadNextState { state, target } => {
+                write!(f, "state {state} points to non-existent state {target}")
+            }
+            DouError::EmptyPattern => write!(f, "communication pattern must not be empty"),
+        }
+    }
+}
+
+impl Error for DouError {}
+
+/// The outputs a DOU asserts during one bus cycle: the segment switch
+/// configuration plus the set of word transfers to perform.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DouOutput {
+    /// Segment switch configuration for this cycle (`None` leaves the
+    /// previous configuration in place).
+    pub segments: Option<SegmentConfig>,
+    /// Word transfers to perform this cycle.
+    pub ops: Vec<BusOp>,
+}
+
+/// One state of the DOU state machine (one row of Figure 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DouState {
+    /// Which down-counter this state tests.
+    pub counter: usize,
+    /// Next state when the tested counter has reached zero (the counter is
+    /// then reloaded with its initial value).
+    pub next_if_zero: usize,
+    /// Next state when the tested counter is non-zero (the counter is
+    /// decremented).
+    pub next_if_nonzero: usize,
+    /// Outputs asserted while in this state.
+    pub output: DouOutput,
+}
+
+/// A complete DOU program: the state table plus counter initial values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DouProgram {
+    states: Vec<DouState>,
+    counter_init: [u32; NUM_COUNTERS],
+}
+
+impl DouProgram {
+    /// Build and validate a program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DouError`] if the program exceeds 128 states, uses a bad
+    /// counter index, or contains a dangling next-state pointer.
+    pub fn new(
+        states: Vec<DouState>,
+        counter_init: [u32; NUM_COUNTERS],
+    ) -> Result<Self, DouError> {
+        if states.len() > MAX_STATES {
+            return Err(DouError::TooManyStates {
+                requested: states.len(),
+            });
+        }
+        for (i, s) in states.iter().enumerate() {
+            if s.counter >= NUM_COUNTERS {
+                return Err(DouError::BadCounter { counter: s.counter });
+            }
+            for target in [s.next_if_zero, s.next_if_nonzero] {
+                if target >= states.len() {
+                    return Err(DouError::BadNextState { state: i, target });
+                }
+            }
+        }
+        Ok(DouProgram {
+            states,
+            counter_init,
+        })
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True if the program has no states.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The state table.
+    pub fn states(&self) -> &[DouState] {
+        &self.states
+    }
+
+    /// The counter initial values.
+    pub fn counter_init(&self) -> [u32; NUM_COUNTERS] {
+        self.counter_init
+    }
+}
+
+/// The DOU state machine itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dou {
+    program: DouProgram,
+    counters: [u32; NUM_COUNTERS],
+    state: usize,
+    cycles: u64,
+    transfers: u64,
+}
+
+impl Dou {
+    /// Load a program and reset to state 0 with counters at their initial
+    /// values.
+    pub fn new(program: DouProgram) -> Self {
+        let counters = program.counter_init();
+        Dou {
+            program,
+            counters,
+            state: 0,
+            cycles: 0,
+            transfers: 0,
+        }
+    }
+
+    /// The current state index.
+    pub fn state(&self) -> usize {
+        self.state
+    }
+
+    /// The current value of down-counter `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= NUM_COUNTERS`.
+    pub fn counter(&self, i: usize) -> u32 {
+        self.counters[i]
+    }
+
+    /// Total bus cycles stepped.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Total word transfers emitted.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Advance one bus cycle: emit the current state's outputs, then move
+    /// to the next state according to the tested counter.
+    pub fn step(&mut self) -> DouOutput {
+        if self.program.is_empty() {
+            return DouOutput::default();
+        }
+        self.cycles += 1;
+        let s = &self.program.states()[self.state];
+        let output = s.output.clone();
+        self.transfers += output.ops.len() as u64;
+        let c = s.counter;
+        if self.counters[c] == 0 {
+            self.counters[c] = self.program.counter_init()[c];
+            self.state = s.next_if_zero;
+        } else {
+            self.counters[c] -= 1;
+            self.state = s.next_if_nonzero;
+        }
+        output
+    }
+}
+
+/// One cycle of a periodic communication pattern handed to the compiler.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PatternCycle {
+    /// Segment configuration for the cycle, or `None` to keep the default
+    /// all-closed configuration.
+    pub segments: Option<SegmentConfig>,
+    /// Transfers to perform.
+    pub ops: Vec<BusOp>,
+}
+
+/// Compiles a periodic communication pattern into a DOU program.
+///
+/// The pattern is a sequence of [`PatternCycle`]s repeated `repetitions`
+/// times (0 means forever), exactly the structure produced when an inner
+/// loop of a mapped kernel is statically scheduled.
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleCompiler {
+    cycles: Vec<PatternCycle>,
+}
+
+impl ScheduleCompiler {
+    /// Start an empty pattern.
+    pub fn new() -> Self {
+        ScheduleCompiler::default()
+    }
+
+    /// Append one cycle to the pattern.
+    pub fn push(&mut self, cycle: PatternCycle) -> &mut Self {
+        self.cycles.push(cycle);
+        self
+    }
+
+    /// Append an idle (no-transfer) cycle.
+    pub fn idle(&mut self) -> &mut Self {
+        self.cycles.push(PatternCycle::default());
+        self
+    }
+
+    /// Number of cycles in the pattern so far.
+    pub fn len(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// True if the pattern is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cycles.is_empty()
+    }
+
+    /// Compile the pattern into a [`DouProgram`] that repeats it
+    /// `repetitions` times (`0` = repeat forever).
+    ///
+    /// The generated program uses counter 0 for the repetition count: each
+    /// pattern cycle becomes one state whose `next_if_nonzero` continues
+    /// the pattern and whose final state loops back via the counter test.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DouError::EmptyPattern`] for an empty pattern or
+    /// [`DouError::TooManyStates`] if the pattern exceeds 128 cycles.
+    pub fn compile(&self, repetitions: u32) -> Result<DouProgram, DouError> {
+        if self.cycles.is_empty() {
+            return Err(DouError::EmptyPattern);
+        }
+        let n = self.cycles.len();
+        let mut states = Vec::with_capacity(n);
+        for (i, c) in self.cycles.iter().enumerate() {
+            let last = i == n - 1;
+            let (next_if_zero, next_if_nonzero) = if last {
+                // On the last pattern cycle, test counter 0: if exhausted,
+                // stay parked on the last state (or wrap for infinite
+                // repetition); otherwise wrap to the start.
+                if repetitions == 0 {
+                    (0, 0)
+                } else {
+                    (n - 1, 0)
+                }
+            } else {
+                (i + 1, i + 1)
+            };
+            states.push(DouState {
+                counter: if last { 0 } else { 1 },
+                next_if_zero,
+                next_if_nonzero,
+                output: DouOutput {
+                    segments: c.segments.clone(),
+                    ops: c.ops.clone(),
+                },
+            });
+        }
+        let mut counter_init = [0u32; NUM_COUNTERS];
+        // Counter 0 counts the remaining repetitions after the first pass.
+        counter_init[0] = repetitions.saturating_sub(1);
+        // Counter 1 is a dummy always-nonzero counter for intermediate
+        // states (they ignore its value because both next pointers match).
+        counter_init[1] = u32::MAX;
+        DouProgram::new(states, counter_init)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(split: usize, producer: usize, consumer: usize) -> BusOp {
+        BusOp {
+            split,
+            producer,
+            consumers: vec![consumer],
+        }
+    }
+
+    #[test]
+    fn program_validation_catches_errors() {
+        let too_many: Vec<DouState> = (0..129)
+            .map(|_| DouState {
+                counter: 0,
+                next_if_zero: 0,
+                next_if_nonzero: 0,
+                output: DouOutput::default(),
+            })
+            .collect();
+        assert!(matches!(
+            DouProgram::new(too_many, [0; 4]),
+            Err(DouError::TooManyStates { requested: 129 })
+        ));
+
+        let bad_counter = vec![DouState {
+            counter: 4,
+            next_if_zero: 0,
+            next_if_nonzero: 0,
+            output: DouOutput::default(),
+        }];
+        assert!(matches!(
+            DouProgram::new(bad_counter, [0; 4]),
+            Err(DouError::BadCounter { counter: 4 })
+        ));
+
+        let dangling = vec![DouState {
+            counter: 0,
+            next_if_zero: 5,
+            next_if_nonzero: 0,
+            output: DouOutput::default(),
+        }];
+        assert!(matches!(
+            DouProgram::new(dangling, [0; 4]),
+            Err(DouError::BadNextState { state: 0, target: 5 })
+        ));
+    }
+
+    #[test]
+    fn counter_semantics_match_figure_3() {
+        // A single state testing counter 0 initialised to 3: the FSM should
+        // decrement through 3,2,1 staying put (next_if_nonzero = 0), then
+        // on reaching zero reload and take next_if_zero = 0.
+        let program = DouProgram::new(
+            vec![DouState {
+                counter: 0,
+                next_if_zero: 0,
+                next_if_nonzero: 0,
+                output: DouOutput::default(),
+            }],
+            [3, 0, 0, 0],
+        )
+        .unwrap();
+        let mut dou = Dou::new(program);
+        assert_eq!(dou.counter(0), 3);
+        dou.step();
+        assert_eq!(dou.counter(0), 2);
+        dou.step();
+        dou.step();
+        assert_eq!(dou.counter(0), 0);
+        dou.step();
+        assert_eq!(dou.counter(0), 3, "counter reloads on zero");
+        assert_eq!(dou.cycles(), 4);
+    }
+
+    #[test]
+    fn compiled_pattern_repeats_in_order() {
+        let mut compiler = ScheduleCompiler::new();
+        compiler.push(PatternCycle {
+            segments: None,
+            ops: vec![op(0, 0, 1)],
+        });
+        compiler.push(PatternCycle {
+            segments: None,
+            ops: vec![op(1, 2, 3)],
+        });
+        compiler.idle();
+        let program = compiler.compile(2).unwrap();
+        let mut dou = Dou::new(program);
+
+        let mut produced: Vec<usize> = Vec::new();
+        for _ in 0..6 {
+            let out = dou.step();
+            produced.push(out.ops.len());
+        }
+        // Two repetitions of [1 op, 1 op, 0 ops].
+        assert_eq!(produced, vec![1, 1, 0, 1, 1, 0]);
+        assert_eq!(dou.transfers(), 4);
+    }
+
+    #[test]
+    fn finite_repetition_parks_after_completion() {
+        let mut compiler = ScheduleCompiler::new();
+        compiler.push(PatternCycle {
+            segments: None,
+            ops: vec![op(0, 0, 1)],
+        });
+        let program = compiler.compile(1).unwrap();
+        let mut dou = Dou::new(program);
+        assert_eq!(dou.step().ops.len(), 1);
+        // After the single repetition the FSM parks on the last state and
+        // keeps emitting it; the column will have halted by then, but the
+        // FSM must not wander to an invalid state.
+        for _ in 0..3 {
+            let _ = dou.step();
+            assert!(dou.state() < 1 + 1);
+        }
+    }
+
+    #[test]
+    fn infinite_pattern_never_stops() {
+        let mut compiler = ScheduleCompiler::new();
+        compiler.push(PatternCycle {
+            segments: None,
+            ops: vec![op(0, 1, 0)],
+        });
+        compiler.idle();
+        let program = compiler.compile(0).unwrap();
+        let mut dou = Dou::new(program);
+        let counts: Vec<usize> = (0..8).map(|_| dou.step().ops.len()).collect();
+        assert_eq!(counts, vec![1, 0, 1, 0, 1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn empty_pattern_is_rejected() {
+        assert!(matches!(
+            ScheduleCompiler::new().compile(1),
+            Err(DouError::EmptyPattern)
+        ));
+    }
+
+    #[test]
+    fn pattern_longer_than_128_cycles_is_rejected() {
+        let mut compiler = ScheduleCompiler::new();
+        for _ in 0..200 {
+            compiler.idle();
+        }
+        assert!(matches!(
+            compiler.compile(1),
+            Err(DouError::TooManyStates { .. })
+        ));
+    }
+
+    #[test]
+    fn segment_configuration_is_carried_through() {
+        let mut compiler = ScheduleCompiler::new();
+        let mut cfg = SegmentConfig::all_closed(8, 4);
+        cfg.set(0, 1, false);
+        compiler.push(PatternCycle {
+            segments: Some(cfg.clone()),
+            ops: vec![op(0, 0, 1), op(0, 3, 2)],
+        });
+        let program = compiler.compile(0).unwrap();
+        let mut dou = Dou::new(program);
+        let out = dou.step();
+        assert_eq!(out.segments, Some(cfg));
+        assert_eq!(out.ops.len(), 2);
+    }
+
+    #[test]
+    fn empty_program_steps_to_nothing() {
+        let program = DouProgram::new(Vec::new(), [0; 4]).unwrap();
+        let mut dou = Dou::new(program);
+        let out = dou.step();
+        assert!(out.ops.is_empty());
+        assert!(out.segments.is_none());
+    }
+
+    #[test]
+    fn error_display_mentions_limits() {
+        assert!(DouError::TooManyStates { requested: 300 }
+            .to_string()
+            .contains("128"));
+        assert!(DouError::BadCounter { counter: 9 }.to_string().contains('9'));
+    }
+}

@@ -1,0 +1,384 @@
+//! A small textual assembler for the tile ISA.
+//!
+//! One instruction per line; `;` starts a comment; labels end with `:`.
+//! Registers are written `r0`–`r7` and `p0`–`p5`.  Example:
+//!
+//! ```text
+//! ; accumulate four products
+//!     clracc a0
+//!     loop 4, 3
+//!     ld r0, p0, 0
+//!     ld r1, p1, 0
+//!     mac a0, r0, r1
+//!     movacc r2, a0
+//!     halt
+//! ```
+
+use crate::inst::{AluOp, CondCode, DataReg, Instruction, PtrReg};
+use crate::program::Program;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while assembling source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_data_reg(tok: &str, line: usize) -> Result<DataReg, AsmError> {
+    let rest = tok
+        .strip_prefix('r')
+        .ok_or_else(|| err(line, format!("expected data register, got `{tok}`")))?;
+    let n: u8 = rest
+        .parse()
+        .map_err(|_| err(line, format!("bad register `{tok}`")))?;
+    if n > 7 {
+        return Err(err(line, format!("data register `{tok}` out of range")));
+    }
+    Ok(DataReg::new(n))
+}
+
+fn parse_ptr_reg(tok: &str, line: usize) -> Result<PtrReg, AsmError> {
+    let rest = tok
+        .strip_prefix('p')
+        .ok_or_else(|| err(line, format!("expected pointer register, got `{tok}`")))?;
+    let n: u8 = rest
+        .parse()
+        .map_err(|_| err(line, format!("bad register `{tok}`")))?;
+    if n > 5 {
+        return Err(err(line, format!("pointer register `{tok}` out of range")));
+    }
+    Ok(PtrReg::new(n))
+}
+
+fn parse_acc(tok: &str, line: usize) -> Result<u8, AsmError> {
+    match tok {
+        "a0" => Ok(0),
+        "a1" => Ok(1),
+        other => Err(err(line, format!("expected accumulator a0/a1, got `{other}`"))),
+    }
+}
+
+fn parse_int<T: std::str::FromStr>(tok: &str, line: usize) -> Result<T, AsmError> {
+    tok.parse()
+        .map_err(|_| err(line, format!("bad integer `{tok}`")))
+}
+
+fn alu_op(mnemonic: &str) -> Option<AluOp> {
+    Some(match mnemonic {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "mul" => AluOp::Mul,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "shl" => AluOp::Shl,
+        "shr" => AluOp::Shr,
+        "asr" => AluOp::Asr,
+        "min" => AluOp::Min,
+        "max" => AluOp::Max,
+        "abs" => AluOp::Abs,
+        "cmpeq" => AluOp::CmpEq,
+        "cmplt" => AluOp::CmpLt,
+        _ => return None,
+    })
+}
+
+enum Line {
+    Inst(Instruction),
+    Jump(String),
+    Branch(CondCode, String),
+}
+
+/// Assemble source text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] identifying the offending line for syntax
+/// errors, unknown mnemonics, bad registers, or undefined labels.
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let mut lines: Vec<(usize, Line)> = Vec::new();
+    let mut labels: HashMap<String, u32> = HashMap::new();
+
+    for (idx, raw) in source.lines().enumerate() {
+        let lineno = idx + 1;
+        let text = raw.split(';').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        if let Some(label) = text.strip_suffix(':') {
+            let name = label.trim();
+            if name.is_empty() || name.contains(char::is_whitespace) {
+                return Err(err(lineno, format!("bad label `{text}`")));
+            }
+            labels.insert(name.to_owned(), lines.len() as u32);
+            continue;
+        }
+        let cleaned = text.replace(',', " ");
+        let toks: Vec<&str> = cleaned.split_whitespace().collect();
+        let mnemonic = toks[0].to_ascii_lowercase();
+        let need = |n: usize| -> Result<(), AsmError> {
+            if toks.len() != n + 1 {
+                Err(err(
+                    lineno,
+                    format!("`{mnemonic}` expects {n} operands, got {}", toks.len() - 1),
+                ))
+            } else {
+                Ok(())
+            }
+        };
+        let parsed: Line = if let Some(op) = alu_op(&mnemonic) {
+            need(3)?;
+            Line::Inst(Instruction::Alu {
+                op,
+                dst: parse_data_reg(toks[1], lineno)?,
+                a: parse_data_reg(toks[2], lineno)?,
+                b: parse_data_reg(toks[3], lineno)?,
+            })
+        } else {
+            match mnemonic.as_str() {
+                "nop" => {
+                    need(0)?;
+                    Line::Inst(Instruction::Nop)
+                }
+                "li" => {
+                    need(2)?;
+                    Line::Inst(Instruction::LoadImm {
+                        dst: parse_data_reg(toks[1], lineno)?,
+                        imm: parse_int(toks[2], lineno)?,
+                    })
+                }
+                "mac" => {
+                    need(3)?;
+                    Line::Inst(Instruction::Mac {
+                        acc: parse_acc(toks[1], lineno)?,
+                        a: parse_data_reg(toks[2], lineno)?,
+                        b: parse_data_reg(toks[3], lineno)?,
+                    })
+                }
+                "clracc" => {
+                    need(1)?;
+                    Line::Inst(Instruction::ClearAcc {
+                        acc: parse_acc(toks[1], lineno)?,
+                    })
+                }
+                "movacc" => {
+                    need(2)?;
+                    Line::Inst(Instruction::MoveAcc {
+                        dst: parse_data_reg(toks[1], lineno)?,
+                        acc: parse_acc(toks[2], lineno)?,
+                    })
+                }
+                "ld" => {
+                    need(3)?;
+                    Line::Inst(Instruction::Load {
+                        dst: parse_data_reg(toks[1], lineno)?,
+                        ptr: parse_ptr_reg(toks[2], lineno)?,
+                        offset: parse_int(toks[3], lineno)?,
+                    })
+                }
+                "st" => {
+                    need(3)?;
+                    Line::Inst(Instruction::Store {
+                        src: parse_data_reg(toks[1], lineno)?,
+                        ptr: parse_ptr_reg(toks[2], lineno)?,
+                        offset: parse_int(toks[3], lineno)?,
+                    })
+                }
+                "setp" => {
+                    need(2)?;
+                    Line::Inst(Instruction::SetPtr {
+                        ptr: parse_ptr_reg(toks[1], lineno)?,
+                        addr: parse_int(toks[2], lineno)?,
+                    })
+                }
+                "addp" => {
+                    need(2)?;
+                    Line::Inst(Instruction::AddPtr {
+                        ptr: parse_ptr_reg(toks[1], lineno)?,
+                        offset: parse_int(toks[2], lineno)?,
+                    })
+                }
+                "send" => {
+                    need(0)?;
+                    Line::Inst(Instruction::CommSend)
+                }
+                "recv" => {
+                    need(1)?;
+                    Line::Inst(Instruction::CommRecv {
+                        dst: parse_data_reg(toks[1], lineno)?,
+                    })
+                }
+                "setcond" => {
+                    need(1)?;
+                    Line::Inst(Instruction::SetCond {
+                        src: parse_data_reg(toks[1], lineno)?,
+                    })
+                }
+                "loop" => {
+                    need(2)?;
+                    Line::Inst(Instruction::LoopBegin {
+                        count: parse_int(toks[1], lineno)?,
+                        body_len: parse_int(toks[2], lineno)?,
+                    })
+                }
+                "jmp" => {
+                    need(1)?;
+                    Line::Jump(toks[1].to_owned())
+                }
+                "brz" => {
+                    need(1)?;
+                    Line::Branch(CondCode::Zero, toks[1].to_owned())
+                }
+                "brnz" => {
+                    need(1)?;
+                    Line::Branch(CondCode::NotZero, toks[1].to_owned())
+                }
+                "halt" => {
+                    need(0)?;
+                    Line::Inst(Instruction::Halt)
+                }
+                other => return Err(err(lineno, format!("unknown mnemonic `{other}`"))),
+            }
+        };
+        lines.push((lineno, parsed));
+    }
+
+    let mut out = Vec::with_capacity(lines.len());
+    for (lineno, line) in lines {
+        let inst = match line {
+            Line::Inst(i) => i,
+            Line::Jump(label) => Instruction::Jump {
+                target: *labels
+                    .get(&label)
+                    .ok_or_else(|| err(lineno, format!("undefined label `{label}`")))?,
+            },
+            Line::Branch(cond, label) => Instruction::Branch {
+                cond,
+                target: *labels
+                    .get(&label)
+                    .ok_or_else(|| err(lineno, format!("undefined label `{label}`")))?,
+            },
+        };
+        out.push(inst);
+    }
+    Ok(Program::new(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_a_mac_kernel() {
+        let src = "
+            ; four-tap dot product
+            clracc a0
+            setp p0, 0
+            setp p1, 64
+            loop 4, 3
+            ld r0, p0, 0
+            ld r1, p1, 0
+            mac a0, r0, r1
+            movacc r2, a0
+            halt
+        ";
+        let p = assemble(src).unwrap();
+        assert_eq!(p.len(), 9);
+        assert_eq!(p.fetch(3), Some(Instruction::LoopBegin { count: 4, body_len: 3 }));
+        assert_eq!(p.fetch(8), Some(Instruction::Halt));
+    }
+
+    #[test]
+    fn labels_resolve_in_both_directions() {
+        let src = "
+        top:
+            nop
+            brnz done
+            jmp top
+        done:
+            halt
+        ";
+        let p = assemble(src).unwrap();
+        assert_eq!(
+            p.fetch(1),
+            Some(Instruction::Branch {
+                cond: CondCode::NotZero,
+                target: 3
+            })
+        );
+        assert_eq!(p.fetch(2), Some(Instruction::Jump { target: 0 }));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let p = assemble("; nothing\n\n   ; still nothing\nnop\n").unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn unknown_mnemonic_reports_line() {
+        let e = assemble("nop\nfrobnicate r1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn wrong_operand_count_is_rejected() {
+        assert!(assemble("add r0, r1\n").is_err());
+        assert!(assemble("nop r0\n").is_err());
+    }
+
+    #[test]
+    fn bad_registers_are_rejected() {
+        assert!(assemble("add r0, r1, r9\n").is_err());
+        assert!(assemble("ld r0, p7, 0\n").is_err());
+        assert!(assemble("mac a2, r0, r1\n").is_err());
+    }
+
+    #[test]
+    fn undefined_label_is_rejected() {
+        let e = assemble("jmp nowhere\n").unwrap_err();
+        assert!(e.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn communication_and_cond_instructions_assemble() {
+        let p = assemble("send\nrecv r3\nsetcond r1\nbrz 0\n").unwrap_err();
+        // `brz 0` references a label named "0" that is undefined.
+        assert!(p.message.contains("undefined label"));
+        let p = assemble("send\nrecv r3\nsetcond r1\n").unwrap();
+        assert_eq!(p.communication_count(), 2);
+    }
+
+    #[test]
+    fn roundtrip_alu_mnemonics() {
+        for m in [
+            "add", "sub", "mul", "and", "or", "xor", "shl", "shr", "asr", "min", "max", "abs",
+            "cmpeq", "cmplt",
+        ] {
+            let src = format!("{m} r0, r1, r2\n");
+            let p = assemble(&src).unwrap();
+            assert_eq!(p.len(), 1, "mnemonic {m}");
+        }
+    }
+}

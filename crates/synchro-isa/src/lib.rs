@@ -1,0 +1,29 @@
+//! A Blackfin-like DSP instruction set for Synchroscalar tiles.
+//!
+//! The paper bases its tiles on the ADI/Intel Blackfin DSP ISA, with all
+//! control flow hoisted into the per-column SIMD controller.  This crate
+//! defines a compact load/store DSP ISA with the features the evaluation
+//! depends on:
+//!
+//! * eight 32-bit data registers (`R0`–`R7`, with `R7` designated as the
+//!   inter-tile communication register),
+//! * two 40-bit accumulators fed by a multiply-accumulate unit,
+//! * pointer registers for addressing the tile-local 32 KB data SRAM,
+//! * zero-overhead hardware loops and conditional branches (executed by the
+//!   SIMD controller, never forwarded to the tiles),
+//! * communication send/receive instructions that move `R7` through the
+//!   DOU-scheduled bus buffers.
+//!
+//! Programs are built either directly from [`Instruction`] values or by
+//! assembling the small textual syntax in [`asm`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod inst;
+pub mod program;
+
+pub use asm::{assemble, AsmError};
+pub use inst::{AluOp, CondCode, DataReg, Instruction, PtrReg};
+pub use program::{Program, ProgramBuilder};

@@ -1,0 +1,250 @@
+//! Program containers and a builder with label resolution.
+
+use crate::inst::{CondCode, Instruction};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A finished, immutable instruction sequence for one column.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    instructions: Vec<Instruction>,
+}
+
+impl Program {
+    /// Wrap an instruction sequence into a program.
+    pub fn new(instructions: Vec<Instruction>) -> Self {
+        Program { instructions }
+    }
+
+    /// The instruction at `index`, if any.
+    pub fn fetch(&self, index: usize) -> Option<Instruction> {
+        self.instructions.get(index).copied()
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// True if the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Iterate over the instructions in order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Instruction> {
+        self.instructions.iter()
+    }
+
+    /// Count instructions that are pure compute (broadcast to tiles).
+    pub fn compute_count(&self) -> usize {
+        self.instructions.iter().filter(|i| !i.is_control()).count()
+    }
+
+    /// Count instructions that touch the communication buffers.
+    pub fn communication_count(&self) -> usize {
+        self.instructions
+            .iter()
+            .filter(|i| i.is_communication())
+            .count()
+    }
+}
+
+impl FromIterator<Instruction> for Program {
+    fn from_iter<T: IntoIterator<Item = Instruction>>(iter: T) -> Self {
+        Program::new(iter.into_iter().collect())
+    }
+}
+
+/// Error produced when a [`ProgramBuilder`] cannot resolve its labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnresolvedLabel {
+    /// The label that was referenced but never defined.
+    pub label: String,
+}
+
+impl fmt::Display for UnresolvedLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "undefined label `{}`", self.label)
+    }
+}
+
+impl Error for UnresolvedLabel {}
+
+enum Pending {
+    Ready(Instruction),
+    Jump(String),
+    Branch(CondCode, String),
+}
+
+/// Incremental program construction with symbolic branch targets.
+///
+/// ```
+/// use synchro_isa::{ProgramBuilder, Instruction, DataReg};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.label("top");
+/// b.push(Instruction::LoadImm { dst: DataReg::new(0), imm: 1 });
+/// b.jump_to("top");
+/// let program = b.build().unwrap();
+/// assert_eq!(program.len(), 2);
+/// ```
+#[derive(Default)]
+pub struct ProgramBuilder {
+    pending: Vec<Pending>,
+    labels: HashMap<String, u32>,
+}
+
+impl ProgramBuilder {
+    /// Create an empty builder.
+    pub fn new() -> Self {
+        ProgramBuilder::default()
+    }
+
+    /// Append a fully-specified instruction.
+    pub fn push(&mut self, instruction: Instruction) -> &mut Self {
+        self.pending.push(Pending::Ready(instruction));
+        self
+    }
+
+    /// Append several instructions.
+    pub fn extend<I: IntoIterator<Item = Instruction>>(&mut self, items: I) -> &mut Self {
+        for i in items {
+            self.push(i);
+        }
+        self
+    }
+
+    /// Define a label at the current position.
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        self.labels
+            .insert(name.to_owned(), self.pending.len() as u32);
+        self
+    }
+
+    /// Append an unconditional jump to a label.
+    pub fn jump_to(&mut self, label: &str) -> &mut Self {
+        self.pending.push(Pending::Jump(label.to_owned()));
+        self
+    }
+
+    /// Append a conditional branch to a label.
+    pub fn branch_to(&mut self, cond: CondCode, label: &str) -> &mut Self {
+        self.pending.push(Pending::Branch(cond, label.to_owned()));
+        self
+    }
+
+    /// Current instruction count (useful for computing loop body lengths).
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True if nothing has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Resolve labels and produce the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnresolvedLabel`] if a jump or branch references a label
+    /// that was never defined.
+    pub fn build(self) -> Result<Program, UnresolvedLabel> {
+        let mut out = Vec::with_capacity(self.pending.len());
+        for p in self.pending {
+            let inst = match p {
+                Pending::Ready(i) => i,
+                Pending::Jump(label) => {
+                    let target = *self
+                        .labels
+                        .get(&label)
+                        .ok_or(UnresolvedLabel { label: label.clone() })?;
+                    Instruction::Jump { target }
+                }
+                Pending::Branch(cond, label) => {
+                    let target = *self
+                        .labels
+                        .get(&label)
+                        .ok_or(UnresolvedLabel { label: label.clone() })?;
+                    Instruction::Branch { cond, target }
+                }
+            };
+            out.push(inst);
+        }
+        Ok(Program::new(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{AluOp, DataReg};
+
+    #[test]
+    fn builder_resolves_forward_and_backward_labels() {
+        let mut b = ProgramBuilder::new();
+        b.label("start");
+        b.push(Instruction::Nop);
+        b.branch_to(CondCode::NotZero, "end");
+        b.jump_to("start");
+        b.label("end");
+        b.push(Instruction::Halt);
+        let p = b.build().unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(
+            p.fetch(1),
+            Some(Instruction::Branch {
+                cond: CondCode::NotZero,
+                target: 3
+            })
+        );
+        assert_eq!(p.fetch(2), Some(Instruction::Jump { target: 0 }));
+    }
+
+    #[test]
+    fn builder_reports_missing_labels() {
+        let mut b = ProgramBuilder::new();
+        b.jump_to("nowhere");
+        let err = b.build().unwrap_err();
+        assert_eq!(err.label, "nowhere");
+        assert!(err.to_string().contains("nowhere"));
+    }
+
+    #[test]
+    fn program_counts_compute_and_communication() {
+        let p: Program = [
+            Instruction::LoadImm { dst: DataReg::new(0), imm: 5 },
+            Instruction::Alu {
+                op: AluOp::Add,
+                dst: DataReg::new(1),
+                a: DataReg::new(0),
+                b: DataReg::new(0),
+            },
+            Instruction::CommSend,
+            Instruction::Halt,
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.compute_count(), 3);
+        assert_eq!(p.communication_count(), 1);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn fetch_out_of_range_is_none() {
+        let p = Program::new(vec![Instruction::Nop]);
+        assert_eq!(p.fetch(0), Some(Instruction::Nop));
+        assert_eq!(p.fetch(1), None);
+    }
+
+    #[test]
+    fn empty_program_behaviour() {
+        let p = Program::default();
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+        assert_eq!(p.iter().count(), 0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Error type shared by the power-model crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the technology / power models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PowerModelError {
+    /// The requested frequency exceeds what the technology supports even at
+    /// the maximum supply voltage.
+    FrequencyUnreachable {
+        /// Requested operating frequency in MHz.
+        requested_mhz: f64,
+        /// Maximum frequency achievable at the technology's maximum voltage.
+        max_mhz: f64,
+    },
+    /// A supply voltage outside the technology's supported range was given.
+    VoltageOutOfRange {
+        /// Requested supply voltage in volts.
+        requested: f64,
+        /// Minimum supported supply voltage in volts.
+        min: f64,
+        /// Maximum supported supply voltage in volts.
+        max: f64,
+    },
+    /// A model parameter was not physically meaningful (negative, NaN, ...).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The value supplied.
+        value: f64,
+    },
+}
+
+impl fmt::Display for PowerModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerModelError::FrequencyUnreachable {
+                requested_mhz,
+                max_mhz,
+            } => write!(
+                f,
+                "requested frequency {requested_mhz} MHz exceeds the {max_mhz} MHz \
+                 achievable at maximum supply voltage"
+            ),
+            PowerModelError::VoltageOutOfRange {
+                requested,
+                min,
+                max,
+            } => write!(
+                f,
+                "supply voltage {requested} V is outside the supported range [{min}, {max}] V"
+            ),
+            PowerModelError::InvalidParameter { name, value } => {
+                write!(f, "parameter `{name}` has invalid value {value}")
+            }
+        }
+    }
+}
+
+impl Error for PowerModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = PowerModelError::FrequencyUnreachable {
+            requested_mhz: 900.0,
+            max_mhz: 600.0,
+        };
+        let text = err.to_string();
+        assert!(text.contains("900"));
+        assert!(text.contains("600"));
+    }
+
+    #[test]
+    fn voltage_out_of_range_display() {
+        let err = PowerModelError::VoltageOutOfRange {
+            requested: 2.5,
+            min: 0.7,
+            max: 1.65,
+        };
+        assert!(err.to_string().contains("2.5"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error>() {}
+        assert_error::<PowerModelError>();
+    }
+}

@@ -1,0 +1,174 @@
+//! Interconnect (segmented bus) energy model.
+//!
+//! Following Section 4.3 of the paper, the bus is modelled to first order by
+//! its wire capacitance: a semi-global wire in 130 nm has ≈387 fF/mm, driver
+//! and segmenter parasitics are negligible by comparison.  The energy of a
+//! 32-bit word transfer is therefore `32 · c_wire · L · V²`, and bus power
+//! is transfer rate × energy per transfer.
+
+use crate::tech::Technology;
+
+/// Physical description of one bus (a column's vertical bus or the
+/// horizontal inter-column bus).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BusGeometry {
+    /// Total bus width in bits (256 for the chosen design).
+    pub width_bits: u32,
+    /// Number of independently switchable 32-bit splits (8).
+    pub splits: u32,
+    /// Wire length in millimetres.
+    pub length_mm: f64,
+}
+
+impl BusGeometry {
+    /// The vertical column bus of the paper's configuration.
+    pub fn column(tech: &Technology) -> Self {
+        BusGeometry {
+            width_bits: tech.bus_width_bits,
+            splits: tech.bus_splits,
+            length_mm: tech.column_bus_length_mm,
+        }
+    }
+
+    /// The horizontal inter-column bus, spanning the 10 mm die edge.
+    pub fn horizontal(tech: &Technology) -> Self {
+        BusGeometry {
+            width_bits: tech.bus_width_bits,
+            splits: tech.bus_splits,
+            length_mm: tech.chip_bus_length_mm,
+        }
+    }
+
+    /// Bits carried by one split of the bus.
+    pub fn split_width_bits(&self) -> u32 {
+        self.width_bits / self.splits.max(1)
+    }
+}
+
+/// Wire-capacitance interconnect energy/power model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterconnectModel {
+    /// Wire capacitance in femto-farads per millimetre.
+    pub wire_cap_ff_per_mm: f64,
+}
+
+impl InterconnectModel {
+    /// Build the model from the technology description.
+    pub fn new(tech: &Technology) -> Self {
+        InterconnectModel {
+            wire_cap_ff_per_mm: tech.wire_cap_ff_per_mm,
+        }
+    }
+
+    /// Capacitance, in farads, of a single bus wire of the given length.
+    pub fn wire_capacitance_f(&self, length_mm: f64) -> f64 {
+        self.wire_cap_ff_per_mm * 1e-15 * length_mm
+    }
+
+    /// Energy, in joules, of transferring one word across one split of the
+    /// bus at supply `voltage` (all `split_width_bits` wires switch; this is
+    /// the pessimistic 100 % switching-activity assumption).
+    pub fn word_energy_j(&self, bus: &BusGeometry, voltage: f64) -> f64 {
+        f64::from(bus.split_width_bits()) * self.wire_capacitance_f(bus.length_mm) * voltage * voltage
+    }
+
+    /// Bus power in milliwatts given a word-transfer rate (words per
+    /// second) at supply `voltage`.
+    pub fn power_mw(&self, bus: &BusGeometry, words_per_second: f64, voltage: f64) -> f64 {
+        self.word_energy_j(bus, voltage) * words_per_second * 1e3
+    }
+
+    /// Bus power in milliwatts expressed the way the paper's equation does:
+    /// `P = a · C_total · V² · f`, where `a` is the fraction of the full bus
+    /// switching per cycle and `f` is the bus clock in MHz.
+    pub fn power_mw_activity(
+        &self,
+        bus: &BusGeometry,
+        activity: f64,
+        voltage: f64,
+        bus_frequency_mhz: f64,
+    ) -> f64 {
+        let c_total = f64::from(bus.width_bits) * self.wire_capacitance_f(bus.length_mm);
+        activity * c_total * voltage * voltage * bus_frequency_mhz * 1e6 * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::isca2004()
+    }
+
+    #[test]
+    fn wire_capacitance_matches_future_of_wires() {
+        // 387 fF/mm over a 10 mm bus ≈ 3.87 pF per wire (Section 4.3).
+        let m = InterconnectModel::new(&tech());
+        let c = m.wire_capacitance_f(10.0);
+        assert!((c - 3.87e-12).abs() < 1e-15);
+    }
+
+    #[test]
+    fn column_bus_geometry_defaults() {
+        let b = BusGeometry::column(&tech());
+        assert_eq!(b.width_bits, 256);
+        assert_eq!(b.splits, 8);
+        assert_eq!(b.split_width_bits(), 32);
+    }
+
+    #[test]
+    fn word_energy_scales_with_voltage_squared() {
+        let m = InterconnectModel::new(&tech());
+        let b = BusGeometry::column(&tech());
+        let e1 = m.word_energy_j(&b, 1.0);
+        let e2 = m.word_energy_j(&b, 2.0);
+        assert!((e2 - 4.0 * e1).abs() < 1e-18);
+    }
+
+    #[test]
+    fn word_energy_magnitude_is_tens_of_picojoules() {
+        // 32 wires × 387 fF/mm × 5.4 mm ≈ 67 pF → ~43 pJ at 0.8 V.
+        let m = InterconnectModel::new(&tech());
+        let b = BusGeometry::column(&tech());
+        let e = m.word_energy_j(&b, 0.8);
+        assert!(e > 30e-12 && e < 60e-12, "word energy {e} J out of range");
+    }
+
+    #[test]
+    fn bus_power_is_small_relative_to_tiles_at_modest_rates() {
+        // The paper argues bus power is small compared with running a tile
+        // at higher frequency: a 64 MS/s stream moving two words per sample
+        // costs only a few mW.
+        let m = InterconnectModel::new(&tech());
+        let b = BusGeometry::column(&tech());
+        let p = m.power_mw(&b, 2.0 * 64e6, 0.8);
+        assert!(p > 1.0 && p < 20.0, "bus power {p} mW out of expected band");
+    }
+
+    #[test]
+    fn activity_form_matches_rate_form() {
+        // a·C_total·V²·f with a = words/cycle × split/width must equal the
+        // words-per-second formulation.
+        let t = tech();
+        let m = InterconnectModel::new(&t);
+        let b = BusGeometry::column(&t);
+        let f_mhz = 200.0;
+        let words_per_cycle = 1.5;
+        let words_per_second = words_per_cycle * f_mhz * 1e6;
+        let by_rate = m.power_mw(&b, words_per_second, 1.0);
+        let activity = words_per_cycle * f64::from(b.split_width_bits()) / f64::from(b.width_bits);
+        let by_activity = m.power_mw_activity(&b, activity, 1.0, f_mhz);
+        assert!((by_rate - by_activity).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wider_bus_costs_more_per_full_width_transfer_but_same_per_word() {
+        let t = tech().with_bus_width(512);
+        let m = InterconnectModel::new(&t);
+        let narrow = BusGeometry::column(&Technology::isca2004());
+        let wide = BusGeometry::column(&t);
+        assert_eq!(wide.split_width_bits(), narrow.split_width_bits());
+        assert!((m.word_energy_j(&wide, 1.0) - m.word_energy_j(&narrow, 1.0)).abs() < 1e-18);
+    }
+}

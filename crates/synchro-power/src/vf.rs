@@ -1,0 +1,415 @@
+//! The frequency ↔ supply-voltage relationship (Figure 5 of the paper).
+//!
+//! The paper SPICEs a 15- and a 20-FO4 critical path against the Berkeley
+//! Predictive Technology Models for the 130 nm node and captures the
+//! resulting curve as a look-up table used to pick a column's supply
+//! voltage from its required operating frequency.
+//!
+//! We substitute two interchangeable models:
+//!
+//! * [`VfCurve`] — a monotone look-up table whose anchor points were
+//!   calibrated so that `voltage_for_frequency` reproduces every published
+//!   (frequency, voltage) operating point in Table 4 under the paper's
+//!   0.1 V supply quantisation, and
+//! * [`AlphaPowerLaw`] — the standard closed-form alpha-power-law delay
+//!   model (`f ∝ (V − V_th)^α / V`) for analytical sweeps.
+
+use crate::error::PowerModelError;
+use crate::tech::Technology;
+
+/// The critical-path length assumed for the pipeline, in fan-out-of-4
+/// inverter delays.  The paper plots 15 and 20 FO4; the Synchroscalar tile
+/// assumes the (pessimistic) 20 FO4 path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CriticalPath {
+    /// A 15-FO4 critical path (the faster curve in Figure 5).
+    Fo4_15,
+    /// A 20-FO4 critical path (the curve used for voltage assignment).
+    Fo4_20,
+}
+
+impl CriticalPath {
+    /// The frequency scale factor of this path relative to the 20-FO4
+    /// reference: a 15-FO4 path is 20/15 ≈ 1.33× faster at equal voltage.
+    pub fn speedup_vs_fo4_20(self) -> f64 {
+        match self {
+            CriticalPath::Fo4_15 => 20.0 / 15.0,
+            CriticalPath::Fo4_20 => 1.0,
+        }
+    }
+}
+
+/// Anchor points (supply voltage in volts, maximum frequency in MHz) of the
+/// 20-FO4 curve.  Calibrated against the published Table 4 operating points
+/// (see `DESIGN.md` §2 and `EXPERIMENTS.md`).
+const FO4_20_ANCHORS: &[(f64, f64)] = &[
+    (0.60, 30.0),
+    (0.65, 55.0),
+    (0.70, 85.0),
+    (0.80, 130.0),
+    (0.90, 165.0),
+    (1.00, 230.0),
+    (1.10, 300.0),
+    (1.20, 345.0),
+    (1.30, 420.0),
+    (1.40, 470.0),
+    (1.50, 515.0),
+    (1.60, 535.0),
+    (1.70, 560.0),
+    (1.80, 620.0),
+    (1.90, 700.0),
+    (2.00, 780.0),
+    (2.10, 860.0),
+];
+
+/// A monotone look-up table mapping supply voltage to the maximum operating
+/// frequency of the column's critical path (and back).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VfCurve {
+    anchors: Vec<(f64, f64)>,
+    min_voltage: f64,
+    max_voltage: f64,
+    voltage_step: f64,
+}
+
+impl VfCurve {
+    /// The 20-FO4 curve used for Synchroscalar voltage assignment, limited
+    /// to the technology's supply range.
+    pub fn fo4_20(tech: &Technology) -> Self {
+        Self::with_critical_path(tech, CriticalPath::Fo4_20)
+    }
+
+    /// The 15-FO4 curve plotted alongside in Figure 5.
+    pub fn fo4_15(tech: &Technology) -> Self {
+        Self::with_critical_path(tech, CriticalPath::Fo4_15)
+    }
+
+    /// Build the curve for an arbitrary critical path.
+    pub fn with_critical_path(tech: &Technology, path: CriticalPath) -> Self {
+        let speedup = path.speedup_vs_fo4_20();
+        let anchors = FO4_20_ANCHORS
+            .iter()
+            .map(|&(v, f)| (v, f * speedup))
+            .collect();
+        VfCurve {
+            anchors,
+            min_voltage: tech.min_voltage,
+            max_voltage: tech.max_voltage,
+            voltage_step: tech.voltage_step,
+        }
+    }
+
+    /// Build a curve from explicit `(voltage, frequency)` anchor points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerModelError::InvalidParameter`] if fewer than two
+    /// anchors are given or the anchors are not strictly increasing in both
+    /// coordinates.
+    pub fn from_anchors(
+        anchors: Vec<(f64, f64)>,
+        tech: &Technology,
+    ) -> Result<Self, PowerModelError> {
+        if anchors.len() < 2 {
+            return Err(PowerModelError::InvalidParameter {
+                name: "anchors.len",
+                value: anchors.len() as f64,
+            });
+        }
+        for pair in anchors.windows(2) {
+            if pair[1].0 <= pair[0].0 || pair[1].1 <= pair[0].1 {
+                return Err(PowerModelError::InvalidParameter {
+                    name: "anchors (must be strictly increasing)",
+                    value: pair[1].0,
+                });
+            }
+        }
+        Ok(VfCurve {
+            anchors,
+            min_voltage: tech.min_voltage,
+            max_voltage: tech.max_voltage,
+            voltage_step: tech.voltage_step,
+        })
+    }
+
+    /// Maximum operating frequency (MHz) at the given supply voltage, by
+    /// linear interpolation between anchors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerModelError::VoltageOutOfRange`] if the voltage lies
+    /// outside the technology's supported supply range.
+    pub fn max_frequency_at(&self, voltage: f64) -> Result<f64, PowerModelError> {
+        if voltage < self.min_voltage - 1e-9 || voltage > self.max_voltage + 1e-9 {
+            return Err(PowerModelError::VoltageOutOfRange {
+                requested: voltage,
+                min: self.min_voltage,
+                max: self.max_voltage,
+            });
+        }
+        Ok(self.interpolate(voltage))
+    }
+
+    /// Interpolate the curve at `voltage` without range-checking against the
+    /// technology limits (used to plot the full Figure 5 sweep, which spans
+    /// 0.62 V – 2.12 V).
+    pub fn interpolate(&self, voltage: f64) -> f64 {
+        let first = self.anchors[0];
+        let last = *self.anchors.last().expect("curve has anchors");
+        if voltage <= first.0 {
+            return first.1 * (voltage / first.0).max(0.0);
+        }
+        if voltage >= last.0 {
+            // Extrapolate with the final segment's slope.
+            let prev = self.anchors[self.anchors.len() - 2];
+            let slope = (last.1 - prev.1) / (last.0 - prev.0);
+            return last.1 + slope * (voltage - last.0);
+        }
+        for pair in self.anchors.windows(2) {
+            let (v0, f0) = pair[0];
+            let (v1, f1) = pair[1];
+            if voltage >= v0 && voltage <= v1 {
+                let t = (voltage - v0) / (v1 - v0);
+                return f0 + t * (f1 - f0);
+            }
+        }
+        unreachable!("anchor scan covers the interior range");
+    }
+
+    /// The minimum quantised supply voltage able to sustain `frequency_mhz`,
+    /// respecting the 0.7 V voltage floor and the supply quantisation step.
+    ///
+    /// This is the operation the paper performs when assigning a column's
+    /// supply from its computed frequency requirement (methodology step 8).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerModelError::FrequencyUnreachable`] if the frequency
+    /// exceeds what the maximum supply voltage can sustain.
+    pub fn voltage_for_frequency(&self, frequency_mhz: f64) -> Result<f64, PowerModelError> {
+        let max_f = self.interpolate(self.max_voltage);
+        if frequency_mhz > max_f {
+            return Err(PowerModelError::FrequencyUnreachable {
+                requested_mhz: frequency_mhz,
+                max_mhz: max_f,
+            });
+        }
+        let mut voltage = self.min_voltage;
+        loop {
+            if self.interpolate(voltage) + 1e-9 >= frequency_mhz {
+                return Ok((voltage * 1e6).round() / 1e6);
+            }
+            voltage += self.voltage_step;
+            if voltage > self.max_voltage + 1e-9 {
+                return Ok(self.max_voltage);
+            }
+        }
+    }
+
+    /// Like [`VfCurve::voltage_for_frequency`] but allowed to extrapolate
+    /// beyond the technology's maximum supply when the frequency is
+    /// unreachable.  The parallelisation sweeps (Figure 7) evaluate
+    /// under-provisioned mappings whose required frequency exceeds the
+    /// supply envelope; the paper plots their (large) power rather than
+    /// dropping the point, so we extrapolate the voltage and flag it via
+    /// the boolean in the return value (`true` = within the envelope).
+    pub fn voltage_for_frequency_extrapolated(&self, frequency_mhz: f64) -> (f64, bool) {
+        match self.voltage_for_frequency(frequency_mhz) {
+            Ok(v) => (v, true),
+            Err(_) => {
+                let mut voltage = self.max_voltage;
+                while self.interpolate(voltage) < frequency_mhz && voltage < 5.0 {
+                    voltage += self.voltage_step;
+                }
+                ((voltage * 1e6).round() / 1e6, false)
+            }
+        }
+    }
+
+    /// Sample the curve at evenly spaced voltages, producing the series
+    /// plotted in Figure 5.
+    pub fn sweep(&self, from_v: f64, to_v: f64, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2, "a sweep needs at least two points");
+        (0..points)
+            .map(|i| {
+                let v = from_v + (to_v - from_v) * i as f64 / (points - 1) as f64;
+                (v, self.interpolate(v))
+            })
+            .collect()
+    }
+
+    /// The curve's anchor points.
+    pub fn anchors(&self) -> &[(f64, f64)] {
+        &self.anchors
+    }
+}
+
+/// The alpha-power-law MOSFET delay model: `f(V) = k · (V − V_th)^α / V`.
+///
+/// This is the textbook closed-form stand-in for the SPICE characterisation
+/// the paper performed; we expose it for analytical sweeps and to sanity
+/// check the calibrated [`VfCurve`] shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlphaPowerLaw {
+    /// Velocity-saturation exponent α (≈1.3–2.0 for 130 nm).
+    pub alpha: f64,
+    /// Threshold voltage in volts.
+    pub threshold_voltage: f64,
+    /// Scale constant `k` in MHz chosen at calibration.
+    pub scale_mhz: f64,
+}
+
+impl AlphaPowerLaw {
+    /// Calibrate the law so it predicts `anchor_frequency_mhz` at
+    /// `anchor_voltage`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerModelError::InvalidParameter`] if the anchor voltage
+    /// does not exceed the threshold voltage.
+    pub fn calibrated(
+        tech: &Technology,
+        alpha: f64,
+        anchor_voltage: f64,
+        anchor_frequency_mhz: f64,
+    ) -> Result<Self, PowerModelError> {
+        if anchor_voltage <= tech.threshold_voltage {
+            return Err(PowerModelError::InvalidParameter {
+                name: "anchor_voltage",
+                value: anchor_voltage,
+            });
+        }
+        let unscaled = (anchor_voltage - tech.threshold_voltage).powf(alpha) / anchor_voltage;
+        Ok(AlphaPowerLaw {
+            alpha,
+            threshold_voltage: tech.threshold_voltage,
+            scale_mhz: anchor_frequency_mhz / unscaled,
+        })
+    }
+
+    /// Maximum frequency (MHz) the law predicts at `voltage`; zero at or
+    /// below the threshold voltage.
+    pub fn frequency_at(&self, voltage: f64) -> f64 {
+        if voltage <= self.threshold_voltage {
+            return 0.0;
+        }
+        self.scale_mhz * (voltage - self.threshold_voltage).powf(self.alpha) / voltage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> VfCurve {
+        VfCurve::fo4_20(&Technology::isca2004())
+    }
+
+    /// Every (frequency, voltage) operating point published in Table 4 must
+    /// be reproduced by the calibrated curve under 0.1 V quantisation.
+    #[test]
+    fn voltage_assignment_matches_table4() {
+        let c = curve();
+        let published = [
+            (120.0, 0.8),
+            (200.0, 1.0),
+            (40.0, 0.7),
+            (380.0, 1.3),
+            (370.0, 1.3),
+            (500.0, 1.5),
+            (310.0, 1.2),
+            (90.0, 0.8),
+            (60.0, 0.7),
+            (540.0, 1.7),
+            (330.0, 1.2),
+            (110.0, 0.8),
+            (70.0, 0.7),
+            (280.0, 1.1),
+        ];
+        for (f, v) in published {
+            let got = c.voltage_for_frequency(f).unwrap();
+            assert!(
+                (got - v).abs() < 1e-6,
+                "frequency {f} MHz: expected {v} V, got {got} V"
+            );
+        }
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let c = curve();
+        let sweep = c.sweep(0.62, 2.12, 151);
+        for pair in sweep.windows(2) {
+            assert!(pair[1].1 >= pair[0].1, "curve must be non-decreasing");
+        }
+    }
+
+    #[test]
+    fn fo4_15_is_faster_than_fo4_20() {
+        let tech = Technology::isca2004();
+        let c20 = VfCurve::fo4_20(&tech);
+        let c15 = VfCurve::fo4_15(&tech);
+        for v in [0.7, 1.0, 1.3, 1.7] {
+            assert!(c15.interpolate(v) > c20.interpolate(v));
+        }
+    }
+
+    #[test]
+    fn unreachable_frequency_is_an_error() {
+        let c = curve();
+        assert!(matches!(
+            c.voltage_for_frequency(5000.0),
+            Err(PowerModelError::FrequencyUnreachable { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_voltage_is_an_error() {
+        let c = curve();
+        assert!(c.max_frequency_at(2.5).is_err());
+        assert!(c.max_frequency_at(0.3).is_err());
+        assert!(c.max_frequency_at(1.0).is_ok());
+    }
+
+    #[test]
+    fn from_anchors_rejects_non_monotone() {
+        let tech = Technology::isca2004();
+        let bad = vec![(0.7, 100.0), (0.8, 90.0)];
+        assert!(VfCurve::from_anchors(bad, &tech).is_err());
+        let short = vec![(0.7, 100.0)];
+        assert!(VfCurve::from_anchors(short, &tech).is_err());
+        let good = vec![(0.7, 100.0), (1.0, 300.0)];
+        assert!(VfCurve::from_anchors(good, &tech).is_ok());
+    }
+
+    #[test]
+    fn alpha_power_law_calibration_hits_anchor() {
+        let tech = Technology::isca2004();
+        let law = AlphaPowerLaw::calibrated(&tech, 1.6, 1.65, 600.0).unwrap();
+        assert!((law.frequency_at(1.65) - 600.0).abs() < 1e-6);
+        assert_eq!(law.frequency_at(0.3), 0.0);
+        assert!(law.frequency_at(1.0) < law.frequency_at(1.2));
+    }
+
+    #[test]
+    fn alpha_power_law_rejects_subthreshold_anchor() {
+        let tech = Technology::isca2004();
+        assert!(AlphaPowerLaw::calibrated(&tech, 1.6, 0.2, 100.0).is_err());
+    }
+
+    #[test]
+    fn voltage_floor_applies_to_slow_kernels() {
+        // MPEG-4 motion estimation at 70 MHz still gets the 0.7 V floor.
+        let c = curve();
+        assert!((c.voltage_for_frequency(10.0).unwrap() - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_produces_requested_points() {
+        let c = curve();
+        let s = c.sweep(0.7, 1.7, 11);
+        assert_eq!(s.len(), 11);
+        assert!((s[0].0 - 0.7).abs() < 1e-9);
+        assert!((s[10].0 - 1.7).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,627 @@
+//! Synchronous Dataflow (SDF) application modelling (Section 2.1).
+//!
+//! Synchroscalar applications fit the SDF model of computation: a graph of
+//! actors connected by FIFO channels, where every actor produces and
+//! consumes a fixed number of tokens per firing.  This restriction buys
+//! static schedulability and decidability of bounded-memory and deadlock
+//! questions, which is what lets the paper statically assign columns,
+//! frequencies and communication schedules.
+//!
+//! The crate provides:
+//!
+//! * [`SdfGraph`] — graph construction and validation,
+//! * [`SdfGraph::repetition_vector`] — the balance-equation solution
+//!   (rate consistency check),
+//! * [`SdfGraph::schedule`] — a periodic admissible sequential schedule
+//!   (and with it a deadlock check),
+//! * [`SdfGraph::buffer_bounds`] — bounded-memory requirements per edge,
+//! * [`Mapping`] — assignment of actors to groups of tiles with the
+//!   frequency each group must sustain for a target graph-iteration rate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+
+/// Identifier of an actor within a graph (index order of insertion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ActorId(pub usize);
+
+/// One SDF actor: a computational block with a fixed per-firing cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Actor {
+    /// Human-readable name ("FFT", "Viterbi ACS", ...).
+    pub name: String,
+    /// Tile-cycles required per firing when the actor runs on one tile.
+    pub cycles_per_firing: u64,
+    /// Maximum useful parallelism: the largest number of tiles across which
+    /// one firing can be split (1 for inherently serial actors such as the
+    /// stereo-vision SVD).
+    pub max_parallel_tiles: u32,
+}
+
+/// One SDF edge: a FIFO channel with fixed production/consumption rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Producing actor.
+    pub from: ActorId,
+    /// Consuming actor.
+    pub to: ActorId,
+    /// Tokens produced per firing of `from`.
+    pub produce: u64,
+    /// Tokens consumed per firing of `to`.
+    pub consume: u64,
+    /// Initial tokens (delays) on the channel.
+    pub initial_tokens: u64,
+}
+
+/// Errors raised by graph analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SdfError {
+    /// An edge referenced an actor that does not exist.
+    UnknownActor {
+        /// The dangling actor id.
+        id: ActorId,
+    },
+    /// A rate or cycle count of zero was supplied where a positive value is
+    /// required.
+    ZeroRate {
+        /// Description of the offending quantity.
+        what: &'static str,
+    },
+    /// The balance equations have no non-trivial solution: the graph is
+    /// rate-inconsistent and cannot run forever in bounded memory.
+    Inconsistent {
+        /// The edge at which the inconsistency was detected.
+        edge: usize,
+    },
+    /// The graph is consistent but deadlocks: no periodic admissible
+    /// schedule exists with the given initial tokens.
+    Deadlock {
+        /// Actors that still had firings outstanding when progress stopped.
+        blocked: Vec<ActorId>,
+    },
+    /// The graph has no actors.
+    Empty,
+}
+
+impl fmt::Display for SdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SdfError::UnknownActor { id } => write!(f, "edge references unknown actor {}", id.0),
+            SdfError::ZeroRate { what } => write!(f, "{what} must be positive"),
+            SdfError::Inconsistent { edge } => {
+                write!(f, "balance equations are inconsistent at edge {edge}")
+            }
+            SdfError::Deadlock { blocked } => {
+                write!(f, "graph deadlocks with {} actors blocked", blocked.len())
+            }
+            SdfError::Empty => write!(f, "graph has no actors"),
+        }
+    }
+}
+
+impl Error for SdfError {}
+
+/// A synchronous dataflow graph.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SdfGraph {
+    actors: Vec<Actor>,
+    edges: Vec<Edge>,
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: u64, b: u64) -> u64 {
+    a / gcd(a, b) * b
+}
+
+impl SdfGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        SdfGraph::default()
+    }
+
+    /// Add an actor and return its id.
+    pub fn add_actor(
+        &mut self,
+        name: impl Into<String>,
+        cycles_per_firing: u64,
+        max_parallel_tiles: u32,
+    ) -> ActorId {
+        self.actors.push(Actor {
+            name: name.into(),
+            cycles_per_firing,
+            max_parallel_tiles: max_parallel_tiles.max(1),
+        });
+        ActorId(self.actors.len() - 1)
+    }
+
+    /// Add an edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SdfError`] if either endpoint is unknown or a rate is zero.
+    pub fn add_edge(
+        &mut self,
+        from: ActorId,
+        to: ActorId,
+        produce: u64,
+        consume: u64,
+        initial_tokens: u64,
+    ) -> Result<(), SdfError> {
+        for id in [from, to] {
+            if id.0 >= self.actors.len() {
+                return Err(SdfError::UnknownActor { id });
+            }
+        }
+        if produce == 0 {
+            return Err(SdfError::ZeroRate { what: "produce rate" });
+        }
+        if consume == 0 {
+            return Err(SdfError::ZeroRate { what: "consume rate" });
+        }
+        self.edges.push(Edge {
+            from,
+            to,
+            produce,
+            consume,
+            initial_tokens,
+        });
+        Ok(())
+    }
+
+    /// The actors in insertion order.
+    pub fn actors(&self) -> &[Actor] {
+        &self.actors
+    }
+
+    /// The edges in insertion order.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Look up an actor.
+    pub fn actor(&self, id: ActorId) -> Option<&Actor> {
+        self.actors.get(id.0)
+    }
+
+    /// Solve the balance equations and return the repetition vector: the
+    /// minimal positive number of firings of each actor per graph iteration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SdfError::Empty`] for an empty graph or
+    /// [`SdfError::Inconsistent`] when no solution exists.
+    pub fn repetition_vector(&self) -> Result<Vec<u64>, SdfError> {
+        if self.actors.is_empty() {
+            return Err(SdfError::Empty);
+        }
+        // Represent each actor's rate as a rational num/den and propagate
+        // along edges; disconnected components each get an independent
+        // normalisation.
+        let n = self.actors.len();
+        let mut num = vec![0u64; n];
+        let mut den = vec![1u64; n];
+
+        for start in 0..n {
+            if num[start] != 0 {
+                continue;
+            }
+            num[start] = 1;
+            den[start] = 1;
+            // Breadth-first propagation across edges touching known actors.
+            let mut changed = true;
+            while changed {
+                changed = false;
+                for (ei, e) in self.edges.iter().enumerate() {
+                    let (a, b) = (e.from.0, e.to.0);
+                    let known_a = num[a] != 0;
+                    let known_b = num[b] != 0;
+                    if known_a && !known_b {
+                        // r_b = r_a * produce / consume
+                        let g = gcd(e.produce, e.consume);
+                        num[b] = num[a] * (e.produce / g);
+                        den[b] = den[a] * (e.consume / g);
+                        let g2 = gcd(num[b], den[b]);
+                        num[b] /= g2;
+                        den[b] /= g2;
+                        changed = true;
+                    } else if known_b && !known_a {
+                        let g = gcd(e.produce, e.consume);
+                        num[a] = num[b] * (e.consume / g);
+                        den[a] = den[b] * (e.produce / g);
+                        let g2 = gcd(num[a], den[a]);
+                        num[a] /= g2;
+                        den[a] /= g2;
+                        changed = true;
+                    } else if known_a && known_b {
+                        // Consistency check: r_a * produce == r_b * consume.
+                        let lhs = num[a] as u128 * e.produce as u128 * den[b] as u128;
+                        let rhs = num[b] as u128 * e.consume as u128 * den[a] as u128;
+                        if lhs != rhs {
+                            return Err(SdfError::Inconsistent { edge: ei });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Scale to the smallest integer vector.
+        let common_den = den.iter().fold(1u64, |acc, &d| lcm(acc, d));
+        let mut reps: Vec<u64> = num
+            .iter()
+            .zip(&den)
+            .map(|(&n_i, &d_i)| n_i * (common_den / d_i))
+            .collect();
+        let common_gcd = reps.iter().fold(0u64, |acc, &r| gcd(acc, r));
+        if common_gcd > 1 {
+            for r in &mut reps {
+                *r /= common_gcd;
+            }
+        }
+        Ok(reps)
+    }
+
+    /// Compute a periodic admissible sequential schedule (one graph
+    /// iteration) by demand-driven simulation, which doubles as the
+    /// deadlock check.
+    ///
+    /// # Errors
+    ///
+    /// Propagates rate-consistency errors and returns
+    /// [`SdfError::Deadlock`] when no actor can fire but firings remain.
+    pub fn schedule(&self) -> Result<Vec<ActorId>, SdfError> {
+        let reps = self.repetition_vector()?;
+        let mut remaining: Vec<u64> = reps.clone();
+        let mut tokens: Vec<u64> = self.edges.iter().map(|e| e.initial_tokens).collect();
+        let mut order = Vec::with_capacity(reps.iter().sum::<u64>() as usize);
+
+        loop {
+            if remaining.iter().all(|&r| r == 0) {
+                return Ok(order);
+            }
+            let mut fired = false;
+            for (i, _) in self.actors.iter().enumerate() {
+                if remaining[i] == 0 {
+                    continue;
+                }
+                let can_fire = self
+                    .edges
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.to.0 == i)
+                    .all(|(ei, e)| tokens[ei] >= e.consume);
+                if can_fire {
+                    for (ei, e) in self.edges.iter().enumerate() {
+                        if e.to.0 == i {
+                            tokens[ei] -= e.consume;
+                        }
+                        if e.from.0 == i {
+                            tokens[ei] += e.produce;
+                        }
+                    }
+                    remaining[i] -= 1;
+                    order.push(ActorId(i));
+                    fired = true;
+                }
+            }
+            if !fired {
+                let blocked = remaining
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &r)| r > 0)
+                    .map(|(i, _)| ActorId(i))
+                    .collect();
+                return Err(SdfError::Deadlock { blocked });
+            }
+        }
+    }
+
+    /// Maximum tokens simultaneously buffered on each edge during the
+    /// schedule returned by [`SdfGraph::schedule`] — the bounded-memory
+    /// guarantee the SDF restriction provides.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling errors.
+    pub fn buffer_bounds(&self) -> Result<Vec<u64>, SdfError> {
+        let order = self.schedule()?;
+        let mut tokens: Vec<u64> = self.edges.iter().map(|e| e.initial_tokens).collect();
+        let mut bounds = tokens.clone();
+        for id in order {
+            for (ei, e) in self.edges.iter().enumerate() {
+                if e.to == id {
+                    tokens[ei] -= e.consume;
+                }
+            }
+            for (ei, e) in self.edges.iter().enumerate() {
+                if e.from == id {
+                    tokens[ei] += e.produce;
+                    bounds[ei] = bounds[ei].max(tokens[ei]);
+                }
+            }
+        }
+        Ok(bounds)
+    }
+
+    /// Total tile-cycles consumed by one graph iteration if every actor ran
+    /// on a single tile.
+    ///
+    /// # Errors
+    ///
+    /// Propagates rate-consistency errors.
+    pub fn cycles_per_iteration(&self) -> Result<u64, SdfError> {
+        let reps = self.repetition_vector()?;
+        Ok(self
+            .actors
+            .iter()
+            .zip(&reps)
+            .map(|(a, &r)| a.cycles_per_firing * r)
+            .sum())
+    }
+}
+
+/// One actor's placement in a [`Mapping`]: how many tiles it gets and which
+/// columns host it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// The actor being placed.
+    pub actor: ActorId,
+    /// Number of tiles assigned.
+    pub tiles: u32,
+    /// Parallel efficiency of splitting the actor across those tiles
+    /// (1.0 = perfect speedup; lower values model the communication and
+    /// load-imbalance losses the paper's Figure 7 explores).
+    pub efficiency: f64,
+}
+
+/// An assignment of the graph's actors to tile groups.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Mapping {
+    placements: Vec<Placement>,
+}
+
+/// The computed operating requirement of one placed actor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementRequirement {
+    /// The actor.
+    pub actor: ActorId,
+    /// Tiles assigned.
+    pub tiles: u32,
+    /// Required per-tile frequency in MHz to sustain the target iteration
+    /// rate.
+    pub frequency_mhz: f64,
+}
+
+impl Mapping {
+    /// An empty mapping.
+    pub fn new() -> Self {
+        Mapping::default()
+    }
+
+    /// Place `actor` on `tiles` tiles with the given parallel efficiency.
+    pub fn place(&mut self, actor: ActorId, tiles: u32, efficiency: f64) -> &mut Self {
+        self.placements.push(Placement {
+            actor,
+            tiles: tiles.max(1),
+            efficiency: efficiency.clamp(0.01, 1.0),
+        });
+        self
+    }
+
+    /// The placements made so far.
+    pub fn placements(&self) -> &[Placement] {
+        &self.placements
+    }
+
+    /// Total tiles used by the mapping.
+    pub fn total_tiles(&self) -> u32 {
+        self.placements.iter().map(|p| p.tiles).sum()
+    }
+
+    /// Compute, for every placed actor, the per-tile frequency needed to
+    /// sustain `iterations_per_second` graph iterations per second.
+    ///
+    /// # Errors
+    ///
+    /// Propagates rate-consistency errors; placements of unknown actors are
+    /// reported as [`SdfError::UnknownActor`].
+    pub fn requirements(
+        &self,
+        graph: &SdfGraph,
+        iterations_per_second: f64,
+    ) -> Result<Vec<PlacementRequirement>, SdfError> {
+        let reps = graph.repetition_vector()?;
+        let mut out = Vec::with_capacity(self.placements.len());
+        for p in &self.placements {
+            let actor = graph
+                .actor(p.actor)
+                .ok_or(SdfError::UnknownActor { id: p.actor })?;
+            let rep = reps[p.actor.0] as f64;
+            let cycles_per_iteration = actor.cycles_per_firing as f64 * rep;
+            let effective_tiles = f64::from(p.tiles.min(actor.max_parallel_tiles)) * p.efficiency;
+            let cycles_per_tile = cycles_per_iteration / effective_tiles;
+            let hz = cycles_per_tile * iterations_per_second;
+            out.push(PlacementRequirement {
+                actor: p.actor,
+                tiles: p.tiles,
+                frequency_mhz: hz / 1e6,
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The DDC front end: mixer → CIC integrator → CIC comb with a 1:1 and
+    /// a 4:1 rate change.
+    fn ddc_like() -> (SdfGraph, ActorId, ActorId, ActorId) {
+        let mut g = SdfGraph::new();
+        let mixer = g.add_actor("mixer", 10, 16);
+        let integ = g.add_actor("integrator", 16, 16);
+        let comb = g.add_actor("comb", 8, 4);
+        g.add_edge(mixer, integ, 1, 1, 0).unwrap();
+        g.add_edge(integ, comb, 1, 4, 0).unwrap();
+        (g, mixer, integ, comb)
+    }
+
+    #[test]
+    fn repetition_vector_solves_balance_equations() {
+        let (g, ..) = ddc_like();
+        // mixer and integrator fire 4× per comb firing.
+        assert_eq!(g.repetition_vector().unwrap(), vec![4, 4, 1]);
+    }
+
+    #[test]
+    fn repetition_vector_is_minimal() {
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("a", 1, 1);
+        let b = g.add_actor("b", 1, 1);
+        g.add_edge(a, b, 6, 4, 0).unwrap();
+        // 6p = 4c → minimal (2, 3).
+        assert_eq!(g.repetition_vector().unwrap(), vec![2, 3]);
+    }
+
+    #[test]
+    fn inconsistent_graph_is_rejected() {
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("a", 1, 1);
+        let b = g.add_actor("b", 1, 1);
+        g.add_edge(a, b, 1, 1, 0).unwrap();
+        g.add_edge(a, b, 2, 1, 0).unwrap();
+        assert!(matches!(
+            g.repetition_vector(),
+            Err(SdfError::Inconsistent { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_graph_is_rejected() {
+        let g = SdfGraph::new();
+        assert!(matches!(g.repetition_vector(), Err(SdfError::Empty)));
+    }
+
+    #[test]
+    fn schedule_is_admissible_and_complete() {
+        let (g, mixer, integ, comb) = ddc_like();
+        let order = g.schedule().unwrap();
+        assert_eq!(order.len(), 9, "4 + 4 + 1 firings");
+        assert_eq!(order.iter().filter(|&&a| a == mixer).count(), 4);
+        assert_eq!(order.iter().filter(|&&a| a == integ).count(), 4);
+        assert_eq!(order.iter().filter(|&&a| a == comb).count(), 1);
+        // The comb can only fire after the integrator has fired four times.
+        let comb_pos = order.iter().position(|&a| a == comb).unwrap();
+        let integ_count_before = order[..comb_pos].iter().filter(|&&a| a == integ).count();
+        assert_eq!(integ_count_before, 4);
+    }
+
+    #[test]
+    fn cyclic_graph_without_delays_deadlocks() {
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("a", 1, 1);
+        let b = g.add_actor("b", 1, 1);
+        g.add_edge(a, b, 1, 1, 0).unwrap();
+        g.add_edge(b, a, 1, 1, 0).unwrap();
+        assert!(matches!(g.schedule(), Err(SdfError::Deadlock { .. })));
+    }
+
+    #[test]
+    fn cyclic_graph_with_initial_tokens_schedules() {
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("a", 1, 1);
+        let b = g.add_actor("b", 1, 1);
+        g.add_edge(a, b, 1, 1, 0).unwrap();
+        g.add_edge(b, a, 1, 1, 1).unwrap();
+        let order = g.schedule().unwrap();
+        assert_eq!(order.len(), 2);
+    }
+
+    #[test]
+    fn buffer_bounds_are_finite_and_cover_rate_changes() {
+        let (g, ..) = ddc_like();
+        let bounds = g.buffer_bounds().unwrap();
+        assert_eq!(bounds.len(), 2);
+        // The integrator→comb edge must buffer the 4 tokens one comb firing
+        // consumes.
+        assert_eq!(bounds[1], 4);
+    }
+
+    #[test]
+    fn zero_rates_and_unknown_actors_are_rejected() {
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("a", 1, 1);
+        assert!(matches!(
+            g.add_edge(a, ActorId(5), 1, 1, 0),
+            Err(SdfError::UnknownActor { .. })
+        ));
+        let b = g.add_actor("b", 1, 1);
+        assert!(matches!(
+            g.add_edge(a, b, 0, 1, 0),
+            Err(SdfError::ZeroRate { .. })
+        ));
+        assert!(matches!(
+            g.add_edge(a, b, 1, 0, 0),
+            Err(SdfError::ZeroRate { .. })
+        ));
+    }
+
+    #[test]
+    fn cycles_per_iteration_weights_by_repetitions() {
+        let (g, ..) = ddc_like();
+        // 4×10 + 4×16 + 1×8 = 112.
+        assert_eq!(g.cycles_per_iteration().unwrap(), 112);
+    }
+
+    #[test]
+    fn mapping_computes_frequency_requirements() {
+        let (g, mixer, integ, comb) = ddc_like();
+        let mut m = Mapping::new();
+        m.place(mixer, 8, 1.0);
+        m.place(integ, 8, 1.0);
+        m.place(comb, 2, 1.0);
+        assert_eq!(m.total_tiles(), 18);
+        // 16 M graph iterations/s (64 MS/s with 4 samples per iteration).
+        let reqs = m.requirements(&g, 16e6).unwrap();
+        // Mixer: 10 cycles × 4 firings / 8 tiles = 5 cycles per iteration
+        // per tile → 80 MHz.
+        assert!((reqs[0].frequency_mhz - 80.0).abs() < 1e-6);
+        // Integrator: 16 × 4 / 8 = 8 → 128 MHz.
+        assert!((reqs[1].frequency_mhz - 128.0).abs() < 1e-6);
+        // Comb: 8 × 1 / 2 = 4 → 64 MHz.
+        assert!((reqs[2].frequency_mhz - 64.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mapping_respects_parallelism_limits_and_efficiency() {
+        let mut g = SdfGraph::new();
+        let svd = g.add_actor("svd", 1000, 1);
+        let mut m = Mapping::new();
+        // Asking for 16 tiles on a serial actor must not reduce the
+        // frequency requirement below the 1-tile value.
+        m.place(svd, 16, 1.0);
+        let reqs = m.requirements(&g, 1000.0).unwrap();
+        assert!((reqs[0].frequency_mhz - 1.0).abs() < 1e-9);
+
+        let mut m2 = Mapping::new();
+        m2.place(svd, 1, 0.5);
+        let reqs2 = m2.requirements(&g, 1000.0).unwrap();
+        assert!(reqs2[0].frequency_mhz > reqs[0].frequency_mhz);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(SdfError::Empty.to_string().contains("no actors"));
+        assert!(SdfError::Inconsistent { edge: 3 }.to_string().contains('3'));
+    }
+}

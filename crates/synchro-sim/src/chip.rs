@@ -1,0 +1,218 @@
+//! The whole chip: columns in rationally-related clock domains plus the
+//! horizontal inter-column bus.
+
+use crate::column::{Column, ColumnError, ColumnStats};
+use synchro_bus::{BusStats, HorizontalBus};
+
+/// Chip-level statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChipStats {
+    /// Reference-clock ticks simulated.
+    pub reference_cycles: u64,
+    /// Sum of column clock cycles actually executed.
+    pub column_cycles: u64,
+    /// Horizontal bus traffic.
+    pub horizontal_transfers: u64,
+}
+
+/// A Synchroscalar chip: a set of columns, each in its own clock (and
+/// voltage) domain, connected by one horizontal bus.
+#[derive(Debug, Default)]
+pub struct Chip {
+    columns: Vec<Column>,
+    horizontal: Option<HorizontalBus>,
+    stats: ChipStats,
+}
+
+impl Chip {
+    /// An empty chip.
+    pub fn new() -> Self {
+        Chip::default()
+    }
+
+    /// Add a column; returns its index.
+    pub fn add_column(&mut self, column: Column) -> usize {
+        self.columns.push(column);
+        self.horizontal = Some(HorizontalBus::new(self.columns.len()));
+        self.columns.len() - 1
+    }
+
+    /// Number of columns.
+    pub fn columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Access a column.
+    pub fn column(&self, index: usize) -> Option<&Column> {
+        self.columns.get(index)
+    }
+
+    /// Mutable access to a column (e.g. to stage tile memories).
+    pub fn column_mut(&mut self, index: usize) -> Option<&mut Column> {
+        self.columns.get_mut(index)
+    }
+
+    /// Record one inter-column transfer on the horizontal bus (the DOUs of
+    /// the producing and consuming columns coordinate the actual word
+    /// movement; the chip model accounts the traffic for the power model).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a column index is out of range.
+    pub fn horizontal_transfer(
+        &mut self,
+        from: usize,
+        to: &[usize],
+    ) -> Result<(), synchro_bus::BusError> {
+        let bus = self
+            .horizontal
+            .get_or_insert_with(|| HorizontalBus::new(self.columns.len().max(1)));
+        bus.transfer(from, to)?;
+        self.stats.horizontal_transfers += 1;
+        Ok(())
+    }
+
+    /// Horizontal bus statistics, if any column exists.
+    pub fn horizontal_stats(&self) -> Option<BusStats> {
+        self.horizontal.as_ref().map(HorizontalBus::stats)
+    }
+
+    /// True when every column has halted.
+    pub fn all_halted(&self) -> bool {
+        self.columns.iter().all(Column::is_halted)
+    }
+
+    /// Chip statistics so far.
+    pub fn stats(&self) -> ChipStats {
+        self.stats
+    }
+
+    /// Per-column statistics.
+    pub fn column_stats(&self) -> Vec<ColumnStats> {
+        self.columns.iter().map(Column::stats).collect()
+    }
+
+    /// Advance the reference clock by one tick.  Each column steps only on
+    /// ticks its clock divider selects, so a column with divider `d` runs
+    /// at exactly `1/d` of the reference frequency.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first column error encountered.
+    pub fn tick(&mut self) -> Result<(), ColumnError> {
+        let tick_index = self.stats.reference_cycles;
+        self.stats.reference_cycles += 1;
+        for column in &mut self.columns {
+            let divider = u64::from(column.config().clock_divider.max(1));
+            if tick_index % divider == 0 && !column.is_halted() {
+                column.step()?;
+                self.stats.column_cycles += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Run the reference clock until every column halts or `max_ticks`
+    /// elapse.  Returns the number of reference ticks consumed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first column error encountered.
+    pub fn run(&mut self, max_ticks: u64) -> Result<u64, ColumnError> {
+        let start = self.stats.reference_cycles;
+        for _ in 0..max_ticks {
+            if self.all_halted() {
+                break;
+            }
+            self.tick()?;
+        }
+        Ok(self.stats.reference_cycles - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::ColumnConfig;
+    use synchro_isa::{assemble, DataReg};
+
+    fn counting_column(iterations: u32, divider: u32) -> Column {
+        let src = format!("loop {iterations}, 2\nli r0, 1\nadd r1, r1, r0\nhalt\n");
+        let program = assemble(&src).unwrap();
+        Column::new(
+            ColumnConfig::isca2004().with_divider(divider),
+            program,
+            None,
+        )
+    }
+
+    #[test]
+    fn clock_dividers_give_rationally_related_rates() {
+        let mut chip = Chip::new();
+        chip.add_column(counting_column(10, 1));
+        chip.add_column(counting_column(10, 2));
+        chip.add_column(counting_column(10, 5));
+        // Run a fixed window shorter than any program's completion.
+        for _ in 0..10 {
+            chip.tick().unwrap();
+        }
+        let stats = chip.column_stats();
+        assert_eq!(stats[0].cycles, 10);
+        assert_eq!(stats[1].cycles, 5);
+        assert_eq!(stats[2].cycles, 2);
+        assert_eq!(chip.stats().reference_cycles, 10);
+        assert_eq!(chip.stats().column_cycles, 17);
+    }
+
+    #[test]
+    fn run_stops_when_all_columns_halt() {
+        let mut chip = Chip::new();
+        chip.add_column(counting_column(3, 1));
+        chip.add_column(counting_column(3, 2));
+        let ticks = chip.run(1000).unwrap();
+        assert!(chip.all_halted());
+        assert!(ticks < 1000);
+        // Both columns computed the same result despite different clocks.
+        let r1 = chip.column(0).unwrap().tile(0).unwrap().reg(DataReg::new(1));
+        let r2 = chip.column(1).unwrap().tile(0).unwrap().reg(DataReg::new(1));
+        assert_eq!(r1, 3);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn slower_column_takes_proportionally_more_reference_ticks() {
+        let mut fast = Chip::new();
+        fast.add_column(counting_column(50, 1));
+        let fast_ticks = fast.run(100_000).unwrap();
+
+        let mut slow = Chip::new();
+        slow.add_column(counting_column(50, 4));
+        let slow_ticks = slow.run(100_000).unwrap();
+
+        // The divider-4 column needs ~4× the reference ticks.
+        let ratio = slow_ticks as f64 / fast_ticks as f64;
+        assert!((ratio - 4.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn horizontal_bus_accounts_inter_column_traffic() {
+        let mut chip = Chip::new();
+        chip.add_column(counting_column(1, 1));
+        chip.add_column(counting_column(1, 1));
+        chip.horizontal_transfer(0, &[1]).unwrap();
+        chip.horizontal_transfer(1, &[0]).unwrap();
+        assert_eq!(chip.stats().horizontal_transfers, 2);
+        let bus = chip.horizontal_stats().unwrap();
+        assert_eq!(bus.word_transfers, 2);
+        assert!(chip.horizontal_transfer(5, &[0]).is_err());
+    }
+
+    #[test]
+    fn empty_chip_is_trivially_halted() {
+        let mut chip = Chip::new();
+        assert!(chip.all_halted());
+        assert_eq!(chip.run(10).unwrap(), 0);
+        assert_eq!(chip.columns(), 0);
+        assert!(chip.horizontal_stats().is_none());
+    }
+}

@@ -1,0 +1,379 @@
+//! One Synchroscalar column: SIMD controller + four tiles + DOU + bus.
+
+use std::error::Error;
+use std::fmt;
+
+use synchro_bus::{BusError, SegmentConfig, SegmentedBus};
+use synchro_dou::{Dou, DouProgram};
+use synchro_isa::Program;
+use synchro_simd::{Issue, RateMatcher, SimdController, StallReason};
+use synchro_tile::{ExecError, Tile, TileEvent};
+
+/// Errors surfaced while simulating a column.
+#[derive(Debug)]
+pub enum ColumnError {
+    /// A tile rejected an instruction or faulted on memory.
+    Tile {
+        /// Index of the faulting tile within the column.
+        tile: usize,
+        /// The underlying execution error.
+        source: ExecError,
+    },
+    /// The DOU asked the bus for a physically impossible transfer.
+    Bus(BusError),
+}
+
+impl fmt::Display for ColumnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColumnError::Tile { tile, source } => write!(f, "tile {tile}: {source}"),
+            ColumnError::Bus(e) => write!(f, "bus: {e}"),
+        }
+    }
+}
+
+impl Error for ColumnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ColumnError::Tile { source, .. } => Some(source),
+            ColumnError::Bus(e) => Some(e),
+        }
+    }
+}
+
+impl From<BusError> for ColumnError {
+    fn from(value: BusError) -> Self {
+        ColumnError::Bus(value)
+    }
+}
+
+/// Static configuration of one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnConfig {
+    /// Number of tiles in the column (4 in the paper).
+    pub tiles: usize,
+    /// Clock divider relative to the chip reference clock (1 = full rate).
+    pub clock_divider: u32,
+    /// Supply voltage assigned to the column, in volts (recorded for the
+    /// power pipeline; the functional simulation does not depend on it).
+    pub voltage: f64,
+    /// Which tiles are enabled (idle tiles are supply gated).
+    pub enabled_tiles: Vec<bool>,
+    /// Optional Zero-Overhead Rate Matching configuration.
+    pub rate_matcher: Option<RateMatcher>,
+}
+
+impl ColumnConfig {
+    /// The paper's default: four enabled tiles, full-rate clock, 1.0 V.
+    pub fn isca2004() -> Self {
+        ColumnConfig {
+            tiles: 4,
+            clock_divider: 1,
+            voltage: 1.0,
+            enabled_tiles: vec![true; 4],
+            rate_matcher: None,
+        }
+    }
+
+    /// Builder-style override of the clock divider.
+    #[must_use]
+    pub fn with_divider(mut self, divider: u32) -> Self {
+        self.clock_divider = divider.max(1);
+        self
+    }
+
+    /// Builder-style override of the supply voltage.
+    #[must_use]
+    pub fn with_voltage(mut self, voltage: f64) -> Self {
+        self.voltage = voltage;
+        self
+    }
+}
+
+impl Default for ColumnConfig {
+    fn default() -> Self {
+        ColumnConfig::isca2004()
+    }
+}
+
+/// Per-column execution statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ColumnStats {
+    /// Column clock cycles executed.
+    pub cycles: u64,
+    /// Compute instructions broadcast.
+    pub broadcasts: u64,
+    /// Branch stall cycles.
+    pub branch_stalls: u64,
+    /// Rate-matching stall cycles.
+    pub rate_match_stalls: u64,
+    /// Bus word transfers performed by the DOU.
+    pub bus_word_transfers: u64,
+}
+
+/// One column of the chip.
+#[derive(Debug)]
+pub struct Column {
+    config: ColumnConfig,
+    controller: SimdController,
+    tiles: Vec<Tile>,
+    dou: Option<Dou>,
+    bus: SegmentedBus,
+    segment_config: SegmentConfig,
+    stats: ColumnStats,
+}
+
+impl Column {
+    /// Build a column from its configuration, SIMD program and optional DOU
+    /// program.
+    pub fn new(config: ColumnConfig, program: Program, dou_program: Option<DouProgram>) -> Self {
+        let mut controller = SimdController::new(program);
+        if let Some(rate) = config.rate_matcher {
+            controller.set_rate_matcher(rate);
+        }
+        let mut tiles: Vec<Tile> = (0..config.tiles).map(|_| Tile::new()).collect();
+        for (i, tile) in tiles.iter_mut().enumerate() {
+            let enabled = config.enabled_tiles.get(i).copied().unwrap_or(true);
+            tile.set_enabled(enabled);
+        }
+        let bus = SegmentedBus::new(8, config.tiles.max(1));
+        let segment_config = SegmentConfig::all_closed(8, config.tiles.max(1));
+        Column {
+            config,
+            controller,
+            tiles,
+            dou: dou_program.map(Dou::new),
+            bus,
+            segment_config,
+            stats: ColumnStats::default(),
+        }
+    }
+
+    /// The column's configuration.
+    pub fn config(&self) -> &ColumnConfig {
+        &self.config
+    }
+
+    /// Access a tile (e.g. to stage data into its local memory).
+    pub fn tile_mut(&mut self, index: usize) -> Option<&mut Tile> {
+        self.tiles.get_mut(index)
+    }
+
+    /// Shared access to a tile.
+    pub fn tile(&self, index: usize) -> Option<&Tile> {
+        self.tiles.get(index)
+    }
+
+    /// Has the column's program halted?
+    pub fn is_halted(&self) -> bool {
+        self.controller.is_halted()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> ColumnStats {
+        self.stats
+    }
+
+    /// Advance the column by one of its own clock cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ColumnError`] when a tile faults or the DOU schedules an
+    /// impossible bus transfer (both indicate a broken static schedule).
+    pub fn step(&mut self) -> Result<(), ColumnError> {
+        if self.controller.is_halted() {
+            return Ok(());
+        }
+        self.stats.cycles += 1;
+
+        // 1. The SIMD controller issues one slot.
+        let issue = self.controller.step();
+        match issue {
+            Issue::Broadcast(inst) => {
+                self.stats.broadcasts += 1;
+                for (i, tile) in self.tiles.iter_mut().enumerate() {
+                    let event = tile
+                        .execute(inst)
+                        .map_err(|source| ColumnError::Tile { tile: i, source })?;
+                    if let TileEvent::Condition(v) = event {
+                        // Tile 0 of the column drives data-dependent control.
+                        if i == 0 {
+                            self.controller.set_condition(v);
+                        }
+                    }
+                }
+            }
+            Issue::Stall(StallReason::Branch) => self.stats.branch_stalls += 1,
+            Issue::Stall(StallReason::RateMatch) => self.stats.rate_match_stalls += 1,
+            Issue::Halted => return Ok(()),
+        }
+
+        // 2. The DOU moves data between tiles through the segmented bus.
+        if let Some(dou) = &mut self.dou {
+            let output = dou.step();
+            if let Some(segments) = output.segments {
+                self.segment_config = segments;
+            }
+            if !output.ops.is_empty() {
+                self.bus.cycle(&self.segment_config, &output.ops)?;
+                for op in &output.ops {
+                    let value = self
+                        .tiles
+                        .get(op.producer)
+                        .and_then(Tile::peek_outgoing)
+                        .unwrap_or(0);
+                    for &consumer in &op.consumers {
+                        if let Some(t) = self.tiles.get_mut(consumer) {
+                            t.deliver(value);
+                        }
+                    }
+                    self.stats.bus_word_transfers += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Run the column until it halts or `max_cycles` of its own clock
+    /// elapse.  Returns the number of cycles consumed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`ColumnError`] encountered.
+    pub fn run(&mut self, max_cycles: u64) -> Result<u64, ColumnError> {
+        let start = self.stats.cycles;
+        for _ in 0..max_cycles {
+            if self.controller.is_halted() {
+                break;
+            }
+            self.step()?;
+        }
+        Ok(self.stats.cycles - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synchro_bus::BusOp;
+    use synchro_dou::{PatternCycle, ScheduleCompiler};
+    use synchro_isa::{assemble, DataReg};
+
+    #[test]
+    fn simd_broadcast_executes_on_all_enabled_tiles() {
+        let program = assemble("li r0, 7\nadd r1, r0, r0\nhalt\n").unwrap();
+        let mut col = Column::new(ColumnConfig::isca2004(), program, None);
+        col.run(100).unwrap();
+        for i in 0..4 {
+            assert_eq!(col.tile(i).unwrap().reg(DataReg::new(1)), 14);
+        }
+        assert_eq!(col.stats().broadcasts, 2);
+        assert!(col.is_halted());
+    }
+
+    #[test]
+    fn disabled_tiles_do_not_execute() {
+        let program = assemble("li r0, 7\nhalt\n").unwrap();
+        let mut config = ColumnConfig::isca2004();
+        config.enabled_tiles = vec![true, false, true, false];
+        let mut col = Column::new(config, program, None);
+        col.run(10).unwrap();
+        assert_eq!(col.tile(0).unwrap().reg(DataReg::new(0)), 7);
+        assert_eq!(col.tile(1).unwrap().reg(DataReg::new(0)), 0);
+        assert_eq!(col.tile(2).unwrap().reg(DataReg::new(0)), 7);
+        assert_eq!(col.tile(3).unwrap().reg(DataReg::new(0)), 0);
+    }
+
+    #[test]
+    fn dou_moves_r7_between_tiles() {
+        // Every tile loads its own value into R7 (SIMD, so all tiles load
+        // the same immediate here), sends, then receives: the DOU schedule
+        // routes tile 0's word to tile 3.
+        let program = assemble("li r7, 42\nsend\nnop\nrecv r2\nhalt\n").unwrap();
+        let mut compiler = ScheduleCompiler::new();
+        // Cycle 0 (li): idle.  Cycle 1 (send): idle — the write buffer is
+        // filled during this cycle.  Cycle 2 (nop): transfer tile0 → tile3.
+        compiler.idle();
+        compiler.idle();
+        compiler.push(PatternCycle {
+            segments: None,
+            ops: vec![BusOp { split: 0, producer: 0, consumers: vec![3] }],
+        });
+        compiler.idle();
+        let dou_program = compiler.compile(1).unwrap();
+        let mut col = Column::new(ColumnConfig::isca2004(), program, Some(dou_program));
+        col.run(20).unwrap();
+        assert_eq!(col.tile(3).unwrap().reg(DataReg::new(2)), 42);
+        assert_eq!(col.stats().bus_word_transfers, 1);
+    }
+
+    #[test]
+    fn broken_dou_schedule_is_reported() {
+        // Two producers on the same fully-connected split in one cycle.
+        let program = assemble("li r7, 1\nsend\nnop\nhalt\n").unwrap();
+        let mut compiler = ScheduleCompiler::new();
+        compiler.idle();
+        compiler.idle();
+        compiler.push(PatternCycle {
+            segments: None,
+            ops: vec![
+                BusOp { split: 0, producer: 0, consumers: vec![1] },
+                BusOp { split: 0, producer: 2, consumers: vec![3] },
+            ],
+        });
+        let dou_program = compiler.compile(1).unwrap();
+        let mut col = Column::new(ColumnConfig::isca2004(), program, Some(dou_program));
+        let err = col.run(20).unwrap_err();
+        assert!(matches!(err, ColumnError::Bus(_)));
+        assert!(err.to_string().contains("bus"));
+    }
+
+    #[test]
+    fn rate_matcher_inflates_cycle_count_without_changing_results() {
+        let src = "loop 8, 2\nli r0, 3\nadd r1, r1, r0\nhalt\n";
+        let p = assemble(src).unwrap();
+        let mut plain = Column::new(ColumnConfig::isca2004(), p.clone(), None);
+        let plain_cycles = plain.run(1000).unwrap();
+
+        let mut config = ColumnConfig::isca2004();
+        config.rate_matcher = RateMatcher::for_rates(200.0, 100.0);
+        let mut throttled = Column::new(config, p, None);
+        let throttled_cycles = throttled.run(1000).unwrap();
+
+        assert_eq!(
+            plain.tile(0).unwrap().reg(DataReg::new(1)),
+            throttled.tile(0).unwrap().reg(DataReg::new(1))
+        );
+        assert!(throttled_cycles > plain_cycles);
+        assert!(throttled.stats().rate_match_stalls > 0);
+    }
+
+    #[test]
+    fn halted_column_ignores_further_steps() {
+        let p = assemble("halt\n").unwrap();
+        let mut col = Column::new(ColumnConfig::isca2004(), p, None);
+        col.step().unwrap();
+        let before = col.stats().cycles;
+        col.step().unwrap();
+        assert_eq!(col.stats().cycles, before);
+    }
+
+    #[test]
+    fn tile_fault_is_reported_with_tile_index() {
+        let p = assemble("setp p0, 9000\nld r0, p0, 0\nhalt\n").unwrap();
+        let mut col = Column::new(ColumnConfig::isca2004(), p, None);
+        let err = col.run(10).unwrap_err();
+        match err {
+            ColumnError::Tile { tile, .. } => assert_eq!(tile, 0),
+            other => panic!("expected tile error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn config_builders_work() {
+        let c = ColumnConfig::isca2004().with_divider(5).with_voltage(0.8);
+        assert_eq!(c.clock_divider, 5);
+        assert!((c.voltage - 0.8).abs() < 1e-12);
+        assert_eq!(ColumnConfig::default(), ColumnConfig::isca2004());
+    }
+}

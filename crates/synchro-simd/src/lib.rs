@@ -1,0 +1,462 @@
+//! The per-column SIMD controller (Section 2.2) and Zero-Overhead Rate
+//! Matching (Section 2.4).
+//!
+//! One controller drives the four tiles of a column from a single program
+//! memory.  It executes all control instructions itself — zero-overhead
+//! hardware loops, unconditional jumps and conditional branches (each
+//! conditional branch delays the column by one cycle, the "short pipeline"
+//! stall the paper describes) — and only forwards compute instructions to
+//! the tiles.  A small programmable counter implements Zero-Overhead Rate
+//! Matching (ZORM): it periodically injects NOP issue cycles so the
+//! column's effective computation rate can be matched exactly to the
+//! stream's data rate without padding the code with NOPs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use synchro_isa::{CondCode, Instruction, Program};
+
+/// Configuration of the rate-matching counter: out of every `period` issue
+/// slots, `stalls` are converted into NOPs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateMatcher {
+    /// Length of the repeating period, in issue slots.
+    pub period: u32,
+    /// Number of NOP slots injected per period.
+    pub stalls: u32,
+}
+
+impl RateMatcher {
+    /// A matcher that never stalls.
+    pub fn disabled() -> Self {
+        RateMatcher { period: 1, stalls: 0 }
+    }
+
+    /// Build a matcher that throttles a column running at `column_mhz` so
+    /// its useful issue rate equals `effective_mhz`.  Returns `None` when
+    /// no throttling is needed (the column is not faster than required).
+    pub fn for_rates(column_mhz: f64, effective_mhz: f64) -> Option<Self> {
+        if effective_mhz >= column_mhz || column_mhz <= 0.0 {
+            return None;
+        }
+        // Choose the smallest period (≤ 1024) giving at least the required
+        // stall fraction.
+        let stall_fraction = 1.0 - effective_mhz / column_mhz;
+        for period in 2..=1024u32 {
+            let stalls = (stall_fraction * f64::from(period)).ceil() as u32;
+            if stalls < period
+                && (f64::from(stalls) / f64::from(period) - stall_fraction).abs() < 1e-9
+            {
+                return Some(RateMatcher { period, stalls });
+            }
+        }
+        // Fall back to the closest 1024-slot approximation.
+        let stalls = (stall_fraction * 1024.0).round() as u32;
+        Some(RateMatcher {
+            period: 1024,
+            stalls: stalls.clamp(1, 1023),
+        })
+    }
+
+    /// The fraction of issue slots converted to NOPs.
+    pub fn stall_fraction(&self) -> f64 {
+        f64::from(self.stalls) / f64::from(self.period)
+    }
+}
+
+/// What the controller issues to its tiles in one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Issue {
+    /// Broadcast this compute instruction to every enabled tile.
+    Broadcast(Instruction),
+    /// The column idles this cycle (branch stall or ZORM throttling); the
+    /// tiles see a NOP.
+    Stall(StallReason),
+    /// The program has halted.
+    Halted,
+}
+
+/// Why an issue slot was spent idling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallReason {
+    /// The single-cycle conditional branch stall of Section 2.2.
+    Branch,
+    /// A Zero-Overhead Rate Matching NOP (Section 2.4).
+    RateMatch,
+}
+
+/// Execution statistics for one column controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ControllerStats {
+    /// Total issue cycles consumed (including stalls).
+    pub cycles: u64,
+    /// Compute instructions broadcast to the tiles.
+    pub broadcasts: u64,
+    /// Branch stall cycles.
+    pub branch_stalls: u64,
+    /// Rate-matching NOP cycles.
+    pub rate_match_stalls: u64,
+    /// Zero-overhead loop iterations completed.
+    pub loop_iterations: u64,
+    /// Conditional branches resolved.
+    pub branches: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LoopFrame {
+    /// First instruction of the body.
+    start: u32,
+    /// One past the last instruction of the body.
+    end: u32,
+    /// Iterations remaining after the current one.
+    remaining: u32,
+}
+
+/// The SIMD column controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimdController {
+    program: Program,
+    pc: u32,
+    loops: Vec<LoopFrame>,
+    condition: i32,
+    rate: RateMatcher,
+    slot_in_period: u32,
+    halted: bool,
+    stats: ControllerStats,
+}
+
+impl SimdController {
+    /// Create a controller for `program` with rate matching disabled.
+    pub fn new(program: Program) -> Self {
+        SimdController {
+            program,
+            pc: 0,
+            loops: Vec::new(),
+            condition: 0,
+            rate: RateMatcher::disabled(),
+            slot_in_period: 0,
+            halted: false,
+            stats: ControllerStats::default(),
+        }
+    }
+
+    /// Enable Zero-Overhead Rate Matching with the given configuration.
+    pub fn set_rate_matcher(&mut self, rate: RateMatcher) {
+        self.rate = rate;
+        self.slot_in_period = 0;
+    }
+
+    /// Update the column condition register (driven by a tile executing
+    /// `SetCond`).
+    pub fn set_condition(&mut self, value: i32) {
+        self.condition = value;
+    }
+
+    /// Has the program halted?
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// The current program counter.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Execution statistics so far.
+    pub fn stats(&self) -> ControllerStats {
+        self.stats
+    }
+
+    /// Advance one issue cycle and return what the tiles should execute.
+    pub fn step(&mut self) -> Issue {
+        if self.halted {
+            return Issue::Halted;
+        }
+        self.stats.cycles += 1;
+
+        // ZORM: the first `stalls` slots of every period are NOPs.
+        if self.rate.stalls > 0 {
+            let slot = self.slot_in_period;
+            self.slot_in_period = (self.slot_in_period + 1) % self.rate.period;
+            if slot < self.rate.stalls {
+                self.stats.rate_match_stalls += 1;
+                return Issue::Stall(StallReason::RateMatch);
+            }
+        }
+
+        loop {
+            // Zero-overhead loop back-edges are taken without consuming an
+            // issue slot: the PC is used for the decision, not an
+            // instruction (Section 2.2).
+            if let Some(frame) = self.loops.last_mut() {
+                if self.pc == frame.end {
+                    if frame.remaining > 0 {
+                        frame.remaining -= 1;
+                        self.pc = frame.start;
+                        self.stats.loop_iterations += 1;
+                    } else {
+                        self.loops.pop();
+                        self.stats.loop_iterations += 1;
+                    }
+                    continue;
+                }
+            }
+
+            let Some(inst) = self.program.fetch(self.pc as usize) else {
+                self.halted = true;
+                return Issue::Halted;
+            };
+
+            match inst {
+                Instruction::Halt => {
+                    self.halted = true;
+                    return Issue::Halted;
+                }
+                Instruction::Jump { target } => {
+                    self.pc = target;
+                    continue;
+                }
+                Instruction::Branch { cond, target } => {
+                    self.stats.branches += 1;
+                    let taken = match cond {
+                        CondCode::Zero => self.condition == 0,
+                        CondCode::NotZero => self.condition != 0,
+                    };
+                    self.pc = if taken { target } else { self.pc + 1 };
+                    // The branch resolves in the controller's short pipeline
+                    // but delays the instruction stream by one cycle.
+                    self.stats.branch_stalls += 1;
+                    return Issue::Stall(StallReason::Branch);
+                }
+                Instruction::LoopBegin { count, body_len } => {
+                    let start = self.pc + 1;
+                    if count > 0 && body_len > 0 {
+                        self.loops.push(LoopFrame {
+                            start,
+                            end: start + body_len,
+                            remaining: count - 1,
+                        });
+                        self.pc = start;
+                    } else {
+                        // Zero-iteration loop: skip the body entirely.
+                        self.pc = start + body_len;
+                    }
+                    continue;
+                }
+                other => {
+                    self.pc += 1;
+                    self.stats.broadcasts += 1;
+                    return Issue::Broadcast(other);
+                }
+            }
+        }
+    }
+
+    /// Run until the program halts or `max_cycles` elapse, returning every
+    /// issued slot.  Intended for tests and small kernels.
+    pub fn run(&mut self, max_cycles: u64) -> Vec<Issue> {
+        let mut out = Vec::new();
+        for _ in 0..max_cycles {
+            let issue = self.step();
+            if issue == Issue::Halted {
+                break;
+            }
+            out.push(issue);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synchro_isa::{assemble, AluOp, DataReg};
+
+    fn broadcasts(issues: &[Issue]) -> Vec<Instruction> {
+        issues
+            .iter()
+            .filter_map(|i| match i {
+                Issue::Broadcast(inst) => Some(*inst),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn straight_line_program_is_broadcast_in_order() {
+        let p = assemble("li r0, 1\nadd r1, r0, r0\nhalt\n").unwrap();
+        let mut c = SimdController::new(p);
+        let issues = c.run(10);
+        let b = broadcasts(&issues);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[0], Instruction::LoadImm { dst: DataReg::new(0), imm: 1 });
+        assert!(matches!(b[1], Instruction::Alu { op: AluOp::Add, .. }));
+        assert!(c.is_halted());
+    }
+
+    #[test]
+    fn zero_overhead_loop_has_no_stall_cycles() {
+        // A 4-iteration loop over 2 instructions must take exactly 8 issue
+        // cycles — the loop bookkeeping is free (Section 2.2).
+        let p = assemble("loop 4, 2\nli r0, 1\nadd r1, r1, r0\nhalt\n").unwrap();
+        let mut c = SimdController::new(p);
+        let issues = c.run(100);
+        assert_eq!(issues.len(), 8);
+        assert!(issues.iter().all(|i| matches!(i, Issue::Broadcast(_))));
+        assert_eq!(c.stats().broadcasts, 8);
+        assert_eq!(c.stats().branch_stalls, 0);
+    }
+
+    #[test]
+    fn zero_iteration_loop_skips_its_body() {
+        let p = assemble("loop 0, 2\nli r0, 1\nli r0, 2\nli r1, 3\nhalt\n").unwrap();
+        let mut c = SimdController::new(p);
+        let b = broadcasts(&c.run(10));
+        assert_eq!(b, vec![Instruction::LoadImm { dst: DataReg::new(1), imm: 3 }]);
+    }
+
+    #[test]
+    fn nested_loops_multiply_iteration_counts() {
+        // outer 3 × inner 2 over one instruction = 6 broadcasts of the body
+        // plus one outer-body instruction per outer iteration.
+        let src = "
+            loop 3, 4
+            li r0, 1
+            loop 2, 1
+            add r1, r1, r0
+            sub r2, r2, r0
+            halt
+        ";
+        let p = assemble(src).unwrap();
+        let mut c = SimdController::new(p);
+        let b = broadcasts(&c.run(100));
+        let adds = b
+            .iter()
+            .filter(|i| matches!(i, Instruction::Alu { op: AluOp::Add, .. }))
+            .count();
+        let subs = b
+            .iter()
+            .filter(|i| matches!(i, Instruction::Alu { op: AluOp::Sub, .. }))
+            .count();
+        assert_eq!(adds, 6, "inner body runs 3×2 times");
+        assert_eq!(subs, 3, "outer tail runs 3 times");
+    }
+
+    #[test]
+    fn conditional_branch_costs_exactly_one_stall() {
+        let src = "
+            li r0, 0
+            brz skip
+            li r1, 99
+        skip:
+            li r2, 7
+            halt
+        ";
+        let p = assemble(src).unwrap();
+        let mut c = SimdController::new(p);
+        // Condition register is 0, so `brz` is taken and r1 is never set.
+        let issues = c.run(20);
+        let stalls = issues
+            .iter()
+            .filter(|i| matches!(i, Issue::Stall(StallReason::Branch)))
+            .count();
+        assert_eq!(stalls, 1);
+        let b = broadcasts(&issues);
+        assert_eq!(b.len(), 2);
+        assert!(matches!(b[1], Instruction::LoadImm { imm: 7, .. }));
+        assert_eq!(c.stats().branches, 1);
+    }
+
+    #[test]
+    fn branch_respects_condition_register() {
+        let src = "
+            brnz taken
+            li r1, 1
+            halt
+        taken:
+            li r2, 2
+            halt
+        ";
+        let p = assemble(src).unwrap();
+        let mut not_taken = SimdController::new(p.clone());
+        not_taken.set_condition(0);
+        let b = broadcasts(&not_taken.run(10));
+        assert!(matches!(b[0], Instruction::LoadImm { imm: 1, .. }));
+
+        let mut taken = SimdController::new(p);
+        taken.set_condition(5);
+        let b = broadcasts(&taken.run(10));
+        assert!(matches!(b[0], Instruction::LoadImm { imm: 2, .. }));
+    }
+
+    #[test]
+    fn unconditional_jump_is_free() {
+        let src = "
+            jmp over
+            li r0, 1
+        over:
+            li r1, 2
+            halt
+        ";
+        let p = assemble(src).unwrap();
+        let mut c = SimdController::new(p);
+        let issues = c.run(10);
+        assert_eq!(issues.len(), 1, "jump consumes no issue slot");
+    }
+
+    #[test]
+    fn rate_matcher_injects_exact_nop_fraction() {
+        // Throttle a column to 3/4 of its clock: 1 stall per 4 slots.
+        let rate = RateMatcher::for_rates(200.0, 150.0).unwrap();
+        assert_eq!(rate.period, 4);
+        assert_eq!(rate.stalls, 1);
+        assert!((rate.stall_fraction() - 0.25).abs() < 1e-12);
+
+        let p = assemble("loop 30, 1\nli r0, 1\nhalt\n").unwrap();
+        let mut c = SimdController::new(p);
+        c.set_rate_matcher(rate);
+        let issues = c.run(1000);
+        let stalls = issues
+            .iter()
+            .filter(|i| matches!(i, Issue::Stall(StallReason::RateMatch)))
+            .count();
+        let work = broadcasts(&issues).len();
+        assert_eq!(work, 30);
+        // 30 useful slots at 3 useful per 4 issued => 10 stalls, plus at
+        // most one trailing stall before the HALT is discovered.
+        assert!(stalls == 10 || stalls == 11, "stalls = {stalls}");
+    }
+
+    #[test]
+    fn rate_matcher_is_none_when_no_throttle_needed() {
+        assert!(RateMatcher::for_rates(100.0, 100.0).is_none());
+        assert!(RateMatcher::for_rates(100.0, 150.0).is_none());
+        assert!(RateMatcher::for_rates(0.0, 10.0).is_none());
+    }
+
+    #[test]
+    fn rate_matcher_handles_awkward_ratios() {
+        // 64 MS/s stream on a 120 MHz column needing 7 of every 15 cycles:
+        // any ratio must yield a stall fraction within one slot in 1024.
+        let r = RateMatcher::for_rates(120.0, 113.0).unwrap();
+        let want = 1.0 - 113.0 / 120.0;
+        assert!((r.stall_fraction() - want).abs() < 1.0 / 1024.0 + 1e-9);
+    }
+
+    #[test]
+    fn halted_controller_stays_halted() {
+        let p = assemble("halt\n").unwrap();
+        let mut c = SimdController::new(p);
+        assert_eq!(c.step(), Issue::Halted);
+        assert_eq!(c.step(), Issue::Halted);
+        assert!(c.is_halted());
+    }
+
+    #[test]
+    fn running_off_the_end_halts() {
+        let p = assemble("nop\n").unwrap();
+        let mut c = SimdController::new(p);
+        assert!(matches!(c.step(), Issue::Broadcast(Instruction::Nop)));
+        assert_eq!(c.step(), Issue::Halted);
+    }
+}

@@ -1,0 +1,454 @@
+//! The tile datapath: registers, accumulators and single-cycle execution.
+
+use crate::memory::{LocalMemory, MemoryFault};
+use std::error::Error;
+use std::fmt;
+use synchro_isa::{AluOp, DataReg, Instruction, PtrReg};
+
+/// Events a tile reports back to its column after executing one instruction.
+/// The SIMD controller and DOU use these to drive condition codes and bus
+/// traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TileEvent {
+    /// Nothing of interest happened.
+    None,
+    /// The tile copied `R7` into its bus write buffer (`CommSend`).
+    Sent(i32),
+    /// The tile asked for its bus read buffer (`CommRecv`); the value it
+    /// consumed is carried for tracing.
+    Received(i32),
+    /// The tile requested that its value become the column condition
+    /// register (`SetCond`).
+    Condition(i32),
+}
+
+/// Errors produced by tile execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A control instruction reached the datapath; the SIMD controller
+    /// should have consumed it.
+    ControlReachedTile(Instruction),
+    /// A local memory access faulted.
+    Memory(MemoryFault),
+    /// An accumulator index other than 0/1 was used.
+    BadAccumulator(u8),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::ControlReachedTile(i) => {
+                write!(f, "control instruction `{i}` must not reach a tile")
+            }
+            ExecError::Memory(m) => write!(f, "local memory fault: {m}"),
+            ExecError::BadAccumulator(a) => write!(f, "accumulator index {a} out of range"),
+        }
+    }
+}
+
+impl Error for ExecError {}
+
+impl From<MemoryFault> for ExecError {
+    fn from(value: MemoryFault) -> Self {
+        ExecError::Memory(value)
+    }
+}
+
+/// Per-tile execution statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TileStats {
+    /// Instructions executed (including NOPs broadcast to the tile).
+    pub instructions: u64,
+    /// NOPs among them (idle or rate-matching cycles).
+    pub nops: u64,
+    /// Multiply-accumulate operations.
+    pub macs: u64,
+    /// Local memory accesses (loads + stores).
+    pub memory_ops: u64,
+    /// Communication operations (sends + receives).
+    pub comm_ops: u64,
+}
+
+/// One Synchroscalar tile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tile {
+    regs: [i32; 8],
+    ptrs: [u32; 6],
+    accs: [i64; 2],
+    memory: LocalMemory,
+    write_buffer: Option<i32>,
+    read_buffer: Option<i32>,
+    enabled: bool,
+    stats: TileStats,
+}
+
+impl Tile {
+    /// A new tile with the default 32 KB local memory, enabled.
+    pub fn new() -> Self {
+        Tile {
+            regs: [0; 8],
+            ptrs: [0; 6],
+            accs: [0; 2],
+            memory: LocalMemory::new(),
+            write_buffer: None,
+            read_buffer: None,
+            enabled: true,
+            stats: TileStats::default(),
+        }
+    }
+
+    /// Enable or disable the tile.  Disabled (idle) tiles are supply gated:
+    /// they execute nothing and consume no energy (Section 2.2).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Is the tile enabled?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Read a data register.
+    pub fn reg(&self, r: DataReg) -> i32 {
+        self.regs[r.index()]
+    }
+
+    /// Write a data register.
+    pub fn set_reg(&mut self, r: DataReg, value: i32) {
+        self.regs[r.index()] = value;
+    }
+
+    /// Read a pointer register.
+    pub fn ptr(&self, p: PtrReg) -> u32 {
+        self.ptrs[p.index()]
+    }
+
+    /// Read an accumulator (full 64-bit internal precision, modelling the
+    /// 40-bit hardware with headroom).
+    pub fn acc(&self, index: u8) -> i64 {
+        self.accs[usize::from(index.min(1))]
+    }
+
+    /// Mutable access to the tile-local memory (used to stage kernel data).
+    pub fn memory_mut(&mut self) -> &mut LocalMemory {
+        &mut self.memory
+    }
+
+    /// Shared access to the tile-local memory.
+    pub fn memory(&self) -> &LocalMemory {
+        &self.memory
+    }
+
+    /// Execution statistics accumulated so far.
+    pub fn stats(&self) -> TileStats {
+        self.stats
+    }
+
+    /// Deliver a value into the tile's bus read buffer (performed by the
+    /// DOU at a statically scheduled cycle).
+    pub fn deliver(&mut self, value: i32) {
+        self.read_buffer = Some(value);
+    }
+
+    /// Take the value most recently placed in the write buffer, if any
+    /// (performed by the DOU when it schedules this tile as a producer).
+    pub fn take_outgoing(&mut self) -> Option<i32> {
+        self.write_buffer.take()
+    }
+
+    /// Peek the outgoing write-buffer value without consuming it (the bus
+    /// can broadcast the same producer value to several consumers).
+    pub fn peek_outgoing(&self) -> Option<i32> {
+        self.write_buffer
+    }
+
+    /// Execute one broadcast instruction.  Control instructions are
+    /// rejected — they belong to the SIMD controller.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] on control instructions reaching the tile,
+    /// memory faults, or bad accumulator indices.
+    pub fn execute(&mut self, inst: Instruction) -> Result<TileEvent, ExecError> {
+        if !self.enabled {
+            return Ok(TileEvent::None);
+        }
+        if inst.is_control() {
+            return Err(ExecError::ControlReachedTile(inst));
+        }
+        self.stats.instructions += 1;
+        let event = match inst {
+            Instruction::Nop => {
+                self.stats.nops += 1;
+                TileEvent::None
+            }
+            Instruction::Alu { op, dst, a, b } => {
+                let va = self.reg(a);
+                let vb = self.reg(b);
+                let result = alu(op, va, vb);
+                self.set_reg(dst, result);
+                TileEvent::None
+            }
+            Instruction::LoadImm { dst, imm } => {
+                self.set_reg(dst, imm);
+                TileEvent::None
+            }
+            Instruction::Mac { acc, a, b } => {
+                if acc > 1 {
+                    return Err(ExecError::BadAccumulator(acc));
+                }
+                self.stats.macs += 1;
+                let product = i64::from(self.reg(a)) * i64::from(self.reg(b));
+                self.accs[usize::from(acc)] = self.accs[usize::from(acc)].wrapping_add(product);
+                TileEvent::None
+            }
+            Instruction::ClearAcc { acc } => {
+                if acc > 1 {
+                    return Err(ExecError::BadAccumulator(acc));
+                }
+                self.accs[usize::from(acc)] = 0;
+                TileEvent::None
+            }
+            Instruction::MoveAcc { dst, acc } => {
+                if acc > 1 {
+                    return Err(ExecError::BadAccumulator(acc));
+                }
+                let v = self.accs[usize::from(acc)];
+                let clamped = v.clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32;
+                self.set_reg(dst, clamped);
+                TileEvent::None
+            }
+            Instruction::Load { dst, ptr, offset } => {
+                self.stats.memory_ops += 1;
+                let addr = i64::from(self.ptr(ptr)) + i64::from(offset);
+                let v = self.memory.read(addr)?;
+                self.set_reg(dst, v);
+                TileEvent::None
+            }
+            Instruction::Store { src, ptr, offset } => {
+                self.stats.memory_ops += 1;
+                let addr = i64::from(self.ptr(ptr)) + i64::from(offset);
+                let v = self.reg(src);
+                self.memory.write(addr, v)?;
+                TileEvent::None
+            }
+            Instruction::SetPtr { ptr, addr } => {
+                self.ptrs[ptr.index()] = addr;
+                TileEvent::None
+            }
+            Instruction::AddPtr { ptr, offset } => {
+                let cur = i64::from(self.ptrs[ptr.index()]) + i64::from(offset);
+                self.ptrs[ptr.index()] = cur.max(0) as u32;
+                TileEvent::None
+            }
+            Instruction::CommSend => {
+                self.stats.comm_ops += 1;
+                let v = self.reg(DataReg::COMM);
+                self.write_buffer = Some(v);
+                TileEvent::Sent(v)
+            }
+            Instruction::CommRecv { dst } => {
+                self.stats.comm_ops += 1;
+                let v = self.read_buffer.take().unwrap_or(0);
+                self.set_reg(dst, v);
+                TileEvent::Received(v)
+            }
+            Instruction::SetCond { src } => TileEvent::Condition(self.reg(src)),
+            // Control instructions were rejected above.
+            Instruction::LoopBegin { .. }
+            | Instruction::Jump { .. }
+            | Instruction::Branch { .. }
+            | Instruction::Halt => unreachable!("control instructions rejected earlier"),
+        };
+        Ok(event)
+    }
+}
+
+impl Default for Tile {
+    fn default() -> Self {
+        Tile::new()
+    }
+}
+
+fn alu(op: AluOp, a: i32, b: i32) -> i32 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Shl => ((a as u32) << (b as u32 & 31)) as i32,
+        AluOp::Shr => ((a as u32) >> (b as u32 & 31)) as i32,
+        AluOp::Asr => a >> (b as u32 & 31),
+        AluOp::Min => a.min(b),
+        AluOp::Max => a.max(b),
+        AluOp::Abs => a.wrapping_abs(),
+        AluOp::CmpEq => i32::from(a == b),
+        AluOp::CmpLt => i32::from(a < b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: u8) -> DataReg {
+        DataReg::new(n)
+    }
+
+    #[test]
+    fn alu_operations_match_semantics() {
+        assert_eq!(alu(AluOp::Add, 2, 3), 5);
+        assert_eq!(alu(AluOp::Sub, 2, 3), -1);
+        assert_eq!(alu(AluOp::Mul, -4, 3), -12);
+        assert_eq!(alu(AluOp::And, 0b1100, 0b1010), 0b1000);
+        assert_eq!(alu(AluOp::Or, 0b1100, 0b1010), 0b1110);
+        assert_eq!(alu(AluOp::Xor, 0b1100, 0b1010), 0b0110);
+        assert_eq!(alu(AluOp::Shl, 1, 4), 16);
+        assert_eq!(alu(AluOp::Shr, -1, 28), 0xF);
+        assert_eq!(alu(AluOp::Asr, -16, 2), -4);
+        assert_eq!(alu(AluOp::Min, -5, 3), -5);
+        assert_eq!(alu(AluOp::Max, -5, 3), 3);
+        assert_eq!(alu(AluOp::Abs, -5, 0), 5);
+        assert_eq!(alu(AluOp::CmpEq, 7, 7), 1);
+        assert_eq!(alu(AluOp::CmpLt, 3, 7), 1);
+        assert_eq!(alu(AluOp::CmpLt, 7, 3), 0);
+    }
+
+    #[test]
+    fn add_wraps_like_hardware() {
+        assert_eq!(alu(AluOp::Add, i32::MAX, 1), i32::MIN);
+    }
+
+    #[test]
+    fn load_imm_and_alu_through_execute() {
+        let mut t = Tile::new();
+        t.execute(Instruction::LoadImm { dst: r(0), imm: 21 }).unwrap();
+        t.execute(Instruction::LoadImm { dst: r(1), imm: 2 }).unwrap();
+        t.execute(Instruction::Alu {
+            op: AluOp::Mul,
+            dst: r(2),
+            a: r(0),
+            b: r(1),
+        })
+        .unwrap();
+        assert_eq!(t.reg(r(2)), 42);
+        assert_eq!(t.stats().instructions, 3);
+    }
+
+    #[test]
+    fn mac_accumulates_and_saturates_on_move() {
+        let mut t = Tile::new();
+        t.set_reg(r(0), 1 << 20);
+        t.set_reg(r(1), 1 << 20);
+        for _ in 0..8 {
+            t.execute(Instruction::Mac { acc: 0, a: r(0), b: r(1) }).unwrap();
+        }
+        assert_eq!(t.acc(0), 8i64 << 40);
+        t.execute(Instruction::MoveAcc { dst: r(2), acc: 0 }).unwrap();
+        assert_eq!(t.reg(r(2)), i32::MAX, "move saturates to 32 bits");
+        t.execute(Instruction::ClearAcc { acc: 0 }).unwrap();
+        assert_eq!(t.acc(0), 0);
+        assert_eq!(t.stats().macs, 8);
+    }
+
+    #[test]
+    fn bad_accumulator_is_rejected() {
+        let mut t = Tile::new();
+        assert!(matches!(
+            t.execute(Instruction::Mac { acc: 2, a: r(0), b: r(1) }),
+            Err(ExecError::BadAccumulator(2))
+        ));
+    }
+
+    #[test]
+    fn memory_load_store_roundtrip() {
+        let mut t = Tile::new();
+        t.execute(Instruction::SetPtr { ptr: PtrReg::new(0), addr: 100 }).unwrap();
+        t.execute(Instruction::LoadImm { dst: r(3), imm: -7 }).unwrap();
+        t.execute(Instruction::Store { src: r(3), ptr: PtrReg::new(0), offset: 5 }).unwrap();
+        t.execute(Instruction::Load { dst: r(4), ptr: PtrReg::new(0), offset: 5 }).unwrap();
+        assert_eq!(t.reg(r(4)), -7);
+        assert_eq!(t.stats().memory_ops, 2);
+    }
+
+    #[test]
+    fn pointer_arithmetic() {
+        let mut t = Tile::new();
+        t.execute(Instruction::SetPtr { ptr: PtrReg::new(1), addr: 10 }).unwrap();
+        t.execute(Instruction::AddPtr { ptr: PtrReg::new(1), offset: -4 }).unwrap();
+        assert_eq!(t.ptr(PtrReg::new(1)), 6);
+        t.execute(Instruction::AddPtr { ptr: PtrReg::new(1), offset: -100 }).unwrap();
+        assert_eq!(t.ptr(PtrReg::new(1)), 0, "pointer clamps at zero");
+    }
+
+    #[test]
+    fn memory_fault_propagates() {
+        let mut t = Tile::new();
+        t.execute(Instruction::SetPtr { ptr: PtrReg::new(0), addr: 9000 }).unwrap();
+        assert!(matches!(
+            t.execute(Instruction::Load { dst: r(0), ptr: PtrReg::new(0), offset: 0 }),
+            Err(ExecError::Memory(_))
+        ));
+    }
+
+    #[test]
+    fn communication_send_and_receive() {
+        let mut t = Tile::new();
+        t.set_reg(DataReg::COMM, 99);
+        let ev = t.execute(Instruction::CommSend).unwrap();
+        assert_eq!(ev, TileEvent::Sent(99));
+        assert_eq!(t.peek_outgoing(), Some(99));
+        assert_eq!(t.take_outgoing(), Some(99));
+        assert_eq!(t.take_outgoing(), None);
+
+        t.deliver(123);
+        let ev = t.execute(Instruction::CommRecv { dst: r(5) }).unwrap();
+        assert_eq!(ev, TileEvent::Received(123));
+        assert_eq!(t.reg(r(5)), 123);
+        // A second receive without a delivery yields zero.
+        let ev = t.execute(Instruction::CommRecv { dst: r(5) }).unwrap();
+        assert_eq!(ev, TileEvent::Received(0));
+        assert_eq!(t.stats().comm_ops, 3);
+    }
+
+    #[test]
+    fn set_cond_reports_register_value() {
+        let mut t = Tile::new();
+        t.set_reg(r(2), 17);
+        let ev = t.execute(Instruction::SetCond { src: r(2) }).unwrap();
+        assert_eq!(ev, TileEvent::Condition(17));
+    }
+
+    #[test]
+    fn control_instructions_are_rejected() {
+        let mut t = Tile::new();
+        assert!(matches!(
+            t.execute(Instruction::Halt),
+            Err(ExecError::ControlReachedTile(Instruction::Halt))
+        ));
+    }
+
+    #[test]
+    fn disabled_tile_is_inert() {
+        let mut t = Tile::new();
+        t.set_enabled(false);
+        assert!(!t.is_enabled());
+        let ev = t
+            .execute(Instruction::LoadImm { dst: r(0), imm: 5 })
+            .unwrap();
+        assert_eq!(ev, TileEvent::None);
+        assert_eq!(t.reg(r(0)), 0);
+        assert_eq!(t.stats().instructions, 0);
+    }
+
+    #[test]
+    fn nop_counts_in_stats() {
+        let mut t = Tile::new();
+        t.execute(Instruction::Nop).unwrap();
+        t.execute(Instruction::Nop).unwrap();
+        assert_eq!(t.stats().nops, 2);
+        assert_eq!(t.stats().instructions, 2);
+    }
+}

@@ -1,0 +1,176 @@
+//! Tile-local data SRAM.
+//!
+//! Each tile has 32 KB of data memory (8192 32-bit words).  Code and data
+//! are resident in local memories when cycle counts are taken (methodology
+//! step 6), so there is no cache model — every access is a single cycle.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised on an out-of-range SRAM access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryFault {
+    /// The offending word address.
+    pub address: i64,
+    /// The memory size in words.
+    pub size_words: usize,
+}
+
+impl fmt::Display for MemoryFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "address {} outside local memory of {} words",
+            self.address, self.size_words
+        )
+    }
+}
+
+impl Error for MemoryFault {}
+
+/// A word-addressed tile-local SRAM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalMemory {
+    words: Vec<i32>,
+}
+
+impl LocalMemory {
+    /// Number of 32-bit words in the paper's 32 KB tile memory.
+    pub const DEFAULT_WORDS: usize = 8192;
+
+    /// Create a zero-initialised memory of the default 32 KB size.
+    pub fn new() -> Self {
+        Self::with_words(Self::DEFAULT_WORDS)
+    }
+
+    /// Create a zero-initialised memory of `words` 32-bit words.
+    pub fn with_words(words: usize) -> Self {
+        LocalMemory {
+            words: vec![0; words],
+        }
+    }
+
+    /// Memory capacity in words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True if the memory has zero capacity.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Read the word at `address`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryFault`] if the address is negative or beyond the end
+    /// of the memory.
+    pub fn read(&self, address: i64) -> Result<i32, MemoryFault> {
+        self.check(address)?;
+        Ok(self.words[address as usize])
+    }
+
+    /// Write `value` to the word at `address`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryFault`] if the address is negative or beyond the end
+    /// of the memory.
+    pub fn write(&mut self, address: i64, value: i32) -> Result<(), MemoryFault> {
+        self.check(address)?;
+        self.words[address as usize] = value;
+        Ok(())
+    }
+
+    /// Bulk-load `values` starting at word `base` (used to stage input
+    /// samples and coefficients before a kernel runs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryFault`] if the block does not fit.
+    pub fn load_block(&mut self, base: usize, values: &[i32]) -> Result<(), MemoryFault> {
+        let end = base + values.len();
+        if end > self.words.len() {
+            return Err(MemoryFault {
+                address: end as i64 - 1,
+                size_words: self.words.len(),
+            });
+        }
+        self.words[base..end].copy_from_slice(values);
+        Ok(())
+    }
+
+    /// Copy out `count` words starting at `base`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryFault`] if the range does not fit.
+    pub fn read_block(&self, base: usize, count: usize) -> Result<Vec<i32>, MemoryFault> {
+        let end = base + count;
+        if end > self.words.len() {
+            return Err(MemoryFault {
+                address: end as i64 - 1,
+                size_words: self.words.len(),
+            });
+        }
+        Ok(self.words[base..end].to_vec())
+    }
+
+    fn check(&self, address: i64) -> Result<(), MemoryFault> {
+        if address < 0 || address as usize >= self.words.len() {
+            Err(MemoryFault {
+                address,
+                size_words: self.words.len(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Default for LocalMemory {
+    fn default() -> Self {
+        LocalMemory::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_size_is_32_kb() {
+        let m = LocalMemory::new();
+        assert_eq!(m.len(), 8192);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = LocalMemory::with_words(16);
+        m.write(3, -42).unwrap();
+        assert_eq!(m.read(3).unwrap(), -42);
+        assert_eq!(m.read(4).unwrap(), 0);
+    }
+
+    #[test]
+    fn out_of_range_accesses_fault() {
+        let mut m = LocalMemory::with_words(4);
+        assert!(m.read(4).is_err());
+        assert!(m.read(-1).is_err());
+        assert!(m.write(100, 1).is_err());
+        let fault = m.read(9).unwrap_err();
+        assert_eq!(fault.size_words, 4);
+        assert!(fault.to_string().contains('9'));
+    }
+
+    #[test]
+    fn block_operations() {
+        let mut m = LocalMemory::with_words(8);
+        m.load_block(2, &[1, 2, 3]).unwrap();
+        assert_eq!(m.read_block(2, 3).unwrap(), vec![1, 2, 3]);
+        assert!(m.load_block(6, &[1, 2, 3]).is_err());
+        assert!(m.read_block(7, 5).is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! Design-space exploration: how parallelisation, leakage and bus width
+//! shape Synchroscalar's power — the sweeps behind Figures 7–10.
+//!
+//! Run with: `cargo run --example ddc_power_exploration`
+
+use synchro_apps::{Application, ApplicationProfile};
+use synchro_power::Technology;
+use synchroscalar::experiments::{figure8, leakage_sensitivity};
+use synchroscalar::pipeline::{evaluate_application, EvaluationOptions};
+
+fn main() {
+    let tech = Technology::isca2004();
+
+    // --- Parallelisation sweep for the DDC (Figure 7 flavour) ----------
+    let profile = ApplicationProfile::of(Application::Ddc);
+    println!("DDC power vs parallelisation:");
+    for &total in &profile.parallelization_variants {
+        let allocation = profile.allocation_for_total(total);
+        let report = evaluate_application(
+            &profile,
+            &tech,
+            &EvaluationOptions {
+                allocation: Some(allocation),
+                ..EvaluationOptions::default()
+            },
+        );
+        println!(
+            "  {:>2} tiles: {:>8.1} mW compute + {:>7.1} mW interconnect/leakage = {:>8.1} mW{}",
+            report.total_tiles(),
+            report.compute_mw(),
+            report.overhead_mw(),
+            report.total_mw(),
+            if report.feasible() { "" } else { "  (exceeds supply envelope)" }
+        );
+    }
+
+    // --- Viterbi ACS bus-width exploration (Figure 8) -------------------
+    println!("\nViterbi ACS power vs bus width (16 tiles):");
+    for p in figure8(&tech).iter().filter(|p| p.tiles == 16) {
+        println!(
+            "  {:>4}-bit bus: {:>8.1} mW over {:>6.2} mm^2",
+            p.bus_width_bits, p.power_mw, p.area_mm2
+        );
+    }
+
+    // --- Leakage sensitivity for MPEG-4 CIF (Figure 10) -----------------
+    println!("\nMPEG4 CIF power vs per-tile leakage (12 vs 36 tiles):");
+    for p in leakage_sensitivity(&tech)
+        .iter()
+        .filter(|p| p.application == "MPEG4 CIF" && (p.tiles == 12 || p.tiles == 36))
+    {
+        println!(
+            "  {:>4.1} mA/tile, {:>2} tiles: {:>8.1} mW",
+            p.leakage_ma_per_tile, p.tiles, p.power_mw
+        );
+    }
+}

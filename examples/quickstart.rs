@@ -1,0 +1,41 @@
+//! Quickstart: map the Digital Down Converter onto Synchroscalar and print
+//! its per-block operating points and power — the paper's Table 4 rows for
+//! the DDC.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use synchro_apps::{Application, ApplicationProfile};
+use synchro_power::Technology;
+use synchroscalar::pipeline::{evaluate_voltage_scaling, savings_percent, EvaluationOptions};
+
+fn main() {
+    let tech = Technology::isca2004();
+    let profile = ApplicationProfile::of(Application::Ddc);
+
+    let (per_column, single_voltage) =
+        evaluate_voltage_scaling(&profile, &tech, &EvaluationOptions::default());
+
+    println!(
+        "Digital Down Conversion on Synchroscalar ({} tiles, {})",
+        per_column.total_tiles(),
+        profile.throughput
+    );
+    println!(
+        "{:<18} {:>6} {:>9} {:>6} {:>11}",
+        "Block", "Tiles", "MHz", "V", "Power (mW)"
+    );
+    for block in &per_column.blocks {
+        println!(
+            "{:<18} {:>6} {:>9.0} {:>6.1} {:>11.2}",
+            block.name, block.tiles, block.frequency_mhz, block.voltage,
+            block.total_mw()
+        );
+    }
+    println!(
+        "\nTotal: {:.1} mW with per-column voltages, {:.1} mW with a single voltage ({:.0}% saved)",
+        per_column.total_mw(),
+        single_voltage.total_mw(),
+        savings_percent(&per_column, &single_voltage)
+    );
+    println!("Chip area: {:.1} mm^2", per_column.area_mm2());
+}

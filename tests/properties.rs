@@ -1,0 +1,183 @@
+//! Property-based tests (proptest) on the core invariants: the
+//! voltage/frequency curve, the power model, the SDF balance equations,
+//! the segmented bus, the DOU, the rate matcher and the DSP kernels.
+
+use proptest::prelude::*;
+use synchro_apps::aes::{decrypt_block, encrypt_block, KeySchedule};
+use synchro_apps::mpeg4::{dct8x8, dequantize, idct8x8, quantize};
+use synchro_apps::wifi::{convolutional_encode, demodulate, modulate, Modulation, ViterbiDecoder};
+use synchro_bus::{BusOp, SegmentConfig, SegmentedBus};
+use synchro_power::{ColumnActivity, ColumnPower, Technology, TilePowerModel, VfCurve};
+use synchro_sdf::SdfGraph;
+use synchro_simd::RateMatcher;
+
+proptest! {
+    /// The VF curve is monotone and `voltage_for_frequency` always returns a
+    /// supply able to sustain the requested frequency.
+    #[test]
+    fn vf_curve_assignment_is_sufficient(freq in 1.0f64..560.0) {
+        let tech = Technology::isca2004();
+        let curve = VfCurve::fo4_20(&tech);
+        let v = curve.voltage_for_frequency(freq).unwrap();
+        prop_assert!(v >= tech.min_voltage - 1e-9);
+        prop_assert!(v <= tech.max_voltage + 1e-9);
+        prop_assert!(curve.interpolate(v) + 1e-6 >= freq);
+        // One step lower must not be sufficient (unless already at the floor).
+        if v > tech.min_voltage + 1e-9 {
+            prop_assert!(curve.interpolate(v - tech.voltage_step) < freq + 1e-6);
+        }
+    }
+
+    /// Dynamic power is monotone in tiles, frequency and voltage.
+    #[test]
+    fn tile_power_is_monotone(
+        tiles in 1u32..64,
+        freq in 10.0f64..600.0,
+        volt in 0.7f64..1.7,
+    ) {
+        let model = TilePowerModel::new(&Technology::isca2004());
+        let p = model.power_mw(tiles, freq, volt);
+        prop_assert!(p > 0.0);
+        prop_assert!(model.power_mw(tiles + 1, freq, volt) > p);
+        prop_assert!(model.power_mw(tiles, freq * 1.1, volt) > p);
+        prop_assert!(model.power_mw(tiles, freq, volt + 0.1) > p);
+    }
+
+    /// Total column power equals the sum of its parts and never decreases
+    /// with extra bus traffic.
+    #[test]
+    fn column_power_is_consistent(
+        tiles in 1u32..32,
+        freq in 10.0f64..560.0,
+        words in 0.0f64..1e9,
+    ) {
+        let tech = Technology::isca2004();
+        let curve = VfCurve::fo4_20(&tech);
+        let voltage = curve.voltage_for_frequency(freq).unwrap();
+        let base = ColumnActivity {
+            tiles,
+            frequency_mhz: freq,
+            voltage,
+            bus_words_per_second: words,
+            bus_length_mm: tech.column_bus_length_mm,
+        };
+        let p = ColumnPower::estimate(&tech, &base);
+        prop_assert!((p.total_mw() - (p.tile_mw + p.interconnect_mw + p.leakage_mw)).abs() < 1e-9);
+        let busier = ColumnActivity { bus_words_per_second: words + 1e8, ..base };
+        prop_assert!(ColumnPower::estimate(&tech, &busier).total_mw() >= p.total_mw());
+    }
+
+    /// For any two-actor SDF edge the repetition vector satisfies the
+    /// balance equation exactly and is minimal.
+    #[test]
+    fn sdf_balance_equation_holds(produce in 1u64..40, consume in 1u64..40) {
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("a", 1, 1);
+        let b = g.add_actor("b", 1, 1);
+        g.add_edge(a, b, produce, consume, 0).unwrap();
+        let reps = g.repetition_vector().unwrap();
+        prop_assert_eq!(reps[0] * produce, reps[1] * consume);
+        let g_ab = {
+            fn gcd(a: u64, b: u64) -> u64 { if b == 0 { a } else { gcd(b, a % b) } }
+            gcd(reps[0], reps[1])
+        };
+        prop_assert_eq!(g_ab, 1, "repetition vector must be minimal");
+        // A consistent graph always schedules (it is acyclic).
+        prop_assert!(g.schedule().is_ok());
+    }
+
+    /// A three-actor chain's buffer bounds are finite and at least the
+    /// consumption rate of the downstream actor.
+    #[test]
+    fn sdf_buffer_bounds_cover_consumption(rate in 1u64..16) {
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("a", 1, 1);
+        let b = g.add_actor("b", 1, 1);
+        let c = g.add_actor("c", 1, 1);
+        g.add_edge(a, b, 1, 1, 0).unwrap();
+        g.add_edge(b, c, 1, rate, 0).unwrap();
+        let bounds = g.buffer_bounds().unwrap();
+        prop_assert!(bounds[1] >= rate);
+    }
+
+    /// Disjoint segment groups on the same split never conflict; overlapping
+    /// groups always do.
+    #[test]
+    fn bus_segmentation_isolates_disjoint_groups(gap in 1usize..3) {
+        let mut bus = SegmentedBus::isca2004();
+        let mut cfg = SegmentConfig::all_closed(8, 4);
+        cfg.set(0, gap, false);
+        let left_producer = 0usize;
+        let right_producer = 3usize;
+        let left_consumer = gap.saturating_sub(1).min(gap);
+        let right_consumer = gap + 1;
+        let ops = [
+            BusOp { split: 0, producer: left_producer, consumers: vec![left_consumer] },
+            BusOp { split: 0, producer: right_producer, consumers: vec![right_consumer] },
+        ];
+        prop_assert!(bus.cycle(&cfg, &ops).is_ok());
+        // Re-closing the gap makes the same pair of transfers conflict.
+        let closed = SegmentConfig::all_closed(8, 4);
+        prop_assert!(bus.cycle(&closed, &ops).is_err());
+    }
+
+    /// The ZORM rate matcher never exceeds a one-in-1024 error on the
+    /// requested stall fraction.
+    #[test]
+    fn rate_matcher_error_is_bounded(column in 101.0f64..600.0, effective in 100.0f64..600.0) {
+        prop_assume!(effective < column);
+        let matcher = RateMatcher::for_rates(column, effective).unwrap();
+        let want = 1.0 - effective / column;
+        prop_assert!((matcher.stall_fraction() - want).abs() <= 1.0 / 1024.0 + 1e-9);
+        prop_assert!(matcher.stalls < matcher.period);
+    }
+
+    /// AES encryption followed by decryption is the identity for any block
+    /// and key.
+    #[test]
+    fn aes_roundtrip(key in prop::array::uniform16(any::<u8>()), block in prop::array::uniform16(any::<u8>())) {
+        let keys = KeySchedule::new(&key);
+        prop_assert_eq!(decrypt_block(&encrypt_block(&block, &keys), &keys), block);
+    }
+
+    /// DCT → quantise → dequantise → IDCT reconstructs every pixel within
+    /// the quantiser's error bound.
+    #[test]
+    fn dct_quant_roundtrip_error_is_bounded(
+        seed in 0u32..10_000,
+        qp in 1i32..16,
+    ) {
+        let mut block = [0i32; 64];
+        for (i, v) in block.iter_mut().enumerate() {
+            let h = seed
+                .wrapping_mul(2654435761)
+                .wrapping_add((i as u32).wrapping_mul(2246822519));
+            *v = ((h >> 8) % 256) as i32 - 128;
+        }
+        let recon = idct8x8(&dequantize(&quantize(&dct8x8(&block), qp), qp));
+        for (a, b) in block.iter().zip(&recon) {
+            // The quantiser loses at most 2·qp per coefficient; the IDCT
+            // basis functions have magnitude ≤ 0.25, so the worst-case
+            // per-pixel error over 64 coefficients is 64 × 2·qp × 0.25.
+            prop_assert!((a - b).abs() <= 32 * qp + 8);
+        }
+    }
+
+    /// Hard-decision demapping inverts the mapper for every modulation.
+    #[test]
+    fn modulation_roundtrip(bits in prop::collection::vec(0u8..2, 6)) {
+        for modulation in [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+            let n = modulation.bits_per_symbol();
+            let symbol = modulate(&bits[..n], modulation);
+            prop_assert_eq!(demodulate(symbol, modulation), bits[..n].to_vec());
+        }
+    }
+
+    /// The Viterbi decoder inverts the convolutional encoder on any clean
+    /// input stream.
+    #[test]
+    fn viterbi_inverts_encoder(info in prop::collection::vec(0u8..2, 1..200)) {
+        let coded = convolutional_encode(&info);
+        prop_assert_eq!(ViterbiDecoder::decode(&coded), info);
+    }
+}
