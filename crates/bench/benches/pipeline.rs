@@ -16,7 +16,9 @@ fn bench_power_pipeline(c: &mut Criterion) {
         b.iter(|| evaluate_application(black_box(&profile), &tech, &EvaluationOptions::default()))
     });
     c.bench_function("table4_full", |b| b.iter(|| table4(black_box(&tech))));
-    c.bench_function("figure8_bus_sweep", |b| b.iter(|| figure8(black_box(&tech))));
+    c.bench_function("figure8_bus_sweep", |b| {
+        b.iter(|| figure8(black_box(&tech)))
+    });
     c.bench_function("leakage_sensitivity_full", |b| {
         b.iter(|| leakage_sensitivity(black_box(&tech)))
     });

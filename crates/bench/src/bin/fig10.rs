@@ -7,7 +7,10 @@ use synchroscalar::experiments::leakage_sensitivity;
 fn main() {
     let tech = Technology::isca2004();
     println!("Figure 10: Leakage sensitivity for MPEG4 and Stereo Vision");
-    println!("{:<16} {:>6} {:>14} {:>12}", "Application", "Tiles", "Leak (mA/tile)", "Power (mW)");
+    println!(
+        "{:<16} {:>6} {:>14} {:>12}",
+        "Application", "Tiles", "Leak (mA/tile)", "Power (mW)"
+    );
     for p in leakage_sensitivity(&tech) {
         if p.application.starts_with("MPEG4") || p.application == "Stereo Vision" {
             println!(

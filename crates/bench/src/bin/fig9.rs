@@ -6,7 +6,10 @@ use synchroscalar::experiments::leakage_sensitivity;
 fn main() {
     let tech = Technology::isca2004();
     println!("Figure 9: Leakage sensitivity for DDC and 802.11a");
-    println!("{:<16} {:>6} {:>14} {:>12}", "Application", "Tiles", "Leak (mA/tile)", "Power (mW)");
+    println!(
+        "{:<16} {:>6} {:>14} {:>12}",
+        "Application", "Tiles", "Leak (mA/tile)", "Power (mW)"
+    );
     for p in leakage_sensitivity(&tech) {
         if p.application == "DDC" || p.application == "802.11a" {
             println!(

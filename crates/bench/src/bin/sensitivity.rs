@@ -6,7 +6,10 @@ use synchroscalar::experiments::tile_power_sensitivity;
 fn main() {
     let tech = Technology::isca2004();
     println!("Section 5.5: sensitivity of application power to tile power U");
-    println!("{:>14} {:<16} {:>12}", "U (mW/MHz)", "Application", "Power (mW)");
+    println!(
+        "{:>14} {:<16} {:>12}",
+        "U (mW/MHz)", "Application", "Power (mW)"
+    );
     for p in tile_power_sensitivity(&tech) {
         println!(
             "{:>14.2} {:<16} {:>12.1}",

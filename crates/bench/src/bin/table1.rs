@@ -6,7 +6,7 @@ fn main() {
     let tech = Technology::isca2004();
     println!("Table 1: Technology Parameters");
     bench::rule(72);
-    println!("{:<22} {:<18} {}", "Parameter", "Value", "Source");
+    println!("{:<22} {:<18} Source", "Parameter", "Value");
     bench::rule(72);
     for (name, value, source) in table1(&tech) {
         println!("{name:<22} {value:<18} {source}");

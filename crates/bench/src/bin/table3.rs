@@ -9,8 +9,8 @@ fn main() {
     println!("Table 3: Power Comparison of Synchroscalar with other platforms");
     bench::rule(100);
     println!(
-        "{:<14} {:<22} {:>10} {:>12}  {}",
-        "Application", "Platform", "Area mm^2", "Power mW", "Notes"
+        "{:<14} {:<22} {:>10} {:>12}  Notes",
+        "Application", "Platform", "Area mm^2", "Power mW"
     );
     bench::rule(100);
     for row in table3(&tech) {

@@ -16,15 +16,27 @@ fn main() {
         if row.algorithm == "TOTAL" {
             println!(
                 "{:<14} {:<24} {:>5} {:>8} {:>6} {:>10.2} {:>12.2} {:>8.0}%",
-                row.application, row.algorithm, row.tiles, "", "", row.power_mw,
-                row.single_voltage_mw, row.savings_percent()
+                row.application,
+                row.algorithm,
+                row.tiles,
+                "",
+                "",
+                row.power_mw,
+                row.single_voltage_mw,
+                row.savings_percent()
             );
             bench::rule(100);
         } else {
             println!(
                 "{:<14} {:<24} {:>5} {:>8.0} {:>6.1} {:>10.2} {:>12.2} {:>8.0}%",
-                row.application, row.algorithm, row.tiles, row.frequency_mhz, row.voltage,
-                row.power_mw, row.single_voltage_mw, row.savings_percent()
+                row.application,
+                row.algorithm,
+                row.tiles,
+                row.frequency_mhz,
+                row.voltage,
+                row.power_mw,
+                row.single_voltage_mw,
+                row.savings_percent()
             );
         }
     }

@@ -20,6 +20,9 @@
 //! The Criterion benches in `benches/` measure the substrate itself (kernel
 //! and simulator throughput).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 /// Format a floating point value with a fixed width for table output.
 pub fn fmt_f(value: f64, width: usize, decimals: usize) -> String {
     format!("{value:>width$.decimals$}")
@@ -36,7 +39,7 @@ mod tests {
 
     #[test]
     fn formatting_helpers_behave() {
-        assert_eq!(fmt_f(3.14159, 8, 2), "    3.14");
+        assert_eq!(fmt_f(3.75159, 8, 2), "    3.75");
         rule(3);
     }
 }

@@ -43,21 +43,60 @@ pub fn figure5(tech: &Technology, points: usize) -> Vec<VfPoint> {
 /// Table 1 rows as (parameter, value, source) strings.
 pub fn table1(tech: &Technology) -> Vec<(String, String, String)> {
     vec![
-        ("Technology".into(), format!("{} nm", tech.feature_nm), "Table 1".into()),
-        ("Minimum Voltage".into(), format!("{} V", tech.min_voltage), "Blackfin DSP".into()),
-        ("Maximum Voltage".into(), format!("{} V", tech.max_voltage), "Estimated (BPTM)".into()),
-        ("Threshold Voltage".into(), format!("{} V", tech.threshold_voltage), "BPTM".into()),
-        ("Max Frequency".into(), format!("{} MHz", tech.max_frequency_mhz), "SPICE substitute (VF curve)".into()),
-        ("Tile Power".into(), format!("{} mW/MHz", tech.tile_power_mw_per_mhz), "Synthesis estimate".into()),
-        ("Tile Size".into(), format!("{} mm^2", tech.tile_area_mm2), "Section 4.6".into()),
-        ("Wire Cap.".into(), format!("{} fF/mm", tech.wire_cap_ff_per_mm), "The Future of Wires".into()),
-        ("Leakage / tile".into(), format!("{} mA", tech.leakage_ma_per_tile), "Section 4.4".into()),
+        (
+            "Technology".into(),
+            format!("{} nm", tech.feature_nm),
+            "Table 1".into(),
+        ),
+        (
+            "Minimum Voltage".into(),
+            format!("{} V", tech.min_voltage),
+            "Blackfin DSP".into(),
+        ),
+        (
+            "Maximum Voltage".into(),
+            format!("{} V", tech.max_voltage),
+            "Estimated (BPTM)".into(),
+        ),
+        (
+            "Threshold Voltage".into(),
+            format!("{} V", tech.threshold_voltage),
+            "BPTM".into(),
+        ),
+        (
+            "Max Frequency".into(),
+            format!("{} MHz", tech.max_frequency_mhz),
+            "SPICE substitute (VF curve)".into(),
+        ),
+        (
+            "Tile Power".into(),
+            format!("{} mW/MHz", tech.tile_power_mw_per_mhz),
+            "Synthesis estimate".into(),
+        ),
+        (
+            "Tile Size".into(),
+            format!("{} mm^2", tech.tile_area_mm2),
+            "Section 4.6".into(),
+        ),
+        (
+            "Wire Cap.".into(),
+            format!("{} fF/mm", tech.wire_cap_ff_per_mm),
+            "The Future of Wires".into(),
+        ),
+        (
+            "Leakage / tile".into(),
+            format!("{} mA", tech.leakage_ma_per_tile),
+            "Section 4.4".into(),
+        ),
     ]
 }
 
+/// Named area rows: (component, area in µm²).
+pub type AreaRows = Vec<(String, f64)>;
+
 /// Table 2 rows: (component, area in µm²) for the tile and the SIMD
 /// controller + DOU.
-pub fn table2() -> (Vec<(String, f64)>, Vec<(String, f64)>) {
+pub fn table2() -> (AreaRows, AreaRows) {
     let tile = TileArea::isca2004();
     let ctrl = SimdDouArea::isca2004();
     (
@@ -502,7 +541,9 @@ mod tests {
     #[test]
     fn table1_and_table2_have_the_published_shape() {
         let t1 = table1(&tech());
-        assert!(t1.iter().any(|(k, v, _)| k == "Tile Power" && v.contains("0.1")));
+        assert!(t1
+            .iter()
+            .any(|(k, v, _)| k == "Tile Power" && v.contains("0.1")));
         let (tile, ctrl) = table2();
         assert_eq!(tile.len(), 7);
         assert_eq!(ctrl.len(), 6);
@@ -532,7 +573,11 @@ mod tests {
         // The abstract claims 8–30× of ASIC power and 10–60× better than
         // DSPs; allow a generous band around those ranges.
         let t = tech();
-        for app in [Application::Wifi80211a, Application::Ddc, Application::Mpeg4Qcif] {
+        for app in [
+            Application::Wifi80211a,
+            Application::Ddc,
+            Application::Mpeg4Qcif,
+        ] {
             let r = efficiency_ratios(&t, app).unwrap();
             assert!(
                 r.vs_asic > 1.0 && r.vs_asic < 60.0,
@@ -643,7 +688,10 @@ mod tests {
         let low_12 = power(12, lowest);
         let high_36 = power(36, highest);
         let high_12 = power(12, highest);
-        assert!(low_36 <= low_12 * 1.05, "at low leakage more tiles should win or tie");
+        assert!(
+            low_36 <= low_12 * 1.05,
+            "at low leakage more tiles should win or tie"
+        );
         assert!(high_36 > high_12, "at high leakage fewer tiles must win");
     }
 
@@ -660,8 +708,7 @@ mod tests {
     #[test]
     fn sensitivity_sweep_is_monotone_in_u() {
         let pts = tile_power_sensitivity(&tech());
-        let ddc: Vec<&SensitivityPoint> =
-            pts.iter().filter(|p| p.application == "DDC").collect();
+        let ddc: Vec<&SensitivityPoint> = pts.iter().filter(|p| p.application == "DDC").collect();
         for pair in ddc.windows(2) {
             assert!(pair[1].power_mw > pair[0].power_mw);
         }

@@ -177,11 +177,8 @@ pub fn evaluate_application(
         .fold(tech.min_voltage, f64::max);
 
     let mut blocks = Vec::with_capacity(profile.algorithms.len());
-    for ((algorithm, &tiles), &(frequency, min_voltage, within)) in profile
-        .algorithms
-        .iter()
-        .zip(&allocation)
-        .zip(&operating)
+    for ((algorithm, &tiles), &(frequency, min_voltage, within)) in
+        profile.algorithms.iter().zip(&allocation).zip(&operating)
     {
         let voltage = match options.voltage_policy {
             VoltagePolicy::PerColumn => min_voltage,
@@ -194,13 +191,8 @@ pub fn evaluate_application(
             bus_words_per_second: algorithm.bus_words_for_tiles(tiles),
             bus_length_mm: tech.column_bus_length_mm,
         };
-        let power = ColumnPower::estimate_with(
-            &tile_model,
-            &bus_model,
-            &leakage_model,
-            &tech,
-            &activity,
-        );
+        let power =
+            ColumnPower::estimate_with(&tile_model, &bus_model, &leakage_model, &tech, &activity);
         blocks.push(BlockReport {
             name: algorithm.name.to_owned(),
             tiles,
@@ -278,7 +270,10 @@ mod tests {
         for (block, (name, tiles, freq, volt)) in report.blocks.iter().zip(expected) {
             assert_eq!(block.name, name);
             assert_eq!(block.tiles, tiles);
-            assert!((block.frequency_mhz - freq).abs() < 1e-9, "{name} frequency");
+            assert!(
+                (block.frequency_mhz - freq).abs() < 1e-9,
+                "{name} frequency"
+            );
             assert!((block.voltage - volt).abs() < 1e-9, "{name} voltage");
             assert!(block.within_envelope);
         }
@@ -346,7 +341,10 @@ mod tests {
             savings_percent(&a, &b)
         };
         assert!(sv > ddc, "SV savings {sv:.1}% should exceed DDC {ddc:.1}%");
-        assert!(ddc > wifi, "DDC savings {ddc:.1}% should exceed 802.11a {wifi:.1}%");
+        assert!(
+            ddc > wifi,
+            "DDC savings {ddc:.1}% should exceed 802.11a {wifi:.1}%"
+        );
         assert!(sv > 15.0 && sv < 50.0, "SV savings {sv:.1}%");
         assert!(wifi < 10.0, "802.11a savings {wifi:.1}%");
     }

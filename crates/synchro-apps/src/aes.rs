@@ -27,7 +27,9 @@ const SBOX: [u8; 256] = [
     0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
 ];
 
-const RCON: [u8; 11] = [0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+const RCON: [u8; 11] = [
+    0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36,
+];
 
 fn inv_sbox() -> [u8; 256] {
     let mut inv = [0u8; 256];
@@ -245,8 +247,9 @@ mod tests {
         let key = [0xA5u8; 16];
         let keys = KeySchedule::new(&key);
         for seed in 0u32..32 {
-            let block: [u8; 16] =
-                core::array::from_fn(|i| (seed.wrapping_mul(2654435761).wrapping_add(i as u32 * 97) >> 3) as u8);
+            let block: [u8; 16] = core::array::from_fn(|i| {
+                (seed.wrapping_mul(2654435761).wrapping_add(i as u32 * 97) >> 3) as u8
+            });
             let ct = encrypt_block(&block, &keys);
             assert_ne!(ct, block);
             assert_eq!(decrypt_block(&ct, &keys), block);

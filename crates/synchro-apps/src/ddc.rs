@@ -107,7 +107,7 @@ impl CicFilter {
             acc = *stage;
         }
         self.sample_count += 1;
-        if self.sample_count % self.decimation != 0 {
+        if !self.sample_count.is_multiple_of(self.decimation) {
             return None;
         }
         // Comb cascade at the decimated rate.
@@ -321,7 +321,8 @@ mod tests {
         let n = 4096;
         let mut dc: i64 = 0;
         for k in 0..n {
-            let tone = ((2.0 * std::f64::consts::PI * 5e6 * k as f64 / 64e6).cos() * 20000.0) as i16;
+            let tone =
+                ((2.0 * std::f64::consts::PI * 5e6 * k as f64 / 64e6).cos() * 20000.0) as i16;
             let (sin, cos) = nco.next_sample();
             let (i, _q) = mix(tone, sin, cos);
             dc += i64::from(i);
@@ -371,7 +372,9 @@ mod tests {
         let mut f = FirFilter::pfir();
         assert_eq!(f.taps(), 63);
         // Nyquist-rate alternating input should be strongly attenuated.
-        let input: Vec<i32> = (0..256).map(|k| if k % 2 == 0 { 10000 } else { -10000 }).collect();
+        let input: Vec<i32> = (0..256)
+            .map(|k| if k % 2 == 0 { 10000 } else { -10000 })
+            .collect();
         let out = f.filter_block(&input);
         let tail_max = out[128..].iter().map(|v| v.abs()).max().unwrap();
         assert!(tail_max < 600, "high-frequency leakage {tail_max}");

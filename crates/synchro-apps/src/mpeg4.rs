@@ -112,7 +112,9 @@ pub fn motion_estimate(
     for dy in -range..=range {
         for dx in -range..=range {
             let cost = sad(current, reference, bx, by, dx, dy);
-            if cost < best.cost || (cost == best.cost && (dx.abs() + dy.abs()) < (best.dx.abs() + best.dy.abs())) {
+            if cost < best.cost
+                || (cost == best.cost && (dx.abs() + dy.abs()) < (best.dx.abs() + best.dy.abs()))
+            {
                 best = MotionVector { dx, dy, cost };
             }
         }
@@ -181,7 +183,11 @@ pub fn dequantize(levels: &[i32; 64], qp: i32) -> [i32; 64] {
     let step = (2 * qp).max(1);
     let mut out = [0i32; 64];
     for (o, &l) in out.iter_mut().zip(levels) {
-        *o = if l == 0 { 0 } else { l * step + l.signum() * qp };
+        *o = if l == 0 {
+            0
+        } else {
+            l * step + l.signum() * qp
+        };
     }
     out
 }
@@ -200,7 +206,12 @@ pub struct EncodeStats {
 /// Encode one inter frame against a reference: motion estimation per
 /// macroblock, DCT/quantisation of the residual, and reconstruction through
 /// the IQ/IDCT path.  Returns the reconstructed frame and statistics.
-pub fn encode_inter_frame(current: &Frame, reference: &Frame, qp: i32, search_range: i64) -> (Frame, EncodeStats) {
+pub fn encode_inter_frame(
+    current: &Frame,
+    reference: &Frame,
+    qp: i32,
+    search_range: i64,
+) -> (Frame, EncodeStats) {
     let mut recon = Frame::new(current.width, current.height);
     let mut stats = EncodeStats::default();
     for by in (0..current.height).step_by(MACROBLOCK) {
@@ -217,10 +228,11 @@ pub fn encode_inter_frame(current: &Frame, reference: &Frame, qp: i32, search_ra
                     for y in 0..BLOCK {
                         for x in 0..BLOCK {
                             let cur = i32::from(current.pixel((ox + x) as i64, (oy + y) as i64));
-                            let prd = i32::from(reference.pixel(
-                                ox as i64 + x as i64 + mv.dx,
-                                oy as i64 + y as i64 + mv.dy,
-                            ));
+                            let prd =
+                                i32::from(reference.pixel(
+                                    ox as i64 + x as i64 + mv.dx,
+                                    oy as i64 + y as i64 + mv.dy,
+                                ));
                             residual[y * BLOCK + x] = cur - prd;
                         }
                     }
@@ -230,10 +242,11 @@ pub fn encode_inter_frame(current: &Frame, reference: &Frame, qp: i32, search_ra
                     let decoded = idct8x8(&dequantize(&levels, qp));
                     for y in 0..BLOCK {
                         for x in 0..BLOCK {
-                            let prd = i32::from(reference.pixel(
-                                ox as i64 + x as i64 + mv.dx,
-                                oy as i64 + y as i64 + mv.dy,
-                            ));
+                            let prd =
+                                i32::from(reference.pixel(
+                                    ox as i64 + x as i64 + mv.dx,
+                                    oy as i64 + y as i64 + mv.dy,
+                                ));
                             let value = (prd + decoded[y * BLOCK + x]).clamp(0, 255) as u8;
                             recon.set_pixel(ox + x, oy + y, value);
                         }

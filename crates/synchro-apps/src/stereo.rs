@@ -211,7 +211,10 @@ pub fn svd_correlate(left: &[Feature], right: &[Feature], sigma: f64) -> Vec<Mat
             })
             .unwrap();
         if best_i_for_j == i {
-            matches.push(Match { left: i, right: best_j });
+            matches.push(Match {
+                left: i,
+                right: best_j,
+            });
         }
     }
     matches
@@ -219,7 +222,11 @@ pub fn svd_correlate(left: &[Feature], right: &[Feature], sigma: f64) -> Vec<Mat
 
 /// Run the full stereo pipeline on a left/right pair: extract features from
 /// both frames and correlate them.  Returns the matched feature pairs.
-pub fn stereo_pipeline(left: &Frame, right: &Frame, max_features: usize) -> Vec<(Feature, Feature)> {
+pub fn stereo_pipeline(
+    left: &Frame,
+    right: &Frame,
+    max_features: usize,
+) -> Vec<(Feature, Feature)> {
     let lf = feature_extract(left, max_features, 8);
     let rf = feature_extract(right, max_features, 8);
     svd_correlate(&lf, &rf, 16.0)
@@ -265,9 +272,9 @@ mod tests {
         assert!(!features.is_empty());
         // Every blob should have at least one feature within 6 pixels.
         for &(cx, cy) in &centres {
-            let found = features.iter().any(|ft| {
-                ft.x.abs_diff(cx) <= 6 && ft.y.abs_diff(cy) <= 6
-            });
+            let found = features
+                .iter()
+                .any(|ft| ft.x.abs_diff(cx) <= 6 && ft.y.abs_diff(cy) <= 6);
             assert!(found, "no feature near blob at ({cx},{cy})");
         }
     }
@@ -332,17 +339,28 @@ mod tests {
     fn correlation_matches_shifted_feature_sets() {
         let left: Vec<Feature> = [(40, 40), (120, 80), (200, 160)]
             .iter()
-            .map(|&(x, y)| Feature { x, y, strength: 1.0 })
+            .map(|&(x, y)| Feature {
+                x,
+                y,
+                strength: 1.0,
+            })
             .collect();
         // Right features are the left ones shifted by a small disparity.
         let right: Vec<Feature> = left
             .iter()
-            .map(|f| Feature { x: f.x - 5, y: f.y, strength: 1.0 })
+            .map(|f| Feature {
+                x: f.x - 5,
+                y: f.y,
+                strength: 1.0,
+            })
             .collect();
         let matches = svd_correlate(&left, &right, 16.0);
         assert_eq!(matches.len(), 3);
         for m in matches {
-            assert_eq!(m.left, m.right, "features should match their own shifted copy");
+            assert_eq!(
+                m.left, m.right,
+                "features should match their own shifted copy"
+            );
         }
     }
 

@@ -135,7 +135,10 @@ pub fn modulate(bits: &[u8], modulation: Modulation) -> Complex {
                 (1, 1) => 1,
                 _ => 3,
             };
-            Complex::new(level(bits[0], bits[1]) * A / 3, level(bits[2], bits[3]) * A / 3)
+            Complex::new(
+                level(bits[0], bits[1]) * A / 3,
+                level(bits[2], bits[3]) * A / 3,
+            )
         }
         Modulation::Qam64 => {
             let level = |b0: u8, b1: u8, b2: u8| {
@@ -202,12 +205,15 @@ pub fn demodulate(symbol: Complex, modulation: Modulation) -> Vec<u8> {
 /// (first permutation only differs per modulation through `n_cbps`).
 pub fn interleave(bits: &[u8]) -> Vec<u8> {
     let n = bits.len();
-    assert!(n % 16 == 0, "coded bits per symbol must be a multiple of 16");
+    assert!(
+        n.is_multiple_of(16),
+        "coded bits per symbol must be a multiple of 16"
+    );
     let mut out = vec![0u8; n];
-    for k in 0..n {
+    for (k, &bit) in bits.iter().enumerate() {
         // i = (N/16)(k mod 16) + floor(k/16)
         let i = (n / 16) * (k % 16) + k / 16;
-        out[i] = bits[k];
+        out[i] = bit;
     }
     out
 }
@@ -215,11 +221,14 @@ pub fn interleave(bits: &[u8]) -> Vec<u8> {
 /// The matching de-interleaver.
 pub fn deinterleave(bits: &[u8]) -> Vec<u8> {
     let n = bits.len();
-    assert!(n % 16 == 0, "coded bits per symbol must be a multiple of 16");
+    assert!(
+        n.is_multiple_of(16),
+        "coded bits per symbol must be a multiple of 16"
+    );
     let mut out = vec![0u8; n];
-    for i in 0..n {
+    for (i, &bit) in bits.iter().enumerate() {
         let k = 16 * (i % (n / 16)) + i / (n / 16);
-        out[k] = bits[i];
+        out[k] = bit;
     }
     out
 }
@@ -284,8 +293,7 @@ impl ViterbiDecoder {
             }
             for bit in 0u8..2 {
                 let (a, b) = Self::branch_output(state, bit);
-                let cost =
-                    u32::from(a ^ received.0) + u32::from(b ^ received.1);
+                let cost = u32::from(a ^ received.0) + u32::from(b ^ received.1);
                 let next_state = ((state << 1) | usize::from(bit)) & (NUM_STATES - 1);
                 let candidate = metric + cost;
                 if candidate < next[next_state] {
@@ -360,7 +368,7 @@ pub fn loopback_54mbps(info_bits: &[u8]) -> Vec<u8> {
     // Pad to a whole number of 48-carrier × 6-bit symbols (288 bits).
     let n_cbps = 288;
     let mut padded = coded.clone();
-    while padded.len() % n_cbps != 0 {
+    while !padded.len().is_multiple_of(n_cbps) {
         padded.push(0);
     }
     let mut recovered_coded = Vec::with_capacity(padded.len());
@@ -408,7 +416,10 @@ mod tests {
         let mut data: Vec<Complex> = (0..n)
             .map(|k| {
                 let angle = 2.0 * std::f64::consts::PI * 5.0 * k as f64 / n as f64;
-                Complex::new((angle.cos() * 16000.0) as i32, (angle.sin() * 16000.0) as i32)
+                Complex::new(
+                    (angle.cos() * 16000.0) as i32,
+                    (angle.sin() * 16000.0) as i32,
+                )
             })
             .collect();
         fft(&mut data);
@@ -428,12 +439,7 @@ mod tests {
     #[test]
     fn fft_ifft_roundtrip_preserves_signal() {
         let original: Vec<Complex> = (0..64)
-            .map(|k| {
-                Complex::new(
-                    ((k as i32 * 131) % 4096 - 2048) * 8,
-                    ((k as i32 * 71) % 4096 - 2048) * 8,
-                )
-            })
+            .map(|k| Complex::new(((k * 131) % 4096 - 2048) * 8, ((k * 71) % 4096 - 2048) * 8))
             .collect();
         let mut data = original.clone();
         fft(&mut data);
@@ -465,7 +471,9 @@ mod tests {
             let bps = modulation.bits_per_symbol();
             // Exhaustively test every bit pattern for this order.
             for pattern in 0..(1u32 << bps) {
-                let bits: Vec<u8> = (0..bps).map(|i| ((pattern >> (bps - 1 - i)) & 1) as u8).collect();
+                let bits: Vec<u8> = (0..bps)
+                    .map(|i| ((pattern >> (bps - 1 - i)) & 1) as u8)
+                    .collect();
                 let symbol = modulate(&bits, modulation);
                 let back = demodulate(symbol, modulation);
                 assert_eq!(back, bits, "{modulation:?} pattern {pattern:b}");

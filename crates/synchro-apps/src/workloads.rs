@@ -23,7 +23,11 @@ impl WorkloadRng {
     /// constant so the xorshift state never sticks at zero).
     pub fn new(seed: u64) -> Self {
         WorkloadRng {
-            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
         }
     }
 
@@ -84,7 +88,11 @@ pub fn random_bits(rng: &mut WorkloadRng, bits: usize) -> Vec<u8> {
 
 /// Pass hard-decision coded bits through a binary symmetric channel with
 /// the given crossover (bit-flip) probability.
-pub fn binary_symmetric_channel(rng: &mut WorkloadRng, coded: &[u8], flip_probability: f64) -> Vec<u8> {
+pub fn binary_symmetric_channel(
+    rng: &mut WorkloadRng,
+    coded: &[u8],
+    flip_probability: f64,
+) -> Vec<u8> {
     coded
         .iter()
         .map(|&b| {
@@ -125,21 +133,17 @@ pub struct BerTrial {
 /// channel: encode a random packet, flip coded bits with the given
 /// probability, Viterbi-decode, and count residual errors.  This is the
 /// workload behind the Viterbi ACS/traceback rows of Table 4.
-pub fn viterbi_channel_trial(rng: &mut WorkloadRng, bits: usize, flip_probability: f64) -> BerTrial {
+pub fn viterbi_channel_trial(
+    rng: &mut WorkloadRng,
+    bits: usize,
+    flip_probability: f64,
+) -> BerTrial {
     let info = random_bits(rng, bits);
     let coded = convolutional_encode(&info);
     let received = binary_symmetric_channel(rng, &coded, flip_probability);
-    let channel_errors = coded
-        .iter()
-        .zip(&received)
-        .filter(|(a, b)| a != b)
-        .count();
+    let channel_errors = coded.iter().zip(&received).filter(|(a, b)| a != b).count();
     let decoded = ViterbiDecoder::decode(&received);
-    let residual_errors = info
-        .iter()
-        .zip(&decoded)
-        .filter(|(a, b)| a != b)
-        .count();
+    let residual_errors = info.iter().zip(&decoded).filter(|(a, b)| a != b).count();
     BerTrial {
         bits,
         channel_errors,
@@ -230,7 +234,10 @@ mod tests {
         // packet with (near-)zero residual errors.
         let mut rng = WorkloadRng::new(11);
         let trial = viterbi_channel_trial(&mut rng, 2000, 0.02);
-        assert!(trial.channel_errors > 0, "channel must actually inject errors");
+        assert!(
+            trial.channel_errors > 0,
+            "channel must actually inject errors"
+        );
         let residual_rate = trial.residual_errors as f64 / trial.bits as f64;
         assert!(
             residual_rate < 0.005,
@@ -271,7 +278,10 @@ mod tests {
         let (left, right) = stereo_pair(128, 64, 6);
         for y in [5usize, 30, 60] {
             for x in [10usize, 64, 100] {
-                assert_eq!(right.pixel(x as i64, y as i64), left.pixel(x as i64 + 6, y as i64));
+                assert_eq!(
+                    right.pixel(x as i64, y as i64),
+                    left.pixel(x as i64 + 6, y as i64)
+                );
             }
         }
     }

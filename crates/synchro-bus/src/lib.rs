@@ -406,8 +406,16 @@ mod tests {
         let mut cfg = SegmentConfig::all_closed(8, 4);
         cfg.set(0, 1, false);
         let ops = [
-            BusOp { split: 0, producer: 0, consumers: vec![1] },
-            BusOp { split: 0, producer: 3, consumers: vec![2] },
+            BusOp {
+                split: 0,
+                producer: 0,
+                consumers: vec![1],
+            },
+            BusOp {
+                split: 0,
+                producer: 3,
+                consumers: vec![2],
+            },
         ];
         let delivered = bus.cycle(&cfg, &ops).unwrap();
         assert_eq!(delivered.len(), 2);
@@ -418,8 +426,16 @@ mod tests {
         let mut bus = SegmentedBus::isca2004();
         let cfg = SegmentConfig::all_closed(8, 4);
         let ops = [
-            BusOp { split: 2, producer: 0, consumers: vec![1] },
-            BusOp { split: 2, producer: 3, consumers: vec![2] },
+            BusOp {
+                split: 2,
+                producer: 0,
+                consumers: vec![1],
+            },
+            BusOp {
+                split: 2,
+                producer: 3,
+                consumers: vec![2],
+            },
         ];
         let err = bus.cycle(&cfg, &ops).unwrap_err();
         assert!(matches!(err, BusError::DriverConflict { split: 2, .. }));
@@ -430,7 +446,11 @@ mod tests {
         let mut bus = SegmentedBus::isca2004();
         let cfg = SegmentConfig::all_closed(8, 4);
         let ops: Vec<BusOp> = (0..8)
-            .map(|s| BusOp { split: s, producer: s % 4, consumers: vec![(s + 1) % 4] })
+            .map(|s| BusOp {
+                split: s,
+                producer: s % 4,
+                consumers: vec![(s + 1) % 4],
+            })
             .collect();
         assert!(bus.cycle(&cfg, &ops).is_ok());
         assert_eq!(bus.stats().word_transfers, 8);
@@ -444,12 +464,20 @@ mod tests {
         let err = bus
             .cycle(
                 &cfg,
-                &[BusOp { split: 5, producer: 0, consumers: vec![3] }],
+                &[BusOp {
+                    split: 5,
+                    producer: 0,
+                    consumers: vec![3],
+                }],
             )
             .unwrap_err();
         assert!(matches!(
             err,
-            BusError::Unreachable { split: 5, producer: 0, consumer: 3 }
+            BusError::Unreachable {
+                split: 5,
+                producer: 0,
+                consumer: 3
+            }
         ));
     }
 
@@ -458,13 +486,34 @@ mod tests {
         let mut bus = SegmentedBus::isca2004();
         let cfg = SegmentConfig::all_closed(8, 4);
         assert!(bus
-            .cycle(&cfg, &[BusOp { split: 8, producer: 0, consumers: vec![] }])
+            .cycle(
+                &cfg,
+                &[BusOp {
+                    split: 8,
+                    producer: 0,
+                    consumers: vec![]
+                }]
+            )
             .is_err());
         assert!(bus
-            .cycle(&cfg, &[BusOp { split: 0, producer: 4, consumers: vec![] }])
+            .cycle(
+                &cfg,
+                &[BusOp {
+                    split: 0,
+                    producer: 4,
+                    consumers: vec![]
+                }]
+            )
             .is_err());
         assert!(bus
-            .cycle(&cfg, &[BusOp { split: 0, producer: 0, consumers: vec![9] }])
+            .cycle(
+                &cfg,
+                &[BusOp {
+                    split: 0,
+                    producer: 0,
+                    consumers: vec![9]
+                }]
+            )
             .is_err());
     }
 
@@ -491,9 +540,17 @@ mod tests {
 
     #[test]
     fn error_messages_are_informative() {
-        let e = BusError::DriverConflict { split: 1, first_driver: 0, second_driver: 2 };
+        let e = BusError::DriverConflict {
+            split: 1,
+            first_driver: 0,
+            second_driver: 2,
+        };
         assert!(e.to_string().contains("split 1"));
-        let e = BusError::Unreachable { split: 0, producer: 1, consumer: 3 };
+        let e = BusError::Unreachable {
+            split: 0,
+            producer: 1,
+            consumer: 3,
+        };
         assert!(e.to_string().contains("consumer tile 3"));
     }
 }

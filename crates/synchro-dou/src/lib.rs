@@ -58,7 +58,10 @@ impl fmt::Display for DouError {
                 "DOU program needs {requested} states but the hardware holds only {MAX_STATES}"
             ),
             DouError::BadCounter { counter } => {
-                write!(f, "counter index {counter} out of range (0..{NUM_COUNTERS})")
+                write!(
+                    f,
+                    "counter index {counter} out of range (0..{NUM_COUNTERS})"
+                )
             }
             DouError::BadNextState { state, target } => {
                 write!(f, "state {state} points to non-existent state {target}")
@@ -110,10 +113,7 @@ impl DouProgram {
     ///
     /// Returns a [`DouError`] if the program exceeds 128 states, uses a bad
     /// counter index, or contains a dangling next-state pointer.
-    pub fn new(
-        states: Vec<DouState>,
-        counter_init: [u32; NUM_COUNTERS],
-    ) -> Result<Self, DouError> {
+    pub fn new(states: Vec<DouState>, counter_init: [u32; NUM_COUNTERS]) -> Result<Self, DouError> {
         if states.len() > MAX_STATES {
             return Err(DouError::TooManyStates {
                 requested: states.len(),
@@ -371,7 +371,10 @@ mod tests {
         }];
         assert!(matches!(
             DouProgram::new(dangling, [0; 4]),
-            Err(DouError::BadNextState { state: 0, target: 5 })
+            Err(DouError::BadNextState {
+                state: 0,
+                target: 5
+            })
         ));
     }
 
@@ -510,6 +513,8 @@ mod tests {
         assert!(DouError::TooManyStates { requested: 300 }
             .to_string()
             .contains("128"));
-        assert!(DouError::BadCounter { counter: 9 }.to_string().contains('9'));
+        assert!(DouError::BadCounter { counter: 9 }
+            .to_string()
+            .contains('9'));
     }
 }

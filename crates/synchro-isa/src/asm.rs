@@ -74,7 +74,10 @@ fn parse_acc(tok: &str, line: usize) -> Result<u8, AsmError> {
     match tok {
         "a0" => Ok(0),
         "a1" => Ok(1),
-        other => Err(err(line, format!("expected accumulator a0/a1, got `{other}`"))),
+        other => Err(err(
+            line,
+            format!("expected accumulator a0/a1, got `{other}`"),
+        )),
     }
 }
 
@@ -304,7 +307,13 @@ mod tests {
         ";
         let p = assemble(src).unwrap();
         assert_eq!(p.len(), 9);
-        assert_eq!(p.fetch(3), Some(Instruction::LoopBegin { count: 4, body_len: 3 }));
+        assert_eq!(
+            p.fetch(3),
+            Some(Instruction::LoopBegin {
+                count: 4,
+                body_len: 3
+            })
+        );
         assert_eq!(p.fetch(8), Some(Instruction::Halt));
     }
 

@@ -1,0 +1,449 @@
+//! Binary instruction encoding.
+//!
+//! The SIMD controller's instruction store and the methodology's code-size
+//! accounting both need a fixed-width machine encoding, not just the
+//! in-memory [`Instruction`] enum.  Each instruction packs into one 64-bit
+//! word: the opcode lives in the top byte and the operand fields below it,
+//! with 32-bit immediates (sign-extended on decode) in the low word.
+//!
+//! [`encode`] and [`decode`] are exact inverses for every well-formed
+//! instruction, and [`decode`] validates every field (opcode, register
+//! indices, accumulator index, ALU opcode, condition code) so a corrupted
+//! word is reported rather than silently misread.
+
+use crate::inst::{AluOp, CondCode, DataReg, Instruction, PtrReg};
+use crate::program::Program;
+use std::error::Error;
+use std::fmt;
+
+/// All ALU operations in opcode order; the encoded byte indexes this table.
+const ALU_OPS: [AluOp; 14] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Mul,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Shl,
+    AluOp::Shr,
+    AluOp::Asr,
+    AluOp::Min,
+    AluOp::Max,
+    AluOp::Abs,
+    AluOp::CmpEq,
+    AluOp::CmpLt,
+];
+
+const OP_NOP: u8 = 0;
+const OP_ALU: u8 = 1;
+const OP_LOAD_IMM: u8 = 2;
+const OP_MAC: u8 = 3;
+const OP_CLEAR_ACC: u8 = 4;
+const OP_MOVE_ACC: u8 = 5;
+const OP_LOAD: u8 = 6;
+const OP_STORE: u8 = 7;
+const OP_SET_PTR: u8 = 8;
+const OP_ADD_PTR: u8 = 9;
+const OP_COMM_SEND: u8 = 10;
+const OP_COMM_RECV: u8 = 11;
+const OP_SET_COND: u8 = 12;
+const OP_LOOP_BEGIN: u8 = 13;
+const OP_JUMP: u8 = 14;
+const OP_BRANCH: u8 = 15;
+const OP_HALT: u8 = 16;
+
+/// Maximum loop body length representable in the 24-bit field.
+pub const MAX_LOOP_BODY: u32 = (1 << 24) - 1;
+
+/// Error produced when a word does not decode to a valid instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The offending machine word.
+    pub word: u64,
+    /// What was wrong with it.
+    pub reason: DecodeErrorKind,
+}
+
+/// The specific way a machine word failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeErrorKind {
+    /// The opcode byte is not assigned.
+    UnknownOpcode(u8),
+    /// A data register field exceeds `r7`.
+    BadDataReg(u8),
+    /// A pointer register field exceeds `p5`.
+    BadPtrReg(u8),
+    /// An accumulator field exceeds `a1`.
+    BadAccumulator(u8),
+    /// The ALU sub-opcode field is not assigned (full low word, so a
+    /// corrupted value is reported untruncated).
+    BadAluOp(u32),
+    /// The condition-code field is not assigned.
+    BadCondCode(u8),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let reason = match self.reason {
+            DecodeErrorKind::UnknownOpcode(op) => format!("unknown opcode {op}"),
+            DecodeErrorKind::BadDataReg(r) => format!("data register r{r} out of range"),
+            DecodeErrorKind::BadPtrReg(p) => format!("pointer register p{p} out of range"),
+            DecodeErrorKind::BadAccumulator(a) => format!("accumulator a{a} out of range"),
+            DecodeErrorKind::BadAluOp(op) => format!("ALU sub-opcode {op} out of range"),
+            DecodeErrorKind::BadCondCode(c) => format!("condition code {c} out of range"),
+        };
+        write!(f, "cannot decode {:#018x}: {reason}", self.word)
+    }
+}
+
+impl Error for DecodeError {}
+
+fn pack(opcode: u8, fields: [u8; 3], low: u32) -> u64 {
+    (u64::from(opcode) << 56)
+        | (u64::from(fields[0]) << 48)
+        | (u64::from(fields[1]) << 40)
+        | (u64::from(fields[2]) << 32)
+        | u64::from(low)
+}
+
+/// Encode one instruction into its 64-bit machine word.
+///
+/// # Panics
+///
+/// Panics if a `LoopBegin` body length exceeds [`MAX_LOOP_BODY`] or an
+/// accumulator index exceeds 1 — both unrepresentable in the encoding and
+/// impossible to construct through the assembler.
+pub fn encode(inst: Instruction) -> u64 {
+    let reg = |r: DataReg| r.index() as u8;
+    let ptr = |p: PtrReg| p.index() as u8;
+    let acc_field = |a: u8| {
+        assert!(a <= 1, "accumulator index {a} unrepresentable");
+        a
+    };
+    match inst {
+        Instruction::Nop => pack(OP_NOP, [0; 3], 0),
+        Instruction::Alu { op, dst, a, b } => {
+            let sub = ALU_OPS.iter().position(|o| *o == op).unwrap() as u8;
+            pack(OP_ALU, [reg(dst), reg(a), reg(b)], u32::from(sub))
+        }
+        Instruction::LoadImm { dst, imm } => pack(OP_LOAD_IMM, [reg(dst), 0, 0], imm as u32),
+        Instruction::Mac { acc, a, b } => pack(OP_MAC, [acc_field(acc), reg(a), reg(b)], 0),
+        Instruction::ClearAcc { acc } => pack(OP_CLEAR_ACC, [acc_field(acc), 0, 0], 0),
+        Instruction::MoveAcc { dst, acc } => pack(OP_MOVE_ACC, [reg(dst), acc_field(acc), 0], 0),
+        Instruction::Load {
+            dst,
+            ptr: p,
+            offset,
+        } => pack(OP_LOAD, [reg(dst), ptr(p), 0], offset as u32),
+        Instruction::Store {
+            src,
+            ptr: p,
+            offset,
+        } => pack(OP_STORE, [reg(src), ptr(p), 0], offset as u32),
+        Instruction::SetPtr { ptr: p, addr } => pack(OP_SET_PTR, [ptr(p), 0, 0], addr),
+        Instruction::AddPtr { ptr: p, offset } => pack(OP_ADD_PTR, [ptr(p), 0, 0], offset as u32),
+        Instruction::CommSend => pack(OP_COMM_SEND, [0; 3], 0),
+        Instruction::CommRecv { dst } => pack(OP_COMM_RECV, [reg(dst), 0, 0], 0),
+        Instruction::SetCond { src } => pack(OP_SET_COND, [reg(src), 0, 0], 0),
+        Instruction::LoopBegin { count, body_len } => {
+            assert!(
+                body_len <= MAX_LOOP_BODY,
+                "loop body length {body_len} unrepresentable"
+            );
+            let fields = [
+                (body_len >> 16) as u8,
+                (body_len >> 8) as u8,
+                body_len as u8,
+            ];
+            pack(OP_LOOP_BEGIN, fields, count)
+        }
+        Instruction::Jump { target } => pack(OP_JUMP, [0; 3], target),
+        Instruction::Branch { cond, target } => {
+            let c = match cond {
+                CondCode::Zero => 0,
+                CondCode::NotZero => 1,
+            };
+            pack(OP_BRANCH, [c, 0, 0], target)
+        }
+        Instruction::Halt => pack(OP_HALT, [0; 3], 0),
+    }
+}
+
+/// Decode one 64-bit machine word back into an instruction.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] naming the invalid field for any word
+/// [`encode`] could not have produced.
+pub fn decode(word: u64) -> Result<Instruction, DecodeError> {
+    let opcode = (word >> 56) as u8;
+    let f0 = (word >> 48) as u8;
+    let f1 = (word >> 40) as u8;
+    let f2 = (word >> 32) as u8;
+    let low = word as u32;
+    let fail = |reason| Err(DecodeError { word, reason });
+    let reg = |r: u8| {
+        if r < 8 {
+            Ok(DataReg::new(r))
+        } else {
+            Err(DecodeError {
+                word,
+                reason: DecodeErrorKind::BadDataReg(r),
+            })
+        }
+    };
+    let ptr = |p: u8| {
+        if p < 6 {
+            Ok(PtrReg::new(p))
+        } else {
+            Err(DecodeError {
+                word,
+                reason: DecodeErrorKind::BadPtrReg(p),
+            })
+        }
+    };
+    let acc = |a: u8| {
+        if a <= 1 {
+            Ok(a)
+        } else {
+            Err(DecodeError {
+                word,
+                reason: DecodeErrorKind::BadAccumulator(a),
+            })
+        }
+    };
+    match opcode {
+        OP_NOP => Ok(Instruction::Nop),
+        OP_ALU => {
+            if low as usize >= ALU_OPS.len() {
+                return fail(DecodeErrorKind::BadAluOp(low));
+            }
+            Ok(Instruction::Alu {
+                op: ALU_OPS[low as usize],
+                dst: reg(f0)?,
+                a: reg(f1)?,
+                b: reg(f2)?,
+            })
+        }
+        OP_LOAD_IMM => Ok(Instruction::LoadImm {
+            dst: reg(f0)?,
+            imm: low as i32,
+        }),
+        OP_MAC => Ok(Instruction::Mac {
+            acc: acc(f0)?,
+            a: reg(f1)?,
+            b: reg(f2)?,
+        }),
+        OP_CLEAR_ACC => Ok(Instruction::ClearAcc { acc: acc(f0)? }),
+        OP_MOVE_ACC => Ok(Instruction::MoveAcc {
+            dst: reg(f0)?,
+            acc: acc(f1)?,
+        }),
+        OP_LOAD => Ok(Instruction::Load {
+            dst: reg(f0)?,
+            ptr: ptr(f1)?,
+            offset: low as i32,
+        }),
+        OP_STORE => Ok(Instruction::Store {
+            src: reg(f0)?,
+            ptr: ptr(f1)?,
+            offset: low as i32,
+        }),
+        OP_SET_PTR => Ok(Instruction::SetPtr {
+            ptr: ptr(f0)?,
+            addr: low,
+        }),
+        OP_ADD_PTR => Ok(Instruction::AddPtr {
+            ptr: ptr(f0)?,
+            offset: low as i32,
+        }),
+        OP_COMM_SEND => Ok(Instruction::CommSend),
+        OP_COMM_RECV => Ok(Instruction::CommRecv { dst: reg(f0)? }),
+        OP_SET_COND => Ok(Instruction::SetCond { src: reg(f0)? }),
+        OP_LOOP_BEGIN => Ok(Instruction::LoopBegin {
+            count: low,
+            body_len: (u32::from(f0) << 16) | (u32::from(f1) << 8) | u32::from(f2),
+        }),
+        OP_JUMP => Ok(Instruction::Jump { target: low }),
+        OP_BRANCH => {
+            let cond = match f0 {
+                0 => CondCode::Zero,
+                1 => CondCode::NotZero,
+                c => return fail(DecodeErrorKind::BadCondCode(c)),
+            };
+            Ok(Instruction::Branch { cond, target: low })
+        }
+        OP_HALT => Ok(Instruction::Halt),
+        op => fail(DecodeErrorKind::UnknownOpcode(op)),
+    }
+}
+
+/// Encode a whole program into machine words.
+pub fn encode_program(program: &Program) -> Vec<u64> {
+    program.iter().map(|i| encode(*i)).collect()
+}
+
+/// Decode a sequence of machine words back into a [`Program`].
+///
+/// # Errors
+///
+/// Returns the first [`DecodeError`] encountered.
+pub fn decode_program(words: &[u64]) -> Result<Program, DecodeError> {
+    let instructions = words
+        .iter()
+        .map(|w| decode(*w))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Program::new(instructions))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn every_instruction() -> Vec<Instruction> {
+        let mut all = vec![
+            Instruction::Nop,
+            Instruction::LoadImm {
+                dst: DataReg::new(3),
+                imm: -123_456,
+            },
+            Instruction::Mac {
+                acc: 1,
+                a: DataReg::new(2),
+                b: DataReg::new(5),
+            },
+            Instruction::ClearAcc { acc: 0 },
+            Instruction::MoveAcc {
+                dst: DataReg::new(7),
+                acc: 1,
+            },
+            Instruction::Load {
+                dst: DataReg::new(0),
+                ptr: PtrReg::new(5),
+                offset: -9,
+            },
+            Instruction::Store {
+                src: DataReg::new(6),
+                ptr: PtrReg::new(0),
+                offset: 8191,
+            },
+            Instruction::SetPtr {
+                ptr: PtrReg::new(2),
+                addr: u32::MAX,
+            },
+            Instruction::AddPtr {
+                ptr: PtrReg::new(4),
+                offset: i32::MIN,
+            },
+            Instruction::CommSend,
+            Instruction::CommRecv {
+                dst: DataReg::new(1),
+            },
+            Instruction::SetCond {
+                src: DataReg::new(4),
+            },
+            Instruction::LoopBegin {
+                count: u32::MAX,
+                body_len: MAX_LOOP_BODY,
+            },
+            Instruction::Jump { target: 77 },
+            Instruction::Branch {
+                cond: CondCode::Zero,
+                target: 0,
+            },
+            Instruction::Branch {
+                cond: CondCode::NotZero,
+                target: u32::MAX,
+            },
+            Instruction::Halt,
+        ];
+        for op in ALU_OPS {
+            all.push(Instruction::Alu {
+                op,
+                dst: DataReg::new(1),
+                a: DataReg::new(2),
+                b: DataReg::new(3),
+            });
+        }
+        all
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        for inst in every_instruction() {
+            let word = encode(inst);
+            assert_eq!(decode(word), Ok(inst), "word {word:#018x}");
+        }
+    }
+
+    #[test]
+    fn encodings_are_distinct() {
+        let words: Vec<u64> = every_instruction().into_iter().map(encode).collect();
+        let mut dedup = words.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), words.len(), "no two instructions share a word");
+    }
+
+    #[test]
+    fn bad_fields_are_rejected() {
+        let bad_opcode = 0xFFu64 << 56;
+        assert_eq!(
+            decode(bad_opcode).unwrap_err().reason,
+            DecodeErrorKind::UnknownOpcode(0xFF)
+        );
+        // ALU with register 9.
+        let word = super::pack(OP_ALU, [9, 0, 0], 0);
+        assert_eq!(
+            decode(word).unwrap_err().reason,
+            DecodeErrorKind::BadDataReg(9)
+        );
+        // ALU with sub-opcode 200.
+        let word = super::pack(OP_ALU, [0, 0, 0], 200);
+        assert_eq!(
+            decode(word).unwrap_err().reason,
+            DecodeErrorKind::BadAluOp(200)
+        );
+        // A sub-opcode whose low byte aliases a valid op is still rejected
+        // and reported untruncated.
+        let word = super::pack(OP_ALU, [0, 0, 0], 0x100);
+        assert_eq!(
+            decode(word).unwrap_err().reason,
+            DecodeErrorKind::BadAluOp(256)
+        );
+        // Load through pointer p6.
+        let word = super::pack(OP_LOAD, [0, 6, 0], 0);
+        assert_eq!(
+            decode(word).unwrap_err().reason,
+            DecodeErrorKind::BadPtrReg(6)
+        );
+        // MAC into accumulator a2.
+        let word = super::pack(OP_MAC, [2, 0, 0], 0);
+        assert_eq!(
+            decode(word).unwrap_err().reason,
+            DecodeErrorKind::BadAccumulator(2)
+        );
+        // Branch with condition code 7.
+        let word = super::pack(OP_BRANCH, [7, 0, 0], 0);
+        assert_eq!(
+            decode(word).unwrap_err().reason,
+            DecodeErrorKind::BadCondCode(7)
+        );
+    }
+
+    #[test]
+    fn decode_error_display_names_the_word() {
+        let e = decode(0xABu64 << 56).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("unknown opcode 171"), "{msg}");
+        assert!(msg.contains("0xab00000000000000"), "{msg}");
+    }
+
+    #[test]
+    fn program_round_trip() {
+        let program = Program::new(every_instruction());
+        let words = encode_program(&program);
+        let back = decode_program(&words).unwrap();
+        assert_eq!(back, program);
+    }
+}

@@ -313,7 +313,11 @@ mod tests {
     fn control_classification() {
         assert!(Instruction::Halt.is_control());
         assert!(Instruction::Jump { target: 0 }.is_control());
-        assert!(Instruction::LoopBegin { count: 4, body_len: 2 }.is_control());
+        assert!(Instruction::LoopBegin {
+            count: 4,
+            body_len: 2
+        }
+        .is_control());
         assert!(!Instruction::Nop.is_control());
         assert!(!Instruction::CommSend.is_control());
     }
@@ -331,7 +335,10 @@ mod tests {
     #[test]
     fn communication_classification() {
         assert!(Instruction::CommSend.is_communication());
-        assert!(Instruction::CommRecv { dst: DataReg::new(0) }.is_communication());
+        assert!(Instruction::CommRecv {
+            dst: DataReg::new(0)
+        }
+        .is_communication());
         assert!(!Instruction::Nop.is_communication());
     }
 

@@ -21,9 +21,11 @@
 #![warn(missing_docs)]
 
 pub mod asm;
+pub mod code;
 pub mod inst;
 pub mod program;
 
 pub use asm::{assemble, AsmError};
+pub use code::{decode, decode_program, encode, encode_program, DecodeError, DecodeErrorKind};
 pub use inst::{AluOp, CondCode, DataReg, Instruction, PtrReg};
 pub use program::{Program, ProgramBuilder};

@@ -157,17 +157,15 @@ impl ProgramBuilder {
             let inst = match p {
                 Pending::Ready(i) => i,
                 Pending::Jump(label) => {
-                    let target = *self
-                        .labels
-                        .get(&label)
-                        .ok_or(UnresolvedLabel { label: label.clone() })?;
+                    let target = *self.labels.get(&label).ok_or(UnresolvedLabel {
+                        label: label.clone(),
+                    })?;
                     Instruction::Jump { target }
                 }
                 Pending::Branch(cond, label) => {
-                    let target = *self
-                        .labels
-                        .get(&label)
-                        .ok_or(UnresolvedLabel { label: label.clone() })?;
+                    let target = *self.labels.get(&label).ok_or(UnresolvedLabel {
+                        label: label.clone(),
+                    })?;
                     Instruction::Branch { cond, target }
                 }
             };
@@ -215,7 +213,10 @@ mod tests {
     #[test]
     fn program_counts_compute_and_communication() {
         let p: Program = [
-            Instruction::LoadImm { dst: DataReg::new(0), imm: 5 },
+            Instruction::LoadImm {
+                dst: DataReg::new(0),
+                imm: 5,
+            },
             Instruction::Alu {
                 op: AluOp::Add,
                 dst: DataReg::new(1),

@@ -27,16 +27,34 @@ impl TileArea {
     pub fn isca2004() -> Self {
         TileArea {
             components: vec![
-                ComponentArea { name: "2 40-bit ALUs", area_um2: 48_000.0 },
-                ComponentArea { name: "1 40-bit Shifter", area_um2: 500_000.0 },
-                ComponentArea { name: "2 40-bit Accumulators", area_um2: 11_060.0 },
-                ComponentArea { name: "2 16x16 mult", area_um2: 100_000.0 },
-                ComponentArea { name: "32 KB SRAM", area_um2: 5_570_560.0 },
+                ComponentArea {
+                    name: "2 40-bit ALUs",
+                    area_um2: 48_000.0,
+                },
+                ComponentArea {
+                    name: "1 40-bit Shifter",
+                    area_um2: 500_000.0,
+                },
+                ComponentArea {
+                    name: "2 40-bit Accumulators",
+                    area_um2: 11_060.0,
+                },
+                ComponentArea {
+                    name: "2 16x16 mult",
+                    area_um2: 100_000.0,
+                },
+                ComponentArea {
+                    name: "32 KB SRAM",
+                    area_um2: 5_570_560.0,
+                },
                 ComponentArea {
                     name: "32x32 Regfile 4 read and 2 write ports",
                     area_um2: 650_000.0,
                 },
-                ComponentArea { name: "Rest", area_um2: 393_000.0 },
+                ComponentArea {
+                    name: "Rest",
+                    area_um2: 393_000.0,
+                },
             ],
         }
     }
@@ -69,12 +87,30 @@ impl SimdDouArea {
     pub fn isca2004() -> Self {
         SimdDouArea {
             components: vec![
-                ComponentArea { name: "DOU", area_um2: 350_000.0 },
-                ComponentArea { name: "2 KB Instruction SRAM", area_um2: 350_000.0 },
-                ComponentArea { name: "Sequencer", area_um2: 225_000.0 },
-                ComponentArea { name: "LBANK", area_um2: 59_000.0 },
-                ComponentArea { name: "STACK32", area_um2: 180_000.0 },
-                ComponentArea { name: "Rest", area_um2: 140_000.0 },
+                ComponentArea {
+                    name: "DOU",
+                    area_um2: 350_000.0,
+                },
+                ComponentArea {
+                    name: "2 KB Instruction SRAM",
+                    area_um2: 350_000.0,
+                },
+                ComponentArea {
+                    name: "Sequencer",
+                    area_um2: 225_000.0,
+                },
+                ComponentArea {
+                    name: "LBANK",
+                    area_um2: 59_000.0,
+                },
+                ComponentArea {
+                    name: "STACK32",
+                    area_um2: 180_000.0,
+                },
+                ComponentArea {
+                    name: "Rest",
+                    area_um2: 140_000.0,
+                },
             ],
         }
     }

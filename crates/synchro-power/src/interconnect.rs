@@ -69,7 +69,10 @@ impl InterconnectModel {
     /// bus at supply `voltage` (all `split_width_bits` wires switch; this is
     /// the pessimistic 100 % switching-activity assumption).
     pub fn word_energy_j(&self, bus: &BusGeometry, voltage: f64) -> f64 {
-        f64::from(bus.split_width_bits()) * self.wire_capacitance_f(bus.length_mm) * voltage * voltage
+        f64::from(bus.split_width_bits())
+            * self.wire_capacitance_f(bus.length_mm)
+            * voltage
+            * voltage
     }
 
     /// Bus power in milliwatts given a word-transfer rate (words per

@@ -163,10 +163,14 @@ impl SdfGraph {
             }
         }
         if produce == 0 {
-            return Err(SdfError::ZeroRate { what: "produce rate" });
+            return Err(SdfError::ZeroRate {
+                what: "produce rate",
+            });
         }
         if consume == 0 {
-            return Err(SdfError::ZeroRate { what: "consume rate" });
+            return Err(SdfError::ZeroRate {
+                what: "consume rate",
+            });
         }
         self.edges.push(Edge {
             from,

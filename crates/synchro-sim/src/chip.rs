@@ -104,7 +104,7 @@ impl Chip {
         self.stats.reference_cycles += 1;
         for column in &mut self.columns {
             let divider = u64::from(column.config().clock_divider.max(1));
-            if tick_index % divider == 0 && !column.is_halted() {
+            if tick_index.is_multiple_of(divider) && !column.is_halted() {
                 column.step()?;
                 self.stats.column_cycles += 1;
             }
@@ -173,8 +173,18 @@ mod tests {
         assert!(chip.all_halted());
         assert!(ticks < 1000);
         // Both columns computed the same result despite different clocks.
-        let r1 = chip.column(0).unwrap().tile(0).unwrap().reg(DataReg::new(1));
-        let r2 = chip.column(1).unwrap().tile(0).unwrap().reg(DataReg::new(1));
+        let r1 = chip
+            .column(0)
+            .unwrap()
+            .tile(0)
+            .unwrap()
+            .reg(DataReg::new(1));
+        let r2 = chip
+            .column(1)
+            .unwrap()
+            .tile(0)
+            .unwrap()
+            .reg(DataReg::new(1));
         assert_eq!(r1, 3);
         assert_eq!(r1, r2);
     }

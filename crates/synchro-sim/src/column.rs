@@ -297,7 +297,11 @@ mod tests {
         compiler.idle();
         compiler.push(PatternCycle {
             segments: None,
-            ops: vec![BusOp { split: 0, producer: 0, consumers: vec![3] }],
+            ops: vec![BusOp {
+                split: 0,
+                producer: 0,
+                consumers: vec![3],
+            }],
         });
         compiler.idle();
         let dou_program = compiler.compile(1).unwrap();
@@ -317,8 +321,16 @@ mod tests {
         compiler.push(PatternCycle {
             segments: None,
             ops: vec![
-                BusOp { split: 0, producer: 0, consumers: vec![1] },
-                BusOp { split: 0, producer: 2, consumers: vec![3] },
+                BusOp {
+                    split: 0,
+                    producer: 0,
+                    consumers: vec![1],
+                },
+                BusOp {
+                    split: 0,
+                    producer: 2,
+                    consumers: vec![3],
+                },
             ],
         });
         let dou_program = compiler.compile(1).unwrap();

@@ -29,7 +29,10 @@ pub struct RateMatcher {
 impl RateMatcher {
     /// A matcher that never stalls.
     pub fn disabled() -> Self {
-        RateMatcher { period: 1, stalls: 0 }
+        RateMatcher {
+            period: 1,
+            stalls: 0,
+        }
     }
 
     /// Build a matcher that throttles a column running at `column_mhz` so
@@ -289,7 +292,13 @@ mod tests {
         let issues = c.run(10);
         let b = broadcasts(&issues);
         assert_eq!(b.len(), 2);
-        assert_eq!(b[0], Instruction::LoadImm { dst: DataReg::new(0), imm: 1 });
+        assert_eq!(
+            b[0],
+            Instruction::LoadImm {
+                dst: DataReg::new(0),
+                imm: 1
+            }
+        );
         assert!(matches!(b[1], Instruction::Alu { op: AluOp::Add, .. }));
         assert!(c.is_halted());
     }
@@ -312,7 +321,13 @@ mod tests {
         let p = assemble("loop 0, 2\nli r0, 1\nli r0, 2\nli r1, 3\nhalt\n").unwrap();
         let mut c = SimdController::new(p);
         let b = broadcasts(&c.run(10));
-        assert_eq!(b, vec![Instruction::LoadImm { dst: DataReg::new(1), imm: 3 }]);
+        assert_eq!(
+            b,
+            vec![Instruction::LoadImm {
+                dst: DataReg::new(1),
+                imm: 3
+            }]
+        );
     }
 
     #[test]

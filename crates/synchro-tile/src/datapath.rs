@@ -324,8 +324,10 @@ mod tests {
     #[test]
     fn load_imm_and_alu_through_execute() {
         let mut t = Tile::new();
-        t.execute(Instruction::LoadImm { dst: r(0), imm: 21 }).unwrap();
-        t.execute(Instruction::LoadImm { dst: r(1), imm: 2 }).unwrap();
+        t.execute(Instruction::LoadImm { dst: r(0), imm: 21 })
+            .unwrap();
+        t.execute(Instruction::LoadImm { dst: r(1), imm: 2 })
+            .unwrap();
         t.execute(Instruction::Alu {
             op: AluOp::Mul,
             dst: r(2),
@@ -343,10 +345,16 @@ mod tests {
         t.set_reg(r(0), 1 << 20);
         t.set_reg(r(1), 1 << 20);
         for _ in 0..8 {
-            t.execute(Instruction::Mac { acc: 0, a: r(0), b: r(1) }).unwrap();
+            t.execute(Instruction::Mac {
+                acc: 0,
+                a: r(0),
+                b: r(1),
+            })
+            .unwrap();
         }
         assert_eq!(t.acc(0), 8i64 << 40);
-        t.execute(Instruction::MoveAcc { dst: r(2), acc: 0 }).unwrap();
+        t.execute(Instruction::MoveAcc { dst: r(2), acc: 0 })
+            .unwrap();
         assert_eq!(t.reg(r(2)), i32::MAX, "move saturates to 32 bits");
         t.execute(Instruction::ClearAcc { acc: 0 }).unwrap();
         assert_eq!(t.acc(0), 0);
@@ -357,7 +365,11 @@ mod tests {
     fn bad_accumulator_is_rejected() {
         let mut t = Tile::new();
         assert!(matches!(
-            t.execute(Instruction::Mac { acc: 2, a: r(0), b: r(1) }),
+            t.execute(Instruction::Mac {
+                acc: 2,
+                a: r(0),
+                b: r(1)
+            }),
             Err(ExecError::BadAccumulator(2))
         ));
     }
@@ -365,10 +377,25 @@ mod tests {
     #[test]
     fn memory_load_store_roundtrip() {
         let mut t = Tile::new();
-        t.execute(Instruction::SetPtr { ptr: PtrReg::new(0), addr: 100 }).unwrap();
-        t.execute(Instruction::LoadImm { dst: r(3), imm: -7 }).unwrap();
-        t.execute(Instruction::Store { src: r(3), ptr: PtrReg::new(0), offset: 5 }).unwrap();
-        t.execute(Instruction::Load { dst: r(4), ptr: PtrReg::new(0), offset: 5 }).unwrap();
+        t.execute(Instruction::SetPtr {
+            ptr: PtrReg::new(0),
+            addr: 100,
+        })
+        .unwrap();
+        t.execute(Instruction::LoadImm { dst: r(3), imm: -7 })
+            .unwrap();
+        t.execute(Instruction::Store {
+            src: r(3),
+            ptr: PtrReg::new(0),
+            offset: 5,
+        })
+        .unwrap();
+        t.execute(Instruction::Load {
+            dst: r(4),
+            ptr: PtrReg::new(0),
+            offset: 5,
+        })
+        .unwrap();
         assert_eq!(t.reg(r(4)), -7);
         assert_eq!(t.stats().memory_ops, 2);
     }
@@ -376,19 +403,39 @@ mod tests {
     #[test]
     fn pointer_arithmetic() {
         let mut t = Tile::new();
-        t.execute(Instruction::SetPtr { ptr: PtrReg::new(1), addr: 10 }).unwrap();
-        t.execute(Instruction::AddPtr { ptr: PtrReg::new(1), offset: -4 }).unwrap();
+        t.execute(Instruction::SetPtr {
+            ptr: PtrReg::new(1),
+            addr: 10,
+        })
+        .unwrap();
+        t.execute(Instruction::AddPtr {
+            ptr: PtrReg::new(1),
+            offset: -4,
+        })
+        .unwrap();
         assert_eq!(t.ptr(PtrReg::new(1)), 6);
-        t.execute(Instruction::AddPtr { ptr: PtrReg::new(1), offset: -100 }).unwrap();
+        t.execute(Instruction::AddPtr {
+            ptr: PtrReg::new(1),
+            offset: -100,
+        })
+        .unwrap();
         assert_eq!(t.ptr(PtrReg::new(1)), 0, "pointer clamps at zero");
     }
 
     #[test]
     fn memory_fault_propagates() {
         let mut t = Tile::new();
-        t.execute(Instruction::SetPtr { ptr: PtrReg::new(0), addr: 9000 }).unwrap();
+        t.execute(Instruction::SetPtr {
+            ptr: PtrReg::new(0),
+            addr: 9000,
+        })
+        .unwrap();
         assert!(matches!(
-            t.execute(Instruction::Load { dst: r(0), ptr: PtrReg::new(0), offset: 0 }),
+            t.execute(Instruction::Load {
+                dst: r(0),
+                ptr: PtrReg::new(0),
+                offset: 0
+            }),
             Err(ExecError::Memory(_))
         ));
     }

@@ -44,19 +44,42 @@ fn main() {
     let idle = DouOutput::default();
     let broadcast = DouOutput {
         segments: None,
-        ops: vec![BusOp { split: 0, producer: 0, consumers: vec![1, 2, 3] }],
+        ops: vec![BusOp {
+            split: 0,
+            producer: 0,
+            consumers: vec![1, 2, 3],
+        }],
     };
     let dou = DouProgram::new(
         vec![
-            DouState { counter: 0, next_if_zero: 1, next_if_nonzero: 0, output: idle.clone() },
-            DouState { counter: 1, next_if_zero: 2, next_if_nonzero: 2, output: broadcast },
-            DouState { counter: 1, next_if_zero: 2, next_if_nonzero: 2, output: idle },
+            DouState {
+                counter: 0,
+                next_if_zero: 1,
+                next_if_nonzero: 0,
+                output: idle.clone(),
+            },
+            DouState {
+                counter: 1,
+                next_if_zero: 2,
+                next_if_nonzero: 2,
+                output: broadcast,
+            },
+            DouState {
+                counter: 1,
+                next_if_zero: 2,
+                next_if_nonzero: 2,
+                output: idle,
+            },
         ],
         [164, u32::MAX, 0, 0],
     )
     .expect("DOU program fits in 128 states");
 
-    let mut column = Column::new(ColumnConfig::isca2004().with_voltage(0.8), program.clone(), Some(dou));
+    let mut column = Column::new(
+        ColumnConfig::isca2004().with_voltage(0.8),
+        program.clone(),
+        Some(dou),
+    );
     for tile in 0..4 {
         let t = column.tile_mut(tile).unwrap();
         let a: Vec<i32> = (0..32).map(|k| k + tile as i32).collect();
@@ -67,8 +90,10 @@ fn main() {
     column.run(10_000).expect("column runs to completion");
     let stats = column.stats();
     println!("Single column, 4 tiles (SIMD):");
-    println!("  cycles = {}, broadcasts = {}, bus transfers = {}",
-        stats.cycles, stats.broadcasts, stats.bus_word_transfers);
+    println!(
+        "  cycles = {}, broadcasts = {}, bus transfers = {}",
+        stats.cycles, stats.broadcasts, stats.bus_word_transfers
+    );
     for tile in 0..4 {
         let t = column.tile(tile).unwrap();
         println!(

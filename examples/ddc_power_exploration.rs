@@ -30,7 +30,11 @@ fn main() {
             report.compute_mw(),
             report.overhead_mw(),
             report.total_mw(),
-            if report.feasible() { "" } else { "  (exceeds supply envelope)" }
+            if report.feasible() {
+                ""
+            } else {
+                "  (exceeds supply envelope)"
+            }
         );
     }
 

@@ -27,7 +27,10 @@ fn main() {
     for block in &per_column.blocks {
         println!(
             "{:<18} {:>6} {:>9.0} {:>6.1} {:>11.2}",
-            block.name, block.tiles, block.frequency_mhz, block.voltage,
+            block.name,
+            block.tiles,
+            block.frequency_mhz,
+            block.voltage,
             block.total_mw()
         );
     }

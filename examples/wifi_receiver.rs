@@ -48,7 +48,10 @@ fn main() {
         for block in &report.blocks {
             println!(
                 "  {:<22} {:>2} tiles @ {:>4.0} MHz, {:.1} V -> {:>8.1} mW",
-                block.name, block.tiles, block.frequency_mhz, block.voltage,
+                block.name,
+                block.tiles,
+                block.frequency_mhz,
+                block.voltage,
                 block.total_mw()
             );
         }

@@ -1,0 +1,192 @@
+//! End-to-end smoke tests of every `experiments::*` table/figure
+//! generator: run each one exactly as the `bench` crate's binaries do and
+//! assert the output is non-empty with finite, positive values.  This
+//! guards the generator pipeline without needing Criterion or stdout
+//! capture.
+
+use synchro_apps::Application;
+use synchro_power::Technology;
+use synchroscalar::experiments::{
+    efficiency_ratios, figure5, figure6, figure7, figure8, leakage_sensitivity, reference_reports,
+    table1, table2, table3, table4, tile_power_sensitivity,
+};
+
+fn assert_finite(label: &str, value: f64) {
+    assert!(value.is_finite(), "{label} must be finite, got {value}");
+}
+
+fn assert_positive(label: &str, value: f64) {
+    assert_finite(label, value);
+    assert!(value > 0.0, "{label} must be positive, got {value}");
+}
+
+#[test]
+fn figure5_sweeps_the_vf_curve() {
+    let tech = Technology::isca2004();
+    let points = figure5(&tech, 31);
+    assert_eq!(points.len(), 31);
+    for p in &points {
+        assert_positive("voltage", p.voltage);
+        assert_positive("f(20 FO4)", p.frequency_fo4_20);
+        assert_positive("f(15 FO4)", p.frequency_fo4_15);
+        // The shorter critical path always clocks faster.
+        assert!(p.frequency_fo4_15 > p.frequency_fo4_20);
+    }
+    // Monotone in voltage.
+    for w in points.windows(2) {
+        assert!(w[1].voltage > w[0].voltage);
+        assert!(w[1].frequency_fo4_20 >= w[0].frequency_fo4_20);
+    }
+}
+
+#[test]
+fn table1_reports_every_technology_parameter() {
+    let rows = table1(&Technology::isca2004());
+    assert!(rows.len() >= 9);
+    for (name, value, source) in &rows {
+        assert!(!name.is_empty() && !value.is_empty() && !source.is_empty());
+    }
+}
+
+#[test]
+fn table2_reports_component_areas() {
+    let (tile, ctrl) = table2();
+    assert!(!tile.is_empty() && !ctrl.is_empty());
+    for (name, area) in tile.iter().chain(&ctrl) {
+        assert!(!name.is_empty());
+        assert_positive(name, *area);
+    }
+}
+
+#[test]
+fn table3_mixes_synchroscalar_and_reference_rows() {
+    let rows = table3(&Technology::isca2004());
+    let ours = rows
+        .iter()
+        .filter(|r| r.platform == "Synchroscalar")
+        .count();
+    assert!(ours >= 5, "five applications evaluated, got {ours}");
+    assert!(rows.len() > ours, "published reference platforms follow");
+    for row in &rows {
+        assert_positive(&row.platform, row.power_mw);
+        if let Some(area) = row.area_mm2 {
+            assert_positive(&row.platform, area);
+        }
+    }
+}
+
+#[test]
+fn table4_reports_per_block_operating_points() {
+    let rows = table4(&Technology::isca2004());
+    assert!(!rows.is_empty());
+    assert!(rows.iter().any(|r| r.algorithm == "TOTAL"));
+    for row in &rows {
+        assert!(row.tiles > 0, "{}", row.algorithm);
+        // Summary rows carry no single operating point; block rows must.
+        if row.algorithm != "TOTAL" {
+            assert_positive(&row.algorithm, row.frequency_mhz);
+            assert_positive(&row.algorithm, row.voltage);
+        }
+        assert_positive(&row.algorithm, row.power_mw);
+        assert_positive(&row.algorithm, row.single_voltage_mw);
+        // Per-column voltage scaling never costs power.
+        assert!(row.power_mw <= row.single_voltage_mw + 1e-9);
+    }
+}
+
+#[test]
+fn efficiency_ratios_are_sane_for_wifi() {
+    let ratios = efficiency_ratios(&Technology::isca2004(), Application::Wifi80211a)
+        .expect("802.11a has ASIC and DSP reference rows");
+    assert_positive("vs_asic", ratios.vs_asic);
+    assert_positive("vs_dsp", ratios.vs_dsp);
+    // The paper's headline: within ~5x of an ASIC, well ahead of a DSP.
+    assert!(ratios.vs_dsp > 1.0, "Synchroscalar beats the DSP");
+}
+
+#[test]
+fn figure6_reports_voltage_scaling_savings() {
+    let bars = figure6(&Technology::isca2004());
+    assert_eq!(bars.len(), Application::all().len());
+    for bar in &bars {
+        assert_positive(&bar.application, bar.scaled_mw);
+        assert_finite(&bar.application, bar.additional_unscaled_mw);
+        assert!(bar.additional_unscaled_mw >= 0.0);
+        assert_finite(&bar.application, bar.savings_percent);
+        assert!((0.0..100.0).contains(&bar.savings_percent));
+    }
+}
+
+#[test]
+fn figure7_sweeps_parallelisation_levels() {
+    let bars = figure7(&Technology::isca2004());
+    assert!(bars.len() > Application::all().len());
+    for bar in &bars {
+        assert!(bar.tiles > 0);
+        assert_positive(&bar.application, bar.compute_mw);
+        assert_finite(&bar.application, bar.overhead_mw);
+        assert!(bar.overhead_mw >= 0.0);
+        assert_positive(&bar.application, bar.total_mw());
+    }
+}
+
+#[test]
+fn figure8_sweeps_bus_widths() {
+    let points = figure8(&Technology::isca2004());
+    // 3 tile counts x 6 bus widths.
+    assert_eq!(points.len(), 18);
+    for p in &points {
+        assert_positive("area", p.area_mm2);
+        assert_positive("power", p.power_mw);
+    }
+    // Wider buses cost area at fixed tiles.
+    for pair in points.chunks(6) {
+        for w in pair.windows(2) {
+            assert!(w[1].area_mm2 > w[0].area_mm2);
+        }
+    }
+}
+
+#[test]
+fn leakage_sensitivity_covers_the_figure9_sweep() {
+    let points = leakage_sensitivity(&Technology::isca2004());
+    assert!(!points.is_empty());
+    for p in &points {
+        assert!(p.tiles > 0);
+        assert!(p.leakage_ma_per_tile >= 0.0);
+        assert_positive(&p.application, p.power_mw);
+    }
+    // More leakage never reduces a variant's power.
+    let probe = (points[0].application.clone(), points[0].tiles);
+    let series: Vec<&_> = points
+        .iter()
+        .filter(|p| (p.application.as_str(), p.tiles) == (probe.0.as_str(), probe.1))
+        .collect();
+    assert!(series.len() >= 2);
+    for w in series.windows(2) {
+        assert!(w[1].power_mw >= w[0].power_mw);
+    }
+}
+
+#[test]
+fn tile_power_sensitivity_covers_every_application() {
+    let points = tile_power_sensitivity(&Technology::isca2004());
+    assert_eq!(points.len(), 5 * Application::all().len());
+    for p in &points {
+        assert_positive(&p.application, p.tile_power_mw_per_mhz);
+        assert_positive(&p.application, p.power_mw);
+    }
+}
+
+#[test]
+fn reference_reports_cover_every_application() {
+    let reports = reference_reports(&Technology::isca2004());
+    assert_eq!(reports.len(), Application::all().len());
+    for report in &reports {
+        assert!(report.total_tiles() > 0);
+        assert_positive("total", report.total_mw());
+        assert_positive("compute", report.compute_mw());
+        assert_finite("overhead", report.overhead_mw());
+        assert_positive("area", report.area_mm2());
+    }
+}

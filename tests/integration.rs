@@ -86,7 +86,11 @@ fn multi_clock_domain_chip_runs_dou_schedules() {
     schedule.idle();
     schedule.push(PatternCycle {
         segments: None,
-        ops: vec![BusOp { split: 2, producer: 0, consumers: vec![1, 2, 3] }],
+        ops: vec![BusOp {
+            split: 2,
+            producer: 0,
+            consumers: vec![1, 2, 3],
+        }],
     });
     schedule.idle();
     let dou = schedule.compile(1).unwrap();
@@ -102,7 +106,11 @@ fn multi_clock_domain_chip_runs_dou_schedules() {
     chip.run(1_000).unwrap();
     assert!(chip.all_halted());
     assert_eq!(
-        chip.column(0).unwrap().tile(3).unwrap().reg(DataReg::new(7)),
+        chip.column(0)
+            .unwrap()
+            .tile(3)
+            .unwrap()
+            .reg(DataReg::new(7)),
         77,
         "SIMD broadcast loads R7 everywhere"
     );
@@ -129,13 +137,22 @@ fn headline_claims_hold_end_to_end() {
         savings.push(savings_percent(&per_column, &single));
     }
     assert!(savings.iter().all(|&s| (0.0..60.0).contains(&s)));
-    assert!(savings.iter().any(|&s| s > 15.0), "some application saves a lot");
-    assert!(savings.iter().any(|&s| s < 10.0), "some application saves little");
+    assert!(
+        savings.iter().any(|&s| s > 15.0),
+        "some application saves a lot"
+    );
+    assert!(
+        savings.iter().any(|&s| s < 10.0),
+        "some application saves little"
+    );
 
     for app in [Application::Wifi80211a, Application::Ddc] {
         let ratios = experiments::efficiency_ratios(&tech, app).unwrap();
         assert!(ratios.vs_asic > 1.0, "ASICs stay ahead of Synchroscalar");
-        assert!(ratios.vs_dsp > 3.0, "Synchroscalar beats the DSP comfortably");
+        assert!(
+            ratios.vs_dsp > 3.0,
+            "Synchroscalar beats the DSP comfortably"
+        );
     }
 }
 
@@ -158,7 +175,11 @@ fn table4_totals_track_the_paper() {
     for (app, paper_mw) in published {
         let profile = ApplicationProfile::of(app);
         let report = evaluate_application(&profile, &tech, &EvaluationOptions::default());
-        assert!(report.feasible(), "{} must fit the envelope", report.application);
+        assert!(
+            report.feasible(),
+            "{} must fit the envelope",
+            report.application
+        );
         let ratio = report.total_mw() / paper_mw;
         // The AES composition row uses a different FFT mapping in the paper,
         // so give it (and the small MPEG-4 QCIF total) a wider band.
@@ -192,7 +213,11 @@ fn golden_kernels_and_profiles_describe_the_same_applications() {
         .collect();
     assert_eq!(chain.process(&adc).len(), 64);
     let ddc_profile = ApplicationProfile::of(Application::Ddc);
-    assert_eq!(ddc_profile.algorithms.len(), 5, "five pipeline stages in both views");
+    assert_eq!(
+        ddc_profile.algorithms.len(),
+        5,
+        "five pipeline stages in both views"
+    );
 
     // MPEG-4: a QCIF frame has 99 macroblocks; the profile maps the encoder
     // of exactly that frame size.

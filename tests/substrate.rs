@@ -1,0 +1,291 @@
+//! Substrate-corner tests the unit suites don't cover: the full
+//! assemble → encode → decode round-trip through the binary instruction
+//! encoding, and `synchro_tile` datapath edge cases (saturation, shift
+//! masking, wrap-around arithmetic, buffer overwrite semantics).
+
+use synchro_isa::{assemble, decode, decode_program, encode, encode_program, Instruction};
+use synchro_isa::{AluOp, DataReg, PtrReg};
+use synchro_tile::{ExecError, LocalMemory, Tile, TileEvent};
+
+/// An assembly kernel exercising every mnemonic the assembler knows,
+/// including both conditional branches and a backward jump.
+const EVERY_MNEMONIC: &str = "
+top:
+    nop
+    li r0, -2147483648
+    li r1, 2147483647
+    add r2, r0, r1
+    sub r2, r2, r1
+    mul r3, r1, r1
+    and r4, r2, r3
+    or r4, r4, r0
+    xor r4, r4, r4
+    shl r5, r1, r0
+    shr r5, r5, r1
+    asr r5, r5, r1
+    min r6, r0, r1
+    max r6, r0, r1
+    abs r6, r6, r6
+    cmpeq r7, r6, r6
+    cmplt r7, r6, r0
+    clracc a0
+    clracc a1
+    mac a0, r1, r1
+    mac a1, r0, r0
+    movacc r2, a0
+    movacc r3, a1
+    setp p0, 0
+    setp p5, 8191
+    addp p0, 5
+    addp p5, -5
+    st r1, p0, 0
+    ld r2, p0, 0
+    send
+    recv r3
+    setcond r7
+    brz top
+    brnz done
+    jmp top
+done:
+    halt
+";
+
+#[test]
+fn assemble_encode_decode_round_trip_covers_every_mnemonic() {
+    let program = assemble(EVERY_MNEMONIC).expect("kernel must assemble");
+    // Sanity: the kernel really does contain every instruction class.
+    assert!(program.len() > 30);
+    assert!(program.iter().any(|i| i.is_conditional_branch()));
+    assert!(program.iter().any(|i| i.is_communication()));
+    assert!(program.iter().any(|i| matches!(i, Instruction::Halt)));
+
+    let words = encode_program(&program);
+    assert_eq!(words.len(), program.len());
+    let decoded = decode_program(&words).expect("every encoded word must decode");
+    assert_eq!(decoded, program, "decode(encode(p)) == p");
+
+    // Word-at-a-time agrees with the bulk helpers.
+    for (inst, word) in program.iter().zip(&words) {
+        assert_eq!(encode(*inst), *word);
+        assert_eq!(decode(*word), Ok(*inst));
+    }
+}
+
+#[test]
+fn encoding_distinguishes_label_targets() {
+    let fwd = assemble("brnz end\nnop\nend:\nhalt\n").unwrap();
+    let back = assemble("start:\nnop\nbrnz start\nhalt\n").unwrap();
+    let w_fwd = encode_program(&fwd);
+    let w_back = encode_program(&back);
+    assert_ne!(w_fwd, w_back);
+    assert_eq!(decode_program(&w_fwd).unwrap(), fwd);
+    assert_eq!(decode_program(&w_back).unwrap(), back);
+}
+
+#[test]
+fn corrupted_words_never_decode_silently() {
+    let program = assemble("li r1, 7\nmac a0, r1, r1\nhalt\n").unwrap();
+    for word in encode_program(&program) {
+        // Flipping the opcode byte to an unassigned value must error.
+        let corrupted = (word & 0x00FF_FFFF_FFFF_FFFF) | (0xEEu64 << 56);
+        assert!(decode(corrupted).is_err(), "corrupted {corrupted:#018x}");
+    }
+}
+
+fn r(n: u8) -> DataReg {
+    DataReg::new(n)
+}
+
+fn run_alu(tile: &mut Tile, op: AluOp, a: i32, b: i32) -> i32 {
+    tile.set_reg(r(0), a);
+    tile.set_reg(r(1), b);
+    tile.execute(Instruction::Alu {
+        op,
+        dst: r(2),
+        a: r(0),
+        b: r(1),
+    })
+    .unwrap();
+    tile.reg(r(2))
+}
+
+#[test]
+fn datapath_abs_of_int_min_wraps_like_hardware() {
+    let mut t = Tile::new();
+    // Two's-complement |i32::MIN| is unrepresentable; the datapath wraps.
+    assert_eq!(run_alu(&mut t, AluOp::Abs, i32::MIN, 0), i32::MIN);
+    assert_eq!(run_alu(&mut t, AluOp::Abs, -7, 0), 7);
+}
+
+#[test]
+fn datapath_shift_amounts_are_masked_to_five_bits() {
+    let mut t = Tile::new();
+    // A shift by 32 behaves as a shift by 0, not zero/UB.
+    assert_eq!(run_alu(&mut t, AluOp::Shl, 1, 32), 1);
+    assert_eq!(run_alu(&mut t, AluOp::Shl, 1, 33), 2);
+    assert_eq!(run_alu(&mut t, AluOp::Shr, -1, 32), -1);
+    // Logical vs arithmetic right shift differ on negative values.
+    assert_eq!(run_alu(&mut t, AluOp::Shr, i32::MIN, 31), 1);
+    assert_eq!(run_alu(&mut t, AluOp::Asr, i32::MIN, 31), -1);
+    // Negative shift amounts use only the low five bits too.
+    assert_eq!(run_alu(&mut t, AluOp::Shl, 1, -31), 2);
+}
+
+#[test]
+fn datapath_mul_keeps_low_32_bits() {
+    let mut t = Tile::new();
+    assert_eq!(run_alu(&mut t, AluOp::Mul, 1 << 20, 1 << 20), 0);
+    assert_eq!(run_alu(&mut t, AluOp::Mul, 65537, 65537), 131073);
+}
+
+#[test]
+fn move_acc_saturates_in_both_directions() {
+    let mut t = Tile::new();
+    t.set_reg(r(0), i32::MIN);
+    t.set_reg(r(1), 1 << 14);
+    for _ in 0..4 {
+        t.execute(Instruction::Mac {
+            acc: 0,
+            a: r(0),
+            b: r(1),
+        })
+        .unwrap();
+    }
+    assert!(t.acc(0) < i64::from(i32::MIN));
+    t.execute(Instruction::MoveAcc { dst: r(2), acc: 0 })
+        .unwrap();
+    assert_eq!(t.reg(r(2)), i32::MIN, "negative overflow clamps to MIN");
+
+    t.execute(Instruction::ClearAcc { acc: 0 }).unwrap();
+    t.set_reg(r(0), i32::MAX);
+    t.set_reg(r(1), 4);
+    t.execute(Instruction::Mac {
+        acc: 0,
+        a: r(0),
+        b: r(1),
+    })
+    .unwrap();
+    t.execute(Instruction::MoveAcc { dst: r(2), acc: 0 })
+        .unwrap();
+    assert_eq!(t.reg(r(2)), i32::MAX, "positive overflow clamps to MAX");
+}
+
+#[test]
+fn accumulators_are_independent() {
+    let mut t = Tile::new();
+    t.set_reg(r(0), 3);
+    t.set_reg(r(1), 5);
+    t.execute(Instruction::Mac {
+        acc: 0,
+        a: r(0),
+        b: r(1),
+    })
+    .unwrap();
+    t.execute(Instruction::Mac {
+        acc: 1,
+        a: r(1),
+        b: r(1),
+    })
+    .unwrap();
+    assert_eq!(t.acc(0), 15);
+    assert_eq!(t.acc(1), 25);
+    t.execute(Instruction::ClearAcc { acc: 0 }).unwrap();
+    assert_eq!(t.acc(0), 0);
+    assert_eq!(t.acc(1), 25, "clearing a0 must not touch a1");
+}
+
+#[test]
+fn send_overwrites_an_unconsumed_write_buffer() {
+    let mut t = Tile::new();
+    t.set_reg(DataReg::COMM, 1);
+    t.execute(Instruction::CommSend).unwrap();
+    t.set_reg(DataReg::COMM, 2);
+    let ev = t.execute(Instruction::CommSend).unwrap();
+    assert_eq!(ev, TileEvent::Sent(2));
+    // The DOU sees only the most recent value — single-entry buffer.
+    assert_eq!(t.take_outgoing(), Some(2));
+    assert_eq!(t.take_outgoing(), None);
+}
+
+#[test]
+fn deliver_overwrites_an_unread_read_buffer() {
+    let mut t = Tile::new();
+    t.deliver(10);
+    t.deliver(20);
+    let ev = t.execute(Instruction::CommRecv { dst: r(0) }).unwrap();
+    assert_eq!(ev, TileEvent::Received(20));
+    assert_eq!(t.reg(r(0)), 20);
+}
+
+#[test]
+fn disabled_tile_ignores_communication_and_errors() {
+    let mut t = Tile::new();
+    t.set_enabled(false);
+    // Even a control instruction is ignored while supply-gated.
+    assert_eq!(t.execute(Instruction::Halt), Ok(TileEvent::None));
+    assert_eq!(t.execute(Instruction::CommSend), Ok(TileEvent::None));
+    assert_eq!(t.peek_outgoing(), None);
+    assert_eq!(t.stats().instructions, 0);
+    // Re-enabling restores normal behaviour, including error reporting.
+    t.set_enabled(true);
+    assert!(matches!(
+        t.execute(Instruction::Halt),
+        Err(ExecError::ControlReachedTile(Instruction::Halt))
+    ));
+}
+
+#[test]
+fn loads_at_memory_bounds() {
+    let mut t = Tile::new();
+    let last = (LocalMemory::DEFAULT_WORDS - 1) as u32;
+    t.execute(Instruction::SetPtr {
+        ptr: PtrReg::new(0),
+        addr: last,
+    })
+    .unwrap();
+    // The final word is addressable...
+    t.set_reg(r(0), 42);
+    t.execute(Instruction::Store {
+        src: r(0),
+        ptr: PtrReg::new(0),
+        offset: 0,
+    })
+    .unwrap();
+    t.execute(Instruction::Load {
+        dst: r(1),
+        ptr: PtrReg::new(0),
+        offset: 0,
+    })
+    .unwrap();
+    assert_eq!(t.reg(r(1)), 42);
+    // ...one past it faults, and a negative effective address faults.
+    assert!(matches!(
+        t.execute(Instruction::Load {
+            dst: r(1),
+            ptr: PtrReg::new(0),
+            offset: 1
+        }),
+        Err(ExecError::Memory(_))
+    ));
+    let fault = t
+        .execute(Instruction::Load {
+            dst: r(1),
+            ptr: PtrReg::new(0),
+            offset: -(last as i32) - 1,
+        })
+        .unwrap_err();
+    assert!(matches!(fault, ExecError::Memory(f) if f.address == -1));
+}
+
+#[test]
+fn faulting_instructions_still_count_in_stats() {
+    let mut t = Tile::new();
+    let before = t.stats().instructions;
+    let _ = t.execute(Instruction::Load {
+        dst: r(0),
+        ptr: PtrReg::new(0),
+        offset: -1,
+    });
+    assert_eq!(t.stats().instructions, before + 1);
+    assert_eq!(t.stats().memory_ops, 1);
+}

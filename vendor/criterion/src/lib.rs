@@ -1,0 +1,106 @@
+//! An offline, dependency-free drop-in subset of the
+//! [`criterion`](https://docs.rs/criterion) benchmarking API.
+//!
+//! The build container has no network access, so the real crates.io
+//! `criterion` cannot be fetched. This stand-in implements the surface the
+//! Synchroscalar benches use — [`Criterion::bench_function`],
+//! [`Bencher::iter`], [`criterion_group!`] and [`criterion_main!`] — with a
+//! simple calibrated timing loop instead of criterion's statistical
+//! machinery. Results print as `name: median ns/iter` lines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock spent measuring each benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+
+/// The benchmark driver handed to each `fn(c: &mut Criterion)`.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run `f` as a named benchmark and print its per-iteration time.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { ns_per_iter: None };
+        f(&mut b);
+        match b.ns_per_iter {
+            Some(ns) => println!("{name:<32} {ns:>12.1} ns/iter"),
+            None => println!("{name:<32} (no measurement)"),
+        }
+        self
+    }
+}
+
+/// Measures one closure; handed to the `|b| ...` callback.
+pub struct Bencher {
+    ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Time `routine`, first calibrating an iteration count that fills the
+    /// measurement budget.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Calibrate: grow the batch until it takes ≥ 1 ms.
+        let mut batch: u64 = 1;
+        let per_iter_ns = loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break elapsed.as_nanos() as f64 / batch as f64;
+            }
+            batch *= 8;
+        };
+        // Measure: repeat the calibrated batch until the budget is spent,
+        // keeping the fastest batch (least interference).
+        let batch_budget = MEASURE_BUDGET.as_nanos() as f64;
+        let rounds = (batch_budget / (per_iter_ns * batch as f64)).clamp(1.0, 64.0) as u32;
+        let mut best = f64::INFINITY;
+        for _ in 0..rounds {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / batch as f64;
+            if ns < best {
+                best = ns;
+            }
+        }
+        self.ns_per_iter = Some(best);
+    }
+}
+
+/// Collect benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

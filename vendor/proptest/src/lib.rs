@@ -1,0 +1,332 @@
+//! An offline, dependency-free drop-in subset of the
+//! [`proptest`](https://docs.rs/proptest) property-testing API.
+//!
+//! The container this repository builds in has no network access, so the
+//! real crates.io `proptest` cannot be fetched. This vendored stand-in
+//! implements exactly the surface the Synchroscalar test-suite uses:
+//!
+//! * the [`proptest!`] macro wrapping `fn name(arg in strategy, ...)`
+//!   test bodies,
+//! * [`prop_assert!`], [`prop_assert_eq!`] and [`prop_assume!`],
+//! * range strategies (`1.0f64..560.0`, `1u32..64`, ...),
+//! * [`prelude::any`], `prop::array::uniform16` and
+//!   `prop::collection::vec`.
+//!
+//! Sampling is deterministic: each test derives its RNG seed from its own
+//! function name, so failures reproduce run-to-run without a persisted
+//! regression file. Shrinking is not implemented — on failure the macro
+//! panics with the sampled inputs' debug representation instead.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Number of accepted cases each `proptest!` test runs.
+pub const CASES: u32 = 64;
+/// Upper bound on sampling attempts (accepted + rejected) per test.
+pub const MAX_ATTEMPTS: u32 = CASES * 64;
+
+/// Error type a generated test-case closure returns.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!`; it does not count.
+    Reject,
+    /// An assertion failed; the test panics with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure from anything printable.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Deterministic test RNGs.
+pub mod test_runner {
+    /// A small, fast, deterministic RNG (splitmix64).
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Seed the RNG from a test name (FNV-1a hash), so every test gets
+        /// a distinct but reproducible stream.
+        pub fn deterministic(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng(h | 1)
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform f64 in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A source of random values of one type — the subset of proptest's
+/// `Strategy` trait the suite needs.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i128) - (self.start as i128);
+                assert!(span > 0, "empty integer range strategy");
+                let r = (rng.next_u64() as i128).rem_euclid(span);
+                (self.start as i128 + r) as $t
+            }
+        }
+    )*};
+}
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy producing any value of `T` (proptest's `any::<T>()`).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Create an [`Any`] strategy for `T`.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy,
+{
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_any_uint {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_any_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Fixed-size array strategies (`prop::array`).
+pub mod array {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `[S::Value; N]` from a per-element strategy.
+    pub struct UniformArray<S, const N: usize>(S);
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            std::array::from_fn(|_| self.0.sample(rng))
+        }
+    }
+
+    macro_rules! uniform_fn {
+        ($($name:ident => $n:literal),*) => {$(
+            /// Strategy for an array of that many elements.
+            pub fn $name<S: Strategy>(element: S) -> UniformArray<S, $n> {
+                UniformArray(element)
+            }
+        )*};
+    }
+    uniform_fn!(uniform4 => 4, uniform8 => 8, uniform16 => 16, uniform32 => 32);
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Inclusive-exclusive bounds on a generated collection's length.
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.end > r.start, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a [`SizeRange`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Build a [`VecStrategy`] (proptest's `prop::collection::vec`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min) as u64;
+            let len = self.size.min + (rng.next_u64() % span.max(1)) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// What `use proptest::prelude::*;` brings into scope.
+pub mod prelude {
+    pub use crate::test_runner::TestRng;
+    pub use crate::{any, Strategy, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// The `prop::` namespace (`prop::array`, `prop::collection`).
+    pub mod prop {
+        pub use crate::array;
+        pub use crate::collection;
+    }
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert two expressions are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                l,
+                r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Assert two expressions are unequal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                l, r
+            )));
+        }
+    }};
+}
+
+/// Reject the current case without failing the test.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that samples [`CASES`] accepted inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            #[test]
+            fn $name() {
+                let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                while accepted < $crate::CASES {
+                    attempts += 1;
+                    assert!(
+                        attempts <= $crate::MAX_ATTEMPTS,
+                        "too many rejected cases in {}",
+                        stringify!($name)
+                    );
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                    let case = (|| -> ::core::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    })();
+                    match case {
+                        ::core::result::Result::Ok(()) => accepted += 1,
+                        ::core::result::Result::Err($crate::TestCaseError::Reject) => continue,
+                        ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!("property {} falsified: {}", stringify!($name), msg)
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
