@@ -5,7 +5,7 @@ use std::hint::black_box;
 use synchro_apps::{Application, ApplicationProfile};
 use synchro_isa::assemble;
 use synchro_power::Technology;
-use synchro_sim::{Column, ColumnConfig};
+use synchro_sim::{Chip, Column, ColumnConfig};
 use synchroscalar::experiments::{figure8, leakage_sensitivity, table4};
 use synchroscalar::pipeline::{evaluate_application, EvaluationOptions};
 
@@ -37,5 +37,63 @@ fn bench_column_simulator(c: &mut Criterion) {
     });
 }
 
-criterion_group!(pipeline, bench_power_pipeline, bench_column_simulator);
+/// The event-driven `Chip::run` against the naive tick loop on a
+/// divider-heavy mix (co-prime dividers leave ~98 % of reference ticks
+/// empty, which the fast path skips in bulk).
+fn bench_chip_run(c: &mut Criterion) {
+    let build = || {
+        let mut chip = Chip::new();
+        for divider in [97u32, 193, 389] {
+            chip.add_column(Column::new(
+                ColumnConfig::isca2004().with_divider(divider),
+                assemble("loop 200, 2\nli r0, 1\nadd r1, r1, r0\nhalt\n").unwrap(),
+                None,
+            ));
+        }
+        chip
+    };
+    c.bench_function("chip_run_event_driven", |b| {
+        b.iter(|| {
+            let mut chip = build();
+            chip.run(200_000).unwrap()
+        })
+    });
+    c.bench_function("chip_run_ticked", |b| {
+        b.iter(|| {
+            let mut chip = build();
+            chip.run_ticked(200_000).unwrap()
+        })
+    });
+    // The two paths must agree bit-for-bit on everything they count.
+    let (mut fast, mut slow) = (build(), build());
+    fast.run(200_000).unwrap();
+    slow.run_ticked(200_000).unwrap();
+    assert_eq!(fast.stats(), slow.stats());
+    assert_eq!(fast.column_stats(), slow.column_stats());
+}
+
+/// End-to-end mapper compile + execute for the DDC reference graph.
+fn bench_mapper(c: &mut Criterion) {
+    use synchroscalar::mapper::{self, MapperOptions};
+    let (graph, mapping, rate) = mapper::ddc_reference();
+    let options = MapperOptions {
+        iterations: 4,
+        iteration_rate_hz: rate,
+        ..MapperOptions::default()
+    };
+    c.bench_function("mapper_ddc_compile_execute", |b| {
+        b.iter(|| {
+            let mut compiled = mapper::compile(&graph, &mapping, &options).unwrap();
+            compiled.execute().unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    pipeline,
+    bench_power_pipeline,
+    bench_column_simulator,
+    bench_chip_run,
+    bench_mapper
+);
 criterion_main!(pipeline);

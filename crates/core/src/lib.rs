@@ -33,8 +33,10 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod mapper;
 pub mod pipeline;
 
+pub use mapper::{compile as compile_mapping, CompiledChip, CrossValidation, MapperOptions};
 pub use pipeline::{
     evaluate_application, ApplicationReport, BlockReport, EvaluationOptions, VoltagePolicy,
 };

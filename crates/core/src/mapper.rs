@@ -1,0 +1,984 @@
+//! The SDF → chip mapping/execution subsystem: the bridge between the
+//! analytic power pipeline and the cycle-accurate substrate.
+//!
+//! The paper's methodology (Section 4.1, steps 1–9) is a *flow*: describe
+//! the application as an SDF graph, solve the balance equations, place the
+//! actors on tile groups, rate-match the columns with clock dividers (plus
+//! ZORM for the residue), compile static communication schedules, and only
+//! then evaluate power.  The analytic half of that flow lives in
+//! [`crate::pipeline`]; this module closes the loop by *compiling* an
+//! [`SdfGraph`] + [`Mapping`] into a runnable [`synchro_sim::Chip`]:
+//!
+//! 1. solve the repetition vector, schedule and buffer bounds
+//!    ([`SdfGraph`]),
+//! 2. give every placed actor its own column with the right tile count and
+//!    the supply voltage its required frequency demands ([`VfCurve`]),
+//! 3. derive per-column clock dividers so that, per hyperperiod of the
+//!    reference clock, each column executes exactly `reps × cycles`
+//!    column cycles — firing rates match the repetition vector *exactly*
+//!    (with a [`RateMatcher`] fallback when the exact divider would exceed
+//!    the hardware range),
+//! 4. emit a per-firing SIMD [`Program`](synchro_isa::Program) and a
+//!    [`DouProgram`] that distributes each produced token across the
+//!    column's tiles at a statically scheduled bus cycle,
+//! 5. execute end to end, accounting horizontal-bus traffic from the
+//!    *measured* firing counts, and
+//! 6. cross-validate the measurements against the analytic
+//!    [`ApplicationReport`] ([`cross_validate`]).
+//!
+//! Inter-column token payloads are not physically modelled — the chip's
+//! horizontal bus is an accounting device, exactly as in the power
+//! methodology — but firing *rates* and bus *traffic* are measured from
+//! the simulation, not assumed.
+
+use std::error::Error;
+use std::fmt;
+
+use synchro_bus::BusOp;
+use synchro_dou::{DouError, DouProgram, ScheduleCompiler};
+use synchro_isa::{DataReg, ProgramBuilder};
+use synchro_power::{Technology, VfCurve};
+use synchro_sdf::{ActorId, Mapping, SdfError, SdfGraph};
+use synchro_sim::{Chip, Column, ColumnConfig, ColumnError};
+use synchro_simd::RateMatcher;
+
+use crate::pipeline::ApplicationReport;
+
+/// Issue slots a firing spends outside its compute loop: the token-tag
+/// load, the `send`, and the `recv`.
+const FIRING_OVERHEAD_SLOTS: u64 = 3;
+
+/// The DOU state machine holds 128 states; a firing pattern needs
+/// `compute + FIRING_OVERHEAD_SLOTS` of them.
+const MAX_COMPUTE_SLOTS: u64 = (synchro_dou::MAX_STATES as u64) - FIRING_OVERHEAD_SLOTS;
+
+/// Errors raised while compiling or executing a mapped chip.
+#[derive(Debug)]
+pub enum MapperError {
+    /// Graph analysis failed (inconsistent rates, deadlock, ...).
+    Sdf(SdfError),
+    /// A generated DOU schedule was rejected.
+    Dou(DouError),
+    /// The simulated chip faulted.
+    Column(ColumnError),
+    /// An actor of the graph has no placement in the mapping.
+    UnplacedActor {
+        /// The actor without a placement.
+        actor: ActorId,
+    },
+    /// An actor was placed more than once.
+    DuplicatePlacement {
+        /// The actor placed twice.
+        actor: ActorId,
+    },
+    /// A derived quantity (hyperperiod, firing count, ...) overflowed its
+    /// representation.
+    Overflow {
+        /// The quantity that overflowed.
+        what: &'static str,
+    },
+    /// The chip did not drain within its computed tick budget.
+    Incomplete {
+        /// Reference ticks spent before giving up.
+        ticks: u64,
+    },
+}
+
+impl fmt::Display for MapperError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapperError::Sdf(e) => write!(f, "graph analysis: {e}"),
+            MapperError::Dou(e) => write!(f, "DOU schedule: {e}"),
+            MapperError::Column(e) => write!(f, "simulation: {e}"),
+            MapperError::UnplacedActor { actor } => {
+                write!(f, "actor {} has no placement", actor.0)
+            }
+            MapperError::DuplicatePlacement { actor } => {
+                write!(f, "actor {} is placed more than once", actor.0)
+            }
+            MapperError::Overflow { what } => write!(f, "{what} overflowed"),
+            MapperError::Incomplete { ticks } => {
+                write!(f, "chip did not halt within {ticks} reference ticks")
+            }
+        }
+    }
+}
+
+impl Error for MapperError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MapperError::Sdf(e) => Some(e),
+            MapperError::Dou(e) => Some(e),
+            MapperError::Column(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SdfError> for MapperError {
+    fn from(value: SdfError) -> Self {
+        MapperError::Sdf(value)
+    }
+}
+
+impl From<DouError> for MapperError {
+    fn from(value: DouError) -> Self {
+        MapperError::Dou(value)
+    }
+}
+
+impl From<ColumnError> for MapperError {
+    fn from(value: ColumnError) -> Self {
+        MapperError::Column(value)
+    }
+}
+
+/// Options controlling one compilation.
+#[derive(Debug, Clone)]
+pub struct MapperOptions {
+    /// Graph iterations the compiled programs execute before halting.
+    pub iterations: u64,
+    /// Target graph-iteration rate, used to annotate each column with the
+    /// frequency/voltage operating point the analytic pipeline would
+    /// assign (it does not affect the functional simulation).
+    pub iteration_rate_hz: f64,
+    /// Upper bound on simulated compute slots per firing.  When the
+    /// largest actor cost exceeds this, every cost is scaled down
+    /// proportionally so relative column rates are preserved while the
+    /// per-firing DOU pattern stays within the 128-state FSM.
+    pub compute_cycle_cap: u64,
+    /// Largest exact clock divider; beyond it the column falls back to the
+    /// nearest divider plus ZORM throttling ([`RateMatcher`]).
+    pub max_divider: u32,
+    /// Technology used for the voltage annotation.
+    pub tech: Technology,
+}
+
+impl Default for MapperOptions {
+    fn default() -> Self {
+        MapperOptions {
+            iterations: 8,
+            iteration_rate_hz: 1e6,
+            compute_cycle_cap: 100,
+            max_divider: 1 << 20,
+            tech: Technology::isca2004(),
+        }
+    }
+}
+
+/// One column of the compiled chip: where an actor landed and at what
+/// operating point.
+#[derive(Debug, Clone)]
+pub struct ColumnPlan {
+    /// The mapped actor.
+    pub actor: ActorId,
+    /// The actor's name.
+    pub name: String,
+    /// Index of the column in the chip.
+    pub column: usize,
+    /// Tiles the placement requested (the analytic view).
+    pub tiles: u32,
+    /// Tiles instantiated in the simulated column (placements wider than
+    /// one physical column are folded into it; `columns_spanned` records
+    /// the physical footprint).
+    pub sim_tiles: usize,
+    /// Physical 4-tile columns the placement spans.
+    pub columns_spanned: u32,
+    /// Firings per graph iteration (the repetition-vector entry).
+    pub firings_per_iteration: u64,
+    /// Simulated issue slots per firing (compute + communication).
+    pub sim_cycles_per_firing: u64,
+    /// Clock divider relative to the chip reference clock.
+    pub clock_divider: u32,
+    /// ZORM fallback when the exact divider exceeded the hardware range;
+    /// `None` means firing rates are matched exactly by the divider alone.
+    pub rate_matcher: Option<RateMatcher>,
+    /// Per-tile frequency (MHz) the analytic model requires of this
+    /// placement at the target iteration rate.
+    pub required_frequency_mhz: f64,
+    /// Supply voltage assigned from the VF curve for that frequency.
+    pub voltage: f64,
+}
+
+/// One SDF edge whose endpoints live on different columns, with its
+/// analytic traffic and staging requirement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrossEdge {
+    /// Producing column.
+    pub from_column: usize,
+    /// Consuming column.
+    pub to_column: usize,
+    /// Tokens produced per firing of the producer.
+    pub produce: u64,
+    /// Words crossing the edge per graph iteration (one 32-bit word per
+    /// token) — `SdfGraph::tokens_per_iteration` for this edge.
+    pub words_per_iteration: u64,
+    /// Maximum tokens simultaneously staged on the edge
+    /// (`SdfGraph::buffer_bounds`).
+    pub buffer_bound: u64,
+}
+
+/// Measurements from one end-to-end execution of a compiled chip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionReport {
+    /// Graph iterations executed.
+    pub iterations: u64,
+    /// Reference ticks consumed.
+    pub reference_ticks: u64,
+    /// Reference ticks one graph iteration occupies (the hyperperiod).
+    pub hyperperiod: u64,
+    /// Measured firings per column (from the broadcast counters).
+    pub firing_counts: Vec<u64>,
+    /// `iterations × repetition_vector` — the analytic prediction.
+    pub expected_firings: Vec<u64>,
+    /// Horizontal-bus words accounted from measured firings.
+    pub simulated_horizontal_words: u64,
+    /// Horizontal-bus words the analytic model predicts.
+    pub predicted_horizontal_words: u64,
+    /// Column clock cycles executed per column.
+    pub column_cycles: Vec<u64>,
+    /// Intra-column (segmented vertical bus) word transfers per column.
+    pub intra_column_words: Vec<u64>,
+}
+
+impl ExecutionReport {
+    /// Did every column fire exactly as the repetition vector predicts?
+    pub fn firings_exact(&self) -> bool {
+        self.firing_counts == self.expected_firings
+    }
+
+    /// Relative error of the simulated horizontal traffic against the
+    /// analytic prediction (0.0 when both are zero).
+    pub fn horizontal_traffic_error(&self) -> f64 {
+        relative_error(
+            self.simulated_horizontal_words as f64,
+            self.predicted_horizontal_words as f64,
+        )
+    }
+}
+
+/// One block of a [`cross_validate`] comparison.
+#[derive(Debug, Clone)]
+pub struct BlockComparison {
+    /// Block/actor name.
+    pub name: String,
+    /// Frequency the analytic [`ApplicationReport`] assigns (MHz).
+    pub analytic_frequency_mhz: f64,
+    /// Frequency the mapping derives from the SDF graph (MHz).
+    pub mapped_frequency_mhz: f64,
+    /// Relative disagreement between the two.
+    pub frequency_error: f64,
+}
+
+/// The outcome of comparing a simulated execution against the analytic
+/// application report.
+#[derive(Debug, Clone)]
+pub struct CrossValidation {
+    /// Per-block frequency comparisons, in placement order.
+    pub blocks: Vec<BlockComparison>,
+    /// Whether the mapping's placements and the report's blocks pair up
+    /// one-to-one.  When false, `blocks` only covers the overlap and the
+    /// comparison is structurally invalid (wrong application report for
+    /// this chip).
+    pub blocks_match: bool,
+    /// Whether measured firing counts equal the repetition-vector
+    /// prediction exactly.
+    pub firings_exact: bool,
+    /// Relative error of simulated vs predicted horizontal-bus words.
+    pub bus_traffic_error: f64,
+    /// Largest per-block frequency disagreement.
+    pub max_frequency_error: f64,
+}
+
+impl CrossValidation {
+    /// Do the two worlds agree within `tolerance` (every block compared,
+    /// firing counts exact)?
+    pub fn agrees_within(&self, tolerance: f64) -> bool {
+        self.blocks_match
+            && self.firings_exact
+            && self.bus_traffic_error <= tolerance
+            && self.max_frequency_error <= tolerance
+    }
+}
+
+/// A compiled, runnable chip plus everything needed to interpret it.
+#[derive(Debug)]
+pub struct CompiledChip {
+    chip: Chip,
+    plans: Vec<ColumnPlan>,
+    cross_edges: Vec<CrossEdge>,
+    hyperperiod: u64,
+    iterations: u64,
+    drain_budget: u64,
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn checked_lcm(a: u64, b: u64) -> Option<u64> {
+    (a / gcd(a, b)).checked_mul(b)
+}
+
+fn relative_error(measured: f64, predicted: f64) -> f64 {
+    if predicted == 0.0 {
+        if measured == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (measured - predicted).abs() / predicted
+    }
+}
+
+/// Compile an [`SdfGraph`] and a [`Mapping`] into a runnable chip.
+///
+/// Every actor must be placed exactly once; each placement becomes one
+/// simulated column (clamped to the physical 4-tile width, with the
+/// spanned-column count recorded in its [`ColumnPlan`]).
+///
+/// # Errors
+///
+/// Returns a [`MapperError`] for inconsistent/deadlocking graphs,
+/// incomplete or duplicated mappings, or overflowing derived quantities.
+pub fn compile(
+    graph: &SdfGraph,
+    mapping: &Mapping,
+    options: &MapperOptions,
+) -> Result<CompiledChip, MapperError> {
+    let reps = graph.repetition_vector()?;
+    // The schedule doubles as the deadlock check; the buffer bounds and
+    // per-iteration token counts feed the cross-edge traffic model.
+    graph.schedule()?;
+    let bounds = graph.buffer_bounds()?;
+    let tokens = graph.tokens_per_iteration()?;
+
+    // Every actor placed exactly once.
+    let mut column_of_actor: Vec<Option<usize>> = vec![None; graph.actors().len()];
+    for (i, p) in mapping.placements().iter().enumerate() {
+        if p.actor.0 >= graph.actors().len() {
+            return Err(MapperError::Sdf(SdfError::UnknownActor { id: p.actor }));
+        }
+        if column_of_actor[p.actor.0].replace(i).is_some() {
+            return Err(MapperError::DuplicatePlacement { actor: p.actor });
+        }
+    }
+    if let Some(unplaced) = column_of_actor.iter().position(Option::is_none) {
+        return Err(MapperError::UnplacedActor {
+            actor: ActorId(unplaced),
+        });
+    }
+    let column_of_actor: Vec<usize> = column_of_actor.into_iter().map(Option::unwrap).collect();
+
+    let requirements = mapping.requirements(graph, options.iteration_rate_hz)?;
+    let curve = VfCurve::fo4_20(&options.tech);
+
+    // Scale per-firing compute costs so the largest fits the DOU pattern
+    // budget while relative costs (and thus relative column rates) are
+    // preserved.
+    let cap = options.compute_cycle_cap.clamp(1, MAX_COMPUTE_SLOTS);
+    let max_cost = mapping
+        .placements()
+        .iter()
+        .map(|p| graph.actor(p.actor).map_or(1, |a| a.cycles_per_firing))
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let compute_slots = |cycles: u64| -> u64 {
+        if max_cost <= cap {
+            cycles.max(1)
+        } else {
+            // Round to nearest, in u128 to avoid overflow.
+            let scaled = (u128::from(cycles) * u128::from(cap) + u128::from(max_cost) / 2)
+                / u128::from(max_cost);
+            (scaled as u64).clamp(1, cap)
+        }
+    };
+
+    // Per-column work (column cycles per graph iteration) and the
+    // hyperperiod: the smallest reference window in which every column can
+    // execute exactly its work.
+    let mut work = Vec::with_capacity(mapping.placements().len());
+    for p in mapping.placements() {
+        let actor = graph.actor(p.actor).expect("validated above");
+        let slots = compute_slots(actor.cycles_per_firing) + FIRING_OVERHEAD_SLOTS;
+        let w = reps[p.actor.0]
+            .checked_mul(slots)
+            .ok_or(MapperError::Overflow {
+                what: "column work per iteration",
+            })?;
+        work.push((slots, w));
+    }
+    let hyperperiod = work.iter().try_fold(1u64, |acc, &(_, w)| {
+        checked_lcm(acc, w).ok_or(MapperError::Overflow {
+            what: "hyperperiod",
+        })
+    })?;
+
+    let mut chip = Chip::new();
+    let mut plans = Vec::with_capacity(mapping.placements().len());
+    let mut drain_budget: u64 = hyperperiod; // one extra window for halt observation
+    for (column, (p, &(slots, w))) in mapping.placements().iter().zip(&work).enumerate() {
+        let actor = graph.actor(p.actor).expect("validated above");
+        let rep = reps[p.actor.0];
+        let total_firings = options
+            .iterations
+            .checked_mul(rep)
+            .and_then(|t| u32::try_from(t).ok())
+            .ok_or(MapperError::Overflow {
+                what: "total firing count",
+            })?;
+
+        // Exact divider, or the nearest representable one plus ZORM.
+        let ideal = hyperperiod / w;
+        let (divider, rate_matcher) = match u32::try_from(ideal) {
+            Ok(d) if d <= options.max_divider => (d, None),
+            _ => {
+                let d = options.max_divider;
+                // Throttle the surplus: the column gets 1/d of the
+                // reference rate but only needs w/hyperperiod of it.
+                let matcher =
+                    RateMatcher::for_rates(1.0 / f64::from(d), w as f64 / hyperperiod as f64);
+                (d, matcher)
+            }
+        };
+
+        let required_frequency_mhz = requirements[column].frequency_mhz;
+        let (voltage, _within) = curve.voltage_for_frequency_extrapolated(required_frequency_mhz);
+
+        // The per-firing SIMD program: tag the token, expose it to the
+        // bus, model the compute, consume the staged input.
+        let compute = slots - FIRING_OVERHEAD_SLOTS;
+        let mut builder = ProgramBuilder::new();
+        builder.counted_loop(total_firings, |b| {
+            b.load_imm(DataReg::new(7), p.actor.0 as i32 + 1);
+            b.send();
+            b.counted_loop(compute as u32, |b| {
+                b.nop();
+            });
+            b.recv(DataReg::new(2));
+        });
+        builder.halt();
+        let program = builder.build().expect("mapper programs use no labels");
+
+        // The DOU distributes each produced token across the column's
+        // tiles one cycle after the send fills the write buffer.  ZORM
+        // stalls would desynchronise the pattern, so throttled columns
+        // skip intra-column distribution.
+        let sim_tiles = p.tiles.clamp(1, 4) as usize;
+        let dou: Option<DouProgram> = if sim_tiles > 1 && rate_matcher.is_none() {
+            let mut schedule = ScheduleCompiler::new();
+            schedule.idle_for(2).push_op(BusOp {
+                split: 0,
+                producer: 0,
+                consumers: (1..sim_tiles).collect(),
+            });
+            schedule.idle_for(slots as usize - 3);
+            Some(schedule.compile(total_firings)?)
+        } else {
+            None
+        };
+
+        let config = ColumnConfig {
+            tiles: sim_tiles,
+            clock_divider: divider,
+            voltage,
+            enabled_tiles: vec![true; sim_tiles],
+            rate_matcher,
+        };
+        chip.add_column(Column::new(config, program, dou));
+
+        // Reference ticks this column needs to finish, ZORM stalls
+        // included.
+        let slots_needed = match rate_matcher {
+            Some(m) => {
+                let period = u64::from(m.period);
+                (u64::from(total_firings) * slots)
+                    .checked_mul(period)
+                    .map_or(u64::MAX, |s| s.div_ceil(period - u64::from(m.stalls)))
+            }
+            None => u64::from(total_firings) * slots,
+        };
+        drain_budget = drain_budget.max(
+            slots_needed
+                .saturating_mul(u64::from(divider))
+                .saturating_add(hyperperiod),
+        );
+
+        plans.push(ColumnPlan {
+            actor: p.actor,
+            name: actor.name.clone(),
+            column,
+            tiles: p.tiles,
+            sim_tiles,
+            columns_spanned: p.tiles.div_ceil(4),
+            firings_per_iteration: rep,
+            sim_cycles_per_firing: slots,
+            clock_divider: divider,
+            rate_matcher,
+            required_frequency_mhz,
+            voltage,
+        });
+    }
+
+    let cross_edges = graph
+        .edges()
+        .iter()
+        .enumerate()
+        .filter_map(|(ei, e)| {
+            let from_column = column_of_actor[e.from.0];
+            let to_column = column_of_actor[e.to.0];
+            (from_column != to_column).then_some(CrossEdge {
+                from_column,
+                to_column,
+                produce: e.produce,
+                words_per_iteration: tokens[ei],
+                buffer_bound: bounds[ei],
+            })
+        })
+        .collect();
+
+    Ok(CompiledChip {
+        chip,
+        plans,
+        cross_edges,
+        hyperperiod,
+        iterations: options.iterations,
+        drain_budget,
+    })
+}
+
+impl CompiledChip {
+    /// The underlying simulated chip.
+    pub fn chip(&self) -> &Chip {
+        &self.chip
+    }
+
+    /// Mutable access to the simulated chip (e.g. to stage tile data).
+    pub fn chip_mut(&mut self) -> &mut Chip {
+        &mut self.chip
+    }
+
+    /// Per-column plans in placement order.
+    pub fn plans(&self) -> &[ColumnPlan] {
+        &self.plans
+    }
+
+    /// Edges whose endpoints live on different columns.
+    pub fn cross_edges(&self) -> &[CrossEdge] {
+        &self.cross_edges
+    }
+
+    /// Reference ticks per graph iteration.
+    pub fn hyperperiod(&self) -> u64 {
+        self.hyperperiod
+    }
+
+    /// Graph iterations the compiled programs execute.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// Measured firings per column so far, derived from the broadcast
+    /// counters (every issue slot of a firing is a broadcast).
+    pub fn measured_firings(&self) -> Vec<u64> {
+        self.plans
+            .iter()
+            .map(|p| {
+                let broadcasts = self
+                    .chip
+                    .column(p.column)
+                    .map_or(0, |c| c.stats().broadcasts);
+                broadcasts / p.sim_cycles_per_firing
+            })
+            .collect()
+    }
+
+    /// Run the chip to completion, accounting horizontal-bus traffic from
+    /// the measured firing counts at every iteration boundary.
+    ///
+    /// Every quantity in the returned [`ExecutionReport`] covers *this
+    /// call only*: counters are snapshotted on entry and reported as
+    /// deltas, so traffic or cycles staged through [`CompiledChip::chip_mut`]
+    /// beforehand do not pollute the cross-validation (the compiled
+    /// programs themselves run once — a second `execute` reports an empty,
+    /// and therefore inexact, run).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation faults and reports [`MapperError::Incomplete`]
+    /// if the chip fails to halt within its drain budget.
+    pub fn execute(&mut self) -> Result<ExecutionReport, MapperError> {
+        let start_ticks = self.chip.stats().reference_cycles;
+        let start_words = self.chip.stats().horizontal_transfers;
+        let start_firings = self.measured_firings();
+        let start_columns = self.chip.column_stats();
+        let mut accounted = start_firings.clone();
+        let account = |chip: &mut Chip,
+                       cross: &[CrossEdge],
+                       accounted: &mut [u64],
+                       firings: &[u64]|
+         -> Result<(), MapperError> {
+            for edge in cross {
+                let delta = firings[edge.from_column] - accounted[edge.from_column];
+                let words = delta * edge.produce;
+                if words > 0 {
+                    chip.horizontal_transfer_words(edge.from_column, &[edge.to_column], words)
+                        .map_err(|e| MapperError::Column(ColumnError::Bus(e)))?;
+                }
+            }
+            accounted.copy_from_slice(firings);
+            Ok(())
+        };
+
+        for _ in 0..self.iterations {
+            if self.chip.all_halted() {
+                break;
+            }
+            self.chip.run(self.hyperperiod)?;
+            let firings = self.measured_firings();
+            account(&mut self.chip, &self.cross_edges, &mut accounted, &firings)?;
+        }
+        // Drain: the halt-observing tick of every column (and, for
+        // ZORM-throttled columns, the stall surplus) lies past the last
+        // iteration window.
+        let mut spent = self.chip.stats().reference_cycles - start_ticks;
+        while !self.chip.all_halted() && spent < self.drain_budget {
+            self.chip.run(self.hyperperiod.max(1))?;
+            spent = self.chip.stats().reference_cycles - start_ticks;
+        }
+        if !self.chip.all_halted() {
+            return Err(MapperError::Incomplete { ticks: spent });
+        }
+        let firings = self.measured_firings();
+        account(&mut self.chip, &self.cross_edges, &mut accounted, &firings)?;
+
+        let expected: Vec<u64> = self
+            .plans
+            .iter()
+            .map(|p| p.firings_per_iteration * self.iterations)
+            .collect();
+        let predicted_words = self
+            .cross_edges
+            .iter()
+            .map(|e| e.words_per_iteration * self.iterations)
+            .sum();
+        let column_stats = self.chip.column_stats();
+        Ok(ExecutionReport {
+            iterations: self.iterations,
+            reference_ticks: self.chip.stats().reference_cycles - start_ticks,
+            hyperperiod: self.hyperperiod,
+            firing_counts: firings
+                .iter()
+                .zip(&start_firings)
+                .map(|(now, before)| now - before)
+                .collect(),
+            expected_firings: expected,
+            simulated_horizontal_words: self.chip.stats().horizontal_transfers - start_words,
+            predicted_horizontal_words: predicted_words,
+            column_cycles: column_stats
+                .iter()
+                .zip(&start_columns)
+                .map(|(now, before)| now.cycles - before.cycles)
+                .collect(),
+            intra_column_words: column_stats
+                .iter()
+                .zip(&start_columns)
+                .map(|(now, before)| now.bus_word_transfers - before.bus_word_transfers)
+                .collect(),
+        })
+    }
+}
+
+/// Compare a simulated execution against the analytic
+/// [`ApplicationReport`] for the same application.
+///
+/// Blocks are matched by position: the mapping's placements must be in the
+/// same order as the report's blocks (both follow the application's
+/// pipeline order).  A count mismatch is reported via
+/// [`CrossValidation::blocks_match`] and fails
+/// [`CrossValidation::agrees_within`] — never silently truncated.
+pub fn cross_validate(
+    compiled: &CompiledChip,
+    execution: &ExecutionReport,
+    report: &ApplicationReport,
+) -> CrossValidation {
+    let blocks: Vec<BlockComparison> = compiled
+        .plans()
+        .iter()
+        .zip(&report.blocks)
+        .map(|(plan, block)| BlockComparison {
+            name: plan.name.clone(),
+            analytic_frequency_mhz: block.frequency_mhz,
+            mapped_frequency_mhz: plan.required_frequency_mhz,
+            frequency_error: relative_error(plan.required_frequency_mhz, block.frequency_mhz),
+        })
+        .collect();
+    let max_frequency_error = blocks.iter().map(|b| b.frequency_error).fold(0.0, f64::max);
+    CrossValidation {
+        max_frequency_error,
+        blocks_match: compiled.plans().len() == report.blocks.len(),
+        firings_exact: execution.firings_exact(),
+        bus_traffic_error: execution.horizontal_traffic_error(),
+        blocks,
+    }
+}
+
+/// The DDC front end as an SDF graph whose mapping reproduces the paper's
+/// Table 4 operating points: mixer → CIC integrator → (4:1) CIC comb →
+/// CFIR → PFIR at 16 M graph iterations/s (64 MS/s, 4 samples per
+/// iteration).  Returns `(graph, mapping, iteration_rate_hz)`.
+pub fn ddc_reference() -> (SdfGraph, Mapping, f64) {
+    let mut g = SdfGraph::new();
+    // cycles_per_firing × reps / tiles × rate = the Table 4 frequencies.
+    let mixer = g.add_actor("Digital Mixer", 15, 16);
+    let integ = g.add_actor("CIC Integrator", 25, 16);
+    let comb = g.add_actor("CIC Comb", 5, 4);
+    let cfir = g.add_actor("CFIR", 380, 32);
+    let pfir = g.add_actor("PFIR", 370, 32);
+    g.add_edge(mixer, integ, 1, 1, 0).expect("valid edge");
+    g.add_edge(integ, comb, 1, 4, 0).expect("valid edge");
+    g.add_edge(comb, cfir, 1, 1, 0).expect("valid edge");
+    g.add_edge(cfir, pfir, 1, 1, 0).expect("valid edge");
+    let mut m = Mapping::new();
+    m.place(mixer, 8, 1.0);
+    m.place(integ, 8, 1.0);
+    m.place(comb, 2, 1.0);
+    m.place(cfir, 16, 1.0);
+    m.place(pfir, 16, 1.0);
+    (g, m, 16e6)
+}
+
+/// The 802.11a receive chain as an SDF graph whose mapping reproduces the
+/// paper's Table 4 operating points: FFT → de-mod/de-interleave → Viterbi
+/// ACS → traceback at 250 k OFDM symbols/s.  Returns
+/// `(graph, mapping, iteration_rate_hz)`.
+pub fn wifi_reference() -> (SdfGraph, Mapping, f64) {
+    let mut g = SdfGraph::new();
+    let fft = g.add_actor("FFT", 720, 8);
+    let demod = g.add_actor("De-mod/De-Interleave", 240, 4);
+    let acs = g.add_actor("Viterbi ACS", 34_560, 32);
+    let traceback = g.add_actor("Viterbi Traceback", 1_320, 1);
+    g.add_edge(fft, demod, 1, 1, 0).expect("valid edge");
+    g.add_edge(demod, acs, 1, 1, 0).expect("valid edge");
+    g.add_edge(acs, traceback, 1, 1, 0).expect("valid edge");
+    let mut m = Mapping::new();
+    m.place(fft, 2, 1.0);
+    m.place(demod, 1, 1.0);
+    m.place(acs, 16, 1.0);
+    m.place(traceback, 1, 1.0);
+    (g, m, 250e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_actor_chain(produce: u64, consume: u64) -> (SdfGraph, Mapping) {
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("a", 4, 4);
+        let b = g.add_actor("b", 6, 4);
+        g.add_edge(a, b, produce, consume, 0).unwrap();
+        let mut m = Mapping::new();
+        m.place(a, 4, 1.0);
+        m.place(b, 2, 1.0);
+        (g, m)
+    }
+
+    #[test]
+    fn compile_rejects_incomplete_or_duplicate_mappings() {
+        let (g, _) = two_actor_chain(1, 1);
+        let mut partial = Mapping::new();
+        partial.place(ActorId(0), 1, 1.0);
+        assert!(matches!(
+            compile(&g, &partial, &MapperOptions::default()),
+            Err(MapperError::UnplacedActor { actor: ActorId(1) })
+        ));
+
+        let mut duplicated = Mapping::new();
+        duplicated.place(ActorId(0), 1, 1.0);
+        duplicated.place(ActorId(1), 1, 1.0);
+        duplicated.place(ActorId(0), 2, 1.0);
+        assert!(matches!(
+            compile(&g, &duplicated, &MapperOptions::default()),
+            Err(MapperError::DuplicatePlacement { actor: ActorId(0) })
+        ));
+    }
+
+    #[test]
+    fn dividers_balance_work_across_the_hyperperiod() {
+        let (g, m) = two_actor_chain(2, 3);
+        let compiled = compile(&g, &m, &MapperOptions::default()).unwrap();
+        // reps = (3, 2); slots = cycles + 3 → (7, 9); work = (21, 18);
+        // hyperperiod = lcm = 126; dividers = (6, 7).
+        assert_eq!(compiled.hyperperiod(), 126);
+        let plans = compiled.plans();
+        assert_eq!(plans[0].firings_per_iteration, 3);
+        assert_eq!(plans[1].firings_per_iteration, 2);
+        assert_eq!(plans[0].sim_cycles_per_firing, 7);
+        assert_eq!(plans[1].sim_cycles_per_firing, 9);
+        assert_eq!(plans[0].clock_divider, 6);
+        assert_eq!(plans[1].clock_divider, 7);
+        assert!(plans.iter().all(|p| p.rate_matcher.is_none()));
+        for (plan, d) in plans.iter().zip([6u64, 7]) {
+            assert_eq!(
+                compiled.hyperperiod() / d,
+                plan.firings_per_iteration * plan.sim_cycles_per_firing,
+                "each column executes exactly its work per hyperperiod"
+            );
+        }
+    }
+
+    #[test]
+    fn execution_matches_repetition_vector_exactly() {
+        let (g, m) = two_actor_chain(2, 3);
+        let options = MapperOptions {
+            iterations: 5,
+            ..MapperOptions::default()
+        };
+        let mut compiled = compile(&g, &m, &options).unwrap();
+        let report = compiled.execute().unwrap();
+        assert_eq!(report.firing_counts, vec![15, 10]);
+        assert!(report.firings_exact());
+        // Each firing moves `produce` words across the cross-column edge:
+        // 15 firings × 2 words.
+        assert_eq!(report.simulated_horizontal_words, 30);
+        assert_eq!(report.predicted_horizontal_words, 30);
+        assert_eq!(report.horizontal_traffic_error(), 0.0);
+        // Column cycles are exactly firings × slots (halt not billed).
+        assert_eq!(report.column_cycles, vec![15 * 7, 10 * 9]);
+        // The drain tail is at most one hyperperiod past the iterations.
+        assert!(report.reference_ticks <= (options.iterations + 1) * report.hyperperiod);
+    }
+
+    #[test]
+    fn intra_column_distribution_happens_once_per_firing() {
+        let (g, m) = two_actor_chain(1, 1);
+        let options = MapperOptions {
+            iterations: 3,
+            ..MapperOptions::default()
+        };
+        let mut compiled = compile(&g, &m, &options).unwrap();
+        let report = compiled.execute().unwrap();
+        // Column 0 has 4 sim tiles, column 1 has 2: both distribute each
+        // produced token once per firing over the vertical bus.
+        assert_eq!(report.intra_column_words, vec![3, 3]);
+    }
+
+    #[test]
+    fn oversized_dividers_fall_back_to_rate_matching() {
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("fast", 1, 1);
+        let b = g.add_actor("slow", 97, 1);
+        g.add_edge(a, b, 50, 1, 0).unwrap();
+        let mut m = Mapping::new();
+        m.place(a, 1, 1.0);
+        m.place(b, 1, 1.0);
+        let options = MapperOptions {
+            max_divider: 8,
+            iterations: 1,
+            ..MapperOptions::default()
+        };
+        let compiled = compile(&g, &m, &options).unwrap();
+        // reps = (1, 50): the fast actor's ideal divider exceeds 8.
+        let throttled = compiled
+            .plans()
+            .iter()
+            .filter(|p| p.rate_matcher.is_some())
+            .count();
+        assert!(throttled >= 1, "at least one column must fall back to ZORM");
+        assert!(compiled.plans().iter().all(|p| p.clock_divider <= 8));
+        // The chip still drains.
+        let mut compiled = compiled;
+        let report = compiled.execute().unwrap();
+        assert_eq!(report.firing_counts, report.expected_firings);
+    }
+
+    #[test]
+    fn compute_costs_scale_into_the_dou_budget() {
+        let (g, m, rate) = wifi_reference();
+        let options = MapperOptions {
+            iteration_rate_hz: rate,
+            ..MapperOptions::default()
+        };
+        let compiled = compile(&g, &m, &options).unwrap();
+        for plan in compiled.plans() {
+            assert!(plan.sim_cycles_per_firing <= synchro_dou::MAX_STATES as u64);
+        }
+        // Scaling preserves the cost ordering: ACS remains the slowest.
+        let acs = &compiled.plans()[2];
+        assert!(compiled
+            .plans()
+            .iter()
+            .all(|p| p.sim_cycles_per_firing <= acs.sim_cycles_per_firing));
+        // And the voltage annotation follows the required frequency.
+        assert!(acs.voltage > compiled.plans()[1].voltage);
+    }
+
+    #[test]
+    fn execute_reports_deltas_not_lifetime_counters() {
+        let (g, m) = two_actor_chain(1, 1);
+        let options = MapperOptions {
+            iterations: 2,
+            ..MapperOptions::default()
+        };
+        let mut compiled = compile(&g, &m, &options).unwrap();
+        // Traffic staged by hand before execution must not pollute the
+        // report's simulated word count.
+        compiled.chip_mut().horizontal_transfer(0, &[1]).unwrap();
+        let report = compiled.execute().unwrap();
+        assert_eq!(report.simulated_horizontal_words, 2);
+        assert!(report.firings_exact());
+        assert_eq!(report.horizontal_traffic_error(), 0.0);
+        // A second execute covers an already-halted chip: an honest empty
+        // (and therefore inexact) run, not a replay of stale counters.
+        let rerun = compiled.execute().unwrap();
+        assert_eq!(rerun.firing_counts, vec![0, 0]);
+        assert!(!rerun.firings_exact());
+        assert_eq!(rerun.simulated_horizontal_words, 0);
+    }
+
+    #[test]
+    fn cross_validation_rejects_mismatched_block_counts() {
+        use crate::pipeline::{evaluate_application, EvaluationOptions};
+        use synchro_apps::{Application, ApplicationProfile};
+
+        // A 4-column 802.11a chip validated against the 5-block DDC report
+        // must flag the structural mismatch instead of truncating.
+        let (graph, mapping, rate) = wifi_reference();
+        let options = MapperOptions {
+            iterations: 1,
+            iteration_rate_hz: rate,
+            ..MapperOptions::default()
+        };
+        let mut compiled = compile(&graph, &mapping, &options).unwrap();
+        let execution = compiled.execute().unwrap();
+        let wrong_report = evaluate_application(
+            &ApplicationProfile::of(Application::Ddc),
+            &Technology::isca2004(),
+            &EvaluationOptions::default(),
+        );
+        let validation = cross_validate(&compiled, &execution, &wrong_report);
+        assert!(!validation.blocks_match);
+        assert!(!validation.agrees_within(1.0));
+    }
+
+    #[test]
+    fn single_column_graph_has_no_horizontal_traffic() {
+        let mut g = SdfGraph::new();
+        g.add_actor("solo", 3, 4);
+        let mut m = Mapping::new();
+        m.place(ActorId(0), 4, 1.0);
+        let mut compiled = compile(&g, &m, &MapperOptions::default()).unwrap();
+        assert!(compiled.cross_edges().is_empty());
+        let report = compiled.execute().unwrap();
+        assert_eq!(report.simulated_horizontal_words, 0);
+        assert_eq!(report.predicted_horizontal_words, 0);
+        assert_eq!(report.horizontal_traffic_error(), 0.0);
+    }
+}

@@ -319,6 +319,18 @@ impl HorizontalBus {
         self.columns
     }
 
+    /// Change the number of columns the bus spans while preserving the
+    /// accumulated traffic statistics (used when columns are added to a
+    /// chip after transfers have already been accounted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns` is zero.
+    pub fn resize(&mut self, columns: usize) {
+        assert!(columns > 0, "a horizontal bus needs at least one column");
+        self.columns = columns;
+    }
+
     /// Accumulated traffic statistics.
     pub fn stats(&self) -> BusStats {
         self.stats
@@ -330,6 +342,23 @@ impl HorizontalBus {
     ///
     /// Returns [`BusError::IndexOutOfRange`] if a column index is invalid.
     pub fn transfer(&mut self, from: usize, to: &[usize]) -> Result<(), BusError> {
+        self.transfer_words(from, to, 1)
+    }
+
+    /// Account `words` back-to-back transfers from `from` to `to` in one
+    /// call (the bus carries one word per cycle, so this stands for
+    /// `words` bus cycles).  Statistics-equivalent to calling
+    /// [`HorizontalBus::transfer`] `words` times, without the loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::IndexOutOfRange`] if a column index is invalid.
+    pub fn transfer_words(
+        &mut self,
+        from: usize,
+        to: &[usize],
+        words: u64,
+    ) -> Result<(), BusError> {
         if from >= self.columns {
             return Err(BusError::IndexOutOfRange {
                 what: "column",
@@ -346,9 +375,9 @@ impl HorizontalBus {
                 });
             }
         }
-        self.stats.active_cycles += 1;
-        self.stats.word_transfers += 1;
-        self.stats.deliveries += to.len() as u64;
+        self.stats.active_cycles += words;
+        self.stats.word_transfers += words;
+        self.stats.deliveries += (to.len() as u64) * words;
         Ok(())
     }
 }
@@ -524,6 +553,33 @@ mod tests {
         bus.cycle(&cfg, &[]).unwrap();
         assert_eq!(bus.stats().active_cycles, 0);
         assert_eq!(bus.stats().word_transfers, 0);
+    }
+
+    #[test]
+    fn bulk_word_transfers_match_repeated_single_transfers() {
+        let mut bulk = HorizontalBus::new(3);
+        bulk.transfer_words(0, &[1, 2], 5).unwrap();
+        let mut single = HorizontalBus::new(3);
+        for _ in 0..5 {
+            single.transfer(0, &[1, 2]).unwrap();
+        }
+        assert_eq!(bulk.stats(), single.stats());
+        assert!(bulk.transfer_words(3, &[0], 1).is_err());
+        assert!(bulk.transfer_words(0, &[9], 1).is_err());
+    }
+
+    #[test]
+    fn horizontal_resize_preserves_stats() {
+        let mut h = HorizontalBus::new(2);
+        h.transfer(0, &[1]).unwrap();
+        h.transfer(1, &[0]).unwrap();
+        let before = h.stats();
+        h.resize(3);
+        assert_eq!(h.columns(), 3);
+        assert_eq!(h.stats(), before, "resizing must not discard statistics");
+        // The new column is immediately addressable.
+        h.transfer(2, &[0, 1]).unwrap();
+        assert_eq!(h.stats().word_transfers, 3);
     }
 
     #[test]

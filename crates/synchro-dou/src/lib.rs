@@ -264,6 +264,25 @@ impl ScheduleCompiler {
         self
     }
 
+    /// Append `n` idle cycles.
+    pub fn idle_for(&mut self, n: usize) -> &mut Self {
+        for _ in 0..n {
+            self.idle();
+        }
+        self
+    }
+
+    /// Append a cycle performing a single transfer under the prevailing
+    /// segment configuration — the common case when compiling a mapped
+    /// actor's token-distribution schedule.
+    pub fn push_op(&mut self, op: BusOp) -> &mut Self {
+        self.cycles.push(PatternCycle {
+            segments: None,
+            ops: vec![op],
+        });
+        self
+    }
+
     /// Number of cycles in the pattern so far.
     pub fn len(&self) -> usize {
         self.cycles.len()
@@ -403,6 +422,17 @@ mod tests {
         dou.step();
         assert_eq!(dou.counter(0), 3, "counter reloads on zero");
         assert_eq!(dou.cycles(), 4);
+    }
+
+    #[test]
+    fn push_op_and_idle_for_build_the_expected_pattern() {
+        let mut compiler = ScheduleCompiler::new();
+        compiler.idle_for(2).push_op(op(0, 0, 3)).idle_for(3);
+        assert_eq!(compiler.len(), 6);
+        let program = compiler.compile(0).unwrap();
+        let mut dou = Dou::new(program);
+        let counts: Vec<usize> = (0..6).map(|_| dou.step().ops.len()).collect();
+        assert_eq!(counts, vec![0, 0, 1, 0, 0, 0]);
     }
 
     #[test]

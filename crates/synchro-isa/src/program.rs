@@ -1,6 +1,6 @@
 //! Program containers and a builder with label resolution.
 
-use crate::inst::{CondCode, Instruction};
+use crate::inst::{CondCode, DataReg, Instruction};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -135,6 +135,46 @@ impl ProgramBuilder {
         self
     }
 
+    /// Append a NOP.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Instruction::Nop)
+    }
+
+    /// Append an immediate load.
+    pub fn load_imm(&mut self, dst: DataReg, imm: i32) -> &mut Self {
+        self.push(Instruction::LoadImm { dst, imm })
+    }
+
+    /// Append a `send` (copy `R7` into the bus write buffer).
+    pub fn send(&mut self) -> &mut Self {
+        self.push(Instruction::CommSend)
+    }
+
+    /// Append a `recv` (consume the bus read buffer into `dst`).
+    pub fn recv(&mut self, dst: DataReg) -> &mut Self {
+        self.push(Instruction::CommRecv { dst })
+    }
+
+    /// Append a HALT.
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Instruction::Halt)
+    }
+
+    /// Append a zero-overhead hardware loop around whatever `body` emits,
+    /// computing `body_len` automatically — the bookkeeping that is easy to
+    /// get wrong when [`Instruction::LoopBegin`] is written by hand.  Loops
+    /// nest freely (the controller has a loop stack).
+    pub fn counted_loop(&mut self, count: u32, body: impl FnOnce(&mut Self)) -> &mut Self {
+        let header = self.pending.len();
+        // Placeholder so labels and nested loops inside the body see their
+        // final instruction indices.
+        self.pending.push(Pending::Ready(Instruction::Nop));
+        body(self);
+        let body_len = (self.pending.len() - header - 1) as u32;
+        self.pending[header] = Pending::Ready(Instruction::LoopBegin { count, body_len });
+        self
+    }
+
     /// Current instruction count (useful for computing loop body lengths).
     pub fn len(&self) -> usize {
         self.pending.len()
@@ -232,6 +272,38 @@ mod tests {
         assert_eq!(p.compute_count(), 3);
         assert_eq!(p.communication_count(), 1);
         assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn counted_loop_computes_body_length_and_nests() {
+        let mut b = ProgramBuilder::new();
+        b.counted_loop(3, |b| {
+            b.load_imm(DataReg::new(7), 9);
+            b.send();
+            b.counted_loop(4, |b| {
+                b.nop();
+            });
+            b.recv(DataReg::new(2));
+        });
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(
+            p.fetch(0),
+            Some(Instruction::LoopBegin {
+                count: 3,
+                body_len: 5
+            }),
+            "outer body: li, send, inner LoopBegin, nop, recv"
+        );
+        assert_eq!(
+            p.fetch(3),
+            Some(Instruction::LoopBegin {
+                count: 4,
+                body_len: 1
+            })
+        );
+        assert_eq!(p.fetch(6), Some(Instruction::Halt));
+        assert_eq!(p.communication_count(), 2);
     }
 
     #[test]

@@ -356,6 +356,23 @@ impl SdfGraph {
         Ok(bounds)
     }
 
+    /// Tokens that flow across each edge during one graph iteration:
+    /// `reps[from] × produce`, which by the balance equations equals
+    /// `reps[to] × consume`.  This is the analytic communication-traffic
+    /// model a mapped chip's measured bus transfers are validated against.
+    ///
+    /// # Errors
+    ///
+    /// Propagates rate-consistency errors.
+    pub fn tokens_per_iteration(&self) -> Result<Vec<u64>, SdfError> {
+        let reps = self.repetition_vector()?;
+        Ok(self
+            .edges
+            .iter()
+            .map(|e| reps[e.from.0] * e.produce)
+            .collect())
+    }
+
     /// Total tile-cycles consumed by one graph iteration if every actor ran
     /// on a single tile.
     ///
@@ -559,6 +576,18 @@ mod tests {
         // The integrator→comb edge must buffer the 4 tokens one comb firing
         // consumes.
         assert_eq!(bounds[1], 4);
+    }
+
+    #[test]
+    fn tokens_per_iteration_balance_both_directions() {
+        let (g, ..) = ddc_like();
+        let tokens = g.tokens_per_iteration().unwrap();
+        let reps = g.repetition_vector().unwrap();
+        assert_eq!(tokens, vec![4, 4]);
+        for (t, e) in tokens.iter().zip(g.edges()) {
+            assert_eq!(*t, reps[e.from.0] * e.produce);
+            assert_eq!(*t, reps[e.to.0] * e.consume);
+        }
     }
 
     #[test]

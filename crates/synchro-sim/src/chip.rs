@@ -22,6 +22,7 @@ pub struct Chip {
     columns: Vec<Column>,
     horizontal: Option<HorizontalBus>,
     stats: ChipStats,
+    run_loop_iterations: u64,
 }
 
 impl Chip {
@@ -30,11 +31,17 @@ impl Chip {
         Chip::default()
     }
 
-    /// Add a column; returns its index.
+    /// Add a column; returns its index.  The horizontal bus grows to span
+    /// the new column while keeping any traffic statistics it has already
+    /// accumulated.
     pub fn add_column(&mut self, column: Column) -> usize {
         self.columns.push(column);
-        self.horizontal = Some(HorizontalBus::new(self.columns.len()));
-        self.columns.len() - 1
+        let columns = self.columns.len();
+        match &mut self.horizontal {
+            Some(bus) => bus.resize(columns),
+            None => self.horizontal = Some(HorizontalBus::new(columns)),
+        }
+        columns - 1
     }
 
     /// Number of columns.
@@ -58,17 +65,42 @@ impl Chip {
     ///
     /// # Errors
     ///
-    /// Returns an error if a column index is out of range.
+    /// Returns an error if a column index is out of range — including any
+    /// transfer on a chip with no columns at all.
     pub fn horizontal_transfer(
         &mut self,
         from: usize,
         to: &[usize],
     ) -> Result<(), synchro_bus::BusError> {
-        let bus = self
-            .horizontal
-            .get_or_insert_with(|| HorizontalBus::new(self.columns.len().max(1)));
-        bus.transfer(from, to)?;
-        self.stats.horizontal_transfers += 1;
+        self.horizontal_transfer_words(from, to, 1)
+    }
+
+    /// Record `words` back-to-back inter-column transfers in one call —
+    /// statistics-equivalent to `words` [`Chip::horizontal_transfer`]
+    /// calls, without the loop (bulk accounting for statically scheduled
+    /// traffic).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a column index is out of range — including any
+    /// transfer on a chip with no columns at all.
+    pub fn horizontal_transfer_words(
+        &mut self,
+        from: usize,
+        to: &[usize],
+        words: u64,
+    ) -> Result<(), synchro_bus::BusError> {
+        // `horizontal` is `Some` exactly when at least one column exists; a
+        // zero-column chip has no bus to transfer on.
+        let Some(bus) = self.horizontal.as_mut() else {
+            return Err(synchro_bus::BusError::IndexOutOfRange {
+                what: "column",
+                index: from,
+                limit: 0,
+            });
+        };
+        bus.transfer_words(from, to, words)?;
+        self.stats.horizontal_transfers += words;
         Ok(())
     }
 
@@ -103,30 +135,93 @@ impl Chip {
         let tick_index = self.stats.reference_cycles;
         self.stats.reference_cycles += 1;
         for column in &mut self.columns {
-            let divider = u64::from(column.config().clock_divider.max(1));
+            // `Column::new` guarantees `clock_divider >= 1`.
+            let divider = u64::from(column.config().clock_divider);
             if tick_index.is_multiple_of(divider) && !column.is_halted() {
+                let before = column.stats().cycles;
                 column.step()?;
-                self.stats.column_cycles += 1;
+                // A step that only observes the HALT executes no cycle.
+                self.stats.column_cycles += column.stats().cycles - before;
             }
         }
         Ok(())
     }
 
     /// Run the reference clock until every column halts or `max_ticks`
-    /// elapse.  Returns the number of reference ticks consumed.
+    /// elapse, skipping ahead over reference ticks on which no column's
+    /// clock divider fires.  Returns the number of reference ticks
+    /// consumed.
+    ///
+    /// This is an event-driven fast path: with large or co-prime dividers
+    /// most reference ticks select no column at all, and walking them one
+    /// by one costs O(ticks × columns).  The produced [`ChipStats`] are
+    /// bit-identical to the naive loop ([`Chip::run_ticked`]), which is
+    /// kept as the differential-testing reference.
     ///
     /// # Errors
     ///
     /// Propagates the first column error encountered.
     pub fn run(&mut self, max_ticks: u64) -> Result<u64, ColumnError> {
         let start = self.stats.reference_cycles;
+        let end = start.saturating_add(max_ticks);
+        while self.stats.reference_cycles < end {
+            self.run_loop_iterations += 1;
+            if self.all_halted() {
+                break;
+            }
+            let now = self.stats.reference_cycles;
+            // The earliest tick >= now at which a live column fires.
+            let next_event = self
+                .columns
+                .iter()
+                .filter(|c| !c.is_halted())
+                .map(|c| {
+                    let divider = u64::from(c.config().clock_divider);
+                    now.div_ceil(divider) * divider
+                })
+                .min();
+            match next_event {
+                Some(at) if at < end => {
+                    // Ticks in (now, at) select nobody; account them in bulk.
+                    self.stats.reference_cycles = at;
+                    self.tick()?;
+                }
+                // No live column fires inside the window: the remaining
+                // ticks are all empty.
+                _ => {
+                    self.stats.reference_cycles = end;
+                    break;
+                }
+            }
+        }
+        Ok(self.stats.reference_cycles - start)
+    }
+
+    /// The naive tick-by-tick equivalent of [`Chip::run`], kept as the
+    /// differential-testing and benchmarking reference for the
+    /// event-driven fast path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first column error encountered.
+    pub fn run_ticked(&mut self, max_ticks: u64) -> Result<u64, ColumnError> {
+        let start = self.stats.reference_cycles;
         for _ in 0..max_ticks {
+            self.run_loop_iterations += 1;
             if self.all_halted() {
                 break;
             }
             self.tick()?;
         }
         Ok(self.stats.reference_cycles - start)
+    }
+
+    /// Total scheduler-loop iterations executed by [`Chip::run`] and
+    /// [`Chip::run_ticked`] so far — the work metric the event-driven fast
+    /// path reduces (it is *not* part of [`ChipStats`], which both paths
+    /// produce identically).
+    pub fn run_loop_iterations(&self) -> u64 {
+        self.run_loop_iterations
     }
 }
 
@@ -172,6 +267,12 @@ mod tests {
         let ticks = chip.run(1000).unwrap();
         assert!(chip.all_halted());
         assert!(ticks < 1000);
+        // Exact cycle accounting: 3 iterations × 2 instructions, and the
+        // step that merely observes the HALT is not billed.
+        let stats = chip.column_stats();
+        assert_eq!(stats[0].cycles, 6);
+        assert_eq!(stats[1].cycles, 6);
+        assert_eq!(chip.stats().column_cycles, 12);
         // Both columns computed the same result despite different clocks.
         let r1 = chip
             .column(0)
@@ -224,5 +325,79 @@ mod tests {
         assert_eq!(chip.run(10).unwrap(), 0);
         assert_eq!(chip.columns(), 0);
         assert!(chip.horizontal_stats().is_none());
+    }
+
+    #[test]
+    fn adding_a_column_preserves_horizontal_bus_stats() {
+        let mut chip = Chip::new();
+        chip.add_column(counting_column(1, 1));
+        chip.add_column(counting_column(1, 1));
+        chip.horizontal_transfer(0, &[1]).unwrap();
+        chip.horizontal_transfer(1, &[0]).unwrap();
+        let before = chip.horizontal_stats().unwrap();
+        assert_eq!(before.word_transfers, 2);
+
+        // Adding a third column after traffic has occurred must keep the
+        // accumulated statistics and span the newcomer.
+        chip.add_column(counting_column(1, 1));
+        let after = chip.horizontal_stats().unwrap();
+        assert_eq!(after, before, "bus stats were discarded by add_column");
+        chip.horizontal_transfer(2, &[0, 1]).unwrap();
+        assert_eq!(chip.horizontal_stats().unwrap().word_transfers, 3);
+        assert_eq!(chip.stats().horizontal_transfers, 3);
+    }
+
+    #[test]
+    fn zero_column_chip_rejects_horizontal_transfers() {
+        let mut chip = Chip::new();
+        let err = chip.horizontal_transfer(0, &[]).unwrap_err();
+        assert!(matches!(
+            err,
+            synchro_bus::BusError::IndexOutOfRange { limit: 0, .. }
+        ));
+        assert_eq!(chip.stats().horizontal_transfers, 0);
+        assert!(chip.horizontal_stats().is_none());
+    }
+
+    #[test]
+    fn event_driven_run_matches_ticked_run_bit_for_bit() {
+        let build = || {
+            let mut chip = Chip::new();
+            chip.add_column(counting_column(40, 3));
+            chip.add_column(counting_column(25, 7));
+            chip.add_column(counting_column(10, 16));
+            chip
+        };
+        let mut fast = build();
+        let mut slow = build();
+        let fast_ticks = fast.run(10_000).unwrap();
+        let slow_ticks = slow.run_ticked(10_000).unwrap();
+        assert_eq!(fast_ticks, slow_ticks);
+        assert_eq!(fast.stats(), slow.stats());
+        assert_eq!(fast.column_stats(), slow.column_stats());
+        assert!(fast.all_halted() && slow.all_halted());
+        // The fast path touches far fewer scheduler iterations on a
+        // divider-heavy mix.
+        assert!(
+            fast.run_loop_iterations() < slow.run_loop_iterations() / 2,
+            "fast {} vs ticked {}",
+            fast.run_loop_iterations(),
+            slow.run_loop_iterations()
+        );
+    }
+
+    #[test]
+    fn event_driven_run_burns_empty_windows_exactly() {
+        // A single divider-1000 column: a 500-tick window contains one
+        // firing tick (tick 0) and 499 empty ticks, all of which must be
+        // accounted in the reference-cycle counter.
+        let mut chip = Chip::new();
+        chip.add_column(counting_column(1000, 1000));
+        assert_eq!(chip.run(500).unwrap(), 500);
+        assert_eq!(chip.stats().reference_cycles, 500);
+        assert_eq!(chip.column_stats()[0].cycles, 1);
+        // A second window starts mid-period and fires at tick 1000.
+        assert_eq!(chip.run(600).unwrap(), 600);
+        assert_eq!(chip.column_stats()[0].cycles, 2);
     }
 }

@@ -126,7 +126,17 @@ pub struct Column {
 impl Column {
     /// Build a column from its configuration, SIMD program and optional DOU
     /// program.
-    pub fn new(config: ColumnConfig, program: Program, dou_program: Option<DouProgram>) -> Self {
+    ///
+    /// A `clock_divider` of zero (possible when a [`ColumnConfig`] is built
+    /// by hand rather than through [`ColumnConfig::with_divider`]) is
+    /// normalised to 1 here, so every later consumer can rely on the
+    /// invariant `clock_divider >= 1`.
+    pub fn new(
+        mut config: ColumnConfig,
+        program: Program,
+        dou_program: Option<DouProgram>,
+    ) -> Self {
+        config.clock_divider = config.clock_divider.max(1);
         let mut controller = SimdController::new(program);
         if let Some(rate) = config.rate_matcher {
             controller.set_rate_matcher(rate);
@@ -184,10 +194,15 @@ impl Column {
         if self.controller.is_halted() {
             return Ok(());
         }
-        self.stats.cycles += 1;
 
-        // 1. The SIMD controller issues one slot.
+        // 1. The SIMD controller issues one slot.  The step that merely
+        // observes the HALT (or the end of the program) does no work and
+        // must not be billed as a column cycle.
         let issue = self.controller.step();
+        if issue == Issue::Halted {
+            return Ok(());
+        }
+        self.stats.cycles += 1;
         match issue {
             Issue::Broadcast(inst) => {
                 self.stats.broadcasts += 1;
@@ -205,7 +220,7 @@ impl Column {
             }
             Issue::Stall(StallReason::Branch) => self.stats.branch_stalls += 1,
             Issue::Stall(StallReason::RateMatch) => self.stats.rate_match_stalls += 1,
-            Issue::Halted => return Ok(()),
+            Issue::Halted => unreachable!("halted issues are filtered above"),
         }
 
         // 2. The DOU moves data between tiles through the segmented bus.
@@ -379,6 +394,29 @@ mod tests {
             ColumnError::Tile { tile, .. } => assert_eq!(tile, 0),
             other => panic!("expected tile error, got {other}"),
         }
+    }
+
+    #[test]
+    fn hand_built_zero_divider_is_normalised_at_construction() {
+        let config = ColumnConfig {
+            clock_divider: 0,
+            ..ColumnConfig::isca2004()
+        };
+        let col = Column::new(config, assemble("halt\n").unwrap(), None);
+        assert_eq!(col.config().clock_divider, 1);
+    }
+
+    #[test]
+    fn halt_observation_does_not_inflate_cycle_count() {
+        // 3 broadcasts, then one step that only discovers the HALT: the
+        // column must report exactly 3 cycles, not 4.
+        let p = assemble("li r0, 1\nadd r1, r1, r0\nadd r1, r1, r0\nhalt\n").unwrap();
+        let mut col = Column::new(ColumnConfig::isca2004(), p, None);
+        let cycles = col.run(100).unwrap();
+        assert!(col.is_halted());
+        assert_eq!(cycles, 3);
+        assert_eq!(col.stats().cycles, 3);
+        assert_eq!(col.stats().broadcasts, 3);
     }
 
     #[test]

@@ -20,4 +20,4 @@ pub mod chip;
 pub mod column;
 
 pub use chip::{Chip, ChipStats};
-pub use column::{Column, ColumnConfig, ColumnStats};
+pub use column::{Column, ColumnConfig, ColumnError, ColumnStats};

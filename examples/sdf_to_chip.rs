@@ -1,0 +1,115 @@
+//! From dataflow graph to running silicon: the full Section 4.1 flow.
+//!
+//! Walks the DDC front end through every stage the paper describes —
+//! SDF analysis, placement, clock-divider derivation, program/DOU
+//! emission, cycle-accurate execution — then cross-validates the
+//! measurements against the analytic power pipeline.
+//!
+//! Run with: `cargo run --example sdf_to_chip`
+
+use synchro_apps::{Application, ApplicationProfile};
+use synchro_power::Technology;
+use synchroscalar::mapper::{self, MapperOptions};
+use synchroscalar::pipeline::{evaluate_application, EvaluationOptions};
+
+fn main() {
+    // 1. The application as a synchronous dataflow graph.
+    let (graph, mapping, rate) = mapper::ddc_reference();
+    let reps = graph.repetition_vector().unwrap();
+    println!("DDC as an SDF graph ({} actors):", graph.actors().len());
+    for (actor, &rep) in graph.actors().iter().zip(&reps) {
+        println!(
+            "  {:<16} {:>5} cycles/firing, fires {rep}x per iteration",
+            actor.name, actor.cycles_per_firing
+        );
+    }
+    let schedule = graph.schedule().unwrap();
+    let bounds = graph.buffer_bounds().unwrap();
+    println!(
+        "  schedule: {} firings/iteration, buffer bounds {:?}\n",
+        schedule.len(),
+        bounds
+    );
+
+    // 2. Compile graph + mapping into a runnable chip.
+    let options = MapperOptions {
+        iterations: 8,
+        iteration_rate_hz: rate,
+        ..MapperOptions::default()
+    };
+    let mut compiled = mapper::compile(&graph, &mapping, &options).unwrap();
+    println!(
+        "Compiled to a {}-column chip, hyperperiod {} reference ticks:",
+        compiled.chip().columns(),
+        compiled.hyperperiod()
+    );
+    println!(
+        "  {:<16} {:>5} {:>8} {:>9} {:>8} {:>6}",
+        "column", "tiles", "div", "slots/fir", "MHz", "V"
+    );
+    for plan in compiled.plans() {
+        println!(
+            "  {:<16} {:>5} {:>8} {:>9} {:>8.0} {:>6.1}",
+            plan.name,
+            plan.tiles,
+            plan.clock_divider,
+            plan.sim_cycles_per_firing,
+            plan.required_frequency_mhz,
+            plan.voltage
+        );
+    }
+
+    // 3. Execute end to end on the cycle-accurate simulator.
+    let execution = compiled.execute().unwrap();
+    println!(
+        "\nExecuted {} graph iterations in {} reference ticks:",
+        execution.iterations, execution.reference_ticks
+    );
+    for (plan, (&measured, &expected)) in compiled.plans().iter().zip(
+        execution
+            .firing_counts
+            .iter()
+            .zip(&execution.expected_firings),
+    ) {
+        println!(
+            "  {:<16} fired {measured:>4}x (predicted {expected}) {}",
+            plan.name,
+            if measured == expected {
+                "exact"
+            } else {
+                "MISMATCH"
+            }
+        );
+    }
+    println!(
+        "  horizontal bus: {} words simulated, {} predicted",
+        execution.simulated_horizontal_words, execution.predicted_horizontal_words
+    );
+
+    // 4. Cross-validate against the analytic power pipeline.
+    let tech = Technology::isca2004();
+    let profile = ApplicationProfile::of(Application::Ddc);
+    let report = evaluate_application(&profile, &tech, &EvaluationOptions::default());
+    let validation = mapper::cross_validate(&compiled, &execution, &report);
+    println!("\nCross-validation against the analytic report:");
+    for block in &validation.blocks {
+        println!(
+            "  {:<16} mapped {:>6.1} MHz vs analytic {:>6.1} MHz ({:.2}% off)",
+            block.name,
+            block.mapped_frequency_mhz,
+            block.analytic_frequency_mhz,
+            block.frequency_error * 100.0
+        );
+    }
+    println!(
+        "  firing rates exact: {}, bus traffic error: {:.2}%",
+        validation.firings_exact,
+        validation.bus_traffic_error * 100.0
+    );
+    println!(
+        "  agree within 10%: {}\n\nAnalytic power at these operating points: {:.1} mW over {} tiles",
+        validation.agrees_within(0.10),
+        report.total_mw(),
+        report.total_tiles()
+    );
+}

@@ -11,6 +11,7 @@ use synchro_sdf::{Mapping, SdfGraph};
 use synchro_sim::{Chip, Column, ColumnConfig};
 use synchro_simd::RateMatcher;
 use synchroscalar::experiments;
+use synchroscalar::mapper::{self, MapperOptions};
 use synchroscalar::pipeline::{
     evaluate_application, evaluate_voltage_scaling, savings_percent, EvaluationOptions,
 };
@@ -63,9 +64,9 @@ fn simulated_cycle_counts_drive_rate_matching() {
     .unwrap();
     let mut column = Column::new(ColumnConfig::isca2004(), program, None);
     let cycles = column.run(10_000).unwrap();
-    // 3 setup + 21 taps × 5 + 1 move = 109 issue slots, no stalls, plus the
-    // cycle on which the controller discovers the HALT.
-    assert_eq!(cycles, 110);
+    // 3 setup + 21 taps × 5 + 1 move = 109 issue slots, no stalls; the
+    // step on which the controller merely discovers the HALT is not billed.
+    assert_eq!(cycles, 109);
 
     // A 21-tap CFIR at 4 MS/s therefore needs 109 cycles × 4 MHz = 436 MHz
     // on one tile; on a column clocked at 500 MHz the ZORM counter throttles
@@ -121,6 +122,85 @@ fn multi_clock_domain_chip_runs_dou_schedules() {
     // so the chip's reference clock runs well past either column count.
     assert!(chip.stats().reference_cycles >= 3 * (stats[1].cycles - 1));
     assert!(chip.stats().reference_cycles > stats[0].cycles);
+}
+
+/// The mapper compiles the DDC SDF graph into a five-column chip whose
+/// measured behaviour agrees with the analytic pipeline: firing counts
+/// match the repetition vector exactly, bus traffic matches the balance
+/// equations, and the mapped frequencies land on the Table 4 operating
+/// points of the `ApplicationReport`.
+#[test]
+fn ddc_graph_compiles_runs_and_cross_validates() {
+    let (graph, mapping, rate) = mapper::ddc_reference();
+    assert_eq!(graph.repetition_vector().unwrap(), vec![4, 4, 1, 1, 1]);
+    let options = MapperOptions {
+        iterations: 6,
+        iteration_rate_hz: rate,
+        ..MapperOptions::default()
+    };
+    let mut compiled = mapper::compile(&graph, &mapping, &options).unwrap();
+    assert_eq!(compiled.chip().columns(), 5, "one column per actor");
+
+    let execution = compiled.execute().unwrap();
+    assert!(compiled.chip().all_halted());
+    assert_eq!(execution.firing_counts, vec![24, 24, 6, 6, 6]);
+    assert!(execution.firings_exact());
+    // 4 + 4 + 1 + 1 tokens cross the columns per iteration.
+    assert_eq!(execution.predicted_horizontal_words, 10 * 6);
+    assert!(execution.horizontal_traffic_error() <= 0.10);
+
+    let tech = Technology::isca2004();
+    let profile = ApplicationProfile::of(Application::Ddc);
+    let report = evaluate_application(&profile, &tech, &EvaluationOptions::default());
+    let validation = mapper::cross_validate(&compiled, &execution, &report);
+    assert!(
+        validation.agrees_within(0.10),
+        "worlds disagree: {validation:?}"
+    );
+    // The mapped frequencies are not merely within 10 % — they reproduce
+    // the published operating points exactly.
+    for block in &validation.blocks {
+        assert!(
+            block.frequency_error < 1e-9,
+            "{}: mapped {} vs analytic {}",
+            block.name,
+            block.mapped_frequency_mhz,
+            block.analytic_frequency_mhz
+        );
+    }
+}
+
+/// Same cross-validation for the 802.11a receive chain.
+#[test]
+fn wifi_graph_compiles_runs_and_cross_validates() {
+    let (graph, mapping, rate) = mapper::wifi_reference();
+    let options = MapperOptions {
+        iterations: 4,
+        iteration_rate_hz: rate,
+        ..MapperOptions::default()
+    };
+    let mut compiled = mapper::compile(&graph, &mapping, &options).unwrap();
+    assert_eq!(compiled.chip().columns(), 4);
+
+    let execution = compiled.execute().unwrap();
+    assert!(execution.firings_exact());
+    assert_eq!(execution.firing_counts, vec![4, 4, 4, 4]);
+    assert!(execution.horizontal_traffic_error() <= 0.10);
+
+    let tech = Technology::isca2004();
+    let profile = ApplicationProfile::of(Application::Wifi80211a);
+    let report = evaluate_application(&profile, &tech, &EvaluationOptions::default());
+    let validation = mapper::cross_validate(&compiled, &execution, &report);
+    assert!(
+        validation.agrees_within(0.10),
+        "worlds disagree: {validation:?}"
+    );
+    // The Viterbi ACS dominates: its column must carry the smallest
+    // divider (fastest clock) and the highest voltage.
+    let plans = compiled.plans();
+    let acs = &plans[2];
+    assert!(plans.iter().all(|p| p.clock_divider >= acs.clock_divider));
+    assert!(plans.iter().all(|p| p.voltage <= acs.voltage));
 }
 
 /// The full evaluation reproduces the paper's three headline claims:

@@ -1,15 +1,19 @@
 //! Property-based tests (proptest) on the core invariants: the
 //! voltage/frequency curve, the power model, the SDF balance equations,
-//! the segmented bus, the DOU, the rate matcher and the DSP kernels.
+//! the segmented bus, the DOU, the rate matcher, the SDF→chip mapper and
+//! the DSP kernels.
 
 use proptest::prelude::*;
 use synchro_apps::aes::{decrypt_block, encrypt_block, KeySchedule};
 use synchro_apps::mpeg4::{dct8x8, dequantize, idct8x8, quantize};
 use synchro_apps::wifi::{convolutional_encode, demodulate, modulate, Modulation, ViterbiDecoder};
 use synchro_bus::{BusOp, SegmentConfig, SegmentedBus};
+use synchro_isa::assemble;
 use synchro_power::{ColumnActivity, ColumnPower, Technology, TilePowerModel, VfCurve};
-use synchro_sdf::SdfGraph;
+use synchro_sdf::{Mapping, SdfGraph};
+use synchro_sim::{Chip, Column, ColumnConfig};
 use synchro_simd::RateMatcher;
+use synchroscalar::mapper::{self, MapperOptions};
 
 proptest! {
     /// The VF curve is monotone and `voltage_for_frequency` always returns a
@@ -130,6 +134,84 @@ proptest! {
         let want = 1.0 - effective / column;
         prop_assert!((matcher.stall_fraction() - want).abs() <= 1.0 / 1024.0 + 1e-9);
         prop_assert!(matcher.stalls < matcher.period);
+    }
+
+    /// The mapper's core invariants across randomized small chains: every
+    /// column fires exactly `iterations × reps` times, column cycles equal
+    /// `firings × slots` (halt observation is free), and horizontal bus
+    /// traffic matches the balance-equation prediction exactly.
+    #[test]
+    fn mapper_firing_counts_match_repetition_vector(
+        p1 in 1u64..4, c1 in 1u64..4,
+        p2 in 1u64..4, c2 in 1u64..4,
+        cost_a in 1u64..6, cost_b in 1u64..6, cost_c in 1u64..6,
+        tiles_a in 1u32..5, tiles_b in 1u32..5, tiles_c in 1u32..5,
+        iterations in 1u64..4,
+    ) {
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("a", cost_a, 4);
+        let b = g.add_actor("b", cost_b, 4);
+        let c = g.add_actor("c", cost_c, 4);
+        g.add_edge(a, b, p1, c1, 0).unwrap();
+        g.add_edge(b, c, p2, c2, 0).unwrap();
+        let mut m = Mapping::new();
+        m.place(a, tiles_a, 1.0);
+        m.place(b, tiles_b, 1.0);
+        m.place(c, tiles_c, 1.0);
+        let options = MapperOptions { iterations, ..MapperOptions::default() };
+        let mut compiled = mapper::compile(&g, &m, &options).unwrap();
+        let execution = compiled.execute().unwrap();
+
+        let reps = g.repetition_vector().unwrap();
+        let expected: Vec<u64> = reps.iter().map(|&r| r * iterations).collect();
+        prop_assert_eq!(&execution.firing_counts, &expected);
+        prop_assert!(execution.firings_exact());
+        for (plan, (&cycles, &firings)) in compiled
+            .plans()
+            .iter()
+            .zip(execution.column_cycles.iter().zip(&expected))
+        {
+            prop_assert_eq!(cycles, firings * plan.sim_cycles_per_firing);
+        }
+
+        // Bus traffic: the simulated words (accounted from measured
+        // firings) must equal the tokens-per-iteration analytic model.
+        let tokens = g.tokens_per_iteration().unwrap();
+        let predicted: u64 = tokens.iter().sum::<u64>() * iterations;
+        prop_assert_eq!(execution.predicted_horizontal_words, predicted);
+        prop_assert_eq!(execution.simulated_horizontal_words, predicted);
+        prop_assert_eq!(execution.horizontal_traffic_error(), 0.0);
+    }
+
+    /// The event-driven `Chip::run` is bit-identical to the naive
+    /// tick-by-tick loop for any divider mix and any window split.
+    #[test]
+    fn chip_fast_path_is_bit_identical_to_ticked_run(
+        d1 in 1u32..48, d2 in 1u32..48, d3 in 1u32..48,
+        iters in 1u32..24,
+        first_window in 1u64..1500, second_window in 1u64..1500,
+    ) {
+        let build = || {
+            let mut chip = Chip::new();
+            for &d in &[d1, d2, d3] {
+                let src = format!("loop {iters}, 2\nli r0, 1\nadd r1, r1, r0\nhalt\n");
+                chip.add_column(Column::new(
+                    ColumnConfig::isca2004().with_divider(d),
+                    assemble(&src).unwrap(),
+                    None,
+                ));
+            }
+            chip
+        };
+        let mut fast = build();
+        let mut slow = build();
+        // Two windows exercise resuming mid-divider-period.
+        let fast_ticks = fast.run(first_window).unwrap() + fast.run(second_window).unwrap();
+        let slow_ticks =
+            slow.run_ticked(first_window).unwrap() + slow.run_ticked(second_window).unwrap();
+        prop_assert_eq!(fast_ticks, slow_ticks);
+        prop_assert_eq!(fast.stats(), slow.stats());
+        prop_assert_eq!(fast.column_stats(), slow.column_stats());
     }
 
     /// AES encryption followed by decryption is the identity for any block
