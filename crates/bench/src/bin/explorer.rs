@@ -1,0 +1,137 @@
+//! Automatic mapping & design-space exploration cross-validation.
+//!
+//! Part 1 runs the full graph → auto-map → chip flow for every paper
+//! application at its Table 4 tile budget and checks, end to end, that
+//! the explorer rediscovers the published operating points and that the
+//! winners execute and cross-validate on the cycle-accurate simulator.
+//!
+//! Part 2 measures search throughput (candidate mappings evaluated per
+//! second) on a synthetic 10-stage pipeline, single- versus
+//! multi-threaded, and records the numbers in `BENCH_explorer.json`.
+
+use bench::rule;
+use synchro_power::Technology;
+use synchroscalar::experiments::auto_mapping_summary;
+use synchroscalar::explorer::{explore, ExplorerConfig, SearchStrategy, TileCandidates};
+use synchroscalar::sdf::SdfGraph;
+
+/// A synthetic deep pipeline stressing the grouping × allocation space.
+fn synthetic_pipeline(stages: usize) -> SdfGraph {
+    let mut graph = SdfGraph::new();
+    let mut prev = None;
+    for i in 0..stages {
+        // Varied costs and caps so no two stages are interchangeable.
+        let cycles = 40 + 97 * (i as u64 % 5) + 13 * i as u64;
+        let cap = [4u32, 8, 16, 32][i % 4];
+        let actor = graph.add_actor(format!("stage{i}"), cycles, cap);
+        if let Some(p) = prev {
+            graph.add_edge(p, actor, 1, 1, 0).expect("valid edge");
+        }
+        prev = Some(actor);
+    }
+    graph
+}
+
+struct Throughput {
+    threads: usize,
+    mappings: u64,
+    elapsed_seconds: f64,
+    mappings_per_sec: f64,
+}
+
+fn measure(graph: &SdfGraph, threads: usize) -> Throughput {
+    let config = ExplorerConfig::new(1e6, 64)
+        .with_threads(threads)
+        .with_candidates(TileCandidates::All)
+        .with_strategy(SearchStrategy::Exhaustive);
+    let exploration = explore(graph, &config).expect("synthetic pipeline explores");
+    Throughput {
+        threads: exploration.stats.threads_used,
+        mappings: exploration.stats.mappings_evaluated,
+        elapsed_seconds: exploration.stats.elapsed_seconds,
+        mappings_per_sec: exploration.stats.mappings_evaluated as f64
+            / exploration.stats.elapsed_seconds.max(1e-9),
+    }
+}
+
+fn main() {
+    // Part 1 — the whole suite through graph → auto-map → chip.
+    let rows = auto_mapping_summary(&Technology::isca2004());
+    println!("Automatic mapping at the Table 4 tile budgets:");
+    rule(96);
+    println!(
+        "{:<14} {:>5} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "Application", "Tiles", "Auto mW", "Ref mW", "Fused mW", "dF max %", "Validated"
+    );
+    rule(96);
+    for row in &rows {
+        println!(
+            "{:<14} {:>5} {:>12.1} {:>12.1} {:>12.1} {:>12.4} {:>12}",
+            row.application,
+            row.tiles,
+            row.auto_power_mw,
+            row.reference_power_mw,
+            row.fused_power_mw,
+            row.max_frequency_error * 100.0,
+            row.cross_validated
+        );
+    }
+    rule(96);
+    assert!(
+        rows.iter().all(|r| r.cross_validated),
+        "every auto-mapped application must cross-validate"
+    );
+    assert!(
+        rows.iter().all(|r| r.max_frequency_error < 1e-9),
+        "auto-mapped frequencies must match Table 4"
+    );
+    assert!(
+        rows.iter()
+            .all(|r| r.auto_power_mw <= r.reference_power_mw + 1e-9),
+        "auto mappings must not cost more than the hand-built references"
+    );
+
+    // Part 2 — search throughput, single- vs multi-threaded.
+    let graph = synthetic_pipeline(10);
+    let single = measure(&graph, 1);
+    let multi = measure(&graph, 0);
+    println!("\nSearch throughput (10-stage synthetic pipeline, 64-tile budget, all candidates):");
+    println!(
+        "  1 thread : {:>12.0} mappings/s ({} mappings in {:.3} s)",
+        single.mappings_per_sec, single.mappings, single.elapsed_seconds
+    );
+    println!(
+        "  {} threads: {:>12.0} mappings/s ({} mappings in {:.3} s, {:.2}x)",
+        multi.threads,
+        multi.mappings_per_sec,
+        multi.mappings,
+        multi.elapsed_seconds,
+        multi.mappings_per_sec / single.mappings_per_sec.max(1e-9)
+    );
+    assert_eq!(
+        single.mappings, multi.mappings,
+        "thread count must not change the search space"
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"explorer\",\n",
+            "  \"workload\": {{\"stages\": 10, \"tile_budget\": 64, \"candidates\": \"all\", \"strategy\": \"exhaustive\"}},\n",
+            "  \"mappings_evaluated\": {},\n",
+            "  \"single_threaded\": {{\"threads\": 1, \"elapsed_seconds\": {:.6}, \"mappings_per_sec\": {:.0}}},\n",
+            "  \"multi_threaded\": {{\"threads\": {}, \"elapsed_seconds\": {:.6}, \"mappings_per_sec\": {:.0}}},\n",
+            "  \"speedup\": {:.3}\n",
+            "}}\n"
+        ),
+        single.mappings,
+        single.elapsed_seconds,
+        single.mappings_per_sec,
+        multi.threads,
+        multi.elapsed_seconds,
+        multi.mappings_per_sec,
+        multi.mappings_per_sec / single.mappings_per_sec.max(1e-9),
+    );
+    std::fs::write("BENCH_explorer.json", &json).expect("write BENCH_explorer.json");
+    println!("\nPerf record written to BENCH_explorer.json");
+}

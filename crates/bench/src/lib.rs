@@ -16,6 +16,7 @@
 //! | `fig9`   | Figure 9 — leakage sensitivity (DDC, 802.11a) |
 //! | `fig10`  | Figure 10 — leakage sensitivity (MPEG-4, SV) |
 //! | `sensitivity` | Section 5.5 — tile-power sensitivity |
+//! | `explorer` | Automatic mapping of the suite + search throughput (`BENCH_explorer.json`) |
 //!
 //! The Criterion benches in `benches/` measure the substrate itself (kernel
 //! and simulator throughput).

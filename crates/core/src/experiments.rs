@@ -3,12 +3,14 @@
 //! binaries print them in the paper's row/series format, and
 //! `EXPERIMENTS.md` records paper-versus-measured values.
 
+use crate::mapper::{self, MapperOptions};
 use crate::pipeline::{
-    evaluate_application, evaluate_voltage_scaling, savings_percent, ApplicationReport,
-    EvaluationOptions,
+    evaluate_application, evaluate_voltage_scaling, savings_percent, try_evaluate_application,
+    ApplicationReport, EvaluationOptions,
 };
-use synchro_apps::{Application, ApplicationProfile};
+use synchro_apps::{reference_graph, Application, ApplicationProfile};
 use synchro_baselines::{table3_reference_rows, Platform, PlatformKind};
+use synchro_explore::{evaluate_mapping, explore, ExplorerConfig};
 use synchro_power::{
     AreaModel, ColumnActivity, ColumnPower, CriticalPath, LeakageModel, SimdDouArea, Technology,
     TileArea, VfCurve,
@@ -332,14 +334,15 @@ pub fn figure7_with_options(tech: &Technology, options: &EvaluationOptions) -> V
         for &total in &profile.parallelization_variants {
             let allocation = profile.allocation_for_total(total);
             let tiles: u32 = allocation.iter().sum();
-            let report = evaluate_application(
+            let report = try_evaluate_application(
                 &profile,
                 tech,
                 &EvaluationOptions {
                     allocation: Some(allocation),
                     ..options.clone()
                 },
-            );
+            )
+            .expect("allocation_for_total covers every block of its own profile");
             bars.push(Figure7Bar {
                 application: profile.application.name().to_owned(),
                 tiles,
@@ -501,6 +504,100 @@ pub fn tile_power_sensitivity(tech: &Technology) -> Vec<SensitivityPoint> {
         }
     }
     out
+}
+
+/// One row of the automatic-mapping summary: how the explorer's result at
+/// the reference tile budget compares with the hand-built Table 4 mapping
+/// for one application.
+#[derive(Debug, Clone)]
+pub struct AutoMapRow {
+    /// Application name.
+    pub application: String,
+    /// Reference (Table 4) tile budget the search was given.
+    pub tiles: u32,
+    /// Power of the auto-derived single-actor-per-column mapping at the
+    /// reference budget, under the explorer's cost model (mW).
+    pub auto_power_mw: f64,
+    /// Power of the hand-built reference mapping under the same cost
+    /// model (mW).
+    pub reference_power_mw: f64,
+    /// Best power when the search may also fuse adjacent actors into one
+    /// column group (mW); at most `auto_power_mw`.
+    pub fused_power_mw: f64,
+    /// Largest relative disagreement between the auto-mapped per-column
+    /// frequencies and the published Table 4 frequencies.
+    pub max_frequency_error: f64,
+    /// Whether the auto-derived winner compiled, executed with exact
+    /// firing counts, and cross-validated against the analytic
+    /// [`ApplicationReport`].
+    pub cross_validated: bool,
+}
+
+/// Auto-map every paper application at its Table 4 tile budget and
+/// compare the result with the hand-built reference mapping: the
+/// graph → auto-map → chip flow the explorer subsystem adds, run end to
+/// end (search, compile, execute, cross-validate) for the whole suite.
+pub fn auto_mapping_summary(tech: &Technology) -> Vec<AutoMapRow> {
+    let mut rows = Vec::new();
+    for app in Application::all() {
+        let profile = ApplicationProfile::of(app);
+        let reference = reference_graph(app);
+        let budget = profile.reference_tiles();
+        let config = ExplorerConfig::new(reference.iteration_rate_hz, budget)
+            .with_tech(tech.clone())
+            .single_actor_columns();
+
+        let exploration = explore(&reference.graph, &config).expect("reference graphs explore");
+        let winner = exploration
+            .solution_for_tiles(budget)
+            .unwrap_or(&exploration.best)
+            .clone();
+        let reference_cost = evaluate_mapping(&reference.graph, &reference.mapping, &config)
+            .expect("reference mappings are well-formed");
+
+        let fused = explore(
+            &reference.graph,
+            &ExplorerConfig::new(reference.iteration_rate_hz, budget).with_tech(tech.clone()),
+        )
+        .expect("reference graphs explore");
+
+        let max_frequency_error = winner
+            .frequencies_mhz()
+            .iter()
+            .zip(&profile.algorithms)
+            .map(|(freq, algorithm)| {
+                (freq - algorithm.reference_frequency_mhz).abs() / algorithm.reference_frequency_mhz
+            })
+            .fold(0.0, f64::max);
+
+        let cross_validated = {
+            let options = MapperOptions {
+                iterations: 2,
+                iteration_rate_hz: reference.iteration_rate_hz,
+                ..MapperOptions::default()
+            };
+            let report = try_evaluate_application(&profile, tech, &EvaluationOptions::default())
+                .expect("default options carry no allocation override");
+            mapper::compile_explored(&reference.graph, &winner, &options)
+                .and_then(|mut compiled| {
+                    let execution = compiled.execute()?;
+                    Ok(mapper::cross_validate(&compiled, &execution, &report))
+                })
+                .map(|validation| validation.agrees_within(1e-9))
+                .unwrap_or(false)
+        };
+
+        rows.push(AutoMapRow {
+            application: profile.application.name().to_owned(),
+            tiles: budget,
+            auto_power_mw: winner.power_mw,
+            reference_power_mw: reference_cost.power_mw,
+            fused_power_mw: fused.best.power_mw,
+            max_frequency_error,
+            cross_validated,
+        });
+    }
+    rows
 }
 
 /// Convenience: the reference report of every application (used by the
@@ -711,6 +808,29 @@ mod tests {
         let ddc: Vec<&SensitivityPoint> = pts.iter().filter(|p| p.application == "DDC").collect();
         for pair in ddc.windows(2) {
             assert!(pair[1].power_mw > pair[0].power_mw);
+        }
+    }
+
+    #[test]
+    fn auto_mapping_rediscovers_every_table4_operating_point() {
+        let rows = auto_mapping_summary(&tech());
+        assert_eq!(rows.len(), 6);
+        for row in &rows {
+            assert!(
+                row.max_frequency_error < 1e-9,
+                "{}: auto-mapped frequencies off Table 4 by {}",
+                row.application,
+                row.max_frequency_error
+            );
+            assert!(
+                row.auto_power_mw <= row.reference_power_mw + 1e-9,
+                "{}: auto {} mW vs reference {} mW",
+                row.application,
+                row.auto_power_mw,
+                row.reference_power_mw
+            );
+            assert!(row.fused_power_mw <= row.auto_power_mw + 1e-9);
+            assert!(row.cross_validated, "{}", row.application);
         }
     }
 

@@ -15,7 +15,12 @@
 //! 4. roll up dynamic tile power, interconnect power and leakage into a
 //!    per-block and per-application power report ([`pipeline`]),
 //! 5. regenerate every table and figure of the paper's evaluation
-//!    ([`experiments`]).
+//!    ([`experiments`]),
+//! 6. *derive* mappings instead of hand-building them: the [`explorer`]
+//!    searches tile allocations and actor→column groupings of an SDF
+//!    graph for the minimum-power feasible mapping and its Pareto
+//!    frontier, and [`mapper::compile_explored`] runs the winners on the
+//!    simulated chip.
 //!
 //! ```
 //! use synchroscalar::pipeline::{evaluate_application, EvaluationOptions};
@@ -38,8 +43,15 @@ pub mod pipeline;
 
 pub use mapper::{compile as compile_mapping, CompiledChip, CrossValidation, MapperOptions};
 pub use pipeline::{
-    evaluate_application, ApplicationReport, BlockReport, EvaluationOptions, VoltagePolicy,
+    evaluate_application, try_evaluate_application, ApplicationReport, BlockReport,
+    EvaluationOptions, PipelineError, VoltagePolicy,
 };
+
+/// The automatic mapping / design-space exploration engine: searches tile
+/// allocations and actor→column groupings of an SDF graph for the
+/// minimum-power feasible mapping and its Pareto frontier (see
+/// [`explorer::explore`]).
+pub use synchro_explore as explorer;
 
 // Re-export the substrate crates so downstream users need only one
 // dependency.

@@ -36,9 +36,10 @@ use std::fmt;
 
 use synchro_bus::BusOp;
 use synchro_dou::{DouError, DouProgram, ScheduleCompiler};
+use synchro_explore::{ExplorerError, ExplorerSolution};
 use synchro_isa::{DataReg, ProgramBuilder};
 use synchro_power::{Technology, VfCurve};
-use synchro_sdf::{ActorId, Mapping, SdfError, SdfGraph};
+use synchro_sdf::{ActorId, Mapping, MappingViolation, SdfError, SdfGraph};
 use synchro_sim::{Chip, Column, ColumnConfig, ColumnError};
 use synchro_simd::RateMatcher;
 
@@ -71,6 +72,15 @@ pub enum MapperError {
         /// The actor placed twice.
         actor: ActorId,
     },
+    /// The mapping failed [`Mapping::validate`]: zero-tile, over-parallel
+    /// or unknown-actor placements that the lenient analytic accessors
+    /// would silently reshape are rejected loudly here.
+    InvalidMapping {
+        /// The reported violations.
+        violations: Vec<MappingViolation>,
+    },
+    /// Realizing an explorer solution failed.
+    Explorer(ExplorerError),
     /// A derived quantity (hyperperiod, firing count, ...) overflowed its
     /// representation.
     Overflow {
@@ -96,6 +106,14 @@ impl fmt::Display for MapperError {
             MapperError::DuplicatePlacement { actor } => {
                 write!(f, "actor {} is placed more than once", actor.0)
             }
+            MapperError::InvalidMapping { violations } => {
+                write!(f, "mapping has {} violation(s)", violations.len())?;
+                for v in violations {
+                    write!(f, "; {v}")?;
+                }
+                Ok(())
+            }
+            MapperError::Explorer(e) => write!(f, "explorer solution: {e}"),
             MapperError::Overflow { what } => write!(f, "{what} overflowed"),
             MapperError::Incomplete { ticks } => {
                 write!(f, "chip did not halt within {ticks} reference ticks")
@@ -110,6 +128,7 @@ impl Error for MapperError {
             MapperError::Sdf(e) => Some(e),
             MapperError::Dou(e) => Some(e),
             MapperError::Column(e) => Some(e),
+            MapperError::Explorer(e) => Some(e),
             _ => None,
         }
     }
@@ -130,6 +149,12 @@ impl From<DouError> for MapperError {
 impl From<ColumnError> for MapperError {
     fn from(value: ColumnError) -> Self {
         MapperError::Column(value)
+    }
+}
+
+impl From<ExplorerError> for MapperError {
+    fn from(value: ExplorerError) -> Self {
+        MapperError::Explorer(value)
     }
 }
 
@@ -345,12 +370,19 @@ fn relative_error(measured: f64, predicted: f64) -> f64 {
 /// # Errors
 ///
 /// Returns a [`MapperError`] for inconsistent/deadlocking graphs,
-/// incomplete or duplicated mappings, or overflowing derived quantities.
+/// ill-formed mappings ([`Mapping::validate`] violations, incomplete or
+/// duplicated placements), or overflowing derived quantities.
 pub fn compile(
     graph: &SdfGraph,
     mapping: &Mapping,
     options: &MapperOptions,
 ) -> Result<CompiledChip, MapperError> {
+    // Reject zero-tile, over-parallel and unknown-actor placements loudly
+    // instead of letting the analytic accessors silently reshape them.
+    let violations = mapping.validate(graph);
+    if !violations.is_empty() {
+        return Err(MapperError::InvalidMapping { violations });
+    }
     let reps = graph.repetition_vector()?;
     // The schedule doubles as the deadlock check; the buffer bounds and
     // per-iteration token counts feed the cross-edge traffic model.
@@ -729,50 +761,51 @@ pub fn cross_validate(
     }
 }
 
+/// Compile an explorer solution: realize it back into a `(graph,
+/// mapping)` pair (the original graph for single-actor columns, the
+/// clustered graph for fused ones) and run it through [`compile`].
+///
+/// The `options.iteration_rate_hz` should match the rate the solution was
+/// explored at so the voltage annotations line up.
+///
+/// # Errors
+///
+/// Propagates realization and compilation failures.
+pub fn compile_explored(
+    graph: &SdfGraph,
+    solution: &ExplorerSolution,
+    options: &MapperOptions,
+) -> Result<CompiledChip, MapperError> {
+    let (realized_graph, mapping) = solution.realize(graph)?;
+    compile(&realized_graph, &mapping, options)
+}
+
 /// The DDC front end as an SDF graph whose mapping reproduces the paper's
 /// Table 4 operating points: mixer → CIC integrator → (4:1) CIC comb →
 /// CFIR → PFIR at 16 M graph iterations/s (64 MS/s, 4 samples per
-/// iteration).  Returns `(graph, mapping, iteration_rate_hz)`.
+/// iteration).  Returns `(graph, mapping, iteration_rate_hz)`; the graph
+/// definition lives in [`synchro_apps::graphs`].
 pub fn ddc_reference() -> (SdfGraph, Mapping, f64) {
-    let mut g = SdfGraph::new();
-    // cycles_per_firing × reps / tiles × rate = the Table 4 frequencies.
-    let mixer = g.add_actor("Digital Mixer", 15, 16);
-    let integ = g.add_actor("CIC Integrator", 25, 16);
-    let comb = g.add_actor("CIC Comb", 5, 4);
-    let cfir = g.add_actor("CFIR", 380, 32);
-    let pfir = g.add_actor("PFIR", 370, 32);
-    g.add_edge(mixer, integ, 1, 1, 0).expect("valid edge");
-    g.add_edge(integ, comb, 1, 4, 0).expect("valid edge");
-    g.add_edge(comb, cfir, 1, 1, 0).expect("valid edge");
-    g.add_edge(cfir, pfir, 1, 1, 0).expect("valid edge");
-    let mut m = Mapping::new();
-    m.place(mixer, 8, 1.0);
-    m.place(integ, 8, 1.0);
-    m.place(comb, 2, 1.0);
-    m.place(cfir, 16, 1.0);
-    m.place(pfir, 16, 1.0);
-    (g, m, 16e6)
+    let reference = synchro_apps::reference_graph(synchro_apps::Application::Ddc);
+    (
+        reference.graph,
+        reference.mapping,
+        reference.iteration_rate_hz,
+    )
 }
 
 /// The 802.11a receive chain as an SDF graph whose mapping reproduces the
 /// paper's Table 4 operating points: FFT → de-mod/de-interleave → Viterbi
 /// ACS → traceback at 250 k OFDM symbols/s.  Returns
-/// `(graph, mapping, iteration_rate_hz)`.
+/// `(graph, mapping, iteration_rate_hz)`; the graph definition lives in
+/// [`synchro_apps::graphs`].
 pub fn wifi_reference() -> (SdfGraph, Mapping, f64) {
-    let mut g = SdfGraph::new();
-    let fft = g.add_actor("FFT", 720, 8);
-    let demod = g.add_actor("De-mod/De-Interleave", 240, 4);
-    let acs = g.add_actor("Viterbi ACS", 34_560, 32);
-    let traceback = g.add_actor("Viterbi Traceback", 1_320, 1);
-    g.add_edge(fft, demod, 1, 1, 0).expect("valid edge");
-    g.add_edge(demod, acs, 1, 1, 0).expect("valid edge");
-    g.add_edge(acs, traceback, 1, 1, 0).expect("valid edge");
-    let mut m = Mapping::new();
-    m.place(fft, 2, 1.0);
-    m.place(demod, 1, 1.0);
-    m.place(acs, 16, 1.0);
-    m.place(traceback, 1, 1.0);
-    (g, m, 250e3)
+    let reference = synchro_apps::reference_graph(synchro_apps::Application::Wifi80211a);
+    (
+        reference.graph,
+        reference.mapping,
+        reference.iteration_rate_hz,
+    )
 }
 
 #[cfg(test)]
@@ -966,6 +999,75 @@ mod tests {
         let validation = cross_validate(&compiled, &execution, &wrong_report);
         assert!(!validation.blocks_match);
         assert!(!validation.agrees_within(1.0));
+    }
+
+    #[test]
+    fn compile_rejects_invalid_placements_loudly() {
+        let (g, _) = two_actor_chain(1, 1);
+        let mut m = Mapping::new();
+        m.place(ActorId(0), 0, 1.0); // zero tiles
+        m.place(ActorId(1), 9, 1.0); // parallelism cap is 4
+        match compile(&g, &m, &MapperOptions::default()) {
+            Err(MapperError::InvalidMapping { violations }) => {
+                assert_eq!(violations.len(), 2);
+                assert!(matches!(violations[0], MappingViolation::ZeroTiles { .. }));
+                assert!(matches!(
+                    violations[1],
+                    MappingViolation::OverParallel { tiles: 9, .. }
+                ));
+            }
+            other => panic!("expected InvalidMapping, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn explored_solutions_compile_and_cross_validate() {
+        use synchro_explore::{explore, ExplorerConfig};
+
+        let (graph, _, rate) = ddc_reference();
+        let config = ExplorerConfig::new(rate, 50).single_actor_columns();
+        let exploration = explore(&graph, &config).unwrap();
+        let winner = exploration
+            .solution_for_tiles(50)
+            .expect("reference budget reachable");
+        let options = MapperOptions {
+            iterations: 2,
+            iteration_rate_hz: rate,
+            ..MapperOptions::default()
+        };
+        let mut compiled = compile_explored(&graph, winner, &options).unwrap();
+        let execution = compiled.execute().unwrap();
+        assert!(execution.firings_exact());
+
+        use crate::pipeline::{try_evaluate_application, EvaluationOptions};
+        use synchro_apps::{Application, ApplicationProfile};
+        let report = try_evaluate_application(
+            &ApplicationProfile::of(Application::Ddc),
+            &Technology::isca2004(),
+            &EvaluationOptions::default(),
+        )
+        .unwrap();
+        let validation = cross_validate(&compiled, &execution, &report);
+        assert!(validation.agrees_within(1e-9));
+    }
+
+    #[test]
+    fn fused_explorer_solutions_still_execute_exactly() {
+        use synchro_explore::{explore, ExplorerConfig};
+
+        // Grouping enabled: the DDC winner fuses mixer + integrator.
+        let (graph, _, rate) = ddc_reference();
+        let exploration = explore(&graph, &ExplorerConfig::new(rate, 50)).unwrap();
+        assert!(!exploration.best.is_single_actor_columns());
+        let options = MapperOptions {
+            iterations: 2,
+            iteration_rate_hz: rate,
+            ..MapperOptions::default()
+        };
+        let mut compiled = compile_explored(&graph, &exploration.best, &options).unwrap();
+        let execution = compiled.execute().unwrap();
+        assert!(execution.firings_exact());
+        assert_eq!(execution.horizontal_traffic_error(), 0.0);
     }
 
     #[test]

@@ -1,11 +1,40 @@
 //! The power-evaluation pipeline: from an application mapping to a
 //! per-block and per-application power report (methodology steps 7–9).
 
+use std::error::Error;
+use std::fmt;
+
 use synchro_apps::ApplicationProfile;
 use synchro_power::{
     ColumnActivity, ColumnPower, InterconnectModel, LeakageModel, Technology, TilePowerModel,
     VfCurve,
 };
+
+/// Errors raised while evaluating an application mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// An explicit allocation override does not cover every algorithm
+    /// block of the profile.
+    AllocationMismatch {
+        /// Blocks the profile has.
+        expected: usize,
+        /// Entries the allocation supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::AllocationMismatch { expected, got } => write!(
+                f,
+                "allocation override has {got} entries but the profile has {expected} blocks"
+            ),
+        }
+    }
+}
+
+impl Error for PipelineError {}
 
 /// How supply voltages are assigned to the application's blocks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -137,11 +166,32 @@ fn technology_with_overrides(tech: &Technology, options: &EvaluationOptions) -> 
 /// Evaluate an application mapping under the given technology and options,
 /// producing the per-block operating points and power (methodology steps
 /// 7–9 of Section 4.1).
+///
+/// # Panics
+///
+/// Panics if an explicit allocation override does not cover every
+/// algorithm block; use [`try_evaluate_application`] to get the mismatch
+/// as a [`PipelineError`] instead.
 pub fn evaluate_application(
     profile: &ApplicationProfile,
     tech: &Technology,
     options: &EvaluationOptions,
 ) -> ApplicationReport {
+    try_evaluate_application(profile, tech, options).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`evaluate_application`]: a malformed allocation
+/// override is reported as a [`PipelineError`] instead of a panic.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::AllocationMismatch`] when
+/// `options.allocation` is present with the wrong length.
+pub fn try_evaluate_application(
+    profile: &ApplicationProfile,
+    tech: &Technology,
+    options: &EvaluationOptions,
+) -> Result<ApplicationReport, PipelineError> {
     let tech = technology_with_overrides(tech, options);
     let curve = VfCurve::fo4_20(&tech);
     let tile_model = TilePowerModel::new(&tech);
@@ -156,11 +206,12 @@ pub fn evaluate_application(
             .map(|a| a.reference_tiles)
             .collect(),
     };
-    assert_eq!(
-        allocation.len(),
-        profile.algorithms.len(),
-        "allocation must cover every algorithm block"
-    );
+    if allocation.len() != profile.algorithms.len() {
+        return Err(PipelineError::AllocationMismatch {
+            expected: profile.algorithms.len(),
+            got: allocation.len(),
+        });
+    }
 
     // First pass: frequencies and per-block minimum voltages.
     let mut operating: Vec<(f64, f64, bool)> = Vec::with_capacity(profile.algorithms.len());
@@ -203,38 +254,57 @@ pub fn evaluate_application(
         });
     }
 
-    ApplicationReport {
+    Ok(ApplicationReport {
         application: profile.application.name().to_owned(),
         throughput: profile.throughput.to_owned(),
         voltage_policy: options.voltage_policy,
         blocks,
-    }
+    })
 }
 
 /// Evaluate both voltage policies and return `(per_column, single_voltage)`
 /// — the pair Table 4 and Figure 6 compare.
+///
+/// # Panics
+///
+/// Panics on a malformed allocation override; use
+/// [`try_evaluate_voltage_scaling`] for the fallible variant.
 pub fn evaluate_voltage_scaling(
     profile: &ApplicationProfile,
     tech: &Technology,
     options: &EvaluationOptions,
 ) -> (ApplicationReport, ApplicationReport) {
-    let per_column = evaluate_application(
+    try_evaluate_voltage_scaling(profile, tech, options).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`evaluate_voltage_scaling`].
+///
+/// # Errors
+///
+/// Returns [`PipelineError::AllocationMismatch`] when
+/// `options.allocation` is present with the wrong length.
+pub fn try_evaluate_voltage_scaling(
+    profile: &ApplicationProfile,
+    tech: &Technology,
+    options: &EvaluationOptions,
+) -> Result<(ApplicationReport, ApplicationReport), PipelineError> {
+    let per_column = try_evaluate_application(
         profile,
         tech,
         &EvaluationOptions {
             voltage_policy: VoltagePolicy::PerColumn,
             ..options.clone()
         },
-    );
-    let single = evaluate_application(
+    )?;
+    let single = try_evaluate_application(
         profile,
         tech,
         &EvaluationOptions {
             voltage_policy: VoltagePolicy::SingleVoltage,
             ..options.clone()
         },
-    );
-    (per_column, single)
+    )?;
+    Ok((per_column, single))
 }
 
 /// Percentage power saved by per-column voltage scaling relative to the
@@ -431,6 +501,48 @@ mod tests {
         assert!(!acs.within_envelope);
         assert!(!report.feasible());
         assert!(acs.voltage > 1.7);
+    }
+
+    #[test]
+    fn mismatched_allocations_are_a_proper_error() {
+        let profile = ApplicationProfile::of(Application::Ddc);
+        let options = EvaluationOptions {
+            allocation: Some(vec![8, 8]), // DDC has five blocks
+            ..EvaluationOptions::default()
+        };
+        let err = try_evaluate_application(&profile, &tech(), &options).unwrap_err();
+        assert_eq!(
+            err,
+            PipelineError::AllocationMismatch {
+                expected: 5,
+                got: 2
+            }
+        );
+        assert!(err.to_string().contains("5 blocks"));
+        let err2 = try_evaluate_voltage_scaling(&profile, &tech(), &options).unwrap_err();
+        assert_eq!(err, err2);
+    }
+
+    #[test]
+    #[should_panic(expected = "allocation override has 2 entries")]
+    fn infallible_wrapper_panics_with_the_error_message() {
+        let profile = ApplicationProfile::of(Application::Ddc);
+        evaluate_application(
+            &profile,
+            &tech(),
+            &EvaluationOptions {
+                allocation: Some(vec![8, 8]),
+                ..EvaluationOptions::default()
+            },
+        );
+    }
+
+    #[test]
+    fn try_variant_agrees_with_the_wrapper_on_valid_input() {
+        let profile = ApplicationProfile::of(Application::Wifi80211a);
+        let a = evaluate_application(&profile, &tech(), &EvaluationOptions::default());
+        let b = try_evaluate_application(&profile, &tech(), &EvaluationOptions::default()).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,238 @@
+//! Reference SDF graphs for the application suite.
+//!
+//! [`profiles`](crate::profiles) records each application's *mapped*
+//! operating points (tiles, frequencies) as published in Table 4; this
+//! module recovers the dataflow description those mappings came from, so
+//! every paper application can flow through the graph → mapping → chip
+//! path ([`synchro_sdf::SdfGraph`] → `synchroscalar::mapper` /
+//! `synchroscalar::explorer`).
+//!
+//! Each [`ReferenceGraph`] satisfies one calibration invariant: for every
+//! block, `cycles_per_firing × repetitions × iteration_rate / tiles`
+//! reproduces the block's published Table 4 per-tile frequency at the
+//! reference tile allocation.  The DDC and 802.11a graphs carry the
+//! paper's real rate structure (the 4:1 CIC decimation, the OFDM symbol
+//! chain); the remaining applications are modelled as single-rate chains
+//! whose iteration granularity is chosen so that per-firing cycle counts
+//! are exact integers:
+//!
+//! * **stereo vision** — one iteration per stereo frame pair (10/s),
+//! * **MPEG-4** — a macroblock-batch granularity (3 125/s for QCIF,
+//!   12 800/s for CIF; the nearest divisors of the aggregate per-block
+//!   work to the true 2 970 and 11 880 macroblocks/s),
+//! * **802.11a + AES** — the OFDM symbol rate (250 k/s), with the AES MAC
+//!   appended after the Viterbi traceback.
+
+use crate::profiles::{Application, ApplicationProfile};
+use synchro_sdf::{Mapping, SdfGraph};
+
+/// An application's dataflow description plus its Table 4 reference
+/// mapping and the iteration rate the mapping was published at.
+#[derive(Debug, Clone)]
+pub struct ReferenceGraph {
+    /// Which application this is.
+    pub application: Application,
+    /// The SDF graph, actors in Table 4 block order.
+    pub graph: SdfGraph,
+    /// The paper's reference placement (one actor per column group, the
+    /// Table 4 tile counts).
+    pub mapping: Mapping,
+    /// Graph iterations per second the reference mapping sustains.
+    pub iteration_rate_hz: f64,
+}
+
+/// Build a single-rate chain (1:1 edges, every actor firing once per
+/// iteration) whose per-firing cycle counts reproduce the profile's
+/// aggregate work at `rate` iterations per second.
+fn chain_from_profile(application: Application, rate: f64) -> ReferenceGraph {
+    let profile = ApplicationProfile::of(application);
+    let mut graph = SdfGraph::new();
+    let mut mapping = Mapping::new();
+    let mut previous = None;
+    for block in &profile.algorithms {
+        let work_cycles_per_iteration =
+            block.reference_frequency_mhz * 1e6 * f64::from(block.reference_tiles) / rate;
+        let cycles = work_cycles_per_iteration.round();
+        assert!(
+            (work_cycles_per_iteration - cycles).abs() < 1e-6,
+            "{}: iteration rate {rate} must divide the aggregate work exactly",
+            block.name
+        );
+        let actor = graph.add_actor(block.name, cycles as u64, block.max_parallel_tiles);
+        if let Some(prev) = previous {
+            graph
+                .add_edge(prev, actor, 1, 1, 0)
+                .expect("chain edges are valid");
+        }
+        previous = Some(actor);
+        mapping.place(actor, block.reference_tiles, 1.0);
+    }
+    ReferenceGraph {
+        application,
+        graph,
+        mapping,
+        iteration_rate_hz: rate,
+    }
+}
+
+/// The DDC front end with its real rate structure: mixer → CIC integrator
+/// → (4:1) CIC comb → CFIR → PFIR at 16 M graph iterations/s (64 MS/s,
+/// four samples per iteration).
+fn ddc() -> ReferenceGraph {
+    let mut graph = SdfGraph::new();
+    // cycles_per_firing × reps / tiles × rate = the Table 4 frequencies.
+    let mixer = graph.add_actor("Digital Mixer", 15, 16);
+    let integ = graph.add_actor("CIC Integrator", 25, 16);
+    let comb = graph.add_actor("CIC Comb", 5, 4);
+    let cfir = graph.add_actor("CFIR", 380, 32);
+    let pfir = graph.add_actor("PFIR", 370, 32);
+    graph.add_edge(mixer, integ, 1, 1, 0).expect("valid edge");
+    graph.add_edge(integ, comb, 1, 4, 0).expect("valid edge");
+    graph.add_edge(comb, cfir, 1, 1, 0).expect("valid edge");
+    graph.add_edge(cfir, pfir, 1, 1, 0).expect("valid edge");
+    let mut mapping = Mapping::new();
+    mapping.place(mixer, 8, 1.0);
+    mapping.place(integ, 8, 1.0);
+    mapping.place(comb, 2, 1.0);
+    mapping.place(cfir, 16, 1.0);
+    mapping.place(pfir, 16, 1.0);
+    ReferenceGraph {
+        application: Application::Ddc,
+        graph,
+        mapping,
+        iteration_rate_hz: 16e6,
+    }
+}
+
+/// The 802.11a receive chain: FFT → de-mod/de-interleave → Viterbi ACS →
+/// traceback at 250 k OFDM symbols/s, optionally composed with the AES
+/// message-authentication block after the traceback.
+fn wifi(with_aes: bool) -> ReferenceGraph {
+    let mut graph = SdfGraph::new();
+    let fft = graph.add_actor("FFT", 720, 8);
+    let demod = graph.add_actor("De-mod/De-Interleave", 240, 4);
+    let acs = graph.add_actor("Viterbi ACS", 34_560, 32);
+    let traceback = graph.add_actor("Viterbi Traceback", 1_320, 1);
+    graph.add_edge(fft, demod, 1, 1, 0).expect("valid edge");
+    graph.add_edge(demod, acs, 1, 1, 0).expect("valid edge");
+    graph.add_edge(acs, traceback, 1, 1, 0).expect("valid edge");
+    let mut mapping = Mapping::new();
+    mapping.place(fft, 2, 1.0);
+    mapping.place(demod, 1, 1.0);
+    mapping.place(acs, 16, 1.0);
+    mapping.place(traceback, 1, 1.0);
+    let application = if with_aes {
+        // 110 MHz × 16 tiles at 250 k symbols/s → 7 040 cycles per firing.
+        let aes = graph.add_actor("AES", 7_040, 16);
+        graph.add_edge(traceback, aes, 1, 1, 0).expect("valid edge");
+        mapping.place(aes, 16, 1.0);
+        Application::Wifi80211aAes
+    } else {
+        Application::Wifi80211a
+    };
+    ReferenceGraph {
+        application,
+        graph,
+        mapping,
+        iteration_rate_hz: 250e3,
+    }
+}
+
+/// The reference SDF graph of any paper application.
+pub fn reference_graph(application: Application) -> ReferenceGraph {
+    match application {
+        Application::Ddc => ddc(),
+        Application::Wifi80211a => wifi(false),
+        Application::Wifi80211aAes => wifi(true),
+        // One iteration per 256×256 stereo frame pair.
+        Application::StereoVision => chain_from_profile(application, 10.0),
+        // Macroblock-batch granularities chosen so cycle counts are exact.
+        Application::Mpeg4Qcif => chain_from_profile(application, 3_125.0),
+        Application::Mpeg4Cif => chain_from_profile(application, 12_800.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every application's reference mapping must reproduce its Table 4
+    /// per-tile frequencies from the graph alone.
+    #[test]
+    fn reference_graphs_reproduce_table4_frequencies() {
+        for application in Application::all() {
+            let reference = reference_graph(application);
+            let profile = ApplicationProfile::of(application);
+            assert!(reference.mapping.validate(&reference.graph).is_empty());
+            let requirements = reference
+                .mapping
+                .requirements(&reference.graph, reference.iteration_rate_hz)
+                .expect("reference graphs are consistent");
+            assert_eq!(requirements.len(), profile.algorithms.len());
+            for (req, block) in requirements.iter().zip(&profile.algorithms) {
+                assert_eq!(req.tiles, block.reference_tiles, "{}", block.name);
+                assert!(
+                    (req.frequency_mhz - block.reference_frequency_mhz).abs() < 1e-6,
+                    "{}: graph gives {} MHz, Table 4 says {} MHz",
+                    block.name,
+                    req.frequency_mhz,
+                    block.reference_frequency_mhz
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reference_graphs_schedule_and_stay_consistent() {
+        for application in Application::all() {
+            let reference = reference_graph(application);
+            assert!(reference.graph.schedule().is_ok(), "{application:?}");
+            assert!(reference.graph.buffer_bounds().is_ok());
+        }
+    }
+
+    #[test]
+    fn ddc_keeps_the_cic_rate_change() {
+        let reference = reference_graph(Application::Ddc);
+        assert_eq!(
+            reference.graph.repetition_vector().unwrap(),
+            vec![4, 4, 1, 1, 1]
+        );
+    }
+
+    #[test]
+    fn aes_composition_appends_one_actor_to_the_wifi_chain() {
+        let plain = reference_graph(Application::Wifi80211a);
+        let composed = reference_graph(Application::Wifi80211aAes);
+        assert_eq!(
+            composed.graph.actors().len(),
+            plain.graph.actors().len() + 1
+        );
+        assert_eq!(composed.graph.actors().last().unwrap().name, "AES");
+        assert_eq!(composed.mapping.total_tiles(), 36);
+    }
+
+    #[test]
+    fn single_rate_chains_fire_once_per_iteration() {
+        for application in [
+            Application::StereoVision,
+            Application::Mpeg4Qcif,
+            Application::Mpeg4Cif,
+        ] {
+            let reference = reference_graph(application);
+            let reps = reference.graph.repetition_vector().unwrap();
+            assert!(reps.iter().all(|&r| r == 1), "{application:?}: {reps:?}");
+        }
+    }
+
+    #[test]
+    fn mpeg4_cycle_counts_are_exact_integers() {
+        // 280 MHz × 8 tiles at 12 800 iterations/s = 175 000 cycles.
+        let cif = reference_graph(Application::Mpeg4Cif);
+        assert_eq!(cif.graph.actors()[0].cycles_per_firing, 175_000);
+        assert_eq!(cif.graph.actors()[1].cycles_per_firing, 37_500);
+        let qcif = reference_graph(Application::Mpeg4Qcif);
+        assert_eq!(qcif.graph.actors()[0].cycles_per_firing, 179_200);
+        assert_eq!(qcif.graph.actors()[1].cycles_per_firing, 38_400);
+    }
+}

@@ -29,10 +29,12 @@
 
 pub mod aes;
 pub mod ddc;
+pub mod graphs;
 pub mod mpeg4;
 pub mod profiles;
 pub mod stereo;
 pub mod wifi;
 pub mod workloads;
 
+pub use graphs::{reference_graph, ReferenceGraph};
 pub use profiles::{AlgorithmProfile, Application, ApplicationProfile};

@@ -1,0 +1,799 @@
+//! Automatic mapping and design-space exploration for Synchroscalar
+//! (re-exported as `synchroscalar::explorer`).
+//!
+//! The paper's central claim is that statically scheduled SDF
+//! applications let Synchroscalar *derive* per-column frequencies and
+//! voltages that minimise power at a fixed rate.  This crate closes that
+//! loop: given an [`SdfGraph`], a target iteration rate, a tile budget
+//! and a [`Technology`], [`explore`] searches tile allocations and
+//! actor→column groupings, computes each column's frequency from the
+//! repetition vector, its voltage from the Figure 5 VF curve and its
+//! power from the `synchro-power` models, and returns
+//!
+//! * the minimum-power feasible mapping,
+//! * the full power-vs-tiles curve (one entry per reachable tile count),
+//! * the Pareto frontier of that curve (the Figure 8-style trade-off).
+//!
+//! Small graphs are solved by exhaustive enumeration of contiguous
+//! groupings (each grouping solved exactly by a per-tile-count dynamic
+//! program); large graphs fall back to a dominance-pruned beam search
+//! over grouping prefixes.  Both engines fan out across a `std::thread`
+//! worker pool.
+//!
+//! A solution [`realize`](ExplorerSolution::realize)s back into a plain
+//! `(SdfGraph, Mapping)` pair — the original graph for single-actor
+//! columns, or a [`cluster`]ed graph when the search fused adjacent
+//! actors into one column — so winners compile through
+//! `synchroscalar::mapper::compile` unchanged.
+//!
+//! ```
+//! use synchro_explore::{explore, ExplorerConfig};
+//! use synchro_sdf::SdfGraph;
+//!
+//! // A two-stage filter at 1 M iterations/s under a 12-tile budget.
+//! let mut graph = SdfGraph::new();
+//! let head = graph.add_actor("head", 200, 8);
+//! let tail = graph.add_actor("tail", 120, 8);
+//! graph.add_edge(head, tail, 1, 1, 0).unwrap();
+//! let exploration = explore(&graph, &ExplorerConfig::new(1e6, 12)).unwrap();
+//! assert!(exploration.best.feasible);
+//! assert!(exploration.best.total_tiles <= 12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+
+use synchro_power::{AreaModel, Technology};
+use synchro_sdf::{ActorId, Mapping, MappingViolation, SdfError, SdfGraph};
+
+mod model;
+mod pareto;
+mod search;
+mod space;
+
+pub use model::ColumnEval;
+pub use pareto::dominates;
+pub use search::SearchStats;
+pub use space::{cluster, TileCandidates};
+
+use model::{Evaluator, GraphContext};
+
+/// Errors raised by the explorer.
+#[derive(Debug)]
+pub enum ExplorerError {
+    /// Graph analysis failed (inconsistent rates, deadlock, empty graph).
+    Sdf(SdfError),
+    /// The tile budget cannot host even one tile per column group.
+    BudgetTooSmall {
+        /// Minimum number of column groups any grouping produces.
+        min_groups: usize,
+        /// The configured budget.
+        budget: u32,
+    },
+    /// The graph is too large for the exhaustive engine; use
+    /// [`SearchStrategy::Beam`] (or [`SearchStrategy::Auto`]).
+    TooManyActorsForExhaustive {
+        /// Actors in the graph.
+        actors: usize,
+    },
+    /// The search space contained no candidate at all.
+    NoSolutions,
+    /// A hand-built mapping failed [`Mapping::validate`].
+    InvalidMapping {
+        /// The reported violations.
+        violations: Vec<MappingViolation>,
+    },
+    /// A hand-built mapping does not place every actor exactly once.
+    IncompleteMapping {
+        /// An actor without a placement (or placed more than once).
+        actor: ActorId,
+    },
+}
+
+impl fmt::Display for ExplorerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExplorerError::Sdf(e) => write!(f, "graph analysis: {e}"),
+            ExplorerError::BudgetTooSmall { min_groups, budget } => write!(
+                f,
+                "tile budget {budget} cannot host {min_groups} column groups"
+            ),
+            ExplorerError::TooManyActorsForExhaustive { actors } => write!(
+                f,
+                "{actors} actors is too many for exhaustive grouping enumeration"
+            ),
+            ExplorerError::NoSolutions => write!(f, "search space contained no candidates"),
+            ExplorerError::InvalidMapping { violations } => {
+                write!(f, "mapping has {} violation(s)", violations.len())?;
+                for v in violations {
+                    write!(f, "; {v}")?;
+                }
+                Ok(())
+            }
+            ExplorerError::IncompleteMapping { actor } => {
+                write!(f, "actor {} is not placed exactly once", actor.0)
+            }
+        }
+    }
+}
+
+impl Error for ExplorerError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExplorerError::Sdf(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SdfError> for ExplorerError {
+    fn from(value: SdfError) -> Self {
+        ExplorerError::Sdf(value)
+    }
+}
+
+/// Which search engine [`explore`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchStrategy {
+    /// Exhaustive for small graphs, beam search for large ones.
+    #[default]
+    Auto,
+    /// Enumerate every contiguous grouping and solve each exactly.
+    Exhaustive,
+    /// Dominance-pruned beam search over grouping prefixes, keeping at
+    /// most `width` partial solutions per prefix length.  Exact for the
+    /// best solution and the frontier when `width ≥ budget + 1`.
+    Beam {
+        /// Maximum partial solutions retained per prefix length.
+        width: usize,
+    },
+}
+
+/// Above this actor count [`SearchStrategy::Auto`] switches from
+/// exhaustive grouping enumeration (2^(n−1) groupings) to beam search.
+const EXHAUSTIVE_ACTOR_LIMIT: usize = 16;
+
+/// Configuration of one exploration.
+#[derive(Debug, Clone)]
+pub struct ExplorerConfig {
+    /// Target graph-iteration rate (iterations per second).
+    pub iteration_rate_hz: f64,
+    /// Maximum total tiles any solution may use.
+    pub tile_budget: u32,
+    /// Technology the cost model evaluates under.
+    pub tech: Technology,
+    /// Candidate tile counts per column group.
+    pub candidates: TileCandidates,
+    /// Search engine selection.
+    pub strategy: SearchStrategy,
+    /// Worker threads (0 = one per available core).
+    pub threads: usize,
+    /// Largest number of adjacent actors the search may fuse into one
+    /// column group.  `1` restricts the space to the paper's structure of
+    /// one algorithm block per column group (what Table 4 publishes);
+    /// larger values let the explorer trade fusion against parallelism.
+    /// Fusion requires actor insertion order to be topological (every
+    /// edge running from a lower to a higher actor id); graphs with
+    /// backward edges are searched with single-actor columns only.
+    pub max_group_size: usize,
+    /// Parallel efficiency assumed when splitting work across tiles
+    /// (1.0 = perfect speedup, matching the reference mappings).
+    pub efficiency: f64,
+}
+
+impl ExplorerConfig {
+    /// A default configuration: ISCA 2004 technology, power-of-two tile
+    /// candidates, automatic engine choice, all cores, grouping enabled.
+    pub fn new(iteration_rate_hz: f64, tile_budget: u32) -> Self {
+        ExplorerConfig {
+            iteration_rate_hz,
+            tile_budget,
+            tech: Technology::isca2004(),
+            candidates: TileCandidates::PowersOfTwo,
+            strategy: SearchStrategy::Auto,
+            threads: 0,
+            max_group_size: usize::MAX,
+            efficiency: 1.0,
+        }
+    }
+
+    /// Restrict the search to one actor per column group — the structure
+    /// of every hand-built Table 4 mapping.
+    #[must_use]
+    pub fn single_actor_columns(mut self) -> Self {
+        self.max_group_size = 1;
+        self
+    }
+
+    /// Override the search strategy.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: SearchStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Override the worker-thread count (0 = one per available core).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Override the candidate tile counts.
+    #[must_use]
+    pub fn with_candidates(mut self, candidates: TileCandidates) -> Self {
+        self.candidates = candidates;
+        self
+    }
+
+    /// Override the technology.
+    #[must_use]
+    pub fn with_tech(mut self, tech: Technology) -> Self {
+        self.tech = tech;
+        self
+    }
+
+    fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// One column group of a solution: the actors it hosts and its evaluated
+/// operating point.
+#[derive(Debug, Clone)]
+pub struct ColumnSolution {
+    /// The actors fused into this column group (one entry for
+    /// single-actor columns).
+    pub actors: Vec<ActorId>,
+    /// Human-readable name (member names joined with `+`).
+    pub name: String,
+    /// Tiles assigned.
+    pub tiles: u32,
+    /// Required per-tile frequency (MHz).
+    pub frequency_mhz: f64,
+    /// Assigned supply voltage (V).
+    pub voltage: f64,
+    /// Whether the operating point fits the supply envelope.
+    pub within_envelope: bool,
+    /// Power breakdown.
+    pub power: synchro_power::ColumnPower,
+}
+
+/// One point of the design space: a complete mapping with its cost.
+#[derive(Debug, Clone)]
+pub struct ExplorerSolution {
+    /// Column groups in pipeline order.
+    pub columns: Vec<ColumnSolution>,
+    /// Total tiles used.
+    pub total_tiles: u32,
+    /// Total power (mW) under the explorer's cost model.
+    pub power_mw: f64,
+    /// Whether every column fits the supply envelope.
+    pub feasible: bool,
+    efficiency: f64,
+}
+
+impl ExplorerSolution {
+    /// Is every column group a single actor (directly expressible as a
+    /// `Mapping` over the original graph)?
+    pub fn is_single_actor_columns(&self) -> bool {
+        self.columns.iter().all(|c| c.actors.len() == 1)
+    }
+
+    /// Per-column frequencies in pipeline order.
+    pub fn frequencies_mhz(&self) -> Vec<f64> {
+        self.columns.iter().map(|c| c.frequency_mhz).collect()
+    }
+
+    /// Per-column tile counts in pipeline order.
+    pub fn allocation(&self) -> Vec<u32> {
+        self.columns.iter().map(|c| c.tiles).collect()
+    }
+
+    /// Chip area of the solution (tiles rounded up to whole columns).
+    pub fn area_mm2(&self) -> f64 {
+        AreaModel::isca2004().chip_area_mm2(self.total_tiles)
+    }
+
+    /// Turn the solution back into a `(graph, mapping)` pair ready for
+    /// `synchroscalar::mapper::compile`: the original graph with a
+    /// multi-actor mapping when every column hosts one actor, or the
+    /// [`cluster`]ed graph with a one-actor-per-column mapping when the
+    /// search fused adjacent actors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates rate-consistency errors from clustering.
+    pub fn realize(&self, graph: &SdfGraph) -> Result<(SdfGraph, Mapping), ExplorerError> {
+        let groups: Vec<(usize, usize)> = self
+            .columns
+            .iter()
+            .map(|c| {
+                let start = c.actors.first().expect("column has actors").0;
+                (start, start + c.actors.len())
+            })
+            .collect();
+        let allocation = self.allocation();
+        if self.is_single_actor_columns() {
+            let mapping = space::mapping_for(&groups, &allocation, self.efficiency, true);
+            Ok((graph.clone(), mapping))
+        } else {
+            let clustered = space::cluster(graph, &groups)?;
+            let mapping = space::mapping_for(&groups, &allocation, self.efficiency, false);
+            Ok((clustered, mapping))
+        }
+    }
+}
+
+/// The result of one [`explore`] run.
+#[derive(Debug, Clone)]
+pub struct Exploration {
+    /// The minimum-power feasible solution (or the minimum-power solution
+    /// overall when nothing fits the envelope — check
+    /// [`ExplorerSolution::feasible`]).
+    pub best: ExplorerSolution,
+    /// The cheapest solution at every reachable exact tile count, sorted
+    /// by tiles ascending.  Complete for the exhaustive engine; the beam
+    /// engine only retains non-dominated counts.
+    pub curve: Vec<ExplorerSolution>,
+    /// The non-dominated (tiles, power) subset of `curve` — the Figure
+    /// 8-style Pareto frontier.
+    pub frontier: Vec<ExplorerSolution>,
+    /// Search counters.
+    pub stats: SearchStats,
+}
+
+impl Exploration {
+    /// The curve entry using exactly `tiles` tiles, if that count was
+    /// reachable.
+    pub fn solution_for_tiles(&self, tiles: u32) -> Option<&ExplorerSolution> {
+        self.curve.iter().find(|s| s.total_tiles == tiles)
+    }
+}
+
+/// Search tile allocations and actor→column groupings of `graph` for the
+/// minimum-power mapping sustaining `config.iteration_rate_hz` within
+/// `config.tile_budget` tiles.
+///
+/// # Errors
+///
+/// Returns [`ExplorerError`] for unanalyzable graphs, impossible budgets,
+/// or an exhausted search space.
+pub fn explore(graph: &SdfGraph, config: &ExplorerConfig) -> Result<Exploration, ExplorerError> {
+    let ctx = GraphContext::new(graph)?;
+    let n = ctx.n;
+    // Fusing is only sound when actor order is a topological order with
+    // strictly forward edges: contiguous groups of a forward-edged chain
+    // cluster to an acyclic graph, whereas a backward edge (a feedback
+    // loop carried by initial tokens) could deadlock the clustered graph.
+    // Self-loops stay internal to any group and are harmless.
+    let forward_edges = graph.edges().iter().all(|e| e.from.0 <= e.to.0);
+    let fusion_limit = if forward_edges {
+        config.max_group_size
+    } else {
+        1
+    };
+    let max_group_size = fusion_limit.clamp(1, n.max(1));
+    let min_groups = n.div_ceil(max_group_size);
+    if (config.tile_budget as usize) < min_groups {
+        return Err(ExplorerError::BudgetTooSmall {
+            min_groups,
+            budget: config.tile_budget,
+        });
+    }
+
+    let evaluator = Evaluator::new(&config.tech, config.iteration_rate_hz, config.efficiency);
+    let threads = config.resolved_threads();
+    let default_width = (config.tile_budget as usize + 1).max(64);
+    let outcome = match config.strategy {
+        SearchStrategy::Exhaustive if max_group_size > 1 && n > EXHAUSTIVE_ACTOR_LIMIT => {
+            return Err(ExplorerError::TooManyActorsForExhaustive { actors: n });
+        }
+        SearchStrategy::Exhaustive => search::exhaustive(
+            &ctx,
+            &evaluator,
+            config.candidates,
+            config.tile_budget,
+            max_group_size,
+            threads,
+        ),
+        SearchStrategy::Beam { width } => search::beam(
+            &ctx,
+            &evaluator,
+            config.candidates,
+            config.tile_budget,
+            max_group_size,
+            width,
+            threads,
+        ),
+        SearchStrategy::Auto => {
+            if max_group_size == 1 || n <= EXHAUSTIVE_ACTOR_LIMIT {
+                search::exhaustive(
+                    &ctx,
+                    &evaluator,
+                    config.candidates,
+                    config.tile_budget,
+                    max_group_size,
+                    threads,
+                )
+            } else {
+                search::beam(
+                    &ctx,
+                    &evaluator,
+                    config.candidates,
+                    config.tile_budget,
+                    max_group_size,
+                    default_width,
+                    threads,
+                )
+            }
+        }
+    };
+    if outcome.curve.is_empty() {
+        return Err(ExplorerError::NoSolutions);
+    }
+
+    let mut curve: Vec<ExplorerSolution> = outcome
+        .curve
+        .iter()
+        .map(|c| realize_candidate(graph, &ctx, &evaluator, &c.groups, &c.allocation))
+        .collect();
+    // One entry per tile count: feasible beats infeasible, then lower
+    // power wins (the beam engine can surface both a cheap infeasible and
+    // a pricier feasible solution at the same count).
+    curve.sort_by(|a, b| {
+        a.total_tiles
+            .cmp(&b.total_tiles)
+            .then(b.feasible.cmp(&a.feasible))
+            .then(a.power_mw.partial_cmp(&b.power_mw).expect("finite power"))
+    });
+    curve.dedup_by_key(|s| s.total_tiles);
+
+    // The Pareto frontier covers achievable (feasible) designs; only when
+    // nothing fits the envelope does it fall back to the whole curve.
+    let frontier_pool: Vec<&ExplorerSolution> = {
+        let feasible: Vec<&ExplorerSolution> = curve.iter().filter(|s| s.feasible).collect();
+        if feasible.is_empty() {
+            curve.iter().collect()
+        } else {
+            feasible
+        }
+    };
+    let points: Vec<(u32, f64)> = frontier_pool
+        .iter()
+        .map(|s| (s.total_tiles, s.power_mw))
+        .collect();
+    let frontier: Vec<ExplorerSolution> = pareto::frontier_indices(&points)
+        .into_iter()
+        .map(|i| frontier_pool[i].clone())
+        .collect();
+    let min_power = |solutions: &mut dyn Iterator<Item = &ExplorerSolution>| {
+        solutions
+            .min_by(|a, b| a.power_mw.partial_cmp(&b.power_mw).expect("finite power"))
+            .cloned()
+    };
+    let best = min_power(&mut curve.iter().filter(|s| s.feasible))
+        .or_else(|| min_power(&mut curve.iter()))
+        .expect("curve is non-empty");
+    Ok(Exploration {
+        best,
+        curve,
+        frontier,
+        stats: outcome.stats,
+    })
+}
+
+/// Evaluate a hand-built mapping (one actor per placement, every actor
+/// placed exactly once) under the explorer's cost model, so automatic and
+/// reference mappings are compared on equal footing.
+///
+/// # Errors
+///
+/// Returns [`ExplorerError::InvalidMapping`] /
+/// [`ExplorerError::IncompleteMapping`] for ill-formed mappings and
+/// propagates graph-analysis failures.
+pub fn evaluate_mapping(
+    graph: &SdfGraph,
+    mapping: &Mapping,
+    config: &ExplorerConfig,
+) -> Result<ExplorerSolution, ExplorerError> {
+    let violations = mapping.validate(graph);
+    if !violations.is_empty() {
+        return Err(ExplorerError::InvalidMapping { violations });
+    }
+    let mut placed = vec![false; graph.actors().len()];
+    for p in mapping.placements() {
+        if placed[p.actor.0] {
+            return Err(ExplorerError::IncompleteMapping { actor: p.actor });
+        }
+        placed[p.actor.0] = true;
+    }
+    if let Some(missing) = placed.iter().position(|&p| !p) {
+        return Err(ExplorerError::IncompleteMapping {
+            actor: ActorId(missing),
+        });
+    }
+    let ctx = GraphContext::new(graph)?;
+    let evaluator = Evaluator::new(&config.tech, config.iteration_rate_hz, config.efficiency);
+    let groups: Vec<(usize, usize)> = mapping
+        .placements()
+        .iter()
+        .map(|p| (p.actor.0, p.actor.0 + 1))
+        .collect();
+    let allocation: Vec<u32> = mapping.placements().iter().map(|p| p.tiles).collect();
+    Ok(realize_candidate(
+        graph,
+        &ctx,
+        &evaluator,
+        &groups,
+        &allocation,
+    ))
+}
+
+/// Re-evaluate a candidate's columns in full detail and package it as a
+/// public solution.
+fn realize_candidate(
+    graph: &SdfGraph,
+    ctx: &GraphContext,
+    evaluator: &Evaluator,
+    groups: &[(usize, usize)],
+    allocation: &[u32],
+) -> ExplorerSolution {
+    let mut columns = Vec::with_capacity(groups.len());
+    let mut power_mw = 0.0;
+    let mut feasible = true;
+    for (&(start, end), &tiles) in groups.iter().zip(allocation) {
+        let eval = evaluator.evaluate_column(
+            ctx.group_work(start, end),
+            ctx.group_cap(start, end),
+            ctx.boundary_tokens(start, end),
+            tiles,
+        );
+        power_mw += eval.power.total_mw();
+        feasible &= eval.within_envelope;
+        let members = &graph.actors()[start..end];
+        columns.push(ColumnSolution {
+            actors: (start..end).map(ActorId).collect(),
+            name: members
+                .iter()
+                .map(|a| a.name.as_str())
+                .collect::<Vec<_>>()
+                .join("+"),
+            tiles,
+            frequency_mhz: eval.frequency_mhz,
+            voltage: eval.voltage,
+            within_envelope: eval.within_envelope,
+            power: eval.power,
+        });
+    }
+    ExplorerSolution {
+        columns,
+        total_tiles: allocation.iter().sum(),
+        power_mw,
+        feasible,
+        efficiency: evaluator.efficiency(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The DDC front end (Table 4 cycle counts) at 16 M iterations/s.
+    fn ddc() -> SdfGraph {
+        let mut g = SdfGraph::new();
+        let mixer = g.add_actor("Digital Mixer", 15, 16);
+        let integ = g.add_actor("CIC Integrator", 25, 16);
+        let comb = g.add_actor("CIC Comb", 5, 4);
+        let cfir = g.add_actor("CFIR", 380, 32);
+        let pfir = g.add_actor("PFIR", 370, 32);
+        g.add_edge(mixer, integ, 1, 1, 0).unwrap();
+        g.add_edge(integ, comb, 1, 4, 0).unwrap();
+        g.add_edge(comb, cfir, 1, 1, 0).unwrap();
+        g.add_edge(cfir, pfir, 1, 1, 0).unwrap();
+        g
+    }
+
+    fn ddc_reference_mapping(g: &SdfGraph) -> Mapping {
+        let mut m = Mapping::new();
+        for (i, tiles) in [8u32, 8, 2, 16, 16].into_iter().enumerate() {
+            m.place(ActorId(i), tiles, 1.0);
+        }
+        let _ = g;
+        m
+    }
+
+    #[test]
+    fn single_actor_search_rediscovers_the_table4_ddc_mapping() {
+        let g = ddc();
+        let config = ExplorerConfig::new(16e6, 50).single_actor_columns();
+        let exploration = explore(&g, &config).unwrap();
+        let at_budget = exploration.solution_for_tiles(50).expect("50 reachable");
+        assert_eq!(at_budget.allocation(), vec![8, 8, 2, 16, 16]);
+        let freqs = at_budget.frequencies_mhz();
+        for (got, want) in freqs.iter().zip([120.0, 200.0, 40.0, 380.0, 370.0]) {
+            assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+        }
+        assert!(at_budget.feasible);
+        // The overall winner is at least as cheap as the hand mapping.
+        let reference = evaluate_mapping(&g, &ddc_reference_mapping(&g), &config).unwrap();
+        assert!(exploration.best.power_mw <= reference.power_mw + 1e-9);
+    }
+
+    #[test]
+    fn grouping_search_beats_the_hand_built_ddc_mapping() {
+        let g = ddc();
+        let config = ExplorerConfig::new(16e6, 50);
+        let grouped = explore(&g, &config).unwrap();
+        let reference = evaluate_mapping(&g, &ddc_reference_mapping(&g), &config).unwrap();
+        assert!(
+            grouped.best.power_mw < reference.power_mw,
+            "fusion should beat the reference: {} vs {}",
+            grouped.best.power_mw,
+            reference.power_mw
+        );
+        assert!(grouped.best.feasible);
+    }
+
+    #[test]
+    fn engines_agree_on_best_and_frontier() {
+        let g = ddc();
+        let base = ExplorerConfig::new(16e6, 40);
+        let exhaustive =
+            explore(&g, &base.clone().with_strategy(SearchStrategy::Exhaustive)).unwrap();
+        let beam = explore(&g, &base.with_strategy(SearchStrategy::Beam { width: 64 })).unwrap();
+        assert!((exhaustive.best.power_mw - beam.best.power_mw).abs() < 1e-6);
+        let ef: Vec<(u32, u64)> = exhaustive
+            .frontier
+            .iter()
+            .map(|s| (s.total_tiles, s.power_mw.to_bits()))
+            .collect();
+        let bf: Vec<(u32, u64)> = beam
+            .frontier
+            .iter()
+            .map(|s| (s.total_tiles, s.power_mw.to_bits()))
+            .collect();
+        assert_eq!(ef, bf);
+    }
+
+    #[test]
+    fn frontier_is_non_dominated_and_curve_respects_budget() {
+        let g = ddc();
+        let exploration = explore(&g, &ExplorerConfig::new(16e6, 50)).unwrap();
+        assert!(!exploration.frontier.is_empty());
+        for s in &exploration.curve {
+            assert!(s.total_tiles <= 50);
+            assert!(s.power_mw > 0.0);
+        }
+        for pair in exploration.frontier.windows(2) {
+            assert!(pair[0].total_tiles < pair[1].total_tiles);
+            assert!(pair[0].power_mw > pair[1].power_mw);
+        }
+        // The frontier covers feasible designs; no feasible curve point
+        // may dominate a frontier point.
+        for a in &exploration.frontier {
+            for b in exploration.curve.iter().filter(|s| s.feasible) {
+                assert!(
+                    !(dominates(b.total_tiles, b.power_mw, a.total_tiles, a.power_mw)),
+                    "frontier point dominated by a feasible curve point"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn realized_solutions_round_trip_through_requirements() {
+        let g = ddc();
+        let exploration = explore(&g, &ExplorerConfig::new(16e6, 50)).unwrap();
+        for solution in exploration.frontier.iter().chain([&exploration.best]) {
+            let (graph, mapping) = solution.realize(&g).unwrap();
+            assert!(mapping.validate(&graph).is_empty());
+            let requirements = mapping.requirements(&graph, 16e6).unwrap();
+            for (req, col) in requirements.iter().zip(&solution.columns) {
+                assert!(
+                    (req.frequency_mhz - col.frequency_mhz).abs()
+                        < 1e-6 * col.frequency_mhz.max(1.0),
+                    "{}: {} vs {}",
+                    col.name,
+                    req.frequency_mhz,
+                    col.frequency_mhz
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn budget_too_small_is_reported() {
+        let g = ddc();
+        let err = explore(&g, &ExplorerConfig::new(16e6, 3).single_actor_columns()).unwrap_err();
+        assert!(matches!(
+            err,
+            ExplorerError::BudgetTooSmall {
+                min_groups: 5,
+                budget: 3
+            }
+        ));
+        assert!(err.to_string().contains('5'));
+    }
+
+    #[test]
+    fn evaluate_mapping_rejects_malformed_mappings() {
+        let g = ddc();
+        let config = ExplorerConfig::new(16e6, 50);
+        let mut over = Mapping::new();
+        for (i, tiles) in [8u32, 8, 9, 16, 16].into_iter().enumerate() {
+            over.place(ActorId(i), tiles, 1.0); // comb cap is 4
+        }
+        assert!(matches!(
+            evaluate_mapping(&g, &over, &config),
+            Err(ExplorerError::InvalidMapping { .. })
+        ));
+        let mut partial = Mapping::new();
+        partial.place(ActorId(0), 8, 1.0);
+        assert!(matches!(
+            evaluate_mapping(&g, &partial, &config),
+            Err(ExplorerError::IncompleteMapping { .. })
+        ));
+    }
+
+    #[test]
+    fn threads_do_not_change_the_result() {
+        let g = ddc();
+        let one = explore(&g, &ExplorerConfig::new(16e6, 50).with_threads(1)).unwrap();
+        let many = explore(&g, &ExplorerConfig::new(16e6, 50).with_threads(8)).unwrap();
+        assert_eq!(one.best.allocation(), many.best.allocation());
+        assert_eq!(one.best.power_mw.to_bits(), many.best.power_mw.to_bits());
+        assert_eq!(one.curve.len(), many.curve.len());
+        assert_eq!(one.stats.mappings_evaluated, many.stats.mappings_evaluated);
+    }
+
+    #[test]
+    fn backward_edges_disable_fusion_so_winners_stay_realizable() {
+        // A valid DAG whose actor-id order is not topological: a0 → a2 → a1.
+        // Fusing the index-adjacent (but dataflow-non-adjacent) a0+a1
+        // would cluster into a deadlocked cycle, so the search must fall
+        // back to single-actor columns.
+        let mut g = SdfGraph::new();
+        let a0 = g.add_actor("a0", 100, 8);
+        let a1 = g.add_actor("a1", 150, 8);
+        let a2 = g.add_actor("a2", 120, 8);
+        g.add_edge(a0, a2, 1, 1, 0).unwrap();
+        g.add_edge(a2, a1, 1, 1, 0).unwrap();
+        let exploration = explore(&g, &ExplorerConfig::new(1e6, 12)).unwrap();
+        for solution in exploration.curve.iter().chain([&exploration.best]) {
+            assert!(solution.is_single_actor_columns());
+            let (graph, mapping) = solution.realize(&g).unwrap();
+            assert!(graph.schedule().is_ok());
+            assert!(mapping.validate(&graph).is_empty());
+        }
+    }
+
+    #[test]
+    fn infeasible_budgets_return_flagged_solutions() {
+        // One serial actor that needs far more than the envelope allows.
+        let mut g = SdfGraph::new();
+        g.add_actor("serial", 5_000, 1);
+        let exploration = explore(&g, &ExplorerConfig::new(1e6, 4)).unwrap();
+        assert!(!exploration.best.feasible);
+        assert!(exploration.best.columns[0].voltage > 1.7);
+    }
+
+    #[test]
+    fn stats_count_work_and_record_threads() {
+        let g = ddc();
+        let exploration = explore(&g, &ExplorerConfig::new(16e6, 50).with_threads(2)).unwrap();
+        assert!(exploration.stats.mappings_evaluated > 0);
+        assert!(exploration.stats.groupings_examined >= 1);
+        assert_eq!(exploration.stats.threads_used, 2);
+        assert!(exploration.stats.elapsed_seconds >= 0.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Pareto-frontier utilities over the (tiles, power) trade-off the
+//! paper's Figure 8 explores.
+
+/// Does `(tiles_a, power_a)` dominate `(tiles_b, power_b)` — no worse in
+/// both objectives and strictly better in at least one?
+pub fn dominates(tiles_a: u32, power_a: f64, tiles_b: u32, power_b: f64) -> bool {
+    (tiles_a <= tiles_b && power_a <= power_b) && (tiles_a < tiles_b || power_a < power_b)
+}
+
+/// Indices of the non-dominated entries of a curve already sorted by
+/// tiles ascending (with at most one entry per tile count): the classic
+/// staircase of strictly decreasing power.
+pub(crate) fn frontier_indices(curve: &[(u32, f64)]) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut best = f64::INFINITY;
+    for (i, &(_tiles, power)) in curve.iter().enumerate() {
+        if power < best {
+            out.push(i);
+            best = power;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_requires_strict_improvement_somewhere() {
+        assert!(dominates(4, 10.0, 5, 10.0));
+        assert!(dominates(4, 9.0, 4, 10.0));
+        assert!(!dominates(4, 10.0, 4, 10.0));
+        assert!(!dominates(5, 9.0, 4, 10.0), "trade-offs do not dominate");
+    }
+
+    #[test]
+    fn frontier_is_the_strictly_decreasing_staircase() {
+        let curve = [(2, 50.0), (3, 40.0), (4, 45.0), (5, 40.0), (6, 35.0)];
+        assert_eq!(frontier_indices(&curve), vec![0, 1, 4]);
+    }
+}

@@ -1,0 +1,430 @@
+//! The search engines: exhaustive enumeration of contiguous groupings
+//! (each solved exactly by a per-tile-count dynamic program) for small
+//! graphs, and a dominance-pruned beam search over grouping prefixes for
+//! large ones.  Both fan their work across a `std::thread` worker pool.
+
+use std::time::Instant;
+
+use crate::model::{Evaluator, GraphContext};
+use crate::space::{grouping_from_mask, mask_respects_group_size, Grouping, TileCandidates};
+
+/// Counters describing one search run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SearchStats {
+    /// Candidate (partial) mappings examined: one per dynamic-program or
+    /// beam transition, i.e. one per tile-allocation decision evaluated.
+    pub mappings_evaluated: u64,
+    /// Actor→column groupings examined.
+    pub groupings_examined: u64,
+    /// Partial solutions discarded by dominance pruning or the beam cap
+    /// (zero for the exhaustive engine, which prunes nothing).
+    pub states_pruned: u64,
+    /// Worker threads the search fanned out across.
+    pub threads_used: usize,
+    /// Wall-clock search time in seconds.
+    pub elapsed_seconds: f64,
+}
+
+/// One search result: a grouping plus a tile allocation and its evaluated
+/// cost.
+#[derive(Debug, Clone)]
+pub(crate) struct Candidate {
+    pub groups: Grouping,
+    pub allocation: Vec<u32>,
+    pub power_mw: f64,
+    pub feasible: bool,
+}
+
+/// The raw outcome of a search: for each reachable exact tile count, the
+/// best candidate found (the exhaustive engine covers every reachable
+/// count; the beam engine only retains non-dominated counts).
+pub(crate) struct SearchOutcome {
+    pub curve: Vec<Candidate>,
+    pub stats: SearchStats,
+}
+
+/// Per-interval candidate options: `(tiles, power, feasible)` for every
+/// candidate tile count of the contiguous actor group `start..end`.
+type IntervalOptions = Vec<(u32, f64, bool)>;
+
+/// Pre-evaluate every contiguous interval the search may use as one
+/// column group.  Interval costs are independent of the surrounding
+/// grouping, so this table is computed once and shared by every engine.
+fn interval_table(
+    ctx: &GraphContext,
+    evaluator: &Evaluator,
+    candidates: TileCandidates,
+    budget: u32,
+    max_group_size: usize,
+) -> Vec<Vec<Option<IntervalOptions>>> {
+    let n = ctx.n;
+    let mut table: Vec<Vec<Option<IntervalOptions>>> = vec![vec![None; n + 1]; n];
+    for (start, row) in table.iter_mut().enumerate() {
+        let end_limit = (start + max_group_size).min(n);
+        for (end, slot) in row
+            .iter_mut()
+            .enumerate()
+            .take(end_limit + 1)
+            .skip(start + 1)
+        {
+            let work = ctx.group_work(start, end);
+            let cap = ctx.group_cap(start, end);
+            let tokens = ctx.boundary_tokens(start, end);
+            let options = candidates
+                .for_group(cap, budget)
+                .into_iter()
+                .map(|tiles| {
+                    let col = evaluator.evaluate_column(work, cap, tokens, tiles);
+                    (tiles, col.power.total_mw(), col.within_envelope)
+                })
+                .collect();
+            *slot = Some(options);
+        }
+    }
+    table
+}
+
+fn better(power: f64, feasible: bool, than_power: f64, than_feasible: bool) -> bool {
+    // Feasible solutions always beat infeasible ones at the same tile
+    // count; otherwise strictly lower power wins (ties keep the
+    // incumbent, which makes the merge order-deterministic).
+    match (feasible, than_feasible) {
+        (true, false) => true,
+        (false, true) => false,
+        _ => power < than_power,
+    }
+}
+
+/// Solve one grouping exactly: a knapsack-style dynamic program over the
+/// groups that records, for every exact total tile count, the cheapest
+/// allocation.  Returns `dp[tiles] = (power, feasible, allocation)`.
+fn grouping_curve(
+    groups: &Grouping,
+    table: &[Vec<Option<IntervalOptions>>],
+    budget: u32,
+    evaluated: &mut u64,
+) -> Vec<Option<(f64, bool, Vec<u32>)>> {
+    let mut dp: Vec<Option<(f64, bool, Vec<u32>)>> = vec![None; budget as usize + 1];
+    dp[0] = Some((0.0, true, Vec::new()));
+    for &(start, end) in groups {
+        let options = table[start][end].as_ref().expect("interval inside table");
+        let mut next: Vec<Option<(f64, bool, Vec<u32>)>> = vec![None; budget as usize + 1];
+        for (used, cell) in dp.iter().enumerate() {
+            let Some((power, feasible, allocation)) = cell else {
+                continue;
+            };
+            for &(tiles, column_power, column_feasible) in options {
+                let total = used + tiles as usize;
+                if total > budget as usize {
+                    break;
+                }
+                *evaluated += 1;
+                let new_power = power + column_power;
+                let new_feasible = *feasible && column_feasible;
+                let slot = &mut next[total];
+                let improves = match slot {
+                    Some((p, f, _)) => better(new_power, new_feasible, *p, *f),
+                    None => true,
+                };
+                if improves {
+                    let mut alloc = allocation.clone();
+                    alloc.push(tiles);
+                    *slot = Some((new_power, new_feasible, alloc));
+                }
+            }
+        }
+        dp = next;
+    }
+    dp
+}
+
+/// Exhaustively enumerate every contiguous grouping (up to
+/// `max_group_size` actors per group) and solve each exactly, fanning the
+/// groupings across `threads` workers.  The merged curve holds, for every
+/// reachable exact tile count, the globally cheapest candidate.
+pub(crate) fn exhaustive(
+    ctx: &GraphContext,
+    evaluator: &Evaluator,
+    candidates: TileCandidates,
+    budget: u32,
+    max_group_size: usize,
+    threads: usize,
+) -> SearchOutcome {
+    let started = Instant::now();
+    let n = ctx.n;
+    let table = interval_table(ctx, evaluator, candidates, budget, max_group_size);
+
+    // Every grouping to solve.  The all-singleton grouping (one actor per
+    // column, the structure of every Table 4 mapping) is built directly;
+    // larger group sizes enumerate partition bitmasks.
+    let groupings: Vec<Grouping> = if max_group_size <= 1 {
+        vec![(0..n).map(|i| (i, i + 1)).collect()]
+    } else {
+        let all = 1u64 << (n - 1);
+        (0..all)
+            .filter(|&m| mask_respects_group_size(n, m, max_group_size))
+            .map(|m| grouping_from_mask(n, m))
+            .collect()
+    };
+
+    let workers = threads.max(1).min(groupings.len().max(1));
+    let chunk_size = groupings.len().div_ceil(workers);
+    let results: Vec<(Vec<Option<Candidate>>, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = groupings
+            .chunks(chunk_size.max(1))
+            .map(|chunk| {
+                let table = &table;
+                scope.spawn(move || {
+                    let mut local: Vec<Option<Candidate>> = vec![None; budget as usize + 1];
+                    let mut evaluated = 0u64;
+                    for groups in chunk {
+                        let dp = grouping_curve(groups, table, budget, &mut evaluated);
+                        for (tiles, cell) in dp.iter().enumerate().skip(1) {
+                            let Some((power, feasible, allocation)) = cell else {
+                                continue;
+                            };
+                            let slot = &mut local[tiles];
+                            let improves = match slot {
+                                Some(c) => better(*power, *feasible, c.power_mw, c.feasible),
+                                None => true,
+                            };
+                            if improves {
+                                *slot = Some(Candidate {
+                                    groups: groups.clone(),
+                                    allocation: allocation.clone(),
+                                    power_mw: *power,
+                                    feasible: *feasible,
+                                });
+                            }
+                        }
+                    }
+                    (local, evaluated)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+
+    let mut merged: Vec<Option<Candidate>> = vec![None; budget as usize + 1];
+    let mut evaluated = 0u64;
+    for (local, count) in results {
+        evaluated += count;
+        for (slot, candidate) in merged.iter_mut().zip(local) {
+            let Some(candidate) = candidate else { continue };
+            let improves = match slot {
+                Some(c) => better(
+                    candidate.power_mw,
+                    candidate.feasible,
+                    c.power_mw,
+                    c.feasible,
+                ),
+                None => true,
+            };
+            if improves {
+                *slot = Some(candidate);
+            }
+        }
+    }
+
+    SearchOutcome {
+        curve: merged.into_iter().flatten().collect(),
+        stats: SearchStats {
+            mappings_evaluated: evaluated,
+            groupings_examined: groupings.len() as u64,
+            states_pruned: 0,
+            threads_used: workers,
+            elapsed_seconds: started.elapsed().as_secs_f64(),
+        },
+    }
+}
+
+/// One partial solution of the beam search: the first `boundary` actors
+/// grouped and allocated.
+#[derive(Debug, Clone)]
+struct Partial {
+    tiles: u32,
+    power: f64,
+    feasible: bool,
+    groups: Grouping,
+    allocation: Vec<u32>,
+}
+
+/// Dominance-prune a layer: keep, per exact tile count, the cheapest
+/// partial, then drop any partial dominated by a cheaper-or-equal partial
+/// with fewer tiles.  Pruning across tile counts is sound for the best
+/// solution and the Pareto frontier because a prefix with fewer tiles and
+/// less power can absorb any completion its competitor can.
+///
+/// Two staircases survive: partials improving on every earlier partial
+/// overall, and feasible partials improving on every earlier *feasible*
+/// partial (so the cheapest feasible prefix is never shadowed by a
+/// cheaper infeasible one).  Each staircase is capped at `width` entries
+/// independently — a staircase holds at most one partial per tile count,
+/// so `width ≥ budget + 1` never drops anything and the beam stays exact.
+fn prune_layer(layer: &mut Vec<Partial>, width: usize, pruned: &mut u64) {
+    layer.sort_by(|a, b| {
+        a.tiles
+            .cmp(&b.tiles)
+            .then(a.power.partial_cmp(&b.power).expect("finite power"))
+    });
+    let before = layer.len();
+    let mut any_staircase: Vec<Partial> = Vec::new();
+    let mut feasible_staircase: Vec<Partial> = Vec::new();
+    let mut best_any = f64::INFINITY;
+    let mut best_feasible = f64::INFINITY;
+    for partial in layer.drain(..) {
+        let improves_any = partial.power < best_any;
+        let improves_feasible = partial.feasible && partial.power < best_feasible;
+        if improves_any {
+            best_any = partial.power;
+        }
+        if improves_feasible {
+            best_feasible = partial.power;
+        }
+        // A feasible partial on both staircases is stored once, on the
+        // feasible one (it survives the same cap either way: both
+        // staircases are strictly power-descending in tile order).
+        if improves_feasible {
+            feasible_staircase.push(partial);
+        } else if improves_any {
+            any_staircase.push(partial);
+        }
+    }
+    // Powers are strictly descending along each staircase; keep the
+    // lowest-power tail of each.
+    for staircase in [&mut any_staircase, &mut feasible_staircase] {
+        if staircase.len() > width {
+            staircase.drain(..staircase.len() - width);
+        }
+    }
+    let mut kept = any_staircase;
+    kept.append(&mut feasible_staircase);
+    kept.sort_by(|a, b| {
+        a.tiles
+            .cmp(&b.tiles)
+            .then(a.power.partial_cmp(&b.power).expect("finite power"))
+    });
+    *pruned += (before - kept.len()) as u64;
+    *layer = kept;
+}
+
+/// Beam search over grouping prefixes with dominance pruning: layer `i`
+/// holds partial solutions covering actors `0..i`; each step extends a
+/// layer with every possible next group, pruning each target layer to at
+/// most `width` non-dominated partials.  With `width ≥ budget + 1` the
+/// engine is exact for the best solution and the frontier.  Group-option
+/// evaluation fans out across `threads` workers per layer.
+pub(crate) fn beam(
+    ctx: &GraphContext,
+    evaluator: &Evaluator,
+    candidates: TileCandidates,
+    budget: u32,
+    max_group_size: usize,
+    width: usize,
+    threads: usize,
+) -> SearchOutcome {
+    let started = Instant::now();
+    let n = ctx.n;
+    let width = width.max(1);
+    let table = interval_table(ctx, evaluator, candidates, budget, max_group_size);
+
+    let mut layers: Vec<Vec<Partial>> = vec![Vec::new(); n + 1];
+    layers[0].push(Partial {
+        tiles: 0,
+        power: 0.0,
+        feasible: true,
+        groups: Vec::new(),
+        allocation: Vec::new(),
+    });
+    let mut evaluated = 0u64;
+    let mut groupings = 0u64;
+    let mut pruned = 0u64;
+    let workers = threads.max(1);
+
+    for i in 0..n {
+        if i > 0 {
+            prune_layer(&mut layers[i], width, &mut pruned);
+        }
+        if layers[i].is_empty() {
+            continue;
+        }
+        let ends: Vec<usize> = (i + 1..=(i + max_group_size).min(n)).collect();
+        let source = std::mem::take(&mut layers[i]);
+        // Fan the (end, partial) expansions across the worker pool.
+        let chunk_size = ends.len().div_ceil(workers).max(1);
+        let expansions: Vec<(usize, Vec<Partial>, u64)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = ends
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    let source = &source;
+                    let table = &table;
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        for &end in chunk {
+                            let options = table[i][end].as_ref().expect("interval inside table");
+                            let mut next = Vec::new();
+                            let mut count = 0u64;
+                            for partial in source {
+                                for &(tiles, power, feasible) in options {
+                                    let total = partial.tiles + tiles;
+                                    if total > budget {
+                                        break;
+                                    }
+                                    count += 1;
+                                    let mut groups = partial.groups.clone();
+                                    groups.push((i, end));
+                                    let mut allocation = partial.allocation.clone();
+                                    allocation.push(tiles);
+                                    next.push(Partial {
+                                        tiles: total,
+                                        power: partial.power + power,
+                                        feasible: partial.feasible && feasible,
+                                        groups,
+                                        allocation,
+                                    });
+                                }
+                            }
+                            out.push((end, next, count));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+        for (end, partials, count) in expansions {
+            evaluated += count;
+            if end == n {
+                groupings += partials.len() as u64;
+            }
+            layers[end].extend(partials);
+        }
+    }
+
+    prune_layer(&mut layers[n], width, &mut pruned);
+    let curve = layers[n]
+        .iter()
+        .map(|p| Candidate {
+            groups: p.groups.clone(),
+            allocation: p.allocation.clone(),
+            power_mw: p.power,
+            feasible: p.feasible,
+        })
+        .collect();
+    SearchOutcome {
+        curve,
+        stats: SearchStats {
+            mappings_evaluated: evaluated,
+            groupings_examined: groupings,
+            states_pruned: pruned,
+            threads_used: workers,
+            elapsed_seconds: started.elapsed().as_secs_f64(),
+        },
+    }
+}

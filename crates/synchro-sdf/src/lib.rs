@@ -392,6 +392,10 @@ impl SdfGraph {
 
 /// One actor's placement in a [`Mapping`]: how many tiles it gets and which
 /// columns host it.
+///
+/// The fields hold the values exactly as requested via [`Mapping::place`];
+/// nothing is clamped at insertion time, so [`Mapping::validate`] can
+/// report nonsensical placements instead of silently reshaping them.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Placement {
     /// The actor being placed.
@@ -402,6 +406,65 @@ pub struct Placement {
     /// (1.0 = perfect speedup; lower values model the communication and
     /// load-imbalance losses the paper's Figure 7 explores).
     pub efficiency: f64,
+}
+
+/// One problem found by [`Mapping::validate`]: a placement that the lenient
+/// accessors ([`Mapping::requirements`]) would otherwise silently reshape.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MappingViolation {
+    /// A placement references an actor the graph does not contain.
+    UnknownActor {
+        /// The dangling actor id.
+        actor: ActorId,
+    },
+    /// A placement assigns zero tiles.
+    ZeroTiles {
+        /// The actor placed on zero tiles.
+        actor: ActorId,
+    },
+    /// A placement assigns more tiles than the actor can use in parallel.
+    OverParallel {
+        /// The over-parallelised actor.
+        actor: ActorId,
+        /// Tiles the placement requested.
+        tiles: u32,
+        /// The actor's parallelism limit.
+        max_parallel_tiles: u32,
+    },
+    /// A placement's parallel efficiency lies outside `(0.0, 1.0]`.
+    EfficiencyOutOfRange {
+        /// The actor with the bad efficiency.
+        actor: ActorId,
+        /// The requested efficiency.
+        efficiency: f64,
+    },
+}
+
+impl fmt::Display for MappingViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingViolation::UnknownActor { actor } => {
+                write!(f, "placement references unknown actor {}", actor.0)
+            }
+            MappingViolation::ZeroTiles { actor } => {
+                write!(f, "actor {} is placed on zero tiles", actor.0)
+            }
+            MappingViolation::OverParallel {
+                actor,
+                tiles,
+                max_parallel_tiles,
+            } => write!(
+                f,
+                "actor {} is placed on {tiles} tiles but can only use {max_parallel_tiles}",
+                actor.0
+            ),
+            MappingViolation::EfficiencyOutOfRange { actor, efficiency } => write!(
+                f,
+                "actor {} has parallel efficiency {efficiency} outside (0, 1]",
+                actor.0
+            ),
+        }
+    }
 }
 
 /// An assignment of the graph's actors to tile groups.
@@ -429,11 +492,16 @@ impl Mapping {
     }
 
     /// Place `actor` on `tiles` tiles with the given parallel efficiency.
+    ///
+    /// The values are recorded verbatim; use [`Mapping::validate`] to check
+    /// them against a graph.  ([`Mapping::requirements`] clamps nonsensical
+    /// values while computing, for backwards compatibility, but compilers
+    /// should reject them loudly instead.)
     pub fn place(&mut self, actor: ActorId, tiles: u32, efficiency: f64) -> &mut Self {
         self.placements.push(Placement {
             actor,
-            tiles: tiles.max(1),
-            efficiency: efficiency.clamp(0.01, 1.0),
+            tiles,
+            efficiency,
         });
         self
     }
@@ -443,6 +511,38 @@ impl Mapping {
         &self.placements
     }
 
+    /// Check every placement against `graph` and report the problems the
+    /// lenient computations would otherwise paper over: unknown actors,
+    /// zero-tile placements, placements beyond an actor's parallelism
+    /// limit, and efficiencies outside `(0.0, 1.0]`.
+    ///
+    /// An empty vector means the mapping is well-formed.
+    pub fn validate(&self, graph: &SdfGraph) -> Vec<MappingViolation> {
+        let mut violations = Vec::new();
+        for p in &self.placements {
+            let Some(actor) = graph.actor(p.actor) else {
+                violations.push(MappingViolation::UnknownActor { actor: p.actor });
+                continue;
+            };
+            if p.tiles == 0 {
+                violations.push(MappingViolation::ZeroTiles { actor: p.actor });
+            } else if p.tiles > actor.max_parallel_tiles {
+                violations.push(MappingViolation::OverParallel {
+                    actor: p.actor,
+                    tiles: p.tiles,
+                    max_parallel_tiles: actor.max_parallel_tiles,
+                });
+            }
+            if !(p.efficiency > 0.0 && p.efficiency <= 1.0) {
+                violations.push(MappingViolation::EfficiencyOutOfRange {
+                    actor: p.actor,
+                    efficiency: p.efficiency,
+                });
+            }
+        }
+        violations
+    }
+
     /// Total tiles used by the mapping.
     pub fn total_tiles(&self) -> u32 {
         self.placements.iter().map(|p| p.tiles).sum()
@@ -450,6 +550,11 @@ impl Mapping {
 
     /// Compute, for every placed actor, the per-tile frequency needed to
     /// sustain `iterations_per_second` graph iterations per second.
+    ///
+    /// Nonsensical placements are clamped while computing (zero tiles to
+    /// one, tiles above the parallelism limit down to it, efficiency into
+    /// `[0.01, 1.0]`); run [`Mapping::validate`] first to detect and reject
+    /// them instead.
     ///
     /// # Errors
     ///
@@ -468,7 +573,8 @@ impl Mapping {
                 .ok_or(SdfError::UnknownActor { id: p.actor })?;
             let rep = reps[p.actor.0] as f64;
             let cycles_per_iteration = actor.cycles_per_firing as f64 * rep;
-            let effective_tiles = f64::from(p.tiles.min(actor.max_parallel_tiles)) * p.efficiency;
+            let effective_tiles = f64::from(p.tiles.clamp(1, actor.max_parallel_tiles))
+                * p.efficiency.clamp(0.01, 1.0);
             let cycles_per_tile = cycles_per_iteration / effective_tiles;
             let hz = cycles_per_tile * iterations_per_second;
             out.push(PlacementRequirement {
@@ -656,5 +762,75 @@ mod tests {
     fn error_display_is_informative() {
         assert!(SdfError::Empty.to_string().contains("no actors"));
         assert!(SdfError::Inconsistent { edge: 3 }.to_string().contains('3'));
+    }
+
+    #[test]
+    fn validate_accepts_wellformed_mappings() {
+        let (g, mixer, integ, comb) = ddc_like();
+        let mut m = Mapping::new();
+        m.place(mixer, 8, 1.0);
+        m.place(integ, 8, 0.9);
+        m.place(comb, 2, 1.0);
+        assert!(m.validate(&g).is_empty());
+    }
+
+    #[test]
+    fn validate_reports_zero_tile_and_over_parallel_placements() {
+        let (g, mixer, _, comb) = ddc_like();
+        let mut m = Mapping::new();
+        m.place(mixer, 0, 1.0);
+        m.place(comb, 9, 1.0); // comb can use at most 4 tiles
+        let violations = m.validate(&g);
+        assert_eq!(violations.len(), 2);
+        assert!(matches!(
+            violations[0],
+            MappingViolation::ZeroTiles { actor } if actor == mixer
+        ));
+        assert!(matches!(
+            violations[1],
+            MappingViolation::OverParallel { actor, tiles: 9, max_parallel_tiles: 4 }
+                if actor == comb
+        ));
+    }
+
+    #[test]
+    fn validate_reports_unknown_actors_and_bad_efficiency() {
+        let (g, mixer, ..) = ddc_like();
+        let mut m = Mapping::new();
+        m.place(ActorId(17), 2, 1.0);
+        m.place(mixer, 4, 0.0);
+        m.place(mixer, 4, 1.5);
+        let violations = m.validate(&g);
+        assert_eq!(violations.len(), 3);
+        assert!(matches!(
+            violations[0],
+            MappingViolation::UnknownActor { actor: ActorId(17) }
+        ));
+        assert!(matches!(
+            violations[1],
+            MappingViolation::EfficiencyOutOfRange { .. }
+        ));
+        assert!(matches!(
+            violations[2],
+            MappingViolation::EfficiencyOutOfRange { .. }
+        ));
+        for v in &violations {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn requirements_still_clamp_raw_placements() {
+        // Backwards compatibility: the lenient computation reshapes what
+        // validate() reports, so legacy callers keep working.
+        let (g, mixer, ..) = ddc_like();
+        let mut zero = Mapping::new();
+        zero.place(mixer, 0, 1.0);
+        let mut one = Mapping::new();
+        one.place(mixer, 1, 1.0);
+        let rz = zero.requirements(&g, 1e6).unwrap();
+        let ro = one.requirements(&g, 1e6).unwrap();
+        assert!((rz[0].frequency_mhz - ro[0].frequency_mhz).abs() < 1e-9);
+        assert!(rz[0].frequency_mhz.is_finite());
     }
 }
