@@ -6,32 +6,25 @@
 //! winners execute and cross-validate on the cycle-accurate simulator.
 //!
 //! Part 2 measures search throughput (candidate mappings evaluated per
-//! second) on a synthetic 10-stage pipeline, single- versus
-//! multi-threaded, and records the numbers in `BENCH_explorer.json`.
+//! second) over a workload matrix — graph sizes × tile budgets, single-
+//! versus multi-threaded — and records the full matrix in
+//! `BENCH_explorer.json`.  Pass `--quick` to shrink the matrix to one
+//! tiny workload so CI can smoke the JSON-emitting path without timing
+//! noise.
 
-use bench::rule;
+use bench::{rule, synthetic_pipeline};
 use synchro_power::Technology;
 use synchroscalar::experiments::auto_mapping_summary;
-use synchroscalar::explorer::{explore, ExplorerConfig, SearchStrategy, TileCandidates};
+use synchroscalar::explorer::{
+    explore, ExplorerConfig, SearchStrategy, TileCandidates, EXHAUSTIVE_ACTOR_LIMIT,
+};
 use synchroscalar::sdf::SdfGraph;
 
-/// A synthetic deep pipeline stressing the grouping × allocation space.
-fn synthetic_pipeline(stages: usize) -> SdfGraph {
-    let mut graph = SdfGraph::new();
-    let mut prev = None;
-    for i in 0..stages {
-        // Varied costs and caps so no two stages are interchangeable.
-        let cycles = 40 + 97 * (i as u64 % 5) + 13 * i as u64;
-        let cap = [4u32, 8, 16, 32][i % 4];
-        let actor = graph.add_actor(format!("stage{i}"), cycles, cap);
-        if let Some(p) = prev {
-            graph.add_edge(p, actor, 1, 1, 0).expect("valid edge");
-        }
-        prev = Some(actor);
-    }
-    graph
-}
+/// Measurement repetitions per cell; the fastest run is recorded (least
+/// scheduler interference).
+const RUNS: usize = 3;
 
+#[derive(Clone)]
 struct Throughput {
     threads: usize,
     mappings: u64,
@@ -39,22 +32,122 @@ struct Throughput {
     mappings_per_sec: f64,
 }
 
-fn measure(graph: &SdfGraph, threads: usize) -> Throughput {
-    let config = ExplorerConfig::new(1e6, 64)
-        .with_threads(threads)
-        .with_candidates(TileCandidates::All)
-        .with_strategy(SearchStrategy::Exhaustive);
-    let exploration = explore(graph, &config).expect("synthetic pipeline explores");
-    Throughput {
-        threads: exploration.stats.threads_used,
-        mappings: exploration.stats.mappings_evaluated,
-        elapsed_seconds: exploration.stats.elapsed_seconds,
-        mappings_per_sec: exploration.stats.mappings_evaluated as f64
-            / exploration.stats.elapsed_seconds.max(1e-9),
+struct MatrixRow {
+    stages: usize,
+    budget: u32,
+    strategy_name: &'static str,
+    single: Throughput,
+    multi: Throughput,
+}
+
+impl MatrixRow {
+    /// Multi- over single-threaded throughput, or `None` on a one-core
+    /// host where the ratio would be meaningless noise.
+    fn speedup(&self, one_core: bool) -> Option<f64> {
+        (!one_core).then(|| self.multi.mappings_per_sec / self.single.mappings_per_sec.max(1e-9))
     }
 }
 
+fn workload_config(stages: usize, budget: u32) -> (ExplorerConfig, &'static str) {
+    // Graphs beyond the library's exhaustive limit use the (exact-width)
+    // beam engine: the exhaustive engine enumerates 2^(stages−1)
+    // groupings.
+    let strategy = if stages <= EXHAUSTIVE_ACTOR_LIMIT {
+        (SearchStrategy::Exhaustive, "exhaustive")
+    } else {
+        (
+            SearchStrategy::Beam {
+                width: budget as usize + 1,
+            },
+            "beam",
+        )
+    };
+    (
+        ExplorerConfig::new(1e6, budget)
+            .with_candidates(TileCandidates::All)
+            .with_strategy(strategy.0),
+        strategy.1,
+    )
+}
+
+fn measure(graph: &SdfGraph, config: &ExplorerConfig, threads: usize) -> Throughput {
+    let config = config.clone().with_threads(threads);
+    let mut best: Option<Throughput> = None;
+    for _ in 0..RUNS {
+        let exploration = explore(graph, &config).expect("synthetic pipeline explores");
+        let run = Throughput {
+            threads: exploration.stats.threads_used,
+            mappings: exploration.stats.mappings_evaluated,
+            elapsed_seconds: exploration.stats.elapsed_seconds,
+            mappings_per_sec: exploration.stats.mappings_evaluated as f64
+                / exploration.stats.elapsed_seconds.max(1e-9),
+        };
+        if best
+            .as_ref()
+            .is_none_or(|b| run.elapsed_seconds < b.elapsed_seconds)
+        {
+            best = Some(run);
+        }
+    }
+    best.expect("at least one run")
+}
+
+fn measure_row(stages: usize, budget: u32, multi_threads: usize) -> MatrixRow {
+    let graph = synthetic_pipeline(stages);
+    let (config, strategy_name) = workload_config(stages, budget);
+    let single = measure(&graph, &config, 1);
+    // On a one-core host the multi-threaded run is the same measurement;
+    // don't burn RUNS extra explorations per cell repeating it.
+    let multi = if multi_threads <= 1 {
+        single.clone()
+    } else {
+        let multi = measure(&graph, &config, multi_threads);
+        assert_eq!(
+            single.mappings, multi.mappings,
+            "thread count must not change the search space"
+        );
+        multi
+    };
+    MatrixRow {
+        stages,
+        budget,
+        strategy_name,
+        single,
+        multi,
+    }
+}
+
+fn row_json(row: &MatrixRow, one_core: bool) -> String {
+    let speedup = match row.speedup(one_core) {
+        None => "null".to_string(),
+        Some(s) => format!("{s:.3}"),
+    };
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"workload\": {{\"stages\": {}, \"tile_budget\": {}, \"candidates\": \"all\", \"strategy\": \"{}\"}},\n",
+            "      \"mappings_evaluated\": {},\n",
+            "      \"single_threaded\": {{\"threads\": 1, \"elapsed_seconds\": {:.6}, \"mappings_per_sec\": {:.0}}},\n",
+            "      \"multi_threaded\": {{\"threads\": {}, \"elapsed_seconds\": {:.6}, \"mappings_per_sec\": {:.0}}},\n",
+            "      \"speedup\": {}\n",
+            "    }}"
+        ),
+        row.stages,
+        row.budget,
+        row.strategy_name,
+        row.single.mappings,
+        row.single.elapsed_seconds,
+        row.single.mappings_per_sec,
+        row.multi.threads,
+        row.multi.elapsed_seconds,
+        row.multi.mappings_per_sec,
+        speedup,
+    )
+}
+
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+
     // Part 1 — the whole suite through graph → auto-map → chip.
     let rows = auto_mapping_summary(&Technology::isca2004());
     println!("Automatic mapping at the Table 4 tile budgets:");
@@ -91,46 +184,77 @@ fn main() {
         "auto mappings must not cost more than the hand-built references"
     );
 
-    // Part 2 — search throughput, single- vs multi-threaded.
-    let graph = synthetic_pipeline(10);
-    let single = measure(&graph, 1);
-    let multi = measure(&graph, 0);
-    println!("\nSearch throughput (10-stage synthetic pipeline, 64-tile budget, all candidates):");
-    println!(
-        "  1 thread : {:>12.0} mappings/s ({} mappings in {:.3} s)",
-        single.mappings_per_sec, single.mappings, single.elapsed_seconds
-    );
-    println!(
-        "  {} threads: {:>12.0} mappings/s ({} mappings in {:.3} s, {:.2}x)",
-        multi.threads,
-        multi.mappings_per_sec,
-        multi.mappings,
-        multi.elapsed_seconds,
-        multi.mappings_per_sec / single.mappings_per_sec.max(1e-9)
-    );
-    assert_eq!(
-        single.mappings, multi.mappings,
-        "thread count must not change the search space"
-    );
+    // Part 2 — search throughput over the workload matrix.  Resolve the
+    // multi-thread count *before* measuring so the record reports the
+    // count that actually ran, not the `0 = auto` placeholder.
+    let multi_threads = ExplorerConfig::new(1e6, 64).resolved_threads();
+    let one_core = multi_threads <= 1;
+    if one_core {
+        println!(
+            "\nwarning: only one core available; multi-threaded rows duplicate the \
+             single-threaded measurement and no speedup is reported"
+        );
+    }
+    let matrix: Vec<(usize, u32)> = if quick {
+        vec![(6, 16)]
+    } else {
+        let mut cells = Vec::new();
+        for &stages in &[10usize, 16, 24] {
+            for &budget in &[64u32, 128, 256] {
+                cells.push((stages, budget));
+            }
+        }
+        cells
+    };
 
+    println!(
+        "\nSearch throughput matrix ({} matrix, all tile candidates, best of {RUNS} runs):",
+        if quick { "quick" } else { "full" }
+    );
+    rule(100);
+    println!(
+        "{:>6} {:>7} {:>11} {:>14} {:>16} {:>16} {:>9}",
+        "Stages", "Budget", "Strategy", "Mappings", "1-thread M/s", "N-thread M/s", "Speedup"
+    );
+    rule(100);
+    let mut measured = Vec::new();
+    for (stages, budget) in matrix {
+        let row = measure_row(stages, budget, multi_threads);
+        let speedup = match row.speedup(one_core) {
+            None => "n/a".to_string(),
+            Some(s) => format!("{s:.2}x"),
+        };
+        println!(
+            "{:>6} {:>7} {:>11} {:>14} {:>16.1} {:>16.1} {:>9}",
+            row.stages,
+            row.budget,
+            row.strategy_name,
+            row.single.mappings,
+            row.single.mappings_per_sec / 1e6,
+            row.multi.mappings_per_sec / 1e6,
+            speedup
+        );
+        measured.push(row);
+    }
+    rule(100);
+
+    let rows_json: Vec<String> = measured.iter().map(|r| row_json(r, one_core)).collect();
     let json = format!(
         concat!(
             "{{\n",
             "  \"bench\": \"explorer\",\n",
-            "  \"workload\": {{\"stages\": 10, \"tile_budget\": 64, \"candidates\": \"all\", \"strategy\": \"exhaustive\"}},\n",
-            "  \"mappings_evaluated\": {},\n",
-            "  \"single_threaded\": {{\"threads\": 1, \"elapsed_seconds\": {:.6}, \"mappings_per_sec\": {:.0}}},\n",
-            "  \"multi_threaded\": {{\"threads\": {}, \"elapsed_seconds\": {:.6}, \"mappings_per_sec\": {:.0}}},\n",
-            "  \"speedup\": {:.3}\n",
+            "  \"quick\": {},\n",
+            "  \"threads_resolved\": {},\n",
+            "  \"runs_per_cell\": {},\n",
+            "  \"workloads\": [\n",
+            "{}\n",
+            "  ]\n",
             "}}\n"
         ),
-        single.mappings,
-        single.elapsed_seconds,
-        single.mappings_per_sec,
-        multi.threads,
-        multi.elapsed_seconds,
-        multi.mappings_per_sec,
-        multi.mappings_per_sec / single.mappings_per_sec.max(1e-9),
+        quick,
+        multi_threads,
+        RUNS,
+        rows_json.join(",\n"),
     );
     std::fs::write("BENCH_explorer.json", &json).expect("write BENCH_explorer.json");
     println!("\nPerf record written to BENCH_explorer.json");

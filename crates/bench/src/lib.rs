@@ -24,6 +24,28 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use synchroscalar::sdf::SdfGraph;
+
+/// The synthetic deep pipeline the explorer perf record and the search-core
+/// criterion benches share: varied per-stage costs and parallelism caps so
+/// no two stages are interchangeable and the grouping × allocation space
+/// has no symmetric shortcuts.  The committed `BENCH_explorer.json` numbers
+/// are pinned to this exact workload.
+pub fn synthetic_pipeline(stages: usize) -> SdfGraph {
+    let mut graph = SdfGraph::new();
+    let mut prev = None;
+    for i in 0..stages {
+        let cycles = 40 + 97 * (i as u64 % 5) + 13 * i as u64;
+        let cap = [4u32, 8, 16, 32][i % 4];
+        let actor = graph.add_actor(format!("stage{i}"), cycles, cap);
+        if let Some(p) = prev {
+            graph.add_edge(p, actor, 1, 1, 0).expect("valid edge");
+        }
+        prev = Some(actor);
+    }
+    graph
+}
+
 /// Format a floating point value with a fixed width for table output.
 pub fn fmt_f(value: f64, width: usize, decimals: usize) -> String {
     format!("{value:>width$.decimals$}")

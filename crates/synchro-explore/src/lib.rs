@@ -18,7 +18,11 @@
 //! groupings (each grouping solved exactly by a per-tile-count dynamic
 //! program); large graphs fall back to a dominance-pruned beam search
 //! over grouping prefixes.  Both engines fan out across a `std::thread`
-//! worker pool.
+//! worker pool and run an allocation-free hot path: interval costs live
+//! in one flat arena, DP states carry backpointers instead of cloned
+//! allocation vectors, and the exhaustive engine work-steals grouping
+//! chunks off an atomic cursor so skewed groupings cannot idle workers
+//! (see the README's "Performance" section).
 //!
 //! A solution [`realize`](ExplorerSolution::realize)s back into a plain
 //! `(SdfGraph, Mapping)` pair — the original graph for single-actor
@@ -153,8 +157,10 @@ pub enum SearchStrategy {
 }
 
 /// Above this actor count [`SearchStrategy::Auto`] switches from
-/// exhaustive grouping enumeration (2^(n−1) groupings) to beam search.
-const EXHAUSTIVE_ACTOR_LIMIT: usize = 16;
+/// exhaustive grouping enumeration (2^(n−1) groupings) to beam search,
+/// and [`SearchStrategy::Exhaustive`] is rejected outright (public so
+/// harnesses picking a strategy per workload stay in sync).
+pub const EXHAUSTIVE_ACTOR_LIMIT: usize = 16;
 
 /// Configuration of one exploration.
 #[derive(Debug, Clone)]
@@ -236,7 +242,11 @@ impl ExplorerConfig {
         self
     }
 
-    fn resolved_threads(&self) -> usize {
+    /// The worker-thread count this configuration actually runs with:
+    /// `threads` when non-zero, otherwise one per available core.  Public
+    /// so benchmarks can resolve the count *before* measuring and report
+    /// it honestly (a `threads: 0` row in a perf record is meaningless).
+    pub fn resolved_threads(&self) -> usize {
         if self.threads > 0 {
             self.threads
         } else {
@@ -445,7 +455,19 @@ pub fn explore(graph: &SdfGraph, config: &ExplorerConfig) -> Result<Exploration,
     let mut curve: Vec<ExplorerSolution> = outcome
         .curve
         .iter()
-        .map(|c| realize_candidate(graph, &ctx, &evaluator, &c.groups, &c.allocation))
+        .map(|c| {
+            let solution = realize_candidate(graph, &ctx, &evaluator, &c.groups, &c.allocation);
+            // The search engines accumulate cost layer by layer in the
+            // same order realization sums it, so the backpointer DP's
+            // totals must agree bit-for-bit with the re-evaluation.
+            debug_assert_eq!(
+                solution.power_mw.to_bits(),
+                c.power_mw.to_bits(),
+                "search cost diverged from realized cost"
+            );
+            debug_assert_eq!(solution.feasible, c.feasible);
+            solution
+        })
         .collect();
     // One entry per tile count: feasible beats infeasible, then lower
     // power wins (the beam engine can surface both a cheap infeasible and
@@ -537,6 +559,67 @@ pub fn evaluate_mapping(
         &groups,
         &allocation,
     ))
+}
+
+/// Stable hooks for the repo's criterion benches, exposing the search
+/// core's internal stages (interval-arena build, single-grouping DP) so
+/// per-stage regressions are visible without making the internals part of
+/// the supported API.  Not for downstream use.
+#[doc(hidden)]
+pub mod perf {
+    use crate::model::{Evaluator, GraphContext};
+    use crate::search::{grouping_dp, DpScratch, IntervalArena};
+    use crate::{ExplorerConfig, ExplorerError};
+    use synchro_sdf::SdfGraph;
+
+    /// A graph analysed and interval-evaluated once, ready to run DP
+    /// passes without rebuilding the arena.
+    pub struct PreparedSearch {
+        arena: IntervalArena,
+        scratch: DpScratch,
+        singleton: Vec<(usize, usize)>,
+        budget: u32,
+    }
+
+    impl PreparedSearch {
+        /// Analyse `graph` and build the interval arena under `config`.
+        ///
+        /// # Errors
+        ///
+        /// Propagates graph-analysis failures.
+        pub fn new(graph: &SdfGraph, config: &ExplorerConfig) -> Result<Self, ExplorerError> {
+            let ctx = GraphContext::new(graph)?;
+            let evaluator =
+                Evaluator::new(&config.tech, config.iteration_rate_hz, config.efficiency);
+            let max_group_size = config.max_group_size.clamp(1, ctx.n.max(1));
+            let arena = IntervalArena::build(
+                &ctx,
+                &evaluator,
+                config.candidates,
+                config.tile_budget,
+                max_group_size,
+            );
+            let singleton = (0..ctx.n).map(|i| (i, i + 1)).collect();
+            Ok(PreparedSearch {
+                arena,
+                scratch: DpScratch::new(config.tile_budget, ctx.n),
+                singleton,
+                budget: config.tile_budget,
+            })
+        }
+
+        /// Total interval options evaluated into the arena.
+        pub fn option_count(&self) -> usize {
+            self.arena.option_count()
+        }
+
+        /// Run the backpointer DP over the all-singleton grouping and
+        /// return the transitions examined (the unit `mappings/s`
+        /// counts).
+        pub fn singleton_dp(&mut self) -> u64 {
+            grouping_dp(&self.singleton, &self.arena, self.budget, &mut self.scratch)
+        }
+    }
 }
 
 /// Re-evaluate a candidate's columns in full detail and package it as a

@@ -10,6 +10,8 @@
 //! roll dynamic tile power, column-bus interconnect power and leakage
 //! into a per-column total.
 
+use std::collections::HashMap;
+
 use synchro_power::{
     ColumnActivity, ColumnPower, InterconnectModel, LeakageModel, Technology, TilePowerModel,
     VfCurve,
@@ -182,6 +184,39 @@ impl Evaluator {
     }
 }
 
+/// Memoizes the `(total power, within envelope)` outcome of
+/// [`Evaluator::evaluate_column`] per `(work, cap, tokens, tiles)` key.
+///
+/// Distinct intervals of one graph frequently share a key (repeated
+/// actors, symmetric caps, zero-traffic boundaries), and the VF lookup
+/// plus the three power models dominate the interval-table build; one
+/// hash probe replaces them for every repeat.
+#[derive(Debug, Default)]
+pub(crate) struct EvalCache {
+    map: HashMap<(u64, u32, u64, u32), (f64, bool)>,
+}
+
+impl EvalCache {
+    /// The `(total power mW, within envelope)` of one candidate column,
+    /// evaluating at most once per distinct key.
+    pub fn power_of(
+        &mut self,
+        evaluator: &Evaluator,
+        work: u64,
+        cap: u32,
+        tokens: u64,
+        tiles: u32,
+    ) -> (f64, bool) {
+        *self
+            .map
+            .entry((work, cap, tokens, tiles))
+            .or_insert_with(|| {
+                let col = evaluator.evaluate_column(work, cap, tokens, tiles);
+                (col.power.total_mw(), col.within_envelope)
+            })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,5 +281,19 @@ mod tests {
         let col = eval.evaluate_column(5_000, 1, 0, 1);
         assert!(!col.within_envelope);
         assert!(col.voltage > 1.7);
+    }
+
+    #[test]
+    fn eval_cache_is_bit_identical_to_direct_evaluation() {
+        let eval = Evaluator::new(&Technology::isca2004(), 16e6, 1.0);
+        let mut cache = EvalCache::default();
+        for (work, cap, tokens, tiles) in
+            [(60u64, 16u32, 4u64, 8u32), (100, 16, 8, 8), (60, 16, 4, 8)]
+        {
+            let direct = eval.evaluate_column(work, cap, tokens, tiles);
+            let (power, feasible) = cache.power_of(&eval, work, cap, tokens, tiles);
+            assert_eq!(power.to_bits(), direct.power.total_mw().to_bits());
+            assert_eq!(feasible, direct.within_envelope);
+        }
     }
 }

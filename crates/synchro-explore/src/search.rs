@@ -2,11 +2,21 @@
 //! (each solved exactly by a per-tile-count dynamic program) for small
 //! graphs, and a dominance-pruned beam search over grouping prefixes for
 //! large ones.  Both fan their work across a `std::thread` worker pool.
+//!
+//! The hot path is allocation-free: interval options live in one
+//! contiguous [`IntervalArena`], the per-grouping dynamic program keeps
+//! backpointer-indexed states in a reusable [`DpScratch`] (winning
+//! allocations are reconstructed only when a grouping actually improves a
+//! worker's incumbent), and the exhaustive engine load-balances skewed
+//! groupings by work-stealing chunks off an atomic cursor.  A clone-based
+//! reference implementation of the grouping DP is retained under
+//! `#[cfg(test)]` and property-tested for exact agreement.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-use crate::model::{Evaluator, GraphContext};
-use crate::space::{grouping_from_mask, mask_respects_group_size, Grouping, TileCandidates};
+use crate::model::{EvalCache, Evaluator, GraphContext};
+use crate::space::{grouping_from_mask_into, mask_respects_group_size, Grouping, TileCandidates};
 
 /// Counters describing one search run.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -43,45 +53,93 @@ pub(crate) struct SearchOutcome {
     pub stats: SearchStats,
 }
 
-/// Per-interval candidate options: `(tiles, power, feasible)` for every
-/// candidate tile count of the contiguous actor group `start..end`.
-type IntervalOptions = Vec<(u32, f64, bool)>;
+/// One pre-evaluated tile option of a contiguous interval.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct IntervalOption {
+    /// Candidate tile count.
+    pub tiles: u32,
+    /// Whether the operating point fits the supply envelope.
+    pub feasible: bool,
+    /// Total column power at this tile count (mW).
+    pub power: f64,
+}
 
-/// Pre-evaluate every contiguous interval the search may use as one
-/// column group.  Interval costs are independent of the surrounding
-/// grouping, so this table is computed once and shared by every engine.
-fn interval_table(
-    ctx: &GraphContext,
-    evaluator: &Evaluator,
-    candidates: TileCandidates,
-    budget: u32,
-    max_group_size: usize,
-) -> Vec<Vec<Option<IntervalOptions>>> {
-    let n = ctx.n;
-    let mut table: Vec<Vec<Option<IntervalOptions>>> = vec![vec![None; n + 1]; n];
-    for (start, row) in table.iter_mut().enumerate() {
-        let end_limit = (start + max_group_size).min(n);
-        for (end, slot) in row
-            .iter_mut()
-            .enumerate()
-            .take(end_limit + 1)
-            .skip(start + 1)
-        {
-            let work = ctx.group_work(start, end);
-            let cap = ctx.group_cap(start, end);
-            let tokens = ctx.boundary_tokens(start, end);
-            let options = candidates
-                .for_group(cap, budget)
-                .into_iter()
-                .map(|tiles| {
-                    let col = evaluator.evaluate_column(work, cap, tokens, tiles);
-                    (tiles, col.power.total_mw(), col.within_envelope)
-                })
-                .collect();
-            *slot = Some(options);
+/// Pre-evaluated options of every contiguous interval the search may use
+/// as one column group, stored as one contiguous arena with a parallel
+/// offsets array indexed by `(start, end)`.
+///
+/// Interval costs are independent of the surrounding grouping, so the
+/// arena is computed once and shared (read-only) by every worker; the
+/// flat layout keeps the DP's option scans on sequential cache lines
+/// instead of chasing `Vec<Vec<Option<Vec<_>>>>` indirections.
+pub(crate) struct IntervalArena {
+    /// Row stride of the offsets table (`n + 1` end slots per start).
+    stride: usize,
+    /// `offsets[start * stride + end] .. offsets[start * stride + end + 1]`
+    /// bounds the options of interval `start..end` (empty for intervals
+    /// the search never uses).
+    offsets: Vec<u32>,
+    /// All interval options, grouped by interval, tiles ascending.
+    options: Vec<IntervalOption>,
+}
+
+impl IntervalArena {
+    /// Evaluate every usable interval of `ctx` once.  Candidate tile
+    /// counts are produced into one reusable scratch buffer and the
+    /// VF/power model lookups are memoized across intervals sharing the
+    /// same `(work, cap, tokens, tiles)` key.
+    pub fn build(
+        ctx: &GraphContext,
+        evaluator: &Evaluator,
+        candidates: TileCandidates,
+        budget: u32,
+        max_group_size: usize,
+    ) -> Self {
+        let n = ctx.n;
+        let stride = n + 1;
+        let mut offsets = Vec::with_capacity(n * stride + 1);
+        let mut options = Vec::new();
+        let mut tile_scratch = Vec::new();
+        let mut cache = EvalCache::default();
+        offsets.push(0u32);
+        for start in 0..n {
+            let end_limit = (start + max_group_size).min(n);
+            for end in 0..stride {
+                if end > start && end <= end_limit {
+                    let work = ctx.group_work(start, end);
+                    let cap = ctx.group_cap(start, end);
+                    let tokens = ctx.boundary_tokens(start, end);
+                    candidates.for_group_into(cap, budget, &mut tile_scratch);
+                    for &tiles in &tile_scratch {
+                        let (power, feasible) = cache.power_of(evaluator, work, cap, tokens, tiles);
+                        options.push(IntervalOption {
+                            tiles,
+                            feasible,
+                            power,
+                        });
+                    }
+                }
+                offsets.push(options.len() as u32);
+            }
+        }
+        IntervalArena {
+            stride,
+            offsets,
+            options,
         }
     }
-    table
+
+    /// The options of interval `start..end`, tiles ascending.
+    #[inline]
+    pub fn options(&self, start: usize, end: usize) -> &[IntervalOption] {
+        let idx = start * self.stride + end;
+        &self.options[self.offsets[idx] as usize..self.offsets[idx + 1] as usize]
+    }
+
+    /// Total options stored across all intervals.
+    pub fn option_count(&self) -> usize {
+        self.options.len()
+    }
 }
 
 fn better(power: f64, feasible: bool, than_power: f64, than_feasible: bool) -> bool {
@@ -95,53 +153,172 @@ fn better(power: f64, feasible: bool, than_power: f64, than_feasible: bool) -> b
     }
 }
 
+/// Reusable dynamic-program state for one worker: two tile-count layers
+/// (current and next) plus the per-layer winning tile choices that let a
+/// finished curve reconstruct its allocation without per-transition
+/// clones.  `power == f64::INFINITY` marks an unreachable cell.
+pub(crate) struct DpScratch {
+    power: Vec<f64>,
+    feasible: Vec<bool>,
+    next_power: Vec<f64>,
+    next_feasible: Vec<bool>,
+    /// `choices[layer * (budget + 1) + total]` = tiles the winner of that
+    /// cell assigned to group `layer`; walking layers backwards from a
+    /// final cell reconstructs its allocation.
+    choices: Vec<u32>,
+    /// Largest reachable total of the final layer (0 when even the empty
+    /// prefix is gone, i.e. the grouping cannot fit the budget).
+    reach_max: usize,
+}
+
+impl DpScratch {
+    pub fn new(budget: u32, max_groups: usize) -> Self {
+        let cells = budget as usize + 1;
+        DpScratch {
+            power: vec![f64::INFINITY; cells],
+            feasible: vec![false; cells],
+            next_power: vec![f64::INFINITY; cells],
+            next_feasible: vec![false; cells],
+            choices: vec![0; cells * max_groups.max(1)],
+            reach_max: 0,
+        }
+    }
+
+    /// The `(power, feasible)` of the final layer's cell at `total`
+    /// tiles, if reachable.
+    fn cell(&self, total: usize) -> Option<(f64, bool)> {
+        if self.power[total].is_finite() {
+            Some((self.power[total], self.feasible[total]))
+        } else {
+            None
+        }
+    }
+
+    /// Walk the recorded choices backwards to reconstruct the allocation
+    /// of the final-layer cell at `total` tiles (one tile count per
+    /// group, pipeline order).
+    fn reconstruct(&self, groups: usize, cells: usize, total: usize) -> Vec<u32> {
+        let mut allocation = vec![0u32; groups];
+        let mut remaining = total;
+        for (layer, slot) in allocation.iter_mut().enumerate().rev() {
+            let tiles = self.choices[layer * cells + remaining];
+            *slot = tiles;
+            remaining -= tiles as usize;
+        }
+        debug_assert_eq!(remaining, 0, "choice chain must end at zero tiles");
+        allocation
+    }
+}
+
 /// Solve one grouping exactly: a knapsack-style dynamic program over the
 /// groups that records, for every exact total tile count, the cheapest
-/// allocation.  Returns `dp[tiles] = (power, feasible, allocation)`.
-fn grouping_curve(
-    groups: &Grouping,
-    table: &[Vec<Option<IntervalOptions>>],
+/// cost and a backpointer (the tiles assigned to the last group), leaving
+/// the full curve in `scratch`.  Returns the transitions examined.
+pub(crate) fn grouping_dp(
+    groups: &[(usize, usize)],
+    arena: &IntervalArena,
     budget: u32,
-    evaluated: &mut u64,
-) -> Vec<Option<(f64, bool, Vec<u32>)>> {
-    let mut dp: Vec<Option<(f64, bool, Vec<u32>)>> = vec![None; budget as usize + 1];
-    dp[0] = Some((0.0, true, Vec::new()));
-    for &(start, end) in groups {
-        let options = table[start][end].as_ref().expect("interval inside table");
-        let mut next: Vec<Option<(f64, bool, Vec<u32>)>> = vec![None; budget as usize + 1];
-        for (used, cell) in dp.iter().enumerate() {
-            let Some((power, feasible, allocation)) = cell else {
+    scratch: &mut DpScratch,
+) -> u64 {
+    let cells = budget as usize + 1;
+    scratch.power[..cells].fill(f64::INFINITY);
+    scratch.feasible[..cells].fill(false);
+    scratch.power[0] = 0.0;
+    scratch.feasible[0] = true;
+    let mut reach_max = 0usize;
+    let mut transitions = 0u64;
+    for (layer, &(start, end)) in groups.iter().enumerate() {
+        let options = arena.options(start, end);
+        scratch.next_power[..cells].fill(f64::INFINITY);
+        scratch.next_feasible[..cells].fill(false);
+        let choice_row = &mut scratch.choices[layer * cells..(layer + 1) * cells];
+        let mut next_max = 0usize;
+        for used in 0..=reach_max {
+            let base_power = scratch.power[used];
+            if !base_power.is_finite() {
                 continue;
-            };
-            for &(tiles, column_power, column_feasible) in options {
-                let total = used + tiles as usize;
-                if total > budget as usize {
+            }
+            let base_feasible = scratch.feasible[used];
+            let headroom = budget as usize - used;
+            for opt in options {
+                let tiles = opt.tiles as usize;
+                if tiles > headroom {
                     break;
                 }
-                *evaluated += 1;
-                let new_power = power + column_power;
-                let new_feasible = *feasible && column_feasible;
-                let slot = &mut next[total];
-                let improves = match slot {
-                    Some((p, f, _)) => better(new_power, new_feasible, *p, *f),
-                    None => true,
-                };
-                if improves {
-                    let mut alloc = allocation.clone();
-                    alloc.push(tiles);
-                    *slot = Some((new_power, new_feasible, alloc));
+                transitions += 1;
+                let total = used + tiles;
+                let new_power = base_power + opt.power;
+                let new_feasible = base_feasible && opt.feasible;
+                if better(
+                    new_power,
+                    new_feasible,
+                    scratch.next_power[total],
+                    scratch.next_feasible[total],
+                ) {
+                    // The first touch of a cell always lands here (the
+                    // incumbent is infinite), so `next_max` tracks every
+                    // reachable total.
+                    scratch.next_power[total] = new_power;
+                    scratch.next_feasible[total] = new_feasible;
+                    choice_row[total] = opt.tiles;
+                    if total > next_max {
+                        next_max = total;
+                    }
                 }
             }
         }
-        dp = next;
+        std::mem::swap(&mut scratch.power, &mut scratch.next_power);
+        std::mem::swap(&mut scratch.feasible, &mut scratch.next_feasible);
+        reach_max = next_max;
     }
-    dp
+    scratch.reach_max = reach_max;
+    transitions
+}
+
+/// A worker's incumbent for one exact tile count: cost plus the grouping
+/// job index (for deterministic, enumeration-order tie-breaks) and the
+/// allocation reconstructed when the incumbent was set.
+struct LocalBest {
+    power: f64,
+    feasible: bool,
+    job: usize,
+    allocation: Vec<u32>,
+}
+
+/// The grouping jobs of one exhaustive run: either the single
+/// all-singleton grouping (any graph size) or partition bitmasks.
+enum GroupingJobs {
+    Singleton,
+    Masks(Vec<u64>),
+}
+
+impl GroupingJobs {
+    fn len(&self) -> usize {
+        match self {
+            GroupingJobs::Singleton => 1,
+            GroupingJobs::Masks(masks) => masks.len(),
+        }
+    }
+
+    /// Decode job `index` into `out`.
+    fn decode(&self, n: usize, index: usize, out: &mut Grouping) {
+        match self {
+            GroupingJobs::Singleton => {
+                out.clear();
+                out.extend((0..n).map(|i| (i, i + 1)));
+            }
+            GroupingJobs::Masks(masks) => grouping_from_mask_into(n, masks[index], out),
+        }
+    }
 }
 
 /// Exhaustively enumerate every contiguous grouping (up to
 /// `max_group_size` actors per group) and solve each exactly, fanning the
-/// groupings across `threads` workers.  The merged curve holds, for every
-/// reachable exact tile count, the globally cheapest candidate.
+/// groupings across `threads` workers that steal fixed-size chunks off a
+/// shared atomic cursor (so a skewed grouping cannot idle the pool the
+/// way a static split can).  The merged curve holds, for every reachable
+/// exact tile count, the globally cheapest candidate; exact-cost ties go
+/// to the earliest-enumerated grouping, independent of thread count.
 pub(crate) fn exhaustive(
     ctx: &GraphContext,
     evaluator: &Evaluator,
@@ -152,49 +329,72 @@ pub(crate) fn exhaustive(
 ) -> SearchOutcome {
     let started = Instant::now();
     let n = ctx.n;
-    let table = interval_table(ctx, evaluator, candidates, budget, max_group_size);
+    let arena = IntervalArena::build(ctx, evaluator, candidates, budget, max_group_size);
 
     // Every grouping to solve.  The all-singleton grouping (one actor per
     // column, the structure of every Table 4 mapping) is built directly;
     // larger group sizes enumerate partition bitmasks.
-    let groupings: Vec<Grouping> = if max_group_size <= 1 {
-        vec![(0..n).map(|i| (i, i + 1)).collect()]
+    let jobs = if max_group_size <= 1 {
+        GroupingJobs::Singleton
     } else {
         let all = 1u64 << (n - 1);
-        (0..all)
-            .filter(|&m| mask_respects_group_size(n, m, max_group_size))
-            .map(|m| grouping_from_mask(n, m))
-            .collect()
+        GroupingJobs::Masks(
+            (0..all)
+                .filter(|&m| mask_respects_group_size(n, m, max_group_size))
+                .collect(),
+        )
     };
+    let job_count = jobs.len();
 
-    let workers = threads.max(1).min(groupings.len().max(1));
-    let chunk_size = groupings.len().div_ceil(workers);
-    let results: Vec<(Vec<Option<Candidate>>, u64)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = groupings
-            .chunks(chunk_size.max(1))
-            .map(|chunk| {
-                let table = &table;
+    let cells = budget as usize + 1;
+    let workers = threads.max(1).min(job_count.max(1));
+    // Chunks small enough to balance skew, large enough that the atomic
+    // cursor stays cold.
+    let steal_chunk = job_count.div_ceil(workers * 8).clamp(1, 64);
+    let cursor = AtomicUsize::new(0);
+    let results: Vec<(Vec<Option<LocalBest>>, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let arena = &arena;
+                let jobs = &jobs;
+                let cursor = &cursor;
                 scope.spawn(move || {
-                    let mut local: Vec<Option<Candidate>> = vec![None; budget as usize + 1];
+                    let mut scratch = DpScratch::new(budget, n);
+                    let mut groups: Grouping = Vec::with_capacity(n);
+                    let mut local: Vec<Option<LocalBest>> = (0..cells).map(|_| None).collect();
                     let mut evaluated = 0u64;
-                    for groups in chunk {
-                        let dp = grouping_curve(groups, table, budget, &mut evaluated);
-                        for (tiles, cell) in dp.iter().enumerate().skip(1) {
-                            let Some((power, feasible, allocation)) = cell else {
-                                continue;
-                            };
-                            let slot = &mut local[tiles];
-                            let improves = match slot {
-                                Some(c) => better(*power, *feasible, c.power_mw, c.feasible),
-                                None => true,
-                            };
-                            if improves {
-                                *slot = Some(Candidate {
-                                    groups: groups.clone(),
-                                    allocation: allocation.clone(),
-                                    power_mw: *power,
-                                    feasible: *feasible,
-                                });
+                    loop {
+                        let first = cursor.fetch_add(steal_chunk, Ordering::Relaxed);
+                        if first >= job_count {
+                            break;
+                        }
+                        for job in first..(first + steal_chunk).min(job_count) {
+                            jobs.decode(n, job, &mut groups);
+                            evaluated += grouping_dp(&groups, arena, budget, &mut scratch);
+                            for (tiles, slot) in local
+                                .iter_mut()
+                                .enumerate()
+                                .take(scratch.reach_max + 1)
+                                .skip(1)
+                            {
+                                let Some((power, feasible)) = scratch.cell(tiles) else {
+                                    continue;
+                                };
+                                // Jobs are stolen in ascending order, so
+                                // keep-incumbent-on-tie equals
+                                // lowest-job-wins within a worker.
+                                let improves = match slot {
+                                    Some(c) => better(power, feasible, c.power, c.feasible),
+                                    None => true,
+                                };
+                                if improves {
+                                    *slot = Some(LocalBest {
+                                        power,
+                                        feasible,
+                                        job,
+                                        allocation: scratch.reconstruct(groups.len(), cells, tiles),
+                                    });
+                                }
                             }
                         }
                     }
@@ -208,19 +408,24 @@ pub(crate) fn exhaustive(
             .collect()
     });
 
-    let mut merged: Vec<Option<Candidate>> = vec![None; budget as usize + 1];
+    let mut merged: Vec<Option<LocalBest>> = (0..cells).map(|_| None).collect();
     let mut evaluated = 0u64;
     for (local, count) in results {
         evaluated += count;
         for (slot, candidate) in merged.iter_mut().zip(local) {
             let Some(candidate) = candidate else { continue };
             let improves = match slot {
-                Some(c) => better(
-                    candidate.power_mw,
-                    candidate.feasible,
-                    c.power_mw,
-                    c.feasible,
-                ),
+                Some(c) => {
+                    if better(candidate.power, candidate.feasible, c.power, c.feasible) {
+                        true
+                    } else if better(c.power, c.feasible, candidate.power, candidate.feasible) {
+                        false
+                    } else {
+                        // Exact-cost tie: the earliest-enumerated grouping
+                        // wins, matching a sequential merge.
+                        candidate.job < c.job
+                    }
+                }
                 None => true,
             };
             if improves {
@@ -229,11 +434,26 @@ pub(crate) fn exhaustive(
         }
     }
 
+    let mut decode_scratch: Grouping = Vec::with_capacity(n);
+    let curve = merged
+        .into_iter()
+        .flatten()
+        .map(|best| {
+            jobs.decode(n, best.job, &mut decode_scratch);
+            Candidate {
+                groups: decode_scratch.clone(),
+                allocation: best.allocation,
+                power_mw: best.power,
+                feasible: best.feasible,
+            }
+        })
+        .collect();
+
     SearchOutcome {
-        curve: merged.into_iter().flatten().collect(),
+        curve,
         stats: SearchStats {
             mappings_evaluated: evaluated,
-            groupings_examined: groupings.len() as u64,
+            groupings_examined: job_count as u64,
             states_pruned: 0,
             threads_used: workers,
             elapsed_seconds: started.elapsed().as_secs_f64(),
@@ -241,15 +461,40 @@ pub(crate) fn exhaustive(
     }
 }
 
+/// Sentinel for "no arena node" (the root of a backpointer chain).
+const NO_NODE: u32 = u32::MAX;
+
+/// Sentinel start marking the root partial, which has no group of its
+/// own.
+const NO_GROUP: u32 = u32::MAX;
+
+/// One materialized link of a beam partial's backpointer chain: the group
+/// `start..end` placed on `tiles` tiles, extending `parent`.
+#[derive(Debug, Clone, Copy)]
+struct BeamNode {
+    parent: u32,
+    start: u32,
+    end: u32,
+    tiles: u32,
+}
+
 /// One partial solution of the beam search: the first `boundary` actors
-/// grouped and allocated.
-#[derive(Debug, Clone)]
+/// grouped and allocated.  Instead of carrying its grouping and
+/// allocation as vectors (cloned on every transition), a partial holds a
+/// backpointer into the node arena plus its own last group; the chain is
+/// materialized one node per *surviving* partial and full vectors are
+/// reconstructed only for the final layer.
+#[derive(Debug, Clone, Copy)]
 struct Partial {
     tiles: u32,
     power: f64,
     feasible: bool,
-    groups: Grouping,
-    allocation: Vec<u32>,
+    /// Arena node of the already-materialized prefix (`NO_NODE` = root).
+    parent: u32,
+    /// This partial's own group (`start == NO_GROUP` for the root).
+    start: u32,
+    end: u32,
+    choice: u32,
 }
 
 /// Dominance-prune a layer: keep, per exact tile count, the cheapest
@@ -264,7 +509,9 @@ struct Partial {
 /// cheaper infeasible one).  Each staircase is capped at `width` entries
 /// independently — a staircase holds at most one partial per tile count,
 /// so `width ≥ budget + 1` never drops anything and the beam stays exact.
-fn prune_layer(layer: &mut Vec<Partial>, width: usize, pruned: &mut u64) {
+///
+/// Returns the number of partials discarded.
+fn prune_layer(layer: &mut Vec<Partial>, width: usize) -> u64 {
     layer.sort_by(|a, b| {
         a.tiles
             .cmp(&b.tiles)
@@ -307,8 +554,53 @@ fn prune_layer(layer: &mut Vec<Partial>, width: usize, pruned: &mut u64) {
             .cmp(&b.tiles)
             .then(a.power.partial_cmp(&b.power).expect("finite power"))
     });
-    *pruned += (before - kept.len()) as u64;
+    let pruned = (before - kept.len()) as u64;
     *layer = kept;
+    pruned
+}
+
+/// Materialize the surviving partials of a layer as arena nodes, so their
+/// extensions can reference them by index instead of cloning vectors.
+/// Returns `(node, tiles, power, feasible)` sources in layer order.
+fn materialize_layer(layer: &[Partial], nodes: &mut Vec<BeamNode>) -> Vec<(u32, u32, f64, bool)> {
+    layer
+        .iter()
+        .map(|p| {
+            let node = if p.start == NO_GROUP {
+                NO_NODE
+            } else {
+                nodes.push(BeamNode {
+                    parent: p.parent,
+                    start: p.start,
+                    end: p.end,
+                    tiles: p.choice,
+                });
+                (nodes.len() - 1) as u32
+            };
+            (node, p.tiles, p.power, p.feasible)
+        })
+        .collect()
+}
+
+/// Walk a final partial's backpointer chain into explicit grouping and
+/// allocation vectors (pipeline order).
+fn reconstruct_partial(nodes: &[BeamNode], partial: &Partial) -> (Grouping, Vec<u32>) {
+    let mut groups: Grouping = Vec::new();
+    let mut allocation: Vec<u32> = Vec::new();
+    if partial.start != NO_GROUP {
+        groups.push((partial.start as usize, partial.end as usize));
+        allocation.push(partial.choice);
+    }
+    let mut cursor = partial.parent;
+    while cursor != NO_NODE {
+        let node = nodes[cursor as usize];
+        groups.push((node.start as usize, node.end as usize));
+        allocation.push(node.tiles);
+        cursor = node.parent;
+    }
+    groups.reverse();
+    allocation.reverse();
+    (groups, allocation)
 }
 
 /// Beam search over grouping prefixes with dominance pruning: layer `i`
@@ -316,7 +608,8 @@ fn prune_layer(layer: &mut Vec<Partial>, width: usize, pruned: &mut u64) {
 /// layer with every possible next group, pruning each target layer to at
 /// most `width` non-dominated partials.  With `width ≥ budget + 1` the
 /// engine is exact for the best solution and the frontier.  Group-option
-/// evaluation fans out across `threads` workers per layer.
+/// evaluation fans out across `threads` workers per layer, each worker
+/// keeping local counters merged once at join.
 pub(crate) fn beam(
     ctx: &GraphContext,
     evaluator: &Evaluator,
@@ -329,16 +622,19 @@ pub(crate) fn beam(
     let started = Instant::now();
     let n = ctx.n;
     let width = width.max(1);
-    let table = interval_table(ctx, evaluator, candidates, budget, max_group_size);
+    let arena = IntervalArena::build(ctx, evaluator, candidates, budget, max_group_size);
 
     let mut layers: Vec<Vec<Partial>> = vec![Vec::new(); n + 1];
     layers[0].push(Partial {
         tiles: 0,
         power: 0.0,
         feasible: true,
-        groups: Vec::new(),
-        allocation: Vec::new(),
+        parent: NO_NODE,
+        start: NO_GROUP,
+        end: 0,
+        choice: 0,
     });
+    let mut nodes: Vec<BeamNode> = Vec::new();
     let mut evaluated = 0u64;
     let mut groupings = 0u64;
     let mut pruned = 0u64;
@@ -346,44 +642,43 @@ pub(crate) fn beam(
 
     for i in 0..n {
         if i > 0 {
-            prune_layer(&mut layers[i], width, &mut pruned);
+            pruned += prune_layer(&mut layers[i], width);
         }
         if layers[i].is_empty() {
             continue;
         }
         let ends: Vec<usize> = (i + 1..=(i + max_group_size).min(n)).collect();
-        let source = std::mem::take(&mut layers[i]);
-        // Fan the (end, partial) expansions across the worker pool.
+        let survivors = std::mem::take(&mut layers[i]);
+        let sources = materialize_layer(&survivors, &mut nodes);
+        // Fan the (end, source) expansions across the worker pool.
         let chunk_size = ends.len().div_ceil(workers).max(1);
         let expansions: Vec<(usize, Vec<Partial>, u64)> = std::thread::scope(|scope| {
             let handles: Vec<_> = ends
                 .chunks(chunk_size)
                 .map(|chunk| {
-                    let source = &source;
-                    let table = &table;
+                    let sources = &sources;
+                    let arena = &arena;
                     scope.spawn(move || {
                         let mut out = Vec::new();
                         for &end in chunk {
-                            let options = table[i][end].as_ref().expect("interval inside table");
+                            let options = arena.options(i, end);
                             let mut next = Vec::new();
                             let mut count = 0u64;
-                            for partial in source {
-                                for &(tiles, power, feasible) in options {
-                                    let total = partial.tiles + tiles;
+                            for &(node, tiles_used, power, feasible) in sources {
+                                for opt in options {
+                                    let total = tiles_used + opt.tiles;
                                     if total > budget {
                                         break;
                                     }
                                     count += 1;
-                                    let mut groups = partial.groups.clone();
-                                    groups.push((i, end));
-                                    let mut allocation = partial.allocation.clone();
-                                    allocation.push(tiles);
                                     next.push(Partial {
                                         tiles: total,
-                                        power: partial.power + power,
-                                        feasible: partial.feasible && feasible,
-                                        groups,
-                                        allocation,
+                                        power: power + opt.power,
+                                        feasible: feasible && opt.feasible,
+                                        parent: node,
+                                        start: i as u32,
+                                        end: end as u32,
+                                        choice: opt.tiles,
                                     });
                                 }
                             }
@@ -407,14 +702,17 @@ pub(crate) fn beam(
         }
     }
 
-    prune_layer(&mut layers[n], width, &mut pruned);
+    pruned += prune_layer(&mut layers[n], width);
     let curve = layers[n]
         .iter()
-        .map(|p| Candidate {
-            groups: p.groups.clone(),
-            allocation: p.allocation.clone(),
-            power_mw: p.power,
-            feasible: p.feasible,
+        .map(|p| {
+            let (groups, allocation) = reconstruct_partial(&nodes, p);
+            Candidate {
+                groups,
+                allocation,
+                power_mw: p.power,
+                feasible: p.feasible,
+            }
         })
         .collect();
     SearchOutcome {
@@ -426,5 +724,371 @@ pub(crate) fn beam(
             threads_used: workers,
             elapsed_seconds: started.elapsed().as_secs_f64(),
         },
+    }
+}
+
+/// The clone-based reference engine the optimized core is property-tested
+/// against: the seed implementation of the interval table and the
+/// per-grouping dynamic program, kept verbatim (allocations and all).
+#[cfg(test)]
+pub(crate) mod reference {
+    use super::*;
+    use crate::space::grouping_from_mask;
+
+    /// Per-interval candidate options: `(tiles, power, feasible)`.
+    pub type IntervalOptions = Vec<(u32, f64, bool)>;
+
+    /// The seed's nested interval table.
+    pub fn interval_table(
+        ctx: &GraphContext,
+        evaluator: &Evaluator,
+        candidates: TileCandidates,
+        budget: u32,
+        max_group_size: usize,
+    ) -> Vec<Vec<Option<IntervalOptions>>> {
+        let n = ctx.n;
+        let mut table: Vec<Vec<Option<IntervalOptions>>> = vec![vec![None; n + 1]; n];
+        for (start, row) in table.iter_mut().enumerate() {
+            let end_limit = (start + max_group_size).min(n);
+            for (end, slot) in row
+                .iter_mut()
+                .enumerate()
+                .take(end_limit + 1)
+                .skip(start + 1)
+            {
+                let work = ctx.group_work(start, end);
+                let cap = ctx.group_cap(start, end);
+                let tokens = ctx.boundary_tokens(start, end);
+                let options = candidates
+                    .for_group(cap, budget)
+                    .into_iter()
+                    .map(|tiles| {
+                        let col = evaluator.evaluate_column(work, cap, tokens, tiles);
+                        (tiles, col.power.total_mw(), col.within_envelope)
+                    })
+                    .collect();
+                *slot = Some(options);
+            }
+        }
+        table
+    }
+
+    /// The seed's clone-based grouping DP: returns
+    /// `dp[tiles] = (power, feasible, allocation)`.
+    pub fn grouping_curve(
+        groups: &Grouping,
+        table: &[Vec<Option<IntervalOptions>>],
+        budget: u32,
+        evaluated: &mut u64,
+    ) -> Vec<Option<(f64, bool, Vec<u32>)>> {
+        let mut dp: Vec<Option<(f64, bool, Vec<u32>)>> = vec![None; budget as usize + 1];
+        dp[0] = Some((0.0, true, Vec::new()));
+        for &(start, end) in groups {
+            let options = table[start][end].as_ref().expect("interval inside table");
+            let mut next: Vec<Option<(f64, bool, Vec<u32>)>> = vec![None; budget as usize + 1];
+            for (used, cell) in dp.iter().enumerate() {
+                let Some((power, feasible, allocation)) = cell else {
+                    continue;
+                };
+                for &(tiles, column_power, column_feasible) in options {
+                    let total = used + tiles as usize;
+                    if total > budget as usize {
+                        break;
+                    }
+                    *evaluated += 1;
+                    let new_power = power + column_power;
+                    let new_feasible = *feasible && column_feasible;
+                    let slot = &mut next[total];
+                    let improves = match slot {
+                        Some((p, f, _)) => better(new_power, new_feasible, *p, *f),
+                        None => true,
+                    };
+                    if improves {
+                        let mut alloc = allocation.clone();
+                        alloc.push(tiles);
+                        *slot = Some((new_power, new_feasible, alloc));
+                    }
+                }
+            }
+            dp = next;
+        }
+        dp
+    }
+
+    /// The seed's sequential exhaustive merge: enumerate every grouping,
+    /// solve each with [`grouping_curve`], and keep the cheapest candidate
+    /// per exact tile count (earliest grouping wins exact-cost ties).
+    pub fn exhaustive(
+        ctx: &GraphContext,
+        evaluator: &Evaluator,
+        candidates: TileCandidates,
+        budget: u32,
+        max_group_size: usize,
+    ) -> (Vec<Candidate>, u64) {
+        let n = ctx.n;
+        let table = interval_table(ctx, evaluator, candidates, budget, max_group_size);
+        let groupings: Vec<Grouping> = if max_group_size <= 1 {
+            vec![(0..n).map(|i| (i, i + 1)).collect()]
+        } else {
+            let all = 1u64 << (n - 1);
+            (0..all)
+                .filter(|&m| mask_respects_group_size(n, m, max_group_size))
+                .map(|m| grouping_from_mask(n, m))
+                .collect()
+        };
+        let mut merged: Vec<Option<Candidate>> = vec![None; budget as usize + 1];
+        let mut evaluated = 0u64;
+        for groups in &groupings {
+            let dp = grouping_curve(groups, &table, budget, &mut evaluated);
+            for (tiles, cell) in dp.iter().enumerate().skip(1) {
+                let Some((power, feasible, allocation)) = cell else {
+                    continue;
+                };
+                let slot = &mut merged[tiles];
+                let improves = match slot {
+                    Some(c) => better(*power, *feasible, c.power_mw, c.feasible),
+                    None => true,
+                };
+                if improves {
+                    *slot = Some(Candidate {
+                        groups: groups.clone(),
+                        allocation: allocation.clone(),
+                        power_mw: *power,
+                        feasible: *feasible,
+                    });
+                }
+            }
+        }
+        (merged.into_iter().flatten().collect(), evaluated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::grouping_from_mask;
+    use proptest::prelude::*;
+    use synchro_sdf::SdfGraph;
+
+    fn chain(cycles: &[u64], caps: &[u32]) -> SdfGraph {
+        let mut graph = SdfGraph::new();
+        let mut prev = None;
+        for (i, (&c, &cap)) in cycles.iter().zip(caps).enumerate() {
+            let actor = graph.add_actor(format!("a{i}"), c, cap);
+            if let Some(p) = prev {
+                graph.add_edge(p, actor, 1, 1, 0).unwrap();
+            }
+            prev = Some(actor);
+        }
+        graph
+    }
+
+    fn context_and_evaluator(graph: &SdfGraph) -> (GraphContext, Evaluator) {
+        let ctx = GraphContext::new(graph).unwrap();
+        let evaluator = Evaluator::new(&synchro_power::Technology::isca2004(), 1e6, 1.0);
+        (ctx, evaluator)
+    }
+
+    const CAP_CHOICES: [u32; 6] = [1, 2, 4, 8, 16, 32];
+
+    #[test]
+    fn arena_matches_the_reference_table_bit_for_bit() {
+        let graph = chain(&[60, 100, 5, 380], &[16, 16, 4, 32]);
+        let (ctx, evaluator) = context_and_evaluator(&graph);
+        for candidates in [TileCandidates::PowersOfTwo, TileCandidates::All] {
+            for max_group in [1usize, 2, 4] {
+                let arena = IntervalArena::build(&ctx, &evaluator, candidates, 24, max_group);
+                let table = reference::interval_table(&ctx, &evaluator, candidates, 24, max_group);
+                for (start, row) in table.iter().enumerate() {
+                    for (end, slot) in row.iter().enumerate() {
+                        let flat = arena.options(start, end);
+                        match slot {
+                            None => assert!(flat.is_empty(), "{start}..{end} should be unused"),
+                            Some(options) => {
+                                assert_eq!(flat.len(), options.len());
+                                for (a, &(tiles, power, feasible)) in flat.iter().zip(options) {
+                                    assert_eq!(a.tiles, tiles);
+                                    assert_eq!(a.power.to_bits(), power.to_bits());
+                                    assert_eq!(a.feasible, feasible);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// One cell of the reference curve shape: `(power, feasible,
+    /// allocation)` when the tile count is reachable.
+    type CurveCell = Option<(f64, bool, Vec<u32>)>;
+
+    /// Expand the backpointer DP's final layer into the reference curve
+    /// shape for comparison.
+    fn dp_full_curve(
+        groups: &Grouping,
+        arena: &IntervalArena,
+        budget: u32,
+        scratch: &mut DpScratch,
+    ) -> (Vec<CurveCell>, u64) {
+        let transitions = grouping_dp(groups, arena, budget, scratch);
+        let cells = budget as usize + 1;
+        let curve = (0..cells)
+            .map(|tiles| {
+                scratch.cell(tiles).map(|(power, feasible)| {
+                    (
+                        power,
+                        feasible,
+                        scratch.reconstruct(groups.len(), cells, tiles),
+                    )
+                })
+            })
+            .collect();
+        (curve, transitions)
+    }
+
+    proptest! {
+        /// The backpointer DP reconstructs exactly the same
+        /// `(power, feasible, allocation)` curve as the retained
+        /// clone-based reference, for random chains, groupings and
+        /// budgets.
+        #[test]
+        fn backpointer_dp_matches_clone_based_reference(
+            cycles in prop::collection::vec(1u64..2_000, 2..8),
+            cap_picks in prop::collection::vec(0usize..6, 2..8),
+            budget in 2u32..40,
+            mask in 0u64..128,
+        ) {
+            let n = cycles.len().min(cap_picks.len());
+            let caps: Vec<u32> = cap_picks[..n].iter().map(|&i| CAP_CHOICES[i]).collect();
+            let graph = chain(&cycles[..n], &caps);
+            let (ctx, evaluator) = context_and_evaluator(&graph);
+            let groups = grouping_from_mask(n, mask);
+            for candidates in [TileCandidates::PowersOfTwo, TileCandidates::All] {
+                let arena = IntervalArena::build(&ctx, &evaluator, candidates, budget, n);
+                let table =
+                    reference::interval_table(&ctx, &evaluator, candidates, budget, n);
+                let mut scratch = DpScratch::new(budget, n);
+                let (fast, fast_count) = dp_full_curve(&groups, &arena, budget, &mut scratch);
+                let mut slow_count = 0u64;
+                let slow = reference::grouping_curve(&groups, &table, budget, &mut slow_count);
+                prop_assert_eq!(fast_count, slow_count);
+                for (tiles, (a, b)) in fast.iter().zip(&slow).enumerate() {
+                    match (a, b) {
+                        (None, None) => {}
+                        (Some((pa, fa, alloc_a)), Some((pb, fb, alloc_b))) => {
+                            prop_assert_eq!(pa.to_bits(), pb.to_bits(), "power at {}", tiles);
+                            prop_assert_eq!(fa, fb, "feasibility at {}", tiles);
+                            prop_assert_eq!(alloc_a, alloc_b, "allocation at {}", tiles);
+                        }
+                        _ => prop_assert!(false, "reachability differs at {} tiles", tiles),
+                    }
+                }
+            }
+        }
+
+        /// The work-stealing exhaustive engine returns bit-identical
+        /// curves to the sequential clone-based reference, across 1 and
+        /// 8 threads.
+        #[test]
+        fn exhaustive_matches_reference_across_thread_counts(
+            cycles in prop::collection::vec(1u64..2_000, 2..6),
+            cap_picks in prop::collection::vec(0usize..6, 2..6),
+            budget in 2u32..32,
+        ) {
+            let n = cycles.len().min(cap_picks.len());
+            let caps: Vec<u32> = cap_picks[..n].iter().map(|&i| CAP_CHOICES[i]).collect();
+            let graph = chain(&cycles[..n], &caps);
+            let (ctx, evaluator) = context_and_evaluator(&graph);
+            let candidates = TileCandidates::PowersOfTwo;
+            let (slow_curve, slow_count) =
+                reference::exhaustive(&ctx, &evaluator, candidates, budget, n);
+            for threads in [1usize, 8] {
+                let fast = exhaustive(&ctx, &evaluator, candidates, budget, n, threads);
+                prop_assert_eq!(fast.stats.mappings_evaluated, slow_count);
+                prop_assert_eq!(fast.curve.len(), slow_curve.len());
+                for (a, b) in fast.curve.iter().zip(&slow_curve) {
+                    prop_assert_eq!(a.power_mw.to_bits(), b.power_mw.to_bits());
+                    prop_assert_eq!(a.feasible, b.feasible);
+                    prop_assert_eq!(&a.groups, &b.groups);
+                    prop_assert_eq!(&a.allocation, &b.allocation);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn identical_stages_tie_break_to_the_earliest_grouping() {
+        // Every stage identical → huge numbers of exact-cost ties; the
+        // merged winner must match the sequential reference exactly,
+        // regardless of thread count.
+        let graph = chain(&[100, 100, 100, 100], &[8, 8, 8, 8]);
+        let (ctx, evaluator) = context_and_evaluator(&graph);
+        let (reference_curve, _) =
+            reference::exhaustive(&ctx, &evaluator, TileCandidates::All, 16, 4);
+        for threads in [1usize, 3, 8] {
+            let fast = exhaustive(&ctx, &evaluator, TileCandidates::All, 16, 4, threads);
+            assert_eq!(fast.curve.len(), reference_curve.len());
+            for (a, b) in fast.curve.iter().zip(&reference_curve) {
+                assert_eq!(a.groups, b.groups, "tie-break grouping differs");
+                assert_eq!(a.allocation, b.allocation);
+                assert_eq!(a.power_mw.to_bits(), b.power_mw.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn beam_reconstruction_matches_exhaustive_candidates() {
+        let graph = chain(&[60, 100, 5, 380, 370], &[16, 16, 4, 32, 32]);
+        let (ctx, evaluator) = context_and_evaluator(&graph);
+        let budget = 20u32;
+        let wide = budget as usize + 1;
+        let full = exhaustive(&ctx, &evaluator, TileCandidates::PowersOfTwo, budget, 5, 2);
+        let beamed = beam(
+            &ctx,
+            &evaluator,
+            TileCandidates::PowersOfTwo,
+            budget,
+            5,
+            wide,
+            2,
+        );
+        // Every beam candidate must be a well-formed contiguous grouping
+        // whose allocation sums to its tile count, and the best costs
+        // must agree with the exhaustive engine.
+        for c in &beamed.curve {
+            let mut covered = 0usize;
+            for &(start, end) in &c.groups {
+                assert_eq!(start, covered, "groups must tile 0..n contiguously");
+                covered = end;
+            }
+            assert_eq!(covered, ctx.n);
+            assert_eq!(c.allocation.len(), c.groups.len());
+            assert!(c.allocation.iter().sum::<u32>() <= budget);
+        }
+        let best = |curve: &[Candidate]| {
+            curve
+                .iter()
+                .filter(|c| c.feasible)
+                .map(|c| c.power_mw)
+                .fold(f64::INFINITY, f64::min)
+        };
+        assert_eq!(best(&full.curve).to_bits(), best(&beamed.curve).to_bits());
+    }
+
+    #[test]
+    fn dead_groupings_contribute_nothing() {
+        // 3 singleton groups but a budget of 2: no grouping fits, except
+        // via fusion.
+        let graph = chain(&[10, 10, 10], &[4, 4, 4]);
+        let (ctx, evaluator) = context_and_evaluator(&graph);
+        let arena = IntervalArena::build(&ctx, &evaluator, TileCandidates::All, 2, 1);
+        let mut scratch = DpScratch::new(2, 3);
+        let groups: Grouping = vec![(0, 1), (1, 2), (2, 3)];
+        let transitions = grouping_dp(&groups, &arena, 2, &mut scratch);
+        assert!(transitions > 0, "partial prefixes are still explored");
+        assert_eq!(scratch.reach_max, 0, "no complete assignment fits");
+        assert!(scratch.cell(1).is_none());
+        assert!(scratch.cell(2).is_none());
     }
 }

@@ -22,11 +22,20 @@ impl TileCandidates {
     /// The tile counts to try for a group with parallelism cap `cap`
     /// under a total budget of `budget` tiles, in ascending order.
     pub fn for_group(self, cap: u32, budget: u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.for_group_into(cap, budget, &mut out);
+        out
+    }
+
+    /// Like [`TileCandidates::for_group`], but yields into a reusable
+    /// scratch buffer (cleared first) so the interval-table build does
+    /// not allocate one `Vec` per interval.
+    pub fn for_group_into(self, cap: u32, budget: u32, out: &mut Vec<u32>) {
+        out.clear();
         let limit = cap.min(budget).max(1);
         match self {
-            TileCandidates::All => (1..=limit).collect(),
+            TileCandidates::All => out.extend(1..=limit),
             TileCandidates::PowersOfTwo => {
-                let mut out = Vec::new();
                 let mut t = 1u32;
                 while t <= limit {
                     out.push(t);
@@ -35,7 +44,6 @@ impl TileCandidates {
                 if !limit.is_power_of_two() {
                     out.push(limit);
                 }
-                out
             }
         }
     }
@@ -46,9 +54,20 @@ impl TileCandidates {
 pub(crate) type Grouping = Vec<(usize, usize)>;
 
 /// Decode a partition bitmask into group ranges.  Bit `k` set means a
-/// column boundary after actor `k`.
+/// column boundary after actor `k`.  (The engines decode into scratch
+/// buffers via [`grouping_from_mask_into`]; this allocating wrapper
+/// remains for tests and the clone-based reference engine.)
+#[cfg(test)]
 pub(crate) fn grouping_from_mask(n: usize, mask: u64) -> Grouping {
     let mut groups = Vec::new();
+    grouping_from_mask_into(n, mask, &mut groups);
+    groups
+}
+
+/// Like [`grouping_from_mask`], but decodes into a reusable scratch
+/// buffer (cleared first) so workers do not allocate per grouping.
+pub(crate) fn grouping_from_mask_into(n: usize, mask: u64, groups: &mut Grouping) {
+    groups.clear();
     let mut start = 0usize;
     for k in 0..n {
         let boundary = k + 1 == n || mask & (1u64 << k) != 0;
@@ -57,7 +76,6 @@ pub(crate) fn grouping_from_mask(n: usize, mask: u64) -> Grouping {
             start = k + 1;
         }
     }
-    groups
 }
 
 /// Does any group of the mask exceed `max_group_size` actors?

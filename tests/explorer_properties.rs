@@ -151,6 +151,44 @@ proptest! {
             prop_assert!((a.power_mw - b.power_mw).abs() <= 1e-9 * a.power_mw.max(1.0));
         }
     }
+
+    /// Search counters are accumulated per worker and merged once, so the
+    /// totals — mappings evaluated, groupings examined, states pruned —
+    /// must be identical no matter how many threads the work fans across,
+    /// for both engines.
+    #[test]
+    fn stats_totals_are_independent_of_thread_count(
+        cycles in prop::collection::vec(1u64..1_000, 2..6),
+        cap_picks in prop::collection::vec(0usize..6, 2..6),
+        budget in 4u32..32,
+    ) {
+        let n = cycles.len().min(cap_picks.len());
+        let caps: Vec<u32> = cap_picks[..n].iter().map(|&i| CAP_CHOICES[i]).collect();
+        let graph = chain(&cycles[..n], &caps);
+        for strategy in [
+            SearchStrategy::Exhaustive,
+            SearchStrategy::Beam { width: budget as usize + 1 },
+            SearchStrategy::Beam { width: 4 },
+        ] {
+            let run = |threads: usize| {
+                explore(
+                    &graph,
+                    &ExplorerConfig::new(1e6, budget)
+                        .with_strategy(strategy)
+                        .with_threads(threads),
+                )
+                .unwrap()
+                .stats
+            };
+            let one = run(1);
+            for threads in [2usize, 8] {
+                let many = run(threads);
+                prop_assert_eq!(one.mappings_evaluated, many.mappings_evaluated);
+                prop_assert_eq!(one.groupings_examined, many.groupings_examined);
+                prop_assert_eq!(one.states_pruned, many.states_pruned);
+            }
+        }
+    }
 }
 
 /// Pinned regression: auto-mapping the DDC at the Table 4 tile budget
