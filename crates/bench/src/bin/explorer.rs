@@ -16,7 +16,8 @@ use bench::{rule, synthetic_pipeline};
 use synchro_power::Technology;
 use synchroscalar::experiments::auto_mapping_summary;
 use synchroscalar::explorer::{
-    explore, ExplorerConfig, SearchStrategy, TileCandidates, EXHAUSTIVE_ACTOR_LIMIT,
+    explore, explore_bus_widths, CommSpec, ExplorerConfig, ExplorerError, SearchStrategy,
+    TileCandidates, VoltagePolicy, EXHAUSTIVE_ACTOR_LIMIT,
 };
 use synchroscalar::sdf::SdfGraph;
 
@@ -36,6 +37,7 @@ struct MatrixRow {
     stages: usize,
     budget: u32,
     strategy_name: &'static str,
+    policy_name: &'static str,
     single: Throughput,
     multi: Throughput,
 }
@@ -92,9 +94,22 @@ fn measure(graph: &SdfGraph, config: &ExplorerConfig, threads: usize) -> Through
     best.expect("at least one run")
 }
 
-fn measure_row(stages: usize, budget: u32, multi_threads: usize) -> MatrixRow {
+fn policy_name(policy: VoltagePolicy) -> &'static str {
+    match policy {
+        VoltagePolicy::PerColumn => "per-column",
+        VoltagePolicy::SingleVoltage => "single-voltage",
+    }
+}
+
+fn measure_row(
+    stages: usize,
+    budget: u32,
+    policy: VoltagePolicy,
+    multi_threads: usize,
+) -> MatrixRow {
     let graph = synthetic_pipeline(stages);
     let (config, strategy_name) = workload_config(stages, budget);
+    let config = config.with_voltage_policy(policy);
     let single = measure(&graph, &config, 1);
     // On a one-core host the multi-threaded run is the same measurement;
     // don't burn RUNS extra explorations per cell repeating it.
@@ -112,9 +127,51 @@ fn measure_row(stages: usize, budget: u32, multi_threads: usize) -> MatrixRow {
         stages,
         budget,
         strategy_name,
+        policy_name: policy_name(policy),
         single,
         multi,
     }
+}
+
+/// One row of the bus-width sweep: re-explore a synthetic pipeline with
+/// the communication-feasibility prune at each width, so narrow frames
+/// reject the single-actor space and wider ones readmit it.
+struct SweepRow {
+    splits: u32,
+    capacity: u64,
+    feasible: bool,
+    pruned: u64,
+    best_power_mw: Option<f64>,
+}
+
+fn bus_width_sweep() -> Vec<SweepRow> {
+    // 6 stages with 1:1 edges: the all-singleton grouping crosses 5
+    // boundaries (5 words/iteration).  With a 3-cycle period, width 1
+    // offers 3 slots (infeasible), width 2 offers 6 (feasible).
+    let graph = synthetic_pipeline(6);
+    let config = ExplorerConfig::new(1e6, 16)
+        .with_candidates(TileCandidates::All)
+        .single_actor_columns();
+    explore_bus_widths(&graph, &config, CommSpec::new(1, 3), &[1, 2, 4])
+        .into_iter()
+        .map(|point| match point.outcome {
+            Ok(exploration) => SweepRow {
+                splits: point.comm.splits,
+                capacity: point.comm.capacity(),
+                feasible: true,
+                pruned: exploration.stats.groupings_comm_pruned,
+                best_power_mw: Some(exploration.best.power_mw),
+            },
+            Err(ExplorerError::CommInfeasible { pruned, .. }) => SweepRow {
+                splits: point.comm.splits,
+                capacity: point.comm.capacity(),
+                feasible: false,
+                pruned,
+                best_power_mw: None,
+            },
+            Err(other) => panic!("unexpected sweep failure: {other}"),
+        })
+        .collect()
 }
 
 fn row_json(row: &MatrixRow, one_core: bool) -> String {
@@ -125,7 +182,7 @@ fn row_json(row: &MatrixRow, one_core: bool) -> String {
     format!(
         concat!(
             "    {{\n",
-            "      \"workload\": {{\"stages\": {}, \"tile_budget\": {}, \"candidates\": \"all\", \"strategy\": \"{}\"}},\n",
+            "      \"workload\": {{\"stages\": {}, \"tile_budget\": {}, \"candidates\": \"all\", \"strategy\": \"{}\", \"voltage_policy\": \"{}\"}},\n",
             "      \"mappings_evaluated\": {},\n",
             "      \"single_threaded\": {{\"threads\": 1, \"elapsed_seconds\": {:.6}, \"mappings_per_sec\": {:.0}}},\n",
             "      \"multi_threaded\": {{\"threads\": {}, \"elapsed_seconds\": {:.6}, \"mappings_per_sec\": {:.0}}},\n",
@@ -135,6 +192,7 @@ fn row_json(row: &MatrixRow, one_core: bool) -> String {
         row.stages,
         row.budget,
         row.strategy_name,
+        row.policy_name,
         row.single.mappings,
         row.single.elapsed_seconds,
         row.single.mappings_per_sec,
@@ -142,6 +200,18 @@ fn row_json(row: &MatrixRow, one_core: bool) -> String {
         row.multi.elapsed_seconds,
         row.multi.mappings_per_sec,
         speedup,
+    )
+}
+
+fn sweep_json(row: &SweepRow) -> String {
+    format!(
+        "    {{\"splits\": {}, \"capacity\": {}, \"feasible\": {}, \"groupings_comm_pruned\": {}, \"best_power_mw\": {}}}",
+        row.splits,
+        row.capacity,
+        row.feasible,
+        row.pruned,
+        row.best_power_mw
+            .map_or("null".to_string(), |p| format!("{p:.3}")),
     )
 }
 
@@ -195,15 +265,21 @@ fn main() {
              single-threaded measurement and no speedup is reported"
         );
     }
-    let matrix: Vec<(usize, u32)> = if quick {
-        vec![(6, 16)]
+    // Each cell carries its voltage policy: the cost mode is a per-row
+    // strategy, with one single-voltage row in both matrix sizes.
+    let matrix: Vec<(usize, u32, VoltagePolicy)> = if quick {
+        vec![
+            (6, 16, VoltagePolicy::PerColumn),
+            (6, 16, VoltagePolicy::SingleVoltage),
+        ]
     } else {
         let mut cells = Vec::new();
         for &stages in &[10usize, 16, 24] {
             for &budget in &[64u32, 128, 256] {
-                cells.push((stages, budget));
+                cells.push((stages, budget, VoltagePolicy::PerColumn));
             }
         }
+        cells.push((10, 64, VoltagePolicy::SingleVoltage));
         cells
     };
 
@@ -211,24 +287,32 @@ fn main() {
         "\nSearch throughput matrix ({} matrix, all tile candidates, best of {RUNS} runs):",
         if quick { "quick" } else { "full" }
     );
-    rule(100);
+    rule(115);
     println!(
-        "{:>6} {:>7} {:>11} {:>14} {:>16} {:>16} {:>9}",
-        "Stages", "Budget", "Strategy", "Mappings", "1-thread M/s", "N-thread M/s", "Speedup"
+        "{:>6} {:>7} {:>11} {:>15} {:>14} {:>16} {:>16} {:>9}",
+        "Stages",
+        "Budget",
+        "Strategy",
+        "Policy",
+        "Mappings",
+        "1-thread M/s",
+        "N-thread M/s",
+        "Speedup"
     );
-    rule(100);
+    rule(115);
     let mut measured = Vec::new();
-    for (stages, budget) in matrix {
-        let row = measure_row(stages, budget, multi_threads);
+    for (stages, budget, policy) in matrix {
+        let row = measure_row(stages, budget, policy, multi_threads);
         let speedup = match row.speedup(one_core) {
             None => "n/a".to_string(),
             Some(s) => format!("{s:.2}x"),
         };
         println!(
-            "{:>6} {:>7} {:>11} {:>14} {:>16.1} {:>16.1} {:>9}",
+            "{:>6} {:>7} {:>11} {:>15} {:>14} {:>16.1} {:>16.1} {:>9}",
             row.stages,
             row.budget,
             row.strategy_name,
+            row.policy_name,
             row.single.mappings,
             row.single.mappings_per_sec / 1e6,
             row.multi.mappings_per_sec / 1e6,
@@ -236,9 +320,41 @@ fn main() {
         );
         measured.push(row);
     }
-    rule(100);
+    rule(115);
+
+    // Part 3 — the bus-width sweep: the communication-feasibility prune
+    // exercised across horizontal-bus widths (words per cycle).
+    let sweep = bus_width_sweep();
+    println!("\nBus-width sweep (6-stage pipeline, 3-cycle TDM period, single-actor columns):");
+    rule(72);
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>14}",
+        "Width", "Capacity", "Feasible", "Pruned", "Best mW"
+    );
+    rule(72);
+    for row in &sweep {
+        println!(
+            "{:>6} {:>10} {:>10} {:>10} {:>14}",
+            row.splits,
+            row.capacity,
+            row.feasible,
+            row.pruned,
+            row.best_power_mw
+                .map_or("n/a".to_string(), |p| format!("{p:.1}")),
+        );
+    }
+    rule(72);
+    assert!(
+        !sweep[0].feasible && sweep[0].pruned > 0,
+        "the narrowest bus must exercise the feasibility prune"
+    );
+    assert!(
+        sweep[1..].iter().all(|r| r.feasible),
+        "wider buses must readmit the mapping"
+    );
 
     let rows_json: Vec<String> = measured.iter().map(|r| row_json(r, one_core)).collect();
+    let sweep_json_rows: Vec<String> = sweep.iter().map(sweep_json).collect();
     let json = format!(
         concat!(
             "{{\n",
@@ -248,6 +364,9 @@ fn main() {
             "  \"runs_per_cell\": {},\n",
             "  \"workloads\": [\n",
             "{}\n",
+            "  ],\n",
+            "  \"bus_width_sweep\": [\n",
+            "{}\n",
             "  ]\n",
             "}}\n"
         ),
@@ -255,6 +374,7 @@ fn main() {
         multi_threads,
         RUNS,
         rows_json.join(",\n"),
+        sweep_json_rows.join(",\n"),
     );
     std::fs::write("BENCH_explorer.json", &json).expect("write BENCH_explorer.json");
     println!("\nPerf record written to BENCH_explorer.json");

@@ -12,8 +12,8 @@ use synchro_apps::{reference_graph, Application, ApplicationProfile};
 use synchro_baselines::{table3_reference_rows, Platform, PlatformKind};
 use synchro_explore::{evaluate_mapping, explore, ExplorerConfig};
 use synchro_power::{
-    AreaModel, ColumnActivity, ColumnPower, CriticalPath, LeakageModel, SimdDouArea, Technology,
-    TileArea, VfCurve,
+    AreaModel, BusGeometry, ColumnActivity, ColumnPower, CriticalPath, InterconnectModel,
+    LeakageModel, SimdDouArea, SlotActivity, Technology, TileArea, VfCurve,
 };
 
 /// One point of the Figure 5 voltage/frequency curves.
@@ -600,6 +600,86 @@ pub fn auto_mapping_summary(tech: &Technology) -> Vec<AutoMapRow> {
     rows
 }
 
+/// One row of the communication-schedule summary: an application's
+/// reference mapping compiled to a static TDM schedule over the reference
+/// horizontal bus, with the slot-activity energy calibration next to the
+/// rate-based model.
+#[derive(Debug, Clone)]
+pub struct RouteSummaryRow {
+    /// Application name.
+    pub application: String,
+    /// Columns (placements) of the reference mapping.
+    pub columns: usize,
+    /// Bus cycles per graph iteration (the TDM period).
+    pub period: u64,
+    /// Slots carrying a word per period.
+    pub occupied_slots: u64,
+    /// Scheduled-but-idle slots per period.
+    pub idle_slots: u64,
+    /// Occupied fraction of the frame.
+    pub utilization: f64,
+    /// Horizontal-bus power from the slot-activity path (mW), at the
+    /// chip's maximum column voltage.
+    pub slot_power_mw: f64,
+    /// The same traffic through the rate-based model (mW) — the
+    /// calibration reference the slot path must reproduce when idle slots
+    /// are free.
+    pub rate_power_mw: f64,
+    /// Whether the compiled schedule replayed conflict-free through the
+    /// segment-group rule.
+    pub conflict_free: bool,
+}
+
+/// Compile every reference profile's mapping to a TDM route schedule at
+/// the reference bus configuration (one split, 400 MHz) and summarise the
+/// frame: the "communication scheduling" counterpart of
+/// [`auto_mapping_summary`], pinning that all paper operating points stay
+/// schedulable and the slot-activity power path matches the rate model.
+pub fn route_schedule_summary(tech: &Technology) -> Vec<RouteSummaryRow> {
+    let mut rows = Vec::new();
+    for app in Application::all() {
+        let reference = reference_graph(app);
+        let options = MapperOptions {
+            iterations: 1,
+            iteration_rate_hz: reference.iteration_rate_hz,
+            tech: tech.clone(),
+            ..MapperOptions::default()
+        };
+        let compiled = mapper::compile(&reference.graph, &reference.mapping, &options)
+            .expect("reference mappings schedule at the reference bus configuration");
+        let route = compiled.route();
+        let conflict_free = route.validate().is_ok();
+        let voltage = compiled
+            .plans()
+            .iter()
+            .map(|p| p.voltage)
+            .fold(0.0, f64::max);
+        let geometry = BusGeometry::horizontal(tech);
+        let model = InterconnectModel::new(tech);
+        let slots = SlotActivity::per_iteration(
+            route.occupied_slots(),
+            route.idle_slots(),
+            reference.iteration_rate_hz,
+        );
+        rows.push(RouteSummaryRow {
+            application: ApplicationProfile::of(app).application.name().to_owned(),
+            columns: compiled.plans().len(),
+            period: route.spec().period(),
+            occupied_slots: route.occupied_slots(),
+            idle_slots: route.idle_slots(),
+            utilization: route.utilization(),
+            slot_power_mw: model.power_mw_slots(&geometry, &slots, voltage),
+            rate_power_mw: model.power_mw(
+                &geometry,
+                route.occupied_slots() as f64 * reference.iteration_rate_hz,
+                voltage,
+            ),
+            conflict_free,
+        });
+    }
+    rows
+}
+
 /// Convenience: the reference report of every application (used by the
 /// examples and the benchmark harness).
 pub fn reference_reports(tech: &Technology) -> Vec<ApplicationReport> {
@@ -832,6 +912,37 @@ mod tests {
             assert!(row.fused_power_mw <= row.auto_power_mw + 1e-9);
             assert!(row.cross_validated, "{}", row.application);
         }
+    }
+
+    #[test]
+    fn every_reference_profile_compiles_to_a_conflict_free_tdm_schedule() {
+        let rows = route_schedule_summary(&tech());
+        assert_eq!(rows.len(), 6);
+        for row in &rows {
+            assert!(row.conflict_free, "{}", row.application);
+            assert!(row.occupied_slots > 0, "{}", row.application);
+            assert!(
+                row.utilization > 0.0 && row.utilization <= 1.0,
+                "{}: utilization {}",
+                row.application,
+                row.utilization
+            );
+            // Slot-activity calibration: with idle slots free, the slot
+            // path must reproduce the rate-based model.
+            assert!(
+                (row.slot_power_mw - row.rate_power_mw).abs()
+                    <= 1e-9 * row.rate_power_mw.max(1e-12),
+                "{}: {} vs {} mW",
+                row.application,
+                row.slot_power_mw,
+                row.rate_power_mw
+            );
+        }
+        // The DDC frame: 25 slots, 10 occupied.
+        let ddc = rows.iter().find(|r| r.application == "DDC").unwrap();
+        assert_eq!(ddc.period, 25);
+        assert_eq!(ddc.occupied_slots, 10);
+        assert_eq!(ddc.idle_slots, 15);
     }
 
     #[test]

@@ -20,7 +20,12 @@
 //!    searches tile allocations and actor→column groupings of an SDF
 //!    graph for the minimum-power feasible mapping and its Pareto
 //!    frontier, and [`mapper::compile_explored`] runs the winners on the
-//!    simulated chip.
+//!    simulated chip,
+//! 7. statically schedule the inter-column communication: the [`router`]
+//!    compiles every mapping's cross-column traffic into a conflict-free
+//!    periodic TDM slot schedule over the segmented horizontal bus, which
+//!    the simulated chip is driven from and the slot-activity power path
+//!    is calibrated against.
 //!
 //! ```
 //! use synchroscalar::pipeline::{evaluate_application, EvaluationOptions};
@@ -52,6 +57,13 @@ pub use pipeline::{
 /// minimum-power feasible mapping and its Pareto frontier (see
 /// [`explorer::explore`]).
 pub use synchro_explore as explorer;
+
+/// Static TDM communication scheduling over the segmented horizontal bus:
+/// derives per-iteration inter-column word flows from the repetition
+/// vector and compiles them into a conflict-free periodic slot schedule
+/// (see [`router::compile`]); [`mapper::compile`] drives the simulated
+/// chip's horizontal bus from it.
+pub use synchro_route as router;
 
 // Re-export the substrate crates so downstream users need only one
 // dependency.

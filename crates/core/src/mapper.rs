@@ -21,15 +21,21 @@
 //! 4. emit a per-firing SIMD [`Program`](synchro_isa::Program) and a
 //!    [`DouProgram`] that distributes each produced token across the
 //!    column's tiles at a statically scheduled bus cycle,
-//! 5. execute end to end, accounting horizontal-bus traffic from the
-//!    *measured* firing counts, and
-//! 6. cross-validate the measurements against the analytic
+//! 5. compile the inter-column traffic into a conflict-free periodic TDM
+//!    slot schedule over the segmented horizontal bus
+//!    (`synchro_route`, [`CompiledChip::route`]) — mappings whose traffic
+//!    cannot be scheduled are rejected as [`MapperError::Route`],
+//! 6. execute end to end, the chip's horizontal bus driven slot by slot
+//!    from that schedule as the reference clock passes each slot, and
+//! 7. cross-validate the measurements against the analytic
 //!    [`ApplicationReport`] ([`cross_validate`]).
 //!
 //! Inter-column token payloads are not physically modelled — the chip's
 //! horizontal bus is an accounting device, exactly as in the power
-//! methodology — but firing *rates* and bus *traffic* are measured from
-//! the simulation, not assumed.
+//! methodology — but firing *rates* are measured from the simulation and
+//! bus traffic follows the static schedule cycle by cycle, with
+//! scheduled-vs-occupied slot counts surviving into the power
+//! calibration.
 
 use std::error::Error;
 use std::fmt;
@@ -39,8 +45,9 @@ use synchro_dou::{DouError, DouProgram, ScheduleCompiler};
 use synchro_explore::{ExplorerError, ExplorerSolution};
 use synchro_isa::{DataReg, ProgramBuilder};
 use synchro_power::{Technology, VfCurve};
+use synchro_route::{compile_flows, BusSpec, RouteError, RouteSchedule};
 use synchro_sdf::{ActorId, Mapping, MappingViolation, SdfError, SdfGraph};
-use synchro_sim::{Chip, Column, ColumnConfig, ColumnError};
+use synchro_sim::{BusProgram, BusSlot, Chip, Column, ColumnConfig, ColumnError};
 use synchro_simd::RateMatcher;
 
 use crate::pipeline::ApplicationReport;
@@ -81,6 +88,10 @@ pub enum MapperError {
     },
     /// Realizing an explorer solution failed.
     Explorer(ExplorerError),
+    /// The inter-column traffic cannot be TDM-scheduled on the configured
+    /// horizontal bus (unreachable pair, oversubscribed segment group, or
+    /// the frame is too small for the per-iteration word demand).
+    Route(RouteError),
     /// A derived quantity (hyperperiod, firing count, ...) overflowed its
     /// representation.
     Overflow {
@@ -114,6 +125,7 @@ impl fmt::Display for MapperError {
                 Ok(())
             }
             MapperError::Explorer(e) => write!(f, "explorer solution: {e}"),
+            MapperError::Route(e) => write!(f, "communication schedule: {e}"),
             MapperError::Overflow { what } => write!(f, "{what} overflowed"),
             MapperError::Incomplete { ticks } => {
                 write!(f, "chip did not halt within {ticks} reference ticks")
@@ -129,6 +141,7 @@ impl Error for MapperError {
             MapperError::Dou(e) => Some(e),
             MapperError::Column(e) => Some(e),
             MapperError::Explorer(e) => Some(e),
+            MapperError::Route(e) => Some(e),
             _ => None,
         }
     }
@@ -158,14 +171,22 @@ impl From<ExplorerError> for MapperError {
     }
 }
 
+impl From<RouteError> for MapperError {
+    fn from(value: RouteError) -> Self {
+        MapperError::Route(value)
+    }
+}
+
 /// Options controlling one compilation.
 #[derive(Debug, Clone)]
 pub struct MapperOptions {
     /// Graph iterations the compiled programs execute before halting.
     pub iterations: u64,
-    /// Target graph-iteration rate, used to annotate each column with the
+    /// Target graph-iteration rate.  Annotates each column with the
     /// frequency/voltage operating point the analytic pipeline would
-    /// assign (it does not affect the functional simulation).
+    /// assign, and fixes the TDM frame size together with
+    /// `bus_frequency_hz` (so it gates communication schedulability,
+    /// though not the functional column simulation).
     pub iteration_rate_hz: f64,
     /// Upper bound on simulated compute slots per firing.  When the
     /// largest actor cost exceeds this, every cost is scaled down
@@ -177,6 +198,15 @@ pub struct MapperOptions {
     pub max_divider: u32,
     /// Technology used for the voltage annotation.
     pub tech: Technology,
+    /// Horizontal-bus width in words per cycle (independent splits the TDM
+    /// schedule may pack concurrently).  The paper's single horizontal bus
+    /// is one word per cycle.
+    pub bus_splits: usize,
+    /// Horizontal-bus clock in Hz.  Together with `iteration_rate_hz` it
+    /// fixes the TDM period (bus cycles per graph iteration); narrowing it
+    /// shrinks the frame until the per-iteration traffic no longer fits
+    /// and [`compile`] rejects the mapping as communication-infeasible.
+    pub bus_frequency_hz: f64,
 }
 
 impl Default for MapperOptions {
@@ -187,6 +217,8 @@ impl Default for MapperOptions {
             compute_cycle_cap: 100,
             max_divider: 1 << 20,
             tech: Technology::isca2004(),
+            bus_splits: 1,
+            bus_frequency_hz: 400e6,
         }
     }
 }
@@ -264,6 +296,12 @@ pub struct ExecutionReport {
     pub column_cycles: Vec<u64>,
     /// Intra-column (segmented vertical bus) word transfers per column.
     pub intra_column_words: Vec<u64>,
+    /// Horizontal-bus TDM slots the schedule reserved over this run
+    /// (occupied + idle) — one numerator of the slot-activity power model.
+    pub scheduled_bus_slots: u64,
+    /// Reserved horizontal-bus slots that carried a word — the other
+    /// numerator.
+    pub occupied_bus_slots: u64,
 }
 
 impl ExecutionReport {
@@ -332,6 +370,7 @@ pub struct CompiledChip {
     chip: Chip,
     plans: Vec<ColumnPlan>,
     cross_edges: Vec<CrossEdge>,
+    route: RouteSchedule,
     hyperperiod: u64,
     iterations: u64,
     drain_budget: u64,
@@ -388,7 +427,6 @@ pub fn compile(
     // per-iteration token counts feed the cross-edge traffic model.
     graph.schedule()?;
     let bounds = graph.buffer_bounds()?;
-    let tokens = graph.tokens_per_iteration()?;
 
     // Every actor placed exactly once.
     let mut column_of_actor: Vec<Option<usize>> = vec![None; graph.actors().len()];
@@ -405,7 +443,6 @@ pub fn compile(
             actor: ActorId(unplaced),
         });
     }
-    let column_of_actor: Vec<usize> = column_of_actor.into_iter().map(Option::unwrap).collect();
 
     let requirements = mapping.requirements(graph, options.iteration_rate_hz)?;
     let curve = VfCurve::fo4_20(&options.tech);
@@ -558,27 +595,67 @@ pub fn compile(
         });
     }
 
-    let cross_edges = graph
-        .edges()
+    // The router owns the flow-derivation invariant (placement i is
+    // column i, cross words per iteration from the repetition vector);
+    // the mapper only decorates each flow with its buffer bound and
+    // per-firing rate for the cross-edge bookkeeping.
+    let flows = synchro_route::column_flows(graph, mapping)?;
+    let cross_edges = flows
         .iter()
-        .enumerate()
-        .filter_map(|(ei, e)| {
-            let from_column = column_of_actor[e.from.0];
-            let to_column = column_of_actor[e.to.0];
-            (from_column != to_column).then_some(CrossEdge {
-                from_column,
-                to_column,
-                produce: e.produce,
-                words_per_iteration: tokens[ei],
-                buffer_bound: bounds[ei],
-            })
+        .map(|f| CrossEdge {
+            from_column: f.from,
+            to_column: f.to,
+            produce: graph.edges()[f.edge].produce,
+            words_per_iteration: f.words,
+            buffer_bound: bounds[f.edge],
         })
         .collect();
+
+    // Compile the static TDM communication schedule: every cross-column
+    // word gets a (split, cycle) slot in a periodic frame of
+    // `bus_frequency / iteration_rate` bus cycles, conflict-free under the
+    // segment-group rule — or the mapping is rejected as
+    // communication-infeasible.
+    let spec = BusSpec::from_clock(
+        plans.len().max(1),
+        options.bus_splits,
+        options.bus_frequency_hz,
+        options.iteration_rate_hz,
+    )?;
+    let route = compile_flows(&flows, &spec)?;
+
+    // Drive the simulated horizontal bus from the schedule: one chip-level
+    // bus program whose period is the hyperperiod, with each TDM slot's
+    // bus cycle scaled onto the reference clock.
+    if !route.slots().is_empty() {
+        let period = route.spec().period().max(1);
+        let mut slots: Vec<BusSlot> = route
+            .slots()
+            .iter()
+            .map(|slot| BusSlot {
+                tick: ((u128::from(slot.cycle) * u128::from(hyperperiod)) / u128::from(period))
+                    as u64,
+                from: slot.from,
+                to: vec![slot.to],
+                words: slot.words,
+            })
+            .collect();
+        slots.sort_by_key(|s| s.tick);
+        let program = BusProgram::new(
+            hyperperiod,
+            options.iterations,
+            route.scheduled_slots(),
+            slots,
+        );
+        chip.load_bus_program(program)
+            .map_err(|e| MapperError::Column(ColumnError::Bus(e)))?;
+    }
 
     Ok(CompiledChip {
         chip,
         plans,
         cross_edges,
+        route,
         hyperperiod,
         iterations: options.iterations,
         drain_budget,
@@ -606,6 +683,12 @@ impl CompiledChip {
         &self.cross_edges
     }
 
+    /// The compiled TDM communication schedule the chip's horizontal bus
+    /// is driven from (empty for single-column graphs).
+    pub fn route(&self) -> &RouteSchedule {
+        &self.route
+    }
+
     /// Reference ticks per graph iteration.
     pub fn hyperperiod(&self) -> u64 {
         self.hyperperiod
@@ -631,8 +714,13 @@ impl CompiledChip {
             .collect()
     }
 
-    /// Run the chip to completion, accounting horizontal-bus traffic from
-    /// the measured firing counts at every iteration boundary.
+    /// Run the chip to completion.  Horizontal-bus traffic is driven
+    /// cycle-by-cycle from the compiled TDM route schedule (loaded into
+    /// the chip as a [`BusProgram`]) as the reference clock passes each
+    /// slot's time — the statically scheduled communication the paper
+    /// describes, rather than after-the-fact aggregate billing.  For a
+    /// contention-free schedule the per-run word totals are identical to
+    /// the old firing-count accounting, bit for bit.
     ///
     /// Every quantity in the returned [`ExecutionReport`] covers *this
     /// call only*: counters are snapshotted on entry and reported as
@@ -650,31 +738,13 @@ impl CompiledChip {
         let start_words = self.chip.stats().horizontal_transfers;
         let start_firings = self.measured_firings();
         let start_columns = self.chip.column_stats();
-        let mut accounted = start_firings.clone();
-        let account = |chip: &mut Chip,
-                       cross: &[CrossEdge],
-                       accounted: &mut [u64],
-                       firings: &[u64]|
-         -> Result<(), MapperError> {
-            for edge in cross {
-                let delta = firings[edge.from_column] - accounted[edge.from_column];
-                let words = delta * edge.produce;
-                if words > 0 {
-                    chip.horizontal_transfer_words(edge.from_column, &[edge.to_column], words)
-                        .map_err(|e| MapperError::Column(ColumnError::Bus(e)))?;
-                }
-            }
-            accounted.copy_from_slice(firings);
-            Ok(())
-        };
+        let start_bus = self.chip.horizontal_stats().unwrap_or_default();
 
         for _ in 0..self.iterations {
             if self.chip.all_halted() {
                 break;
             }
             self.chip.run(self.hyperperiod)?;
-            let firings = self.measured_firings();
-            account(&mut self.chip, &self.cross_edges, &mut accounted, &firings)?;
         }
         // Drain: the halt-observing tick of every column (and, for
         // ZORM-throttled columns, the stall surplus) lies past the last
@@ -687,8 +757,11 @@ impl CompiledChip {
         if !self.chip.all_halted() {
             return Err(MapperError::Incomplete { ticks: spent });
         }
+        // The columns can halt before the reference clock crosses the last
+        // slots of the final frame; the DOUs still play their schedule
+        // out, so drive the bus program to completion.
+        self.chip.finish_bus_program()?;
         let firings = self.measured_firings();
-        account(&mut self.chip, &self.cross_edges, &mut accounted, &firings)?;
 
         let expected: Vec<u64> = self
             .plans
@@ -723,6 +796,18 @@ impl CompiledChip {
                 .zip(&start_columns)
                 .map(|(now, before)| now.bus_word_transfers - before.bus_word_transfers)
                 .collect(),
+            scheduled_bus_slots: self
+                .chip
+                .horizontal_stats()
+                .unwrap_or_default()
+                .scheduled_slots
+                - start_bus.scheduled_slots,
+            occupied_bus_slots: self
+                .chip
+                .horizontal_stats()
+                .unwrap_or_default()
+                .occupied_slots
+                - start_bus.occupied_slots,
         })
     }
 }
@@ -1068,6 +1153,67 @@ mod tests {
         let execution = compiled.execute().unwrap();
         assert!(execution.firings_exact());
         assert_eq!(execution.horizontal_traffic_error(), 0.0);
+    }
+
+    #[test]
+    fn compiled_chips_carry_a_conflict_free_route_schedule() {
+        let (g, m) = two_actor_chain(2, 3);
+        let options = MapperOptions {
+            iterations: 5,
+            ..MapperOptions::default()
+        };
+        let mut compiled = compile(&g, &m, &options).unwrap();
+        let route = compiled.route().clone();
+        route.validate().unwrap();
+        // reps = (3, 2): the cross edge moves 6 words per iteration.
+        assert_eq!(route.occupied_slots(), 6);
+        assert_eq!(route.words_for_edge(0), 6);
+        // Default bus: 1 split at 400 MHz over a 1 MHz iteration rate.
+        assert_eq!(route.spec().period(), 400);
+        assert_eq!(route.spec().splits(), 1);
+
+        let report = compiled.execute().unwrap();
+        assert_eq!(report.occupied_bus_slots, 5 * 6);
+        assert_eq!(report.scheduled_bus_slots, 5 * 400);
+        assert_eq!(report.simulated_horizontal_words, 30);
+    }
+
+    #[test]
+    fn narrow_bus_rejects_unschedulable_mappings() {
+        // The DDC reference moves 10 words per iteration at 16 M
+        // iterations/s; a 100 MHz single-split bus offers only
+        // floor(100/16) = 6 TDM slots per iteration, so the mapping must
+        // be rejected as communication-infeasible — while the same
+        // mapping at the reference 400 MHz bus schedules fine.
+        let (g, m, rate) = ddc_reference();
+        let narrow = MapperOptions {
+            iteration_rate_hz: rate,
+            bus_frequency_hz: 100e6,
+            ..MapperOptions::default()
+        };
+        match compile(&g, &m, &narrow) {
+            Err(MapperError::Route(RouteError::PeriodOverflow { demand, capacity })) => {
+                assert_eq!(demand, 10);
+                assert_eq!(capacity, 6);
+            }
+            other => panic!("expected a period overflow, got {other:?}"),
+        }
+        let reference = MapperOptions {
+            iteration_rate_hz: rate,
+            ..MapperOptions::default()
+        };
+        let compiled = compile(&g, &m, &reference).unwrap();
+        compiled.route().validate().unwrap();
+        assert_eq!(compiled.route().occupied_slots(), 10);
+        // A second split halves the pressure: the narrow clock schedules.
+        let widened = MapperOptions {
+            iteration_rate_hz: rate,
+            bus_frequency_hz: 100e6,
+            bus_splits: 2,
+            ..MapperOptions::default()
+        };
+        let compiled = compile(&g, &m, &widened).unwrap();
+        compiled.route().validate().unwrap();
     }
 
     #[test]

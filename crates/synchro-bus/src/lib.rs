@@ -172,6 +172,23 @@ pub struct BusStats {
     pub word_transfers: u64,
     /// Total consumer deliveries.
     pub deliveries: u64,
+    /// TDM slots (one split of one scheduled bus cycle) the static schedule
+    /// reserved, whether or not a word was driven through them.
+    pub scheduled_slots: u64,
+    /// Reserved slots that actually carried a word.  Together with
+    /// [`BusStats::scheduled_slots`] this gives the slot-activity power
+    /// model both numerators (occupied slots switch the full split width,
+    /// scheduled-but-idle slots only clock the drivers).
+    pub occupied_slots: u64,
+}
+
+impl BusStats {
+    /// Scheduled slots that carried no word — the idle half of the static
+    /// TDM schedule (saturating, so hand-accounted stats that never called
+    /// a scheduled-slot path do not underflow).
+    pub fn idle_slots(&self) -> u64 {
+        self.scheduled_slots.saturating_sub(self.occupied_slots)
+    }
 }
 
 /// A column's segmented vertical bus.
@@ -232,6 +249,14 @@ impl SegmentedBus {
         config: &SegmentConfig,
         ops: &[BusOp],
     ) -> Result<Vec<Vec<usize>>, BusError> {
+        // Every invoked cycle is a scheduled one: the DOU reserved all
+        // splits for this bus cycle even when none carries a word.  Idle
+        // cycles take this allocation-free early exit — they sit on the
+        // simulator's per-column-cycle hot path.
+        self.stats.scheduled_slots += self.splits as u64;
+        if ops.is_empty() {
+            return Ok(Vec::new());
+        }
         // Per split, remember which (producer, group) pairs already drive.
         let mut drivers: Vec<Vec<(usize, BTreeSet<usize>)>> = vec![Vec::new(); self.splits];
         let mut delivered = Vec::with_capacity(ops.len());
@@ -283,11 +308,10 @@ impl SegmentedBus {
             delivered.push(op.consumers.clone());
         }
 
-        if !ops.is_empty() {
-            self.stats.active_cycles += 1;
-            self.stats.word_transfers += ops.len() as u64;
-            self.stats.deliveries += ops.iter().map(|o| o.consumers.len() as u64).sum::<u64>();
-        }
+        self.stats.occupied_slots += ops.len() as u64;
+        self.stats.active_cycles += 1;
+        self.stats.word_transfers += ops.len() as u64;
+        self.stats.deliveries += ops.iter().map(|o| o.consumers.len() as u64).sum::<u64>();
         Ok(delivered)
     }
 }
@@ -377,8 +401,18 @@ impl HorizontalBus {
         }
         self.stats.active_cycles += words;
         self.stats.word_transfers += words;
+        self.stats.occupied_slots += words;
         self.stats.deliveries += (to.len() as u64) * words;
         Ok(())
+    }
+
+    /// Account `slots` statically scheduled TDM slots (whether occupied or
+    /// not).  A TDM-driven chip calls this once per completed schedule
+    /// period with `period × splits`; the occupied half is accumulated by
+    /// the individual transfers, so `stats().idle_slots()` is the
+    /// scheduled-but-idle remainder the power calibration needs.
+    pub fn account_scheduled_slots(&mut self, slots: u64) {
+        self.stats.scheduled_slots += slots;
     }
 }
 
@@ -553,6 +587,44 @@ mod tests {
         bus.cycle(&cfg, &[]).unwrap();
         assert_eq!(bus.stats().active_cycles, 0);
         assert_eq!(bus.stats().word_transfers, 0);
+        // ... but they are still scheduled slots the DOU reserved.
+        assert_eq!(bus.stats().scheduled_slots, 8);
+        assert_eq!(bus.stats().occupied_slots, 0);
+        assert_eq!(bus.stats().idle_slots(), 8);
+    }
+
+    #[test]
+    fn scheduled_and_occupied_slots_are_counted_separately() {
+        let mut bus = SegmentedBus::isca2004();
+        let cfg = SegmentConfig::all_closed(8, 4);
+        bus.cycle(
+            &cfg,
+            &[BusOp {
+                split: 0,
+                producer: 0,
+                consumers: vec![1],
+            }],
+        )
+        .unwrap();
+        bus.cycle(&cfg, &[]).unwrap();
+        // Two scheduled cycles × 8 splits, one of which carried a word.
+        assert_eq!(bus.stats().scheduled_slots, 16);
+        assert_eq!(bus.stats().occupied_slots, 1);
+        assert_eq!(bus.stats().idle_slots(), 15);
+    }
+
+    #[test]
+    fn horizontal_scheduled_slots_accumulate_independently_of_transfers() {
+        let mut h = HorizontalBus::new(3);
+        h.transfer_words(0, &[1], 4).unwrap();
+        assert_eq!(h.stats().occupied_slots, 4);
+        assert_eq!(h.stats().scheduled_slots, 0);
+        h.account_scheduled_slots(10);
+        assert_eq!(h.stats().scheduled_slots, 10);
+        assert_eq!(h.stats().idle_slots(), 6);
+        // Hand-accounted stats with no scheduled-slot path never underflow.
+        let lone = HorizontalBus::new(2).stats();
+        assert_eq!(lone.idle_slots(), 0);
     }
 
     #[test]

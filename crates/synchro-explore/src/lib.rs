@@ -95,6 +95,15 @@ pub enum ExplorerError {
         /// An actor without a placement (or placed more than once).
         actor: ActorId,
     },
+    /// Every candidate grouping was rejected by the communication
+    /// feasibility prune: no mapping's cross-column traffic fits the
+    /// configured TDM frame.
+    CommInfeasible {
+        /// The configured frame capacity in slots per iteration.
+        capacity: u64,
+        /// Groupings the prune rejected.
+        pruned: u64,
+    },
 }
 
 impl fmt::Display for ExplorerError {
@@ -120,6 +129,11 @@ impl fmt::Display for ExplorerError {
             ExplorerError::IncompleteMapping { actor } => {
                 write!(f, "actor {} is not placed exactly once", actor.0)
             }
+            ExplorerError::CommInfeasible { capacity, pruned } => write!(
+                f,
+                "no grouping's cross-column traffic fits the {capacity}-slot TDM frame \
+                 ({pruned} groupings rejected)"
+            ),
         }
     }
 }
@@ -156,6 +170,91 @@ pub enum SearchStrategy {
     },
 }
 
+/// Which supply-voltage policy the explorer's cost model reports under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VoltagePolicy {
+    /// Each column gets the minimum quantised voltage its own frequency
+    /// requires — the paper's headline per-column voltage scaling.
+    #[default]
+    PerColumn,
+    /// Every column shares one chip-wide supply: the maximum voltage any
+    /// column requires.  The search still ranks candidates by the
+    /// per-column relaxation (the mapping that minimises per-column power
+    /// is the one Table 4 re-costs under a single supply); the reported
+    /// costs, voltages and best/frontier selection are then computed at
+    /// the shared voltage.
+    SingleVoltage,
+}
+
+/// The communication capacity the explorer prunes against: one TDM frame
+/// of the horizontal bus per graph iteration, described by its width in
+/// words per cycle and its period in bus cycles.
+///
+/// The prune is an optimistic upper bound — a grouping is rejected only
+/// when its total cross-column words per iteration exceed the whole
+/// frame (`splits × period × segment_groups` slots), which no schedule
+/// could ever fit.  Survivors still go through the exact
+/// `synchro-route` compiler, which also enforces reachability under the
+/// concrete segment topology.
+///
+/// The exhaustive engine applies the prune per grouping before its DP,
+/// so its results are exact under the constraint.  The beam engine can
+/// only filter *complete* candidates: its cost-based dominance pruning
+/// is not comm-aware, so on large graphs a schedulable-but-pricier
+/// prefix may be shadowed by a cheaper unschedulable one and the beam
+/// may miss solutions the exhaustive engine finds (a comm-aware
+/// dominance dimension is a recorded ROADMAP follow-up).  Prefer the
+/// exhaustive engine when combining `comm` with graphs small enough for
+/// it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommSpec {
+    /// Bus width in words per cycle (independent splits).
+    pub splits: u32,
+    /// Bus cycles per graph iteration.
+    pub period: u64,
+    /// Electrically separate column groups each split's segment switches
+    /// create (1 = broadcast).  Capacity multiplier for the optimistic
+    /// bound: disjoint groups can reuse a split in the same cycle.
+    pub segment_groups: u32,
+}
+
+impl CommSpec {
+    /// A broadcast frame of `splits` words per cycle over `period` cycles.
+    pub fn new(splits: u32, period: u64) -> Self {
+        CommSpec {
+            splits: splits.max(1),
+            period,
+            segment_groups: 1,
+        }
+    }
+
+    /// Derive the period from a bus clock and the iteration rate (whole
+    /// bus cycles per graph iteration).
+    pub fn from_clock(splits: u32, bus_frequency_hz: f64, iteration_rate_hz: f64) -> Self {
+        let period = if bus_frequency_hz > 0.0 && iteration_rate_hz > 0.0 {
+            (bus_frequency_hz / iteration_rate_hz).floor() as u64
+        } else {
+            0
+        };
+        CommSpec::new(splits, period)
+    }
+
+    /// Override the segment-group count (the "segment count" search
+    /// dimension).
+    #[must_use]
+    pub fn with_segment_groups(mut self, segment_groups: u32) -> Self {
+        self.segment_groups = segment_groups.max(1);
+        self
+    }
+
+    /// Slots per iteration the frame offers at most.
+    pub fn capacity(&self) -> u64 {
+        u64::from(self.splits)
+            .saturating_mul(self.period)
+            .saturating_mul(u64::from(self.segment_groups))
+    }
+}
+
 /// Above this actor count [`SearchStrategy::Auto`] switches from
 /// exhaustive grouping enumeration (2^(n−1) groupings) to beam search,
 /// and [`SearchStrategy::Exhaustive`] is rejected outright (public so
@@ -188,6 +287,13 @@ pub struct ExplorerConfig {
     /// Parallel efficiency assumed when splitting work across tiles
     /// (1.0 = perfect speedup, matching the reference mappings).
     pub efficiency: f64,
+    /// Optional communication-feasibility prune: groupings whose
+    /// cross-column traffic cannot fit the TDM frame are rejected before
+    /// their tile allocations are searched.  `None` (the default) keeps
+    /// the unconstrained behaviour.
+    pub comm: Option<CommSpec>,
+    /// Supply-voltage policy the reported costs are computed under.
+    pub voltage_policy: VoltagePolicy,
 }
 
 impl ExplorerConfig {
@@ -203,6 +309,8 @@ impl ExplorerConfig {
             threads: 0,
             max_group_size: usize::MAX,
             efficiency: 1.0,
+            comm: None,
+            voltage_policy: VoltagePolicy::PerColumn,
         }
     }
 
@@ -239,6 +347,20 @@ impl ExplorerConfig {
     #[must_use]
     pub fn with_tech(mut self, tech: Technology) -> Self {
         self.tech = tech;
+        self
+    }
+
+    /// Enable the communication-feasibility prune against one TDM frame.
+    #[must_use]
+    pub fn with_comm(mut self, comm: CommSpec) -> Self {
+        self.comm = Some(comm);
+        self
+    }
+
+    /// Override the voltage policy the costs are reported under.
+    #[must_use]
+    pub fn with_voltage_policy(mut self, policy: VoltagePolicy) -> Self {
+        self.voltage_policy = policy;
         self
     }
 
@@ -404,19 +526,31 @@ pub fn explore(graph: &SdfGraph, config: &ExplorerConfig) -> Result<Exploration,
     let evaluator = Evaluator::new(&config.tech, config.iteration_rate_hz, config.efficiency);
     let threads = config.resolved_threads();
     let default_width = (config.tile_budget as usize + 1).max(64);
-    let outcome = match config.strategy {
+    let use_beam = match config.strategy {
         SearchStrategy::Exhaustive if max_group_size > 1 && n > EXHAUSTIVE_ACTOR_LIMIT => {
             return Err(ExplorerError::TooManyActorsForExhaustive { actors: n });
         }
-        SearchStrategy::Exhaustive => search::exhaustive(
+        SearchStrategy::Exhaustive => None,
+        SearchStrategy::Beam { width } => Some(width),
+        SearchStrategy::Auto => {
+            if max_group_size == 1 || n <= EXHAUSTIVE_ACTOR_LIMIT {
+                None
+            } else {
+                Some(default_width)
+            }
+        }
+    };
+    let outcome = match use_beam {
+        None => search::exhaustive(
             &ctx,
             &evaluator,
             config.candidates,
             config.tile_budget,
             max_group_size,
             threads,
+            config.comm,
         ),
-        SearchStrategy::Beam { width } => search::beam(
+        Some(width) => search::beam(
             &ctx,
             &evaluator,
             config.candidates,
@@ -424,31 +558,25 @@ pub fn explore(graph: &SdfGraph, config: &ExplorerConfig) -> Result<Exploration,
             max_group_size,
             width,
             threads,
+            config.comm,
         ),
-        SearchStrategy::Auto => {
-            if max_group_size == 1 || n <= EXHAUSTIVE_ACTOR_LIMIT {
-                search::exhaustive(
-                    &ctx,
-                    &evaluator,
-                    config.candidates,
-                    config.tile_budget,
-                    max_group_size,
-                    threads,
-                )
-            } else {
-                search::beam(
-                    &ctx,
-                    &evaluator,
-                    config.candidates,
-                    config.tile_budget,
-                    max_group_size,
-                    default_width,
-                    threads,
-                )
-            }
-        }
     };
     if outcome.curve.is_empty() {
+        // Blame communication only when the prune certainly rejected
+        // *every* grouping: the exhaustive engine examines each one, so
+        // pruned == examined is a proof; the beam engine only sees the
+        // candidates that survived its cost-based dominance pruning, so
+        // an all-pruned final layer proves nothing about groupings pruned
+        // earlier for cost — report the honest NoSolutions instead.
+        if use_beam.is_none()
+            && outcome.stats.groupings_comm_pruned > 0
+            && outcome.stats.groupings_comm_pruned >= outcome.stats.groupings_examined
+        {
+            return Err(ExplorerError::CommInfeasible {
+                capacity: config.comm.map(|c| c.capacity()).unwrap_or(0),
+                pruned: outcome.stats.groupings_comm_pruned,
+            });
+        }
         return Err(ExplorerError::NoSolutions);
     }
 
@@ -456,16 +584,28 @@ pub fn explore(graph: &SdfGraph, config: &ExplorerConfig) -> Result<Exploration,
         .curve
         .iter()
         .map(|c| {
-            let solution = realize_candidate(graph, &ctx, &evaluator, &c.groups, &c.allocation);
+            let solution = realize_candidate(
+                graph,
+                &ctx,
+                &evaluator,
+                &c.groups,
+                &c.allocation,
+                config.voltage_policy,
+            );
             // The search engines accumulate cost layer by layer in the
             // same order realization sums it, so the backpointer DP's
-            // totals must agree bit-for-bit with the re-evaluation.
-            debug_assert_eq!(
-                solution.power_mw.to_bits(),
-                c.power_mw.to_bits(),
-                "search cost diverged from realized cost"
-            );
-            debug_assert_eq!(solution.feasible, c.feasible);
+            // totals must agree bit-for-bit with the re-evaluation.  Under
+            // the single-voltage policy the realized cost is deliberately
+            // re-priced at the shared supply, so the identity only holds
+            // for the per-column relaxation the search ran on.
+            if config.voltage_policy == VoltagePolicy::PerColumn {
+                debug_assert_eq!(
+                    solution.power_mw.to_bits(),
+                    c.power_mw.to_bits(),
+                    "search cost diverged from realized cost"
+                );
+                debug_assert_eq!(solution.feasible, c.feasible);
+            }
             solution
         })
         .collect();
@@ -558,7 +698,46 @@ pub fn evaluate_mapping(
         &evaluator,
         &groups,
         &allocation,
+        config.voltage_policy,
     ))
+}
+
+/// One point of a bus-width sweep: the communication constraint the
+/// exploration ran under and its outcome.
+#[derive(Debug)]
+pub struct BusWidthPoint {
+    /// The frame the prune used (splits = the swept width).
+    pub comm: CommSpec,
+    /// The exploration at that width, or the structured infeasibility
+    /// (typically [`ExplorerError::CommInfeasible`] for widths too narrow
+    /// for any grouping).
+    pub outcome: Result<Exploration, ExplorerError>,
+}
+
+/// Sweep the horizontal-bus width (words per cycle) as a search
+/// dimension: re-explore `graph` under `config` with the
+/// communication-feasibility prune set to each width in `widths`,
+/// keeping `base`'s period and segment-group count.
+pub fn explore_bus_widths(
+    graph: &SdfGraph,
+    config: &ExplorerConfig,
+    base: CommSpec,
+    widths: &[u32],
+) -> Vec<BusWidthPoint> {
+    widths
+        .iter()
+        .map(|&splits| {
+            let comm = CommSpec {
+                splits: splits.max(1),
+                ..base
+            };
+            let swept = config.clone().with_comm(comm);
+            BusWidthPoint {
+                comm,
+                outcome: explore(graph, &swept),
+            }
+        })
+        .collect()
 }
 
 /// Stable hooks for the repo's criterion benches, exposing the search
@@ -623,24 +802,45 @@ pub mod perf {
 }
 
 /// Re-evaluate a candidate's columns in full detail and package it as a
-/// public solution.
+/// public solution.  Under [`VoltagePolicy::SingleVoltage`] every column
+/// is re-priced at the chip-wide maximum required voltage (the same
+/// semantics the analytic pipeline's single-voltage comparison uses).
 fn realize_candidate(
     graph: &SdfGraph,
     ctx: &GraphContext,
     evaluator: &Evaluator,
     groups: &[(usize, usize)],
     allocation: &[u32],
+    policy: VoltagePolicy,
 ) -> ExplorerSolution {
-    let mut columns = Vec::with_capacity(groups.len());
-    let mut power_mw = 0.0;
-    let mut feasible = true;
+    let mut evals = Vec::with_capacity(groups.len());
     for (&(start, end), &tiles) in groups.iter().zip(allocation) {
-        let eval = evaluator.evaluate_column(
+        evals.push(evaluator.evaluate_column(
             ctx.group_work(start, end),
             ctx.group_cap(start, end),
             ctx.boundary_tokens(start, end),
             tiles,
-        );
+        ));
+    }
+    if policy == VoltagePolicy::SingleVoltage {
+        let shared = evals.iter().map(|e| e.voltage).fold(0.0, f64::max);
+        evals = groups
+            .iter()
+            .zip(&evals)
+            .map(|(&(start, end), base)| {
+                evaluator.reprice_at_voltage(
+                    base,
+                    ctx.group_cap(start, end),
+                    ctx.boundary_tokens(start, end),
+                    shared,
+                )
+            })
+            .collect();
+    }
+    let mut columns = Vec::with_capacity(groups.len());
+    let mut power_mw = 0.0;
+    let mut feasible = true;
+    for (&(start, end), eval) in groups.iter().zip(&evals) {
         power_mw += eval.power.total_mw();
         feasible &= eval.within_envelope;
         let members = &graph.actors()[start..end];
@@ -651,7 +851,7 @@ fn realize_candidate(
                 .map(|a| a.name.as_str())
                 .collect::<Vec<_>>()
                 .join("+"),
-            tiles,
+            tiles: eval.tiles,
             frequency_mhz: eval.frequency_mhz,
             voltage: eval.voltage,
             within_envelope: eval.within_envelope,
@@ -868,6 +1068,91 @@ mod tests {
         let exploration = explore(&g, &ExplorerConfig::new(1e6, 4)).unwrap();
         assert!(!exploration.best.feasible);
         assert!(exploration.best.columns[0].voltage > 1.7);
+    }
+
+    #[test]
+    fn single_voltage_policy_costs_at_least_per_column() {
+        let g = ddc();
+        let per_column = ExplorerConfig::new(16e6, 50).single_actor_columns();
+        let single = per_column
+            .clone()
+            .with_voltage_policy(VoltagePolicy::SingleVoltage);
+        let pc = explore(&g, &per_column).unwrap();
+        let sv = explore(&g, &single).unwrap();
+        // Same mapping structure at the reference budget, higher cost.
+        let pc50 = pc.solution_for_tiles(50).unwrap();
+        let sv50 = sv.solution_for_tiles(50).unwrap();
+        assert_eq!(pc50.allocation(), sv50.allocation());
+        assert!(sv50.power_mw > pc50.power_mw);
+        // Every column runs at the chip-wide maximum required voltage.
+        let shared = pc50.columns.iter().map(|c| c.voltage).fold(0.0, f64::max);
+        for col in &sv50.columns {
+            assert!((col.voltage - shared).abs() < 1e-12, "{}", col.name);
+        }
+        // Frequencies are unchanged — only the supply moved.
+        assert_eq!(pc50.frequencies_mhz(), sv50.frequencies_mhz());
+        // evaluate_mapping prices the reference mapping identically.
+        let reference = evaluate_mapping(&g, &ddc_reference_mapping(&g), &single).unwrap();
+        assert!((reference.power_mw - sv50.power_mw).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reference_comm_configuration_keeps_table4_points_schedulable() {
+        // The DDC moves 10 words per iteration; the reference bus (one
+        // split at 400 MHz over 16 M iterations/s → 25 slots) must keep
+        // the Table 4 operating point intact.
+        let g = ddc();
+        let comm = CommSpec::from_clock(1, 400e6, 16e6);
+        assert_eq!(comm.period, 25);
+        let config = ExplorerConfig::new(16e6, 50)
+            .single_actor_columns()
+            .with_comm(comm);
+        let exploration = explore(&g, &config).unwrap();
+        assert_eq!(exploration.stats.groupings_comm_pruned, 0);
+        let at_budget = exploration.solution_for_tiles(50).expect("50 reachable");
+        assert_eq!(at_budget.allocation(), vec![8, 8, 2, 16, 16]);
+        // A frame too small for the 10 words rejects the whole
+        // single-actor space as communication-infeasible.
+        let narrow = ExplorerConfig::new(16e6, 50)
+            .single_actor_columns()
+            .with_comm(CommSpec::new(1, 6));
+        assert!(matches!(
+            explore(&g, &narrow),
+            Err(ExplorerError::CommInfeasible {
+                capacity: 6,
+                pruned: 1
+            })
+        ));
+        // With fusion allowed, the search routes around the narrow bus by
+        // fusing the rate-changing front end.
+        let fused = explore(
+            &g,
+            &ExplorerConfig::new(16e6, 50).with_comm(CommSpec::new(1, 6)),
+        )
+        .unwrap();
+        assert!(fused.stats.groupings_comm_pruned > 0);
+        assert!(!fused.best.is_single_actor_columns());
+    }
+
+    #[test]
+    fn bus_width_sweep_exposes_the_feasibility_knee() {
+        let g = ddc();
+        let config = ExplorerConfig::new(16e6, 50).single_actor_columns();
+        // Period 6: a single split (6 slots) cannot carry the 10 words,
+        // two splits (12 slots) can.
+        let points = explore_bus_widths(&g, &config, CommSpec::new(1, 6), &[1, 2, 4]);
+        assert_eq!(points.len(), 3);
+        assert!(matches!(
+            points[0].outcome,
+            Err(ExplorerError::CommInfeasible { .. })
+        ));
+        for point in &points[1..] {
+            let exploration = point.outcome.as_ref().expect("wide enough");
+            assert!(exploration.best.feasible);
+        }
+        assert_eq!(points[2].comm.splits, 4);
+        // Segment groups widen the optimistic capacity the same way.
+        assert_eq!(CommSpec::new(1, 6).with_segment_groups(2).capacity(), 12);
     }
 
     #[test]

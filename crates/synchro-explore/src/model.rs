@@ -88,6 +88,20 @@ impl GraphContext {
             .map(|(_, &t)| t)
             .sum()
     }
+
+    /// Total words per graph iteration crossing *any* column boundary of
+    /// a complete contiguous grouping — the demand the horizontal bus's
+    /// TDM frame must absorb.  `groups` must tile `0..n` in order, so
+    /// membership is a binary search over group starts.
+    pub fn grouping_cross_words(&self, groups: &[(usize, usize)]) -> u64 {
+        let group_of = |actor: usize| groups.partition_point(|&(start, _)| start <= actor) - 1;
+        self.edges
+            .iter()
+            .zip(&self.tokens)
+            .filter(|((from, to), _)| group_of(*from) != group_of(*to))
+            .map(|(_, &t)| t)
+            .sum()
+    }
 }
 
 /// The operating point and power of one candidate column group at one
@@ -155,6 +169,50 @@ impl Evaluator {
         let frequency_mhz = work as f64 * self.rate_hz / effective / 1e6;
         let (voltage, within_envelope) =
             self.curve.voltage_for_frequency_extrapolated(frequency_mhz);
+        self.finish_eval(
+            cap,
+            boundary_tokens,
+            tiles,
+            frequency_mhz,
+            voltage,
+            within_envelope,
+        )
+    }
+
+    /// Re-price an already-evaluated group at an externally imposed
+    /// supply voltage (the single-voltage policy: every column runs at
+    /// the chip-wide maximum required voltage).  The frequency
+    /// requirement is unchanged; only the power scales with the higher
+    /// supply.  `within_envelope` keeps the group's own reachability
+    /// verdict — a shared voltage can only be at least the group's
+    /// minimum, which `voltage.max(..)` also enforces.
+    pub fn reprice_at_voltage(
+        &self,
+        base: &ColumnEval,
+        cap: u32,
+        boundary_tokens: u64,
+        voltage: f64,
+    ) -> ColumnEval {
+        self.finish_eval(
+            cap,
+            boundary_tokens,
+            base.tiles,
+            base.frequency_mhz,
+            voltage.max(base.voltage),
+            base.within_envelope,
+        )
+    }
+
+    fn finish_eval(
+        &self,
+        cap: u32,
+        boundary_tokens: u64,
+        tiles: u32,
+        frequency_mhz: f64,
+        voltage: f64,
+        within_envelope: bool,
+    ) -> ColumnEval {
+        let active = tiles.clamp(1, cap);
         let bus_words_per_second = boundary_tokens as f64 * self.rate_hz * f64::from(active);
         let activity = ColumnActivity {
             tiles,

@@ -45,6 +45,47 @@ impl BusGeometry {
     }
 }
 
+/// Slot-level activity of one statically scheduled TDM frame: how many
+/// slots the schedule reserved and drove over a frame of wall-clock time.
+/// Built from a compiled route schedule or from the simulator's
+/// `BusStats` scheduled/occupied counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlotActivity {
+    /// Slots that carried a word.
+    pub occupied_slots: u64,
+    /// Scheduled-but-idle slots.
+    pub idle_slots: u64,
+    /// Wall-clock seconds the frame spans.
+    pub frame_seconds: f64,
+    /// Energy of an idle slot as a fraction of a word transfer's energy
+    /// (0.0 = idle slots are free, the rate-model assumption).
+    pub idle_fraction: f64,
+}
+
+impl SlotActivity {
+    /// Activity of one schedule period at a given iteration rate, with
+    /// free idle slots (the rate-model-compatible default).
+    pub fn per_iteration(occupied_slots: u64, idle_slots: u64, iteration_rate_hz: f64) -> Self {
+        SlotActivity {
+            occupied_slots,
+            idle_slots,
+            frame_seconds: if iteration_rate_hz > 0.0 {
+                1.0 / iteration_rate_hz
+            } else {
+                0.0
+            },
+            idle_fraction: 0.0,
+        }
+    }
+
+    /// Override the idle-slot energy fraction.
+    #[must_use]
+    pub fn with_idle_fraction(mut self, idle_fraction: f64) -> Self {
+        self.idle_fraction = idle_fraction.clamp(0.0, 1.0);
+        self
+    }
+}
+
 /// Wire-capacitance interconnect energy/power model.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InterconnectModel {
@@ -79,6 +120,26 @@ impl InterconnectModel {
     /// second) at supply `voltage`.
     pub fn power_mw(&self, bus: &BusGeometry, words_per_second: f64, voltage: f64) -> f64 {
         self.word_energy_j(bus, voltage) * words_per_second * 1e3
+    }
+
+    /// Bus power in milliwatts from a static TDM schedule's slot counts —
+    /// the calibration path for schedule-driven simulation, consuming
+    /// exactly the scheduled/occupied split `synchro_bus::BusStats` now
+    /// records.
+    ///
+    /// Each occupied slot switches one full split (`word_energy_j`); each
+    /// scheduled-but-idle slot still toggles its drivers and clocked
+    /// repeaters, modelled as `idle_fraction` of a word's energy
+    /// (0.0 recovers the rate-based model exactly — see
+    /// [`InterconnectModel::power_mw`] — which the calibration test pins).
+    pub fn power_mw_slots(&self, bus: &BusGeometry, slots: &SlotActivity, voltage: f64) -> f64 {
+        if slots.frame_seconds <= 0.0 {
+            return 0.0;
+        }
+        let word = self.word_energy_j(bus, voltage);
+        let energy_j = slots.occupied_slots as f64 * word
+            + slots.idle_slots as f64 * word * slots.idle_fraction;
+        energy_j / slots.frame_seconds * 1e3
     }
 
     /// Bus power in milliwatts expressed the way the paper's equation does:
@@ -163,6 +224,40 @@ mod tests {
         let activity = words_per_cycle * f64::from(b.split_width_bits()) / f64::from(b.width_bits);
         let by_activity = m.power_mw_activity(&b, activity, 1.0, f_mhz);
         assert!((by_rate - by_activity).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slot_power_with_free_idle_slots_matches_the_rate_model() {
+        // Calibration: a schedule moving `occupied` words per iteration at
+        // rate R is the same traffic as `occupied × R` words per second,
+        // so with idle slots costing nothing the two paths must agree.
+        let t = tech();
+        let m = InterconnectModel::new(&t);
+        let b = BusGeometry::horizontal(&t);
+        let rate = 16e6;
+        let slots = SlotActivity::per_iteration(10, 15, rate);
+        let by_slots = m.power_mw_slots(&b, &slots, 0.9);
+        let by_rate = m.power_mw(&b, 10.0 * rate, 0.9);
+        assert!(
+            (by_slots - by_rate).abs() < 1e-12 * by_rate.max(1.0),
+            "{by_slots} vs {by_rate}"
+        );
+    }
+
+    #[test]
+    fn idle_slots_add_energy_in_proportion_to_their_fraction() {
+        let t = tech();
+        let m = InterconnectModel::new(&t);
+        let b = BusGeometry::horizontal(&t);
+        let base = SlotActivity::per_iteration(10, 30, 16e6);
+        let leaky = base.with_idle_fraction(0.1);
+        let p0 = m.power_mw_slots(&b, &base, 0.9);
+        let p1 = m.power_mw_slots(&b, &leaky, 0.9);
+        // 30 idle slots at 10% of a word ≈ 3 extra word-equivalents on 10.
+        assert!((p1 / p0 - 1.3).abs() < 1e-9, "ratio {}", p1 / p0);
+        // Degenerate frames cost nothing instead of dividing by zero.
+        let empty = SlotActivity::per_iteration(10, 0, 0.0);
+        assert_eq!(m.power_mw_slots(&b, &empty, 0.9), 0.0);
     }
 
     #[test]

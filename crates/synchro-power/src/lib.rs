@@ -54,7 +54,7 @@ pub use area::{AreaModel, ComponentArea, SimdDouArea, TileArea};
 pub use column::{ColumnActivity, ColumnPower};
 pub use dynamic::TilePowerModel;
 pub use error::PowerModelError;
-pub use interconnect::{BusGeometry, InterconnectModel};
+pub use interconnect::{BusGeometry, InterconnectModel, SlotActivity};
 pub use leakage::LeakageModel;
 pub use tech::Technology;
 pub use vf::{AlphaPowerLaw, CriticalPath, VfCurve};

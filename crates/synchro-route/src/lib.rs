@@ -1,0 +1,906 @@
+//! Static TDM scheduling of inter-column communication over the segmented
+//! horizontal bus (re-exported as `synchroscalar::router`).
+//!
+//! Synchroscalar's defining claim (Section 2.3 of the paper) is that
+//! inter-column communication is *statically scheduled*: because the SDF
+//! repetition vector fixes exactly how many words cross every
+//! column-to-column edge per graph iteration, the horizontal bus needs no
+//! arbitration — a compile-time TDM (time-division-multiplexed) slot
+//! schedule assigns every word a `(split, cycle)` position in a periodic
+//! frame, and the segment switches let electrically disjoint column groups
+//! reuse the same split in the same cycle.
+//!
+//! This crate closes the gap between that claim and the repo's previous
+//! flat per-transfer traffic accounting:
+//!
+//! * [`column_flows`] derives the per-iteration word flows between columns
+//!   of a `(SdfGraph, Mapping)` pair from the repetition vector,
+//! * [`BusSpec`] describes the bus — width in words per cycle (splits),
+//!   bus cycles per graph iteration (the TDM period), and the per-split
+//!   segment-switch topology as a [`synchro_bus::SegmentConfig`] whose
+//!   "tiles" are the chip's columns,
+//! * [`compile`] / [`compile_flows`] pack the flows into a conflict-free
+//!   periodic [`RouteSchedule`] — or return a structured [`RouteError`]
+//!   (unreachable pair, oversubscribed segment group, period overflow),
+//! * [`RouteSchedule::validate`] replays the schedule cycle by cycle
+//!   through a [`SegmentedBus`] (columns as tiles), so conflict freedom is
+//!   enforced by exactly the electrically-connected-segment-group rule the
+//!   per-cycle simulator already uses.
+//!
+//! The scheduler is a deterministic greedy first-fit: flows are packed in
+//! input order, each onto the candidate split whose segment group (the
+//! one electrically connecting producer and consumer) has the earliest
+//! free cycle, splitting a flow across several splits when one group's
+//! frame is exhausted.  For a broadcast bus this packs the frame exactly
+//! up to `splits × period` words; segmented configurations additionally
+//! let disjoint column groups overlap in time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use synchro_bus::{BusError, BusOp, SegmentConfig, SegmentedBus};
+use synchro_sdf::{Mapping, SdfError, SdfGraph};
+
+/// Errors raised while deriving flows or compiling a TDM schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RouteError {
+    /// Graph analysis failed (inconsistent rates, empty graph, ...).
+    Sdf(SdfError),
+    /// The mapping does not place every actor exactly once, so columns
+    /// cannot be identified with placements.
+    BadPlacement {
+        /// The actor without exactly one placement.
+        actor: usize,
+    },
+    /// The bus description is internally inconsistent (zero splits or
+    /// columns, or a segment topology of the wrong shape).
+    InvalidSpec {
+        /// What was wrong.
+        reason: &'static str,
+    },
+    /// No split of the bus electrically connects the producer to the
+    /// consumer under the configured segment topology.
+    Unreachable {
+        /// Producing column.
+        from: usize,
+        /// Consuming column.
+        to: usize,
+    },
+    /// Every segment group able to carry the flow is already full: the
+    /// least-loaded candidate group cannot fit the remaining words within
+    /// the period.
+    OversubscribedSegment {
+        /// The least-loaded candidate split.
+        split: usize,
+        /// First column of that split's segment group.
+        group_start: usize,
+        /// Last column of that split's segment group.
+        group_end: usize,
+        /// Words that still needed a slot.
+        demand: u64,
+        /// Slots the group had left in the period.
+        remaining: u64,
+    },
+    /// The total demand exceeds the whole frame — every segment group of
+    /// every split offers `period` slots, so capacity is
+    /// `lanes × period` — or the period itself is zero while flows exist.
+    PeriodOverflow {
+        /// Total words per iteration across all flows.
+        demand: u64,
+        /// Total slots per period across all segment groups of all splits.
+        capacity: u64,
+    },
+    /// The schedule replay hit the bus model's per-cycle validation (only
+    /// reachable through a hand-built, ill-formed schedule).
+    Bus(BusError),
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::Sdf(e) => write!(f, "graph analysis: {e}"),
+            RouteError::BadPlacement { actor } => {
+                write!(f, "actor {actor} is not placed exactly once")
+            }
+            RouteError::InvalidSpec { reason } => write!(f, "invalid bus description: {reason}"),
+            RouteError::Unreachable { from, to } => write!(
+                f,
+                "no split connects column {from} to column {to} under the segment topology"
+            ),
+            RouteError::OversubscribedSegment {
+                split,
+                group_start,
+                group_end,
+                demand,
+                remaining,
+            } => write!(
+                f,
+                "segment group {group_start}..={group_end} of split {split} is oversubscribed: \
+                 {demand} words left but only {remaining} free slots in the period"
+            ),
+            RouteError::PeriodOverflow { demand, capacity } => write!(
+                f,
+                "schedule period overflow: {demand} words per iteration exceed the frame's \
+                 {capacity} slots"
+            ),
+            RouteError::Bus(e) => write!(f, "bus validation: {e}"),
+        }
+    }
+}
+
+impl Error for RouteError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RouteError::Sdf(e) => Some(e),
+            RouteError::Bus(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SdfError> for RouteError {
+    fn from(value: SdfError) -> Self {
+        RouteError::Sdf(value)
+    }
+}
+
+impl From<BusError> for RouteError {
+    fn from(value: BusError) -> Self {
+        RouteError::Bus(value)
+    }
+}
+
+/// One inter-column flow: the words one SDF edge moves between two
+/// columns per graph iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColumnFlow {
+    /// Index of the originating SDF edge (for conservation checks).
+    pub edge: usize,
+    /// Producing column.
+    pub from: usize,
+    /// Consuming column.
+    pub to: usize,
+    /// Words crossing per graph iteration (one 32-bit word per token).
+    pub words: u64,
+}
+
+/// Description of the horizontal bus a schedule is compiled against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BusSpec {
+    columns: usize,
+    splits: usize,
+    period: u64,
+    segments: SegmentConfig,
+}
+
+impl BusSpec {
+    /// A broadcast bus: `splits` words per cycle, all segment switches
+    /// closed, `period` bus cycles per graph iteration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::InvalidSpec`] for zero columns or splits.
+    pub fn broadcast(columns: usize, splits: usize, period: u64) -> Result<Self, RouteError> {
+        Self::new(
+            columns,
+            splits,
+            period,
+            SegmentConfig::all_closed(splits, columns),
+        )
+    }
+
+    /// A bus with an explicit per-split segment-switch topology.  The
+    /// `segments` configuration spans the chip's columns the way a column
+    /// bus spans tiles: gap `g` of split `s` is the switch between columns
+    /// `g` and `g + 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::InvalidSpec`] when `columns` or `splits` is
+    /// zero or `segments` has a different shape.
+    pub fn new(
+        columns: usize,
+        splits: usize,
+        period: u64,
+        segments: SegmentConfig,
+    ) -> Result<Self, RouteError> {
+        if columns == 0 {
+            return Err(RouteError::InvalidSpec {
+                reason: "a bus needs at least one column",
+            });
+        }
+        if splits == 0 {
+            return Err(RouteError::InvalidSpec {
+                reason: "a bus needs at least one split",
+            });
+        }
+        if segments.splits() != splits || (columns > 1 && segments.tiles() != columns) {
+            return Err(RouteError::InvalidSpec {
+                reason: "segment topology shape does not match columns × splits",
+            });
+        }
+        Ok(BusSpec {
+            columns,
+            splits,
+            period,
+            segments,
+        })
+    }
+
+    /// A broadcast bus whose period is derived from a bus clock: the
+    /// number of whole bus cycles available per graph iteration at
+    /// `bus_frequency_hz` when the graph iterates `iteration_rate_hz`
+    /// times per second.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::InvalidSpec`] for non-positive frequencies or
+    /// zero columns/splits.
+    pub fn from_clock(
+        columns: usize,
+        splits: usize,
+        bus_frequency_hz: f64,
+        iteration_rate_hz: f64,
+    ) -> Result<Self, RouteError> {
+        if bus_frequency_hz <= 0.0
+            || iteration_rate_hz <= 0.0
+            || bus_frequency_hz.is_nan()
+            || iteration_rate_hz.is_nan()
+        {
+            return Err(RouteError::InvalidSpec {
+                reason: "bus and iteration rates must be positive",
+            });
+        }
+        let period = (bus_frequency_hz / iteration_rate_hz).floor();
+        let period = if period >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            period as u64
+        };
+        Self::broadcast(columns, splits, period)
+    }
+
+    /// Columns the bus spans.
+    pub fn columns(&self) -> usize {
+        self.columns
+    }
+
+    /// Words the bus carries per cycle (independent splits).
+    pub fn splits(&self) -> usize {
+        self.splits
+    }
+
+    /// Bus cycles per graph iteration (the TDM period).
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// The per-split segment-switch topology.
+    pub fn segments(&self) -> &SegmentConfig {
+        &self.segments
+    }
+
+    /// Total slots in one TDM frame: `splits × period` (saturating).
+    pub fn frame_slots(&self) -> u64 {
+        (self.splits as u64).saturating_mul(self.period)
+    }
+}
+
+/// One slot assignment of a TDM schedule: `words` back-to-back bus cycles
+/// on one split, starting at `cycle` within the period, carrying one
+/// flow's words from a source column into its split's destination segment
+/// group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TdmSlot {
+    /// The split carrying the words.
+    pub split: usize,
+    /// First bus cycle of the slot within the period.
+    pub cycle: u64,
+    /// Back-to-back words (bus cycles) the slot occupies.
+    pub words: u64,
+    /// Producing column.
+    pub from: usize,
+    /// Consuming column.
+    pub to: usize,
+    /// The SDF edge the words belong to.
+    pub edge: usize,
+}
+
+/// A compiled, conflict-free periodic TDM schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteSchedule {
+    spec: BusSpec,
+    slots: Vec<TdmSlot>,
+}
+
+impl RouteSchedule {
+    /// The bus description the schedule was compiled against.
+    pub fn spec(&self) -> &BusSpec {
+        &self.spec
+    }
+
+    /// The slot assignments, in compilation order.
+    pub fn slots(&self) -> &[TdmSlot] {
+        &self.slots
+    }
+
+    /// Total words moved per period (= occupied slots per period).
+    pub fn occupied_slots(&self) -> u64 {
+        self.slots.iter().map(|s| s.words).sum()
+    }
+
+    /// Total slots the frame reserves per period (`splits × period`).
+    pub fn scheduled_slots(&self) -> u64 {
+        self.spec.frame_slots()
+    }
+
+    /// Scheduled-but-idle slots per period.
+    pub fn idle_slots(&self) -> u64 {
+        self.scheduled_slots().saturating_sub(self.occupied_slots())
+    }
+
+    /// Fraction of the frame that carries words (0.0 for an empty frame).
+    pub fn utilization(&self) -> f64 {
+        let frame = self.scheduled_slots();
+        if frame == 0 {
+            0.0
+        } else {
+            self.occupied_slots() as f64 / frame as f64
+        }
+    }
+
+    /// Words the schedule moves for SDF edge `edge` per period — equals
+    /// the edge's `tokens_per_iteration` for a schedule compiled from
+    /// [`column_flows`] (the conservation invariant the property tests
+    /// pin).
+    pub fn words_for_edge(&self, edge: usize) -> u64 {
+        self.slots
+            .iter()
+            .filter(|s| s.edge == edge)
+            .map(|s| s.words)
+            .sum()
+    }
+
+    /// Words the schedule moves from column `from` to column `to` per
+    /// period.
+    pub fn words_between(&self, from: usize, to: usize) -> u64 {
+        self.slots
+            .iter()
+            .filter(|s| s.from == from && s.to == to)
+            .map(|s| s.words)
+            .sum()
+    }
+
+    /// Replay the schedule cycle by cycle through a [`SegmentedBus`] whose
+    /// "tiles" are the chip's columns, under the spec's segment topology —
+    /// the same electrically-connected-segment-group rule the per-cycle
+    /// simulator enforces.  Only occupied cycles are replayed, so the cost
+    /// is proportional to the words scheduled, not the period.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`BusError`] (driver conflict, unreachable
+    /// consumer) as [`RouteError::Bus`]; a compiled schedule never fails.
+    pub fn validate(&self) -> Result<(), RouteError> {
+        let mut by_cycle: BTreeMap<u64, Vec<BusOp>> = BTreeMap::new();
+        for slot in &self.slots {
+            if slot.cycle.saturating_add(slot.words) > self.spec.period {
+                return Err(RouteError::PeriodOverflow {
+                    demand: slot.cycle.saturating_add(slot.words),
+                    capacity: self.spec.period,
+                });
+            }
+            for w in 0..slot.words {
+                by_cycle.entry(slot.cycle + w).or_default().push(BusOp {
+                    split: slot.split,
+                    producer: slot.from,
+                    consumers: vec![slot.to],
+                });
+            }
+        }
+        let mut bus = SegmentedBus::new(self.spec.splits, self.spec.columns);
+        for ops in by_cycle.values() {
+            bus.cycle(&self.spec.segments, ops)?;
+        }
+        Ok(())
+    }
+}
+
+/// Derive the per-iteration word flows between columns of a
+/// `(graph, mapping)` pair: placement `i` of the mapping is column `i`,
+/// and every SDF edge whose endpoints land on different columns
+/// contributes `tokens_per_iteration` words from the producer's column to
+/// the consumer's.
+///
+/// # Errors
+///
+/// Propagates rate-consistency errors and reports
+/// [`RouteError::BadPlacement`] when an actor is unplaced or placed twice.
+pub fn column_flows(graph: &SdfGraph, mapping: &Mapping) -> Result<Vec<ColumnFlow>, RouteError> {
+    let tokens = graph.tokens_per_iteration()?;
+    let mut column_of_actor: Vec<Option<usize>> = vec![None; graph.actors().len()];
+    for (column, p) in mapping.placements().iter().enumerate() {
+        if p.actor.0 >= graph.actors().len() {
+            return Err(RouteError::BadPlacement { actor: p.actor.0 });
+        }
+        if column_of_actor[p.actor.0].replace(column).is_some() {
+            return Err(RouteError::BadPlacement { actor: p.actor.0 });
+        }
+    }
+    if let Some(unplaced) = column_of_actor.iter().position(Option::is_none) {
+        return Err(RouteError::BadPlacement { actor: unplaced });
+    }
+    Ok(graph
+        .edges()
+        .iter()
+        .enumerate()
+        .filter_map(|(edge, e)| {
+            let from = column_of_actor[e.from.0].expect("checked above");
+            let to = column_of_actor[e.to.0].expect("checked above");
+            (from != to).then_some(ColumnFlow {
+                edge,
+                from,
+                to,
+                words: tokens[edge],
+            })
+        })
+        .collect())
+}
+
+/// Compile a conflict-free periodic TDM schedule for a `(graph, mapping)`
+/// pair on the bus described by `spec` — the high-level subsystem entry.
+///
+/// # Errors
+///
+/// Propagates flow derivation errors and scheduling infeasibilities.
+pub fn compile(
+    graph: &SdfGraph,
+    mapping: &Mapping,
+    spec: &BusSpec,
+) -> Result<RouteSchedule, RouteError> {
+    compile_flows(&column_flows(graph, mapping)?, spec)
+}
+
+/// Cursor state of one electrically connected segment group on one split.
+struct GroupLane {
+    split: usize,
+    /// First and last column of the group (groups of a switch partition
+    /// are contiguous column ranges).
+    start: usize,
+    end: usize,
+    /// Next free cycle within the period.
+    cursor: u64,
+}
+
+/// Compile a conflict-free periodic TDM schedule for explicit flows.
+///
+/// Flows are packed deterministically in input order; each flow goes to
+/// the candidate split whose connecting segment group has the earliest
+/// free cycle, splitting across several splits when a group's frame runs
+/// out.  The resulting schedule always passes
+/// [`RouteSchedule::validate`].
+///
+/// # Errors
+///
+/// * [`RouteError::Unreachable`] — no split connects a flow's endpoints,
+/// * [`RouteError::PeriodOverflow`] — total demand exceeds the frame,
+/// * [`RouteError::OversubscribedSegment`] — a flow's candidate groups are
+///   all full even though the frame as a whole had room,
+/// * [`RouteError::InvalidSpec`] — a flow references a column outside the
+///   spec.
+pub fn compile_flows(flows: &[ColumnFlow], spec: &BusSpec) -> Result<RouteSchedule, RouteError> {
+    for f in flows {
+        if f.from >= spec.columns || f.to >= spec.columns {
+            return Err(RouteError::InvalidSpec {
+                reason: "flow references a column outside the bus",
+            });
+        }
+    }
+
+    // One lane per (split, segment group); lanes are identified by the
+    // group's lowest column, so `lane_of[split][column]` finds the lane a
+    // producer drives.
+    let mut lanes: Vec<GroupLane> = Vec::new();
+    let mut lane_of: Vec<Vec<usize>> = vec![vec![usize::MAX; spec.columns]; spec.splits];
+    for (split, split_lanes) in lane_of.iter_mut().enumerate() {
+        let mut column = 0;
+        while column < spec.columns {
+            let group = spec.segments.connected_group(split, column);
+            let start = *group.first().expect("group contains its own column");
+            let end = *group.last().expect("group contains its own column");
+            let lane = lanes.len();
+            lanes.push(GroupLane {
+                split,
+                start,
+                end,
+                cursor: 0,
+            });
+            for slot in split_lanes.iter_mut().take(end + 1).skip(start) {
+                *slot = lane;
+            }
+            column = end + 1;
+        }
+    }
+
+    // Fast fail on frame exhaustion: each lane offers `period` slots, and
+    // segmentation multiplies lanes (the mesh-like-bandwidth property), so
+    // the frame's true capacity is `lanes × period`.
+    let demand: u64 = flows.iter().map(|f| f.words).sum();
+    let capacity = (lanes.len() as u64).saturating_mul(spec.period);
+    if demand > capacity {
+        return Err(RouteError::PeriodOverflow { demand, capacity });
+    }
+
+    let mut slots = Vec::new();
+    for flow in flows {
+        let mut remaining = flow.words;
+        while remaining > 0 {
+            // Candidate lanes: splits whose group joins producer and
+            // consumer.  Pick the one with the earliest free cycle (ties
+            // to the lowest split, which lane construction order gives).
+            let mut best: Option<usize> = None;
+            let mut reachable = false;
+            for split_lanes in &lane_of {
+                let lane = split_lanes[flow.from];
+                if lanes[lane].start <= flow.to && flow.to <= lanes[lane].end {
+                    reachable = true;
+                    if best.is_none_or(|b| lanes[lane].cursor < lanes[b].cursor) {
+                        best = Some(lane);
+                    }
+                }
+            }
+            if !reachable {
+                return Err(RouteError::Unreachable {
+                    from: flow.from,
+                    to: flow.to,
+                });
+            }
+            let lane = best.expect("reachable implies a candidate lane");
+            let free = spec.period.saturating_sub(lanes[lane].cursor);
+            if free == 0 {
+                return Err(RouteError::OversubscribedSegment {
+                    split: lanes[lane].split,
+                    group_start: lanes[lane].start,
+                    group_end: lanes[lane].end,
+                    demand: remaining,
+                    remaining: free,
+                });
+            }
+            let words = remaining.min(free);
+            slots.push(TdmSlot {
+                split: lanes[lane].split,
+                cycle: lanes[lane].cursor,
+                words,
+                from: flow.from,
+                to: flow.to,
+                edge: flow.edge,
+            });
+            lanes[lane].cursor += words;
+            remaining -= words;
+        }
+    }
+    Ok(RouteSchedule {
+        spec: spec.clone(),
+        slots,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synchro_sdf::{ActorId, Mapping, SdfGraph};
+
+    /// mixer → integrator → (4:1) comb chain, one actor per column.
+    fn ddc_like() -> (SdfGraph, Mapping) {
+        let mut g = SdfGraph::new();
+        let mixer = g.add_actor("mixer", 15, 16);
+        let integ = g.add_actor("integ", 25, 16);
+        let comb = g.add_actor("comb", 5, 4);
+        g.add_edge(mixer, integ, 1, 1, 0).unwrap();
+        g.add_edge(integ, comb, 1, 4, 0).unwrap();
+        let mut m = Mapping::new();
+        m.place(mixer, 8, 1.0);
+        m.place(integ, 8, 1.0);
+        m.place(comb, 2, 1.0);
+        (g, m)
+    }
+
+    #[test]
+    fn flows_follow_the_repetition_vector() {
+        let (g, m) = ddc_like();
+        let flows = column_flows(&g, &m).unwrap();
+        // reps = (4, 4, 1): both edges carry 4 words per iteration.
+        assert_eq!(
+            flows,
+            vec![
+                ColumnFlow {
+                    edge: 0,
+                    from: 0,
+                    to: 1,
+                    words: 4
+                },
+                ColumnFlow {
+                    edge: 1,
+                    from: 1,
+                    to: 2,
+                    words: 4
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn fused_columns_have_no_internal_flows() {
+        let (g, _) = ddc_like();
+        let mut m = Mapping::new();
+        // Place integ and comb on the same column? Columns are placements,
+        // so "same column" means one placement — model it by mapping to a
+        // 2-actor graph is out of scope here; instead check a single
+        // column graph has no flows.
+        m.place(ActorId(0), 8, 1.0);
+        m.place(ActorId(1), 8, 1.0);
+        m.place(ActorId(2), 2, 1.0);
+        let flows = column_flows(&g, &m).unwrap();
+        assert_eq!(flows.len(), 2);
+        let mut solo = SdfGraph::new();
+        solo.add_actor("solo", 3, 4);
+        let mut sm = Mapping::new();
+        sm.place(ActorId(0), 4, 1.0);
+        assert!(column_flows(&solo, &sm).unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_placements_are_reported() {
+        let (g, _) = ddc_like();
+        let mut partial = Mapping::new();
+        partial.place(ActorId(0), 8, 1.0);
+        assert!(matches!(
+            column_flows(&g, &partial),
+            Err(RouteError::BadPlacement { actor: 1 })
+        ));
+        let mut duplicated = Mapping::new();
+        duplicated.place(ActorId(0), 8, 1.0);
+        duplicated.place(ActorId(1), 8, 1.0);
+        duplicated.place(ActorId(2), 2, 1.0);
+        duplicated.place(ActorId(0), 4, 1.0);
+        assert!(matches!(
+            column_flows(&g, &duplicated),
+            Err(RouteError::BadPlacement { actor: 0 })
+        ));
+    }
+
+    #[test]
+    fn broadcast_schedule_is_conflict_free_and_conserves_tokens() {
+        let (g, m) = ddc_like();
+        let spec = BusSpec::broadcast(3, 1, 16).unwrap();
+        let schedule = compile(&g, &m, &spec).unwrap();
+        schedule.validate().unwrap();
+        let tokens = g.tokens_per_iteration().unwrap();
+        for (edge, &words) in tokens.iter().enumerate() {
+            assert_eq!(schedule.words_for_edge(edge), words);
+        }
+        assert_eq!(schedule.occupied_slots(), 8);
+        assert_eq!(schedule.scheduled_slots(), 16);
+        assert_eq!(schedule.idle_slots(), 8);
+        assert!((schedule.utilization() - 0.5).abs() < 1e-12);
+        // On one broadcast split the flows serialize back to back.
+        assert_eq!(schedule.slots()[0].cycle, 0);
+        assert_eq!(schedule.slots()[1].cycle, 4);
+    }
+
+    #[test]
+    fn oversubscribed_frame_reports_period_overflow() {
+        let (g, m) = ddc_like();
+        // 8 words per iteration into a 6-slot frame.
+        let spec = BusSpec::broadcast(3, 1, 6).unwrap();
+        assert!(matches!(
+            compile(&g, &m, &spec),
+            Err(RouteError::PeriodOverflow {
+                demand: 8,
+                capacity: 6
+            })
+        ));
+    }
+
+    #[test]
+    fn wide_bus_splits_one_flow_across_splits() {
+        // One 10-word flow into a frame with period 6 and 2 splits: the
+        // flow must split 6 + 4 across the splits.
+        let flows = [ColumnFlow {
+            edge: 0,
+            from: 0,
+            to: 1,
+            words: 10,
+        }];
+        let spec = BusSpec::broadcast(2, 2, 6).unwrap();
+        let schedule = compile_flows(&flows, &spec).unwrap();
+        schedule.validate().unwrap();
+        assert_eq!(schedule.slots().len(), 2);
+        assert_eq!(schedule.words_for_edge(0), 10);
+        assert_eq!(schedule.slots()[0].split, 0);
+        assert_eq!(schedule.slots()[0].words, 6);
+        assert_eq!(schedule.slots()[1].split, 1);
+        assert_eq!(schedule.slots()[1].words, 4);
+    }
+
+    #[test]
+    fn segmented_splits_overlap_disjoint_groups_in_time() {
+        // 4 columns, 1 split segmented between columns 1 and 2: the
+        // 0→1 and 2→3 flows share cycles 0..4 on the same split.
+        let mut segments = SegmentConfig::all_closed(1, 4);
+        segments.set(0, 1, false);
+        let spec = BusSpec::new(4, 1, 4, segments).unwrap();
+        let flows = [
+            ColumnFlow {
+                edge: 0,
+                from: 0,
+                to: 1,
+                words: 4,
+            },
+            ColumnFlow {
+                edge: 1,
+                from: 2,
+                to: 3,
+                words: 4,
+            },
+        ];
+        let schedule = compile_flows(&flows, &spec).unwrap();
+        schedule.validate().unwrap();
+        assert_eq!(schedule.slots()[0].cycle, 0);
+        assert_eq!(schedule.slots()[1].cycle, 0, "disjoint groups overlap");
+        // A broadcast bus with the same frame cannot fit both flows.
+        let broadcast = BusSpec::broadcast(4, 1, 4).unwrap();
+        assert!(matches!(
+            compile_flows(&flows, &broadcast),
+            Err(RouteError::PeriodOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn unreachable_pairs_are_reported() {
+        // The only split is segmented between columns 0 and 1, so a 0→1
+        // flow has no electrically connected path.
+        let mut segments = SegmentConfig::all_closed(1, 2);
+        segments.set(0, 0, false);
+        let spec = BusSpec::new(2, 1, 8, segments).unwrap();
+        let flows = [ColumnFlow {
+            edge: 0,
+            from: 0,
+            to: 1,
+            words: 1,
+        }];
+        assert!(matches!(
+            compile_flows(&flows, &spec),
+            Err(RouteError::Unreachable { from: 0, to: 1 })
+        ));
+    }
+
+    #[test]
+    fn oversubscribed_segment_is_distinguished_from_frame_overflow() {
+        // Split 0 broadcast, split 1 segmented so only columns {0, 1}
+        // connect.  A 2→3 flow can only use split 0; once split 0 is
+        // full the schedule fails with an oversubscribed group even
+        // though split 1 still has free slots (frame not exhausted).
+        let mut segments = SegmentConfig::all_closed(2, 4);
+        segments.set(1, 1, false);
+        segments.set(1, 2, false);
+        let spec = BusSpec::new(4, 2, 4, segments).unwrap();
+        let flows = [
+            ColumnFlow {
+                edge: 0,
+                from: 2,
+                to: 3,
+                words: 4,
+            },
+            ColumnFlow {
+                edge: 1,
+                from: 2,
+                to: 3,
+                words: 1,
+            },
+        ];
+        let err = compile_flows(&flows, &spec).unwrap_err();
+        assert!(
+            matches!(err, RouteError::OversubscribedSegment { split: 0, .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn from_clock_derives_the_period() {
+        let spec = BusSpec::from_clock(3, 1, 400e6, 16e6).unwrap();
+        assert_eq!(spec.period(), 25);
+        assert_eq!(spec.frame_slots(), 25);
+        assert!(matches!(
+            BusSpec::from_clock(3, 1, 0.0, 16e6),
+            Err(RouteError::InvalidSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        assert!(BusSpec::broadcast(0, 1, 8).is_err());
+        assert!(BusSpec::broadcast(2, 0, 8).is_err());
+        let wrong_shape = SegmentConfig::all_closed(2, 3);
+        assert!(BusSpec::new(4, 2, 8, wrong_shape).is_err());
+        let spec = BusSpec::broadcast(2, 1, 8).unwrap();
+        let flows = [ColumnFlow {
+            edge: 0,
+            from: 0,
+            to: 5,
+            words: 1,
+        }];
+        assert!(matches!(
+            compile_flows(&flows, &spec),
+            Err(RouteError::InvalidSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_hand_built_conflicts() {
+        let spec = BusSpec::broadcast(3, 1, 8).unwrap();
+        let schedule = RouteSchedule {
+            spec: spec.clone(),
+            slots: vec![
+                TdmSlot {
+                    split: 0,
+                    cycle: 0,
+                    words: 2,
+                    from: 0,
+                    to: 1,
+                    edge: 0,
+                },
+                TdmSlot {
+                    split: 0,
+                    cycle: 1,
+                    words: 1,
+                    from: 2,
+                    to: 1,
+                    edge: 1,
+                },
+            ],
+        };
+        assert!(matches!(
+            schedule.validate(),
+            Err(RouteError::Bus(BusError::DriverConflict { .. }))
+        ));
+        let past_period = RouteSchedule {
+            spec,
+            slots: vec![TdmSlot {
+                split: 0,
+                cycle: 7,
+                words: 3,
+                from: 0,
+                to: 1,
+                edge: 0,
+            }],
+        };
+        assert!(matches!(
+            past_period.validate(),
+            Err(RouteError::PeriodOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = RouteError::Unreachable { from: 1, to: 3 };
+        assert!(e.to_string().contains("column 1"));
+        let e = RouteError::PeriodOverflow {
+            demand: 10,
+            capacity: 6,
+        };
+        assert!(e.to_string().contains("10"));
+        let e = RouteError::OversubscribedSegment {
+            split: 2,
+            group_start: 0,
+            group_end: 3,
+            demand: 5,
+            remaining: 0,
+        };
+        assert!(e.to_string().contains("split 2"));
+    }
+}

@@ -15,12 +15,107 @@ pub struct ChipStats {
     pub horizontal_transfers: u64,
 }
 
+/// One scheduled transfer of a [`BusProgram`]: `words` back-to-back words
+/// from column `from` to columns `to`, issued when the reference clock
+/// passes `tick` (an offset within the program's period).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BusSlot {
+    /// Reference-tick offset within the period at which the slot fires.
+    pub tick: u64,
+    /// Producing column.
+    pub from: usize,
+    /// Consuming columns.
+    pub to: Vec<usize>,
+    /// Words transferred back to back.
+    pub words: u64,
+}
+
+/// A periodic, statically compiled horizontal-bus schedule: `slots` fire
+/// every `period` reference ticks, `iterations` times in total.  This is
+/// how a TDM route schedule drives the chip's [`HorizontalBus`]
+/// cycle-by-cycle instead of having a driver bill aggregate words after
+/// the fact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BusProgram {
+    period: u64,
+    iterations: u64,
+    /// TDM slots the schedule reserves per period (`splits × bus cycles`),
+    /// accounted into [`BusStats::scheduled_slots`] as periods complete so
+    /// the idle/occupied split survives for the power calibration.
+    scheduled_slots_per_period: u64,
+    slots: Vec<BusSlot>,
+}
+
+impl BusProgram {
+    /// Build a program.  `slots` must be sorted by `tick` and lie inside
+    /// `period`; `iterations` is the number of periods the program runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero, slots are unsorted, or a slot's tick
+    /// falls outside the period (all indicate a broken schedule compiler).
+    pub fn new(
+        period: u64,
+        iterations: u64,
+        scheduled_slots_per_period: u64,
+        slots: Vec<BusSlot>,
+    ) -> Self {
+        assert!(period > 0, "a bus program needs a positive period");
+        assert!(
+            slots.windows(2).all(|w| w[0].tick <= w[1].tick),
+            "bus program slots must be sorted by tick"
+        );
+        assert!(
+            slots.iter().all(|s| s.tick < period),
+            "bus program slots must fire within the period"
+        );
+        BusProgram {
+            period,
+            iterations,
+            scheduled_slots_per_period,
+            slots,
+        }
+    }
+
+    /// Reference ticks per period.
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// Periods the program runs.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// The slots of one period.
+    pub fn slots(&self) -> &[BusSlot] {
+        &self.slots
+    }
+
+    /// Words the program transfers per period.
+    pub fn words_per_period(&self) -> u64 {
+        self.slots.iter().map(|s| s.words).sum()
+    }
+}
+
+/// Progress of a loaded bus program: which period and which slot within
+/// it fires next, relative to the reference tick the program was loaded
+/// at.
+#[derive(Debug)]
+struct BusProgramState {
+    program: BusProgram,
+    origin: u64,
+    iteration: u64,
+    next_slot: usize,
+}
+
 /// A Synchroscalar chip: a set of columns, each in its own clock (and
 /// voltage) domain, connected by one horizontal bus.
 #[derive(Debug, Default)]
 pub struct Chip {
     columns: Vec<Column>,
     horizontal: Option<HorizontalBus>,
+    bus_program: Option<BusProgramState>,
     stats: ChipStats,
     run_loop_iterations: u64,
 }
@@ -109,6 +204,99 @@ impl Chip {
         self.horizontal.as_ref().map(HorizontalBus::stats)
     }
 
+    /// Load a statically compiled bus schedule.  The program starts at the
+    /// current reference tick; [`Chip::tick`] / [`Chip::run`] then drive
+    /// the horizontal bus slot by slot as the reference clock passes each
+    /// slot's time, replacing after-the-fact aggregate billing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`synchro_bus::BusError::IndexOutOfRange`] if a slot
+    /// references a column the chip does not have.
+    pub fn load_bus_program(&mut self, program: BusProgram) -> Result<(), synchro_bus::BusError> {
+        let columns = self.columns.len();
+        for slot in &program.slots {
+            for &c in std::iter::once(&slot.from).chain(&slot.to) {
+                if c >= columns {
+                    return Err(synchro_bus::BusError::IndexOutOfRange {
+                        what: "column",
+                        index: c,
+                        limit: columns,
+                    });
+                }
+            }
+        }
+        self.bus_program = Some(BusProgramState {
+            program,
+            origin: self.stats.reference_cycles,
+            iteration: 0,
+            next_slot: 0,
+        });
+        Ok(())
+    }
+
+    /// Issue every bus-program slot whose absolute reference tick lies
+    /// before `end`, and account each fully elapsed period's scheduled
+    /// slots.  Both [`Chip::run`] and [`Chip::run_ticked`] advance the
+    /// program purely by reference time, so the two paths stay
+    /// bit-identical.
+    fn drive_bus_through(&mut self, end: u64) -> Result<(), ColumnError> {
+        let Some(state) = &self.bus_program else {
+            return Ok(());
+        };
+        if state.iteration >= state.program.iterations {
+            return Ok(());
+        }
+        loop {
+            let Some(state) = &self.bus_program else {
+                unreachable!("program checked above and never unloaded");
+            };
+            if state.iteration >= state.program.iterations {
+                return Ok(());
+            }
+            let base = state
+                .origin
+                .saturating_add(state.iteration.saturating_mul(state.program.period));
+            if state.next_slot < state.program.slots.len() {
+                let slot = &state.program.slots[state.next_slot];
+                if base.saturating_add(slot.tick) >= end {
+                    return Ok(());
+                }
+                let (from, to, words) = (slot.from, slot.to.clone(), slot.words);
+                self.horizontal_transfer_words(from, &to, words)
+                    .map_err(ColumnError::Bus)?;
+                let state = self.bus_program.as_mut().expect("still loaded");
+                state.next_slot += 1;
+            } else if base.saturating_add(state.program.period) <= end {
+                // The period's window has fully elapsed: account its
+                // scheduled (occupied + idle) TDM slots and roll over.
+                let scheduled = state.program.scheduled_slots_per_period;
+                if let Some(bus) = self.horizontal.as_mut() {
+                    bus.account_scheduled_slots(scheduled);
+                }
+                let state = self.bus_program.as_mut().expect("still loaded");
+                state.iteration += 1;
+                state.next_slot = 0;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Drive the loaded bus program to completion regardless of how far
+    /// the reference clock has advanced — the drain step a chip driver
+    /// calls once every column has halted, so the final iteration's slots
+    /// (which may lie past the halting tick) are still accounted.
+    ///
+    /// Idempotent: a finished (or absent) program is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bus faults, which indicate a broken schedule.
+    pub fn finish_bus_program(&mut self) -> Result<(), ColumnError> {
+        self.drive_bus_through(u64::MAX)
+    }
+
     /// True when every column has halted.
     pub fn all_halted(&self) -> bool {
         self.columns.iter().all(Column::is_halted)
@@ -134,6 +322,12 @@ impl Chip {
     pub fn tick(&mut self) -> Result<(), ColumnError> {
         let tick_index = self.stats.reference_cycles;
         self.stats.reference_cycles += 1;
+        // The statically scheduled bus fires first: every program slot due
+        // up to and including this tick is issued before the columns step,
+        // and catching up here keeps the event-driven fast path (which
+        // jumps the reference clock over empty ticks) bit-identical to the
+        // naive loop.
+        self.drive_bus_through(tick_index + 1)?;
         for column in &mut self.columns {
             // `Column::new` guarantees `clock_divider >= 1`.
             let divider = u64::from(column.config().clock_divider);
@@ -187,9 +381,12 @@ impl Chip {
                     self.tick()?;
                 }
                 // No live column fires inside the window: the remaining
-                // ticks are all empty.
+                // ticks are all empty for the columns, but scheduled bus
+                // slots inside them must still fire (as the naive loop
+                // would have done tick by tick).
                 _ => {
                     self.stats.reference_cycles = end;
+                    self.drive_bus_through(end)?;
                     break;
                 }
             }
@@ -384,6 +581,141 @@ mod tests {
             fast.run_loop_iterations(),
             slow.run_loop_iterations()
         );
+    }
+
+    #[test]
+    fn bus_program_drives_the_horizontal_bus_as_time_passes() {
+        let mut chip = Chip::new();
+        chip.add_column(counting_column(100, 1));
+        chip.add_column(counting_column(100, 1));
+        // Two slots per 10-tick period, 3 periods, 4 scheduled slots/period.
+        let program = BusProgram::new(
+            10,
+            3,
+            4,
+            vec![
+                BusSlot {
+                    tick: 2,
+                    from: 0,
+                    to: vec![1],
+                    words: 2,
+                },
+                BusSlot {
+                    tick: 7,
+                    from: 1,
+                    to: vec![0],
+                    words: 1,
+                },
+            ],
+        );
+        assert_eq!(program.words_per_period(), 3);
+        chip.load_bus_program(program).unwrap();
+        chip.run(3).unwrap();
+        assert_eq!(chip.stats().horizontal_transfers, 2, "slot at tick 2 fired");
+        chip.run(7).unwrap();
+        assert_eq!(chip.stats().horizontal_transfers, 3);
+        // Period 0 has fully elapsed: its scheduled slots are accounted.
+        assert_eq!(chip.horizontal_stats().unwrap().scheduled_slots, 4);
+        chip.run(20).unwrap();
+        assert_eq!(chip.stats().horizontal_transfers, 9);
+        chip.finish_bus_program().unwrap();
+        assert_eq!(chip.stats().horizontal_transfers, 9, "program already done");
+        assert_eq!(chip.horizontal_stats().unwrap().scheduled_slots, 12);
+        assert_eq!(chip.horizontal_stats().unwrap().occupied_slots, 9);
+        assert_eq!(chip.horizontal_stats().unwrap().idle_slots(), 3);
+    }
+
+    #[test]
+    fn finish_bus_program_drains_slots_past_the_halt() {
+        let mut chip = Chip::new();
+        chip.add_column(counting_column(1, 1));
+        chip.add_column(counting_column(1, 1));
+        let program = BusProgram::new(
+            1000,
+            2,
+            1000,
+            vec![BusSlot {
+                tick: 500,
+                from: 0,
+                to: vec![1],
+                words: 5,
+            }],
+        );
+        chip.load_bus_program(program).unwrap();
+        // Both columns halt after a couple of ticks, far before tick 500.
+        chip.run(10_000).unwrap();
+        assert!(chip.all_halted());
+        assert_eq!(chip.stats().horizontal_transfers, 0);
+        chip.finish_bus_program().unwrap();
+        assert_eq!(chip.stats().horizontal_transfers, 10);
+        assert_eq!(chip.horizontal_stats().unwrap().scheduled_slots, 2000);
+        // Idempotent.
+        chip.finish_bus_program().unwrap();
+        assert_eq!(chip.stats().horizontal_transfers, 10);
+    }
+
+    #[test]
+    fn bus_program_rejects_unknown_columns() {
+        let mut chip = Chip::new();
+        chip.add_column(counting_column(1, 1));
+        let program = BusProgram::new(
+            4,
+            1,
+            4,
+            vec![BusSlot {
+                tick: 0,
+                from: 0,
+                to: vec![3],
+                words: 1,
+            }],
+        );
+        assert!(matches!(
+            chip.load_bus_program(program),
+            Err(synchro_bus::BusError::IndexOutOfRange { index: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn bus_program_keeps_run_and_run_ticked_bit_identical() {
+        let build = || {
+            let mut chip = Chip::new();
+            chip.add_column(counting_column(40, 3));
+            chip.add_column(counting_column(25, 7));
+            let program = BusProgram::new(
+                11,
+                9,
+                22,
+                vec![
+                    BusSlot {
+                        tick: 0,
+                        from: 0,
+                        to: vec![1],
+                        words: 1,
+                    },
+                    BusSlot {
+                        tick: 6,
+                        from: 1,
+                        to: vec![0],
+                        words: 2,
+                    },
+                ],
+            );
+            chip.load_bus_program(program).unwrap();
+            chip
+        };
+        let mut fast = build();
+        let mut slow = build();
+        // Uneven windows so program periods straddle run boundaries.
+        for window in [13u64, 1, 29, 7, 200] {
+            assert_eq!(fast.run(window).unwrap(), slow.run_ticked(window).unwrap());
+            assert_eq!(fast.stats(), slow.stats());
+            assert_eq!(fast.horizontal_stats(), slow.horizontal_stats());
+        }
+        fast.finish_bus_program().unwrap();
+        slow.finish_bus_program().unwrap();
+        assert_eq!(fast.stats(), slow.stats());
+        assert_eq!(fast.horizontal_stats(), slow.horizontal_stats());
+        assert_eq!(fast.stats().horizontal_transfers, 9 * 3);
     }
 
     #[test]

@@ -184,6 +184,12 @@ impl Column {
         self.stats
     }
 
+    /// The column's segmented vertical-bus statistics, including the
+    /// scheduled-vs-occupied slot split the power calibration consumes.
+    pub fn bus_stats(&self) -> synchro_bus::BusStats {
+        self.bus.stats()
+    }
+
     /// Advance the column by one of its own clock cycles.
     ///
     /// # Errors
@@ -224,13 +230,16 @@ impl Column {
         }
 
         // 2. The DOU moves data between tiles through the segmented bus.
+        // Every DOU step is a scheduled bus cycle — idle pattern cycles
+        // reserve the splits without driving them, which the bus counts
+        // as scheduled-but-idle slots for the power calibration.
         if let Some(dou) = &mut self.dou {
             let output = dou.step();
             if let Some(segments) = output.segments {
                 self.segment_config = segments;
             }
+            self.bus.cycle(&self.segment_config, &output.ops)?;
             if !output.ops.is_empty() {
-                self.bus.cycle(&self.segment_config, &output.ops)?;
                 for op in &output.ops {
                     let value = self
                         .tiles

@@ -19,5 +19,5 @@
 pub mod chip;
 pub mod column;
 
-pub use chip::{Chip, ChipStats};
+pub use chip::{BusProgram, BusSlot, Chip, ChipStats};
 pub use column::{Column, ColumnConfig, ColumnError, ColumnStats};

@@ -1,0 +1,162 @@
+//! Property tests of the static TDM communication-scheduling subsystem:
+//! every compiled schedule is conflict-free under segment-group
+//! validation, conserves each edge's per-iteration token count, and
+//! round-trips through `Chip::run` with word totals equal to the analytic
+//! flow matrix.
+
+use proptest::prelude::*;
+use synchroscalar::mapper::{self, MapperOptions};
+use synchroscalar::router::{self, BusSpec, RouteError};
+use synchroscalar::sdf::{Mapping, SdfGraph};
+
+/// A rate-consistent chain: actor `i` feeds `i + 1` with small
+/// produce/consume rates so repetition vectors (and with them hyperperiods
+/// and traffic) stay bounded.
+const RATE_CHOICES: [(u64, u64); 4] = [(1, 1), (1, 2), (2, 1), (2, 2)];
+
+fn chain(cycles: &[u64], caps: &[u32], rates: &[(u64, u64)]) -> (SdfGraph, Mapping) {
+    let mut graph = SdfGraph::new();
+    let mut mapping = Mapping::new();
+    let mut prev = None;
+    for (i, (&c, &cap)) in cycles.iter().zip(caps).enumerate() {
+        let actor = graph.add_actor(format!("a{i}"), c, cap);
+        if let Some(p) = prev {
+            let (produce, consume) = rates[i - 1];
+            graph.add_edge(p, actor, produce, consume, 0).unwrap();
+        }
+        mapping.place(actor, cap.clamp(1, 4), 1.0);
+        prev = Some(actor);
+    }
+    (graph, mapping)
+}
+
+proptest! {
+    /// Compiled schedules are conflict-free under the same
+    /// electrically-connected-segment-group rule `SegmentedBus` enforces,
+    /// and conserve every edge's tokens per iteration.
+    #[test]
+    fn schedules_are_conflict_free_and_conserve_tokens(
+        cycles in prop::collection::vec(1u64..200, 2..6),
+        cap_picks in prop::collection::vec(0usize..4, 2..6),
+        rate_picks in prop::collection::vec(0usize..4, 1..5),
+        splits in 1usize..4,
+        slack in 0u64..16,
+    ) {
+        let n = cycles.len().min(cap_picks.len()).min(rate_picks.len() + 1);
+        let caps: Vec<u32> = cap_picks[..n].iter().map(|&i| [1u32, 2, 4, 8][i]).collect();
+        let rates: Vec<(u64, u64)> = rate_picks[..n - 1].iter().map(|&i| RATE_CHOICES[i]).collect();
+        let (graph, mapping) = chain(&cycles[..n], &caps, &rates);
+        let tokens = graph.tokens_per_iteration().unwrap();
+        let flows = router::column_flows(&graph, &mapping).unwrap();
+        let demand: u64 = flows.iter().map(|f| f.words).sum();
+        // A frame exactly large enough (plus slack) must always schedule.
+        let period = demand.div_ceil(splits as u64).max(1) + slack;
+        let spec = BusSpec::broadcast(n, splits, period).unwrap();
+        let schedule = router::compile_flows(&flows, &spec).unwrap();
+        schedule.validate().unwrap();
+        prop_assert_eq!(schedule.occupied_slots(), demand);
+        for (edge, &words) in tokens.iter().enumerate() {
+            prop_assert_eq!(schedule.words_for_edge(edge), words, "edge {}", edge);
+        }
+        // Slots never leave the frame.
+        for slot in schedule.slots() {
+            prop_assert!(slot.cycle + slot.words <= period);
+            prop_assert!(slot.split < splits);
+        }
+    }
+
+    /// A frame strictly smaller than the demand is always rejected with a
+    /// structured infeasibility, never a bogus schedule.
+    #[test]
+    fn undersized_frames_are_rejected_structurally(
+        cycles in prop::collection::vec(1u64..200, 2..5),
+        rate_picks in prop::collection::vec(0usize..4, 1..4),
+    ) {
+        let n = cycles.len().min(rate_picks.len() + 1);
+        let caps = vec![4u32; n];
+        let rates: Vec<(u64, u64)> = rate_picks[..n - 1].iter().map(|&i| RATE_CHOICES[i]).collect();
+        let (graph, mapping) = chain(&cycles[..n], &caps, &rates);
+        let flows = router::column_flows(&graph, &mapping).unwrap();
+        let demand: u64 = flows.iter().map(|f| f.words).sum();
+        prop_assume!(demand > 1);
+        let spec = BusSpec::broadcast(n, 1, demand - 1).unwrap();
+        match router::compile_flows(&flows, &spec) {
+            Err(RouteError::PeriodOverflow { demand: d, capacity }) => {
+                prop_assert_eq!(d, demand);
+                prop_assert_eq!(capacity, demand - 1);
+            }
+            other => prop_assert!(false, "expected overflow, got {:?}", other),
+        }
+    }
+
+    /// The compiled chip round-trips the schedule: executing drives the
+    /// horizontal bus to exactly `iterations × analytic flow matrix`
+    /// words, with the scheduled/occupied slot split intact.
+    #[test]
+    fn schedules_round_trip_through_chip_execution(
+        cycles in prop::collection::vec(1u64..60, 2..5),
+        cap_picks in prop::collection::vec(0usize..3, 2..5),
+        rate_picks in prop::collection::vec(0usize..4, 1..4),
+        iterations in 1u64..4,
+    ) {
+        let n = cycles.len().min(cap_picks.len()).min(rate_picks.len() + 1);
+        let caps: Vec<u32> = cap_picks[..n].iter().map(|&i| [1u32, 2, 4][i]).collect();
+        let rates: Vec<(u64, u64)> = rate_picks[..n - 1].iter().map(|&i| RATE_CHOICES[i]).collect();
+        let (graph, mapping) = chain(&cycles[..n], &caps, &rates);
+        let options = MapperOptions {
+            iterations,
+            ..MapperOptions::default()
+        };
+        let mut compiled = mapper::compile(&graph, &mapping, &options).unwrap();
+        compiled.route().validate().unwrap();
+        let tokens = graph.tokens_per_iteration().unwrap();
+        let analytic: u64 = compiled
+            .cross_edges()
+            .iter()
+            .map(|e| e.words_per_iteration)
+            .sum();
+        prop_assert_eq!(
+            compiled.route().occupied_slots(),
+            analytic,
+            "schedule words equal the analytic flow matrix"
+        );
+        let frame = compiled.route().scheduled_slots();
+        let report = compiled.execute().unwrap();
+        prop_assert!(report.firings_exact());
+        prop_assert_eq!(report.simulated_horizontal_words, iterations * analytic);
+        prop_assert_eq!(report.predicted_horizontal_words, iterations * analytic);
+        prop_assert_eq!(report.horizontal_traffic_error(), 0.0);
+        prop_assert_eq!(report.occupied_bus_slots, iterations * analytic);
+        prop_assert_eq!(report.scheduled_bus_slots, iterations * frame);
+        // Conservation at edge granularity too.
+        for (edge, &words) in tokens.iter().enumerate() {
+            let scheduled = compiled.route().words_for_edge(edge);
+            prop_assert!(scheduled == words || scheduled == 0, "edge {}", edge);
+        }
+    }
+}
+
+/// The acceptance regression: a mapping that schedules at the reference
+/// bus configuration is rejected as communication-infeasible at a
+/// narrower one, end to end through `mapper::compile`.
+#[test]
+fn ddc_is_rejected_at_a_narrower_bus() {
+    let (graph, mapping, rate) = mapper::ddc_reference();
+    let reference = MapperOptions {
+        iteration_rate_hz: rate,
+        ..MapperOptions::default()
+    };
+    assert!(mapper::compile(&graph, &mapping, &reference).is_ok());
+    let narrow = MapperOptions {
+        iteration_rate_hz: rate,
+        bus_frequency_hz: 100e6,
+        ..MapperOptions::default()
+    };
+    match mapper::compile(&graph, &mapping, &narrow) {
+        Err(mapper::MapperError::Route(RouteError::PeriodOverflow {
+            demand: 10,
+            capacity: 6,
+        })) => {}
+        other => panic!("expected communication infeasibility, got {other:?}"),
+    }
+}
