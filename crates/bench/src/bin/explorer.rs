@@ -25,6 +25,11 @@ use synchroscalar::sdf::SdfGraph;
 /// scheduler interference).
 const RUNS: usize = 3;
 
+/// What a capped-thread record says in place of a meaningless speedup
+/// ratio.
+const ONE_CORE_WARNING: &str =
+    "threads capped to 1 core; multi-threaded rows duplicate the single-threaded measurement";
+
 #[derive(Clone)]
 struct Throughput {
     threads: usize,
@@ -175,8 +180,10 @@ fn bus_width_sweep() -> Vec<SweepRow> {
 }
 
 fn row_json(row: &MatrixRow, one_core: bool) -> String {
+    // On a capped host the record carries an explicit explanation, not a
+    // bare null a reader has to reverse-engineer.
     let speedup = match row.speedup(one_core) {
-        None => "null".to_string(),
+        None => format!("\"{ONE_CORE_WARNING}\""),
         Some(s) => format!("{s:.3}"),
     };
     format!(
@@ -258,12 +265,10 @@ fn main() {
     // multi-thread count *before* measuring so the record reports the
     // count that actually ran, not the `0 = auto` placeholder.
     let multi_threads = ExplorerConfig::new(1e6, 64).resolved_threads();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let one_core = multi_threads <= 1;
     if one_core {
-        println!(
-            "\nwarning: only one core available; multi-threaded rows duplicate the \
-             single-threaded measurement and no speedup is reported"
-        );
+        println!("\nwarning: {ONE_CORE_WARNING}");
     }
     // Each cell carries its voltage policy: the cost mode is a per-row
     // strategy, with one single-voltage row in both matrix sizes.
@@ -360,6 +365,7 @@ fn main() {
             "{{\n",
             "  \"bench\": \"explorer\",\n",
             "  \"quick\": {},\n",
+            "  \"host_cores\": {},\n",
             "  \"threads_resolved\": {},\n",
             "  \"runs_per_cell\": {},\n",
             "  \"workloads\": [\n",
@@ -371,6 +377,7 @@ fn main() {
             "}}\n"
         ),
         quick,
+        cores,
         multi_threads,
         RUNS,
         rows_json.join(",\n"),

@@ -1,0 +1,214 @@
+//! Fast-tier simulation throughput on the paper's reference applications.
+//!
+//! For the DDC and 802.11a receive chains this bench compiles the
+//! reference mapping twice — once per execution tier — runs a
+//! million-frame trace on each, asserts the two chips finish **bit
+//! identical** (execution report, chip statistics, per-column statistics,
+//! horizontal-bus counters), and records the wall-clock speedup of the
+//! batched fast tier over the cycle-level interpreter in
+//! `BENCH_sim.json`.  Pass `--quick` to shrink the trace to a thousand
+//! frames so CI can smoke the path without timing noise; the committed
+//! record is the full run, which must show at least a 100× speedup on
+//! the million-frame 802.11a trace.
+
+use std::time::Instant;
+
+use bench::rule;
+use synchroscalar::mapper::{self, CompiledChip, ExecutionReport, ExecutionTier, MapperOptions};
+use synchroscalar::sdf::{Mapping, SdfGraph};
+
+/// Measurement repetitions per tier; the fastest run is recorded (least
+/// scheduler interference).
+const RUNS: usize = 3;
+
+/// The acceptance floor: the fast tier must beat the interpreter by at
+/// least this factor on the full million-frame 802.11a trace.
+const REQUIRED_SPEEDUP: f64 = 100.0;
+
+struct AppRow {
+    application: &'static str,
+    frames: u64,
+    hyperperiod: u64,
+    reference_ticks: u64,
+    interpreted_seconds: f64,
+    fast_seconds: f64,
+    speedup: f64,
+}
+
+fn compile_tier(
+    graph: &SdfGraph,
+    mapping: &Mapping,
+    rate: f64,
+    frames: u64,
+    tier: ExecutionTier,
+) -> CompiledChip {
+    let options = MapperOptions {
+        iterations: frames,
+        iteration_rate_hz: rate,
+        tier,
+        ..MapperOptions::default()
+    };
+    mapper::compile(graph, mapping, &options).expect("reference mapping compiles")
+}
+
+/// Time `execute` on a freshly compiled chip, best of [`RUNS`]; returns
+/// the report of the fastest run and its wall-clock seconds.
+fn measure(
+    graph: &SdfGraph,
+    mapping: &Mapping,
+    rate: f64,
+    frames: u64,
+    tier: ExecutionTier,
+) -> (ExecutionReport, CompiledChip, f64) {
+    let mut best: Option<(ExecutionReport, CompiledChip, f64)> = None;
+    for _ in 0..RUNS {
+        let mut compiled = compile_tier(graph, mapping, rate, frames, tier);
+        let start = Instant::now();
+        let report = compiled.execute().expect("reference trace executes");
+        let elapsed = start.elapsed().as_secs_f64();
+        if best.as_ref().is_none_or(|(_, _, b)| elapsed < *b) {
+            best = Some((report, compiled, elapsed));
+        }
+    }
+    best.expect("at least one run")
+}
+
+fn measure_app(
+    application: &'static str,
+    graph: &SdfGraph,
+    mapping: &Mapping,
+    rate: f64,
+    frames: u64,
+) -> AppRow {
+    let (interpreted_report, interpreted, interpreted_seconds) =
+        measure(graph, mapping, rate, frames, ExecutionTier::Interpreted);
+    let (fast_report, fast, fast_seconds) =
+        measure(graph, mapping, rate, frames, ExecutionTier::Fast);
+    // The speedup only counts if the tiers are indistinguishable at the
+    // measured scale.
+    assert_eq!(
+        interpreted_report, fast_report,
+        "{application}: execution reports diverge between tiers"
+    );
+    assert_eq!(
+        interpreted.chip().stats(),
+        fast.chip().stats(),
+        "{application}: chip statistics diverge between tiers"
+    );
+    assert_eq!(
+        interpreted.chip().column_stats(),
+        fast.chip().column_stats(),
+        "{application}: column statistics diverge between tiers"
+    );
+    assert_eq!(
+        interpreted.chip().horizontal_stats(),
+        fast.chip().horizontal_stats(),
+        "{application}: horizontal-bus counters diverge between tiers"
+    );
+    assert!(interpreted_report.firings_exact());
+    AppRow {
+        application,
+        frames,
+        hyperperiod: fast_report.hyperperiod,
+        reference_ticks: fast_report.reference_ticks,
+        interpreted_seconds,
+        fast_seconds,
+        speedup: interpreted_seconds / fast_seconds.max(1e-12),
+    }
+}
+
+fn row_json(row: &AppRow) -> String {
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"application\": \"{}\",\n",
+            "      \"frames\": {},\n",
+            "      \"hyperperiod\": {},\n",
+            "      \"reference_ticks\": {},\n",
+            "      \"interpreted_seconds\": {:.6},\n",
+            "      \"fast_seconds\": {:.9},\n",
+            "      \"speedup\": {:.1},\n",
+            "      \"bit_identical\": true\n",
+            "    }}"
+        ),
+        row.application,
+        row.frames,
+        row.hyperperiod,
+        row.reference_ticks,
+        row.interpreted_seconds,
+        row.fast_seconds,
+        row.speedup,
+    )
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let frames: u64 = if quick { 1_000 } else { 1_000_000 };
+
+    let ddc = mapper::ddc_reference();
+    let wifi = mapper::wifi_reference();
+    let apps: [(&'static str, &SdfGraph, &Mapping, f64); 2] = [
+        ("ddc", &ddc.0, &ddc.1, ddc.2),
+        ("802.11a", &wifi.0, &wifi.1, wifi.2),
+    ];
+
+    println!(
+        "Fast-tier simulation throughput ({} frames per application, best of {RUNS} runs):",
+        frames
+    );
+    rule(92);
+    println!(
+        "{:<12} {:>12} {:>14} {:>16} {:>14} {:>14}",
+        "Application", "Frames", "Hyperperiod", "Interpreted s", "Fast s", "Speedup"
+    );
+    rule(92);
+    let mut rows = Vec::new();
+    for (application, graph, mapping, rate) in apps {
+        let row = measure_app(application, graph, mapping, rate, frames);
+        println!(
+            "{:<12} {:>12} {:>14} {:>16.4} {:>14.6} {:>13.0}x",
+            row.application,
+            row.frames,
+            row.hyperperiod,
+            row.interpreted_seconds,
+            row.fast_seconds,
+            row.speedup
+        );
+        rows.push(row);
+    }
+    rule(92);
+
+    if !quick {
+        let wifi_row = rows
+            .iter()
+            .find(|r| r.application == "802.11a")
+            .expect("802.11a row");
+        assert!(
+            wifi_row.speedup >= REQUIRED_SPEEDUP,
+            "fast tier must be at least {REQUIRED_SPEEDUP}x faster on the million-frame \
+             802.11a trace, measured {:.1}x",
+            wifi_row.speedup
+        );
+    }
+
+    let rows_json: Vec<String> = rows.iter().map(row_json).collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"sim\",\n",
+            "  \"quick\": {},\n",
+            "  \"runs_per_tier\": {},\n",
+            "  \"required_speedup\": {:.1},\n",
+            "  \"applications\": [\n",
+            "{}\n",
+            "  ]\n",
+            "}}\n"
+        ),
+        quick,
+        RUNS,
+        REQUIRED_SPEEDUP,
+        rows_json.join(",\n"),
+    );
+    std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
+    println!("\nPerf record written to BENCH_sim.json");
+}

@@ -17,6 +17,7 @@
 //! | `fig10`  | Figure 10 — leakage sensitivity (MPEG-4, SV) |
 //! | `sensitivity` | Section 5.5 — tile-power sensitivity |
 //! | `explorer` | Automatic mapping of the suite + search throughput (`BENCH_explorer.json`) |
+//! | `sim` | Fast-tier vs interpreter wall-clock on million-frame traces (`BENCH_sim.json`) |
 //!
 //! The Criterion benches in `benches/` measure the substrate itself (kernel
 //! and simulator throughput).

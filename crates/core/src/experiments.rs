@@ -680,6 +680,150 @@ pub fn route_schedule_summary(tech: &Technology) -> Vec<RouteSummaryRow> {
     rows
 }
 
+/// One row of the trace-scale simulation summary: a reference application
+/// executed end to end for `frames` graph iterations (a million-frame
+/// trace, not a handful of smoke iterations) on the fast execution tier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceScaleRow {
+    /// Application name.
+    pub application: String,
+    /// Graph iterations (frames/symbols/samples) executed.
+    pub frames: u64,
+    /// Reference ticks the run consumed.
+    pub reference_ticks: u64,
+    /// Reference ticks per graph iteration.
+    pub hyperperiod: u64,
+    /// Column clock cycles summed over all columns.
+    pub column_cycles: u64,
+    /// Words moved across the horizontal bus.
+    pub horizontal_words: u64,
+    /// Occupied fraction of the scheduled TDM slots (0 when the schedule
+    /// reserved none).
+    pub bus_utilization: f64,
+    /// Whether measured firing counts matched the repetition vector
+    /// exactly over the whole trace.
+    pub firings_exact: bool,
+}
+
+/// Errors raised by the trace-scale entry points — the structured
+/// counterpart of the panics the eager wrappers keep (mirrors the
+/// [`crate::pipeline::PipelineError`] `try_` pattern).
+#[derive(Debug)]
+pub enum TraceScaleError {
+    /// The application's reference mapping failed to compile or execute at
+    /// the requested iteration rate (typically: the TDM frame implied by
+    /// the rate is too small for the per-iteration traffic).
+    Unschedulable {
+        /// Application name.
+        application: String,
+        /// The iteration rate the mapping was compiled for.
+        iteration_rate_hz: f64,
+        /// The underlying mapper failure.
+        source: mapper::MapperError,
+    },
+}
+
+impl std::fmt::Display for TraceScaleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceScaleError::Unschedulable {
+                application,
+                iteration_rate_hz,
+                source,
+            } => write!(
+                f,
+                "{application} is unschedulable at {iteration_rate_hz} iterations/s: {source}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceScaleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceScaleError::Unschedulable { source, .. } => Some(source),
+        }
+    }
+}
+
+/// Execute one application's reference mapping for `frames` graph
+/// iterations at `iteration_rate_hz` on the fast tier and summarise the
+/// trace.
+///
+/// # Errors
+///
+/// [`TraceScaleError::Unschedulable`] when the mapping cannot be compiled
+/// or executed at that rate.
+pub fn try_trace_scale_row(
+    tech: &Technology,
+    app: Application,
+    iteration_rate_hz: f64,
+    frames: u64,
+) -> Result<TraceScaleRow, TraceScaleError> {
+    let application = ApplicationProfile::of(app).application.name().to_owned();
+    let reference = reference_graph(app);
+    let options = MapperOptions {
+        iterations: frames,
+        iteration_rate_hz,
+        tech: tech.clone(),
+        tier: mapper::ExecutionTier::Fast,
+        ..MapperOptions::default()
+    };
+    let wrap = |source| TraceScaleError::Unschedulable {
+        application: application.clone(),
+        iteration_rate_hz,
+        source,
+    };
+    let mut compiled =
+        mapper::compile(&reference.graph, &reference.mapping, &options).map_err(wrap)?;
+    let report = compiled.execute().map_err(wrap)?;
+    Ok(TraceScaleRow {
+        application,
+        frames,
+        reference_ticks: report.reference_ticks,
+        hyperperiod: report.hyperperiod,
+        column_cycles: report.column_cycles.iter().sum(),
+        horizontal_words: report.simulated_horizontal_words,
+        bus_utilization: if report.scheduled_bus_slots == 0 {
+            0.0
+        } else {
+            report.occupied_bus_slots as f64 / report.scheduled_bus_slots as f64
+        },
+        firings_exact: report.firings_exact(),
+    })
+}
+
+/// Trace-scale summary of every reference application at its reference
+/// iteration rate.
+///
+/// # Errors
+///
+/// Propagates the first [`TraceScaleError`] — a reference application
+/// failing to schedule at its own reference rate indicates a broken model.
+pub fn try_trace_scale_summary(
+    tech: &Technology,
+    frames: u64,
+) -> Result<Vec<TraceScaleRow>, TraceScaleError> {
+    Application::all()
+        .into_iter()
+        .map(|app| {
+            let rate = reference_graph(app).iteration_rate_hz;
+            try_trace_scale_row(tech, app, rate, frames)
+        })
+        .collect()
+}
+
+/// Eager wrapper of [`try_trace_scale_summary`].
+///
+/// # Panics
+///
+/// Panics when a reference application fails to schedule at its own
+/// reference rate (a broken model, not a data-dependent condition).
+pub fn trace_scale_summary(tech: &Technology, frames: u64) -> Vec<TraceScaleRow> {
+    try_trace_scale_summary(tech, frames)
+        .expect("reference applications schedule at their reference rates")
+}
+
 /// Convenience: the reference report of every application (used by the
 /// examples and the benchmark harness).
 pub fn reference_reports(tech: &Technology) -> Vec<ApplicationReport> {
@@ -943,6 +1087,46 @@ mod tests {
         assert_eq!(ddc.period, 25);
         assert_eq!(ddc.occupied_slots, 10);
         assert_eq!(ddc.idle_slots, 15);
+    }
+
+    #[test]
+    fn trace_scale_rows_match_an_interpreted_short_run_scaled_up() {
+        // 10 000 frames of every application, batched: every firing count
+        // exact, every schedule busy, and the tick count an exact multiple
+        // of the analytic hyperperiod expectation (plus the drain tail).
+        let rows = try_trace_scale_summary(&tech(), 10_000).unwrap();
+        assert_eq!(rows.len(), 6);
+        for row in &rows {
+            assert!(row.firings_exact, "{}", row.application);
+            assert!(row.horizontal_words > 0, "{}", row.application);
+            assert!(
+                row.reference_ticks >= row.frames * row.hyperperiod,
+                "{}: {} ticks for {} frames of {}",
+                row.application,
+                row.reference_ticks,
+                row.frames,
+                row.hyperperiod
+            );
+            assert!(row.bus_utilization > 0.0 && row.bus_utilization <= 1.0);
+        }
+    }
+
+    #[test]
+    fn unschedulable_rates_return_structured_errors_not_panics() {
+        // The DDC moves 10 words per iteration; at 100 M iterations/s the
+        // 400 MHz bus frame has only 4 slots, so the mapping must be
+        // rejected via the structured error path.
+        let err = try_trace_scale_row(&tech(), Application::Ddc, 100e6, 100).unwrap_err();
+        let TraceScaleError::Unschedulable {
+            application,
+            iteration_rate_hz,
+            source,
+        } = &err;
+        assert_eq!(application, "DDC");
+        assert_eq!(*iteration_rate_hz, 100e6);
+        assert!(matches!(source, mapper::MapperError::Route(_)), "{source}");
+        assert!(err.to_string().contains("unschedulable"));
+        assert!(std::error::Error::source(&err).is_some());
     }
 
     #[test]

@@ -46,7 +46,9 @@ pub mod experiments;
 pub mod mapper;
 pub mod pipeline;
 
-pub use mapper::{compile as compile_mapping, CompiledChip, CrossValidation, MapperOptions};
+pub use mapper::{
+    compile as compile_mapping, CompiledChip, CrossValidation, ExecutionTier, MapperOptions,
+};
 pub use pipeline::{
     evaluate_application, try_evaluate_application, ApplicationReport, BlockReport,
     EvaluationOptions, PipelineError, VoltagePolicy,

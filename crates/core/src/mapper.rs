@@ -40,14 +40,15 @@
 use std::error::Error;
 use std::fmt;
 
-use synchro_bus::BusOp;
+use synchro_bus::{BusOp, BusStats, SegmentConfig};
 use synchro_dou::{DouError, DouProgram, ScheduleCompiler};
 use synchro_explore::{ExplorerError, ExplorerSolution};
-use synchro_isa::{DataReg, ProgramBuilder};
+use synchro_isa::{DataReg, Program, ProgramBuilder};
 use synchro_power::{Technology, VfCurve};
 use synchro_route::{compile_flows, BusSpec, RouteError, RouteSchedule};
 use synchro_sdf::{ActorId, Mapping, MappingViolation, SdfError, SdfGraph};
-use synchro_sim::{BusProgram, BusSlot, Chip, Column, ColumnConfig, ColumnError};
+use synchro_sim::fast::{ColumnBatch, FastTier, FastTierError, FiringProfile};
+use synchro_sim::{BusProgram, BusSlot, Chip, Column, ColumnConfig, ColumnError, ColumnStats};
 use synchro_simd::RateMatcher;
 
 use crate::pipeline::ApplicationReport;
@@ -103,6 +104,9 @@ pub enum MapperError {
         /// Reference ticks spent before giving up.
         ticks: u64,
     },
+    /// The fast tier could not profile or batch the compiled programs
+    /// (non-steady firing pattern, pre-stepped chip, ...).
+    FastTier(FastTierError),
 }
 
 impl fmt::Display for MapperError {
@@ -130,6 +134,7 @@ impl fmt::Display for MapperError {
             MapperError::Incomplete { ticks } => {
                 write!(f, "chip did not halt within {ticks} reference ticks")
             }
+            MapperError::FastTier(e) => write!(f, "fast tier: {e}"),
         }
     }
 }
@@ -142,6 +147,7 @@ impl Error for MapperError {
             MapperError::Column(e) => Some(e),
             MapperError::Explorer(e) => Some(e),
             MapperError::Route(e) => Some(e),
+            MapperError::FastTier(e) => Some(e),
             _ => None,
         }
     }
@@ -177,6 +183,25 @@ impl From<RouteError> for MapperError {
     }
 }
 
+impl From<FastTierError> for MapperError {
+    fn from(value: FastTierError) -> Self {
+        MapperError::FastTier(value)
+    }
+}
+
+/// Which execution strategy [`CompiledChip::execute`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionTier {
+    /// Interpret every column cycle — the reference semantics.
+    #[default]
+    Interpreted,
+    /// Profile one firing per column through the interpreter, then batch
+    /// the remaining firings as closed-form counter updates
+    /// ([`synchro_sim::fast`]).  Statistics are bit-identical to the
+    /// interpreted tier; tile register files are not reproduced.
+    Fast,
+}
+
 /// Options controlling one compilation.
 #[derive(Debug, Clone)]
 pub struct MapperOptions {
@@ -207,6 +232,14 @@ pub struct MapperOptions {
     /// shrinks the frame until the per-iteration traffic no longer fits
     /// and [`compile`] rejects the mapping as communication-infeasible.
     pub bus_frequency_hz: f64,
+    /// Segment switch configuration of the horizontal bus.  `None` keeps
+    /// the paper's column-spanning broadcast bus; a [`SegmentConfig`]
+    /// restricts which column pairs each split can connect, and mappings
+    /// whose traffic crosses an open switch are rejected as
+    /// [`RouteError::Unreachable`].
+    pub bus_segments: Option<SegmentConfig>,
+    /// Execution strategy [`CompiledChip::execute`] uses.
+    pub tier: ExecutionTier,
 }
 
 impl Default for MapperOptions {
@@ -219,6 +252,8 @@ impl Default for MapperOptions {
             tech: Technology::isca2004(),
             bus_splits: 1,
             bus_frequency_hz: 400e6,
+            bus_segments: None,
+            tier: ExecutionTier::Interpreted,
         }
     }
 }
@@ -369,11 +404,32 @@ impl CrossValidation {
 pub struct CompiledChip {
     chip: Chip,
     plans: Vec<ColumnPlan>,
+    blueprints: Vec<ColumnBlueprint>,
     cross_edges: Vec<CrossEdge>,
     route: RouteSchedule,
     hyperperiod: u64,
     iterations: u64,
     drain_budget: u64,
+    tier: ExecutionTier,
+}
+
+/// The pieces one column was built from, kept so the fast tier can
+/// profile a throw-away replica without disturbing the live chip.
+#[derive(Debug, Clone)]
+struct ColumnBlueprint {
+    config: ColumnConfig,
+    program: Program,
+    dou: Option<DouProgram>,
+}
+
+/// Lifetime counters of a chip at one instant; [`CompiledChip::execute`]
+/// reports the difference of two of these.
+struct StatsSnapshot {
+    ticks: u64,
+    words: u64,
+    firings: Vec<u64>,
+    columns: Vec<ColumnStats>,
+    bus: BusStats,
 }
 
 fn gcd(a: u64, b: u64) -> u64 {
@@ -491,6 +547,7 @@ pub fn compile(
 
     let mut chip = Chip::new();
     let mut plans = Vec::with_capacity(mapping.placements().len());
+    let mut blueprints = Vec::with_capacity(mapping.placements().len());
     let mut drain_budget: u64 = hyperperiod; // one extra window for halt observation
     for (column, (p, &(slots, w))) in mapping.placements().iter().zip(&work).enumerate() {
         let actor = graph.actor(p.actor).expect("validated above");
@@ -560,7 +617,12 @@ pub fn compile(
             enabled_tiles: vec![true; sim_tiles],
             rate_matcher,
         };
-        chip.add_column(Column::new(config, program, dou));
+        chip.add_column(Column::new(config.clone(), program.clone(), dou.clone()));
+        blueprints.push(ColumnBlueprint {
+            config,
+            program,
+            dou,
+        });
 
         // Reference ticks this column needs to finish, ZORM stalls
         // included.
@@ -616,12 +678,21 @@ pub fn compile(
     // `bus_frequency / iteration_rate` bus cycles, conflict-free under the
     // segment-group rule — or the mapping is rejected as
     // communication-infeasible.
-    let spec = BusSpec::from_clock(
-        plans.len().max(1),
-        options.bus_splits,
-        options.bus_frequency_hz,
-        options.iteration_rate_hz,
-    )?;
+    let spec = match &options.bus_segments {
+        Some(segments) => BusSpec::from_clock_with_segments(
+            plans.len().max(1),
+            options.bus_splits,
+            options.bus_frequency_hz,
+            options.iteration_rate_hz,
+            segments.clone(),
+        )?,
+        None => BusSpec::from_clock(
+            plans.len().max(1),
+            options.bus_splits,
+            options.bus_frequency_hz,
+            options.iteration_rate_hz,
+        )?,
+    };
     let route = compile_flows(&flows, &spec)?;
 
     // Drive the simulated horizontal bus from the schedule: one chip-level
@@ -654,11 +725,13 @@ pub fn compile(
     Ok(CompiledChip {
         chip,
         plans,
+        blueprints,
         cross_edges,
         route,
         hyperperiod,
         iterations: options.iterations,
         drain_budget,
+        tier: options.tier,
     })
 }
 
@@ -732,13 +805,25 @@ impl CompiledChip {
     /// # Errors
     ///
     /// Propagates simulation faults and reports [`MapperError::Incomplete`]
-    /// if the chip fails to halt within its drain budget.
+    /// if the chip fails to halt within its drain budget.  On error the
+    /// chip state is unspecified (the interpreted tier leaves it partially
+    /// run, the fast tier untouched) — the returned error value itself is
+    /// tier-independent.
     pub fn execute(&mut self) -> Result<ExecutionReport, MapperError> {
-        let start_ticks = self.chip.stats().reference_cycles;
-        let start_words = self.chip.stats().horizontal_transfers;
-        let start_firings = self.measured_firings();
-        let start_columns = self.chip.column_stats();
-        let start_bus = self.chip.horizontal_stats().unwrap_or_default();
+        match self.tier {
+            ExecutionTier::Interpreted => self.execute_interpreted(),
+            ExecutionTier::Fast => self.execute_fast(),
+        }
+    }
+
+    /// [`CompiledChip::execute`] on the interpreted tier, regardless of
+    /// the compiled [`ExecutionTier`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`CompiledChip::execute`].
+    pub fn execute_interpreted(&mut self) -> Result<ExecutionReport, MapperError> {
+        let start = self.snapshot();
 
         for _ in 0..self.iterations {
             if self.chip.all_halted() {
@@ -749,10 +834,10 @@ impl CompiledChip {
         // Drain: the halt-observing tick of every column (and, for
         // ZORM-throttled columns, the stall surplus) lies past the last
         // iteration window.
-        let mut spent = self.chip.stats().reference_cycles - start_ticks;
+        let mut spent = self.chip.stats().reference_cycles - start.ticks;
         while !self.chip.all_halted() && spent < self.drain_budget {
             self.chip.run(self.hyperperiod.max(1))?;
-            spent = self.chip.stats().reference_cycles - start_ticks;
+            spent = self.chip.stats().reference_cycles - start.ticks;
         }
         if !self.chip.all_halted() {
             return Err(MapperError::Incomplete { ticks: spent });
@@ -761,8 +846,84 @@ impl CompiledChip {
         // slots of the final frame; the DOUs still play their schedule
         // out, so drive the bus program to completion.
         self.chip.finish_bus_program()?;
-        let firings = self.measured_firings();
+        Ok(self.report_since(&start))
+    }
 
+    /// [`CompiledChip::execute`] on the fast tier, regardless of the
+    /// compiled [`ExecutionTier`]: profile one firing per column through
+    /// the interpreter, check the run would fit the interpreted tier's
+    /// tick budget, then apply every remaining firing as a closed-form
+    /// counter update and drain the bus program in bulk.  The produced
+    /// report — and the chip's externally visible statistics — are
+    /// bit-identical to [`CompiledChip::execute_interpreted`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`CompiledChip::execute`], plus [`MapperError::FastTier`]
+    /// when the compiled programs cannot be batched (e.g. the chip was
+    /// stepped by hand through [`CompiledChip::chip_mut`] first).  The
+    /// budget check reproduces [`MapperError::Incomplete`] *without*
+    /// mutating the chip.
+    pub fn execute_fast(&mut self) -> Result<ExecutionReport, MapperError> {
+        let start = self.snapshot();
+
+        if !self.chip.all_halted() {
+            let mut tier = FastTier::new();
+            for (plan, blueprint) in self.plans.iter().zip(&self.blueprints) {
+                let firings = plan
+                    .firings_per_iteration
+                    .checked_mul(self.iterations)
+                    .ok_or(MapperError::Overflow {
+                        what: "total firing count",
+                    })?;
+                let profile = FiringProfile::measure(
+                    &blueprint.config,
+                    &blueprint.program,
+                    blueprint.dou.as_ref(),
+                    plan.sim_cycles_per_firing,
+                    firings,
+                )?;
+                tier.push(ColumnBatch {
+                    column: plan.column,
+                    firings,
+                    profile,
+                });
+            }
+            // The interpreted tier gives up after `iterations` hyperperiod
+            // windows plus drain windows up to its budget; reproduce the
+            // same Incomplete verdict from the predicted halt tick, before
+            // touching the chip.
+            let window = self.hyperperiod.max(1);
+            let budget_windows = self.iterations.max(self.drain_budget.div_ceil(window));
+            let budget_ticks = budget_windows.saturating_mul(window);
+            if let Some(halt_tick) = tier.completion_tick(&self.chip)? {
+                if halt_tick >= budget_ticks {
+                    return Err(MapperError::Incomplete {
+                        ticks: budget_ticks,
+                    });
+                }
+            }
+            tier.run(&mut self.chip)?;
+        } else {
+            // An already-halted chip: the interpreted tier would observe
+            // the halt immediately and still play the bus schedule out.
+            self.chip.finish_bus_program_batched()?;
+        }
+        Ok(self.report_since(&start))
+    }
+
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            ticks: self.chip.stats().reference_cycles,
+            words: self.chip.stats().horizontal_transfers,
+            firings: self.measured_firings(),
+            columns: self.chip.column_stats(),
+            bus: self.chip.horizontal_stats().unwrap_or_default(),
+        }
+    }
+
+    fn report_since(&self, start: &StatsSnapshot) -> ExecutionReport {
+        let firings = self.measured_firings();
         let expected: Vec<u64> = self
             .plans
             .iter()
@@ -774,41 +935,32 @@ impl CompiledChip {
             .map(|e| e.words_per_iteration * self.iterations)
             .sum();
         let column_stats = self.chip.column_stats();
-        Ok(ExecutionReport {
+        let bus = self.chip.horizontal_stats().unwrap_or_default();
+        ExecutionReport {
             iterations: self.iterations,
-            reference_ticks: self.chip.stats().reference_cycles - start_ticks,
+            reference_ticks: self.chip.stats().reference_cycles - start.ticks,
             hyperperiod: self.hyperperiod,
             firing_counts: firings
                 .iter()
-                .zip(&start_firings)
+                .zip(&start.firings)
                 .map(|(now, before)| now - before)
                 .collect(),
             expected_firings: expected,
-            simulated_horizontal_words: self.chip.stats().horizontal_transfers - start_words,
+            simulated_horizontal_words: self.chip.stats().horizontal_transfers - start.words,
             predicted_horizontal_words: predicted_words,
             column_cycles: column_stats
                 .iter()
-                .zip(&start_columns)
+                .zip(&start.columns)
                 .map(|(now, before)| now.cycles - before.cycles)
                 .collect(),
             intra_column_words: column_stats
                 .iter()
-                .zip(&start_columns)
+                .zip(&start.columns)
                 .map(|(now, before)| now.bus_word_transfers - before.bus_word_transfers)
                 .collect(),
-            scheduled_bus_slots: self
-                .chip
-                .horizontal_stats()
-                .unwrap_or_default()
-                .scheduled_slots
-                - start_bus.scheduled_slots,
-            occupied_bus_slots: self
-                .chip
-                .horizontal_stats()
-                .unwrap_or_default()
-                .occupied_slots
-                - start_bus.occupied_slots,
-        })
+            scheduled_bus_slots: bus.scheduled_slots - start.bus.scheduled_slots,
+            occupied_bus_slots: bus.occupied_slots - start.bus.occupied_slots,
+        }
     }
 }
 
@@ -1213,6 +1365,107 @@ mod tests {
             ..MapperOptions::default()
         };
         let compiled = compile(&g, &m, &widened).unwrap();
+        compiled.route().validate().unwrap();
+    }
+
+    /// Execute the same `(graph, mapping, options)` on both tiers and
+    /// require bit-identical reports and chip statistics.
+    fn assert_tiers_agree(graph: &SdfGraph, mapping: &Mapping, options: &MapperOptions) {
+        let interpreted_options = MapperOptions {
+            tier: ExecutionTier::Interpreted,
+            ..options.clone()
+        };
+        let fast_options = MapperOptions {
+            tier: ExecutionTier::Fast,
+            ..options.clone()
+        };
+        let mut interpreted = compile(graph, mapping, &interpreted_options).unwrap();
+        let mut fast = compile(graph, mapping, &fast_options).unwrap();
+        let a = interpreted.execute().unwrap();
+        let b = fast.execute().unwrap();
+        assert_eq!(a, b, "execution reports diverge");
+        assert_eq!(interpreted.chip().stats(), fast.chip().stats());
+        assert_eq!(
+            interpreted.chip().column_stats(),
+            fast.chip().column_stats()
+        );
+        assert_eq!(
+            interpreted.chip().horizontal_stats(),
+            fast.chip().horizontal_stats()
+        );
+        for i in 0..interpreted.chip().columns() {
+            assert_eq!(
+                interpreted.chip().column(i).unwrap().bus_stats(),
+                fast.chip().column(i).unwrap().bus_stats(),
+                "column {i} vertical bus diverges"
+            );
+        }
+        // A second execute covers an already-halted chip on both tiers.
+        let a2 = interpreted.execute().unwrap();
+        let b2 = fast.execute().unwrap();
+        assert_eq!(a2, b2, "rerun reports diverge");
+    }
+
+    #[test]
+    fn fast_tier_matches_the_interpreted_tier_bit_for_bit() {
+        let (g, m) = two_actor_chain(2, 3);
+        let options = MapperOptions {
+            iterations: 5,
+            ..MapperOptions::default()
+        };
+        assert_tiers_agree(&g, &m, &options);
+    }
+
+    #[test]
+    fn fast_tier_matches_on_zorm_fallback_chips() {
+        let mut g = SdfGraph::new();
+        let a = g.add_actor("fast", 1, 1);
+        let b = g.add_actor("slow", 97, 1);
+        g.add_edge(a, b, 50, 1, 0).unwrap();
+        let mut m = Mapping::new();
+        m.place(a, 1, 1.0);
+        m.place(b, 1, 1.0);
+        let options = MapperOptions {
+            max_divider: 8,
+            iterations: 2,
+            ..MapperOptions::default()
+        };
+        assert_tiers_agree(&g, &m, &options);
+    }
+
+    #[test]
+    fn fast_tier_matches_on_the_reference_applications() {
+        for (g, m, rate) in [ddc_reference(), wifi_reference()] {
+            let options = MapperOptions {
+                iterations: 3,
+                iteration_rate_hz: rate,
+                ..MapperOptions::default()
+            };
+            assert_tiers_agree(&g, &m, &options);
+        }
+    }
+
+    #[test]
+    fn segmented_bus_options_gate_reachability() {
+        let (g, m) = two_actor_chain(1, 1);
+        // Split 0 with the switch between columns 0 and 1 open: the cross
+        // edge cannot be scheduled.
+        let mut open = SegmentConfig::all_closed(1, 2);
+        open.set(0, 0, false);
+        let severed = MapperOptions {
+            bus_segments: Some(open),
+            ..MapperOptions::default()
+        };
+        assert!(matches!(
+            compile(&g, &m, &severed),
+            Err(MapperError::Route(RouteError::Unreachable { .. }))
+        ));
+        // The same topology with the switch closed schedules fine.
+        let connected = MapperOptions {
+            bus_segments: Some(SegmentConfig::all_closed(1, 2)),
+            ..MapperOptions::default()
+        };
+        let compiled = compile(&g, &m, &connected).unwrap();
         compiled.route().validate().unwrap();
     }
 

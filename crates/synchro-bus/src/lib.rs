@@ -189,6 +189,19 @@ impl BusStats {
     pub fn idle_slots(&self) -> u64 {
         self.scheduled_slots.saturating_sub(self.occupied_slots)
     }
+
+    /// Accumulate `times` repetitions of `delta` into these counters.
+    ///
+    /// Every counter is a plain sum over cycles, so replaying a periodic
+    /// traffic pattern `times` times is exactly `times × delta` — the
+    /// identity the batched simulation tier relies on.
+    pub fn add_scaled(&mut self, delta: &BusStats, times: u64) {
+        self.active_cycles += delta.active_cycles * times;
+        self.word_transfers += delta.word_transfers * times;
+        self.deliveries += delta.deliveries * times;
+        self.scheduled_slots += delta.scheduled_slots * times;
+        self.occupied_slots += delta.occupied_slots * times;
+    }
 }
 
 /// A column's segmented vertical bus.
@@ -233,6 +246,14 @@ impl SegmentedBus {
     /// Accumulated traffic statistics.
     pub fn stats(&self) -> BusStats {
         self.stats
+    }
+
+    /// Accumulate `times` repetitions of a per-period traffic `delta`
+    /// without replaying the cycles (see [`BusStats::add_scaled`]).  The
+    /// batched simulation tier uses this to account a steady-state firing
+    /// pattern measured once by the interpreter.
+    pub fn accumulate(&mut self, delta: &BusStats, times: u64) {
+        self.stats.add_scaled(delta, times);
     }
 
     /// Validate and account one cycle of transfers under a segment
@@ -638,6 +659,33 @@ mod tests {
         assert_eq!(bulk.stats(), single.stats());
         assert!(bulk.transfer_words(3, &[0], 1).is_err());
         assert!(bulk.transfer_words(0, &[9], 1).is_err());
+    }
+
+    #[test]
+    fn scaled_accumulation_matches_replayed_cycles() {
+        let cfg = SegmentConfig::all_closed(8, 4);
+        let op = BusOp {
+            split: 0,
+            producer: 0,
+            consumers: vec![1, 2, 3],
+        };
+        // Measure one period: an active cycle followed by an idle one.
+        let mut probe = SegmentedBus::isca2004();
+        probe.cycle(&cfg, std::slice::from_ref(&op)).unwrap();
+        probe.cycle(&cfg, &[]).unwrap();
+        let delta = probe.stats();
+        // Replay the period 7 times against bulk accumulation.
+        let mut replayed = SegmentedBus::isca2004();
+        for _ in 0..7 {
+            replayed.cycle(&cfg, std::slice::from_ref(&op)).unwrap();
+            replayed.cycle(&cfg, &[]).unwrap();
+        }
+        let mut bulk = SegmentedBus::isca2004();
+        bulk.accumulate(&delta, 7);
+        assert_eq!(bulk.stats(), replayed.stats());
+        // Zero repetitions accumulate nothing.
+        bulk.accumulate(&delta, 0);
+        assert_eq!(bulk.stats(), replayed.stats());
     }
 
     #[test]

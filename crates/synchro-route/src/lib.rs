@@ -246,6 +246,31 @@ impl BusSpec {
         bus_frequency_hz: f64,
         iteration_rate_hz: f64,
     ) -> Result<Self, RouteError> {
+        let period = Self::clock_period(bus_frequency_hz, iteration_rate_hz)?;
+        Self::broadcast(columns, splits, period)
+    }
+
+    /// [`BusSpec::from_clock`] with an explicit segment-switch topology
+    /// instead of the all-closed broadcast default (see [`BusSpec::new`]
+    /// for the shape `segments` must have).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::InvalidSpec`] for non-positive frequencies,
+    /// zero columns/splits, or a mis-shaped topology.
+    pub fn from_clock_with_segments(
+        columns: usize,
+        splits: usize,
+        bus_frequency_hz: f64,
+        iteration_rate_hz: f64,
+        segments: SegmentConfig,
+    ) -> Result<Self, RouteError> {
+        let period = Self::clock_period(bus_frequency_hz, iteration_rate_hz)?;
+        Self::new(columns, splits, period, segments)
+    }
+
+    /// Whole bus cycles per graph iteration at the given clocks.
+    fn clock_period(bus_frequency_hz: f64, iteration_rate_hz: f64) -> Result<u64, RouteError> {
         if bus_frequency_hz <= 0.0
             || iteration_rate_hz <= 0.0
             || bus_frequency_hz.is_nan()
@@ -256,12 +281,11 @@ impl BusSpec {
             });
         }
         let period = (bus_frequency_hz / iteration_rate_hz).floor();
-        let period = if period >= u64::MAX as f64 {
+        Ok(if period >= u64::MAX as f64 {
             u64::MAX
         } else {
             period as u64
-        };
-        Self::broadcast(columns, splits, period)
+        })
     }
 
     /// Columns the bus spans.

@@ -297,9 +297,86 @@ impl Chip {
         self.drive_bus_through(u64::MAX)
     }
 
+    /// The batched equivalent of [`Chip::finish_bus_program`]: drain every
+    /// remaining period of the loaded bus program in O(slots per period)
+    /// work instead of O(remaining periods × slots).
+    ///
+    /// Exploits the linearity of [`HorizontalBus`] accounting — replaying
+    /// a slot across `n` periods moves `n × words` words between the same
+    /// endpoints, so one bulk transfer per distinct slot plus one bulk
+    /// scheduled-slot charge per remaining period produces [`BusStats`]
+    /// and [`ChipStats`] bit-identical to the per-period replay.  This is
+    /// the `BusProgram` tail-drain the fast execution tier uses; the
+    /// interpreted path keeps [`Chip::finish_bus_program`].
+    ///
+    /// Idempotent: a finished (or absent) program is a no-op, and a
+    /// subsequent [`Chip::finish_bus_program`] sees a completed program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bus faults, which indicate a broken schedule.
+    pub fn finish_bus_program_batched(&mut self) -> Result<(), ColumnError> {
+        let Some(state) = self.bus_program.take() else {
+            return Ok(());
+        };
+        let BusProgramState {
+            program,
+            origin,
+            mut iteration,
+            mut next_slot,
+        } = state;
+        if iteration < program.iterations {
+            // Pending slots of the current (possibly partial) period.
+            for slot in &program.slots[next_slot..] {
+                self.horizontal_transfer_words(slot.from, &slot.to, slot.words)
+                    .map_err(ColumnError::Bus)?;
+            }
+            // All remaining full periods, one bulk transfer per slot.
+            let full = program.iterations - iteration - 1;
+            if full > 0 {
+                for slot in &program.slots {
+                    self.horizontal_transfer_words(slot.from, &slot.to, slot.words * full)
+                        .map_err(ColumnError::Bus)?;
+                }
+            }
+            // Scheduled (occupied + idle) TDM slots for every period that
+            // had not yet rolled over.
+            if let Some(bus) = self.horizontal.as_mut() {
+                bus.account_scheduled_slots(
+                    program.scheduled_slots_per_period * (program.iterations - iteration),
+                );
+            }
+            iteration = program.iterations;
+            next_slot = 0;
+        }
+        self.bus_program = Some(BusProgramState {
+            program,
+            origin,
+            iteration,
+            next_slot,
+        });
+        Ok(())
+    }
+
     /// True when every column has halted.
     pub fn all_halted(&self) -> bool {
         self.columns.iter().all(Column::is_halted)
+    }
+
+    /// Jump the reference clock forward to `to_tick` without stepping any
+    /// column (the fast tier's closed-form replacement for the empty and
+    /// already-accounted ticks of an interpreted run).  Never moves the
+    /// clock backwards.
+    pub(crate) fn fast_forward_reference(&mut self, to_tick: u64) {
+        if to_tick > self.stats.reference_cycles {
+            self.stats.reference_cycles = to_tick;
+        }
+    }
+
+    /// Fold closed-form column work into the chip-level cycle counter
+    /// (mirrors what [`Chip::tick`] accumulates per stepped column).
+    pub(crate) fn add_column_cycles(&mut self, cycles: u64) {
+        self.stats.column_cycles += cycles;
     }
 
     /// Chip statistics so far.
@@ -652,6 +729,61 @@ mod tests {
         // Idempotent.
         chip.finish_bus_program().unwrap();
         assert_eq!(chip.stats().horizontal_transfers, 10);
+    }
+
+    #[test]
+    fn batched_bus_drain_matches_interpreted_drain_bit_for_bit() {
+        let build = || {
+            let mut chip = Chip::new();
+            chip.add_column(counting_column(100, 1));
+            chip.add_column(counting_column(100, 1));
+            let program = BusProgram::new(
+                10,
+                1000,
+                7,
+                vec![
+                    BusSlot {
+                        tick: 2,
+                        from: 0,
+                        to: vec![1],
+                        words: 2,
+                    },
+                    BusSlot {
+                        tick: 7,
+                        from: 1,
+                        to: vec![0],
+                        words: 3,
+                    },
+                ],
+            );
+            chip.load_bus_program(program).unwrap();
+            chip
+        };
+        // Drain from several mid-program positions, including mid-period
+        // (tick 25 leaves period 2 half fired) and the untouched start.
+        for pre_ticks in [0u64, 3, 25, 99] {
+            let mut interpreted = build();
+            let mut batched = build();
+            interpreted.run(pre_ticks).unwrap();
+            batched.run(pre_ticks).unwrap();
+            interpreted.finish_bus_program().unwrap();
+            batched.finish_bus_program_batched().unwrap();
+            assert_eq!(interpreted.stats(), batched.stats(), "pre {pre_ticks}");
+            assert_eq!(
+                interpreted.horizontal_stats(),
+                batched.horizontal_stats(),
+                "pre {pre_ticks}"
+            );
+            // The batched drain completes the program: both drains are
+            // no-ops afterwards.
+            batched.finish_bus_program().unwrap();
+            batched.finish_bus_program_batched().unwrap();
+            assert_eq!(interpreted.stats(), batched.stats());
+        }
+        // A chip without a program is a no-op too.
+        let mut bare = Chip::new();
+        bare.finish_bus_program_batched().unwrap();
+        assert_eq!(bare.stats().horizontal_transfers, 0);
     }
 
     #[test]

@@ -190,6 +190,24 @@ impl Column {
         self.bus.stats()
     }
 
+    /// Fold a closed-form execution delta into the column's counters and
+    /// halt the controller, as if the remaining firings had been stepped
+    /// by the interpreter (used by the fast tier; see `crate::fast`).
+    pub(crate) fn apply_batched(
+        &mut self,
+        stats_delta: ColumnStats,
+        bus_delta: &synchro_bus::BusStats,
+        bus_times: u64,
+    ) {
+        self.stats.cycles += stats_delta.cycles;
+        self.stats.broadcasts += stats_delta.broadcasts;
+        self.stats.branch_stalls += stats_delta.branch_stalls;
+        self.stats.rate_match_stalls += stats_delta.rate_match_stalls;
+        self.stats.bus_word_transfers += stats_delta.bus_word_transfers;
+        self.bus.accumulate(bus_delta, bus_times);
+        self.controller.force_halt();
+    }
+
     /// Advance the column by one of its own clock cycles.
     ///
     /// # Errors

@@ -18,6 +18,8 @@
 
 pub mod chip;
 pub mod column;
+pub mod fast;
 
 pub use chip::{BusProgram, BusSlot, Chip, ChipStats};
 pub use column::{Column, ColumnConfig, ColumnError, ColumnStats};
+pub use fast::{ColumnBatch, FastTier, FastTierError, FiringProfile};

@@ -160,6 +160,15 @@ impl SimdController {
         self.halted
     }
 
+    /// Halt the controller immediately, as if the next fetch had observed a
+    /// `HALT`.  The batched simulation tier uses this after accounting a
+    /// program's remaining firings in closed form; a halted controller
+    /// issues [`Issue::Halted`] forever, exactly like one that ran to its
+    /// `HALT` instruction.
+    pub fn force_halt(&mut self) {
+        self.halted = true;
+    }
+
     /// The current program counter.
     pub fn pc(&self) -> u32 {
         self.pc
@@ -465,6 +474,19 @@ mod tests {
         assert_eq!(c.step(), Issue::Halted);
         assert_eq!(c.step(), Issue::Halted);
         assert!(c.is_halted());
+    }
+
+    #[test]
+    fn forced_halt_is_indistinguishable_from_a_fetched_halt() {
+        let p = assemble("loop 30, 1\nli r0, 1\nhalt\n").unwrap();
+        let mut c = SimdController::new(p);
+        assert!(!c.is_halted());
+        c.force_halt();
+        assert!(c.is_halted());
+        assert_eq!(c.step(), Issue::Halted);
+        // A forced halt bills nothing: the halted fast path returns before
+        // the cycle counter, same as a controller that already fetched HALT.
+        assert_eq!(c.stats().cycles, 0);
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! flow matrix.
 
 use proptest::prelude::*;
-use synchroscalar::mapper::{self, MapperOptions};
+use synchroscalar::bus::SegmentConfig;
+use synchroscalar::mapper::{self, ExecutionTier, MapperOptions};
 use synchroscalar::router::{self, BusSpec, RouteError};
 use synchroscalar::sdf::{Mapping, SdfGraph};
 
@@ -134,6 +135,133 @@ proptest! {
             prop_assert!(scheduled == words || scheduled == 0, "edge {}", edge);
         }
     }
+
+    /// End-to-end over a *segmented* horizontal bus: with one split left
+    /// as a broadcast backbone and another split's switch randomly opened,
+    /// the mapper either compiles on both execution tiers with
+    /// bit-identical chip statistics and exact word totals, or rejects the
+    /// mapping identically on both.
+    #[test]
+    fn segmented_buses_round_trip_on_both_tiers(
+        cycles in prop::collection::vec(1u64..60, 3..5),
+        cap_picks in prop::collection::vec(0usize..3, 3..5),
+        rate_picks in prop::collection::vec(0usize..4, 2..4),
+        iterations in 1u64..4,
+        gap_pick in 0usize..4,
+    ) {
+        let n = cycles.len().min(cap_picks.len()).min(rate_picks.len() + 1);
+        let caps: Vec<u32> = cap_picks[..n].iter().map(|&i| [1u32, 2, 4][i]).collect();
+        let rates: Vec<(u64, u64)> = rate_picks[..n - 1].iter().map(|&i| RATE_CHOICES[i]).collect();
+        let (graph, mapping) = chain(&cycles[..n], &caps, &rates);
+        // Split 0 stays a full broadcast backbone; split 1 loses one
+        // inter-column switch, so the router must steer traffic crossing
+        // that gap onto split 0.
+        let mut segments = SegmentConfig::all_closed(2, n);
+        segments.set(1, gap_pick % (n - 1), false);
+        let compile_on = |tier| {
+            mapper::compile(&graph, &mapping, &MapperOptions {
+                iterations,
+                bus_splits: 2,
+                bus_segments: Some(segments.clone()),
+                tier,
+                ..MapperOptions::default()
+            })
+        };
+        match (compile_on(ExecutionTier::Interpreted), compile_on(ExecutionTier::Fast)) {
+            (Ok(mut interpreted), Ok(mut fast)) => {
+                interpreted.route().validate().unwrap();
+                let analytic: u64 = interpreted
+                    .cross_edges()
+                    .iter()
+                    .map(|e| e.words_per_iteration)
+                    .sum();
+                let a = interpreted.execute();
+                let b = fast.execute();
+                prop_assert_eq!(format!("{:?}", &a), format!("{:?}", &b));
+                if let Ok(report) = a {
+                    prop_assert!(report.firings_exact());
+                    prop_assert_eq!(report.simulated_horizontal_words, iterations * analytic);
+                    prop_assert_eq!(interpreted.chip().stats(), fast.chip().stats());
+                    prop_assert_eq!(
+                        interpreted.chip().column_stats(),
+                        fast.chip().column_stats()
+                    );
+                    prop_assert_eq!(
+                        interpreted.chip().horizontal_stats(),
+                        fast.chip().horizontal_stats()
+                    );
+                }
+            }
+            (a, b) => {
+                prop_assert_eq!(format!("{:?}", a.err()), format!("{:?}", b.err()));
+            }
+        }
+    }
+}
+
+/// A topology severed on *every* split is rejected as unreachable end to
+/// end through `mapper::compile`, identically on both execution tiers;
+/// restoring one split's switch makes the same mapping schedule and
+/// execute with exact word totals.
+#[test]
+fn severed_segments_gate_compilation_on_both_tiers() {
+    let cycles = [2u64, 3, 5];
+    let caps = [1u32, 2, 1];
+    let rates = [(1u64, 1u64), (2, 1)];
+    let (graph, mapping) = chain(&cycles, &caps, &rates);
+    // Both splits open the switch between columns 1 and 2: the second
+    // cross edge has no electrical path.
+    let mut severed = SegmentConfig::all_closed(2, 3);
+    severed.set(0, 1, false);
+    severed.set(1, 1, false);
+    for tier in [ExecutionTier::Interpreted, ExecutionTier::Fast] {
+        let options = MapperOptions {
+            bus_splits: 2,
+            bus_segments: Some(severed.clone()),
+            tier,
+            ..MapperOptions::default()
+        };
+        match mapper::compile(&graph, &mapping, &options) {
+            Err(mapper::MapperError::Route(RouteError::Unreachable { .. })) => {}
+            other => panic!("{tier:?}: expected unreachable, got {other:?}"),
+        }
+    }
+    // Re-close the switch on split 1 only: traffic across the gap must
+    // ride split 1 and the chips agree bit for bit.
+    let mut patched = severed;
+    patched.set(1, 1, true);
+    let compile_on = |tier| {
+        mapper::compile(
+            &graph,
+            &mapping,
+            &MapperOptions {
+                iterations: 3,
+                bus_splits: 2,
+                bus_segments: Some(patched.clone()),
+                tier,
+                ..MapperOptions::default()
+            },
+        )
+        .unwrap()
+    };
+    let mut interpreted = compile_on(ExecutionTier::Interpreted);
+    let mut fast = compile_on(ExecutionTier::Fast);
+    interpreted.route().validate().unwrap();
+    let analytic: u64 = interpreted
+        .cross_edges()
+        .iter()
+        .map(|e| e.words_per_iteration)
+        .sum();
+    assert!(analytic > 0, "the chain must exercise the horizontal bus");
+    let a = interpreted.execute().unwrap();
+    let b = fast.execute().unwrap();
+    assert_eq!(a, b);
+    assert_eq!(a.simulated_horizontal_words, 3 * analytic);
+    assert_eq!(interpreted.chip().stats(), fast.chip().stats());
+    assert_eq!(
+        interpreted.chip().horizontal_stats(),
+        fast.chip().horizontal_stats()
+    );
 }
 
 /// The acceptance regression: a mapping that schedules at the reference

@@ -1,0 +1,324 @@
+//! Differential equivalence suite for the fast execution tier: for
+//! generated `(SdfGraph, Mapping, MapperOptions)` triples, executing the
+//! compiled chip on the batched fast tier must produce bit-identical
+//! statistics — `ChipStats`, per-column `ColumnStats`, per-column vertical
+//! `BusStats` and the horizontal-bus counters — to the cycle-level
+//! interpreter, and identical error values where the interpreter fails.
+//!
+//! Pinned regressions cover the halt-boundary tick, the ZORM fallback
+//! (whose stall pattern is not uniform per firing) and `BusProgram`
+//! tail-drain semantics when a program outlives its columns.
+
+use proptest::prelude::*;
+use synchroscalar::mapper::{self, ExecutionTier, MapperOptions};
+use synchroscalar::sdf::{Mapping, SdfGraph};
+
+/// Small produce/consume pairs keep repetition vectors (and hyperperiods)
+/// bounded while still exercising co-prime divider pairs.
+const RATE_CHOICES: [(u64, u64); 4] = [(1, 1), (1, 2), (2, 1), (2, 2)];
+
+/// A rate-consistent chain: actor `i` feeds `i + 1`.
+fn chain(cycles: &[u64], caps: &[u32], rates: &[(u64, u64)]) -> (SdfGraph, Mapping) {
+    let mut graph = SdfGraph::new();
+    let mut mapping = Mapping::new();
+    let mut prev = None;
+    for (i, (&c, &cap)) in cycles.iter().zip(caps).enumerate() {
+        let actor = graph.add_actor(format!("a{i}"), c, cap);
+        if let Some(p) = prev {
+            let (produce, consume) = rates[i - 1];
+            graph.add_edge(p, actor, produce, consume, 0).unwrap();
+        }
+        mapping.place(actor, cap, 1.0);
+        prev = Some(actor);
+    }
+    (graph, mapping)
+}
+
+/// Compile and execute `(graph, mapping, options)` on both tiers and
+/// require bit-identical outcomes: equal execution reports and chip
+/// statistics on success, equal error values on failure.
+fn check_tiers(
+    graph: &SdfGraph,
+    mapping: &Mapping,
+    options: &MapperOptions,
+) -> Result<(), TestCaseError> {
+    let interpreted_options = MapperOptions {
+        tier: ExecutionTier::Interpreted,
+        ..options.clone()
+    };
+    let fast_options = MapperOptions {
+        tier: ExecutionTier::Fast,
+        ..options.clone()
+    };
+    let interpreted = mapper::compile(graph, mapping, &interpreted_options);
+    let fast = mapper::compile(graph, mapping, &fast_options);
+    let (mut interpreted, mut fast) = match (interpreted, fast) {
+        (Ok(i), Ok(f)) => (i, f),
+        (i, f) => {
+            // Compilation outcome must not depend on the tier.
+            prop_assert_eq!(format!("{:?}", i.err()), format!("{:?}", f.err()));
+            return Ok(());
+        }
+    };
+    match (interpreted.execute(), fast.execute()) {
+        (Ok(a), Ok(b)) => {
+            prop_assert_eq!(&a, &b, "execution reports diverge");
+            prop_assert_eq!(interpreted.chip().stats(), fast.chip().stats());
+            prop_assert_eq!(
+                interpreted.chip().column_stats(),
+                fast.chip().column_stats()
+            );
+            prop_assert_eq!(
+                interpreted.chip().horizontal_stats(),
+                fast.chip().horizontal_stats()
+            );
+            for i in 0..interpreted.chip().columns() {
+                prop_assert_eq!(
+                    interpreted.chip().column(i).unwrap().bus_stats(),
+                    fast.chip().column(i).unwrap().bus_stats(),
+                    "column {} vertical bus diverges",
+                    i
+                );
+            }
+            prop_assert!(fast.chip().all_halted());
+            // A rerun covers the already-halted entry path on both tiers.
+            let a2 = interpreted.execute();
+            let b2 = fast.execute();
+            prop_assert_eq!(format!("{:?}", a2), format!("{:?}", b2));
+            prop_assert_eq!(interpreted.chip().stats(), fast.chip().stats());
+        }
+        (a, b) => {
+            // The fast tier must reproduce the interpreter's error value
+            // (stats are compared only on success: the interpreter leaves
+            // a failed chip partially run, the fast tier untouched).
+            prop_assert_eq!(format!("{:?}", a.err()), format!("{:?}", b.err()));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Default options (no ZORM, single-split bus): every generated valid
+    /// triple executes bit-identically on both tiers.
+    #[test]
+    fn fast_tier_is_bit_identical_on_plain_chains(
+        cycles in prop::collection::vec(1u64..60, 2..5),
+        cap_picks in prop::collection::vec(0usize..3, 2..5),
+        rate_picks in prop::collection::vec(0usize..4, 1..4),
+        iterations in 1u64..6,
+    ) {
+        let n = cycles.len().min(cap_picks.len()).min(rate_picks.len() + 1);
+        let caps: Vec<u32> = cap_picks[..n].iter().map(|&i| [1u32, 2, 4][i]).collect();
+        let rates: Vec<(u64, u64)> = rate_picks[..n - 1].iter().map(|&i| RATE_CHOICES[i]).collect();
+        let (graph, mapping) = chain(&cycles[..n], &caps, &rates);
+        prop_assume!(mapping.validate(&graph).is_empty());
+        let options = MapperOptions {
+            iterations,
+            ..MapperOptions::default()
+        };
+        check_tiers(&graph, &mapping, &options)?;
+    }
+
+    /// Capped dividers force the ZORM fallback, whose stall pattern is
+    /// *not* uniform per firing; the closed form must still match the
+    /// interpreter exactly — including on `Incomplete` error paths.
+    #[test]
+    fn fast_tier_matches_under_zorm_fallback(
+        cycles in prop::collection::vec(1u64..40, 2..4),
+        rate_picks in prop::collection::vec(0usize..4, 1..3),
+        iterations in 1u64..4,
+        max_divider in 1u32..10,
+    ) {
+        let n = cycles.len().min(rate_picks.len() + 1);
+        let caps = vec![1u32; n];
+        let rates: Vec<(u64, u64)> = rate_picks[..n - 1].iter().map(|&i| RATE_CHOICES[i]).collect();
+        let (graph, mapping) = chain(&cycles[..n], &caps, &rates);
+        prop_assume!(mapping.validate(&graph).is_empty());
+        let options = MapperOptions {
+            iterations,
+            max_divider,
+            ..MapperOptions::default()
+        };
+        check_tiers(&graph, &mapping, &options)?;
+    }
+
+    /// Wider buses, multi-tile columns (with their DOU distribution
+    /// patterns) and varying iteration counts agree too.
+    #[test]
+    fn fast_tier_matches_across_bus_widths_and_tile_counts(
+        cycles in prop::collection::vec(1u64..30, 2..5),
+        cap_picks in prop::collection::vec(0usize..3, 2..5),
+        rate_picks in prop::collection::vec(0usize..4, 1..4),
+        iterations in 1u64..4,
+        splits in 1usize..4,
+    ) {
+        let n = cycles.len().min(cap_picks.len()).min(rate_picks.len() + 1);
+        let caps: Vec<u32> = cap_picks[..n].iter().map(|&i| [2u32, 3, 4][i]).collect();
+        let rates: Vec<(u64, u64)> = rate_picks[..n - 1].iter().map(|&i| RATE_CHOICES[i]).collect();
+        let (graph, mapping) = chain(&cycles[..n], &caps, &rates);
+        prop_assume!(mapping.validate(&graph).is_empty());
+        let options = MapperOptions {
+            iterations,
+            bus_splits: splits,
+            ..MapperOptions::default()
+        };
+        check_tiers(&graph, &mapping, &options)?;
+    }
+}
+
+/// Halt-boundary pin: with co-prime dividers 6 and 7 over a 126-tick
+/// hyperperiod, both columns observe their `HALT` at tick
+/// `iterations × 126` and the interpreter leaves the reference clock one
+/// past it — NOT rounded up to a window multiple.  The fast tier must
+/// land on exactly the same tick.
+#[test]
+fn halt_boundary_reference_tick_is_exact_not_a_window_multiple() {
+    let mut graph = SdfGraph::new();
+    let a = graph.add_actor("a", 4, 4);
+    let b = graph.add_actor("b", 6, 4);
+    graph.add_edge(a, b, 2, 3, 0).unwrap();
+    let mut mapping = Mapping::new();
+    mapping.place(a, 4, 1.0);
+    mapping.place(b, 2, 1.0);
+    for tier in [ExecutionTier::Interpreted, ExecutionTier::Fast] {
+        let options = MapperOptions {
+            iterations: 5,
+            tier,
+            ..MapperOptions::default()
+        };
+        let mut compiled = mapper::compile(&graph, &mapping, &options).unwrap();
+        let report = compiled.execute().unwrap();
+        assert_eq!(report.hyperperiod, 126);
+        assert_eq!(
+            report.reference_ticks,
+            5 * 126 + 1,
+            "{tier:?}: the halt-observing tick is one past the last window"
+        );
+        assert_eq!(report.firing_counts, vec![15, 10]);
+    }
+}
+
+/// ZORM pin: the capped-divider fallback throttles the fast actor; both
+/// tiers must agree on every counter including the (non-uniform) stall
+/// total.
+#[test]
+fn zorm_fallback_stall_totals_are_bit_identical() {
+    let mut graph = SdfGraph::new();
+    let a = graph.add_actor("fast", 1, 1);
+    let b = graph.add_actor("slow", 97, 1);
+    graph.add_edge(a, b, 50, 1, 0).unwrap();
+    let mut mapping = Mapping::new();
+    mapping.place(a, 1, 1.0);
+    mapping.place(b, 1, 1.0);
+    let compile_on = |tier| {
+        mapper::compile(
+            &graph,
+            &mapping,
+            &MapperOptions {
+                max_divider: 8,
+                iterations: 2,
+                tier,
+                ..MapperOptions::default()
+            },
+        )
+        .unwrap()
+    };
+    let mut interpreted = compile_on(ExecutionTier::Interpreted);
+    let mut fast = compile_on(ExecutionTier::Fast);
+    assert!(
+        interpreted.plans().iter().any(|p| p.rate_matcher.is_some()),
+        "the capped divider must force a ZORM fallback"
+    );
+    let a = interpreted.execute().unwrap();
+    let b = fast.execute().unwrap();
+    assert_eq!(a, b);
+    let stalls: Vec<u64> = fast
+        .chip()
+        .column_stats()
+        .iter()
+        .map(|c| c.rate_match_stalls)
+        .collect();
+    assert_eq!(
+        stalls,
+        interpreted
+            .chip()
+            .column_stats()
+            .iter()
+            .map(|c| c.rate_match_stalls)
+            .collect::<Vec<u64>>()
+    );
+    assert!(
+        stalls.iter().any(|&s| s > 0),
+        "the throttled column must actually stall"
+    );
+}
+
+/// Bus-tail pin: a `BusProgram` that outlives its columns.  The
+/// interpreter drains the remaining periods slot by slot through
+/// `finish_bus_program`; the fast tier drains them in bulk.  The
+/// horizontal counters must agree bit for bit.
+#[test]
+fn bus_program_tail_drain_is_bit_identical() {
+    use synchroscalar::isa::{DataReg, ProgramBuilder};
+    use synchroscalar::sim::fast::{ColumnBatch, FastTier, FiringProfile};
+    use synchroscalar::sim::{BusProgram, BusSlot, Chip, Column, ColumnConfig};
+
+    let build = || {
+        let mut builder = ProgramBuilder::new();
+        builder.counted_loop(5, |b| {
+            b.load_imm(DataReg::new(7), 1);
+            b.send();
+            b.recv(DataReg::new(2));
+        });
+        builder.halt();
+        let program = builder.build().unwrap();
+        let config = ColumnConfig::isca2004().with_divider(2);
+        let mut chip = Chip::new();
+        chip.add_column(Column::new(config.clone(), program.clone(), None));
+        chip.add_column(Column::new(config.clone(), program.clone(), None));
+        // 40 periods of 11 ticks: the columns halt after ~31 reference
+        // ticks, leaving most of the program as tail.
+        let slots = vec![
+            BusSlot {
+                tick: 3,
+                from: 0,
+                to: vec![1],
+                words: 2,
+            },
+            BusSlot {
+                tick: 9,
+                from: 1,
+                to: vec![0],
+                words: 1,
+            },
+        ];
+        chip.load_bus_program(BusProgram::new(11, 40, 5, slots))
+            .unwrap();
+        (chip, config, program)
+    };
+
+    let (mut interpreted, ..) = build();
+    while !interpreted.all_halted() {
+        interpreted.run(1024).unwrap();
+    }
+    interpreted.finish_bus_program().unwrap();
+
+    let (mut batched, config, program) = build();
+    let profile = FiringProfile::measure(&config, &program, None, 3, 5).unwrap();
+    let mut tier = FastTier::new();
+    for column in 0..2 {
+        tier.push(ColumnBatch {
+            column,
+            firings: 5,
+            profile: profile.clone(),
+        });
+    }
+    tier.run(&mut batched).unwrap();
+
+    assert_eq!(interpreted.stats(), batched.stats());
+    assert_eq!(interpreted.horizontal_stats(), batched.horizontal_stats());
+    assert_eq!(interpreted.column_stats(), batched.column_stats());
+    let horizontal = batched.horizontal_stats().unwrap();
+    assert_eq!(horizontal.word_transfers, 40 * 3, "all 40 periods drained");
+    assert_eq!(horizontal.scheduled_slots, 40 * 5);
+}

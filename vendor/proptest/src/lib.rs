@@ -22,10 +22,30 @@
 
 use std::ops::Range;
 
-/// Number of accepted cases each `proptest!` test runs.
+/// Default number of accepted cases each `proptest!` test runs (see
+/// [`cases`] for the runtime override).
 pub const CASES: u32 = 64;
-/// Upper bound on sampling attempts (accepted + rejected) per test.
+/// Upper bound on sampling attempts (accepted + rejected) per test at the
+/// default case count.
 pub const MAX_ATTEMPTS: u32 = CASES * 64;
+
+/// Number of accepted cases each `proptest!` test runs: the
+/// `PROPTEST_CASES` environment variable when set to a positive integer
+/// (nightly CI bumps it for deeper sweeps), [`CASES`] otherwise.
+pub fn cases() -> u32 {
+    parse_cases(std::env::var("PROPTEST_CASES").ok().as_deref())
+}
+
+/// Attempt bound matching the configured [`cases`] count.
+pub fn max_attempts() -> u32 {
+    cases().saturating_mul(64)
+}
+
+fn parse_cases(var: Option<&str>) -> u32 {
+    var.and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(CASES)
+}
 
 /// Error type a generated test-case closure returns.
 #[derive(Debug)]
@@ -303,12 +323,14 @@ macro_rules! proptest {
             #[test]
             fn $name() {
                 let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                let cases = $crate::cases();
+                let max_attempts = $crate::max_attempts();
                 let mut accepted: u32 = 0;
                 let mut attempts: u32 = 0;
-                while accepted < $crate::CASES {
+                while accepted < cases {
                     attempts += 1;
                     assert!(
-                        attempts <= $crate::MAX_ATTEMPTS,
+                        attempts <= max_attempts,
                         "too many rejected cases in {}",
                         stringify!($name)
                     );
@@ -329,4 +351,19 @@ macro_rules! proptest {
             }
         )*
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_cases;
+
+    #[test]
+    fn case_count_parses_positive_integers_and_rejects_the_rest() {
+        assert_eq!(parse_cases(None), super::CASES);
+        assert_eq!(parse_cases(Some("256")), 256);
+        assert_eq!(parse_cases(Some(" 1024 ")), 1024);
+        assert_eq!(parse_cases(Some("0")), super::CASES);
+        assert_eq!(parse_cases(Some("-3")), super::CASES);
+        assert_eq!(parse_cases(Some("many")), super::CASES);
+    }
 }
