@@ -14,8 +14,12 @@
 use std::time::Instant;
 
 use bench::rule;
-use synchroscalar::mapper::{self, CompiledChip, ExecutionReport, ExecutionTier, MapperOptions};
-use synchroscalar::sdf::{Mapping, SdfGraph};
+use synchroscalar::apps::{deep_pipeline, DEEP_PIPELINE_RATE_HZ};
+use synchroscalar::mapper::{
+    self, BoardConfig, BoardExecutionReport, CompiledBoard, CompiledChip, ExecutionReport,
+    ExecutionTier, MapperOptions,
+};
+use synchroscalar::sdf::{ActorId, Mapping, SdfGraph};
 
 /// Measurement repetitions per tier; the fastest run is recorded (least
 /// scheduler interference).
@@ -117,6 +121,70 @@ fn measure_app(
     }
 }
 
+/// The 24-stage deep pipeline split 12/12 across a 2-chip board (the
+/// single-chip mapping is communication-infeasible): times the board
+/// driver's co-advance on both tiers.  The board frame is 960 reference
+/// ticks, so the trace is shorter than the single-chip ones.
+fn measure_board(frames: u64) -> AppRow {
+    let graph = deep_pipeline();
+    let mut mapping = Mapping::new();
+    for (i, actor) in graph.actors().iter().enumerate() {
+        mapping.place_on_chip(i / 12, ActorId(i), actor.max_parallel_tiles, 1.0);
+    }
+    let compile_on = |tier| -> CompiledBoard {
+        let options = MapperOptions {
+            iterations: frames,
+            iteration_rate_hz: DEEP_PIPELINE_RATE_HZ,
+            tier,
+            ..MapperOptions::default()
+        };
+        mapper::compile_board(&graph, &mapping, &options, &BoardConfig::default())
+            .expect("the 12/12 split compiles")
+    };
+    let measure_tier = |tier| -> (BoardExecutionReport, CompiledBoard, f64) {
+        let mut best: Option<(BoardExecutionReport, CompiledBoard, f64)> = None;
+        for _ in 0..RUNS {
+            let mut compiled = compile_on(tier);
+            let start = Instant::now();
+            let report = compiled.execute().expect("board traces execute");
+            let elapsed = start.elapsed().as_secs_f64();
+            if best.as_ref().is_none_or(|(_, _, b)| elapsed < *b) {
+                best = Some((report, compiled, elapsed));
+            }
+        }
+        best.expect("at least one run")
+    };
+    let (interpreted_report, interpreted, interpreted_seconds) =
+        measure_tier(ExecutionTier::Interpreted);
+    let (fast_report, fast, fast_seconds) = measure_tier(ExecutionTier::Fast);
+    assert_eq!(
+        interpreted_report, fast_report,
+        "board: execution reports diverge between tiers"
+    );
+    for chip in 0..interpreted.chips() {
+        assert_eq!(
+            interpreted.board().chip(chip).unwrap().stats(),
+            fast.board().chip(chip).unwrap().stats(),
+            "board: chip {chip} statistics diverge between tiers"
+        );
+    }
+    assert_eq!(
+        interpreted.board().bridge_stats(),
+        fast.board().bridge_stats(),
+        "board: bridge counters diverge between tiers"
+    );
+    assert!(interpreted_report.firings_exact());
+    AppRow {
+        application: "board 2x12",
+        frames,
+        hyperperiod: fast_report.hyperperiod,
+        reference_ticks: fast_report.reference_ticks,
+        interpreted_seconds,
+        fast_seconds,
+        speedup: interpreted_seconds / fast_seconds.max(1e-12),
+    }
+}
+
 fn row_json(row: &AppRow) -> String {
     format!(
         concat!(
@@ -176,6 +244,20 @@ fn main() {
         );
         rows.push(row);
     }
+    // The multi-chip board row: a 960-tick frame makes full traces far
+    // heavier per frame than the single-chip apps, so it runs 1% of the
+    // frames.
+    let board_row = measure_board(frames / 100);
+    println!(
+        "{:<12} {:>12} {:>14} {:>16.4} {:>14.6} {:>13.0}x",
+        board_row.application,
+        board_row.frames,
+        board_row.hyperperiod,
+        board_row.interpreted_seconds,
+        board_row.fast_seconds,
+        board_row.speedup
+    );
+    rows.push(board_row);
     rule(92);
 
     if !quick {

@@ -8,9 +8,13 @@ use crate::pipeline::{
     evaluate_application, evaluate_voltage_scaling, savings_percent, try_evaluate_application,
     ApplicationReport, EvaluationOptions,
 };
-use synchro_apps::{reference_graph, Application, ApplicationProfile};
+use synchro_apps::{
+    deep_pipeline, reference_graph, Application, ApplicationProfile, DEEP_PIPELINE_RATE_HZ,
+};
 use synchro_baselines::{table3_reference_rows, Platform, PlatformKind};
-use synchro_explore::{evaluate_mapping, explore, ExplorerConfig};
+use synchro_explore::{
+    evaluate_mapping, explore, explore_board, BoardSearch, CommSpec, ExplorerConfig,
+};
 use synchro_power::{
     AreaModel, BusGeometry, ColumnActivity, ColumnPower, CriticalPath, InterconnectModel,
     LeakageModel, SimdDouArea, SlotActivity, Technology, TileArea, VfCurve,
@@ -824,6 +828,143 @@ pub fn trace_scale_summary(tech: &Technology, frames: u64) -> Vec<TraceScaleRow>
         .expect("reference applications schedule at their reference rates")
 }
 
+/// One row of the multi-chip board summary: the 24-stage deep pipeline
+/// ([`deep_pipeline`]) attempted at one board size, end to end through
+/// explorer → mapper → board simulator.
+#[derive(Debug, Clone)]
+pub struct BoardSummaryRow {
+    /// Chips the attempt was allowed to use.
+    pub max_chips: usize,
+    /// Chips the winning partition actually used (0 when rejected).
+    pub chips: usize,
+    /// Why the attempt was rejected (`None` when the board is feasible).
+    pub rejection: Option<String>,
+    /// Total tiles across the board.
+    pub total_tiles: u32,
+    /// Explorer compute power summed over every chip (mW).
+    pub compute_power_mw: f64,
+    /// Words per graph iteration crossing the chip-to-chip bridges.
+    pub bridge_words_per_iteration: u64,
+    /// Occupied bridge slots per TDM period.
+    pub bridge_occupied_slots: u64,
+    /// Scheduled-but-idle bridge slots per period.
+    pub bridge_idle_slots: u64,
+    /// Occupied fraction of the bridge frame.
+    pub bridge_utilization: f64,
+    /// Bridge transfer power from the slot-activity path (mW) — the
+    /// inter-chip traffic priced into the board's budget.
+    pub bridge_power_mw: f64,
+    /// Whether the simulated board fired exactly as the repetition vector
+    /// predicts.
+    pub firings_exact: bool,
+}
+
+fn rejected_board_row(max_chips: usize, chips: usize, why: String) -> BoardSummaryRow {
+    BoardSummaryRow {
+        max_chips,
+        chips,
+        rejection: Some(why),
+        total_tiles: 0,
+        compute_power_mw: 0.0,
+        bridge_words_per_iteration: 0,
+        bridge_occupied_slots: 0,
+        bridge_idle_slots: 0,
+        bridge_utilization: 0.0,
+        bridge_power_mw: 0.0,
+        firings_exact: false,
+    }
+}
+
+/// The multi-chip board experiment: the 24-stage deep pipeline is too
+/// communication-heavy for one chip (46 cross words against the reference
+/// 25-slot TDM frame — the single-chip row records the router's
+/// rejection), but partitions feasibly across 2–4 chips.  Each feasible
+/// row runs the partition end to end — board exploration, board
+/// compilation, simulated execution on the fast tier — and prices the
+/// bridge traffic through the slot-activity path.
+pub fn board_summary(tech: &Technology) -> Vec<BoardSummaryRow> {
+    let graph = deep_pipeline();
+    let rate = DEEP_PIPELINE_RATE_HZ;
+    let options = MapperOptions {
+        iterations: 8,
+        iteration_rate_hz: rate,
+        tech: tech.clone(),
+        tier: mapper::ExecutionTier::Fast,
+        ..MapperOptions::default()
+    };
+    let comm = CommSpec::from_clock(options.bus_splits as u32, options.bus_frequency_hz, rate);
+    let mut rows = Vec::new();
+
+    // The single-chip row: the tile/power search succeeds, but the
+    // router rejects the mapping — the per-iteration traffic outgrows
+    // the TDM frame.
+    let single = explore(
+        &graph,
+        &ExplorerConfig::new(rate, 64).single_actor_columns(),
+    )
+    .expect("the single-chip tile search itself succeeds");
+    let (realized, mapping) = single
+        .best
+        .realize(&graph)
+        .expect("single-actor winners realize");
+    rows.push(match mapper::compile(&realized, &mapping, &options) {
+        Err(err) => rejected_board_row(1, 1, err.to_string()),
+        Ok(_) => unreachable!("46 words cannot fit a 25-slot frame"),
+    });
+
+    let model = InterconnectModel::new(tech);
+    for max_chips in 2..=4usize {
+        let config = ExplorerConfig::new(rate, 40)
+            .single_actor_columns()
+            .with_comm(comm)
+            .with_board(BoardSearch::new(max_chips));
+        let exploration = match explore_board(&graph, &config) {
+            Ok(e) => e,
+            Err(err) => {
+                rows.push(rejected_board_row(max_chips, 0, err.to_string()));
+                continue;
+            }
+        };
+        let mapping = exploration.mapping();
+        let mut compiled = match mapper::compile_board(
+            &graph,
+            &mapping,
+            &options,
+            &mapper::BoardConfig::default(),
+        ) {
+            Ok(c) => c,
+            Err(err) => {
+                rows.push(rejected_board_row(
+                    max_chips,
+                    exploration.chip_count(),
+                    err.to_string(),
+                ));
+                continue;
+            }
+        };
+        let report = compiled
+            .execute()
+            .expect("explored boards execute at their own rate");
+        let bridge = compiled.route().bridge();
+        let slots = SlotActivity::per_iteration(bridge.occupied_slots(), bridge.idle_slots(), rate);
+        rows.push(BoardSummaryRow {
+            max_chips,
+            chips: exploration.chip_count(),
+            rejection: None,
+            total_tiles: exploration.total_tiles(),
+            compute_power_mw: exploration.total_power_mw(),
+            bridge_words_per_iteration: compiled.bridge_words_per_iteration(),
+            bridge_occupied_slots: bridge.occupied_slots(),
+            bridge_idle_slots: bridge.idle_slots(),
+            bridge_utilization: bridge.utilization(),
+            bridge_power_mw: model
+                .power_mw_bridge_slots(compiled.bridge_energy_pj_per_word(), &slots),
+            firings_exact: report.firings_exact(),
+        });
+    }
+    rows
+}
+
 /// Convenience: the reference report of every application (used by the
 /// examples and the benchmark harness).
 pub fn reference_reports(tech: &Technology) -> Vec<ApplicationReport> {
@@ -1134,5 +1275,35 @@ mod tests {
         let reports = reference_reports(&tech());
         assert_eq!(reports.len(), 6);
         assert!(reports.iter().all(|r| r.total_mw() > 0.0));
+    }
+
+    #[test]
+    fn board_summary_rejects_one_chip_and_prices_the_multi_chip_bridges() {
+        let rows = board_summary(&tech());
+        assert_eq!(rows.len(), 4);
+        // The pinned single-chip rejection: 46 words cannot fit the
+        // reference 25-slot frame.
+        let single = &rows[0];
+        assert_eq!((single.max_chips, single.chips), (1, 1));
+        let why = single.rejection.as_deref().expect("one chip is rejected");
+        assert!(why.contains("46"), "{why}");
+        assert!(why.contains("25"), "{why}");
+        // Every larger board is feasible end to end, with the 2-word
+        // bridge boundary simulated and priced.
+        for row in &rows[1..] {
+            assert!(row.rejection.is_none(), "{:?}", row.rejection);
+            assert!(row.chips >= 2 && row.chips <= row.max_chips);
+            assert!(row.total_tiles >= 24);
+            assert!(row.compute_power_mw > 0.0);
+            assert!(row.bridge_words_per_iteration >= 2);
+            assert!(row.bridge_occupied_slots >= row.bridge_words_per_iteration);
+            assert!(row.bridge_utilization > 0.0 && row.bridge_utilization <= 1.0);
+            assert!(row.bridge_power_mw > 0.0);
+            assert!(row.firings_exact);
+        }
+        // Chip counts are searched ascending, so the cheapest feasible
+        // board (2 chips, one 2-word bridge crossing) wins everywhere.
+        assert!(rows[1..].iter().all(|r| r.chips == 2));
+        assert_eq!(rows[1].bridge_words_per_iteration, 2);
     }
 }

@@ -25,7 +25,13 @@
 //!    compiles every mapping's cross-column traffic into a conflict-free
 //!    periodic TDM slot schedule over the segmented horizontal bus, which
 //!    the simulated chip is driven from and the slot-activity power path
-//!    is calibrated against.
+//!    is calibrated against,
+//! 8. scale past one chip: [`explorer::explore_board`] shards an
+//!    oversized SDF graph across a board of chips, the [`router`] packs
+//!    the inter-chip flows onto TDM-scheduled bridge lanes, and
+//!    [`mapper::compile_board`] produces a simulated [`sim::Board`] that
+//!    co-advances the chips in shared reference time with the bridge
+//!    traffic priced ([`experiments::board_summary`]).
 //!
 //! ```
 //! use synchroscalar::pipeline::{evaluate_application, EvaluationOptions};
@@ -47,7 +53,8 @@ pub mod mapper;
 pub mod pipeline;
 
 pub use mapper::{
-    compile as compile_mapping, CompiledChip, CrossValidation, ExecutionTier, MapperOptions,
+    compile as compile_mapping, compile_board, BoardConfig, BoardExecutionReport, CompiledBoard,
+    CompiledChip, CrossValidation, ExecutionTier, MapperOptions,
 };
 pub use pipeline::{
     evaluate_application, try_evaluate_application, ApplicationReport, BlockReport,

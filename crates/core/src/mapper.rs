@@ -45,10 +45,13 @@ use synchro_dou::{DouError, DouProgram, ScheduleCompiler};
 use synchro_explore::{ExplorerError, ExplorerSolution};
 use synchro_isa::{DataReg, Program, ProgramBuilder};
 use synchro_power::{Technology, VfCurve};
-use synchro_route::{compile_flows, BusSpec, RouteError, RouteSchedule};
+use synchro_route::{board_flows, BoardRoute, BoardSpec, BusSpec, RouteError, RouteSchedule};
 use synchro_sdf::{ActorId, Mapping, MappingViolation, SdfError, SdfGraph};
 use synchro_sim::fast::{ColumnBatch, FastTier, FastTierError, FiringProfile};
-use synchro_sim::{BusProgram, BusSlot, Chip, Column, ColumnConfig, ColumnError, ColumnStats};
+use synchro_sim::{
+    Board, BridgeProgram, BridgeTransfer, BusProgram, BusSlot, Chip, Column, ColumnConfig,
+    ColumnError, ColumnStats,
+};
 use synchro_simd::RateMatcher;
 
 use crate::pipeline::ApplicationReport;
@@ -258,6 +261,38 @@ impl Default for MapperOptions {
     }
 }
 
+/// Board-level options for [`compile_board`]: the chip-to-chip bridge
+/// fabric joining the chips.  The chip count itself is derived from the
+/// mapping (`Mapping::chips`), not configured here; the board is built
+/// with a full bridge mesh — one lane per ordered chip pair — so
+/// feasibility is governed by capacity, not topology.
+#[derive(Debug, Clone)]
+pub struct BoardConfig {
+    /// Words one bridge lane carries per bridge cycle.
+    pub bridge_width_words: u64,
+    /// Chip-to-chip hop latency in bridge cycles (recorded on the lanes;
+    /// schedulability is capacity-bound, as for the horizontal bus).
+    pub bridge_latency_cycles: u64,
+    /// Energy per word crossing a bridge lane, in pJ — board-level I/O is
+    /// priced per word rather than through the on-chip wire model.
+    pub bridge_energy_pj_per_word: f64,
+    /// Bridge clock in Hz.  Together with the mapper's
+    /// `iteration_rate_hz` it fixes the bridge TDM period (bridge cycles
+    /// per graph iteration), exactly like the horizontal-bus clock.
+    pub bridge_frequency_hz: f64,
+}
+
+impl Default for BoardConfig {
+    fn default() -> Self {
+        BoardConfig {
+            bridge_width_words: 1,
+            bridge_latency_cycles: 2,
+            bridge_energy_pj_per_word: 2.0,
+            bridge_frequency_hz: 200e6,
+        }
+    }
+}
+
 /// One column of the compiled chip: where an actor landed and at what
 /// operating point.
 #[derive(Debug, Clone)]
@@ -266,7 +301,9 @@ pub struct ColumnPlan {
     pub actor: ActorId,
     /// The actor's name.
     pub name: String,
-    /// Index of the column in the chip.
+    /// The board chip hosting the column (0 on a single-chip compile).
+    pub chip: usize,
+    /// Index of the column in its chip.
     pub column: usize,
     /// Tiles the placement requested (the analytic view).
     pub tiles: u32,
@@ -432,6 +469,146 @@ struct StatsSnapshot {
     bus: BusStats,
 }
 
+/// The per-chip pieces of a compiled board, in board-chip order.
+#[derive(Debug, Default)]
+struct BoardChipParts {
+    plans: Vec<ColumnPlan>,
+    blueprints: Vec<ColumnBlueprint>,
+    cross_edges: Vec<CrossEdge>,
+}
+
+/// A compiled, runnable board of chips plus everything needed to
+/// interpret it: one simulated [`Chip`] with its plans, blueprints and
+/// TDM schedule per board chip, and the bridge schedule the [`Board`]
+/// driver replays between them.
+#[derive(Debug)]
+pub struct CompiledBoard {
+    board: Board,
+    parts: Vec<BoardChipParts>,
+    route: BoardRoute,
+    bridge_words_per_iteration: u64,
+    bridge_energy_pj_per_word: f64,
+    hyperperiod: u64,
+    iterations: u64,
+    drain_budget: u64,
+    tier: ExecutionTier,
+}
+
+/// Lifetime counters of a board at one instant; [`CompiledBoard::execute`]
+/// reports the difference of two of these.
+struct BoardSnapshot {
+    reference: u64,
+    chips: Vec<StatsSnapshot>,
+    bridge: BusStats,
+    lane_words: Vec<u64>,
+}
+
+/// Measurements from one end-to-end execution of a compiled board: the
+/// per-chip [`ExecutionReport`]s (each in that chip's column order) plus
+/// the board-level bridge accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoardExecutionReport {
+    /// Per-chip reports, in board-chip order.
+    pub chips: Vec<ExecutionReport>,
+    /// Board reference ticks consumed (the frontier's advance).
+    pub reference_ticks: u64,
+    /// Reference ticks one graph iteration occupies (the global
+    /// hyperperiod, shared by every chip).
+    pub hyperperiod: u64,
+    /// Words carried over the chip-to-chip bridge lanes.
+    pub bridge_words: u64,
+    /// Bridge words the analytic model predicts
+    /// (`Σ bridge-edge words per iteration × iterations`).
+    pub predicted_bridge_words: u64,
+    /// Bridge cycles the schedule reserved over this run (occupied +
+    /// idle) — the slot-activity numerator for bridge power.
+    pub scheduled_bridge_slots: u64,
+    /// Reserved bridge cycles that carried words — the other numerator.
+    pub occupied_bridge_slots: u64,
+    /// Words per bridge lane, indexed like the board spec's lanes.
+    pub lane_words: Vec<u64>,
+}
+
+impl BoardExecutionReport {
+    /// Did every column of every chip fire exactly as the repetition
+    /// vector predicts?
+    pub fn firings_exact(&self) -> bool {
+        self.chips.iter().all(ExecutionReport::firings_exact)
+    }
+
+    /// Relative error of the simulated bridge traffic against the
+    /// analytic prediction (0.0 when both are zero).
+    pub fn bridge_traffic_error(&self) -> f64 {
+        relative_error(self.bridge_words as f64, self.predicted_bridge_words as f64)
+    }
+}
+
+fn measured_firings_of(chip: &Chip, plans: &[ColumnPlan]) -> Vec<u64> {
+    plans
+        .iter()
+        .map(|p| {
+            let broadcasts = chip.column(p.column).map_or(0, |c| c.stats().broadcasts);
+            broadcasts / p.sim_cycles_per_firing
+        })
+        .collect()
+}
+
+fn snapshot_of(chip: &Chip, plans: &[ColumnPlan]) -> StatsSnapshot {
+    StatsSnapshot {
+        ticks: chip.stats().reference_cycles,
+        words: chip.stats().horizontal_transfers,
+        firings: measured_firings_of(chip, plans),
+        columns: chip.column_stats(),
+        bus: chip.horizontal_stats().unwrap_or_default(),
+    }
+}
+
+fn report_of(
+    chip: &Chip,
+    plans: &[ColumnPlan],
+    cross_edges: &[CrossEdge],
+    hyperperiod: u64,
+    iterations: u64,
+    start: &StatsSnapshot,
+) -> ExecutionReport {
+    let firings = measured_firings_of(chip, plans);
+    let expected: Vec<u64> = plans
+        .iter()
+        .map(|p| p.firings_per_iteration * iterations)
+        .collect();
+    let predicted_words = cross_edges
+        .iter()
+        .map(|e| e.words_per_iteration * iterations)
+        .sum();
+    let column_stats = chip.column_stats();
+    let bus = chip.horizontal_stats().unwrap_or_default();
+    ExecutionReport {
+        iterations,
+        reference_ticks: chip.stats().reference_cycles - start.ticks,
+        hyperperiod,
+        firing_counts: firings
+            .iter()
+            .zip(&start.firings)
+            .map(|(now, before)| now - before)
+            .collect(),
+        expected_firings: expected,
+        simulated_horizontal_words: chip.stats().horizontal_transfers - start.words,
+        predicted_horizontal_words: predicted_words,
+        column_cycles: column_stats
+            .iter()
+            .zip(&start.columns)
+            .map(|(now, before)| now.cycles - before.cycles)
+            .collect(),
+        intra_column_words: column_stats
+            .iter()
+            .zip(&start.columns)
+            .map(|(now, before)| now.bus_word_transfers - before.bus_word_transfers)
+            .collect(),
+        scheduled_bus_slots: bus.scheduled_slots - start.bus.scheduled_slots,
+        occupied_bus_slots: bus.occupied_slots - start.bus.occupied_slots,
+    }
+}
+
 fn gcd(a: u64, b: u64) -> u64 {
     if b == 0 {
         a
@@ -462,18 +639,60 @@ fn relative_error(measured: f64, predicted: f64) -> f64 {
 /// simulated column (clamped to the physical 4-tile width, with the
 /// spanned-column count recorded in its [`ColumnPlan`]).
 ///
+/// This is a thin wrapper over [`compile_board`]: the mapping compiles as
+/// a board of one chip and the single chip is unwrapped, so the legacy
+/// path and the board path share one implementation (the equivalence is
+/// pinned bit for bit by the board property tests).
+///
 /// # Errors
 ///
 /// Returns a [`MapperError`] for inconsistent/deadlocking graphs,
 /// ill-formed mappings ([`Mapping::validate`] violations, incomplete or
-/// duplicated placements), or overflowing derived quantities.
+/// duplicated placements, placements on chips other than 0), or
+/// overflowing derived quantities.
 pub fn compile(
     graph: &SdfGraph,
     mapping: &Mapping,
     options: &MapperOptions,
 ) -> Result<CompiledChip, MapperError> {
+    if mapping.chips() > 1 {
+        return Err(MapperError::InvalidMapping {
+            violations: mapping.validate_on_board(graph, 1),
+        });
+    }
+    compile_board(graph, mapping, options, &BoardConfig::default())
+        .map(CompiledBoard::into_single_chip)
+}
+
+/// Compile a chip-qualified [`SdfGraph`] + [`Mapping`] into a runnable
+/// board of chips: one simulated [`Chip`] with its own columns, bus
+/// program and TDM schedule per board chip, plus a bridge schedule for
+/// the inter-chip traffic (packed onto the [`BoardConfig`]'s lanes and
+/// replayed by the [`Board`] driver in shared reference time).
+///
+/// The board spans `mapping.chips()` chips — every placement's `chip`
+/// index selects its host.  All columns share one global hyperperiod (the
+/// chips run off one reference clock, the paper's rationally-related
+/// clocking extended board-wide), and the per-chip compilation is
+/// identical to [`compile`]'s: a mapping placed entirely on chip 0
+/// produces the same chip bit for bit.
+///
+/// # Errors
+///
+/// As for [`compile`], plus [`MapperError::Route`] with
+/// [`RouteError::BridgeOversubscribed`] when one directed chip pair's
+/// traffic exceeds its bridge capacity.
+pub fn compile_board(
+    graph: &SdfGraph,
+    mapping: &Mapping,
+    options: &MapperOptions,
+    board: &BoardConfig,
+) -> Result<CompiledBoard, MapperError> {
+    let chips_n = mapping.chips();
     // Reject zero-tile, over-parallel and unknown-actor placements loudly
     // instead of letting the analytic accessors silently reshape them.
+    // (The board dimension cannot be violated: the board is sized from the
+    // mapping itself.)
     let violations = mapping.validate(graph);
     if !violations.is_empty() {
         return Err(MapperError::InvalidMapping { violations });
@@ -545,11 +764,17 @@ pub fn compile(
         })
     })?;
 
-    let mut chip = Chip::new();
-    let mut plans = Vec::with_capacity(mapping.placements().len());
-    let mut blueprints = Vec::with_capacity(mapping.placements().len());
+    let mut sim_board = Board::new();
+    let mut parts: Vec<BoardChipParts> = Vec::with_capacity(chips_n);
+    for _ in 0..chips_n {
+        sim_board.add_chip(Chip::new());
+        parts.push(BoardChipParts::default());
+    }
+    let mut columns_on_chip = vec![0usize; chips_n];
     let mut drain_budget: u64 = hyperperiod; // one extra window for halt observation
-    for (column, (p, &(slots, w))) in mapping.placements().iter().zip(&work).enumerate() {
+    for (i, (p, &(slots, w))) in mapping.placements().iter().zip(&work).enumerate() {
+        let column = columns_on_chip[p.chip];
+        columns_on_chip[p.chip] += 1;
         let actor = graph.actor(p.actor).expect("validated above");
         let rep = reps[p.actor.0];
         let total_firings = options
@@ -574,7 +799,7 @@ pub fn compile(
             }
         };
 
-        let required_frequency_mhz = requirements[column].frequency_mhz;
+        let required_frequency_mhz = requirements[i].frequency_mhz;
         let (voltage, _within) = curve.voltage_for_frequency_extrapolated(required_frequency_mhz);
 
         // The per-firing SIMD program: tag the token, expose it to the
@@ -617,8 +842,11 @@ pub fn compile(
             enabled_tiles: vec![true; sim_tiles],
             rate_matcher,
         };
-        chip.add_column(Column::new(config.clone(), program.clone(), dou.clone()));
-        blueprints.push(ColumnBlueprint {
+        sim_board
+            .chip_mut(p.chip)
+            .expect("board sized from the mapping")
+            .add_column(Column::new(config.clone(), program.clone(), dou.clone()));
+        parts[p.chip].blueprints.push(ColumnBlueprint {
             config,
             program,
             dou,
@@ -641,9 +869,10 @@ pub fn compile(
                 .saturating_add(hyperperiod),
         );
 
-        plans.push(ColumnPlan {
+        parts[p.chip].plans.push(ColumnPlan {
             actor: p.actor,
             name: actor.name.clone(),
+            chip: p.chip,
             column,
             tiles: p.tiles,
             sim_tiles,
@@ -657,50 +886,68 @@ pub fn compile(
         });
     }
 
-    // The router owns the flow-derivation invariant (placement i is
-    // column i, cross words per iteration from the repetition vector);
-    // the mapper only decorates each flow with its buffer bound and
-    // per-firing rate for the cross-edge bookkeeping.
-    let flows = synchro_route::column_flows(graph, mapping)?;
-    let cross_edges = flows
-        .iter()
-        .map(|f| CrossEdge {
-            from_column: f.from,
-            to_column: f.to,
-            produce: graph.edges()[f.edge].produce,
-            words_per_iteration: f.words,
-            buffer_bound: bounds[f.edge],
-        })
-        .collect();
+    // The router owns the flow-derivation invariant (placements number
+    // the columns within their chip, cross words per iteration from the
+    // repetition vector); the mapper only decorates each flow with its
+    // buffer bound and per-firing rate for the cross-edge bookkeeping.
+    let (intra_flows, bridge_flows) = board_flows(graph, mapping)?;
+    for (chip_parts, flows) in parts.iter_mut().zip(&intra_flows) {
+        chip_parts.cross_edges = flows
+            .iter()
+            .map(|f| CrossEdge {
+                from_column: f.from,
+                to_column: f.to,
+                produce: graph.edges()[f.edge].produce,
+                words_per_iteration: f.words,
+                buffer_bound: bounds[f.edge],
+            })
+            .collect();
+    }
+    let bridge_words_per_iteration: u64 = bridge_flows.iter().map(|f| f.words).sum();
 
-    // Compile the static TDM communication schedule: every cross-column
-    // word gets a (split, cycle) slot in a periodic frame of
-    // `bus_frequency / iteration_rate` bus cycles, conflict-free under the
-    // segment-group rule — or the mapping is rejected as
-    // communication-infeasible.
-    let spec = match &options.bus_segments {
-        Some(segments) => BusSpec::from_clock_with_segments(
-            plans.len().max(1),
-            options.bus_splits,
-            options.bus_frequency_hz,
-            options.iteration_rate_hz,
-            segments.clone(),
-        )?,
-        None => BusSpec::from_clock(
-            plans.len().max(1),
-            options.bus_splits,
-            options.bus_frequency_hz,
-            options.iteration_rate_hz,
-        )?,
-    };
-    let route = compile_flows(&flows, &spec)?;
+    // Compile the static TDM communication schedules: every cross-column
+    // word gets a (split, cycle) slot in its chip's periodic frame of
+    // `bus_frequency / iteration_rate` bus cycles, conflict-free under
+    // the segment-group rule, and every cross-chip word a bridge-lane
+    // cycle — or the mapping is rejected as communication-infeasible.
+    let mut chip_specs = Vec::with_capacity(chips_n);
+    for &columns in &columns_on_chip {
+        chip_specs.push(match &options.bus_segments {
+            Some(segments) => BusSpec::from_clock_with_segments(
+                columns.max(1),
+                options.bus_splits,
+                options.bus_frequency_hz,
+                options.iteration_rate_hz,
+                segments.clone(),
+            )?,
+            None => BusSpec::from_clock(
+                columns.max(1),
+                options.bus_splits,
+                options.bus_frequency_hz,
+                options.iteration_rate_hz,
+            )?,
+        });
+    }
+    let bridge_period =
+        BusSpec::clock_period(board.bridge_frequency_hz, options.iteration_rate_hz)?;
+    let board_spec = BoardSpec::full(
+        chip_specs,
+        board.bridge_width_words,
+        board.bridge_latency_cycles,
+        board.bridge_energy_pj_per_word,
+        bridge_period,
+    )?;
+    let route = synchro_route::compile_board(graph, mapping, &board_spec)?;
 
-    // Drive the simulated horizontal bus from the schedule: one chip-level
-    // bus program whose period is the hyperperiod, with each TDM slot's
-    // bus cycle scaled onto the reference clock.
-    if !route.slots().is_empty() {
-        let period = route.spec().period().max(1);
-        let mut slots: Vec<BusSlot> = route
+    // Drive each simulated chip's horizontal bus from its schedule: one
+    // chip-level bus program whose period is the global hyperperiod, with
+    // each TDM slot's bus cycle scaled onto the reference clock.
+    for (chip_index, schedule) in route.chips().iter().enumerate() {
+        if schedule.slots().is_empty() {
+            continue;
+        }
+        let period = schedule.spec().period().max(1);
+        let mut slots: Vec<BusSlot> = schedule
             .slots()
             .iter()
             .map(|slot| BusSlot {
@@ -715,19 +962,55 @@ pub fn compile(
         let program = BusProgram::new(
             hyperperiod,
             options.iterations,
-            route.scheduled_slots(),
+            schedule.scheduled_slots(),
             slots,
         );
-        chip.load_bus_program(program)
+        sim_board
+            .chip_mut(chip_index)
+            .expect("board sized from the mapping")
+            .load_bus_program(program)
             .map_err(|e| MapperError::Column(ColumnError::Bus(e)))?;
     }
 
-    Ok(CompiledChip {
-        chip,
-        plans,
-        blueprints,
-        cross_edges,
+    // And the board's bridge from the bridge schedule, scaled the same
+    // way onto the shared reference clock.
+    if !route.bridge().slots().is_empty() {
+        let period = route.bridge().period().max(1);
+        let mut slots: Vec<BridgeTransfer> = route
+            .bridge()
+            .slots()
+            .iter()
+            .map(|slot| {
+                let lane = route.spec().lanes()[slot.lane];
+                BridgeTransfer {
+                    tick: ((u128::from(slot.cycle) * u128::from(hyperperiod)) / u128::from(period))
+                        as u64,
+                    lane: slot.lane,
+                    from_chip: lane.from,
+                    to_chip: lane.to,
+                    words: slot.words,
+                    cycles: slot.cycles,
+                }
+            })
+            .collect();
+        slots.sort_by_key(|s| s.tick);
+        let program = BridgeProgram::new(
+            hyperperiod,
+            options.iterations,
+            route.bridge().scheduled_slots(),
+            slots,
+        );
+        sim_board
+            .load_bridge_program(program)
+            .map_err(|e| MapperError::Column(ColumnError::Bus(e)))?;
+    }
+
+    Ok(CompiledBoard {
+        board: sim_board,
+        parts,
         route,
+        bridge_words_per_iteration,
+        bridge_energy_pj_per_word: board.bridge_energy_pj_per_word,
         hyperperiod,
         iterations: options.iterations,
         drain_budget,
@@ -775,16 +1058,7 @@ impl CompiledChip {
     /// Measured firings per column so far, derived from the broadcast
     /// counters (every issue slot of a firing is a broadcast).
     pub fn measured_firings(&self) -> Vec<u64> {
-        self.plans
-            .iter()
-            .map(|p| {
-                let broadcasts = self
-                    .chip
-                    .column(p.column)
-                    .map_or(0, |c| c.stats().broadcasts);
-                broadcasts / p.sim_cycles_per_firing
-            })
-            .collect()
+        measured_firings_of(&self.chip, &self.plans)
     }
 
     /// Run the chip to completion.  Horizontal-bus traffic is driven
@@ -913,53 +1187,298 @@ impl CompiledChip {
     }
 
     fn snapshot(&self) -> StatsSnapshot {
-        StatsSnapshot {
-            ticks: self.chip.stats().reference_cycles,
-            words: self.chip.stats().horizontal_transfers,
-            firings: self.measured_firings(),
-            columns: self.chip.column_stats(),
-            bus: self.chip.horizontal_stats().unwrap_or_default(),
-        }
+        snapshot_of(&self.chip, &self.plans)
     }
 
     fn report_since(&self, start: &StatsSnapshot) -> ExecutionReport {
-        let firings = self.measured_firings();
-        let expected: Vec<u64> = self
-            .plans
-            .iter()
-            .map(|p| p.firings_per_iteration * self.iterations)
-            .collect();
-        let predicted_words = self
-            .cross_edges
-            .iter()
-            .map(|e| e.words_per_iteration * self.iterations)
-            .sum();
-        let column_stats = self.chip.column_stats();
-        let bus = self.chip.horizontal_stats().unwrap_or_default();
-        ExecutionReport {
-            iterations: self.iterations,
-            reference_ticks: self.chip.stats().reference_cycles - start.ticks,
+        report_of(
+            &self.chip,
+            &self.plans,
+            &self.cross_edges,
+            self.hyperperiod,
+            self.iterations,
+            start,
+        )
+    }
+}
+
+impl CompiledBoard {
+    /// The underlying simulated board.
+    pub fn board(&self) -> &Board {
+        &self.board
+    }
+
+    /// Mutable access to the simulated board (e.g. to stage tile data on
+    /// one of its chips).
+    pub fn board_mut(&mut self) -> &mut Board {
+        &mut self.board
+    }
+
+    /// Number of chips on the board.
+    pub fn chips(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Per-column plans of one chip, in that chip's column order.
+    pub fn chip_plans(&self, chip: usize) -> &[ColumnPlan] {
+        &self.parts[chip].plans
+    }
+
+    /// Edges whose endpoints live on different columns of the same chip.
+    pub fn chip_cross_edges(&self, chip: usize) -> &[CrossEdge] {
+        &self.parts[chip].cross_edges
+    }
+
+    /// The compiled board route: one TDM schedule per chip plus the
+    /// bridge schedule.
+    pub fn route(&self) -> &BoardRoute {
+        &self.route
+    }
+
+    /// Reference ticks per graph iteration (global — every chip shares
+    /// the board reference clock).
+    pub fn hyperperiod(&self) -> u64 {
+        self.hyperperiod
+    }
+
+    /// Graph iterations the compiled programs execute.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// Words crossing chip boundaries per graph iteration.
+    pub fn bridge_words_per_iteration(&self) -> u64 {
+        self.bridge_words_per_iteration
+    }
+
+    /// The per-word bridge energy rating the board was compiled with, in
+    /// pJ — the input to `InterconnectModel::power_mw_bridge_slots`.
+    pub fn bridge_energy_pj_per_word(&self) -> f64 {
+        self.bridge_energy_pj_per_word
+    }
+
+    /// Unwrap a board of one chip into the legacy [`CompiledChip`] — the
+    /// single-chip [`compile`] path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a board of more than one chip.
+    fn into_single_chip(mut self) -> CompiledChip {
+        assert_eq!(
+            self.parts.len(),
+            1,
+            "into_single_chip requires a board of exactly one chip"
+        );
+        let parts = self.parts.remove(0);
+        let route = self.route.chips()[0].clone();
+        let chip = self
+            .board
+            .into_chips()
+            .pop()
+            .expect("board of one chip has a chip");
+        CompiledChip {
+            chip,
+            plans: parts.plans,
+            blueprints: parts.blueprints,
+            cross_edges: parts.cross_edges,
+            route,
             hyperperiod: self.hyperperiod,
-            firing_counts: firings
+            iterations: self.iterations,
+            drain_budget: self.drain_budget,
+            tier: self.tier,
+        }
+    }
+
+    /// Run the board to completion: the chips co-advance in shared
+    /// reference time (each chip's horizontal bus driven from its own
+    /// TDM schedule exactly as in [`CompiledChip::execute`]) and the
+    /// bridge schedule replays the inter-chip transfers as the board
+    /// clock passes each slot.  On a board of one chip every per-chip
+    /// quantity is bit-identical to the single-chip path.
+    ///
+    /// Every quantity in the returned [`BoardExecutionReport`] covers
+    /// *this call only* (counters are snapshotted on entry and reported
+    /// as deltas, per-chip and board-wide alike).
+    ///
+    /// # Errors
+    ///
+    /// As for [`CompiledChip::execute`], against the board-wide drain
+    /// budget.
+    pub fn execute(&mut self) -> Result<BoardExecutionReport, MapperError> {
+        match self.tier {
+            ExecutionTier::Interpreted => self.execute_interpreted(),
+            ExecutionTier::Fast => self.execute_fast(),
+        }
+    }
+
+    /// [`CompiledBoard::execute`] on the interpreted tier, regardless of
+    /// the compiled [`ExecutionTier`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`CompiledBoard::execute`].
+    pub fn execute_interpreted(&mut self) -> Result<BoardExecutionReport, MapperError> {
+        let start = self.snapshot();
+
+        for _ in 0..self.iterations {
+            if self.board.all_halted() {
+                break;
+            }
+            self.board.run(self.hyperperiod)?;
+        }
+        // Drain: the halt-observing tick of every column of every chip
+        // lies past the last iteration window.
+        let mut spent = self.board.reference_cycles() - start.reference;
+        while !self.board.all_halted() && spent < self.drain_budget {
+            self.board.run(self.hyperperiod.max(1))?;
+            spent = self.board.reference_cycles() - start.reference;
+        }
+        if !self.board.all_halted() {
+            return Err(MapperError::Incomplete { ticks: spent });
+        }
+        // Play out the remaining slots of every schedule: the chips'
+        // bus programs first, then the board's bridge program.
+        for chip in 0..self.parts.len() {
+            self.board
+                .chip_mut(chip)
+                .expect("board sized from the mapping")
+                .finish_bus_program()?;
+        }
+        self.board.finish_bridge_program();
+        Ok(self.report_since(&start))
+    }
+
+    /// [`CompiledBoard::execute`] on the fast tier: each chip is
+    /// profiled and batched exactly as in [`CompiledChip::execute_fast`],
+    /// the board clock jumps to the fleet's frontier, and the bridge
+    /// program drains in bulk.  The produced report — and every chip's
+    /// externally visible statistics — are bit-identical to
+    /// [`CompiledBoard::execute_interpreted`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`CompiledChip::execute_fast`]; the budget check reproduces
+    /// [`MapperError::Incomplete`] *without* mutating any chip.
+    pub fn execute_fast(&mut self) -> Result<BoardExecutionReport, MapperError> {
+        let start = self.snapshot();
+
+        if !self.board.all_halted() {
+            let mut tiers = Vec::with_capacity(self.parts.len());
+            for parts in &self.parts {
+                let mut tier = FastTier::new();
+                for (plan, blueprint) in parts.plans.iter().zip(&parts.blueprints) {
+                    let firings = plan
+                        .firings_per_iteration
+                        .checked_mul(self.iterations)
+                        .ok_or(MapperError::Overflow {
+                            what: "total firing count",
+                        })?;
+                    let profile = FiringProfile::measure(
+                        &blueprint.config,
+                        &blueprint.program,
+                        blueprint.dou.as_ref(),
+                        plan.sim_cycles_per_firing,
+                        firings,
+                    )?;
+                    tier.push(ColumnBatch {
+                        column: plan.column,
+                        firings,
+                        profile,
+                    });
+                }
+                tiers.push(tier);
+            }
+            // Same budget verdict as the interpreted board driver, from
+            // the predicted per-chip halt ticks, before touching any chip.
+            let window = self.hyperperiod.max(1);
+            let budget_windows = self.iterations.max(self.drain_budget.div_ceil(window));
+            let budget_ticks = budget_windows.saturating_mul(window);
+            for (chip, tier) in tiers.iter().enumerate() {
+                let chip = self.board.chip(chip).expect("board sized from the mapping");
+                if let Some(halt_tick) = tier.completion_tick(chip)? {
+                    if halt_tick >= budget_ticks {
+                        return Err(MapperError::Incomplete {
+                            ticks: budget_ticks,
+                        });
+                    }
+                }
+            }
+            for (chip, tier) in tiers.into_iter().enumerate() {
+                tier.run(
+                    self.board
+                        .chip_mut(chip)
+                        .expect("board sized from the mapping"),
+                )?;
+            }
+            // Publish the fleet's frontier as the board reference clock
+            // (a zero-tick run: every chip is already at or past it).
+            self.board.run(0)?;
+        } else {
+            // An already-halted board: the interpreted driver would
+            // observe the halt immediately and still play the bus
+            // schedules out.
+            for chip in 0..self.parts.len() {
+                self.board
+                    .chip_mut(chip)
+                    .expect("board sized from the mapping")
+                    .finish_bus_program_batched()?;
+            }
+        }
+        self.board.finish_bridge_program_batched();
+        Ok(self.report_since(&start))
+    }
+
+    fn snapshot(&self) -> BoardSnapshot {
+        BoardSnapshot {
+            reference: self.board.reference_cycles(),
+            chips: self
+                .parts
                 .iter()
-                .zip(&start.firings)
-                .map(|(now, before)| now - before)
+                .enumerate()
+                .map(|(c, parts)| {
+                    snapshot_of(
+                        self.board.chip(c).expect("board sized from the mapping"),
+                        &parts.plans,
+                    )
+                })
                 .collect(),
-            expected_firings: expected,
-            simulated_horizontal_words: self.chip.stats().horizontal_transfers - start.words,
-            predicted_horizontal_words: predicted_words,
-            column_cycles: column_stats
+            bridge: self.board.bridge_stats(),
+            lane_words: self.board.lane_words().to_vec(),
+        }
+    }
+
+    fn report_since(&self, start: &BoardSnapshot) -> BoardExecutionReport {
+        let chips = self
+            .parts
+            .iter()
+            .enumerate()
+            .map(|(c, parts)| {
+                report_of(
+                    self.board.chip(c).expect("board sized from the mapping"),
+                    &parts.plans,
+                    &parts.cross_edges,
+                    self.hyperperiod,
+                    self.iterations,
+                    &start.chips[c],
+                )
+            })
+            .collect();
+        let bridge = self.board.bridge_stats();
+        BoardExecutionReport {
+            chips,
+            reference_ticks: self.board.reference_cycles() - start.reference,
+            hyperperiod: self.hyperperiod,
+            bridge_words: bridge.word_transfers - start.bridge.word_transfers,
+            predicted_bridge_words: self.bridge_words_per_iteration * self.iterations,
+            scheduled_bridge_slots: bridge.scheduled_slots - start.bridge.scheduled_slots,
+            occupied_bridge_slots: bridge.occupied_slots - start.bridge.occupied_slots,
+            lane_words: self
+                .board
+                .lane_words()
                 .iter()
-                .zip(&start.columns)
-                .map(|(now, before)| now.cycles - before.cycles)
+                .enumerate()
+                .map(|(i, now)| now - start.lane_words.get(i).copied().unwrap_or(0))
                 .collect(),
-            intra_column_words: column_stats
-                .iter()
-                .zip(&start.columns)
-                .map(|(now, before)| now.bus_word_transfers - before.bus_word_transfers)
-                .collect(),
-            scheduled_bus_slots: bus.scheduled_slots - start.bus.scheduled_slots,
-            occupied_bus_slots: bus.occupied_slots - start.bus.occupied_slots,
         }
     }
 }
@@ -1467,6 +1986,162 @@ mod tests {
         };
         let compiled = compile(&g, &m, &connected).unwrap();
         compiled.route().validate().unwrap();
+    }
+
+    #[test]
+    fn compile_rejects_multi_chip_mappings() {
+        let (g, _) = two_actor_chain(1, 1);
+        let mut m = Mapping::new();
+        m.place(ActorId(0), 1, 1.0);
+        m.place_on_chip(1, ActorId(1), 1, 1.0);
+        match compile(&g, &m, &MapperOptions::default()) {
+            Err(MapperError::InvalidMapping { violations }) => {
+                assert!(violations
+                    .iter()
+                    .any(|v| matches!(v, MappingViolation::ChipOutOfRange { chip: 1, .. })));
+            }
+            other => panic!("expected InvalidMapping, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn board_of_one_chip_matches_the_legacy_compile_path() {
+        let (g, m) = two_actor_chain(2, 3);
+        let options = MapperOptions {
+            iterations: 5,
+            ..MapperOptions::default()
+        };
+        let mut legacy = compile(&g, &m, &options).unwrap();
+        let mut board = compile_board(&g, &m, &options, &BoardConfig::default()).unwrap();
+        assert_eq!(board.chips(), 1);
+        assert_eq!(board.bridge_words_per_iteration(), 0);
+
+        let single = legacy.execute().unwrap();
+        let report = board.execute().unwrap();
+        assert_eq!(report.chips.len(), 1);
+        assert_eq!(report.chips[0], single, "per-chip report diverges");
+        assert_eq!(report.reference_ticks, single.reference_ticks);
+        assert_eq!(report.bridge_words, 0);
+        assert_eq!(report.scheduled_bridge_slots, 0);
+        assert_eq!(
+            legacy.chip().stats(),
+            board.board().chip(0).unwrap().stats()
+        );
+    }
+
+    #[test]
+    fn board_compile_splits_a_chain_across_two_chips() {
+        let (g, _) = two_actor_chain(2, 3);
+        let mut m = Mapping::new();
+        m.place_on_chip(0, ActorId(0), 4, 1.0);
+        m.place_on_chip(1, ActorId(1), 2, 1.0);
+        let options = MapperOptions {
+            iterations: 5,
+            ..MapperOptions::default()
+        };
+        let mut board = compile_board(&g, &m, &options, &BoardConfig::default()).unwrap();
+        assert_eq!(board.chips(), 2);
+        // The whole cross edge now crosses the chip boundary: 3 firings ×
+        // 2 words per iteration over the bridge, nothing intra-chip.
+        assert_eq!(board.bridge_words_per_iteration(), 6);
+        assert!(board.chip_cross_edges(0).is_empty());
+        assert!(board.chip_cross_edges(1).is_empty());
+        assert_eq!(board.route().bridge().words(), 6);
+
+        let report = board.execute().unwrap();
+        assert!(report.firings_exact());
+        assert_eq!(report.chips[0].firing_counts, vec![15]);
+        assert_eq!(report.chips[1].firing_counts, vec![10]);
+        assert_eq!(report.bridge_words, 5 * 6);
+        assert_eq!(report.predicted_bridge_words, 5 * 6);
+        assert_eq!(report.bridge_traffic_error(), 0.0);
+        assert_eq!(report.occupied_bridge_slots, 5 * 6);
+        assert!(report.scheduled_bridge_slots >= report.occupied_bridge_slots);
+        assert_eq!(report.lane_words.iter().sum::<u64>(), 30);
+        // Both chips share the global hyperperiod and one reference clock.
+        assert_eq!(report.chips[0].hyperperiod, report.chips[1].hyperperiod);
+    }
+
+    /// Execute the same board mapping on both tiers and require
+    /// bit-identical reports and statistics, chip by chip.
+    fn assert_board_tiers_agree(graph: &SdfGraph, mapping: &Mapping, options: &MapperOptions) {
+        let board_config = BoardConfig::default();
+        let interpreted_options = MapperOptions {
+            tier: ExecutionTier::Interpreted,
+            ..options.clone()
+        };
+        let fast_options = MapperOptions {
+            tier: ExecutionTier::Fast,
+            ..options.clone()
+        };
+        let mut interpreted =
+            compile_board(graph, mapping, &interpreted_options, &board_config).unwrap();
+        let mut fast = compile_board(graph, mapping, &fast_options, &board_config).unwrap();
+        let a = interpreted.execute().unwrap();
+        let b = fast.execute().unwrap();
+        assert_eq!(a, b, "board execution reports diverge");
+        assert_eq!(
+            interpreted.board().bridge_stats(),
+            fast.board().bridge_stats()
+        );
+        assert_eq!(interpreted.board().lane_words(), fast.board().lane_words());
+        for c in 0..interpreted.chips() {
+            assert_eq!(
+                interpreted.board().chip(c).unwrap().stats(),
+                fast.board().chip(c).unwrap().stats(),
+                "chip {c} stats diverge"
+            );
+            assert_eq!(
+                interpreted.board().chip(c).unwrap().column_stats(),
+                fast.board().chip(c).unwrap().column_stats(),
+                "chip {c} column stats diverge"
+            );
+        }
+        // A second execute covers an already-halted board on both tiers.
+        let a2 = interpreted.execute().unwrap();
+        let b2 = fast.execute().unwrap();
+        assert_eq!(a2, b2, "board rerun reports diverge");
+    }
+
+    #[test]
+    fn board_tiers_agree_on_a_two_chip_split() {
+        let (g, _) = two_actor_chain(2, 3);
+        let mut m = Mapping::new();
+        m.place_on_chip(0, ActorId(0), 4, 1.0);
+        m.place_on_chip(1, ActorId(1), 2, 1.0);
+        let options = MapperOptions {
+            iterations: 5,
+            ..MapperOptions::default()
+        };
+        assert_board_tiers_agree(&g, &m, &options);
+    }
+
+    #[test]
+    fn narrow_bridges_reject_cross_chip_traffic() {
+        let (g, _) = two_actor_chain(2, 3);
+        let mut m = Mapping::new();
+        m.place_on_chip(0, ActorId(0), 4, 1.0);
+        m.place_on_chip(1, ActorId(1), 2, 1.0);
+        // 6 words per iteration over the bridge; a 4 MHz bridge at a 1 MHz
+        // iteration rate offers only 4 cycles of one 1-word lane.
+        let options = MapperOptions::default();
+        let narrow = BoardConfig {
+            bridge_frequency_hz: 4e6,
+            ..BoardConfig::default()
+        };
+        match compile_board(&g, &m, &options, &narrow) {
+            Err(MapperError::Route(RouteError::BridgeOversubscribed {
+                from_chip,
+                to_chip,
+                demand,
+                capacity,
+            })) => {
+                assert_eq!((from_chip, to_chip), (0, 1));
+                assert_eq!(demand, 6);
+                assert_eq!(capacity, 4);
+            }
+            other => panic!("expected a bridge oversubscription, got {other:?}"),
+        }
     }
 
     #[test]

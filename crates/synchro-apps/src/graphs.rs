@@ -138,6 +138,42 @@ fn wifi(with_aes: bool) -> ReferenceGraph {
     }
 }
 
+/// Graph iterations per second [`deep_pipeline`] is meant to run at: the
+/// DDC's 16 M iterations/s, so the reference chip's communication budget
+/// (a 400 MHz bus frame of 25 slots per iteration) carries over.
+pub const DEEP_PIPELINE_RATE_HZ: f64 = 16e6;
+
+/// A deep 24-stage single-rate filter pipeline that outgrows one chip's
+/// bus: every edge moves 2 words per iteration, so the single-actor
+/// mapping commits 46 cross-column words — nearly double the reference
+/// chip's 25-slot TDM frame — and the router must reject it.  Any
+/// contiguous 2-chip split, however, fits comfortably: at most 22
+/// internal words per chip with 2 words on the chip-to-chip bridge.
+///
+/// Stage cycle counts rotate through `[29, 45, 61, 77]` and parallelism
+/// caps through `[4, 8, 8, 16]`, keeping every per-tile frequency inside
+/// the voltage envelope at [`DEEP_PIPELINE_RATE_HZ`] while still giving
+/// the explorer a non-trivial balance/allocation problem.  (The cycle
+/// counts are chosen so the simulated per-firing costs share a small
+/// least common multiple, keeping the chip hyperperiod — and thus
+/// interpreted-tier test time — modest.)
+pub fn deep_pipeline() -> SdfGraph {
+    let mut graph = SdfGraph::new();
+    let mut previous = None;
+    for stage in 0..24usize {
+        let cycles = [29u64, 45, 61, 77][stage % 4];
+        let cap = [4u32, 8, 8, 16][stage % 4];
+        let actor = graph.add_actor(format!("Stage {stage:02}"), cycles, cap);
+        if let Some(prev) = previous {
+            graph
+                .add_edge(prev, actor, 2, 2, 0)
+                .expect("chain edges are valid");
+        }
+        previous = Some(actor);
+    }
+    graph
+}
+
 /// The reference SDF graph of any paper application.
 pub fn reference_graph(application: Application) -> ReferenceGraph {
     match application {
@@ -234,5 +270,34 @@ mod tests {
         let qcif = reference_graph(Application::Mpeg4Qcif);
         assert_eq!(qcif.graph.actors()[0].cycles_per_firing, 179_200);
         assert_eq!(qcif.graph.actors()[1].cycles_per_firing, 38_400);
+    }
+
+    #[test]
+    fn deep_pipeline_outgrows_one_chip_but_splits_cleanly() {
+        let graph = deep_pipeline();
+        assert_eq!(graph.actors().len(), 24);
+        assert!(graph.schedule().is_ok());
+        let reps = graph.repetition_vector().unwrap();
+        assert!(reps.iter().all(|&r| r == 1), "{reps:?}");
+        // Single-actor columns move 2 words per edge: 46 in total, more
+        // than the reference chip's 25-slot frame...
+        let total: u64 = graph
+            .edges()
+            .iter()
+            .map(|e| e.produce * reps[e.from.0])
+            .sum();
+        assert_eq!(total, 46);
+        // ...while both halves of the middle split fit it.
+        let words = |lo: usize, hi: usize| -> u64 {
+            graph
+                .edges()
+                .iter()
+                .filter(|e| e.from.0 >= lo && e.to.0 < hi)
+                .map(|e| e.produce * reps[e.from.0])
+                .sum()
+        };
+        assert_eq!(words(0, 12), 22);
+        assert_eq!(words(12, 24), 22);
+        assert_eq!(total - words(0, 12) - words(12, 24), 2);
     }
 }

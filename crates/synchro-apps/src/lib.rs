@@ -36,5 +36,5 @@ pub mod stereo;
 pub mod wifi;
 pub mod workloads;
 
-pub use graphs::{reference_graph, ReferenceGraph};
+pub use graphs::{deep_pipeline, reference_graph, ReferenceGraph, DEEP_PIPELINE_RATE_HZ};
 pub use profiles::{AlgorithmProfile, Application, ApplicationProfile};

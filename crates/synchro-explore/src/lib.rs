@@ -104,6 +104,15 @@ pub enum ExplorerError {
         /// Groupings the prune rejected.
         pruned: u64,
     },
+    /// No contiguous partition of the graph across the permitted chip
+    /// count produced a feasible per-chip exploration (see
+    /// [`explore_board`]).
+    BoardInfeasible {
+        /// Most chips the partitioner was allowed to use.
+        max_chips: usize,
+        /// Candidate splits whose per-chip explorations were attempted.
+        splits_tried: usize,
+    },
 }
 
 impl fmt::Display for ExplorerError {
@@ -133,6 +142,14 @@ impl fmt::Display for ExplorerError {
                 f,
                 "no grouping's cross-column traffic fits the {capacity}-slot TDM frame \
                  ({pruned} groupings rejected)"
+            ),
+            ExplorerError::BoardInfeasible {
+                max_chips,
+                splits_tried,
+            } => write!(
+                f,
+                "no contiguous partition across up to {max_chips} chip(s) was feasible \
+                 ({splits_tried} splits tried)"
             ),
         }
     }
@@ -198,14 +215,16 @@ pub enum VoltagePolicy {
 /// concrete segment topology.
 ///
 /// The exhaustive engine applies the prune per grouping before its DP,
-/// so its results are exact under the constraint.  The beam engine can
-/// only filter *complete* candidates: its cost-based dominance pruning
-/// is not comm-aware, so on large graphs a schedulable-but-pricier
-/// prefix may be shadowed by a cheaper unschedulable one and the beam
-/// may miss solutions the exhaustive engine finds (a comm-aware
-/// dominance dimension is a recorded ROADMAP follow-up).  Prefer the
-/// exhaustive engine when combining `comm` with graphs small enough for
-/// it.
+/// so its results are exact under the constraint.  The beam engine
+/// tracks the cross-column words each prefix has already committed and
+/// makes its dominance check Pareto over `(power, cross words)`, so a
+/// schedulable-but-pricier prefix is never shadowed by a cheaper
+/// unschedulable one; prefixes whose committed traffic already
+/// overflows the frame are dropped as they form.  Both engines are
+/// exact under the constraint (property-tested against each other),
+/// though the beam's width cap needs head-room beyond `budget + 1` when
+/// `comm` is set, since a layer may keep several partials per tile
+/// count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CommSpec {
     /// Bus width in words per cycle (independent splits).
@@ -255,6 +274,59 @@ impl CommSpec {
     }
 }
 
+/// The board-partitioning stage searched when [`ExplorerConfig::board`]
+/// is set: [`explore_board`] shards the graph across up to `max_chips`
+/// chips by a min-cut-flavoured contiguous split, running one per-chip
+/// exploration (with the per-chip comm prune) for each candidate split
+/// until every chip is feasible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoardSearch {
+    /// Most chips a partition may use (1 tries the single-chip path
+    /// first; the partitioner always prefers fewer chips).
+    pub max_chips: usize,
+    /// Candidate splits attempted per chip count, in ranked order
+    /// (fewest cut words first, then best work balance).
+    pub splits_per_chip_count: usize,
+    /// Optional cap on inter-chip words per iteration: splits whose cut
+    /// exceeds it are pruned before any per-chip search runs, mirroring
+    /// the intra-chip comm prune at the bridge level.
+    pub bridge_capacity: Option<u64>,
+}
+
+impl Default for BoardSearch {
+    fn default() -> Self {
+        BoardSearch {
+            max_chips: 4,
+            splits_per_chip_count: 8,
+            bridge_capacity: None,
+        }
+    }
+}
+
+impl BoardSearch {
+    /// A board of up to `max_chips` chips with default split ranking.
+    pub fn new(max_chips: usize) -> Self {
+        BoardSearch {
+            max_chips: max_chips.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// Cap the inter-chip words per iteration the partitioner accepts.
+    #[must_use]
+    pub fn with_bridge_capacity(mut self, words: u64) -> Self {
+        self.bridge_capacity = Some(words);
+        self
+    }
+
+    /// Override how many ranked splits are attempted per chip count.
+    #[must_use]
+    pub fn with_splits_per_chip_count(mut self, splits: usize) -> Self {
+        self.splits_per_chip_count = splits.max(1);
+        self
+    }
+}
+
 /// Above this actor count [`SearchStrategy::Auto`] switches from
 /// exhaustive grouping enumeration (2^(n−1) groupings) to beam search,
 /// and [`SearchStrategy::Exhaustive`] is rejected outright (public so
@@ -294,6 +366,12 @@ pub struct ExplorerConfig {
     pub comm: Option<CommSpec>,
     /// Supply-voltage policy the reported costs are computed under.
     pub voltage_policy: VoltagePolicy,
+    /// Optional board-partitioning stage: when set, [`explore_board`]
+    /// shards the graph across up to `max_chips` chips (each chip budgeted
+    /// and comm-pruned independently with this configuration).  [`explore`]
+    /// itself ignores the field — single-chip exploration is the board
+    /// path's size-1 special case.
+    pub board: Option<BoardSearch>,
 }
 
 impl ExplorerConfig {
@@ -311,6 +389,7 @@ impl ExplorerConfig {
             efficiency: 1.0,
             comm: None,
             voltage_policy: VoltagePolicy::PerColumn,
+            board: None,
         }
     }
 
@@ -361,6 +440,13 @@ impl ExplorerConfig {
     #[must_use]
     pub fn with_voltage_policy(mut self, policy: VoltagePolicy) -> Self {
         self.voltage_policy = policy;
+        self
+    }
+
+    /// Enable the board-partitioning stage (see [`explore_board`]).
+    #[must_use]
+    pub fn with_board(mut self, board: BoardSearch) -> Self {
+        self.board = Some(board);
         self
     }
 
@@ -502,6 +588,36 @@ impl Exploration {
 /// or an exhausted search space.
 pub fn explore(graph: &SdfGraph, config: &ExplorerConfig) -> Result<Exploration, ExplorerError> {
     let ctx = GraphContext::new(graph)?;
+    let plan = plan_search(graph, &ctx, config)?;
+    let evaluator = Evaluator::new(&config.tech, config.iteration_rate_hz, config.efficiency);
+    let arena = search::IntervalArena::build(
+        &ctx,
+        &evaluator,
+        config.candidates,
+        config.tile_budget,
+        plan.max_group_size,
+    );
+    run_search(graph, config, &ctx, &evaluator, &arena, &plan, config.comm)
+}
+
+/// The resolved engine choice of one exploration: how large groups may
+/// get, which engine runs, and across how many workers.
+struct SearchPlan {
+    max_group_size: usize,
+    /// `Some(width)` = beam search, `None` = exhaustive enumeration.
+    use_beam: Option<usize>,
+    threads: usize,
+}
+
+/// Validate `config` against the analysed graph and resolve the engine
+/// choice.  Split out of [`explore`] so sweeps sharing one
+/// [`search::IntervalArena`] across invocations plan once per point
+/// without re-running the search tail.
+fn plan_search(
+    graph: &SdfGraph,
+    ctx: &GraphContext,
+    config: &ExplorerConfig,
+) -> Result<SearchPlan, ExplorerError> {
     let n = ctx.n;
     // Fusing is only sound when actor order is a topological order with
     // strictly forward edges: contiguous groups of a forward-edged chain
@@ -522,9 +638,6 @@ pub fn explore(graph: &SdfGraph, config: &ExplorerConfig) -> Result<Exploration,
             budget: config.tile_budget,
         });
     }
-
-    let evaluator = Evaluator::new(&config.tech, config.iteration_rate_hz, config.efficiency);
-    let threads = config.resolved_threads();
     let default_width = (config.tile_budget as usize + 1).max(64);
     let use_beam = match config.strategy {
         SearchStrategy::Exhaustive if max_group_size > 1 && n > EXHAUSTIVE_ACTOR_LIMIT => {
@@ -540,40 +653,58 @@ pub fn explore(graph: &SdfGraph, config: &ExplorerConfig) -> Result<Exploration,
             }
         }
     };
+    Ok(SearchPlan {
+        max_group_size,
+        use_beam,
+        threads: config.resolved_threads(),
+    })
+}
+
+/// Run the planned engine over a prebuilt arena and package the outcome.
+/// `comm` is explicit (rather than read from `config`) so comm sweeps
+/// reuse one arena — interval costs do not depend on the frame.
+fn run_search(
+    graph: &SdfGraph,
+    config: &ExplorerConfig,
+    ctx: &GraphContext,
+    evaluator: &Evaluator,
+    arena: &search::IntervalArena,
+    plan: &SearchPlan,
+    comm: Option<CommSpec>,
+) -> Result<Exploration, ExplorerError> {
+    let use_beam = plan.use_beam;
     let outcome = match use_beam {
         None => search::exhaustive(
-            &ctx,
-            &evaluator,
-            config.candidates,
+            ctx,
+            arena,
             config.tile_budget,
-            max_group_size,
-            threads,
-            config.comm,
+            plan.max_group_size,
+            plan.threads,
+            comm,
         ),
         Some(width) => search::beam(
-            &ctx,
-            &evaluator,
-            config.candidates,
+            ctx,
+            arena,
             config.tile_budget,
-            max_group_size,
+            plan.max_group_size,
             width,
-            threads,
-            config.comm,
+            plan.threads,
+            comm,
         ),
     };
     if outcome.curve.is_empty() {
         // Blame communication only when the prune certainly rejected
         // *every* grouping: the exhaustive engine examines each one, so
-        // pruned == examined is a proof; the beam engine only sees the
-        // candidates that survived its cost-based dominance pruning, so
-        // an all-pruned final layer proves nothing about groupings pruned
-        // earlier for cost — report the honest NoSolutions instead.
+        // pruned == examined is a proof.  The beam engine's comm counter
+        // tallies pruned prefix *extensions*, which cannot distinguish
+        // comm-starved from budget-starved searches, so the beam reports
+        // the honest NoSolutions instead.
         if use_beam.is_none()
             && outcome.stats.groupings_comm_pruned > 0
             && outcome.stats.groupings_comm_pruned >= outcome.stats.groupings_examined
         {
             return Err(ExplorerError::CommInfeasible {
-                capacity: config.comm.map(|c| c.capacity()).unwrap_or(0),
+                capacity: comm.map(|c| c.capacity()).unwrap_or(0),
                 pruned: outcome.stats.groupings_comm_pruned,
             });
         }
@@ -586,8 +717,8 @@ pub fn explore(graph: &SdfGraph, config: &ExplorerConfig) -> Result<Exploration,
         .map(|c| {
             let solution = realize_candidate(
                 graph,
-                &ctx,
-                &evaluator,
+                ctx,
+                evaluator,
                 &c.groups,
                 &c.allocation,
                 config.voltage_policy,
@@ -718,26 +849,384 @@ pub struct BusWidthPoint {
 /// dimension: re-explore `graph` under `config` with the
 /// communication-feasibility prune set to each width in `widths`,
 /// keeping `base`'s period and segment-group count.
+///
+/// Interval costs do not depend on the frame, so the sweep analyses the
+/// graph and builds the [`search::IntervalArena`] once and reruns only
+/// the engine per width — each point is bit-identical to an independent
+/// [`explore`] call at that width.
 pub fn explore_bus_widths(
     graph: &SdfGraph,
     config: &ExplorerConfig,
     base: CommSpec,
     widths: &[u32],
 ) -> Vec<BusWidthPoint> {
+    let comm_of = |splits: u32| CommSpec {
+        splits: splits.max(1),
+        ..base
+    };
+    let shared = (|| {
+        let ctx = GraphContext::new(graph).ok()?;
+        let plan = plan_search(graph, &ctx, config).ok()?;
+        let evaluator = Evaluator::new(&config.tech, config.iteration_rate_hz, config.efficiency);
+        let arena = search::IntervalArena::build(
+            &ctx,
+            &evaluator,
+            config.candidates,
+            config.tile_budget,
+            plan.max_group_size,
+        );
+        Some((ctx, plan, evaluator, arena))
+    })();
     widths
         .iter()
         .map(|&splits| {
-            let comm = CommSpec {
-                splits: splits.max(1),
-                ..base
+            let comm = comm_of(splits);
+            let outcome = match &shared {
+                Some((ctx, plan, evaluator, arena)) => {
+                    run_search(graph, config, ctx, evaluator, arena, plan, Some(comm))
+                }
+                // Analysis or planning failed: fall back to the plain
+                // path so every point reports the structured error.
+                None => explore(graph, &config.clone().with_comm(comm)),
             };
-            let swept = config.clone().with_comm(comm);
-            BusWidthPoint {
-                comm,
-                outcome: explore(graph, &swept),
-            }
+            BusWidthPoint { comm, outcome }
         })
         .collect()
+}
+
+/// One point of a tile-budget sweep: the budget the exploration ran
+/// under and its outcome.
+#[derive(Debug)]
+pub struct BudgetPoint {
+    /// The tile budget of this point.
+    pub budget: u32,
+    /// The exploration at that budget, or its structured failure
+    /// (typically [`ExplorerError::BudgetTooSmall`] for budgets below the
+    /// minimum group count).
+    pub outcome: Result<Exploration, ExplorerError>,
+}
+
+/// Sweep the tile budget as a search dimension: re-explore `graph` under
+/// `config` at each budget in `budgets`.
+///
+/// The budget changes which tile counts each interval offers, so the
+/// arena is rebuilt per point — but the `(work, cap, tokens, tiles)`
+/// power evaluations behind it are shared through one `EvalCache`, so
+/// repeated operating points across budgets are priced once.  Each point
+/// is bit-identical to an independent [`explore`] call at that budget.
+pub fn explore_budget_sweep(
+    graph: &SdfGraph,
+    config: &ExplorerConfig,
+    budgets: &[u32],
+) -> Vec<BudgetPoint> {
+    let at_budget = |budget: u32| ExplorerConfig {
+        tile_budget: budget,
+        ..config.clone()
+    };
+    let Ok(ctx) = GraphContext::new(graph) else {
+        // Unanalysable graph: every point reports the structured error.
+        return budgets
+            .iter()
+            .map(|&budget| BudgetPoint {
+                budget,
+                outcome: explore(graph, &at_budget(budget)),
+            })
+            .collect();
+    };
+    let evaluator = Evaluator::new(&config.tech, config.iteration_rate_hz, config.efficiency);
+    let mut cache = model::EvalCache::default();
+    budgets
+        .iter()
+        .map(|&budget| {
+            let swept = at_budget(budget);
+            let outcome = plan_search(graph, &ctx, &swept).and_then(|plan| {
+                let arena = search::IntervalArena::build_with_cache(
+                    &ctx,
+                    &evaluator,
+                    swept.candidates,
+                    budget,
+                    plan.max_group_size,
+                    &mut cache,
+                );
+                run_search(graph, &swept, &ctx, &evaluator, &arena, &plan, swept.comm)
+            });
+            BudgetPoint { budget, outcome }
+        })
+        .collect()
+}
+
+/// One chip of a board exploration: the contiguous actor range it hosts
+/// and its winning per-chip solution.
+#[derive(Debug, Clone)]
+pub struct ChipExploration {
+    /// First actor (inclusive) of the chip's range in the original graph.
+    pub start: usize,
+    /// One past the last actor of the chip's range.
+    pub end: usize,
+    /// The chip-local winner: single-actor columns over the chip's
+    /// subgraph, actor ids local to the range (add `start` to recover
+    /// the original ids).
+    pub solution: ExplorerSolution,
+}
+
+/// The result of one [`explore_board`] run: a contiguous partition of
+/// the graph across chips, one feasible exploration per chip, and the
+/// inter-chip traffic the partition commits to the bridges.
+#[derive(Debug, Clone)]
+pub struct BoardExploration {
+    /// Per-chip ranges and solutions, in pipeline order.
+    pub chips: Vec<ChipExploration>,
+    /// Words per graph iteration crossing chip boundaries (the demand
+    /// the chip-to-chip bridge lanes must carry).
+    pub bridge_words_per_iteration: u64,
+    /// Candidate splits whose per-chip explorations were attempted
+    /// before (and including) the winner.
+    pub splits_tried: usize,
+    /// Search counters summed over the winning split's per-chip runs.
+    pub stats: SearchStats,
+}
+
+impl BoardExploration {
+    /// Chips in the winning partition.
+    pub fn chip_count(&self) -> usize {
+        self.chips.len()
+    }
+
+    /// Total tiles across every chip.
+    pub fn total_tiles(&self) -> u32 {
+        self.chips.iter().map(|c| c.solution.total_tiles).sum()
+    }
+
+    /// Total compute power across every chip (mW, excluding bridge
+    /// transfer energy — that is priced by `synchro-power` from the
+    /// simulated bridge slot activity).
+    pub fn total_power_mw(&self) -> f64 {
+        self.chips.iter().map(|c| c.solution.power_mw).sum()
+    }
+
+    /// The chip-qualified mapping over the *original* graph, ready for
+    /// board compilation: chip `c`'s columns become
+    /// `place_on_chip(c, ..)` placements in pipeline order.
+    pub fn mapping(&self) -> Mapping {
+        let mut mapping = Mapping::new();
+        for (chip, ce) in self.chips.iter().enumerate() {
+            for col in &ce.solution.columns {
+                let local = col.actors.first().expect("column has actors").0;
+                mapping.place_on_chip(
+                    chip,
+                    ActorId(ce.start + local),
+                    col.tiles,
+                    ce.solution.efficiency,
+                );
+            }
+        }
+        mapping
+    }
+}
+
+/// Shard `graph` across up to [`BoardSearch::max_chips`] chips: try chip
+/// counts ascending (a feasible single chip needs no board), and per
+/// count rank every contiguous split min-cut first (fewest cut words,
+/// then best work balance), attempting per-chip explorations — each chip
+/// budgeted at `config.tile_budget` and pruned by `config.comm` — until
+/// one split is feasible on every chip.
+///
+/// Each chip's subgraph keeps its actors' global firing rates: a range
+/// whose repetition counts share a factor `g` iterates `g` times faster
+/// than the whole graph, so its exploration runs at
+/// `iteration_rate_hz × g`.  Board exploration is restricted to
+/// single-actor columns so the winning mapping stays expressible over
+/// the original graph (fusion-aware partitioning is a recorded
+/// follow-up).
+///
+/// Reads the partition bounds from [`ExplorerConfig::board`]
+/// (defaulting to [`BoardSearch::default`] when unset).
+///
+/// # Errors
+///
+/// [`ExplorerError::BoardInfeasible`] when no attempted split is
+/// feasible on every chip; analysis errors propagate as in [`explore`].
+pub fn explore_board(
+    graph: &SdfGraph,
+    config: &ExplorerConfig,
+) -> Result<BoardExploration, ExplorerError> {
+    let board = config.board.unwrap_or_default();
+    let ctx = GraphContext::new(graph)?;
+    let reps = graph.repetition_vector()?;
+    let n = ctx.n;
+    let max_chips = board.max_chips.clamp(1, n.max(1));
+    let mut splits_tried = 0usize;
+    // A split ranked by (bridge cut words, work imbalance, lexicographic).
+    type RankedSplit = (u64, u64, Vec<(usize, usize)>);
+    for chips in 1..=max_chips {
+        let mut candidates: Vec<RankedSplit> = contiguous_splits(n, chips)
+            .into_iter()
+            .map(|split| {
+                let cut = ctx.grouping_cross_words(&split);
+                let works: Vec<u64> = split
+                    .iter()
+                    .map(|&(start, end)| ctx.group_work(start, end))
+                    .collect();
+                let imbalance = works.iter().max().unwrap_or(&0) - works.iter().min().unwrap_or(&0);
+                (cut, imbalance, split)
+            })
+            .collect();
+        candidates.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        for (cut, _, split) in candidates
+            .into_iter()
+            .take(board.splits_per_chip_count.max(1))
+        {
+            // Bridge-capacity prune: the board-level analogue of the
+            // per-chip comm prune — a split whose cut traffic cannot fit
+            // the bridges is unschedulable under any per-chip mapping.
+            if board.bridge_capacity.is_some_and(|cap| cut > cap) {
+                continue;
+            }
+            splits_tried += 1;
+            if let Some((chips, stats)) = explore_split(graph, config, &reps, &split) {
+                return Ok(BoardExploration {
+                    chips,
+                    bridge_words_per_iteration: cut,
+                    splits_tried,
+                    stats,
+                });
+            }
+        }
+    }
+    Err(ExplorerError::BoardInfeasible {
+        max_chips,
+        splits_tried,
+    })
+}
+
+/// Every way to split `0..n` into `chips` non-empty contiguous ranges.
+fn contiguous_splits(n: usize, chips: usize) -> Vec<Vec<(usize, usize)>> {
+    fn recurse(
+        n: usize,
+        chips: usize,
+        cuts: &mut Vec<usize>,
+        result: &mut Vec<Vec<(usize, usize)>>,
+    ) {
+        let placed = cuts.len();
+        if placed == chips - 1 {
+            let mut split = Vec::with_capacity(chips);
+            let mut start = 0usize;
+            for &cut in cuts.iter() {
+                split.push((start, cut));
+                start = cut;
+            }
+            split.push((start, n));
+            result.push(split);
+            return;
+        }
+        let lower = cuts.last().map_or(1, |&c| c + 1);
+        // Leave room for the remaining boundaries (strictly increasing,
+        // all below n).
+        let upper = n - (chips - 1 - placed - 1) - 1;
+        for cut in lower..=upper {
+            cuts.push(cut);
+            recurse(n, chips, cuts, result);
+            cuts.pop();
+        }
+    }
+    if chips == 0 || chips > n {
+        return Vec::new();
+    }
+    let mut result = Vec::new();
+    let mut cuts = Vec::with_capacity(chips.saturating_sub(1));
+    recurse(n, chips, &mut cuts, &mut result);
+    result
+}
+
+/// Attempt one split: explore every chip's subgraph independently and
+/// accept only when every chip's winner is feasible.  Any per-chip
+/// failure (budget, comm, infeasible envelope, inconsistent subgraph)
+/// rejects the split.
+fn explore_split(
+    graph: &SdfGraph,
+    config: &ExplorerConfig,
+    reps: &[u64],
+    split: &[(usize, usize)],
+) -> Option<(Vec<ChipExploration>, SearchStats)> {
+    let mut chips = Vec::with_capacity(split.len());
+    let mut stats = SearchStats::default();
+    for &(start, end) in split {
+        let (sub, rate_factor) = chip_subgraph(graph, reps, start, end)?;
+        let sub_config = ExplorerConfig {
+            iteration_rate_hz: config.iteration_rate_hz * rate_factor as f64,
+            max_group_size: 1,
+            board: None,
+            ..config.clone()
+        };
+        let exploration = explore(&sub, &sub_config).ok()?;
+        if !exploration.best.feasible {
+            return None;
+        }
+        stats.mappings_evaluated += exploration.stats.mappings_evaluated;
+        stats.groupings_examined += exploration.stats.groupings_examined;
+        stats.states_pruned += exploration.stats.states_pruned;
+        stats.groupings_comm_pruned += exploration.stats.groupings_comm_pruned;
+        stats.threads_used = stats.threads_used.max(exploration.stats.threads_used);
+        stats.elapsed_seconds += exploration.stats.elapsed_seconds;
+        chips.push(ChipExploration {
+            start,
+            end,
+            solution: exploration.best,
+        });
+    }
+    Some((chips, stats))
+}
+
+/// Extract the contiguous actor range `start..end` as a standalone graph
+/// with its internal edges, returning it with the range's iteration-rate
+/// factor: the gcd `g` of the range's repetition counts (the subgraph's
+/// own repetition vector is the range's counts divided by `g`, so it
+/// iterates `g` times per whole-graph iteration).  Returns `None` when
+/// the extracted range does not normalise that way (e.g. a disconnected
+/// range whose components renormalise independently) — such a split
+/// cannot preserve per-actor firing rates and is rejected.
+fn chip_subgraph(
+    graph: &SdfGraph,
+    reps: &[u64],
+    start: usize,
+    end: usize,
+) -> Option<(SdfGraph, u64)> {
+    fn gcd(a: u64, b: u64) -> u64 {
+        if b == 0 {
+            a
+        } else {
+            gcd(b, a % b)
+        }
+    }
+    let rate_factor = reps[start..end].iter().copied().fold(0u64, gcd);
+    if rate_factor == 0 {
+        return None;
+    }
+    let mut sub = SdfGraph::new();
+    for actor in &graph.actors()[start..end] {
+        sub.add_actor(
+            actor.name.clone(),
+            actor.cycles_per_firing,
+            actor.max_parallel_tiles,
+        );
+    }
+    for edge in graph.edges() {
+        if (start..end).contains(&edge.from.0) && (start..end).contains(&edge.to.0) {
+            sub.add_edge(
+                ActorId(edge.from.0 - start),
+                ActorId(edge.to.0 - start),
+                edge.produce,
+                edge.consume,
+                edge.initial_tokens,
+            )
+            .ok()?;
+        }
+    }
+    let expected: Vec<u64> = reps[start..end].iter().map(|&r| r / rate_factor).collect();
+    if sub.repetition_vector().ok()? != expected {
+        return None;
+    }
+    Some((sub, rate_factor))
 }
 
 /// Stable hooks for the repo's criterion benches, exposing the search
@@ -1163,5 +1652,167 @@ mod tests {
         assert!(exploration.stats.groupings_examined >= 1);
         assert_eq!(exploration.stats.threads_used, 2);
         assert!(exploration.stats.elapsed_seconds >= 0.0);
+    }
+
+    #[test]
+    fn budget_sweep_matches_fresh_explores_bit_for_bit() {
+        let g = ddc();
+        let config = ExplorerConfig::new(16e6, 50).single_actor_columns();
+        let budgets = [50u32, 40, 24, 3];
+        let points = explore_budget_sweep(&g, &config, &budgets);
+        assert_eq!(points.len(), budgets.len());
+        for (point, &budget) in points.iter().zip(&budgets) {
+            assert_eq!(point.budget, budget);
+            let fresh = explore(
+                &g,
+                &ExplorerConfig {
+                    tile_budget: budget,
+                    ..config.clone()
+                },
+            );
+            match (&point.outcome, &fresh) {
+                (Ok(swept), Ok(full)) => {
+                    assert_eq!(
+                        swept.best.power_mw.to_bits(),
+                        full.best.power_mw.to_bits(),
+                        "budget {budget}"
+                    );
+                    assert_eq!(swept.best.allocation(), full.best.allocation());
+                    let curve = |e: &Exploration| {
+                        e.curve
+                            .iter()
+                            .map(|s| (s.total_tiles, s.power_mw.to_bits()))
+                            .collect::<Vec<_>>()
+                    };
+                    assert_eq!(curve(swept), curve(full));
+                }
+                (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string()),
+                (a, b) => panic!("budget {budget}: sweep {a:?} vs fresh {b:?}"),
+            }
+        }
+        assert!(matches!(
+            points[3].outcome,
+            Err(ExplorerError::BudgetTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn board_of_one_matches_the_single_chip_explorer() {
+        let g = ddc();
+        let config = ExplorerConfig::new(16e6, 50).with_board(BoardSearch::new(1));
+        let board = explore_board(&g, &config).unwrap();
+        assert_eq!(board.chip_count(), 1);
+        assert_eq!(board.bridge_words_per_iteration, 0);
+        assert_eq!((board.chips[0].start, board.chips[0].end), (0, 5));
+        // A one-chip board degenerates to the single-chip single-actor
+        // search, bit for bit.
+        let single = explore(&g, &ExplorerConfig::new(16e6, 50).single_actor_columns()).unwrap();
+        assert_eq!(
+            board.chips[0].solution.power_mw.to_bits(),
+            single.best.power_mw.to_bits()
+        );
+        assert_eq!(
+            board.chips[0].solution.allocation(),
+            single.best.allocation()
+        );
+        let mapping = board.mapping();
+        assert_eq!(mapping.chips(), 1);
+        assert!(mapping.validate_on_board(&g, 1).is_empty());
+    }
+
+    #[test]
+    fn board_splits_a_comm_starved_graph_across_two_chips() {
+        // The single-actor DDC needs 10 cross words per iteration; a
+        // 6-slot frame rejects every single-chip mapping (see
+        // `reference_comm_configuration_keeps_table4_points_schedulable`)
+        // but a 2-chip split routes the worst boundary over a bridge.
+        let comm = CommSpec::new(1, 6);
+        let config = ExplorerConfig::new(16e6, 50)
+            .single_actor_columns()
+            .with_comm(comm)
+            .with_board(BoardSearch::new(2));
+        let board = explore_board(&ddc(), &config).unwrap();
+        assert_eq!(board.chip_count(), 2);
+        // The winner is the best balanced split whose chips both fit the
+        // frame: mixer+integrator on chip 0 (no internal traffic beyond
+        // the fused front end), the rest on chip 1 (6 words ≤ 6 slots),
+        // with the 4-word rate-change boundary on the bridge.
+        assert_eq!((board.chips[0].start, board.chips[0].end), (0, 2));
+        assert_eq!((board.chips[1].start, board.chips[1].end), (2, 5));
+        assert_eq!(board.bridge_words_per_iteration, 4);
+        assert!(board.splits_tried >= 2, "cheaper cuts are tried first");
+        for chip in &board.chips {
+            assert!(chip.solution.feasible);
+        }
+        assert!(board.total_tiles() > 0);
+        assert!(board.total_power_mw() > 0.0);
+        let mapping = board.mapping();
+        assert_eq!(mapping.chips(), 2);
+        assert_eq!(mapping.placements().len(), 5);
+        assert!(mapping.validate_on_board(&ddc(), 2).is_empty());
+        // The chip-local actor ids recover the original actors: chip 1's
+        // first column is the CIC comb (global actor 2).
+        assert_eq!(mapping.placements()[2].actor, ActorId(2));
+        assert_eq!(mapping.placements()[2].chip, 1);
+    }
+
+    #[test]
+    fn board_search_reports_exhaustion_and_respects_bridge_capacity() {
+        // No frame capacity at all: every split leaves some chip with
+        // internal traffic, so the whole board space is infeasible.
+        let starved = ExplorerConfig::new(16e6, 50)
+            .single_actor_columns()
+            .with_comm(CommSpec::new(1, 0))
+            .with_board(BoardSearch::new(2));
+        let err = explore_board(&ddc(), &starved).unwrap_err();
+        assert!(matches!(
+            err,
+            ExplorerError::BoardInfeasible { max_chips: 2, .. }
+        ));
+        assert!(err.to_string().contains("2 chip"));
+        // A zero-capacity bridge prunes every multi-chip split before it
+        // is attempted: only the (infeasible) single-chip split is tried.
+        let bridgeless = ExplorerConfig::new(16e6, 50)
+            .single_actor_columns()
+            .with_comm(CommSpec::new(1, 6))
+            .with_board(BoardSearch::new(4).with_bridge_capacity(0));
+        let err = explore_board(&ddc(), &bridgeless).unwrap_err();
+        assert!(matches!(
+            err,
+            ExplorerError::BoardInfeasible {
+                max_chips: 4,
+                splits_tried: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn board_chips_preserve_global_firing_rates() {
+        // Chip 0 hosts the 4×-rate front end (mixer + integrator fire
+        // four times per graph iteration): its subgraph's repetition
+        // vector normalises to [1, 1], so its sub-exploration must run
+        // at 4 × 16 MHz for the actors to keep their global work rates.
+        // Every column's frequency must therefore equal the actor's
+        // whole-graph work (cycles × repetitions × 16 MHz) over its
+        // tiles, exactly as on a single chip.
+        let comm = CommSpec::new(1, 6);
+        let config = ExplorerConfig::new(16e6, 50)
+            .single_actor_columns()
+            .with_comm(comm)
+            .with_board(BoardSearch::new(2));
+        let board = explore_board(&ddc(), &config).unwrap();
+        let cycles = [15.0f64, 25.0, 5.0, 380.0, 370.0];
+        let reps = [4.0f64, 4.0, 1.0, 1.0, 1.0];
+        for chip in &board.chips {
+            for col in &chip.solution.columns {
+                let global = chip.start + col.actors[0].0;
+                let want = cycles[global] * reps[global] * 16.0 / col.tiles as f64;
+                assert!(
+                    (col.frequency_mhz - want).abs() < 1e-6 * want,
+                    "actor {global}: {} vs {want}",
+                    col.frequency_mhz
+                );
+            }
+        }
     }
 }

@@ -102,6 +102,28 @@ impl GraphContext {
             .map(|(_, &t)| t)
             .sum()
     }
+
+    /// The cross-word contribution a contiguous grouping *gains* when the
+    /// group `start..end` is appended: the tokens of every edge whose
+    /// lower endpoint lands in the group while its upper endpoint lies
+    /// beyond it.  Each crossing edge of a complete grouping is counted
+    /// exactly once — at the group containing its lower endpoint — so
+    /// summing this over a grouping's groups equals
+    /// [`GraphContext::grouping_cross_words`].  The beam engine tracks
+    /// cross words per partial with it (the increment depends only on the
+    /// new group, never on how the prefix was grouped).
+    pub fn group_cross_out(&self, start: usize, end: usize) -> u64 {
+        self.edges
+            .iter()
+            .zip(&self.tokens)
+            .filter(|((from, to), _)| {
+                let lo = (*from).min(*to);
+                let hi = (*from).max(*to);
+                lo >= start && lo < end && hi >= end
+            })
+            .map(|(_, &t)| t)
+            .sum()
+    }
 }
 
 /// The operating point and power of one candidate column group at one
@@ -252,6 +274,7 @@ impl Evaluator {
 #[derive(Debug, Default)]
 pub(crate) struct EvalCache {
     map: HashMap<(u64, u32, u64, u32), (f64, bool)>,
+    hits: u64,
 }
 
 impl EvalCache {
@@ -265,13 +288,28 @@ impl EvalCache {
         tokens: u64,
         tiles: u32,
     ) -> (f64, bool) {
-        *self
-            .map
-            .entry((work, cap, tokens, tiles))
-            .or_insert_with(|| {
+        match self.map.entry((work, cap, tokens, tiles)) {
+            std::collections::hash_map::Entry::Occupied(slot) => {
+                self.hits += 1;
+                *slot.get()
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
                 let col = evaluator.evaluate_column(work, cap, tokens, tiles);
-                (col.power.total_mw(), col.within_envelope)
-            })
+                *slot.insert((col.power.total_mw(), col.within_envelope))
+            }
+        }
+    }
+
+    /// Lookups answered from the cache instead of the power models.
+    #[cfg(test)]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Distinct `(work, cap, tokens, tiles)` keys evaluated so far.
+    #[cfg(test)]
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
     }
 }
 
@@ -339,6 +377,27 @@ mod tests {
         let col = eval.evaluate_column(5_000, 1, 0, 1);
         assert!(!col.within_envelope);
         assert!(col.voltage > 1.7);
+    }
+
+    #[test]
+    fn group_cross_out_deltas_sum_to_grouping_cross_words() {
+        let ctx = GraphContext::new(&ddc_like()).unwrap();
+        for groups in [
+            vec![(0usize, 1usize), (1, 2), (2, 3)],
+            vec![(0, 1), (1, 3)],
+            vec![(0, 2), (2, 3)],
+            vec![(0, 3)],
+        ] {
+            let total: u64 = groups
+                .iter()
+                .map(|&(start, end)| ctx.group_cross_out(start, end))
+                .sum();
+            assert_eq!(
+                total,
+                ctx.grouping_cross_words(&groups),
+                "delta sum must equal the whole-grouping cross words for {groups:?}"
+            );
+        }
     }
 
     #[test]

@@ -100,12 +100,37 @@ impl IntervalArena {
         budget: u32,
         max_group_size: usize,
     ) -> Self {
+        let mut cache = EvalCache::default();
+        Self::build_with_cache(
+            ctx,
+            evaluator,
+            candidates,
+            budget,
+            max_group_size,
+            &mut cache,
+        )
+    }
+
+    /// [`IntervalArena::build`] with an externally owned memo cache, so
+    /// sweeps that rebuild the arena under a different tile budget (the
+    /// budget changes which tile counts each interval offers, not what
+    /// any `(work, cap, tokens, tiles)` point costs) reuse every power
+    /// evaluation from earlier builds.  The caller must keep one cache
+    /// per `(graph, technology, rate, efficiency)` combination — the key
+    /// does not cover those.
+    pub fn build_with_cache(
+        ctx: &GraphContext,
+        evaluator: &Evaluator,
+        candidates: TileCandidates,
+        budget: u32,
+        max_group_size: usize,
+        cache: &mut EvalCache,
+    ) -> Self {
         let n = ctx.n;
         let stride = n + 1;
         let mut offsets = Vec::with_capacity(n * stride + 1);
         let mut options = Vec::new();
         let mut tile_scratch = Vec::new();
-        let mut cache = EvalCache::default();
         offsets.push(0u32);
         for start in 0..n {
             let end_limit = (start + max_group_size).min(n);
@@ -324,11 +349,14 @@ impl GroupingJobs {
 /// way a static split can).  The merged curve holds, for every reachable
 /// exact tile count, the globally cheapest candidate; exact-cost ties go
 /// to the earliest-enumerated grouping, independent of thread count.
+///
+/// `arena` must have been built for `ctx` with the same `budget` and
+/// `max_group_size` (see [`IntervalArena::build`]); callers running
+/// several searches over one graph build it once and share it.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn exhaustive(
     ctx: &GraphContext,
-    evaluator: &Evaluator,
-    candidates: TileCandidates,
+    arena: &IntervalArena,
     budget: u32,
     max_group_size: usize,
     threads: usize,
@@ -336,7 +364,6 @@ pub(crate) fn exhaustive(
 ) -> SearchOutcome {
     let started = Instant::now();
     let n = ctx.n;
-    let arena = IntervalArena::build(ctx, evaluator, candidates, budget, max_group_size);
 
     // Every grouping to solve.  The all-singleton grouping (one actor per
     // column, the structure of every Table 4 mapping) is built directly;
@@ -362,7 +389,6 @@ pub(crate) fn exhaustive(
     let results: Vec<(Vec<Option<LocalBest>>, u64, u64)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
-                let arena = &arena;
                 let jobs = &jobs;
                 let cursor = &cursor;
                 scope.spawn(move || {
@@ -510,12 +536,53 @@ struct Partial {
     tiles: u32,
     power: f64,
     feasible: bool,
+    /// Cross-column words per iteration already committed by the prefix's
+    /// completed groups (always 0 when the search has no `CommSpec`; the
+    /// increment per new group is [`GraphContext::group_cross_out`], which
+    /// depends only on the group itself, so the total is exact for any
+    /// completion).
+    cross: u64,
     /// Arena node of the already-materialized prefix (`NO_NODE` = root).
     parent: u32,
     /// This partial's own group (`start == NO_GROUP` for the root).
     start: u32,
     end: u32,
     choice: u32,
+}
+
+/// The beam engine's communication prune: the TDM frame capacity plus a
+/// per-interval table of [`GraphContext::group_cross_out`] increments, so
+/// expansions extend a partial's committed cross words in O(1) and drop
+/// any prefix that already overflows the frame (cross words only grow).
+struct CommPrune {
+    capacity: u64,
+    stride: usize,
+    /// `delta[start * stride + end]` = cross words gained by appending the
+    /// group `start..end`.
+    delta: Vec<u64>,
+}
+
+impl CommPrune {
+    fn new(ctx: &GraphContext, max_group_size: usize, capacity: u64) -> Self {
+        let n = ctx.n;
+        let stride = n + 1;
+        let mut delta = vec![0u64; n * stride];
+        for start in 0..n {
+            for end in start + 1..=(start + max_group_size).min(n) {
+                delta[start * stride + end] = ctx.group_cross_out(start, end);
+            }
+        }
+        CommPrune {
+            capacity,
+            stride,
+            delta,
+        }
+    }
+
+    #[inline]
+    fn delta(&self, start: usize, end: usize) -> u64 {
+        self.delta[start * self.stride + end]
+    }
 }
 
 /// Dominance-prune a layer: keep, per exact tile count, the cheapest
@@ -531,41 +598,95 @@ struct Partial {
 /// independently — a staircase holds at most one partial per tile count,
 /// so `width ≥ budget + 1` never drops anything and the beam stays exact.
 ///
+/// With `comm_aware` set, a partial's committed cross words join the
+/// dominance check: each staircase becomes a Pareto front over
+/// `(power, cross)`, because a completion's cross increment is
+/// independent of the prefix — a pricier prefix with fewer committed
+/// cross words may be the only one whose completions fit the TDM frame.
+/// A front may then hold several partials per tile count, so exactness
+/// needs `width` at least the largest per-layer front (the agreement
+/// property test sizes it generously); the cap discards the
+/// highest-power entries first.
+///
 /// Returns the number of partials discarded.
-fn prune_layer(layer: &mut Vec<Partial>, width: usize) -> u64 {
+fn prune_layer(layer: &mut Vec<Partial>, width: usize, comm_aware: bool) -> u64 {
     layer.sort_by(|a, b| {
         a.tiles
             .cmp(&b.tiles)
             .then(a.power.partial_cmp(&b.power).expect("finite power"))
+            .then(a.cross.cmp(&b.cross))
     });
     let before = layer.len();
     let mut any_staircase: Vec<Partial> = Vec::new();
     let mut feasible_staircase: Vec<Partial> = Vec::new();
-    let mut best_any = f64::INFINITY;
-    let mut best_feasible = f64::INFINITY;
-    for partial in layer.drain(..) {
-        let improves_any = partial.power < best_any;
-        let improves_feasible = partial.feasible && partial.power < best_feasible;
-        if improves_any {
-            best_any = partial.power;
+    if comm_aware {
+        // Pareto fronts over (power, cross).  Entries are processed in
+        // (tiles, power, cross) order, so every kept entry has no more
+        // tiles than the candidate it is tested against; power and cross
+        // must be checked explicitly.
+        let mut any_front: Vec<(f64, u64)> = Vec::new();
+        let mut feasible_front: Vec<(f64, u64)> = Vec::new();
+        let dominated = |front: &[(f64, u64)], p: &Partial| {
+            front
+                .iter()
+                .any(|&(power, cross)| power <= p.power && cross <= p.cross)
+        };
+        for partial in layer.drain(..) {
+            let improves_any = !dominated(&any_front, &partial);
+            let improves_feasible = partial.feasible && !dominated(&feasible_front, &partial);
+            if improves_any {
+                any_front.push((partial.power, partial.cross));
+            }
+            if improves_feasible {
+                feasible_front.push((partial.power, partial.cross));
+            }
+            if improves_feasible {
+                feasible_staircase.push(partial);
+            } else if improves_any {
+                any_staircase.push(partial);
+            }
         }
-        if improves_feasible {
-            best_feasible = partial.power;
+        // Cap each front by discarding the highest-power entries (the
+        // final sort below restores (tiles, power, cross) order).
+        for staircase in [&mut any_staircase, &mut feasible_staircase] {
+            if staircase.len() > width {
+                staircase.sort_by(|a, b| {
+                    b.power
+                        .partial_cmp(&a.power)
+                        .expect("finite power")
+                        .then(a.tiles.cmp(&b.tiles))
+                        .then(a.cross.cmp(&b.cross))
+                });
+                staircase.drain(..staircase.len() - width);
+            }
         }
-        // A feasible partial on both staircases is stored once, on the
-        // feasible one (it survives the same cap either way: both
-        // staircases are strictly power-descending in tile order).
-        if improves_feasible {
-            feasible_staircase.push(partial);
-        } else if improves_any {
-            any_staircase.push(partial);
+    } else {
+        let mut best_any = f64::INFINITY;
+        let mut best_feasible = f64::INFINITY;
+        for partial in layer.drain(..) {
+            let improves_any = partial.power < best_any;
+            let improves_feasible = partial.feasible && partial.power < best_feasible;
+            if improves_any {
+                best_any = partial.power;
+            }
+            if improves_feasible {
+                best_feasible = partial.power;
+            }
+            // A feasible partial on both staircases is stored once, on the
+            // feasible one (it survives the same cap either way: both
+            // staircases are strictly power-descending in tile order).
+            if improves_feasible {
+                feasible_staircase.push(partial);
+            } else if improves_any {
+                any_staircase.push(partial);
+            }
         }
-    }
-    // Powers are strictly descending along each staircase; keep the
-    // lowest-power tail of each.
-    for staircase in [&mut any_staircase, &mut feasible_staircase] {
-        if staircase.len() > width {
-            staircase.drain(..staircase.len() - width);
+        // Powers are strictly descending along each staircase; keep the
+        // lowest-power tail of each.
+        for staircase in [&mut any_staircase, &mut feasible_staircase] {
+            if staircase.len() > width {
+                staircase.drain(..staircase.len() - width);
+            }
         }
     }
     let mut kept = any_staircase;
@@ -574,16 +695,28 @@ fn prune_layer(layer: &mut Vec<Partial>, width: usize) -> u64 {
         a.tiles
             .cmp(&b.tiles)
             .then(a.power.partial_cmp(&b.power).expect("finite power"))
+            .then(a.cross.cmp(&b.cross))
     });
     let pruned = (before - kept.len()) as u64;
     *layer = kept;
     pruned
 }
 
+/// A materialized expansion source: one surviving partial of the previous
+/// layer, reduced to the fields its extensions need.
+#[derive(Debug, Clone, Copy)]
+struct Source {
+    node: u32,
+    tiles: u32,
+    power: f64,
+    feasible: bool,
+    cross: u64,
+}
+
 /// Materialize the surviving partials of a layer as arena nodes, so their
 /// extensions can reference them by index instead of cloning vectors.
-/// Returns `(node, tiles, power, feasible)` sources in layer order.
-fn materialize_layer(layer: &[Partial], nodes: &mut Vec<BeamNode>) -> Vec<(u32, u32, f64, bool)> {
+/// Returns the expansion sources in layer order.
+fn materialize_layer(layer: &[Partial], nodes: &mut Vec<BeamNode>) -> Vec<Source> {
     layer
         .iter()
         .map(|p| {
@@ -598,7 +731,13 @@ fn materialize_layer(layer: &[Partial], nodes: &mut Vec<BeamNode>) -> Vec<(u32, 
                 });
                 (nodes.len() - 1) as u32
             };
-            (node, p.tiles, p.power, p.feasible)
+            Source {
+                node,
+                tiles: p.tiles,
+                power: p.power,
+                feasible: p.feasible,
+                cross: p.cross,
+            }
         })
         .collect()
 }
@@ -630,17 +769,18 @@ fn reconstruct_partial(nodes: &[BeamNode], partial: &Partial) -> (Grouping, Vec<
 struct LayerTask {
     layer: usize,
     ends: Vec<usize>,
-    sources: Vec<(u32, u32, f64, bool)>,
+    sources: Vec<Source>,
 }
 
 /// Shared state of the beam engine's persistent worker pool: one task at
-/// a time, ends stolen one by one off `next_end`.
+/// a time, ends stolen one by one off `next_end`.  Each result carries
+/// `(end, partials, transitions examined, comm-overflow skips)`.
 struct BeamPoolState {
     shutdown: bool,
     task: Option<Arc<LayerTask>>,
     next_end: usize,
     remaining: usize,
-    results: Vec<(usize, Vec<Partial>, u64)>,
+    results: Vec<(usize, Vec<Partial>, u64, u64)>,
 }
 
 struct BeamPool {
@@ -667,7 +807,7 @@ impl BeamPool {
     /// Publish a layer task, block until every end is expanded, and
     /// return the results sorted by end (so the merge order — and with it
     /// the search result — is independent of worker scheduling).
-    fn run_layer(&self, task: LayerTask) -> Vec<(usize, Vec<Partial>, u64)> {
+    fn run_layer(&self, task: LayerTask) -> Vec<(usize, Vec<Partial>, u64, u64)> {
         let ends = task.ends.len();
         {
             let mut state = self.state.lock().expect("pool lock");
@@ -683,7 +823,7 @@ impl BeamPool {
             }
             std::mem::take(&mut state.results)
         };
-        results.sort_by_key(|&(end, _, _)| end);
+        results.sort_by_key(|&(end, _, _, _)| end);
         results
     }
 
@@ -695,42 +835,62 @@ impl BeamPool {
 }
 
 /// Extend every source partial with every tile option of the group
-/// `layer..end`.  Returns the new partials and the transitions examined.
+/// `layer..end`.  Returns the new partials, the transitions examined, and
+/// the extensions skipped because their committed cross words already
+/// overflow the TDM frame (cross words only grow, so such a prefix can
+/// never complete feasibly).
 fn expand_layer_end(
     arena: &IntervalArena,
     budget: u32,
+    comm: Option<&CommPrune>,
     layer: usize,
     end: usize,
-    sources: &[(u32, u32, f64, bool)],
-) -> (Vec<Partial>, u64) {
+    sources: &[Source],
+) -> (Vec<Partial>, u64, u64) {
     let options = arena.options(layer, end);
     let mut next = Vec::new();
     let mut count = 0u64;
-    for &(node, tiles_used, power, feasible) in sources {
+    let mut comm_skipped = 0u64;
+    for &source in sources {
+        let cross = match comm {
+            Some(prune) => {
+                let cross = source.cross + prune.delta(layer, end);
+                if cross > prune.capacity {
+                    comm_skipped += options
+                        .iter()
+                        .take_while(|opt| source.tiles + opt.tiles <= budget)
+                        .count() as u64;
+                    continue;
+                }
+                cross
+            }
+            None => 0,
+        };
         for opt in options {
-            let total = tiles_used + opt.tiles;
+            let total = source.tiles + opt.tiles;
             if total > budget {
                 break;
             }
             count += 1;
             next.push(Partial {
                 tiles: total,
-                power: power + opt.power,
-                feasible: feasible && opt.feasible,
-                parent: node,
+                power: source.power + opt.power,
+                feasible: source.feasible && opt.feasible,
+                cross,
+                parent: source.node,
                 start: layer as u32,
                 end: end as u32,
                 choice: opt.tiles,
             });
         }
     }
-    (next, count)
+    (next, count, comm_skipped)
 }
 
 /// The loop each persistent worker runs: steal one end of the current
 /// layer task, expand it, deposit the result, and wake the coordinator
 /// when the layer is complete.
-fn beam_worker(pool: &BeamPool, arena: &IntervalArena, budget: u32) {
+fn beam_worker(pool: &BeamPool, arena: &IntervalArena, budget: u32, comm: Option<&CommPrune>) {
     loop {
         let (task, index) = {
             let mut state = pool.state.lock().expect("pool lock");
@@ -751,9 +911,10 @@ fn beam_worker(pool: &BeamPool, arena: &IntervalArena, budget: u32) {
             (task, index)
         };
         let end = task.ends[index];
-        let (partials, count) = expand_layer_end(arena, budget, task.layer, end, &task.sources);
+        let (partials, count, skipped) =
+            expand_layer_end(arena, budget, comm, task.layer, end, &task.sources);
         let mut state = pool.state.lock().expect("pool lock");
-        state.results.push((end, partials, count));
+        state.results.push((end, partials, count, skipped));
         state.remaining -= 1;
         if state.remaining == 0 {
             state.task = None;
@@ -768,6 +929,16 @@ fn beam_worker(pool: &BeamPool, arena: &IntervalArena, budget: u32) {
 /// most `width` non-dominated partials.  With `width ≥ budget + 1` the
 /// engine is exact for the best solution and the frontier.
 ///
+/// Under a `comm` spec every partial tracks the cross-column words its
+/// completed groups have already committed: extensions that overflow the
+/// TDM frame are dropped as they form, and the dominance prune keeps the
+/// `(power, cross)` Pareto front per staircase instead of power alone —
+/// so a schedulable-but-pricier prefix is never shadowed by a cheaper
+/// prefix whose completions cannot fit the frame.  The comm prune is
+/// exact (property-tested against the exhaustive engine); width caps
+/// under comm need head-room beyond `budget + 1` since a front may hold
+/// several partials per tile count.
+///
 /// Layer expansions fan out across a *persistent* work-stealing pool (the
 /// structure the exhaustive engine uses): `threads` workers are spawned
 /// once for the whole search and steal `(layer, end)` expansions off a
@@ -775,11 +946,13 @@ fn beam_worker(pool: &BeamPool, arena: &IntervalArena, budget: u32) {
 /// that re-created the pool on every one of a deep graph's layers.
 /// Results merge in end order, so the outcome is bit-identical at any
 /// thread count (property-tested at 1 and 8).
+///
+/// `arena` must have been built for `ctx` with the same `budget` and
+/// `max_group_size` (see [`IntervalArena::build`]).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn beam(
     ctx: &GraphContext,
-    evaluator: &Evaluator,
-    candidates: TileCandidates,
+    arena: &IntervalArena,
     budget: u32,
     max_group_size: usize,
     width: usize,
@@ -789,13 +962,15 @@ pub(crate) fn beam(
     let started = Instant::now();
     let n = ctx.n;
     let width = width.max(1);
-    let arena = IntervalArena::build(ctx, evaluator, candidates, budget, max_group_size);
+    let comm_prune = comm.map(|spec| CommPrune::new(ctx, max_group_size, spec.capacity()));
+    let comm_prune = comm_prune.as_ref();
 
     let mut layers: Vec<Vec<Partial>> = vec![Vec::new(); n + 1];
     layers[0].push(Partial {
         tiles: 0,
         power: 0.0,
         feasible: true,
+        cross: 0,
         parent: NO_NODE,
         start: NO_GROUP,
         end: 0,
@@ -815,14 +990,13 @@ pub(crate) fn beam(
         if workers > 1 {
             for _ in 0..workers {
                 let pool = &pool;
-                let arena = &arena;
-                scope.spawn(move || beam_worker(pool, arena, budget));
+                scope.spawn(move || beam_worker(pool, arena, budget, comm_prune));
             }
         }
 
         for i in 0..n {
             if i > 0 {
-                pruned += prune_layer(&mut layers[i], width);
+                pruned += prune_layer(&mut layers[i], width, comm_prune.is_some());
             }
             if layers[i].is_empty() {
                 continue;
@@ -830,7 +1004,7 @@ pub(crate) fn beam(
             let ends: Vec<usize> = (i + 1..=(i + max_group_size).min(n)).collect();
             let survivors = std::mem::take(&mut layers[i]);
             let sources = materialize_layer(&survivors, &mut nodes);
-            let expansions: Vec<(usize, Vec<Partial>, u64)> = if workers > 1 {
+            let expansions: Vec<(usize, Vec<Partial>, u64, u64)> = if workers > 1 {
                 pool.run_layer(LayerTask {
                     layer: i,
                     ends,
@@ -839,13 +1013,15 @@ pub(crate) fn beam(
             } else {
                 ends.into_iter()
                     .map(|end| {
-                        let (partials, count) = expand_layer_end(&arena, budget, i, end, &sources);
-                        (end, partials, count)
+                        let (partials, count, skipped) =
+                            expand_layer_end(arena, budget, comm_prune, i, end, &sources);
+                        (end, partials, count, skipped)
                     })
                     .collect()
             };
-            for (end, partials, count) in expansions {
+            for (end, partials, count, skipped) in expansions {
                 evaluated += count;
+                comm_pruned += skipped;
                 if end == n {
                     groupings += partials.len() as u64;
                 }
@@ -855,22 +1031,7 @@ pub(crate) fn beam(
         pool.shutdown();
     });
 
-    // Communication prune: drop complete candidates whose grouping's
-    // cross-column traffic cannot fit the TDM frame, *before* the final
-    // dominance prune so an unschedulable candidate can never shadow a
-    // schedulable one at the same tile count.  (Intermediate layers are
-    // pruned on cost alone, so unlike the exhaustive engine the beam is
-    // not exact under `comm` — see `CommSpec`'s docs.)
-    if let Some(comm) = comm {
-        let before = layers[n].len();
-        layers[n].retain(|p| {
-            let (groups, _) = reconstruct_partial(&nodes, p);
-            ctx.grouping_cross_words(&groups) <= comm.capacity()
-        });
-        comm_pruned += (before - layers[n].len()) as u64;
-    }
-
-    pruned += prune_layer(&mut layers[n], width);
+    pruned += prune_layer(&mut layers[n], width, comm_prune.is_some());
     let curve = layers[n]
         .iter()
         .map(|p| {
@@ -1171,8 +1332,9 @@ mod tests {
             let graph = chain(&cycles[..n], &caps);
             let (ctx, evaluator) = context_and_evaluator(&graph);
             let candidates = TileCandidates::PowersOfTwo;
-            let one = beam(&ctx, &evaluator, candidates, budget, n, width, 1, None);
-            let eight = beam(&ctx, &evaluator, candidates, budget, n, width, 8, None);
+            let arena = IntervalArena::build(&ctx, &evaluator, candidates, budget, n);
+            let one = beam(&ctx, &arena, budget, n, width, 1, None);
+            let eight = beam(&ctx, &arena, budget, n, width, 8, None);
             prop_assert_eq!(one.stats.mappings_evaluated, eight.stats.mappings_evaluated);
             prop_assert_eq!(one.stats.groupings_examined, eight.stats.groupings_examined);
             prop_assert_eq!(one.stats.states_pruned, eight.stats.states_pruned);
@@ -1201,8 +1363,9 @@ mod tests {
             let candidates = TileCandidates::PowersOfTwo;
             let (slow_curve, slow_count) =
                 reference::exhaustive(&ctx, &evaluator, candidates, budget, n);
+            let arena = IntervalArena::build(&ctx, &evaluator, candidates, budget, n);
             for threads in [1usize, 8] {
-                let fast = exhaustive(&ctx, &evaluator, candidates, budget, n, threads, None);
+                let fast = exhaustive(&ctx, &arena, budget, n, threads, None);
                 prop_assert_eq!(fast.stats.mappings_evaluated, slow_count);
                 prop_assert_eq!(fast.curve.len(), slow_curve.len());
                 for (a, b) in fast.curve.iter().zip(&slow_curve) {
@@ -1212,6 +1375,63 @@ mod tests {
                     prop_assert_eq!(&a.allocation, &b.allocation);
                 }
             }
+        }
+
+        /// Under a `CommSpec` the comm-aware beam agrees with the
+        /// exhaustive engine: same best feasible power (bit-for-bit),
+        /// same overall minimum power, and emptiness only when every
+        /// grouping overflows the frame.  This pins the exactness of the
+        /// cross-word dominance dimension — the old final-layer-only
+        /// filter could lose the only schedulable prefix to a cheaper
+        /// unschedulable one.
+        #[test]
+        fn beam_comm_prune_agrees_with_exhaustive(
+            cycles in prop::collection::vec(1u64..2_000, 2..7),
+            cap_picks in prop::collection::vec(0usize..6, 2..7),
+            budget in 2u32..24,
+            capacity in 0u64..7,
+        ) {
+            let n = cycles.len().min(cap_picks.len());
+            let caps: Vec<u32> = cap_picks[..n].iter().map(|&i| CAP_CHOICES[i]).collect();
+            let graph = chain(&cycles[..n], &caps);
+            let (ctx, evaluator) = context_and_evaluator(&graph);
+            let candidates = TileCandidates::PowersOfTwo;
+            let comm = Some(CommSpec::new(1, capacity));
+            let arena = IntervalArena::build(&ctx, &evaluator, candidates, budget, n);
+            let full = exhaustive(&ctx, &arena, budget, n, 2, comm);
+            // Width generous enough that the (power, cross) fronts are
+            // never capped: a chain of ≤ 6 unit-token edges has at most
+            // 6 distinct cross values per tile count.
+            let beamed = beam(&ctx, &arena, budget, n, 256, 2, comm);
+            for c in &beamed.curve {
+                prop_assert!(
+                    ctx.grouping_cross_words(&c.groups) <= capacity,
+                    "beam kept an unschedulable grouping {:?}",
+                    c.groups
+                );
+            }
+            prop_assert_eq!(full.curve.is_empty(), beamed.curve.is_empty());
+            let best_feasible = |curve: &[Candidate]| {
+                curve
+                    .iter()
+                    .filter(|c| c.feasible)
+                    .map(|c| c.power_mw)
+                    .fold(f64::INFINITY, f64::min)
+            };
+            let best_any = |curve: &[Candidate]| {
+                curve
+                    .iter()
+                    .map(|c| c.power_mw)
+                    .fold(f64::INFINITY, f64::min)
+            };
+            prop_assert_eq!(
+                best_feasible(&full.curve).to_bits(),
+                best_feasible(&beamed.curve).to_bits()
+            );
+            prop_assert_eq!(
+                best_any(&full.curve).to_bits(),
+                best_any(&beamed.curve).to_bits()
+            );
         }
     }
 
@@ -1224,8 +1444,9 @@ mod tests {
         let (ctx, evaluator) = context_and_evaluator(&graph);
         let (reference_curve, _) =
             reference::exhaustive(&ctx, &evaluator, TileCandidates::All, 16, 4);
+        let arena = IntervalArena::build(&ctx, &evaluator, TileCandidates::All, 16, 4);
         for threads in [1usize, 3, 8] {
-            let fast = exhaustive(&ctx, &evaluator, TileCandidates::All, 16, 4, threads, None);
+            let fast = exhaustive(&ctx, &arena, 16, 4, threads, None);
             assert_eq!(fast.curve.len(), reference_curve.len());
             for (a, b) in fast.curve.iter().zip(&reference_curve) {
                 assert_eq!(a.groups, b.groups, "tie-break grouping differs");
@@ -1241,25 +1462,9 @@ mod tests {
         let (ctx, evaluator) = context_and_evaluator(&graph);
         let budget = 20u32;
         let wide = budget as usize + 1;
-        let full = exhaustive(
-            &ctx,
-            &evaluator,
-            TileCandidates::PowersOfTwo,
-            budget,
-            5,
-            2,
-            None,
-        );
-        let beamed = beam(
-            &ctx,
-            &evaluator,
-            TileCandidates::PowersOfTwo,
-            budget,
-            5,
-            wide,
-            2,
-            None,
-        );
+        let arena = IntervalArena::build(&ctx, &evaluator, TileCandidates::PowersOfTwo, budget, 5);
+        let full = exhaustive(&ctx, &arena, budget, 5, 2, None);
+        let beamed = beam(&ctx, &arena, budget, 5, wide, 2, None);
         // Every beam candidate must be a well-formed contiguous grouping
         // whose allocation sums to its tile count, and the best costs
         // must agree with the exhaustive engine.
@@ -1292,32 +1497,17 @@ mod tests {
         let graph = chain(&[60, 100, 5, 380], &[16, 16, 4, 32]);
         let (ctx, evaluator) = context_and_evaluator(&graph);
         let comm = Some(CommSpec::new(1, 2));
-        let full = exhaustive(
-            &ctx,
-            &evaluator,
-            TileCandidates::PowersOfTwo,
-            24,
-            4,
-            2,
-            comm,
-        );
+        let arena = IntervalArena::build(&ctx, &evaluator, TileCandidates::PowersOfTwo, 24, 4);
+        let full = exhaustive(&ctx, &arena, 24, 4, 2, comm);
         assert!(full.stats.groupings_comm_pruned > 0);
         for c in &full.curve {
             assert!(ctx.grouping_cross_words(&c.groups) <= 2, "{:?}", c.groups);
         }
-        let beamed = beam(
-            &ctx,
-            &evaluator,
-            TileCandidates::PowersOfTwo,
-            24,
-            4,
-            25,
-            2,
-            comm,
-        );
-        // The beam's dominance pruning may discard comm-infeasible
-        // partials for cost reasons before the comm filter sees them, so
-        // only the surviving-curve invariant is guaranteed.
+        let beamed = beam(&ctx, &arena, 24, 4, 25, 2, comm);
+        // The beam tracks committed cross words per partial, so every
+        // surviving candidate fits the frame.  (It need not report comm
+        // prunes here: a dominated overflowing prefix can fall to the
+        // (power, cross) front before its extensions are ever attempted.)
         for c in &beamed.curve {
             assert!(ctx.grouping_cross_words(&c.groups) <= 2, "{:?}", c.groups);
         }
@@ -1332,17 +1522,70 @@ mod tests {
         assert_eq!(best(&full.curve).to_bits(), best(&beamed.curve).to_bits());
         // A frame with no capacity prunes everything once fusion cannot
         // hide all the traffic (groups of at most 2 leave ≥1 cross word).
-        let none = exhaustive(
+        let arena2 = IntervalArena::build(&ctx, &evaluator, TileCandidates::PowersOfTwo, 24, 2);
+        let none = exhaustive(&ctx, &arena2, 24, 2, 2, Some(CommSpec::new(1, 0)));
+        assert!(none.curve.is_empty());
+        assert!(none.stats.groupings_comm_pruned > 0);
+        let none_beam = beam(&ctx, &arena2, 24, 2, 25, 2, Some(CommSpec::new(1, 0)));
+        assert!(none_beam.curve.is_empty());
+        assert!(none_beam.stats.groupings_comm_pruned > 0);
+    }
+
+    #[test]
+    fn shared_eval_cache_serves_repeat_arena_builds() {
+        let graph = chain(&[60, 100, 5, 380], &[16, 16, 4, 32]);
+        let (ctx, evaluator) = context_and_evaluator(&graph);
+        let mut cache = EvalCache::default();
+        let first = IntervalArena::build_with_cache(
             &ctx,
             &evaluator,
             TileCandidates::PowersOfTwo,
             24,
-            2,
-            2,
-            Some(CommSpec::new(1, 0)),
+            4,
+            &mut cache,
         );
-        assert!(none.curve.is_empty());
-        assert!(none.stats.groupings_comm_pruned > 0);
+        let hits_after_first = cache.hits();
+        let keys_after_first = cache.distinct_keys();
+        let second = IntervalArena::build_with_cache(
+            &ctx,
+            &evaluator,
+            TileCandidates::PowersOfTwo,
+            24,
+            4,
+            &mut cache,
+        );
+        // A rebuild answers every option from the cache and evaluates
+        // nothing new.
+        assert_eq!(
+            cache.hits(),
+            hits_after_first + second.option_count() as u64
+        );
+        assert_eq!(cache.distinct_keys(), keys_after_first);
+        for start in 0..ctx.n {
+            for end in 0..=ctx.n {
+                let a = first.options(start, end);
+                let b = second.options(start, end);
+                assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.tiles, y.tiles);
+                    assert_eq!(x.power.to_bits(), y.power.to_bits());
+                    assert_eq!(x.feasible, y.feasible);
+                }
+            }
+        }
+        // A power-of-two budget offers fewer tile counts per interval but
+        // every one of them is a key the cache already holds.
+        let before = cache.hits();
+        let smaller = IntervalArena::build_with_cache(
+            &ctx,
+            &evaluator,
+            TileCandidates::PowersOfTwo,
+            8,
+            4,
+            &mut cache,
+        );
+        assert_eq!(cache.hits(), before + smaller.option_count() as u64);
+        assert_eq!(cache.distinct_keys(), keys_after_first);
     }
 
     #[test]

@@ -142,6 +142,31 @@ impl InterconnectModel {
         energy_j / slots.frame_seconds * 1e3
     }
 
+    /// Energy, in joules, of moving one word across a chip-to-chip bridge
+    /// lane rated at `energy_pj_per_word` picojoules per word.  Bridges
+    /// are off-die links, so unlike the on-chip buses their energy is a
+    /// per-word rating of the lane rather than a wire-capacitance/voltage
+    /// derivation.
+    pub fn bridge_word_energy_j(&self, energy_pj_per_word: f64) -> f64 {
+        energy_pj_per_word * 1e-12
+    }
+
+    /// Bridge power in milliwatts from a bridge schedule's slot counts —
+    /// the board-level counterpart of [`InterconnectModel::power_mw_slots`].
+    /// Each occupied bridge cycle moves up to one lane-width of words and
+    /// is charged one word's rated energy; idle scheduled cycles cost
+    /// `idle_fraction` of that.  With free idle slots this reduces to
+    /// rated energy × word rate, the calibration the tests pin.
+    pub fn power_mw_bridge_slots(&self, energy_pj_per_word: f64, slots: &SlotActivity) -> f64 {
+        if slots.frame_seconds <= 0.0 {
+            return 0.0;
+        }
+        let word = self.bridge_word_energy_j(energy_pj_per_word);
+        let energy_j = slots.occupied_slots as f64 * word
+            + slots.idle_slots as f64 * word * slots.idle_fraction;
+        energy_j / slots.frame_seconds * 1e3
+    }
+
     /// Bus power in milliwatts expressed the way the paper's equation does:
     /// `P = a · C_total · V² · f`, where `a` is the fraction of the full bus
     /// switching per cycle and `f` is the bus clock in MHz.
@@ -258,6 +283,34 @@ mod tests {
         // Degenerate frames cost nothing instead of dividing by zero.
         let empty = SlotActivity::per_iteration(10, 0, 0.0);
         assert_eq!(m.power_mw_slots(&b, &empty, 0.9), 0.0);
+    }
+
+    #[test]
+    fn bridge_slot_power_with_free_idle_slots_matches_the_rated_energy() {
+        // Calibration: `occupied` bridge cycles per iteration at rate R,
+        // each charged the lane's per-word rating, equals rated energy ×
+        // cycle rate when idle cycles are free.
+        let m = InterconnectModel::new(&tech());
+        let rate = 16e6;
+        let pj = 2.5;
+        let slots = SlotActivity::per_iteration(4, 20, rate);
+        let by_slots = m.power_mw_bridge_slots(pj, &slots);
+        let by_rate = m.bridge_word_energy_j(pj) * 4.0 * rate * 1e3;
+        assert!(
+            (by_slots - by_rate).abs() < 1e-12 * by_rate.max(1.0),
+            "{by_slots} vs {by_rate}"
+        );
+        // Idle cycles add energy in proportion to their fraction.
+        let leaky = slots.with_idle_fraction(0.2);
+        let p1 = m.power_mw_bridge_slots(pj, &leaky);
+        assert!(
+            (p1 / by_slots - 2.0).abs() < 1e-9,
+            "ratio {}",
+            p1 / by_slots
+        );
+        // Degenerate frames cost nothing instead of dividing by zero.
+        let empty = SlotActivity::per_iteration(4, 0, 0.0);
+        assert_eq!(m.power_mw_bridge_slots(pj, &empty), 0.0);
     }
 
     #[test]

@@ -38,12 +38,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod board;
+
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
 use synchro_bus::{BusError, BusOp, SegmentConfig, SegmentedBus};
 use synchro_sdf::{Mapping, SdfError, SdfGraph};
+
+pub use board::{
+    board_flows, compile_board, BoardRoute, BoardSpec, BridgeFlow, BridgeLane, BridgeSchedule,
+    BridgeSlot,
+};
 
 /// Errors raised while deriving flows or compiling a TDM schedule.
 #[derive(Debug, Clone, PartialEq)]
@@ -94,6 +101,19 @@ pub enum RouteError {
         /// Total slots per period across all segment groups of all splits.
         capacity: u64,
     },
+    /// The inter-chip traffic between one directed chip pair exceeds the
+    /// word capacity of the bridge lanes joining them (capacity 0 when the
+    /// board has no lane in that direction).
+    BridgeOversubscribed {
+        /// Producing chip.
+        from_chip: usize,
+        /// Consuming chip.
+        to_chip: usize,
+        /// Words per iteration that needed a bridge slot.
+        demand: u64,
+        /// Words per period the direction's lanes can carry.
+        capacity: u64,
+    },
     /// The schedule replay hit the bus model's per-cycle validation (only
     /// reachable through a hand-built, ill-formed schedule).
     Bus(BusError),
@@ -126,6 +146,16 @@ impl fmt::Display for RouteError {
                 f,
                 "schedule period overflow: {demand} words per iteration exceed the frame's \
                  {capacity} slots"
+            ),
+            RouteError::BridgeOversubscribed {
+                from_chip,
+                to_chip,
+                demand,
+                capacity,
+            } => write!(
+                f,
+                "bridge {from_chip}→{to_chip} is oversubscribed: {demand} words per iteration \
+                 exceed the direction's {capacity} word slots per period"
             ),
             RouteError::Bus(e) => write!(f, "bus validation: {e}"),
         }
@@ -269,8 +299,13 @@ impl BusSpec {
         Self::new(columns, splits, period, segments)
     }
 
-    /// Whole bus cycles per graph iteration at the given clocks.
-    fn clock_period(bus_frequency_hz: f64, iteration_rate_hz: f64) -> Result<u64, RouteError> {
+    /// Whole bus cycles per graph iteration at the given clocks — also
+    /// how a board's bridge period is derived from the bridge clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::InvalidSpec`] for non-positive or NaN rates.
+    pub fn clock_period(bus_frequency_hz: f64, iteration_rate_hz: f64) -> Result<u64, RouteError> {
         if bus_frequency_hz <= 0.0
             || iteration_rate_hz <= 0.0
             || bus_frequency_hz.is_nan()

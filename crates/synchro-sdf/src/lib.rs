@@ -406,6 +406,10 @@ pub struct Placement {
     /// (1.0 = perfect speedup; lower values model the communication and
     /// load-imbalance losses the paper's Figure 7 explores).
     pub efficiency: f64,
+    /// Which chip of a board hosts the placement.  Single-chip mappings
+    /// (built via [`Mapping::place`]) always use chip 0; board mappings
+    /// assign chips via [`Mapping::place_on_chip`].
+    pub chip: usize,
 }
 
 /// One problem found by [`Mapping::validate`]: a placement that the lenient
@@ -438,6 +442,16 @@ pub enum MappingViolation {
         /// The requested efficiency.
         efficiency: f64,
     },
+    /// A placement targets a chip the board does not have (reported by
+    /// [`Mapping::validate_on_board`]).
+    ChipOutOfRange {
+        /// The actor placed on the missing chip.
+        actor: ActorId,
+        /// The chip the placement requested.
+        chip: usize,
+        /// Number of chips on the board.
+        chips: usize,
+    },
 }
 
 impl fmt::Display for MappingViolation {
@@ -461,6 +475,11 @@ impl fmt::Display for MappingViolation {
             MappingViolation::EfficiencyOutOfRange { actor, efficiency } => write!(
                 f,
                 "actor {} has parallel efficiency {efficiency} outside (0, 1]",
+                actor.0
+            ),
+            MappingViolation::ChipOutOfRange { actor, chip, chips } => write!(
+                f,
+                "actor {} is placed on chip {chip} but the board has {chips} chip(s)",
                 actor.0
             ),
         }
@@ -498,10 +517,26 @@ impl Mapping {
     /// values while computing, for backwards compatibility, but compilers
     /// should reject them loudly instead.)
     pub fn place(&mut self, actor: ActorId, tiles: u32, efficiency: f64) -> &mut Self {
+        self.place_on_chip(0, actor, tiles, efficiency)
+    }
+
+    /// Place `actor` on `tiles` tiles of board chip `chip`.
+    ///
+    /// Identical to [`Mapping::place`] except that the placement is
+    /// chip-qualified; use [`Mapping::validate_on_board`] to check the chip
+    /// index against a board size.
+    pub fn place_on_chip(
+        &mut self,
+        chip: usize,
+        actor: ActorId,
+        tiles: u32,
+        efficiency: f64,
+    ) -> &mut Self {
         self.placements.push(Placement {
             actor,
             tiles,
             efficiency,
+            chip,
         });
         self
     }
@@ -509,6 +544,17 @@ impl Mapping {
     /// The placements made so far.
     pub fn placements(&self) -> &[Placement] {
         &self.placements
+    }
+
+    /// Number of chips the mapping spans: one more than the highest chip
+    /// index referenced by any placement (at least 1, so an empty or purely
+    /// single-chip mapping reports a board of one).
+    pub fn chips(&self) -> usize {
+        self.placements
+            .iter()
+            .map(|p| p.chip + 1)
+            .max()
+            .unwrap_or(1)
     }
 
     /// Check every placement against `graph` and report the problems the
@@ -537,6 +583,24 @@ impl Mapping {
                 violations.push(MappingViolation::EfficiencyOutOfRange {
                     actor: p.actor,
                     efficiency: p.efficiency,
+                });
+            }
+        }
+        violations
+    }
+
+    /// [`Mapping::validate`] plus the board dimension: every placement's
+    /// chip index must fall inside a board of `chips` chips.
+    ///
+    /// An empty vector means the mapping is well-formed for that board.
+    pub fn validate_on_board(&self, graph: &SdfGraph, chips: usize) -> Vec<MappingViolation> {
+        let mut violations = self.validate(graph);
+        for p in &self.placements {
+            if p.chip >= chips {
+                violations.push(MappingViolation::ChipOutOfRange {
+                    actor: p.actor,
+                    chip: p.chip,
+                    chips,
                 });
             }
         }
@@ -772,6 +836,35 @@ mod tests {
         m.place(integ, 8, 0.9);
         m.place(comb, 2, 1.0);
         assert!(m.validate(&g).is_empty());
+    }
+
+    #[test]
+    fn place_defaults_to_chip_zero_and_chips_counts_the_span() {
+        let (g, mixer, integ, comb) = ddc_like();
+        let mut m = Mapping::new();
+        m.place(mixer, 8, 1.0);
+        assert_eq!(m.placements()[0].chip, 0);
+        assert_eq!(m.chips(), 1);
+        m.place_on_chip(1, integ, 8, 0.9);
+        m.place_on_chip(1, comb, 2, 1.0);
+        assert_eq!(m.chips(), 2);
+        assert!(m.validate(&g).is_empty());
+        assert_eq!(Mapping::new().chips(), 1);
+    }
+
+    #[test]
+    fn validate_on_board_reports_out_of_range_chips() {
+        let (g, mixer, integ, _) = ddc_like();
+        let mut m = Mapping::new();
+        m.place(mixer, 8, 1.0);
+        m.place_on_chip(3, integ, 8, 0.9);
+        assert!(m.validate_on_board(&g, 4).is_empty());
+        let violations = m.validate_on_board(&g, 2);
+        assert_eq!(violations.len(), 1);
+        assert!(matches!(
+            violations[0],
+            MappingViolation::ChipOutOfRange { actor, chip: 3, chips: 2 } if actor == integ
+        ));
     }
 
     #[test]

@@ -16,10 +16,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod board;
 pub mod chip;
 pub mod column;
 pub mod fast;
 
+pub use board::{Board, BridgeProgram, BridgeTransfer};
 pub use chip::{BusProgram, BusSlot, Chip, ChipStats};
 pub use column::{Column, ColumnConfig, ColumnError, ColumnStats};
 pub use fast::{ColumnBatch, FastTier, FastTierError, FiringProfile};

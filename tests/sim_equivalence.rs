@@ -322,3 +322,95 @@ fn bus_program_tail_drain_is_bit_identical() {
     assert_eq!(horizontal.word_transfers, 40 * 3, "all 40 periods drained");
     assert_eq!(horizontal.scheduled_slots, 40 * 5);
 }
+
+/// Compile a chip-qualified mapping as a board and execute it on both
+/// tiers, requiring bit-identical outcomes: equal board execution
+/// reports, equal per-chip statistics and bridge counters on success,
+/// equal error values on failure.
+fn check_board_tiers(
+    graph: &SdfGraph,
+    mapping: &Mapping,
+    options: &MapperOptions,
+) -> Result<(), TestCaseError> {
+    let board_config = mapper::BoardConfig::default();
+    let compile_on = |tier| {
+        let options = MapperOptions {
+            tier,
+            ..options.clone()
+        };
+        mapper::compile_board(graph, mapping, &options, &board_config)
+    };
+    let interpreted = compile_on(ExecutionTier::Interpreted);
+    let fast = compile_on(ExecutionTier::Fast);
+    let (mut interpreted, mut fast) = match (interpreted, fast) {
+        (Ok(i), Ok(f)) => (i, f),
+        (i, f) => {
+            prop_assert_eq!(format!("{:?}", i.err()), format!("{:?}", f.err()));
+            return Ok(());
+        }
+    };
+    match (interpreted.execute(), fast.execute()) {
+        (Ok(a), Ok(b)) => {
+            prop_assert_eq!(&a, &b, "board execution reports diverge");
+            prop_assert_eq!(
+                interpreted.board().bridge_stats(),
+                fast.board().bridge_stats()
+            );
+            prop_assert_eq!(interpreted.board().lane_words(), fast.board().lane_words());
+            prop_assert_eq!(
+                interpreted.board().reference_cycles(),
+                fast.board().reference_cycles()
+            );
+            for chip in 0..interpreted.board().chips() {
+                let ic = interpreted.board().chip(chip).unwrap();
+                let fc = fast.board().chip(chip).unwrap();
+                prop_assert_eq!(ic.stats(), fc.stats(), "chip {} stats diverge", chip);
+                prop_assert_eq!(ic.column_stats(), fc.column_stats());
+                prop_assert_eq!(ic.horizontal_stats(), fc.horizontal_stats());
+            }
+            prop_assert!(fast.board().all_halted());
+            // A rerun covers the already-halted entry path on both tiers.
+            let a2 = interpreted.execute();
+            let b2 = fast.execute();
+            prop_assert_eq!(format!("{:?}", a2), format!("{:?}", b2));
+            prop_assert_eq!(
+                interpreted.board().bridge_stats(),
+                fast.board().bridge_stats()
+            );
+        }
+        (a, b) => {
+            prop_assert_eq!(format!("{:?}", a.err()), format!("{:?}", b.err()));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    /// The board driver's fast path must be bit-identical to the
+    /// interpreted co-advance for chains split across two chips at an
+    /// arbitrary boundary, including the bridge counters.
+    #[test]
+    fn board_tiers_are_bit_identical_on_split_chains(
+        cycles in prop::collection::vec(1u64..60, 2..5),
+        cap_picks in prop::collection::vec(0usize..3, 2..5),
+        rate_picks in prop::collection::vec(0usize..4, 1..4),
+        iterations in 1u64..5,
+        split_pick in 0usize..8,
+    ) {
+        let n = cycles.len().min(cap_picks.len()).min(rate_picks.len() + 1);
+        let caps: Vec<u32> = cap_picks[..n].iter().map(|&i| [1u32, 2, 4][i]).collect();
+        let rates: Vec<(u64, u64)> = rate_picks[..n - 1].iter().map(|&i| RATE_CHOICES[i]).collect();
+        let (graph, single) = chain(&cycles[..n], &caps, &rates);
+        prop_assume!(single.validate(&graph).is_empty());
+        let split = 1 + split_pick % (n - 1);
+        let mut mapping = Mapping::new();
+        for (i, p) in single.placements().iter().enumerate() {
+            mapping.place_on_chip(usize::from(i >= split), p.actor, p.tiles, p.efficiency);
+        }
+        let options = MapperOptions {
+            iterations,
+            ..MapperOptions::default()
+        };
+        check_board_tiers(&graph, &mapping, &options)?;
+    }
+}
