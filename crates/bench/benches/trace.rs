@@ -1,0 +1,53 @@
+//! Criterion benchmarks of the tracing substrate's hot-path cost: the
+//! interpreted column loop with no trace handle touched, with a disabled
+//! [`NullSink`] (which [`Trace::to`] collapses to the zero-cost off
+//! state), and with a live [`MetricsSink`] absorbing every event.  The
+//! first two must be indistinguishable — that is the zero-cost-when-
+//! disabled contract `bench --bin sim` gates end to end.
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use synchro_isa::assemble;
+use synchro_sim::{Column, ColumnConfig};
+use synchro_simd::RateMatcher;
+use synchro_trace::{MetricsSink, NullSink, Trace};
+
+/// A ZORM-throttled column: every step crosses the rate-matcher window
+/// logic, the densest instrumentation point in `Column::step`.
+fn build_column(trace: Trace) -> Column {
+    let program = assemble("loop 500, 2\nli r0, 1\nadd r1, r1, r0\nhalt\n").unwrap();
+    let mut config = ColumnConfig::isca2004().with_divider(3);
+    config.rate_matcher = Some(RateMatcher {
+        period: 7,
+        stalls: 2,
+    });
+    let mut column = Column::new(config, program, None);
+    column.set_trace(trace, 0, 0);
+    column
+}
+
+fn bench_column_step(c: &mut Criterion) {
+    c.bench_function("column_run_untraced", |b| {
+        b.iter(|| {
+            let mut column = build_column(Trace::off());
+            black_box(column.run(10_000).unwrap())
+        })
+    });
+    c.bench_function("column_run_null_sink", |b| {
+        b.iter(|| {
+            let mut column = build_column(Trace::to(Arc::new(NullSink)));
+            black_box(column.run(10_000).unwrap())
+        })
+    });
+    c.bench_function("column_run_metrics_sink", |b| {
+        let sink = Arc::new(MetricsSink::default());
+        b.iter(|| {
+            let mut column = build_column(Trace::to(sink.clone()));
+            black_box(column.run(10_000).unwrap())
+        })
+    });
+}
+
+criterion_group!(trace, bench_column_step);
+criterion_main!(trace);

@@ -364,6 +364,8 @@ fn main() {
         concat!(
             "{{\n",
             "  \"bench\": \"explorer\",\n",
+            "  \"schema_version\": 2,\n",
+            "  \"generated_at\": \"{}\",\n",
             "  \"quick\": {},\n",
             "  \"host_cores\": {},\n",
             "  \"threads_resolved\": {},\n",
@@ -376,6 +378,7 @@ fn main() {
             "  ]\n",
             "}}\n"
         ),
+        synchroscalar::trace::iso8601_utc_now(),
         quick,
         cores,
         multi_threads,

@@ -10,7 +10,16 @@
 //! frames so CI can smoke the path without timing noise; the committed
 //! record is the full run, which must show at least a 100× speedup on
 //! the million-frame 802.11a trace.
+//!
+//! The bench also guards the observability substrate: it times the
+//! interpreted DDC with a [`NullSink`] installed against the default
+//! disabled trace and requires the overhead below
+//! [`MAX_TRACE_OVERHEAD_PCT`] (full runs only).  Pass `--trace <path>`
+//! to additionally record a short traced DDC run and write its Chrome
+//! `trace_event` timeline to `<path>` (load it in Perfetto or
+//! `chrome://tracing`).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use bench::rule;
@@ -20,6 +29,7 @@ use synchroscalar::mapper::{
     ExecutionTier, MapperOptions,
 };
 use synchroscalar::sdf::{ActorId, Mapping, SdfGraph};
+use synchroscalar::trace::{chrome::chrome_trace, NullSink, RingBufferSink, Trace};
 
 /// Measurement repetitions per tier; the fastest run is recorded (least
 /// scheduler interference).
@@ -28,6 +38,10 @@ const RUNS: usize = 3;
 /// The acceptance floor: the fast tier must beat the interpreter by at
 /// least this factor on the full million-frame 802.11a trace.
 const REQUIRED_SPEEDUP: f64 = 100.0;
+
+/// Largest tolerated throughput regression from an installed-but-disabled
+/// trace sink, in percent of the interpreted DDC run time.
+const MAX_TRACE_OVERHEAD_PCT: f64 = 2.0;
 
 struct AppRow {
     application: &'static str,
@@ -185,6 +199,68 @@ fn measure_board(frames: u64) -> AppRow {
     }
 }
 
+/// Repetitions per arm for the NullSink overhead measurement.  The two
+/// arms run identical code (see below), so the gate is pure
+/// noise-rejection: more repetitions than the tier benchmarks, with the
+/// arms interleaved so background load hits both equally, and min-of-N
+/// so one clean repetition per arm suffices.
+const OVERHEAD_RUNS: usize = 7;
+
+/// Time the interpreted DDC twice — default disabled trace vs an
+/// installed [`NullSink`] — and return `(off_seconds, null_seconds,
+/// overhead_pct)`.  [`Trace::to`] collapses disabled sinks, so the two
+/// arms must be indistinguishable; the gate catches any change that lets
+/// a disabled sink reach the hot loops.
+fn measure_trace_overhead(
+    graph: &SdfGraph,
+    mapping: &Mapping,
+    rate: f64,
+    frames: u64,
+) -> (f64, f64, f64) {
+    let time_once = |trace: &Trace| -> f64 {
+        let options = MapperOptions {
+            iterations: frames,
+            iteration_rate_hz: rate,
+            tier: ExecutionTier::Interpreted,
+            trace: trace.clone(),
+            ..MapperOptions::default()
+        };
+        let mut compiled =
+            mapper::compile(graph, mapping, &options).expect("reference mapping compiles");
+        let start = Instant::now();
+        compiled.execute().expect("reference trace executes");
+        start.elapsed().as_secs_f64()
+    };
+    let off_trace = Trace::off();
+    let null_trace = Trace::to(Arc::new(NullSink));
+    let (mut off, mut null) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..OVERHEAD_RUNS {
+        off = off.min(time_once(&off_trace));
+        null = null.min(time_once(&null_trace));
+    }
+    let overhead_pct = (null / off.max(1e-12) - 1.0) * 100.0;
+    (off, null, overhead_pct)
+}
+
+/// Record a short traced interpreted DDC run and write its Chrome
+/// `trace_event` timeline to `path`.
+fn export_timeline(graph: &SdfGraph, mapping: &Mapping, rate: f64, path: &str) {
+    let ring = Arc::new(RingBufferSink::new(1 << 22));
+    let options = MapperOptions {
+        iterations: 8,
+        iteration_rate_hz: rate,
+        tier: ExecutionTier::Interpreted,
+        trace: Trace::to(ring.clone()),
+        ..MapperOptions::default()
+    };
+    let mut compiled =
+        mapper::compile(graph, mapping, &options).expect("reference mapping compiles");
+    compiled.execute().expect("reference trace executes");
+    assert_eq!(ring.dropped(), 0, "trace ring overflowed");
+    std::fs::write(path, chrome_trace(&ring.events())).expect("write Chrome trace");
+    println!("Chrome trace timeline written to {path}");
+}
+
 fn row_json(row: &AppRow) -> String {
     format!(
         concat!(
@@ -210,7 +286,12 @@ fn row_json(row: &AppRow) -> String {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .map(|i| args.get(i + 1).expect("--trace requires a path").clone());
     let frames: u64 = if quick { 1_000 } else { 1_000_000 };
 
     let ddc = mapper::ddc_reference();
@@ -260,7 +341,26 @@ fn main() {
     rows.push(board_row);
     rule(92);
 
+    // Disabled-path trace overhead: an installed NullSink must not slow
+    // the interpreted DDC measurably.
+    let overhead_frames = frames / 40;
+    let (trace_off_seconds, trace_null_seconds, trace_overhead_pct) =
+        measure_trace_overhead(&ddc.0, &ddc.1, ddc.2, overhead_frames);
+    println!(
+        "NullSink overhead (interpreted ddc, {} frames): off {:.4}s, null {:.4}s, {:+.2}%",
+        overhead_frames, trace_off_seconds, trace_null_seconds, trace_overhead_pct
+    );
+
+    if let Some(path) = &trace_path {
+        export_timeline(&ddc.0, &ddc.1, ddc.2, path);
+    }
+
     if !quick {
+        assert!(
+            trace_overhead_pct < MAX_TRACE_OVERHEAD_PCT,
+            "disabled trace sink must cost under {MAX_TRACE_OVERHEAD_PCT}% on the interpreted \
+             DDC trace, measured {trace_overhead_pct:+.2}%"
+        );
         let wifi_row = rows
             .iter()
             .find(|r| r.application == "802.11a")
@@ -278,17 +378,32 @@ fn main() {
         concat!(
             "{{\n",
             "  \"bench\": \"sim\",\n",
+            "  \"schema_version\": 2,\n",
+            "  \"generated_at\": \"{}\",\n",
             "  \"quick\": {},\n",
             "  \"runs_per_tier\": {},\n",
             "  \"required_speedup\": {:.1},\n",
+            "  \"trace_overhead\": {{\n",
+            "    \"frames\": {},\n",
+            "    \"off_seconds\": {:.6},\n",
+            "    \"null_sink_seconds\": {:.6},\n",
+            "    \"overhead_pct\": {:.3},\n",
+            "    \"max_overhead_pct\": {:.1}\n",
+            "  }},\n",
             "  \"applications\": [\n",
             "{}\n",
             "  ]\n",
             "}}\n"
         ),
+        synchroscalar::trace::iso8601_utc_now(),
         quick,
         RUNS,
         REQUIRED_SPEEDUP,
+        overhead_frames,
+        trace_off_seconds,
+        trace_null_seconds,
+        trace_overhead_pct,
+        MAX_TRACE_OVERHEAD_PCT,
         rows_json.join(",\n"),
     );
     std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");

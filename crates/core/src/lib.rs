@@ -74,6 +74,17 @@ pub use synchro_explore as explorer;
 /// chip's horizontal bus from it.
 pub use synchro_route as router;
 
+/// Structured tracing and metrics: the [`trace::TraceSink`] event stream
+/// every layer emits into (column firings, divider ticks, ZORM stalls,
+/// bus/bridge slots, router decisions, explorer phases), the
+/// [`trace::MetricsSink`] counter registry, and the Chrome
+/// `trace_event` / utilization-histogram exporters
+/// ([`trace::chrome`], [`trace::report`]).  Install a sink via
+/// [`mapper::MapperOptions::trace`] or
+/// [`explorer::ExplorerConfig`]'s `trace` field; the default
+/// [`trace::Trace::off`] handle is zero-cost.
+pub use synchro_trace as trace;
+
 // Re-export the substrate crates so downstream users need only one
 // dependency.
 pub use synchro_apps as apps;

@@ -53,6 +53,8 @@ use synchro_sim::{
     ColumnError, ColumnStats,
 };
 use synchro_simd::RateMatcher;
+use synchro_trace::report::TrackUtilization;
+use synchro_trace::{Trace, TraceEvent};
 
 use crate::pipeline::ApplicationReport;
 
@@ -243,6 +245,13 @@ pub struct MapperOptions {
     pub bus_segments: Option<SegmentConfig>,
     /// Execution strategy [`CompiledChip::execute`] uses.
     pub tier: ExecutionTier,
+    /// Trace handle compilation and execution events flow through.  The
+    /// default [`Trace::off`] is zero-cost; install a sink (e.g. a
+    /// [`synchro_trace::RingBufferSink`]) to observe mapper/router compile
+    /// phases and, through the compiled chip or board, the simulation
+    /// event stream (divider ticks, ZORM stalls, bus/bridge slots,
+    /// per-column firing totals).
+    pub trace: Trace,
 }
 
 impl Default for MapperOptions {
@@ -257,6 +266,7 @@ impl Default for MapperOptions {
             bus_frequency_hz: 400e6,
             bus_segments: None,
             tier: ExecutionTier::Interpreted,
+            trace: Trace::off(),
         }
     }
 }
@@ -374,6 +384,14 @@ pub struct ExecutionReport {
     /// Reserved horizontal-bus slots that carried a word — the other
     /// numerator.
     pub occupied_bus_slots: u64,
+    /// Full per-column execution counters over this run (cycles,
+    /// broadcasts, branch and rate-match stalls, DOU word transfers), in
+    /// column order.  `column_cycles` and `intra_column_words` above are
+    /// projections of these kept for compatibility.
+    pub column_stats: Vec<ColumnStats>,
+    /// Per-column segmented vertical-bus statistics over this run
+    /// (scheduled vs occupied slots, word transfers), in column order.
+    pub column_bus: Vec<BusStats>,
 }
 
 impl ExecutionReport {
@@ -466,6 +484,7 @@ struct StatsSnapshot {
     words: u64,
     firings: Vec<u64>,
     columns: Vec<ColumnStats>,
+    column_bus: Vec<BusStats>,
     bus: BusStats,
 }
 
@@ -559,6 +578,7 @@ fn snapshot_of(chip: &Chip, plans: &[ColumnPlan]) -> StatsSnapshot {
         words: chip.stats().horizontal_transfers,
         firings: measured_firings_of(chip, plans),
         columns: chip.column_stats(),
+        column_bus: chip.column_bus_stats(),
         bus: chip.horizontal_stats().unwrap_or_default(),
     }
 }
@@ -572,6 +592,11 @@ fn report_of(
     start: &StatsSnapshot,
 ) -> ExecutionReport {
     let firings = measured_firings_of(chip, plans);
+    let firing_counts: Vec<u64> = firings
+        .iter()
+        .zip(&start.firings)
+        .map(|(now, before)| now - before)
+        .collect();
     let expected: Vec<u64> = plans
         .iter()
         .map(|p| p.firings_per_iteration * iterations)
@@ -580,32 +605,51 @@ fn report_of(
         .iter()
         .map(|e| e.words_per_iteration * iterations)
         .sum();
-    let column_stats = chip.column_stats();
+    let column_stats: Vec<ColumnStats> = chip
+        .column_stats()
+        .iter()
+        .zip(&start.columns)
+        .map(|(now, before)| now.delta(before))
+        .collect();
+    let column_bus: Vec<BusStats> = chip
+        .column_bus_stats()
+        .iter()
+        .zip(&start.column_bus)
+        .map(|(now, before)| now.delta(before))
+        .collect();
     let bus = chip.horizontal_stats().unwrap_or_default();
+    // Firing totals are derived from the broadcast counters at report
+    // time on both tiers (the interpreter has no per-firing hook), so
+    // interpreted and fast runs emit the identical batched event.
+    let trace = chip.trace();
+    if trace.enabled() {
+        let chip_id = chip.chip_id();
+        let tick = chip.stats().reference_cycles;
+        for (column, &count) in firing_counts.iter().enumerate() {
+            if count > 0 {
+                trace.emit(|| TraceEvent::ColumnFiring {
+                    chip: chip_id,
+                    column: column as u32,
+                    tick,
+                    count,
+                });
+            }
+        }
+    }
     ExecutionReport {
         iterations,
         reference_ticks: chip.stats().reference_cycles - start.ticks,
         hyperperiod,
-        firing_counts: firings
-            .iter()
-            .zip(&start.firings)
-            .map(|(now, before)| now - before)
-            .collect(),
+        firing_counts,
         expected_firings: expected,
         simulated_horizontal_words: chip.stats().horizontal_transfers - start.words,
         predicted_horizontal_words: predicted_words,
-        column_cycles: column_stats
-            .iter()
-            .zip(&start.columns)
-            .map(|(now, before)| now.cycles - before.cycles)
-            .collect(),
-        intra_column_words: column_stats
-            .iter()
-            .zip(&start.columns)
-            .map(|(now, before)| now.bus_word_transfers - before.bus_word_transfers)
-            .collect(),
+        column_cycles: column_stats.iter().map(|s| s.cycles).collect(),
+        intra_column_words: column_stats.iter().map(|s| s.bus_word_transfers).collect(),
         scheduled_bus_slots: bus.scheduled_slots - start.bus.scheduled_slots,
         occupied_bus_slots: bus.occupied_slots - start.bus.occupied_slots,
+        column_stats,
+        column_bus,
     }
 }
 
@@ -688,6 +732,8 @@ pub fn compile_board(
     options: &MapperOptions,
     board: &BoardConfig,
 ) -> Result<CompiledBoard, MapperError> {
+    let trace = &options.trace;
+    let _compile_span = trace.span("mapper.compile_board");
     let chips_n = mapping.chips();
     // Reject zero-tile, over-parallel and unknown-actor placements loudly
     // instead of letting the analytic accessors silently reshape them.
@@ -770,6 +816,9 @@ pub fn compile_board(
         sim_board.add_chip(Chip::new());
         parts.push(BoardChipParts::default());
     }
+    // Stamp every chip (and, transitively, every column added below) with
+    // the trace handle and its board-chip identity.
+    sim_board.set_trace(trace.clone());
     let mut columns_on_chip = vec![0usize; chips_n];
     let mut drain_budget: u64 = hyperperiod; // one extra window for halt observation
     for (i, (p, &(slots, w))) in mapping.placements().iter().zip(&work).enumerate() {
@@ -937,7 +986,7 @@ pub fn compile_board(
         board.bridge_energy_pj_per_word,
         bridge_period,
     )?;
-    let route = synchro_route::compile_board(graph, mapping, &board_spec)?;
+    let route = synchro_route::compile_board_traced(graph, mapping, &board_spec, trace)?;
 
     // Drive each simulated chip's horizontal bus from its schedule: one
     // chip-level bus program whose period is the global hyperperiod, with
@@ -1059,6 +1108,40 @@ impl CompiledChip {
     /// counters (every issue slot of a firing is a broadcast).
     pub fn measured_firings(&self) -> Vec<u64> {
         measured_firings_of(&self.chip, &self.plans)
+    }
+
+    /// Per-track utilization rows of one run's [`ExecutionReport`] — the
+    /// input [`synchro_trace::report::histogram`] renders: one row per
+    /// column (useful cycles over executed cycles, branch and ZORM stalls
+    /// excluded from busy) plus the horizontal bus (occupied over
+    /// scheduled TDM slots).
+    pub fn utilization(&self, report: &ExecutionReport) -> Vec<TrackUtilization> {
+        let mut tracks: Vec<TrackUtilization> = report
+            .column_stats
+            .iter()
+            .enumerate()
+            .map(|(i, stats)| {
+                let name = self.plans.get(i).map_or("?", |p| p.name.as_str());
+                let divider = self.plans.get(i).map_or(1, |p| p.clock_divider);
+                TrackUtilization {
+                    label: format!("col{i} {name} (\u{f7}{divider})"),
+                    busy: stats.cycles - stats.branch_stalls - stats.rate_match_stalls,
+                    total: stats.cycles,
+                    detail: format!(
+                        "{} firings, {} stall cycles",
+                        report.firing_counts.get(i).copied().unwrap_or(0),
+                        stats.branch_stalls + stats.rate_match_stalls,
+                    ),
+                }
+            })
+            .collect();
+        tracks.push(TrackUtilization {
+            label: "horizontal bus".to_owned(),
+            busy: report.occupied_bus_slots,
+            total: report.scheduled_bus_slots,
+            detail: format!("{} words", report.simulated_horizontal_words),
+        });
+        tracks
     }
 
     /// Run the chip to completion.  Horizontal-bus traffic is driven

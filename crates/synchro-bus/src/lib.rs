@@ -202,6 +202,25 @@ impl BusStats {
         self.scheduled_slots += delta.scheduled_slots * times;
         self.occupied_slots += delta.occupied_slots * times;
     }
+
+    /// The counter-wise difference `self - earlier` — the traffic that
+    /// occurred between two snapshots (execution reporting uses this to
+    /// attribute per-window bus activity).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is not actually an earlier
+    /// snapshot of the same monotonically growing counters.
+    #[must_use]
+    pub fn delta(&self, earlier: &BusStats) -> BusStats {
+        BusStats {
+            active_cycles: self.active_cycles - earlier.active_cycles,
+            word_transfers: self.word_transfers - earlier.word_transfers,
+            deliveries: self.deliveries - earlier.deliveries,
+            scheduled_slots: self.scheduled_slots - earlier.scheduled_slots,
+            occupied_slots: self.occupied_slots - earlier.occupied_slots,
+        }
+    }
 }
 
 /// A column's segmented vertical bus.

@@ -52,6 +52,7 @@ use std::fmt;
 
 use synchro_power::{AreaModel, Technology};
 use synchro_sdf::{ActorId, Mapping, MappingViolation, SdfError, SdfGraph};
+use synchro_trace::Trace;
 
 mod model;
 mod pareto;
@@ -372,6 +373,11 @@ pub struct ExplorerConfig {
     /// itself ignores the field — single-chip exploration is the board
     /// path's size-1 special case.
     pub board: Option<BoardSearch>,
+    /// Trace handle the search reports into: phase spans
+    /// (`explore.plan` / `explore.arena` / `explore.search`) and
+    /// engine-qualified registry counters mirroring [`SearchStats`].
+    /// Disabled by default — the search pays nothing for it.
+    pub trace: Trace,
 }
 
 impl ExplorerConfig {
@@ -390,6 +396,7 @@ impl ExplorerConfig {
             comm: None,
             voltage_policy: VoltagePolicy::PerColumn,
             board: None,
+            trace: Trace::off(),
         }
     }
 
@@ -587,17 +594,64 @@ impl Exploration {
 /// Returns [`ExplorerError`] for unanalyzable graphs, impossible budgets,
 /// or an exhausted search space.
 pub fn explore(graph: &SdfGraph, config: &ExplorerConfig) -> Result<Exploration, ExplorerError> {
-    let ctx = GraphContext::new(graph)?;
-    let plan = plan_search(graph, &ctx, config)?;
-    let evaluator = Evaluator::new(&config.tech, config.iteration_rate_hz, config.efficiency);
-    let arena = search::IntervalArena::build(
-        &ctx,
-        &evaluator,
-        config.candidates,
-        config.tile_budget,
-        plan.max_group_size,
-    );
-    run_search(graph, config, &ctx, &evaluator, &arena, &plan, config.comm)
+    let trace = &config.trace;
+    let (ctx, plan, evaluator) = {
+        let _span = trace.span("explore.plan");
+        let ctx = GraphContext::new(graph)?;
+        let plan = plan_search(graph, &ctx, config)?;
+        let evaluator = Evaluator::new(&config.tech, config.iteration_rate_hz, config.efficiency);
+        (ctx, plan, evaluator)
+    };
+    let arena = {
+        let _span = trace.span("explore.arena");
+        search::IntervalArena::build(
+            &ctx,
+            &evaluator,
+            config.candidates,
+            config.tile_budget,
+            plan.max_group_size,
+        )
+    };
+    let result = {
+        let _span = trace.span("explore.search");
+        run_search(graph, config, &ctx, &evaluator, &arena, &plan, config.comm)
+    };
+    if let Ok(exploration) = &result {
+        // Unify the ad-hoc SearchStats counters into the metrics registry,
+        // qualified by the engine that produced them.
+        let s = &exploration.stats;
+        let keys = if plan.use_beam.is_some() {
+            [
+                ("explore.beam.mappings_evaluated", s.mappings_evaluated),
+                ("explore.beam.groupings_examined", s.groupings_examined),
+                ("explore.beam.states_pruned", s.states_pruned),
+                (
+                    "explore.beam.groupings_comm_pruned",
+                    s.groupings_comm_pruned,
+                ),
+            ]
+        } else {
+            [
+                (
+                    "explore.exhaustive.mappings_evaluated",
+                    s.mappings_evaluated,
+                ),
+                (
+                    "explore.exhaustive.groupings_examined",
+                    s.groupings_examined,
+                ),
+                ("explore.exhaustive.states_pruned", s.states_pruned),
+                (
+                    "explore.exhaustive.groupings_comm_pruned",
+                    s.groupings_comm_pruned,
+                ),
+            ]
+        };
+        for (name, delta) in keys {
+            trace.counter(name, delta);
+        }
+    }
+    result
 }
 
 /// The resolved engine choice of one exploration: how large groups may

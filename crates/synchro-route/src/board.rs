@@ -10,7 +10,7 @@
 //! the single-chip schedule — the legacy path is a thin wrapper over this
 //! one, which the equivalence tests pin bit for bit.
 
-use crate::{compile_flows, BusSpec, ColumnFlow, RouteError, RouteSchedule};
+use crate::{BusSpec, ColumnFlow, RouteError, RouteSchedule};
 use synchro_sdf::{Mapping, SdfGraph};
 
 /// One directed chip-to-chip bridge lane.
@@ -448,6 +448,35 @@ pub fn compile_board(
     mapping: &Mapping,
     spec: &BoardSpec,
 ) -> Result<BoardRoute, RouteError> {
+    compile_board_traced(graph, mapping, spec, &synchro_trace::Trace::off())
+}
+
+/// [`compile_board`] with observability: a `route.compile_board` phase
+/// span, per-chip [`TraceEvent`](synchro_trace::TraceEvent) route slots, a
+/// `route.bridge_slots` counter for the bridge packing, and a structured
+/// reject event on failure.
+///
+/// # Errors
+///
+/// Exactly those of [`compile_board`].
+pub fn compile_board_traced(
+    graph: &SdfGraph,
+    mapping: &Mapping,
+    spec: &BoardSpec,
+    trace: &synchro_trace::Trace,
+) -> Result<BoardRoute, RouteError> {
+    let _span = trace.span("route.compile_board");
+    let result = compile_board_inner(graph, mapping, spec, trace);
+    crate::reject_on_err(trace, &result);
+    result
+}
+
+fn compile_board_inner(
+    graph: &SdfGraph,
+    mapping: &Mapping,
+    spec: &BoardSpec,
+    trace: &synchro_trace::Trace,
+) -> Result<BoardRoute, RouteError> {
     let (intra, bridge_flows) = board_flows(graph, mapping)?;
     if intra.len() > spec.chips.len() {
         return Err(RouteError::InvalidSpec {
@@ -457,7 +486,7 @@ pub fn compile_board(
     let mut chips = Vec::with_capacity(spec.chips.len());
     for (chip, bus) in spec.chips.iter().enumerate() {
         let flows = intra.get(chip).map(Vec::as_slice).unwrap_or(&[]);
-        chips.push(compile_flows(flows, bus)?);
+        chips.push(crate::compile_flows_inner(flows, bus, trace)?);
     }
 
     // Fast fail per directed chip pair: total words must fit the
@@ -527,6 +556,7 @@ pub fn compile_board(
             remaining -= words;
         }
     }
+    trace.counter("route.bridge_slots", slots.len() as u64);
     let bridge = BridgeSchedule {
         lanes: spec.lanes.clone(),
         period: spec.bridge_period,

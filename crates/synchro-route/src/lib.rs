@@ -46,10 +46,11 @@ use std::fmt;
 
 use synchro_bus::{BusError, BusOp, SegmentConfig, SegmentedBus};
 use synchro_sdf::{Mapping, SdfError, SdfGraph};
+use synchro_trace::{Trace, TraceEvent};
 
 pub use board::{
-    board_flows, compile_board, BoardRoute, BoardSpec, BridgeFlow, BridgeLane, BridgeSchedule,
-    BridgeSlot,
+    board_flows, compile_board, compile_board_traced, BoardRoute, BoardSpec, BridgeFlow,
+    BridgeLane, BridgeSchedule, BridgeSlot,
 };
 
 /// Errors raised while deriving flows or compiling a TDM schedule.
@@ -158,6 +159,24 @@ impl fmt::Display for RouteError {
                  exceed the direction's {capacity} word slots per period"
             ),
             RouteError::Bus(e) => write!(f, "bus validation: {e}"),
+        }
+    }
+}
+
+impl RouteError {
+    /// A stable machine-readable code naming the variant — what a
+    /// [`TraceEvent::RouteReject`] and structured log lines carry, so
+    /// tooling can classify rejections without parsing `Display` text.
+    pub fn code(&self) -> &'static str {
+        match self {
+            RouteError::Sdf(_) => "sdf",
+            RouteError::BadPlacement { .. } => "bad_placement",
+            RouteError::InvalidSpec { .. } => "invalid_spec",
+            RouteError::Unreachable { .. } => "unreachable",
+            RouteError::OversubscribedSegment { .. } => "oversubscribed_segment",
+            RouteError::PeriodOverflow { .. } => "period_overflow",
+            RouteError::BridgeOversubscribed { .. } => "bridge_oversubscribed",
+            RouteError::Bus(_) => "bus",
         }
     }
 }
@@ -521,7 +540,38 @@ pub fn compile(
     mapping: &Mapping,
     spec: &BusSpec,
 ) -> Result<RouteSchedule, RouteError> {
-    compile_flows(&column_flows(graph, mapping)?, spec)
+    compile_traced(graph, mapping, spec, &Trace::off())
+}
+
+/// [`compile`] with observability: wraps the compile in a
+/// `route.compile` phase span, emits one [`TraceEvent::RouteSlot`] per
+/// placed TDM slot, and a [`TraceEvent::RouteReject`] carrying the
+/// structured error code and context on failure.
+///
+/// # Errors
+///
+/// Exactly those of [`compile`].
+pub fn compile_traced(
+    graph: &SdfGraph,
+    mapping: &Mapping,
+    spec: &BusSpec,
+    trace: &Trace,
+) -> Result<RouteSchedule, RouteError> {
+    let _span = trace.span("route.compile");
+    let result =
+        column_flows(graph, mapping).and_then(|flows| compile_flows_inner(&flows, spec, trace));
+    reject_on_err(trace, &result);
+    result
+}
+
+/// Emit a [`TraceEvent::RouteReject`] when `result` is an error.
+fn reject_on_err<T>(trace: &Trace, result: &Result<T, RouteError>) {
+    if let Err(e) = result {
+        trace.emit(|| TraceEvent::RouteReject {
+            code: e.code(),
+            detail: e.to_string(),
+        });
+    }
 }
 
 /// Cursor state of one electrically connected segment group on one split.
@@ -552,6 +602,32 @@ struct GroupLane {
 /// * [`RouteError::InvalidSpec`] — a flow references a column outside the
 ///   spec.
 pub fn compile_flows(flows: &[ColumnFlow], spec: &BusSpec) -> Result<RouteSchedule, RouteError> {
+    compile_flows_inner(flows, spec, &Trace::off())
+}
+
+/// [`compile_flows`] with observability: a `route.compile_flows` phase
+/// span, one [`TraceEvent::RouteSlot`] per placed slot and a
+/// [`TraceEvent::RouteReject`] on failure.
+///
+/// # Errors
+///
+/// Exactly those of [`compile_flows`].
+pub fn compile_flows_traced(
+    flows: &[ColumnFlow],
+    spec: &BusSpec,
+    trace: &Trace,
+) -> Result<RouteSchedule, RouteError> {
+    let _span = trace.span("route.compile_flows");
+    let result = compile_flows_inner(flows, spec, trace);
+    reject_on_err(trace, &result);
+    result
+}
+
+pub(crate) fn compile_flows_inner(
+    flows: &[ColumnFlow],
+    spec: &BusSpec,
+    trace: &Trace,
+) -> Result<RouteSchedule, RouteError> {
     for f in flows {
         if f.from >= spec.columns || f.to >= spec.columns {
             return Err(RouteError::InvalidSpec {
@@ -630,6 +706,14 @@ pub fn compile_flows(flows: &[ColumnFlow], spec: &BusSpec) -> Result<RouteSchedu
                 });
             }
             let words = remaining.min(free);
+            trace.emit(|| TraceEvent::RouteSlot {
+                split: lanes[lane].split as u32,
+                cycle: lanes[lane].cursor,
+                from: flow.from as u32,
+                to: flow.to as u32,
+                words,
+                edge: flow.edge as u64,
+            });
             slots.push(TdmSlot {
                 split: lanes[lane].split,
                 cycle: lanes[lane].cursor,
@@ -749,6 +833,45 @@ mod tests {
         // On one broadcast split the flows serialize back to back.
         assert_eq!(schedule.slots()[0].cycle, 0);
         assert_eq!(schedule.slots()[1].cycle, 4);
+    }
+
+    #[test]
+    fn traced_compile_emits_spans_slots_and_rejects() {
+        use std::sync::Arc;
+        use synchro_trace::RingBufferSink;
+
+        // Success path: span + one RouteSlot per placed slot.
+        let (g, m) = ddc_like();
+        let ring = Arc::new(RingBufferSink::new(256));
+        let trace = Trace::to(ring.clone());
+        let spec = BusSpec::broadcast(3, 1, 16).unwrap();
+        let schedule = compile_traced(&g, &m, &spec, &trace).unwrap();
+        let events = ring.events();
+        assert!(events.contains(&TraceEvent::PhaseBegin {
+            phase: "route.compile"
+        }));
+        assert!(events.contains(&TraceEvent::PhaseEnd {
+            phase: "route.compile"
+        }));
+        let placed = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::RouteSlot { .. }))
+            .count();
+        assert_eq!(placed, schedule.slots().len());
+
+        // Failure path: a structured reject with the variant code.
+        let ring = Arc::new(RingBufferSink::new(256));
+        let trace = Trace::to(ring.clone());
+        let tight = BusSpec::broadcast(3, 1, 6).unwrap();
+        let err = compile_traced(&g, &m, &tight, &trace).unwrap_err();
+        assert_eq!(err.code(), "period_overflow");
+        assert!(ring.events().iter().any(|e| matches!(
+            e,
+            TraceEvent::RouteReject {
+                code: "period_overflow",
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -15,6 +15,7 @@
 use crate::chip::Chip;
 use crate::column::ColumnError;
 use synchro_bus::BusStats;
+use synchro_trace::{Trace, TraceEvent};
 
 /// One scheduled transfer of a [`BridgeProgram`]: `words` words over
 /// bridge lane `lane` from a column of `from_chip` to a column of
@@ -122,6 +123,7 @@ pub struct Board {
     bridge: BusStats,
     lane_words: Vec<u64>,
     reference_cycles: u64,
+    trace: Trace,
 }
 
 impl Board {
@@ -131,9 +133,28 @@ impl Board {
     }
 
     /// Add a chip; returns its index.
-    pub fn add_chip(&mut self, chip: Chip) -> usize {
+    pub fn add_chip(&mut self, mut chip: Chip) -> usize {
+        let index = self.chips.len();
+        if self.trace.enabled() {
+            chip.set_trace(self.trace.clone(), index as u32);
+        }
         self.chips.push(chip);
-        self.chips.len() - 1
+        index
+    }
+
+    /// Install a trace sink on the board and every chip (and hence column)
+    /// it holds; chips added later inherit it, stamped with their board
+    /// chip index.
+    pub fn set_trace(&mut self, trace: Trace) {
+        self.trace = trace;
+        for (index, chip) in self.chips.iter_mut().enumerate() {
+            chip.set_trace(self.trace.clone(), index as u32);
+        }
+    }
+
+    /// The trace handle events flow through (disabled by default).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
     }
 
     /// Number of chips.
@@ -248,8 +269,18 @@ impl Board {
                 if base.saturating_add(slot.tick) >= end {
                     return;
                 }
-                let (lane, words, cycles) = (slot.lane, slot.words, slot.cycles);
+                let at = base.saturating_add(slot.tick);
+                let (lane, from_chip, to_chip) = (slot.lane, slot.from_chip, slot.to_chip);
+                let (words, cycles) = (slot.words, slot.cycles);
                 self.account_transfer(lane, words, cycles);
+                self.trace.emit(|| TraceEvent::BridgeTransfer {
+                    lane: lane as u32,
+                    from_chip: from_chip as u32,
+                    to_chip: to_chip as u32,
+                    tick: at,
+                    words,
+                    count: 1,
+                });
                 let state = self.bridge_program.as_mut().expect("still loaded");
                 state.next_slot += 1;
             } else if base.saturating_add(state.program.period) <= end {
@@ -295,15 +326,36 @@ impl Board {
         } = state;
         if iteration < program.iterations {
             // Pending slots of the current (possibly partial) period.
+            let base = origin.saturating_add(iteration.saturating_mul(program.period));
             for i in next_slot..program.slots.len() {
                 let slot = program.slots[i].clone();
                 self.account_transfer(slot.lane, slot.words, slot.cycles);
+                self.trace.emit(|| TraceEvent::BridgeTransfer {
+                    lane: slot.lane as u32,
+                    from_chip: slot.from_chip as u32,
+                    to_chip: slot.to_chip as u32,
+                    tick: base.saturating_add(slot.tick),
+                    words: slot.words,
+                    count: 1,
+                });
             }
-            // All remaining full periods, one bulk charge per slot.
+            // All remaining full periods, one bulk charge per slot and one
+            // batched trace event per slot (normalizes to the per-period
+            // replay's one-event-per-transfer stream).
             let full = program.iterations - iteration - 1;
             if full > 0 {
+                let last_base =
+                    origin.saturating_add((program.iterations - 1).saturating_mul(program.period));
                 for slot in program.slots.clone() {
                     self.account_transfer(slot.lane, slot.words * full, slot.cycles * full);
+                    self.trace.emit(|| TraceEvent::BridgeTransfer {
+                        lane: slot.lane as u32,
+                        from_chip: slot.from_chip as u32,
+                        to_chip: slot.to_chip as u32,
+                        tick: last_base.saturating_add(slot.tick),
+                        words: slot.words * full,
+                        count: full,
+                    });
                 }
             }
             self.bridge.scheduled_slots +=

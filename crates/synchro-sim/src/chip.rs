@@ -3,6 +3,7 @@
 
 use crate::column::{Column, ColumnError, ColumnStats};
 use synchro_bus::{BusStats, HorizontalBus};
+use synchro_trace::{Trace, TraceEvent};
 
 /// Chip-level statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -118,6 +119,8 @@ pub struct Chip {
     bus_program: Option<BusProgramState>,
     stats: ChipStats,
     run_loop_iterations: u64,
+    trace: Trace,
+    chip_id: u32,
 }
 
 impl Chip {
@@ -129,14 +132,39 @@ impl Chip {
     /// Add a column; returns its index.  The horizontal bus grows to span
     /// the new column while keeping any traffic statistics it has already
     /// accumulated.
-    pub fn add_column(&mut self, column: Column) -> usize {
+    pub fn add_column(&mut self, mut column: Column) -> usize {
+        let index = self.columns.len();
+        if self.trace.enabled() {
+            column.set_trace(self.trace.clone(), self.chip_id, index as u32);
+        }
         self.columns.push(column);
         let columns = self.columns.len();
         match &mut self.horizontal {
             Some(bus) => bus.resize(columns),
             None => self.horizontal = Some(HorizontalBus::new(columns)),
         }
-        columns - 1
+        index
+    }
+
+    /// Install a trace sink on the chip and every column it holds (columns
+    /// added later inherit it), stamping events with board chip index
+    /// `chip_id`.
+    pub fn set_trace(&mut self, trace: Trace, chip_id: u32) {
+        self.trace = trace;
+        self.chip_id = chip_id;
+        for (index, column) in self.columns.iter_mut().enumerate() {
+            column.set_trace(self.trace.clone(), chip_id, index as u32);
+        }
+    }
+
+    /// The trace handle events flow through (disabled by default).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The board chip index stamped on this chip's events.
+    pub fn chip_id(&self) -> u32 {
+        self.chip_id
     }
 
     /// Number of columns.
@@ -262,9 +290,18 @@ impl Chip {
                 if base.saturating_add(slot.tick) >= end {
                     return Ok(());
                 }
+                let at = base.saturating_add(slot.tick);
                 let (from, to, words) = (slot.from, slot.to.clone(), slot.words);
                 self.horizontal_transfer_words(from, &to, words)
                     .map_err(ColumnError::Bus)?;
+                self.trace.emit(|| TraceEvent::BusSlot {
+                    chip: self.chip_id,
+                    tick: at,
+                    from: from as u32,
+                    to: to.iter().map(|&c| c as u32).collect(),
+                    words,
+                    count: 1,
+                });
                 let state = self.bus_program.as_mut().expect("still loaded");
                 state.next_slot += 1;
             } else if base.saturating_add(state.program.period) <= end {
@@ -327,16 +364,37 @@ impl Chip {
         } = state;
         if iteration < program.iterations {
             // Pending slots of the current (possibly partial) period.
+            let base = origin.saturating_add(iteration.saturating_mul(program.period));
             for slot in &program.slots[next_slot..] {
                 self.horizontal_transfer_words(slot.from, &slot.to, slot.words)
                     .map_err(ColumnError::Bus)?;
+                self.trace.emit(|| TraceEvent::BusSlot {
+                    chip: self.chip_id,
+                    tick: base.saturating_add(slot.tick),
+                    from: slot.from as u32,
+                    to: slot.to.iter().map(|&c| c as u32).collect(),
+                    words: slot.words,
+                    count: 1,
+                });
             }
-            // All remaining full periods, one bulk transfer per slot.
+            // All remaining full periods, one bulk transfer per slot — and
+            // one *batched* trace event per slot, which normalizes to the
+            // same stream the per-period replay emits one event at a time.
             let full = program.iterations - iteration - 1;
             if full > 0 {
+                let last_base =
+                    origin.saturating_add((program.iterations - 1).saturating_mul(program.period));
                 for slot in &program.slots {
                     self.horizontal_transfer_words(slot.from, &slot.to, slot.words * full)
                         .map_err(ColumnError::Bus)?;
+                    self.trace.emit(|| TraceEvent::BusSlot {
+                        chip: self.chip_id,
+                        tick: last_base.saturating_add(slot.tick),
+                        from: slot.from as u32,
+                        to: slot.to.iter().map(|&c| c as u32).collect(),
+                        words: slot.words * full,
+                        count: full,
+                    });
                 }
             }
             // Scheduled (occupied + idle) TDM slots for every period that
@@ -387,6 +445,11 @@ impl Chip {
     /// Per-column statistics.
     pub fn column_stats(&self) -> Vec<ColumnStats> {
         self.columns.iter().map(Column::stats).collect()
+    }
+
+    /// Per-column segmented vertical-bus statistics, in column order.
+    pub fn column_bus_stats(&self) -> Vec<BusStats> {
+        self.columns.iter().map(Column::bus_stats).collect()
     }
 
     /// Advance the reference clock by one tick.  Each column steps only on

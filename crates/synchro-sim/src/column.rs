@@ -8,6 +8,7 @@ use synchro_dou::{Dou, DouProgram};
 use synchro_isa::Program;
 use synchro_simd::{Issue, RateMatcher, SimdController, StallReason};
 use synchro_tile::{ExecError, Tile, TileEvent};
+use synchro_trace::{Trace, TraceEvent};
 
 /// Errors surfaced while simulating a column.
 #[derive(Debug)]
@@ -111,6 +112,21 @@ pub struct ColumnStats {
     pub bus_word_transfers: u64,
 }
 
+impl ColumnStats {
+    /// Counter-wise `self - earlier`, for reporting one run's activity out
+    /// of two lifetime snapshots of the same column.
+    #[must_use]
+    pub fn delta(&self, earlier: &ColumnStats) -> ColumnStats {
+        ColumnStats {
+            cycles: self.cycles - earlier.cycles,
+            broadcasts: self.broadcasts - earlier.broadcasts,
+            branch_stalls: self.branch_stalls - earlier.branch_stalls,
+            rate_match_stalls: self.rate_match_stalls - earlier.rate_match_stalls,
+            bus_word_transfers: self.bus_word_transfers - earlier.bus_word_transfers,
+        }
+    }
+}
+
 /// One column of the chip.
 #[derive(Debug)]
 pub struct Column {
@@ -121,6 +137,9 @@ pub struct Column {
     bus: SegmentedBus,
     segment_config: SegmentConfig,
     stats: ColumnStats,
+    trace: Trace,
+    chip_id: u32,
+    column_id: u32,
 }
 
 impl Column {
@@ -156,7 +175,23 @@ impl Column {
             bus,
             segment_config,
             stats: ColumnStats::default(),
+            trace: Trace::off(),
+            chip_id: 0,
+            column_id: 0,
         }
+    }
+
+    /// Install a trace sink and the `(chip, column)` identity stamped on
+    /// every event the column emits.
+    pub fn set_trace(&mut self, trace: Trace, chip: u32, column: u32) {
+        self.trace = trace;
+        self.chip_id = chip;
+        self.column_id = column;
+    }
+
+    /// The trace handle events flow through (disabled by default).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
     }
 
     /// The column's configuration.
@@ -227,6 +262,38 @@ impl Column {
             return Ok(());
         }
         self.stats.cycles += 1;
+        if self.trace.enabled() {
+            // A live column is stepped on exactly the reference ticks its
+            // divider selects (halt-observing steps are unbilled above),
+            // so the k-th billed cycle lands on reference tick
+            // (k-1) * divider — no reference clock needs threading in.
+            let slot = self.stats.cycles - 1;
+            let tick = slot * u64::from(self.config.clock_divider);
+            if let Some(rate) = self.config.rate_matcher {
+                if slot.is_multiple_of(u64::from(rate.period.max(1))) {
+                    self.trace.emit(|| TraceEvent::RateMatcherRelock {
+                        chip: self.chip_id,
+                        column: self.column_id,
+                        tick,
+                        count: 1,
+                    });
+                }
+            }
+            self.trace.emit(|| TraceEvent::DividerTick {
+                chip: self.chip_id,
+                column: self.column_id,
+                tick,
+                count: 1,
+            });
+            if issue == Issue::Stall(StallReason::RateMatch) {
+                self.trace.emit(|| TraceEvent::ZormStall {
+                    chip: self.chip_id,
+                    column: self.column_id,
+                    tick,
+                    cycles: 1,
+                });
+            }
+        }
         match issue {
             Issue::Broadcast(inst) => {
                 self.stats.broadcasts += 1;

@@ -34,6 +34,7 @@ use crate::column::{Column, ColumnConfig, ColumnError, ColumnStats};
 use synchro_bus::BusStats;
 use synchro_dou::DouProgram;
 use synchro_isa::Program;
+use synchro_trace::TraceEvent;
 
 /// Errors raised while profiling a firing or applying a batch.
 #[derive(Debug)]
@@ -331,6 +332,8 @@ impl FastTier {
     /// bus fault during the drain indicates a broken schedule.
     pub fn run(&self, chip: &mut Chip) -> Result<u64, FastTierError> {
         let plans = self.plan(chip)?;
+        let trace = chip.trace().clone();
+        let chip_id = chip.chip_id();
         let mut final_tick = None;
         for (batch, plan) in self.batches.iter().zip(&plans) {
             let delta = ColumnStats {
@@ -343,6 +346,38 @@ impl FastTier {
             let column = chip
                 .column_mut(plan.column)
                 .expect("column validated by plan()");
+            if trace.enabled() && plan.billed_cycles > 0 {
+                // One batched event per track, normalizing to the stream
+                // the interpreter emits one event per billed cycle: the
+                // k-th billed cycle lands on tick (k-1) × divider, the
+                // rate matcher re-locks once per started period, and every
+                // ZORM stall cycle is billed.
+                let divider = u64::from(column.config().clock_divider.max(1));
+                let last_tick = (plan.billed_cycles - 1) * divider;
+                if let Some(rate) = column.config().rate_matcher {
+                    let relocks = plan.billed_cycles.div_ceil(u64::from(rate.period.max(1)));
+                    trace.emit(|| TraceEvent::RateMatcherRelock {
+                        chip: chip_id,
+                        column: plan.column as u32,
+                        tick: last_tick,
+                        count: relocks,
+                    });
+                }
+                trace.emit(|| TraceEvent::DividerTick {
+                    chip: chip_id,
+                    column: plan.column as u32,
+                    tick: last_tick,
+                    count: plan.billed_cycles,
+                });
+                if plan.rate_match_stalls > 0 {
+                    trace.emit(|| TraceEvent::ZormStall {
+                        chip: chip_id,
+                        column: plan.column as u32,
+                        tick: last_tick,
+                        cycles: plan.rate_match_stalls,
+                    });
+                }
+            }
             column.apply_batched(delta, &batch.profile.bus, batch.firings);
             chip.add_column_cycles(plan.billed_cycles);
             final_tick = final_tick.max(Some(plan.halt_tick));
@@ -488,10 +523,18 @@ mod tests {
         schedule.compile(firings).unwrap()
     }
 
-    /// Interpreted-vs-batched equivalence on one self-contained chip.
+    /// Interpreted-vs-batched equivalence on one self-contained chip,
+    /// including the normalized trace streams both tiers emit.
     fn assert_equivalent(build: impl Fn() -> (Chip, Vec<ColumnBatch>)) {
+        use std::sync::Arc;
+        use synchro_trace::{normalize, RingBufferSink, Trace};
+
         let (mut interpreted, _) = build();
         let (mut batched, batches) = build();
+        let interpreted_ring = Arc::new(RingBufferSink::new(1 << 20));
+        let batched_ring = Arc::new(RingBufferSink::new(1 << 20));
+        interpreted.set_trace(Trace::to(interpreted_ring.clone()), 0);
+        batched.set_trace(Trace::to(batched_ring.clone()), 0);
         // Interpreted reference: run to halt, then drain.
         while !interpreted.all_halted() {
             interpreted.run(1 << 20).unwrap();
@@ -503,6 +546,20 @@ mod tests {
         }
         let predicted = tier.completion_tick(&batched).unwrap();
         tier.run(&mut batched).unwrap();
+        assert_eq!(
+            interpreted_ring.dropped(),
+            0,
+            "ring sized for the whole run"
+        );
+        assert_eq!(
+            normalize(&interpreted_ring.events()),
+            normalize(&batched_ring.events()),
+            "tiers must emit equivalent event streams"
+        );
+        assert!(
+            batched_ring.len() <= interpreted_ring.len(),
+            "the fast tier batches, never inflates"
+        );
         assert_eq!(interpreted.stats(), batched.stats());
         assert_eq!(interpreted.column_stats(), batched.column_stats());
         assert_eq!(interpreted.horizontal_stats(), batched.horizontal_stats());

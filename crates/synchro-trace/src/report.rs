@@ -1,0 +1,122 @@
+//! Plain-text utilization/occupancy histogram report.
+//!
+//! The mapper turns per-column stats into [`TrackUtilization`] rows and
+//! [`histogram`] renders them as ASCII bars — the quick-look companion
+//! to the Chrome-trace timeline.
+
+use std::fmt::Write as _;
+
+/// One row of the utilization report: a track (column, bus, bridge) that
+/// was busy for `busy` of `total` reference-time units.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrackUtilization {
+    /// Track label, e.g. `"chip0/col2 (÷5)"` or `"horizontal bus"`.
+    pub label: String,
+    /// Busy units (billed cycles, occupied slots, transfer cycles).
+    pub busy: u64,
+    /// Capacity in the same units; `0` renders as an idle track.
+    pub total: u64,
+    /// Free-form annotation appended to the row (stall split, words, …).
+    pub detail: String,
+}
+
+impl TrackUtilization {
+    /// Utilization in `[0, 1]` (saturating above 100 %).
+    pub fn ratio(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            (self.busy as f64 / self.total as f64).min(1.0)
+        }
+    }
+}
+
+/// Render `tracks` as an aligned ASCII histogram titled `title`.
+///
+/// ```text
+/// chip0/col0 (÷1)  |########################################| 100.0%  4000/4000
+/// horizontal bus   |################----------------------- |  40.0%  10/25 slots
+/// ```
+pub fn histogram(title: &str, tracks: &[TrackUtilization]) -> String {
+    const WIDTH: usize = 40;
+    let label_width = tracks
+        .iter()
+        .map(|t| t.label.chars().count())
+        .max()
+        .unwrap_or(0)
+        .max(title.chars().count());
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(out, "{}", "=".repeat(label_width + WIDTH + 22));
+    for t in tracks {
+        let filled = (t.ratio() * WIDTH as f64).round() as usize;
+        let bar: String = "#".repeat(filled) + &"-".repeat(WIDTH - filled.min(WIDTH));
+        let pad = label_width - t.label.chars().count();
+        let _ = writeln!(
+            out,
+            "{}{} |{}| {:>5.1}%  {}/{}{}{}",
+            t.label,
+            " ".repeat(pad),
+            bar,
+            t.ratio() * 100.0,
+            t.busy,
+            t.total,
+            if t.detail.is_empty() { "" } else { "  " },
+            t.detail,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scaled_bars() {
+        let tracks = vec![
+            TrackUtilization {
+                label: "col 0".to_owned(),
+                busy: 4,
+                total: 4,
+                detail: String::new(),
+            },
+            TrackUtilization {
+                label: "horizontal bus".to_owned(),
+                busy: 10,
+                total: 25,
+                detail: "slots".to_owned(),
+            },
+            TrackUtilization {
+                label: "idle".to_owned(),
+                busy: 0,
+                total: 0,
+                detail: String::new(),
+            },
+        ];
+        let text = histogram("DDC utilization", &tracks);
+        assert!(text.starts_with("DDC utilization\n"));
+        assert!(text.contains("100.0%"));
+        assert!(text.contains(" 40.0%"));
+        assert!(text.contains("10/25  slots"));
+        assert!(text.contains("   0.0%  0/0"));
+        // All bars are the same width.
+        let widths: Vec<usize> = text
+            .lines()
+            .filter(|l| l.contains('|'))
+            .map(|l| l.split('|').nth(1).unwrap().chars().count())
+            .collect();
+        assert!(widths.iter().all(|w| *w == widths[0]));
+    }
+
+    #[test]
+    fn over_capacity_saturates_at_full() {
+        let t = TrackUtilization {
+            label: "x".into(),
+            busy: 10,
+            total: 4,
+            detail: String::new(),
+        };
+        assert_eq!(t.ratio(), 1.0);
+    }
+}

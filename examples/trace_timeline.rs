@@ -1,0 +1,103 @@
+//! Observing a run: structured tracing, the utilization histogram, and
+//! the Chrome `trace_event` timeline export.
+//!
+//! Compiles the DDC reference mapping with a [`RingBufferSink`] installed,
+//! executes it, prints the per-column/bus utilization histogram, summarizes
+//! the captured event stream, and writes a Chrome-trace JSON timeline
+//! (load it in Perfetto or `chrome://tracing`).  The export is parsed back
+//! with the crate's own JSON reader to prove it is well-formed.
+//!
+//! Run with: `cargo run --example trace_timeline [output.json]`
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use synchroscalar::mapper::{self, ExecutionTier, MapperOptions};
+use synchroscalar::trace::chrome::chrome_trace;
+use synchroscalar::trace::report::histogram;
+use synchroscalar::trace::{json, MetricsSink, RingBufferSink, Trace, TraceEvent};
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "ddc_timeline.json".to_owned());
+
+    // 1. Compile the DDC with a ring-buffer sink capturing every event.
+    let (graph, mapping, rate) = mapper::ddc_reference();
+    let ring = Arc::new(RingBufferSink::new(1 << 22));
+    let options = MapperOptions {
+        iterations: 8,
+        iteration_rate_hz: rate,
+        tier: ExecutionTier::Interpreted,
+        trace: Trace::to(ring.clone()),
+        ..MapperOptions::default()
+    };
+    let mut compiled = mapper::compile(&graph, &mapping, &options).unwrap();
+    let execution = compiled.execute().unwrap();
+    assert_eq!(ring.dropped(), 0, "ring sized for the full run");
+
+    // 2. The quick look: per-column and bus utilization as ASCII bars.
+    println!(
+        "{}",
+        histogram(
+            "DDC utilization (8 iterations)",
+            &compiled.utilization(&execution)
+        )
+    );
+
+    // 3. What the stream contains, by event kind.
+    let events = ring.events();
+    let mut kinds: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for event in &events {
+        let kind = match event {
+            TraceEvent::ColumnFiring { .. } => "column firings",
+            TraceEvent::DividerTick { .. } => "divider ticks",
+            TraceEvent::ZormStall { .. } => "ZORM stalls",
+            TraceEvent::RateMatcherRelock { .. } => "rate-matcher relocks",
+            TraceEvent::BusSlot { .. } => "horizontal-bus slots",
+            TraceEvent::BridgeTransfer { .. } => "bridge transfers",
+            TraceEvent::PhaseBegin { .. } | TraceEvent::PhaseEnd { .. } => "phase markers",
+            TraceEvent::RouteSlot { .. } => "router slot decisions",
+            TraceEvent::RouteReject { .. } => "router rejections",
+            TraceEvent::Counter { .. } => "counters",
+        };
+        *kinds.entry(kind).or_default() += 1;
+    }
+    println!("Captured {} events:", events.len());
+    for (kind, count) in &kinds {
+        println!("  {kind:<24} {count:>8}");
+    }
+
+    // 4. The same run aggregated by a metrics registry instead of a ring.
+    let metrics = Arc::new(MetricsSink::default());
+    let mut again = mapper::compile(
+        &graph,
+        &mapping,
+        &MapperOptions {
+            trace: Trace::to(metrics.clone()),
+            ..options.clone()
+        },
+    )
+    .unwrap();
+    again.execute().unwrap();
+    println!("\nMetrics registry view of the identical run:");
+    for (name, value) in metrics.counters() {
+        println!("  {name:<24} {value:>8}");
+    }
+
+    // 5. Export the Chrome trace_event timeline and prove it round-trips
+    // through the JSON parser.
+    let exported = chrome_trace(&events);
+    let parsed = json::parse(&exported).expect("exported timeline is valid JSON");
+    let rows = parsed
+        .get("traceEvents")
+        .and_then(json::Value::as_arr)
+        .expect("traceEvents array");
+    std::fs::write(&out_path, &exported).unwrap();
+    println!(
+        "\nChrome trace written to {out_path}: {} rows, {} bytes \
+         (open in Perfetto or chrome://tracing)",
+        rows.len(),
+        exported.len()
+    );
+}

@@ -9,9 +9,12 @@
 //! (whose stall pattern is not uniform per firing) and `BusProgram`
 //! tail-drain semantics when a program outlives its columns.
 
+use std::sync::Arc;
+
 use proptest::prelude::*;
 use synchroscalar::mapper::{self, ExecutionTier, MapperOptions};
 use synchroscalar::sdf::{Mapping, SdfGraph};
+use synchroscalar::trace::{normalize, RingBufferSink, Trace};
 
 /// Small produce/consume pairs keep repetition vectors (and hyperperiods)
 /// bounded while still exercising co-prime divider pairs.
@@ -42,12 +45,16 @@ fn check_tiers(
     mapping: &Mapping,
     options: &MapperOptions,
 ) -> Result<(), TestCaseError> {
+    let interpreted_ring = Arc::new(RingBufferSink::new(1 << 20));
+    let fast_ring = Arc::new(RingBufferSink::new(1 << 20));
     let interpreted_options = MapperOptions {
         tier: ExecutionTier::Interpreted,
+        trace: Trace::to(interpreted_ring.clone()),
         ..options.clone()
     };
     let fast_options = MapperOptions {
         tier: ExecutionTier::Fast,
+        trace: Trace::to(fast_ring.clone()),
         ..options.clone()
     };
     let interpreted = mapper::compile(graph, mapping, &interpreted_options);
@@ -86,6 +93,17 @@ fn check_tiers(
             let b2 = fast.execute();
             prop_assert_eq!(format!("{:?}", a2), format!("{:?}", b2));
             prop_assert_eq!(interpreted.chip().stats(), fast.chip().stats());
+            // Both tiers must emit the same event stream modulo batching:
+            // the interpreter records each occurrence, the fast tier one
+            // aggregated event per track; normalization folds both to the
+            // same canonical totals.
+            prop_assert_eq!(interpreted_ring.dropped(), 0, "trace ring overflowed");
+            prop_assert_eq!(
+                normalize(&interpreted_ring.events()),
+                normalize(&fast_ring.events()),
+                "tier trace streams diverge"
+            );
+            prop_assert!(fast_ring.len() <= interpreted_ring.len());
         }
         (a, b) => {
             // The fast tier must reproduce the interpreter's error value
@@ -333,15 +351,18 @@ fn check_board_tiers(
     options: &MapperOptions,
 ) -> Result<(), TestCaseError> {
     let board_config = mapper::BoardConfig::default();
-    let compile_on = |tier| {
+    let interpreted_ring = Arc::new(RingBufferSink::new(1 << 20));
+    let fast_ring = Arc::new(RingBufferSink::new(1 << 20));
+    let compile_on = |tier, ring: &Arc<RingBufferSink>| {
         let options = MapperOptions {
             tier,
+            trace: Trace::to(ring.clone()),
             ..options.clone()
         };
         mapper::compile_board(graph, mapping, &options, &board_config)
     };
-    let interpreted = compile_on(ExecutionTier::Interpreted);
-    let fast = compile_on(ExecutionTier::Fast);
+    let interpreted = compile_on(ExecutionTier::Interpreted, &interpreted_ring);
+    let fast = compile_on(ExecutionTier::Fast, &fast_ring);
     let (mut interpreted, mut fast) = match (interpreted, fast) {
         (Ok(i), Ok(f)) => (i, f),
         (i, f) => {
@@ -376,6 +397,14 @@ fn check_board_tiers(
             prop_assert_eq!(
                 interpreted.board().bridge_stats(),
                 fast.board().bridge_stats()
+            );
+            // Event-stream equivalence extends board-wide: bridge
+            // transfers and every chip's events, modulo batching.
+            prop_assert_eq!(interpreted_ring.dropped(), 0, "trace ring overflowed");
+            prop_assert_eq!(
+                normalize(&interpreted_ring.events()),
+                normalize(&fast_ring.events()),
+                "board tier trace streams diverge"
             );
         }
         (a, b) => {
@@ -412,5 +441,55 @@ proptest! {
             ..MapperOptions::default()
         };
         check_board_tiers(&graph, &mapping, &options)?;
+    }
+}
+
+/// Reference-profile pin: for all six paper applications, the interpreted
+/// and fast tiers must emit bit-identical normalized event streams — and
+/// actually emit something (divider ticks at minimum), so a silently
+/// disconnected trace cannot masquerade as equivalence.
+#[test]
+fn reference_profiles_emit_identical_event_streams_on_both_tiers() {
+    use synchroscalar::apps::{reference_graph, Application};
+
+    for app in Application::all() {
+        let reference = reference_graph(app);
+        let run = |tier| {
+            let ring = Arc::new(RingBufferSink::new(1 << 22));
+            let options = MapperOptions {
+                iterations: 2,
+                iteration_rate_hz: reference.iteration_rate_hz,
+                tier,
+                trace: Trace::to(ring.clone()),
+                ..MapperOptions::default()
+            };
+            let mut compiled = mapper::compile_board(
+                &reference.graph,
+                &reference.mapping,
+                &options,
+                &mapper::BoardConfig::default(),
+            )
+            .unwrap_or_else(|e| panic!("{app:?} failed to compile: {e}"));
+            compiled
+                .execute()
+                .unwrap_or_else(|e| panic!("{app:?} failed to execute: {e}"));
+            assert_eq!(ring.dropped(), 0, "{app:?}: trace ring overflowed");
+            ring.events()
+        };
+        let interpreted = run(ExecutionTier::Interpreted);
+        let fast = run(ExecutionTier::Fast);
+        assert!(
+            !interpreted.is_empty(),
+            "{app:?}: interpreted run emitted no events"
+        );
+        assert_eq!(
+            normalize(&interpreted),
+            normalize(&fast),
+            "{app:?}: tier trace streams diverge"
+        );
+        assert!(
+            fast.len() <= interpreted.len(),
+            "{app:?}: the fast tier must batch, not expand, the stream"
+        );
     }
 }
