@@ -18,17 +18,27 @@
 //! to additionally record a short traced DDC run and write its Chrome
 //! `trace_event` timeline to `<path>` (load it in Perfetto or
 //! `chrome://tracing`).
+//!
+//! The fault path is benched too (always on full runs, on quick runs
+//! only with `--fault`): a fault-injected DDC — the CFIR column killed
+//! mid-run — must reach the same structured [`SimFault`] stall
+//! bit-identically on both tiers, and the degraded-mode summary
+//! (`experiments::degraded_mode_summary`) is timed and its per-profile
+//! recovery shape recorded under the `degraded` key.
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use bench::rule;
 use synchroscalar::apps::{deep_pipeline, DEEP_PIPELINE_RATE_HZ};
+use synchroscalar::experiments::degraded_mode_summary;
 use synchroscalar::mapper::{
     self, BoardConfig, BoardExecutionReport, CompiledBoard, CompiledChip, ExecutionReport,
-    ExecutionTier, MapperOptions,
+    ExecutionTier, FaultedRun, MapperOptions,
 };
+use synchroscalar::power::Technology;
 use synchroscalar::sdf::{ActorId, Mapping, SdfGraph};
+use synchroscalar::sim::{FaultPlan, SimFault};
 use synchroscalar::trace::{chrome::chrome_trace, NullSink, RingBufferSink, Trace};
 
 /// Measurement repetitions per tier; the fastest run is recorded (least
@@ -199,6 +209,120 @@ fn measure_board(frames: u64) -> AppRow {
     }
 }
 
+struct FaultRow {
+    frames: u64,
+    killed_column: usize,
+    kill_tick: u64,
+    stall_tick: u64,
+    watchdog_window: u64,
+    interpreted_seconds: f64,
+    fast_seconds: f64,
+}
+
+/// Kill the DDC's CFIR column two frames into a fault-injected run on
+/// both tiers.  A killed column never halts, so the chip cannot drain:
+/// both tiers must abandon the run with the same structured
+/// [`SimFault::Stalled`] outcome, bit identical, and each tier's wall
+/// clock is recorded.
+fn measure_fault(graph: &SdfGraph, mapping: &Mapping, rate: f64, frames: u64) -> FaultRow {
+    let killed_column = 3; // CFIR
+    let measure_tier = |tier| -> (FaultedRun, f64) {
+        let mut best: Option<(FaultedRun, f64)> = None;
+        for _ in 0..RUNS {
+            let mut compiled = compile_tier(graph, mapping, rate, frames, tier);
+            let mut plan = FaultPlan::none();
+            plan.kill_column(0, killed_column, compiled.hyperperiod() * 2);
+            let start = Instant::now();
+            let run = compiled
+                .execute_faulted(&plan)
+                .expect("faulted runs terminate with a structured outcome");
+            let elapsed = start.elapsed().as_secs_f64();
+            if best.as_ref().is_none_or(|(_, b)| elapsed < *b) {
+                best = Some((run, elapsed));
+            }
+        }
+        best.expect("at least one run")
+    };
+    let (interpreted_run, interpreted_seconds) = measure_tier(ExecutionTier::Interpreted);
+    let (fast_run, fast_seconds) = measure_tier(ExecutionTier::Fast);
+    assert_eq!(
+        interpreted_run, fast_run,
+        "fault-injected runs diverge between tiers"
+    );
+    let SimFault::Stalled {
+        reference_cycles,
+        window,
+    } = interpreted_run
+        .fault
+        .expect("a dead column starves the chip");
+    FaultRow {
+        frames,
+        killed_column,
+        kill_tick: interpreted_run.report.hyperperiod * 2,
+        stall_tick: reference_cycles,
+        watchdog_window: window,
+        interpreted_seconds,
+        fast_seconds,
+    }
+}
+
+struct DegradedSummary {
+    seconds: f64,
+    rows_json: Vec<String>,
+}
+
+/// Time [`degraded_mode_summary`] — the full six-profile + board
+/// degradation sweep — and render each row's recovery shape for the
+/// perf record: how many single-column losses remap at full rate, the
+/// worst rate any loss degrades to, and whether the static fault
+/// rejection held.
+fn measure_degraded() -> DegradedSummary {
+    let start = Instant::now();
+    let rows = degraded_mode_summary(&Technology::isca2004());
+    let seconds = start.elapsed().as_secs_f64();
+    let rows_json = rows
+        .iter()
+        .map(|row| {
+            let full_rate = row.curve.points.iter().filter(|p| p.is_full_rate()).count();
+            let worst = row
+                .curve
+                .points
+                .iter()
+                .min_by(|a, b| a.rate_hz.total_cmp(&b.rate_hz))
+                .expect("curves are non-empty");
+            assert!(
+                row.curve.is_monotone(),
+                "{}: curve not monotone",
+                row.application
+            );
+            assert!(
+                row.fault_rejected,
+                "{}: static rejection failed",
+                row.application
+            );
+            format!(
+                concat!(
+                    "      {{\n",
+                    "        \"application\": \"{}\",\n",
+                    "        \"losses\": {},\n",
+                    "        \"full_rate_remaps\": {},\n",
+                    "        \"worst_rate\": \"{}/{}\",\n",
+                    "        \"infeasible_losses\": {},\n",
+                    "        \"fault_rejected\": true\n",
+                    "      }}"
+                ),
+                row.application,
+                row.curve.points.len(),
+                full_rate,
+                worst.rate_num,
+                worst.rate_den,
+                row.curve.infeasible_losses().len(),
+            )
+        })
+        .collect();
+    DegradedSummary { seconds, rows_json }
+}
+
 /// Repetitions per arm for the NullSink overhead measurement.  The two
 /// arms run identical code (see below), so the gate is pure
 /// noise-rejection: more repetitions than the tier benchmarks, with the
@@ -288,6 +412,8 @@ fn row_json(row: &AppRow) -> String {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    // The fault path always runs on full records; quick runs opt in.
+    let fault = !quick || args.iter().any(|a| a == "--fault");
     let trace_path = args
         .iter()
         .position(|a| a == "--trace")
@@ -351,6 +477,30 @@ fn main() {
         overhead_frames, trace_off_seconds, trace_null_seconds, trace_overhead_pct
     );
 
+    // The fault row (injected CFIR kill, both tiers) and the degraded-
+    // mode sweep.  The faulted run executes nearly the whole trace
+    // before the watchdog verdict, so it uses 1% of the frames.
+    let fault_section = fault.then(|| {
+        let row = measure_fault(&ddc.0, &ddc.1, ddc.2, frames / 100);
+        println!(
+            "Fault injection (ddc, {} frames, column {} killed at tick {}): stalled at tick {}, \
+             interpreted {:.4}s, fast {:.4}s, bit identical",
+            row.frames,
+            row.killed_column,
+            row.kill_tick,
+            row.stall_tick,
+            row.interpreted_seconds,
+            row.fast_seconds
+        );
+        let degraded = measure_degraded();
+        println!(
+            "Degraded-mode sweep ({} profiles): {:.3}s",
+            degraded.rows_json.len(),
+            degraded.seconds
+        );
+        (row, degraded)
+    });
+
     if let Some(path) = &trace_path {
         export_timeline(&ddc.0, &ddc.1, ddc.2, path);
     }
@@ -373,12 +523,54 @@ fn main() {
         );
     }
 
+    // The fault and degraded blocks are `null` when the fault path was
+    // skipped (quick runs without `--fault`), so the schema is stable.
+    let (fault_json, degraded_json) = match &fault_section {
+        Some((row, degraded)) => (
+            format!(
+                concat!(
+                    "{{\n",
+                    "    \"application\": \"ddc\",\n",
+                    "    \"frames\": {},\n",
+                    "    \"killed_column\": {},\n",
+                    "    \"kill_tick\": {},\n",
+                    "    \"stall_tick\": {},\n",
+                    "    \"watchdog_window\": {},\n",
+                    "    \"interpreted_seconds\": {:.6},\n",
+                    "    \"fast_seconds\": {:.6},\n",
+                    "    \"bit_identical\": true\n",
+                    "  }}"
+                ),
+                row.frames,
+                row.killed_column,
+                row.kill_tick,
+                row.stall_tick,
+                row.watchdog_window,
+                row.interpreted_seconds,
+                row.fast_seconds,
+            ),
+            format!(
+                concat!(
+                    "{{\n",
+                    "    \"seconds\": {:.6},\n",
+                    "    \"profiles\": [\n",
+                    "{}\n",
+                    "    ]\n",
+                    "  }}"
+                ),
+                degraded.seconds,
+                degraded.rows_json.join(",\n"),
+            ),
+        ),
+        None => ("null".to_owned(), "null".to_owned()),
+    };
+
     let rows_json: Vec<String> = rows.iter().map(row_json).collect();
     let json = format!(
         concat!(
             "{{\n",
             "  \"bench\": \"sim\",\n",
-            "  \"schema_version\": 2,\n",
+            "  \"schema_version\": 3,\n",
             "  \"generated_at\": \"{}\",\n",
             "  \"quick\": {},\n",
             "  \"runs_per_tier\": {},\n",
@@ -390,6 +582,8 @@ fn main() {
             "    \"overhead_pct\": {:.3},\n",
             "    \"max_overhead_pct\": {:.1}\n",
             "  }},\n",
+            "  \"fault\": {},\n",
+            "  \"degraded\": {},\n",
             "  \"applications\": [\n",
             "{}\n",
             "  ]\n",
@@ -404,6 +598,8 @@ fn main() {
         trace_null_seconds,
         trace_overhead_pct,
         MAX_TRACE_OVERHEAD_PCT,
+        fault_json,
+        degraded_json,
         rows_json.join(",\n"),
     );
     std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");

@@ -13,12 +13,14 @@ use synchro_apps::{
 };
 use synchro_baselines::{table3_reference_rows, Platform, PlatformKind};
 use synchro_explore::{
-    evaluate_mapping, explore, explore_board, BoardSearch, CommSpec, ExplorerConfig,
+    evaluate_mapping, explore, explore_board, explore_degraded, explore_degraded_board,
+    BoardSearch, CommSpec, DegradationCurve, ExplorerConfig, ResourceLoss,
 };
 use synchro_power::{
     AreaModel, BusGeometry, ColumnActivity, ColumnPower, CriticalPath, InterconnectModel,
     LeakageModel, SimdDouArea, SlotActivity, Technology, TileArea, VfCurve,
 };
+use synchro_sdf::FaultSpec;
 
 /// One point of the Figure 5 voltage/frequency curves.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -965,6 +967,146 @@ pub fn board_summary(tech: &Technology) -> Vec<BoardSummaryRow> {
     rows
 }
 
+/// One row of the degraded-mode summary: an application re-explored
+/// with each of its reference columns' tile allocations excluded in
+/// turn, walking the iteration rate down
+/// [`synchro_explore::RATE_LADDER`] until a feasible remap exists (the
+/// board row also severs a bridge direction).
+#[derive(Debug, Clone)]
+pub struct DegradedModeRow {
+    /// Application (or board scenario) name.
+    pub application: String,
+    /// The undegraded target iteration rate (Hz).
+    pub full_rate_hz: f64,
+    /// Columns of the reference mapping (= curve points for the
+    /// single-chip rows, one loss per column).
+    pub columns: usize,
+    /// One [`synchro_explore::DegradationPoint`] per loss, sorted by
+    /// ascending tiles lost — monotone by construction of the ladder.
+    pub curve: DegradationCurve,
+    /// Whether [`mapper::compile`] (or `compile_board` for the board
+    /// row) rejected a mapping landing on the dead hardware with a
+    /// structured fault error — the static half of the fault story.
+    pub fault_rejected: bool,
+}
+
+/// Degraded-mode remapping across the suite: for each of the six
+/// reference applications, lose each reference column's tile
+/// allocation in turn and re-explore at the reference budget, walking
+/// the rate ladder down until feasible; the final row degrades the
+/// two-chip deep-pipeline board (largest per-chip column lost on every
+/// chip, then the forward bridge direction severed).  Every row also
+/// pins the static rejection: compiling the *unchanged* reference
+/// mapping against a [`FaultSpec`] naming dead hardware it uses must
+/// fail with a fault-class error, not silently run.
+pub fn degraded_mode_summary(tech: &Technology) -> Vec<DegradedModeRow> {
+    let mut rows = Vec::new();
+    for app in Application::all() {
+        let reference = reference_graph(app);
+        let profile = ApplicationProfile::of(app);
+        let budget = profile.reference_tiles();
+        let config = ExplorerConfig::new(reference.iteration_rate_hz, budget)
+            .with_tech(tech.clone())
+            .single_actor_columns();
+        let mut losses: Vec<ResourceLoss> = reference
+            .mapping
+            .placements()
+            .iter()
+            .enumerate()
+            .map(|(column, p)| {
+                ResourceLoss::column(
+                    format!("column {column} failed ({} tiles)", p.tiles),
+                    p.tiles,
+                )
+            })
+            .collect();
+        losses.sort_by_key(|l| l.tiles_lost);
+        let curve =
+            explore_degraded(&reference.graph, &config, &losses).expect("reference graphs explore");
+
+        let fault_rejected = {
+            let mut faults = FaultSpec::none();
+            faults.fail_column(0, 0);
+            let options = MapperOptions {
+                iterations: 1,
+                iteration_rate_hz: reference.iteration_rate_hz,
+                tech: tech.clone(),
+                faults,
+                ..MapperOptions::default()
+            };
+            matches!(
+                mapper::compile(&reference.graph, &reference.mapping, &options),
+                Err(e) if e.is_fault()
+            )
+        };
+
+        rows.push(DegradedModeRow {
+            application: profile.application.name().to_owned(),
+            full_rate_hz: reference.iteration_rate_hz,
+            columns: reference.mapping.placements().len(),
+            curve,
+            fault_rejected,
+        });
+    }
+
+    // The two-chip deep-pipeline board: same losses, board-level walker.
+    let graph = deep_pipeline();
+    let rate = DEEP_PIPELINE_RATE_HZ;
+    let defaults = MapperOptions::default();
+    let comm = CommSpec::from_clock(defaults.bus_splits as u32, defaults.bus_frequency_hz, rate);
+    let config = ExplorerConfig::new(rate, 40)
+        .with_tech(tech.clone())
+        .single_actor_columns()
+        .with_comm(comm)
+        .with_board(BoardSearch::new(2));
+    let healthy = explore_board(&graph, &config).expect("the deep pipeline partitions at 2 chips");
+    let biggest_column = healthy
+        .chips
+        .iter()
+        .flat_map(|c| c.solution.columns.iter().map(|col| col.tiles))
+        .max()
+        .unwrap_or(0);
+    let losses = vec![
+        ResourceLoss::column(
+            format!("largest column failed ({biggest_column} tiles, every chip)"),
+            biggest_column,
+        ),
+        ResourceLoss::bridge("bridge 0\u{2192}1 severed", 0),
+    ];
+    let curve =
+        explore_degraded_board(&graph, &config, &losses).expect("board degradation explores");
+
+    let fault_rejected = {
+        let mut faults = FaultSpec::none();
+        faults.fail_lane(0, 1);
+        let options = MapperOptions {
+            iterations: 1,
+            iteration_rate_hz: rate,
+            tech: tech.clone(),
+            faults,
+            ..MapperOptions::default()
+        };
+        matches!(
+            mapper::compile_board(
+                &graph,
+                &healthy.mapping(),
+                &options,
+                &mapper::BoardConfig::default(),
+            ),
+            Err(e) if e.is_fault()
+        )
+    };
+
+    rows.push(DegradedModeRow {
+        application: format!("deep_pipeline ({} chips)", healthy.chip_count()),
+        full_rate_hz: rate,
+        columns: healthy.mapping().placements().len(),
+        curve,
+        fault_rejected,
+    });
+    rows
+}
+
 /// Convenience: the reference report of every application (used by the
 /// examples and the benchmark harness).
 pub fn reference_reports(tech: &Technology) -> Vec<ApplicationReport> {
@@ -1305,5 +1447,64 @@ mod tests {
         // board (2 chips, one 2-word bridge crossing) wins everywhere.
         assert!(rows[1..].iter().all(|r| r.chips == 2));
         assert_eq!(rows[1].bridge_words_per_iteration, 2);
+    }
+
+    #[test]
+    fn degraded_mode_summary_pins_monotone_curves_and_fault_rejections() {
+        let rows = degraded_mode_summary(&tech());
+        // Six reference applications plus the two-chip deep pipeline.
+        assert_eq!(rows.len(), 7);
+        for row in &rows {
+            assert!(
+                row.fault_rejected,
+                "{}: compiling onto dead hardware must be rejected",
+                row.application
+            );
+            assert!(!row.curve.points.is_empty(), "{}", row.application);
+            assert!(
+                row.curve.is_monotone(),
+                "{}: degradation must never buy throughput back: {:#?}",
+                row.application,
+                row.curve.points
+            );
+            assert_eq!(row.curve.full_rate_hz, row.full_rate_hz);
+            for p in &row.curve.points {
+                assert!(p.rate_hz <= row.full_rate_hz);
+                assert!(
+                    !p.feasible || p.power_mw > 0.0,
+                    "{}: feasible points carry a cost: {p:?}",
+                    row.application
+                );
+            }
+        }
+        // Single-chip rows lose each reference column in turn.
+        for row in &rows[..6] {
+            assert_eq!(row.curve.points.len(), row.columns, "{}", row.application);
+        }
+        // Every application survives the loss of its smallest column at
+        // *some* rate — the reference mappings do not sit on a cliff.
+        for row in &rows[..6] {
+            assert!(
+                row.curve.points[0].feasible,
+                "{}: smallest-column loss found no remap: {:?}",
+                row.application, row.curve.points[0]
+            );
+        }
+        // The board row: the largest-column loss and the severed bridge
+        // both find a degraded operating point rather than a dead end
+        // (the bridge loss falls back to fewer chips at a reduced rate).
+        let board = &rows[6];
+        assert!(board.application.starts_with("deep_pipeline"));
+        assert_eq!(board.curve.points.len(), 2);
+        assert!(
+            board.curve.points[0].feasible,
+            "column loss: {:?}",
+            board.curve.points[0]
+        );
+        assert!(
+            board.curve.points[1].feasible,
+            "bridge loss: {:?}",
+            board.curve.points[1]
+        );
     }
 }

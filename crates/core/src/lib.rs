@@ -54,7 +54,7 @@ pub mod pipeline;
 
 pub use mapper::{
     compile as compile_mapping, compile_board, BoardConfig, BoardExecutionReport, CompiledBoard,
-    CompiledChip, CrossValidation, ExecutionTier, MapperOptions,
+    CompiledChip, CrossValidation, ExecutionTier, FaultedBoardRun, FaultedRun, MapperOptions,
 };
 pub use pipeline::{
     evaluate_application, try_evaluate_application, ApplicationReport, BlockReport,

@@ -46,11 +46,11 @@ use synchro_explore::{ExplorerError, ExplorerSolution};
 use synchro_isa::{DataReg, Program, ProgramBuilder};
 use synchro_power::{Technology, VfCurve};
 use synchro_route::{board_flows, BoardRoute, BoardSpec, BusSpec, RouteError, RouteSchedule};
-use synchro_sdf::{ActorId, Mapping, MappingViolation, SdfError, SdfGraph};
+use synchro_sdf::{ActorId, FaultSpec, Mapping, MappingViolation, SdfError, SdfGraph};
 use synchro_sim::fast::{ColumnBatch, FastTier, FastTierError, FiringProfile};
 use synchro_sim::{
     Board, BridgeProgram, BridgeTransfer, BusProgram, BusSlot, Chip, Column, ColumnConfig,
-    ColumnError, ColumnStats,
+    ColumnError, ColumnStats, FaultPlan, FaultTarget, SimFault,
 };
 use synchro_simd::RateMatcher;
 use synchro_trace::report::TrackUtilization;
@@ -112,6 +112,45 @@ pub enum MapperError {
     /// The fast tier could not profile or batch the compiled programs
     /// (non-steady firing pattern, pre-stepped chip, ...).
     FastTier(FastTierError),
+    /// The mapping targets hardware the [`MapperOptions::faults`] spec
+    /// declares dead or degraded: a placement on a failed column or tile,
+    /// a chip with every horizontal-bus split lost, or cross-chip traffic
+    /// whose every bridge lane is down.  Unlike
+    /// [`MapperError::InvalidMapping`] the mapping itself is well-formed —
+    /// remapping around the lost resource (see
+    /// `synchro_explore::explore_degraded`) can recover.
+    Fault {
+        /// The fault-class violations (every one satisfies
+        /// [`MappingViolation::is_fault`]).
+        violations: Vec<MappingViolation>,
+    },
+    /// A run was abandoned with a structured [`SimFault`] outcome: the
+    /// starvation watchdog observed a full hyperperiod window with zero
+    /// column, bus and bridge progress while columns were still live.
+    SimFault(SimFault),
+}
+
+impl MapperError {
+    /// Is this a resource-exhaustion failure — the inputs were well-posed
+    /// but the configured hardware could not host or finish the run?
+    /// Covers the router's and explorer's exhaustion classes plus
+    /// [`MapperError::Incomplete`] (the tick budget is a resource too).
+    pub fn is_resource_exhaustion(&self) -> bool {
+        match self {
+            MapperError::Route(e) => e.is_resource_exhaustion(),
+            MapperError::Explorer(e) => e.is_resource_exhaustion(),
+            MapperError::Incomplete { .. } => true,
+            _ => false,
+        }
+    }
+
+    /// Is this failure caused by dead or degraded hardware (a
+    /// [`FaultSpec`] rejection or a runtime [`SimFault`]) rather than by
+    /// the inputs themselves?  Fault-class errors are the retryable class
+    /// degraded-mode remapping recovers from.
+    pub fn is_fault(&self) -> bool {
+        matches!(self, MapperError::Fault { .. } | MapperError::SimFault(_))
+    }
 }
 
 impl fmt::Display for MapperError {
@@ -140,6 +179,18 @@ impl fmt::Display for MapperError {
                 write!(f, "chip did not halt within {ticks} reference ticks")
             }
             MapperError::FastTier(e) => write!(f, "fast tier: {e}"),
+            MapperError::Fault { violations } => {
+                write!(
+                    f,
+                    "mapping targets failed hardware ({} violation(s))",
+                    violations.len()
+                )?;
+                for v in violations {
+                    write!(f, "; {v}")?;
+                }
+                Ok(())
+            }
+            MapperError::SimFault(e) => write!(f, "hardware fault: {e}"),
         }
     }
 }
@@ -153,6 +204,7 @@ impl Error for MapperError {
             MapperError::Explorer(e) => Some(e),
             MapperError::Route(e) => Some(e),
             MapperError::FastTier(e) => Some(e),
+            MapperError::SimFault(e) => Some(e),
             _ => None,
         }
     }
@@ -243,6 +295,13 @@ pub struct MapperOptions {
     /// whose traffic crosses an open switch are rejected as
     /// [`RouteError::Unreachable`].
     pub bus_segments: Option<SegmentConfig>,
+    /// Hardware the compiler must treat as dead or degraded: failed
+    /// columns/tiles reject any mapping placed on them
+    /// ([`MapperError::Fault`]), lost bus splits shrink the chip's TDM
+    /// capacity, and failed or degraded bridge lanes are removed from (or
+    /// narrowed in) the board spec before routing.  The default
+    /// [`FaultSpec::none`] compiles for healthy silicon.
+    pub faults: FaultSpec,
     /// Execution strategy [`CompiledChip::execute`] uses.
     pub tier: ExecutionTier,
     /// Trace handle compilation and execution events flow through.  The
@@ -265,6 +324,7 @@ impl Default for MapperOptions {
             bus_splits: 1,
             bus_frequency_hz: 400e6,
             bus_segments: None,
+            faults: FaultSpec::none(),
             tier: ExecutionTier::Interpreted,
             trace: Trace::off(),
         }
@@ -562,6 +622,98 @@ impl BoardExecutionReport {
     }
 }
 
+/// The structured outcome of a fault-injected chip run: the per-run
+/// measurements plus whether the run was abandoned on a [`SimFault`]
+/// (`None` means the chip drained to halt — every scheduled fault either
+/// fired without starving it or never fired because the chip halted
+/// first).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultedRun {
+    /// Measurements up to completion or the stall point (bus programs are
+    /// only played out on completion — a stalled chip's schedule has no
+    /// meaningful tail).
+    pub report: ExecutionReport,
+    /// The structured fault outcome, if the run could not complete.
+    pub fault: Option<SimFault>,
+}
+
+/// The structured outcome of a fault-injected board run — the board-wide
+/// analogue of [`FaultedRun`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultedBoardRun {
+    /// Measurements up to completion or the stall point.
+    pub report: BoardExecutionReport,
+    /// The structured fault outcome, if the run could not complete.
+    pub fault: Option<SimFault>,
+}
+
+/// Monotone work counters of one chip, deliberately excluding the
+/// reference clock (which advances even on a fully starved chip): the
+/// starvation watchdog declares a stall when one full hyperperiod window
+/// passes with this signature unchanged while columns are still live.
+/// Any live, non-failed column fires at least once per window (its
+/// divider is at most the hyperperiod) and bills cycles when it does —
+/// ZORM stall slots included — so a live machine can never trip it; a
+/// still-playing bus program advances its scheduled-slot counters and
+/// also counts as progress.
+type ChipProgress = (Vec<ColumnStats>, Vec<BusStats>, Option<BusStats>, usize);
+
+/// Per-chip signatures plus the bridge counters — the board-wide
+/// watchdog signature.
+type BoardProgress = (Vec<ChipProgress>, BusStats, Vec<u64>);
+
+fn chip_progress(chip: &Chip) -> ChipProgress {
+    let halted = (0..chip.columns())
+        .filter(|&i| chip.column(i).is_some_and(Column::is_halted))
+        .count();
+    (
+        chip.column_stats(),
+        chip.column_bus_stats(),
+        chip.horizontal_stats(),
+        halted,
+    )
+}
+
+/// Build the closed-form batch tier for one chip's compiled columns.
+fn build_fast_tier(
+    plans: &[ColumnPlan],
+    blueprints: &[ColumnBlueprint],
+    iterations: u64,
+) -> Result<FastTier, MapperError> {
+    let mut tier = FastTier::new();
+    for (plan, blueprint) in plans.iter().zip(blueprints) {
+        let firings =
+            plan.firings_per_iteration
+                .checked_mul(iterations)
+                .ok_or(MapperError::Overflow {
+                    what: "total firing count",
+                })?;
+        let profile = FiringProfile::measure(
+            &blueprint.config,
+            &blueprint.program,
+            blueprint.dou.as_ref(),
+            plan.sim_cycles_per_firing,
+            firings,
+        )?;
+        tier.push(ColumnBatch {
+            column: plan.column,
+            firings,
+            profile,
+        });
+    }
+    Ok(tier)
+}
+
+fn board_progress(board: &Board) -> BoardProgress {
+    (
+        (0..board.chips())
+            .map(|c| chip_progress(board.chip(c).expect("index in range")))
+            .collect(),
+        board.bridge_stats(),
+        board.lane_words().to_vec(),
+    )
+}
+
 fn measured_firings_of(chip: &Chip, plans: &[ColumnPlan]) -> Vec<u64> {
     plans
         .iter()
@@ -742,6 +894,16 @@ pub fn compile_board(
     let violations = mapping.validate(graph);
     if !violations.is_empty() {
         return Err(MapperError::InvalidMapping { violations });
+    }
+    // A well-formed mapping may still land on dead silicon: reject
+    // placements on failed columns/tiles with the structured fault class
+    // (retryable by remapping) rather than folding them into the
+    // shape-violation class above.
+    let fault_violations = mapping.validate_with_faults(graph, &options.faults);
+    if !fault_violations.is_empty() {
+        return Err(MapperError::Fault {
+            violations: fault_violations,
+        });
     }
     let reps = graph.repetition_vector()?;
     // The schedule doubles as the deadlock check; the buffer bounds and
@@ -960,18 +1122,31 @@ pub fn compile_board(
     // the segment-group rule, and every cross-chip word a bridge-lane
     // cycle — or the mapping is rejected as communication-infeasible.
     let mut chip_specs = Vec::with_capacity(chips_n);
-    for &columns in &columns_on_chip {
+    for (chip_index, &columns) in columns_on_chip.iter().enumerate() {
+        // Reduced bus splits: a chip that lost splits routes on what
+        // survives; a chip that lost them all cannot route at all.
+        let lost = options.faults.splits_lost(chip_index);
+        let splits = options.bus_splits.saturating_sub(lost as usize);
+        if splits == 0 && lost > 0 {
+            return Err(MapperError::Fault {
+                violations: vec![MappingViolation::BusSplitsExhausted {
+                    chip: chip_index,
+                    splits: options.bus_splits as u32,
+                    lost,
+                }],
+            });
+        }
         chip_specs.push(match &options.bus_segments {
             Some(segments) => BusSpec::from_clock_with_segments(
                 columns.max(1),
-                options.bus_splits,
+                splits,
                 options.bus_frequency_hz,
                 options.iteration_rate_hz,
                 segments.clone(),
             )?,
             None => BusSpec::from_clock(
                 columns.max(1),
-                options.bus_splits,
+                splits,
                 options.bus_frequency_hz,
                 options.iteration_rate_hz,
             )?,
@@ -979,13 +1154,39 @@ pub fn compile_board(
     }
     let bridge_period =
         BusSpec::clock_period(board.bridge_frequency_hz, options.iteration_rate_hz)?;
-    let board_spec = BoardSpec::full(
+    let mut board_spec = BoardSpec::full(
         chip_specs,
         board.bridge_width_words,
         board.bridge_latency_cycles,
         board.bridge_energy_pj_per_word,
         bridge_period,
     )?;
+    if !options.faults.is_empty() {
+        // Drop failed lanes and clamp degraded ones, then make sure every
+        // direction cross-chip traffic needs still has a surviving lane —
+        // a severed direction is a fault rejection, not a router error.
+        board_spec = board_spec.apply_faults(&options.faults);
+        let mut down: Vec<MappingViolation> = Vec::new();
+        for flow in &bridge_flows {
+            if flow.words == 0 {
+                continue;
+            }
+            let served = board_spec
+                .lanes()
+                .iter()
+                .any(|l| l.from == flow.from_chip && l.to == flow.to_chip);
+            let violation = MappingViolation::BridgeDown {
+                from_chip: flow.from_chip,
+                to_chip: flow.to_chip,
+            };
+            if !served && !down.contains(&violation) {
+                down.push(violation);
+            }
+        }
+        if !down.is_empty() {
+            return Err(MapperError::Fault { violations: down });
+        }
+    }
     let route = synchro_route::compile_board_traced(graph, mapping, &board_spec, trace)?;
 
     // Drive each simulated chip's horizontal bus from its schedule: one
@@ -1190,13 +1391,43 @@ impl CompiledChip {
         }
         // Drain: the halt-observing tick of every column (and, for
         // ZORM-throttled columns, the stall surplus) lies past the last
-        // iteration window.
+        // iteration window.  The watchdog turns a drain that makes no
+        // progress across a full window into a structured stall instead
+        // of spinning the budget down on a wedged chip.
+        let window = self.hyperperiod.max(1);
         let mut spent = self.chip.stats().reference_cycles - start.ticks;
         while !self.chip.all_halted() && spent < self.drain_budget {
-            self.chip.run(self.hyperperiod.max(1))?;
+            let before = chip_progress(&self.chip);
+            self.chip.run(window)?;
             spent = self.chip.stats().reference_cycles - start.ticks;
+            if !self.chip.all_halted() && chip_progress(&self.chip) == before {
+                let tick = self.chip.stats().reference_cycles;
+                self.chip
+                    .trace()
+                    .emit(|| TraceEvent::FaultStalled { tick, window });
+                return Err(MapperError::SimFault(SimFault::Stalled {
+                    reference_cycles: spent,
+                    window,
+                }));
+            }
         }
         if !self.chip.all_halted() {
+            // Budget exhausted with live columns: one diagnostic window
+            // separates a wedged chip (zero progress — structured stall)
+            // from a merely slow one (Incomplete).  The error value stays
+            // tier-independent; the chip state on error is unspecified.
+            let before = chip_progress(&self.chip);
+            self.chip.run(window)?;
+            if chip_progress(&self.chip) == before {
+                let tick = self.chip.stats().reference_cycles;
+                self.chip
+                    .trace()
+                    .emit(|| TraceEvent::FaultStalled { tick, window });
+                return Err(MapperError::SimFault(SimFault::Stalled {
+                    reference_cycles: tick - start.ticks,
+                    window,
+                }));
+            }
             return Err(MapperError::Incomplete { ticks: spent });
         }
         // The columns can halt before the reference clock crosses the last
@@ -1222,30 +1453,16 @@ impl CompiledChip {
     /// budget check reproduces [`MapperError::Incomplete`] *without*
     /// mutating the chip.
     pub fn execute_fast(&mut self) -> Result<ExecutionReport, MapperError> {
+        if self.chip.any_failed() {
+            // A failed column has no closed form — it executes nothing,
+            // forever — so delegate to the interpreted driver, whose
+            // watchdog classifies the wedge as a structured stall.
+            return self.execute_interpreted();
+        }
         let start = self.snapshot();
 
         if !self.chip.all_halted() {
-            let mut tier = FastTier::new();
-            for (plan, blueprint) in self.plans.iter().zip(&self.blueprints) {
-                let firings = plan
-                    .firings_per_iteration
-                    .checked_mul(self.iterations)
-                    .ok_or(MapperError::Overflow {
-                        what: "total firing count",
-                    })?;
-                let profile = FiringProfile::measure(
-                    &blueprint.config,
-                    &blueprint.program,
-                    blueprint.dou.as_ref(),
-                    plan.sim_cycles_per_firing,
-                    firings,
-                )?;
-                tier.push(ColumnBatch {
-                    column: plan.column,
-                    firings,
-                    profile,
-                });
-            }
+            let tier = build_fast_tier(&self.plans, &self.blueprints, self.iterations)?;
             // The interpreted tier gives up after `iterations` hyperperiod
             // windows plus drain windows up to its budget; reproduce the
             // same Incomplete verdict from the predicted halt tick, before
@@ -1267,6 +1484,166 @@ impl CompiledChip {
             self.chip.finish_bus_program_batched()?;
         }
         Ok(self.report_since(&start))
+    }
+
+    /// Run the chip to completion under a deterministic [`FaultPlan`]:
+    /// each scheduled event fires iff the chip has not fully halted when
+    /// its reference tick is reached (a chip that drains first never sees
+    /// the fault), killing the targeted column mid-run.  A killed column
+    /// executes nothing and bills nothing from its event tick on but
+    /// never reports halted — the paper's static schedules have no
+    /// recovery path — so the run ends either at halt (`fault: None`) or
+    /// when the starvation watchdog observes a full hyperperiod window
+    /// with zero progress (`fault: Some(SimFault::Stalled)`), never by
+    /// wedging.  Bridge-lane events are no-ops on a single chip.
+    ///
+    /// An empty plan delegates to [`CompiledChip::execute`] exactly.  On
+    /// the fast tier, a run whose predicted halt precedes every scheduled
+    /// event keeps the closed-form batch path (no event would ever fire);
+    /// otherwise the run falls back to the interpreted driver, whose
+    /// statistics are bit-identical anyway.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CompiledChip::execute`]; a watchdog stall is *not* an
+    /// error here — it is the structured [`FaultedRun::fault`] outcome.
+    pub fn execute_faulted(&mut self, plan: &FaultPlan) -> Result<FaultedRun, MapperError> {
+        if plan.is_empty() {
+            let report = self.execute()?;
+            return Ok(FaultedRun {
+                report,
+                fault: None,
+            });
+        }
+        match self.tier {
+            ExecutionTier::Interpreted => self.run_faulted(plan, false),
+            ExecutionTier::Fast => self.execute_faulted_fast(plan),
+        }
+    }
+
+    /// [`CompiledChip::execute_faulted`] on the interpreted event-driven
+    /// tier, regardless of the compiled [`ExecutionTier`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`CompiledChip::execute_faulted`].
+    pub fn execute_faulted_interpreted(
+        &mut self,
+        plan: &FaultPlan,
+    ) -> Result<FaultedRun, MapperError> {
+        if plan.is_empty() {
+            let report = self.execute_interpreted()?;
+            return Ok(FaultedRun {
+                report,
+                fault: None,
+            });
+        }
+        self.run_faulted(plan, false)
+    }
+
+    /// [`CompiledChip::execute_faulted`] on the naive tick-by-tick
+    /// driver ([`Chip::run_ticked`]) — the differential-testing
+    /// reference.  Windows are cut at exactly the same reference ticks as
+    /// the event-driven driver's, so the two produce bit-identical
+    /// statistics and outcomes.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CompiledChip::execute_faulted`].
+    pub fn execute_faulted_ticked(&mut self, plan: &FaultPlan) -> Result<FaultedRun, MapperError> {
+        self.run_faulted(plan, true)
+    }
+
+    fn execute_faulted_fast(&mut self, plan: &FaultPlan) -> Result<FaultedRun, MapperError> {
+        if self.chip.all_halted() {
+            let report = self.execute_fast()?;
+            return Ok(FaultedRun {
+                report,
+                fault: None,
+            });
+        }
+        // Predict the un-faulted halt tick: when it strictly precedes the
+        // first scheduled event, the chip halts before any fault could
+        // fire and the closed-form batch run is exact.  (At equality the
+        // event fires first — the halt-observing tick has not executed
+        // yet — so only a strict inequality keeps the fast path.)
+        let tier = build_fast_tier(&self.plans, &self.blueprints, self.iterations)?;
+        let halt_tick = tier.completion_tick(&self.chip)?;
+        let first = plan.first_tick().expect("plan checked non-empty");
+        if halt_tick.is_some_and(|t| t < first) {
+            let report = self.execute_fast()?;
+            return Ok(FaultedRun {
+                report,
+                fault: None,
+            });
+        }
+        // A fault fires mid-run: closed-form batching has no mid-run
+        // point to inject at, so fall back to the interpreted driver
+        // (statistics stay bit-identical across tiers).
+        self.run_faulted(plan, false)
+    }
+
+    /// The shared faulted driver: run in windows, firing due events at
+    /// their exact reference ticks, with the starvation watchdog armed on
+    /// every full window.
+    fn run_faulted(&mut self, plan: &FaultPlan, ticked: bool) -> Result<FaultedRun, MapperError> {
+        let start = self.snapshot();
+        let origin = self.chip.stats().reference_cycles;
+        let window = self.hyperperiod.max(1);
+        let budget = self
+            .iterations
+            .saturating_mul(window)
+            .saturating_add(self.drain_budget);
+        let events = plan.events();
+        let mut next = 0usize;
+        let fault = loop {
+            if self.chip.all_halted() {
+                break None;
+            }
+            let now = self.chip.stats().reference_cycles - origin;
+            while next < events.len() && events[next].at_tick <= now {
+                if let FaultTarget::Column { chip, column } = events[next].target {
+                    if chip == 0 {
+                        self.chip.fail_column(column, origin + events[next].at_tick);
+                    }
+                }
+                // Bridge lanes do not exist on a single chip.
+                next += 1;
+            }
+            if now >= budget {
+                return Err(MapperError::Incomplete { ticks: now });
+            }
+            // Cut the window at the next unfired event so it fires at its
+            // exact tick; watchdog checks only cover full windows.
+            let mut target = now.saturating_add(window);
+            if next < events.len() {
+                target = target.min(events[next].at_tick);
+            }
+            let full_window = target - now == window;
+            let before = chip_progress(&self.chip);
+            if ticked {
+                self.chip.run_ticked(target - now)?;
+            } else {
+                self.chip.run(target - now)?;
+            }
+            if full_window && !self.chip.all_halted() && chip_progress(&self.chip) == before {
+                let tick = self.chip.stats().reference_cycles;
+                self.chip
+                    .trace()
+                    .emit(|| TraceEvent::FaultStalled { tick, window });
+                break Some(SimFault::Stalled {
+                    reference_cycles: tick - origin,
+                    window,
+                });
+            }
+        };
+        if fault.is_none() {
+            self.chip.finish_bus_program()?;
+        }
+        Ok(FaultedRun {
+            report: self.report_since(&start),
+            fault,
+        })
     }
 
     fn snapshot(&self) -> StatsSnapshot {
@@ -1410,13 +1787,44 @@ impl CompiledBoard {
             self.board.run(self.hyperperiod)?;
         }
         // Drain: the halt-observing tick of every column of every chip
-        // lies past the last iteration window.
+        // lies past the last iteration window.  The watchdog turns a
+        // drain that makes no progress across a full window into a
+        // structured stall instead of spinning the budget down on a
+        // wedged board.
+        let window = self.hyperperiod.max(1);
         let mut spent = self.board.reference_cycles() - start.reference;
         while !self.board.all_halted() && spent < self.drain_budget {
-            self.board.run(self.hyperperiod.max(1))?;
+            let before = board_progress(&self.board);
+            self.board.run(window)?;
             spent = self.board.reference_cycles() - start.reference;
+            if !self.board.all_halted() && board_progress(&self.board) == before {
+                let tick = self.board.reference_cycles();
+                self.board
+                    .trace()
+                    .emit(|| TraceEvent::FaultStalled { tick, window });
+                return Err(MapperError::SimFault(SimFault::Stalled {
+                    reference_cycles: spent,
+                    window,
+                }));
+            }
         }
         if !self.board.all_halted() {
+            // Budget exhausted with live columns: one diagnostic window
+            // separates a wedged board (zero progress — structured stall)
+            // from a merely slow one (Incomplete).  The error value stays
+            // tier-independent; the board state on error is unspecified.
+            let before = board_progress(&self.board);
+            self.board.run(window)?;
+            if board_progress(&self.board) == before {
+                let tick = self.board.reference_cycles();
+                self.board
+                    .trace()
+                    .emit(|| TraceEvent::FaultStalled { tick, window });
+                return Err(MapperError::SimFault(SimFault::Stalled {
+                    reference_cycles: tick - start.reference,
+                    window,
+                }));
+            }
             return Err(MapperError::Incomplete { ticks: spent });
         }
         // Play out the remaining slots of every schedule: the chips'
@@ -1443,33 +1851,22 @@ impl CompiledBoard {
     /// As for [`CompiledChip::execute_fast`]; the budget check reproduces
     /// [`MapperError::Incomplete`] *without* mutating any chip.
     pub fn execute_fast(&mut self) -> Result<BoardExecutionReport, MapperError> {
+        if (0..self.parts.len()).any(|chip| self.board.chip(chip).is_some_and(Chip::any_failed)) {
+            // A failed column has no closed form — it executes nothing,
+            // forever — so delegate to the interpreted driver, whose
+            // watchdog classifies the wedge as a structured stall.
+            return self.execute_interpreted();
+        }
         let start = self.snapshot();
 
         if !self.board.all_halted() {
             let mut tiers = Vec::with_capacity(self.parts.len());
             for parts in &self.parts {
-                let mut tier = FastTier::new();
-                for (plan, blueprint) in parts.plans.iter().zip(&parts.blueprints) {
-                    let firings = plan
-                        .firings_per_iteration
-                        .checked_mul(self.iterations)
-                        .ok_or(MapperError::Overflow {
-                            what: "total firing count",
-                        })?;
-                    let profile = FiringProfile::measure(
-                        &blueprint.config,
-                        &blueprint.program,
-                        blueprint.dou.as_ref(),
-                        plan.sim_cycles_per_firing,
-                        firings,
-                    )?;
-                    tier.push(ColumnBatch {
-                        column: plan.column,
-                        firings,
-                        profile,
-                    });
-                }
-                tiers.push(tier);
+                tiers.push(build_fast_tier(
+                    &parts.plans,
+                    &parts.blueprints,
+                    self.iterations,
+                )?);
             }
             // Same budget verdict as the interpreted board driver, from
             // the predicted per-chip halt ticks, before touching any chip.
@@ -1509,6 +1906,152 @@ impl CompiledBoard {
         }
         self.board.finish_bridge_program_batched();
         Ok(self.report_since(&start))
+    }
+
+    /// Run the board to completion under a deterministic [`FaultPlan`] —
+    /// the board-wide analogue of [`CompiledChip::execute_faulted`].
+    /// Column events kill a column of one chip; bridge-lane events kill a
+    /// lane, dropping every slot scheduled on it from the event tick on
+    /// (undelivered and unaccounted).  A lane kill alone never starves a
+    /// column — receives do not block — so such runs complete with
+    /// `fault: None` and reduced bridge traffic; a column kill starves
+    /// the board and ends in `fault: Some(SimFault::Stalled)` via the
+    /// watchdog.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CompiledBoard::execute`]; a watchdog stall is the
+    /// structured [`FaultedBoardRun::fault`] outcome, not an error.
+    pub fn execute_faulted(&mut self, plan: &FaultPlan) -> Result<FaultedBoardRun, MapperError> {
+        if plan.is_empty() {
+            let report = self.execute()?;
+            return Ok(FaultedBoardRun {
+                report,
+                fault: None,
+            });
+        }
+        match self.tier {
+            ExecutionTier::Interpreted => self.run_faulted_board(plan),
+            ExecutionTier::Fast => self.execute_faulted_board_fast(plan),
+        }
+    }
+
+    /// [`CompiledBoard::execute_faulted`] on the interpreted tier,
+    /// regardless of the compiled [`ExecutionTier`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`CompiledBoard::execute_faulted`].
+    pub fn execute_faulted_interpreted(
+        &mut self,
+        plan: &FaultPlan,
+    ) -> Result<FaultedBoardRun, MapperError> {
+        if plan.is_empty() {
+            let report = self.execute_interpreted()?;
+            return Ok(FaultedBoardRun {
+                report,
+                fault: None,
+            });
+        }
+        self.run_faulted_board(plan)
+    }
+
+    fn execute_faulted_board_fast(
+        &mut self,
+        plan: &FaultPlan,
+    ) -> Result<FaultedBoardRun, MapperError> {
+        if self.board.all_halted() {
+            let report = self.execute_fast()?;
+            return Ok(FaultedBoardRun {
+                report,
+                fault: None,
+            });
+        }
+        // Board-wide halt prediction: the latest chip halt tick.  As for
+        // the single chip, only a strictly earlier halt keeps the
+        // closed-form path.
+        let mut latest: Option<u64> = None;
+        for (c, parts) in self.parts.iter().enumerate() {
+            let tier = build_fast_tier(&parts.plans, &parts.blueprints, self.iterations)?;
+            let chip = self.board.chip(c).expect("board sized from the mapping");
+            if let Some(t) = tier.completion_tick(chip)? {
+                latest = Some(latest.map_or(t, |l| l.max(t)));
+            }
+        }
+        let first = plan.first_tick().expect("plan checked non-empty");
+        if latest.is_some_and(|t| t < first) {
+            let report = self.execute_fast()?;
+            return Ok(FaultedBoardRun {
+                report,
+                fault: None,
+            });
+        }
+        self.run_faulted_board(plan)
+    }
+
+    /// The board faulted driver — the same window/event/watchdog loop as
+    /// [`CompiledChip::run_faulted`], over the co-advancing fleet.
+    fn run_faulted_board(&mut self, plan: &FaultPlan) -> Result<FaultedBoardRun, MapperError> {
+        let start = self.snapshot();
+        let origin = self.board.reference_cycles();
+        let window = self.hyperperiod.max(1);
+        let budget = self
+            .iterations
+            .saturating_mul(window)
+            .saturating_add(self.drain_budget);
+        let events = plan.events();
+        let mut next = 0usize;
+        let fault = loop {
+            if self.board.all_halted() {
+                break None;
+            }
+            let now = self.board.reference_cycles() - origin;
+            while next < events.len() && events[next].at_tick <= now {
+                let at = origin + events[next].at_tick;
+                match events[next].target {
+                    FaultTarget::Column { chip, column } => {
+                        self.board.fail_column(chip, column, at);
+                    }
+                    FaultTarget::BridgeLane { lane } => {
+                        self.board.fail_lane(lane, at);
+                    }
+                }
+                next += 1;
+            }
+            if now >= budget {
+                return Err(MapperError::Incomplete { ticks: now });
+            }
+            let mut target = now.saturating_add(window);
+            if next < events.len() {
+                target = target.min(events[next].at_tick);
+            }
+            let full_window = target - now == window;
+            let before = board_progress(&self.board);
+            self.board.run(target - now)?;
+            if full_window && !self.board.all_halted() && board_progress(&self.board) == before {
+                let tick = self.board.reference_cycles();
+                self.board
+                    .trace()
+                    .emit(|| TraceEvent::FaultStalled { tick, window });
+                break Some(SimFault::Stalled {
+                    reference_cycles: tick - origin,
+                    window,
+                });
+            }
+        };
+        if fault.is_none() {
+            for chip in 0..self.parts.len() {
+                self.board
+                    .chip_mut(chip)
+                    .expect("board sized from the mapping")
+                    .finish_bus_program()?;
+            }
+            self.board.finish_bridge_program();
+        }
+        Ok(FaultedBoardRun {
+            report: self.report_since(&start),
+            fault,
+        })
     }
 
     fn snapshot(&self) -> BoardSnapshot {
@@ -2225,6 +2768,348 @@ mod tests {
             }
             other => panic!("expected a bridge oversubscription, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn fault_spec_rejects_placements_on_dead_hardware() {
+        let (g, m) = two_actor_chain(2, 3);
+        let mut faults = FaultSpec::none();
+        faults.fail_column(0, 1);
+        let options = MapperOptions {
+            faults,
+            ..MapperOptions::default()
+        };
+        match compile(&g, &m, &options) {
+            Err(e @ MapperError::Fault { .. }) => {
+                assert!(e.is_fault());
+                assert!(!e.is_resource_exhaustion());
+                let MapperError::Fault { violations } = &e else {
+                    unreachable!()
+                };
+                assert!(matches!(
+                    violations[..],
+                    [MappingViolation::FailedColumn {
+                        chip: 0,
+                        column: 1,
+                        ..
+                    }]
+                ));
+                let text = e.to_string();
+                assert!(text.contains("failed hardware"), "{text}");
+                assert!(text.contains("column 1"), "{text}");
+            }
+            other => panic!("expected a fault rejection, got {other:?}"),
+        }
+        // A failed tile under a placement is rejected the same way.
+        let mut faults = FaultSpec::none();
+        faults.fail_tile(0, 0, 2);
+        let options = MapperOptions {
+            faults,
+            ..MapperOptions::default()
+        };
+        assert!(matches!(
+            compile(&g, &m, &options),
+            Err(MapperError::Fault { .. })
+        ));
+        // Faults on hardware the mapping never touches compile fine.
+        let mut faults = FaultSpec::none();
+        faults.fail_column(0, 7).fail_tile(0, 1, 3);
+        let options = MapperOptions {
+            faults,
+            ..MapperOptions::default()
+        };
+        compile(&g, &m, &options).unwrap();
+    }
+
+    #[test]
+    fn lost_bus_splits_shrink_or_reject_the_route() {
+        let (g, m) = two_actor_chain(2, 3);
+        // Losing the only split leaves the chip unroutable: fault class.
+        let mut faults = FaultSpec::none();
+        faults.lose_splits(0, 1);
+        let options = MapperOptions {
+            faults,
+            ..MapperOptions::default()
+        };
+        match compile(&g, &m, &options) {
+            Err(MapperError::Fault { violations }) => {
+                assert!(matches!(
+                    violations[..],
+                    [MappingViolation::BusSplitsExhausted {
+                        chip: 0,
+                        splits: 1,
+                        lost: 1,
+                    }]
+                ));
+            }
+            other => panic!("expected a split exhaustion fault, got {other:?}"),
+        }
+        // With two splits configured, losing one routes on the survivor.
+        let mut faults = FaultSpec::none();
+        faults.lose_splits(0, 1);
+        let options = MapperOptions {
+            bus_splits: 2,
+            faults,
+            ..MapperOptions::default()
+        };
+        let compiled = compile(&g, &m, &options).unwrap();
+        assert_eq!(compiled.route().spec().splits(), 1);
+    }
+
+    #[test]
+    fn severed_bridge_directions_are_fault_rejections() {
+        let (g, _) = two_actor_chain(2, 3);
+        let mut m = Mapping::new();
+        m.place_on_chip(0, ActorId(0), 4, 1.0);
+        m.place_on_chip(1, ActorId(1), 2, 1.0);
+        let mut faults = FaultSpec::none();
+        faults.fail_lane(0, 1);
+        let options = MapperOptions {
+            faults,
+            ..MapperOptions::default()
+        };
+        match compile_board(&g, &m, &options, &BoardConfig::default()) {
+            Err(MapperError::Fault { violations }) => {
+                assert!(matches!(
+                    violations[..],
+                    [MappingViolation::BridgeDown {
+                        from_chip: 0,
+                        to_chip: 1,
+                    }]
+                ));
+            }
+            other => panic!("expected a bridge-down fault, got {other:?}"),
+        }
+        // Degrading the lane to zero width severs it the same way; a
+        // nonzero degradation still routes (capacity permitting).
+        let mut faults = FaultSpec::none();
+        faults.degrade_lane(0, 1, 0);
+        let options = MapperOptions {
+            faults,
+            ..MapperOptions::default()
+        };
+        assert!(matches!(
+            compile_board(&g, &m, &options, &BoardConfig::default()),
+            Err(MapperError::Fault { .. })
+        ));
+        // Killing the unused reverse direction is harmless.
+        let mut faults = FaultSpec::none();
+        faults.fail_lane(1, 0);
+        let options = MapperOptions {
+            faults,
+            ..MapperOptions::default()
+        };
+        compile_board(&g, &m, &options, &BoardConfig::default()).unwrap();
+    }
+
+    #[test]
+    fn error_classification_covers_every_variant() {
+        use synchro_sdf::SdfError;
+
+        let exhaustion = [
+            MapperError::Route(RouteError::PeriodOverflow {
+                demand: 10,
+                capacity: 6,
+            }),
+            MapperError::Explorer(ExplorerError::NoSolutions),
+            MapperError::Incomplete { ticks: 7 },
+        ];
+        for e in &exhaustion {
+            assert!(e.is_resource_exhaustion(), "{e}");
+            assert!(!e.is_fault(), "{e}");
+        }
+        let faults = [
+            MapperError::Fault {
+                violations: vec![MappingViolation::FailedColumn {
+                    actor: ActorId(0),
+                    chip: 0,
+                    column: 1,
+                }],
+            },
+            MapperError::SimFault(SimFault::Stalled {
+                reference_cycles: 252,
+                window: 126,
+            }),
+        ];
+        for e in &faults {
+            assert!(e.is_fault(), "{e}");
+            assert!(!e.is_resource_exhaustion(), "{e}");
+        }
+        let neither = [
+            MapperError::Sdf(SdfError::Empty),
+            MapperError::Dou(synchro_dou::DouError::EmptyPattern),
+            MapperError::Column(ColumnError::Bus(synchro_bus::BusError::IndexOutOfRange {
+                what: "split",
+                index: 9,
+                limit: 1,
+            })),
+            MapperError::UnplacedActor { actor: ActorId(0) },
+            MapperError::DuplicatePlacement { actor: ActorId(0) },
+            MapperError::InvalidMapping { violations: vec![] },
+            MapperError::Explorer(ExplorerError::Sdf(SdfError::Empty)),
+            MapperError::Route(RouteError::Unreachable { from: 0, to: 1 }),
+            MapperError::Overflow { what: "test" },
+            MapperError::FastTier(FastTierError::NonUniform { firing: 2 }),
+        ];
+        for e in &neither {
+            assert!(!e.is_resource_exhaustion(), "{e}");
+            assert!(!e.is_fault(), "{e}");
+        }
+    }
+
+    #[test]
+    fn empty_fault_plans_match_plain_execution_bit_for_bit() {
+        for tier in [ExecutionTier::Interpreted, ExecutionTier::Fast] {
+            let (g, m) = two_actor_chain(2, 3);
+            let options = MapperOptions {
+                iterations: 3,
+                tier,
+                ..MapperOptions::default()
+            };
+            let mut plain = compile(&g, &m, &options).unwrap();
+            let mut faulted = compile(&g, &m, &options).unwrap();
+            let report = plain.execute().unwrap();
+            let run = faulted.execute_faulted(&FaultPlan::none()).unwrap();
+            assert_eq!(run.fault, None);
+            assert_eq!(run.report, report);
+            assert_eq!(plain.chip().stats(), faulted.chip().stats());
+        }
+    }
+
+    #[test]
+    fn faults_scheduled_past_the_halt_never_fire() {
+        for tier in [ExecutionTier::Interpreted, ExecutionTier::Fast] {
+            let (g, m) = two_actor_chain(2, 3);
+            let options = MapperOptions {
+                iterations: 3,
+                tier,
+                ..MapperOptions::default()
+            };
+            let mut plain = compile(&g, &m, &options).unwrap();
+            let mut faulted = compile(&g, &m, &options).unwrap();
+            let report = plain.execute().unwrap();
+            let mut plan = FaultPlan::none();
+            plan.kill_column(0, 0, 1_000_000);
+            let run = faulted.execute_faulted(&plan).unwrap();
+            assert_eq!(run.fault, None, "the chip halts before the event");
+            assert_eq!(run.report, report);
+            assert_eq!(plain.chip().stats(), faulted.chip().stats());
+        }
+    }
+
+    #[test]
+    fn mid_run_column_kills_stall_identically_on_every_tier() {
+        let mut outcomes = Vec::new();
+        for tier in [ExecutionTier::Interpreted, ExecutionTier::Fast] {
+            let (g, m) = two_actor_chain(2, 3);
+            let options = MapperOptions {
+                iterations: 5,
+                tier,
+                ..MapperOptions::default()
+            };
+            let mut compiled = compile(&g, &m, &options).unwrap();
+            let mut plan = FaultPlan::none();
+            plan.kill_column(0, 1, 200);
+            let run = compiled.execute_faulted(&plan).unwrap();
+            let fault = run.fault.expect("a killed column starves the chip");
+            assert!(matches!(fault, SimFault::Stalled { .. }));
+            // The surviving column finished its own work before starving.
+            assert_eq!(run.report.firing_counts[0], 15);
+            outcomes.push((run, compiled.chip().stats()));
+        }
+        // And the naive tick-by-tick driver agrees with both.
+        let (g, m) = two_actor_chain(2, 3);
+        let options = MapperOptions {
+            iterations: 5,
+            ..MapperOptions::default()
+        };
+        let mut compiled = compile(&g, &m, &options).unwrap();
+        let mut plan = FaultPlan::none();
+        plan.kill_column(0, 1, 200);
+        let run = compiled.execute_faulted_ticked(&plan).unwrap();
+        outcomes.push((run, compiled.chip().stats()));
+        let (first_run, first_stats) = &outcomes[0];
+        for (run, stats) in &outcomes[1..] {
+            assert_eq!(run, first_run, "faulted runs diverge across tiers");
+            assert_eq!(stats, first_stats, "chip stats diverge across tiers");
+        }
+    }
+
+    #[test]
+    fn wedged_chips_return_structured_stalls_from_normal_execution() {
+        let (g, m) = two_actor_chain(2, 3);
+        let options = MapperOptions {
+            iterations: 2,
+            ..MapperOptions::default()
+        };
+        let mut compiled = compile(&g, &m, &options).unwrap();
+        // Kill a column by hand before the run: the drain watchdog must
+        // report a structured stall instead of spinning to Incomplete.
+        compiled.chip_mut().fail_column(0, 0);
+        match compiled.execute() {
+            Err(e @ MapperError::SimFault(SimFault::Stalled { .. })) => {
+                assert!(e.is_fault());
+            }
+            other => panic!("expected a structured stall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn board_lane_kills_drop_traffic_but_complete() {
+        let (g, _) = two_actor_chain(2, 3);
+        let mut m = Mapping::new();
+        m.place_on_chip(0, ActorId(0), 4, 1.0);
+        m.place_on_chip(1, ActorId(1), 2, 1.0);
+        let options = MapperOptions {
+            iterations: 5,
+            ..MapperOptions::default()
+        };
+        let mut plain = compile_board(&g, &m, &options, &BoardConfig::default()).unwrap();
+        let healthy = plain.execute().unwrap();
+        assert_eq!(healthy.bridge_words, 30);
+
+        let mut board = compile_board(&g, &m, &options, &BoardConfig::default()).unwrap();
+        let mut plan = FaultPlan::none();
+        plan.kill_lane(0, 200);
+        let run = board.execute_faulted(&plan).unwrap();
+        // Receives never block, so a dead lane starves nobody: the run
+        // completes with the post-fault slots dropped undelivered.
+        assert_eq!(run.fault, None);
+        assert!(run.report.firings_exact());
+        assert!(
+            run.report.bridge_words < healthy.bridge_words,
+            "post-fault slots must be dropped ({} words)",
+            run.report.bridge_words
+        );
+        assert_eq!(
+            run.report.scheduled_bridge_slots, healthy.scheduled_bridge_slots,
+            "dead lanes drop deliveries, not reservations"
+        );
+    }
+
+    #[test]
+    fn board_column_kills_stall_identically_on_both_tiers() {
+        let mut runs = Vec::new();
+        for tier in [ExecutionTier::Interpreted, ExecutionTier::Fast] {
+            let (g, _) = two_actor_chain(2, 3);
+            let mut m = Mapping::new();
+            m.place_on_chip(0, ActorId(0), 4, 1.0);
+            m.place_on_chip(1, ActorId(1), 2, 1.0);
+            let options = MapperOptions {
+                iterations: 5,
+                tier,
+                ..MapperOptions::default()
+            };
+            let mut board = compile_board(&g, &m, &options, &BoardConfig::default()).unwrap();
+            let mut plan = FaultPlan::none();
+            plan.kill_column(1, 0, 150);
+            let run = board.execute_faulted(&plan).unwrap();
+            assert!(matches!(run.fault, Some(SimFault::Stalled { .. })));
+            // Chip 0's column still finished its own firings.
+            assert_eq!(run.report.chips[0].firing_counts, vec![15]);
+            runs.push(run);
+        }
+        assert_eq!(runs[0], runs[1], "board tiers diverge on the fault");
     }
 
     #[test]

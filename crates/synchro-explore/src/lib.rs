@@ -54,11 +54,16 @@ use synchro_power::{AreaModel, Technology};
 use synchro_sdf::{ActorId, Mapping, MappingViolation, SdfError, SdfGraph};
 use synchro_trace::Trace;
 
+mod degraded;
 mod model;
 mod pareto;
 mod search;
 mod space;
 
+pub use degraded::{
+    explore_degraded, explore_degraded_board, DegradationCurve, DegradationPoint, ResourceLoss,
+    RATE_LADDER,
+};
 pub use model::ColumnEval;
 pub use pareto::dominates;
 pub use search::SearchStats;
@@ -153,6 +158,24 @@ impl fmt::Display for ExplorerError {
                  ({splits_tried} splits tried)"
             ),
         }
+    }
+}
+
+impl ExplorerError {
+    /// Is this a resource-exhaustion failure — the search was well-posed
+    /// but the hardware budget (tiles, TDM slots, bridge capacity, chip
+    /// count) could not host any solution?  Exhaustion errors are the
+    /// retryable class degraded-mode remapping walks the rate ladder on;
+    /// the rest are malformed inputs that no amount of extra hardware or
+    /// rate slack fixes.
+    pub fn is_resource_exhaustion(&self) -> bool {
+        matches!(
+            self,
+            ExplorerError::BudgetTooSmall { .. }
+                | ExplorerError::NoSolutions
+                | ExplorerError::CommInfeasible { .. }
+                | ExplorerError::BoardInfeasible { .. }
+        )
     }
 }
 

@@ -156,6 +156,36 @@ impl BoardSpec {
         Self::new(chips, lanes, bridge_period)
     }
 
+    /// The board that survives `faults`: failed lanes are removed and
+    /// degraded lanes have their width clamped to the fault's cap (a cap
+    /// of zero removes the lane) — so the scheduler never places a slot on
+    /// dead or over-rated bridge hardware.  Chips and the bridge period
+    /// are untouched; per-chip split loss is the bus compiler's dimension
+    /// and is applied when the [`BusSpec`]s are built.
+    #[must_use]
+    pub fn apply_faults(&self, faults: &synchro_sdf::FaultSpec) -> BoardSpec {
+        let lanes = self
+            .lanes
+            .iter()
+            .filter(|lane| !faults.lane_failed(lane.from, lane.to))
+            .filter_map(|lane| {
+                let width = match faults.lane_width_limit(lane.from, lane.to) {
+                    Some(cap) => lane.width_words.min(u64::from(cap)),
+                    None => lane.width_words,
+                };
+                (width > 0).then_some(BridgeLane {
+                    width_words: width,
+                    ..*lane
+                })
+            })
+            .collect();
+        BoardSpec {
+            chips: self.chips.clone(),
+            lanes,
+            bridge_period: self.bridge_period,
+        }
+    }
+
     /// The per-chip bus descriptions.
     pub fn chips(&self) -> &[BusSpec] {
         &self.chips
@@ -603,6 +633,62 @@ mod tests {
             BusSpec::broadcast(2, 1, 16).unwrap(),
         ];
         BoardSpec::full(chips, 1, 2, 1.5, 8).unwrap()
+    }
+
+    #[test]
+    fn apply_faults_removes_failed_lanes_and_clamps_degraded_widths() {
+        let spec = two_chip_board();
+        assert_eq!(spec.lanes().len(), 2);
+
+        let mut faults = synchro_sdf::FaultSpec::none();
+        faults.fail_lane(0, 1);
+        let degraded = spec.apply_faults(&faults);
+        assert_eq!(degraded.lanes().len(), 1);
+        assert_eq!((degraded.lanes()[0].from, degraded.lanes()[0].to), (1, 0));
+        assert_eq!(degraded.chips(), spec.chips());
+        assert_eq!(degraded.bridge_period(), spec.bridge_period());
+
+        // A width cap shrinks a wide lane; a zero cap removes it outright.
+        let wide = BoardSpec::full(
+            vec![
+                BusSpec::broadcast(2, 1, 16).unwrap(),
+                BusSpec::broadcast(2, 1, 16).unwrap(),
+            ],
+            4,
+            2,
+            1.5,
+            8,
+        )
+        .unwrap();
+        let mut caps = synchro_sdf::FaultSpec::none();
+        caps.degrade_lane(0, 1, 1).degrade_lane(1, 0, 0);
+        let capped = wide.apply_faults(&caps);
+        assert_eq!(capped.lanes().len(), 1);
+        assert_eq!((capped.lanes()[0].from, capped.lanes()[0].to), (0, 1));
+        assert_eq!(capped.lanes()[0].width_words, 1);
+
+        // No faults: the board is unchanged.
+        assert_eq!(spec.apply_faults(&synchro_sdf::FaultSpec::none()), spec);
+    }
+
+    #[test]
+    fn faulted_board_rejects_traffic_needing_the_dead_lane() {
+        let g = chain4();
+        let m = split_mapping(2);
+        let mut faults = synchro_sdf::FaultSpec::none();
+        faults.fail_lane(0, 1);
+        let spec = two_chip_board().apply_faults(&faults);
+        let err = compile_board(&g, &m, &spec).unwrap_err();
+        assert!(matches!(
+            err,
+            RouteError::BridgeOversubscribed {
+                from_chip: 0,
+                to_chip: 1,
+                capacity: 0,
+                ..
+            }
+        ));
+        assert!(err.is_resource_exhaustion());
     }
 
     #[test]

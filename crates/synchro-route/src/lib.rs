@@ -179,6 +179,21 @@ impl RouteError {
             RouteError::Bus(_) => "bus",
         }
     }
+
+    /// Is this rejection a capacity problem rather than a malformed
+    /// input?  Resource exhaustion (an oversubscribed segment, frame or
+    /// bridge) is retryable — a caller can widen the bus, add splits or
+    /// lanes, lower the iteration rate, or remap around lost hardware and
+    /// compile again.  Everything else reports an input that no amount of
+    /// extra capacity fixes.
+    pub fn is_resource_exhaustion(&self) -> bool {
+        matches!(
+            self,
+            RouteError::OversubscribedSegment { .. }
+                | RouteError::PeriodOverflow { .. }
+                | RouteError::BridgeOversubscribed { .. }
+        )
+    }
 }
 
 impl Error for RouteError {
@@ -750,6 +765,46 @@ mod tests {
         m.place(integ, 8, 1.0);
         m.place(comb, 2, 1.0);
         (g, m)
+    }
+
+    #[test]
+    fn every_variant_classifies_exhaustion_vs_hard_error() {
+        let retryable = [
+            RouteError::OversubscribedSegment {
+                split: 0,
+                group_start: 0,
+                group_end: 1,
+                demand: 4,
+                remaining: 2,
+            },
+            RouteError::PeriodOverflow {
+                demand: 10,
+                capacity: 6,
+            },
+            RouteError::BridgeOversubscribed {
+                from_chip: 0,
+                to_chip: 1,
+                demand: 6,
+                capacity: 4,
+            },
+        ];
+        for e in &retryable {
+            assert!(e.is_resource_exhaustion(), "{e}");
+        }
+        let hard = [
+            RouteError::Sdf(SdfError::Empty),
+            RouteError::BadPlacement { actor: 1 },
+            RouteError::InvalidSpec { reason: "x" },
+            RouteError::Unreachable { from: 0, to: 1 },
+            RouteError::Bus(BusError::IndexOutOfRange {
+                what: "split",
+                index: 9,
+                limit: 1,
+            }),
+        ];
+        for e in &hard {
+            assert!(!e.is_resource_exhaustion(), "{e}");
+        }
     }
 
     #[test]

@@ -412,24 +412,161 @@ pub struct Placement {
     pub chip: usize,
 }
 
+/// A typed description of lost or degraded hardware: failed tiles within a
+/// column, whole failed columns, failed or width-degraded bridge lanes,
+/// and bus splits lost per chip.
+///
+/// Columns are addressed by `(chip, column)` where `column` is the
+/// placement's position among its chip's placements (the order the mapper
+/// instantiates columns in); bridge lanes by their `(from_chip, to_chip)`
+/// direction.  The spec is pure data — [`Mapping::validate_with_faults`]
+/// checks a mapping against it, and the compiler threads it through
+/// routing and execution so nothing is ever scheduled onto dead hardware.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultSpec {
+    failed_columns: Vec<(usize, usize)>,
+    failed_tiles: Vec<(usize, usize, usize)>,
+    failed_lanes: Vec<(usize, usize)>,
+    degraded_lanes: Vec<(usize, usize, u32)>,
+    lost_splits: Vec<(usize, u32)>,
+}
+
+impl FaultSpec {
+    /// A spec with no faults (equivalent to `FaultSpec::default()`).
+    pub fn none() -> Self {
+        FaultSpec::default()
+    }
+
+    /// Does the spec describe any fault at all?
+    pub fn is_empty(&self) -> bool {
+        self.failed_columns.is_empty()
+            && self.failed_tiles.is_empty()
+            && self.failed_lanes.is_empty()
+            && self.degraded_lanes.is_empty()
+            && self.lost_splits.is_empty()
+    }
+
+    /// Mark column `column` of chip `chip` as failed.
+    pub fn fail_column(&mut self, chip: usize, column: usize) -> &mut Self {
+        self.failed_columns.push((chip, column));
+        self
+    }
+
+    /// Mark tile `tile` within column `column` of chip `chip` as failed.
+    pub fn fail_tile(&mut self, chip: usize, column: usize, tile: usize) -> &mut Self {
+        self.failed_tiles.push((chip, column, tile));
+        self
+    }
+
+    /// Mark the bridge lane direction `from_chip → to_chip` as failed.
+    pub fn fail_lane(&mut self, from_chip: usize, to_chip: usize) -> &mut Self {
+        self.failed_lanes.push((from_chip, to_chip));
+        self
+    }
+
+    /// Degrade the bridge lane direction `from_chip → to_chip` to at most
+    /// `width_words` words per bridge cycle (0 is equivalent to
+    /// [`FaultSpec::fail_lane`]).
+    pub fn degrade_lane(
+        &mut self,
+        from_chip: usize,
+        to_chip: usize,
+        width_words: u32,
+    ) -> &mut Self {
+        self.degraded_lanes.push((from_chip, to_chip, width_words));
+        self
+    }
+
+    /// Mark `splits` of chip `chip`'s horizontal-bus splits as failed.
+    pub fn lose_splits(&mut self, chip: usize, splits: u32) -> &mut Self {
+        self.lost_splits.push((chip, splits));
+        self
+    }
+
+    /// Is column `column` of chip `chip` failed?
+    pub fn column_failed(&self, chip: usize, column: usize) -> bool {
+        self.failed_columns.contains(&(chip, column))
+    }
+
+    /// Is tile `tile` within column `column` of chip `chip` failed?
+    pub fn tile_failed(&self, chip: usize, column: usize, tile: usize) -> bool {
+        self.failed_tiles.contains(&(chip, column, tile))
+    }
+
+    /// Is the lane direction `from_chip → to_chip` failed (outright, or
+    /// degraded to zero width)?
+    pub fn lane_failed(&self, from_chip: usize, to_chip: usize) -> bool {
+        self.failed_lanes.contains(&(from_chip, to_chip))
+            || self
+                .degraded_lanes
+                .iter()
+                .any(|&(f, t, w)| (f, t) == (from_chip, to_chip) && w == 0)
+    }
+
+    /// The width cap (words per bridge cycle) faults impose on the lane
+    /// direction `from_chip → to_chip`, if any.
+    pub fn lane_width_limit(&self, from_chip: usize, to_chip: usize) -> Option<u32> {
+        self.degraded_lanes
+            .iter()
+            .filter(|&&(f, t, _)| (f, t) == (from_chip, to_chip))
+            .map(|&(_, _, w)| w)
+            .min()
+    }
+
+    /// Total horizontal-bus splits chip `chip` has lost.
+    pub fn splits_lost(&self, chip: usize) -> u32 {
+        self.lost_splits
+            .iter()
+            .filter(|&&(c, _)| c == chip)
+            .map(|&(_, s)| s)
+            .fold(0, u32::saturating_add)
+    }
+
+    /// The failed `(chip, column)` pairs, in insertion order.
+    pub fn failed_columns(&self) -> &[(usize, usize)] {
+        &self.failed_columns
+    }
+
+    /// The failed `(from_chip, to_chip)` lane directions, in insertion
+    /// order (outright failures only; degraded-to-zero lanes are reported
+    /// through [`FaultSpec::lane_failed`]).
+    pub fn failed_lanes(&self) -> &[(usize, usize)] {
+        &self.failed_lanes
+    }
+}
+
 /// One problem found by [`Mapping::validate`]: a placement that the lenient
-/// accessors ([`Mapping::requirements`]) would otherwise silently reshape.
+/// accessors ([`Mapping::requirements`]) would otherwise silently reshape,
+/// or (via [`Mapping::validate_with_faults`]) a placement landing on
+/// hardware a [`FaultSpec`] marks as dead.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MappingViolation {
     /// A placement references an actor the graph does not contain.
     UnknownActor {
         /// The dangling actor id.
         actor: ActorId,
+        /// The chip the placement targets.
+        chip: usize,
+        /// The column the placement occupies on that chip.
+        column: usize,
     },
     /// A placement assigns zero tiles.
     ZeroTiles {
         /// The actor placed on zero tiles.
         actor: ActorId,
+        /// The chip the placement targets.
+        chip: usize,
+        /// The column the placement occupies on that chip.
+        column: usize,
     },
     /// A placement assigns more tiles than the actor can use in parallel.
     OverParallel {
         /// The over-parallelised actor.
         actor: ActorId,
+        /// The chip the placement targets.
+        chip: usize,
+        /// The column the placement occupies on that chip.
+        column: usize,
         /// Tiles the placement requested.
         tiles: u32,
         /// The actor's parallelism limit.
@@ -439,6 +576,10 @@ pub enum MappingViolation {
     EfficiencyOutOfRange {
         /// The actor with the bad efficiency.
         actor: ActorId,
+        /// The chip the placement targets.
+        chip: usize,
+        /// The column the placement occupies on that chip.
+        column: usize,
         /// The requested efficiency.
         efficiency: f64,
     },
@@ -447,40 +588,154 @@ pub enum MappingViolation {
     ChipOutOfRange {
         /// The actor placed on the missing chip.
         actor: ActorId,
+        /// The column the placement occupies on that chip.
+        column: usize,
         /// The chip the placement requested.
         chip: usize,
         /// Number of chips on the board.
         chips: usize,
     },
+    /// A placement lands on a column a [`FaultSpec`] marks as failed.
+    FailedColumn {
+        /// The actor placed on the dead column.
+        actor: ActorId,
+        /// The chip hosting the failed column.
+        chip: usize,
+        /// The failed column.
+        column: usize,
+    },
+    /// A placement needs a tile a [`FaultSpec`] marks as failed.
+    FailedTile {
+        /// The actor whose placement covers the dead tile.
+        actor: ActorId,
+        /// The chip hosting the column.
+        chip: usize,
+        /// The column containing the failed tile.
+        column: usize,
+        /// The failed tile's index within the column.
+        tile: usize,
+        /// Tiles the placement requested (the failed tile lies below it).
+        tiles: u32,
+    },
+    /// A chip has lost every horizontal-bus split (reported by the
+    /// compiler, which knows the configured split count).
+    BusSplitsExhausted {
+        /// The chip with no surviving splits.
+        chip: usize,
+        /// Splits the chip was configured with.
+        splits: u32,
+        /// Splits the faults removed.
+        lost: u32,
+    },
+    /// Every bridge lane in a direction cross-chip traffic needs is failed
+    /// (reported by the compiler, which knows the board topology).
+    BridgeDown {
+        /// The producing chip.
+        from_chip: usize,
+        /// The consuming chip.
+        to_chip: usize,
+    },
+}
+
+impl MappingViolation {
+    /// Is this violation caused by a [`FaultSpec`] (dead hardware) rather
+    /// than by the mapping itself being malformed?  Fault violations are
+    /// retryable by remapping around the lost resource; the rest are hard
+    /// errors in the mapping.
+    pub fn is_fault(&self) -> bool {
+        matches!(
+            self,
+            MappingViolation::FailedColumn { .. }
+                | MappingViolation::FailedTile { .. }
+                | MappingViolation::BusSplitsExhausted { .. }
+                | MappingViolation::BridgeDown { .. }
+        )
+    }
 }
 
 impl fmt::Display for MappingViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MappingViolation::UnknownActor { actor } => {
-                write!(f, "placement references unknown actor {}", actor.0)
-            }
-            MappingViolation::ZeroTiles { actor } => {
-                write!(f, "actor {} is placed on zero tiles", actor.0)
-            }
+            MappingViolation::UnknownActor {
+                actor,
+                chip,
+                column,
+            } => write!(
+                f,
+                "placement on chip {chip} column {column} references unknown actor {}",
+                actor.0
+            ),
+            MappingViolation::ZeroTiles {
+                actor,
+                chip,
+                column,
+            } => write!(
+                f,
+                "actor {} on chip {chip} column {column} is placed on zero tiles",
+                actor.0
+            ),
             MappingViolation::OverParallel {
                 actor,
+                chip,
+                column,
                 tiles,
                 max_parallel_tiles,
             } => write!(
                 f,
-                "actor {} is placed on {tiles} tiles but can only use {max_parallel_tiles}",
+                "actor {} on chip {chip} column {column} is placed on {tiles} tiles \
+                 but can only use {max_parallel_tiles}",
                 actor.0
             ),
-            MappingViolation::EfficiencyOutOfRange { actor, efficiency } => write!(
+            MappingViolation::EfficiencyOutOfRange {
+                actor,
+                chip,
+                column,
+                efficiency,
+            } => write!(
                 f,
-                "actor {} has parallel efficiency {efficiency} outside (0, 1]",
+                "actor {} on chip {chip} column {column} has parallel efficiency \
+                 {efficiency} outside (0, 1]",
                 actor.0
             ),
-            MappingViolation::ChipOutOfRange { actor, chip, chips } => write!(
+            MappingViolation::ChipOutOfRange {
+                actor,
+                column,
+                chip,
+                chips,
+            } => write!(
                 f,
-                "actor {} is placed on chip {chip} but the board has {chips} chip(s)",
+                "actor {} (column {column}) is placed on chip {chip} but the board \
+                 has {chips} chip(s)",
                 actor.0
+            ),
+            MappingViolation::FailedColumn {
+                actor,
+                chip,
+                column,
+            } => write!(
+                f,
+                "actor {} is placed on failed column {column} of chip {chip}",
+                actor.0
+            ),
+            MappingViolation::FailedTile {
+                actor,
+                chip,
+                column,
+                tile,
+                tiles,
+            } => write!(
+                f,
+                "actor {} needs {tiles} tiles on chip {chip} column {column} \
+                 but tile {tile} is failed",
+                actor.0
+            ),
+            MappingViolation::BusSplitsExhausted { chip, splits, lost } => write!(
+                f,
+                "chip {chip} lost {lost} of its {splits} bus split(s), leaving none"
+            ),
+            MappingViolation::BridgeDown { from_chip, to_chip } => write!(
+                f,
+                "every bridge lane from chip {from_chip} to chip {to_chip} is failed"
             ),
         }
     }
@@ -557,6 +812,24 @@ impl Mapping {
             .unwrap_or(1)
     }
 
+    /// The `(chip, column)` seat each placement occupies, aligned with
+    /// [`Mapping::placements`]: a placement's column index is its position
+    /// among its chip's placements, in insertion order — exactly the order
+    /// the compiler instantiates columns in, and the coordinate system
+    /// [`FaultSpec`] addresses columns by.
+    pub fn seats(&self) -> Vec<(usize, usize)> {
+        let chips = self.chips();
+        let mut next_column = vec![0usize; chips];
+        self.placements
+            .iter()
+            .map(|p| {
+                let column = next_column[p.chip];
+                next_column[p.chip] += 1;
+                (p.chip, column)
+            })
+            .collect()
+    }
+
     /// Check every placement against `graph` and report the problems the
     /// lenient computations would otherwise paper over: unknown actors,
     /// zero-tile placements, placements beyond an actor's parallelism
@@ -565,16 +838,26 @@ impl Mapping {
     /// An empty vector means the mapping is well-formed.
     pub fn validate(&self, graph: &SdfGraph) -> Vec<MappingViolation> {
         let mut violations = Vec::new();
-        for p in &self.placements {
+        for (p, (chip, column)) in self.placements.iter().zip(self.seats()) {
             let Some(actor) = graph.actor(p.actor) else {
-                violations.push(MappingViolation::UnknownActor { actor: p.actor });
+                violations.push(MappingViolation::UnknownActor {
+                    actor: p.actor,
+                    chip,
+                    column,
+                });
                 continue;
             };
             if p.tiles == 0 {
-                violations.push(MappingViolation::ZeroTiles { actor: p.actor });
+                violations.push(MappingViolation::ZeroTiles {
+                    actor: p.actor,
+                    chip,
+                    column,
+                });
             } else if p.tiles > actor.max_parallel_tiles {
                 violations.push(MappingViolation::OverParallel {
                     actor: p.actor,
+                    chip,
+                    column,
                     tiles: p.tiles,
                     max_parallel_tiles: actor.max_parallel_tiles,
                 });
@@ -582,6 +865,8 @@ impl Mapping {
             if !(p.efficiency > 0.0 && p.efficiency <= 1.0) {
                 violations.push(MappingViolation::EfficiencyOutOfRange {
                     actor: p.actor,
+                    chip,
+                    column,
                     efficiency: p.efficiency,
                 });
             }
@@ -595,13 +880,52 @@ impl Mapping {
     /// An empty vector means the mapping is well-formed for that board.
     pub fn validate_on_board(&self, graph: &SdfGraph, chips: usize) -> Vec<MappingViolation> {
         let mut violations = self.validate(graph);
-        for p in &self.placements {
+        for (p, (chip, column)) in self.placements.iter().zip(self.seats()) {
             if p.chip >= chips {
                 violations.push(MappingViolation::ChipOutOfRange {
                     actor: p.actor,
-                    chip: p.chip,
+                    column,
+                    chip,
                     chips,
                 });
+            }
+        }
+        violations
+    }
+
+    /// Check every placement against the hardware `faults` declares lost:
+    /// placements on failed columns and placements whose tile range covers
+    /// a failed tile.  Returns only the fault-class violations; run
+    /// [`Mapping::validate`] (or [`Mapping::validate_on_board`]) alongside
+    /// for the mapping-shape checks.
+    ///
+    /// An empty vector means no placement touches dead hardware.
+    pub fn validate_with_faults(
+        &self,
+        graph: &SdfGraph,
+        faults: &FaultSpec,
+    ) -> Vec<MappingViolation> {
+        let _ = graph;
+        let mut violations = Vec::new();
+        for (p, (chip, column)) in self.placements.iter().zip(self.seats()) {
+            if faults.column_failed(chip, column) {
+                violations.push(MappingViolation::FailedColumn {
+                    actor: p.actor,
+                    chip,
+                    column,
+                });
+                continue;
+            }
+            for tile in 0..p.tiles as usize {
+                if faults.tile_failed(chip, column, tile) {
+                    violations.push(MappingViolation::FailedTile {
+                        actor: p.actor,
+                        chip,
+                        column,
+                        tile,
+                        tiles: p.tiles,
+                    });
+                }
             }
         }
         violations
@@ -863,7 +1187,7 @@ mod tests {
         assert_eq!(violations.len(), 1);
         assert!(matches!(
             violations[0],
-            MappingViolation::ChipOutOfRange { actor, chip: 3, chips: 2 } if actor == integ
+            MappingViolation::ChipOutOfRange { actor, chip: 3, chips: 2, .. } if actor == integ
         ));
     }
 
@@ -877,11 +1201,11 @@ mod tests {
         assert_eq!(violations.len(), 2);
         assert!(matches!(
             violations[0],
-            MappingViolation::ZeroTiles { actor } if actor == mixer
+            MappingViolation::ZeroTiles { actor, .. } if actor == mixer
         ));
         assert!(matches!(
             violations[1],
-            MappingViolation::OverParallel { actor, tiles: 9, max_parallel_tiles: 4 }
+            MappingViolation::OverParallel { actor, tiles: 9, max_parallel_tiles: 4, .. }
                 if actor == comb
         ));
     }
@@ -897,7 +1221,10 @@ mod tests {
         assert_eq!(violations.len(), 3);
         assert!(matches!(
             violations[0],
-            MappingViolation::UnknownActor { actor: ActorId(17) }
+            MappingViolation::UnknownActor {
+                actor: ActorId(17),
+                ..
+            }
         ));
         assert!(matches!(
             violations[1],
@@ -908,6 +1235,180 @@ mod tests {
             MappingViolation::EfficiencyOutOfRange { .. }
         ));
         for v in &violations {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn validate_display_pins_chip_column_and_tile_indices() {
+        let (g, mixer, integ, comb) = ddc_like();
+        let mut m = Mapping::new();
+        m.place(mixer, 0, 1.0);
+        m.place_on_chip(1, integ, 8, 1.5);
+        m.place_on_chip(1, comb, 9, 1.0);
+        m.place_on_chip(3, ActorId(17), 2, 1.0);
+        let texts: Vec<String> = m
+            .validate_on_board(&g, 2)
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        assert_eq!(
+            texts,
+            vec![
+                "actor 0 on chip 0 column 0 is placed on zero tiles".to_string(),
+                "actor 1 on chip 1 column 0 has parallel efficiency 1.5 outside (0, 1]".to_string(),
+                "actor 2 on chip 1 column 1 is placed on 9 tiles but can only use 4".to_string(),
+                "placement on chip 3 column 0 references unknown actor 17".to_string(),
+                "actor 17 (column 0) is placed on chip 3 but the board has 2 chip(s)".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn seats_number_columns_per_chip_in_placement_order() {
+        let (_, mixer, integ, comb) = ddc_like();
+        let mut m = Mapping::new();
+        m.place_on_chip(1, mixer, 8, 1.0);
+        m.place(integ, 8, 1.0);
+        m.place_on_chip(1, comb, 2, 1.0);
+        assert_eq!(m.seats(), vec![(1, 0), (0, 0), (1, 1)]);
+        assert!(Mapping::new().seats().is_empty());
+    }
+
+    #[test]
+    fn fault_spec_builders_and_queries_agree() {
+        let mut f = FaultSpec::none();
+        assert!(f.is_empty());
+        f.fail_column(0, 2)
+            .fail_tile(1, 0, 3)
+            .fail_lane(0, 1)
+            .degrade_lane(1, 0, 2)
+            .degrade_lane(1, 0, 1)
+            .degrade_lane(2, 0, 0)
+            .lose_splits(0, 1)
+            .lose_splits(0, 2);
+        assert!(!f.is_empty());
+        assert!(f.column_failed(0, 2));
+        assert!(!f.column_failed(0, 1));
+        assert!(f.tile_failed(1, 0, 3));
+        assert!(!f.tile_failed(1, 0, 2));
+        assert!(f.lane_failed(0, 1), "outright failure");
+        assert!(f.lane_failed(2, 0), "degraded to zero width");
+        assert!(!f.lane_failed(1, 0), "degraded but alive");
+        assert_eq!(f.lane_width_limit(1, 0), Some(1), "tightest cap wins");
+        assert_eq!(f.lane_width_limit(0, 2), None);
+        assert_eq!(f.splits_lost(0), 3);
+        assert_eq!(f.splits_lost(1), 0);
+        assert_eq!(f.failed_columns(), &[(0, 2)]);
+        assert_eq!(f.failed_lanes(), &[(0, 1)]);
+    }
+
+    #[test]
+    fn validate_with_faults_reports_dead_columns_and_tiles() {
+        let (g, mixer, integ, comb) = ddc_like();
+        let mut m = Mapping::new();
+        m.place(mixer, 8, 1.0);
+        m.place(integ, 8, 1.0);
+        m.place(comb, 2, 1.0);
+        assert!(m.validate_with_faults(&g, &FaultSpec::none()).is_empty());
+
+        let mut f = FaultSpec::none();
+        f.fail_column(0, 1);
+        // Tile 1 lies under the comb's 2-tile placement; tile 7 of the
+        // mixer's column is beyond nothing (tile 7 < 8 tiles, so it hits).
+        f.fail_tile(0, 2, 1).fail_tile(0, 0, 7);
+        // A failure beyond the placement's width is harmless.
+        f.fail_tile(0, 2, 3);
+        let violations = m.validate_with_faults(&g, &f);
+        assert_eq!(violations.len(), 3);
+        assert!(matches!(
+            violations[0],
+            MappingViolation::FailedTile { actor, chip: 0, column: 0, tile: 7, tiles: 8 }
+                if actor == mixer
+        ));
+        assert!(matches!(
+            violations[1],
+            MappingViolation::FailedColumn { actor, chip: 0, column: 1 } if actor == integ
+        ));
+        assert!(matches!(
+            violations[2],
+            MappingViolation::FailedTile { actor, chip: 0, column: 2, tile: 1, tiles: 2 }
+                if actor == comb
+        ));
+        for v in &violations {
+            assert!(v.is_fault());
+        }
+        assert_eq!(
+            violations[1].to_string(),
+            "actor 1 is placed on failed column 1 of chip 0"
+        );
+        assert_eq!(
+            violations[2].to_string(),
+            "actor 2 needs 2 tiles on chip 0 column 2 but tile 1 is failed"
+        );
+    }
+
+    #[test]
+    fn fault_classification_separates_fault_from_shape_violations() {
+        let shape = [
+            MappingViolation::UnknownActor {
+                actor: ActorId(0),
+                chip: 0,
+                column: 0,
+            },
+            MappingViolation::ZeroTiles {
+                actor: ActorId(0),
+                chip: 0,
+                column: 0,
+            },
+            MappingViolation::OverParallel {
+                actor: ActorId(0),
+                chip: 0,
+                column: 0,
+                tiles: 9,
+                max_parallel_tiles: 4,
+            },
+            MappingViolation::EfficiencyOutOfRange {
+                actor: ActorId(0),
+                chip: 0,
+                column: 0,
+                efficiency: 0.0,
+            },
+            MappingViolation::ChipOutOfRange {
+                actor: ActorId(0),
+                column: 0,
+                chip: 3,
+                chips: 2,
+            },
+        ];
+        for v in &shape {
+            assert!(!v.is_fault(), "{v}");
+        }
+        let faulty = [
+            MappingViolation::FailedColumn {
+                actor: ActorId(0),
+                chip: 0,
+                column: 0,
+            },
+            MappingViolation::FailedTile {
+                actor: ActorId(0),
+                chip: 0,
+                column: 0,
+                tile: 0,
+                tiles: 1,
+            },
+            MappingViolation::BusSplitsExhausted {
+                chip: 0,
+                splits: 1,
+                lost: 1,
+            },
+            MappingViolation::BridgeDown {
+                from_chip: 0,
+                to_chip: 1,
+            },
+        ];
+        for v in &faulty {
+            assert!(v.is_fault(), "{v}");
             assert!(!v.to_string().is_empty());
         }
     }

@@ -122,6 +122,9 @@ pub struct Board {
     bridge_program: Option<BridgeProgramState>,
     bridge: BusStats,
     lane_words: Vec<u64>,
+    /// Per-lane fault tick: slots on lane `l` whose absolute reference
+    /// tick is `>= lane_dead_from[l]` are dropped undelivered.
+    lane_dead_from: Vec<Option<u64>>,
     reference_cycles: u64,
     trace: Trace,
 }
@@ -201,6 +204,55 @@ impl Board {
         self.chips.iter().all(Chip::all_halted)
     }
 
+    /// Kill column `column` of chip `chip` at reference tick `tick`
+    /// (see [`Chip::fail_column`]).  Returns `false` if either index is
+    /// out of range.
+    pub fn fail_column(&mut self, chip: usize, column: usize, tick: u64) -> bool {
+        self.chips
+            .get_mut(chip)
+            .is_some_and(|c| c.fail_column(column, tick))
+    }
+
+    /// Kill bridge lane `lane` at reference tick `tick`: every scheduled
+    /// slot on the lane whose absolute tick is `>= tick` is dropped
+    /// undelivered (and unaccounted).  Emits
+    /// [`TraceEvent::FaultLaneKilled`], with the lane's endpoints taken
+    /// from the loaded bridge program's first slot on that lane.
+    pub fn fail_lane(&mut self, lane: usize, tick: u64) {
+        if lane >= self.lane_dead_from.len() {
+            self.lane_dead_from.resize(lane + 1, None);
+        }
+        let dead = self.lane_dead_from[lane].get_or_insert(tick);
+        *dead = (*dead).min(tick);
+        let endpoints = self
+            .bridge_program
+            .as_ref()
+            .and_then(|s| s.program.slots.iter().find(|t| t.lane == lane))
+            .map(|t| (t.from_chip as u32, t.to_chip as u32))
+            .unwrap_or((0, 0));
+        self.trace.emit(|| TraceEvent::FaultLaneKilled {
+            lane: lane as u32,
+            from_chip: endpoints.0,
+            to_chip: endpoints.1,
+            tick,
+        });
+    }
+
+    /// True when a slot on `lane` firing at absolute tick `at` would hit
+    /// dead hardware.
+    fn lane_dead_at(&self, lane: usize, at: u64) -> bool {
+        self.lane_dead_from
+            .get(lane)
+            .copied()
+            .flatten()
+            .is_some_and(|dead| at >= dead)
+    }
+
+    /// True when any bridge lane has been killed by a fault.
+    pub fn any_lane_failed(&self) -> bool {
+        self.lane_dead_from.iter().any(Option::is_some)
+    }
+
     /// Load a statically compiled bridge schedule.  The program starts at
     /// the current board reference tick; [`Board::run`] then replays the
     /// transfers as the reference clock passes each slot's time.
@@ -272,6 +324,12 @@ impl Board {
                 let at = base.saturating_add(slot.tick);
                 let (lane, from_chip, to_chip) = (slot.lane, slot.from_chip, slot.to_chip);
                 let (words, cycles) = (slot.words, slot.cycles);
+                if self.lane_dead_at(lane, at) {
+                    // Dead lane: the slot is consumed but delivers nothing.
+                    let state = self.bridge_program.as_mut().expect("still loaded");
+                    state.next_slot += 1;
+                    continue;
+                }
                 self.account_transfer(lane, words, cycles);
                 self.trace.emit(|| TraceEvent::BridgeTransfer {
                     lane: lane as u32,
@@ -315,6 +373,14 @@ impl Board {
     /// subsequent [`Board::finish_bridge_program`] sees a completed
     /// program.
     pub fn finish_bridge_program_batched(&mut self) {
+        // With a dead lane the per-slot linearity breaks (slots before the
+        // fault tick deliver, later ones don't), so fall back to the
+        // per-period replay — faulted runs take the interpreted path
+        // anyway, this keeps the drain correct for any caller.
+        if self.any_lane_failed() {
+            self.finish_bridge_program();
+            return;
+        }
         let Some(state) = self.bridge_program.take() else {
             return;
         };
@@ -527,6 +593,43 @@ mod tests {
         mixed.finish_bridge_program_batched();
         assert_eq!(replayed.bridge_stats(), mixed.bridge_stats());
         assert_eq!(replayed.lane_words(), mixed.lane_words());
+    }
+
+    #[test]
+    fn dead_lane_drops_slots_from_the_fault_tick_on() {
+        let mut board = two_chip_board();
+        board.load_bridge_program(bridge_program(3)).unwrap();
+        // Lane 0 fires at ticks 0, 8, 16; kill it before the second firing.
+        board.fail_lane(0, 5);
+        assert!(board.any_lane_failed());
+        board.run(u64::MAX).unwrap();
+        board.finish_bridge_program();
+        // Only lane 0's tick-0 slot delivered; lane 1 is untouched.
+        assert_eq!(board.lane_words(), &[2, 3]);
+        let stats = board.bridge_stats();
+        assert_eq!(stats.word_transfers, 2 + 3);
+        // Scheduled slots are still reserved — the TDM frame does not
+        // shrink because a lane died.
+        assert_eq!(stats.scheduled_slots, 3 * 16);
+        // The batched drain falls back to the replay under a dead lane.
+        let mut batched = two_chip_board();
+        batched.load_bridge_program(bridge_program(3)).unwrap();
+        batched.fail_lane(0, 5);
+        batched.run(u64::MAX).unwrap();
+        batched.finish_bridge_program_batched();
+        assert_eq!(batched.bridge_stats(), stats);
+        assert_eq!(batched.lane_words(), board.lane_words());
+    }
+
+    #[test]
+    fn failed_board_column_prevents_all_halted() {
+        let mut board = two_chip_board();
+        assert!(board.fail_column(1, 0, 0));
+        assert!(!board.fail_column(5, 0, 0));
+        board.run(1_000).unwrap();
+        assert!(!board.all_halted());
+        assert!(board.chip(0).unwrap().all_halted());
+        assert!(board.chip(1).unwrap().any_failed());
     }
 
     #[test]

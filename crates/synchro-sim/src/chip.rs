@@ -417,8 +417,33 @@ impl Chip {
     }
 
     /// True when every column has halted.
+    ///
+    /// A [failed](Chip::fail_column) column never halts, so a chip with a
+    /// dead column can only be retired by a starvation watchdog.
     pub fn all_halted(&self) -> bool {
         self.columns.iter().all(Column::is_halted)
+    }
+
+    /// Kill column `column` at reference tick `tick`: it stops executing
+    /// and billing cycles but never reports halted (dead, not done).
+    /// Emits [`TraceEvent::FaultColumnKilled`] and returns `false` if the
+    /// column does not exist.
+    pub fn fail_column(&mut self, column: usize, tick: u64) -> bool {
+        let Some(col) = self.columns.get_mut(column) else {
+            return false;
+        };
+        col.fail();
+        self.trace.emit(|| TraceEvent::FaultColumnKilled {
+            chip: self.chip_id,
+            column: column as u32,
+            tick,
+        });
+        true
+    }
+
+    /// True when any column has been killed by a fault.
+    pub fn any_failed(&self) -> bool {
+        self.columns.iter().any(Column::is_failed)
     }
 
     /// Jump the reference clock forward to `to_tick` without stepping any
@@ -471,7 +496,7 @@ impl Chip {
         for column in &mut self.columns {
             // `Column::new` guarantees `clock_divider >= 1`.
             let divider = u64::from(column.config().clock_divider);
-            if tick_index.is_multiple_of(divider) && !column.is_halted() {
+            if tick_index.is_multiple_of(divider) && !column.is_halted() && !column.is_failed() {
                 let before = column.stats().cycles;
                 column.step()?;
                 // A step that only observes the HALT executes no cycle.
@@ -505,10 +530,13 @@ impl Chip {
             }
             let now = self.stats.reference_cycles;
             // The earliest tick >= now at which a live column fires.
+            // Failed columns never fire (their steps are unbilled no-ops),
+            // so skipping them keeps `run` and `run_ticked` bit-identical
+            // while avoiding empty scheduler iterations.
             let next_event = self
                 .columns
                 .iter()
-                .filter(|c| !c.is_halted())
+                .filter(|c| !c.is_halted() && !c.is_failed())
                 .map(|c| {
                     let divider = u64::from(c.config().clock_divider);
                     now.div_ceil(divider) * divider
@@ -721,6 +749,37 @@ mod tests {
             fast.run_loop_iterations(),
             slow.run_loop_iterations()
         );
+    }
+
+    #[test]
+    fn failed_column_starves_the_chip_but_keeps_tiers_bit_identical() {
+        let build = || {
+            let mut chip = Chip::new();
+            chip.add_column(counting_column(40, 3));
+            chip.add_column(counting_column(25, 7));
+            chip
+        };
+        let mut fast = build();
+        let mut slow = build();
+        for chip in [&mut fast, &mut slow] {
+            chip.run(50).unwrap();
+            assert!(chip.fail_column(1, chip.stats().reference_cycles));
+            assert!(!chip.fail_column(9, 0), "unknown column is rejected");
+            assert!(chip.any_failed());
+        }
+        let fast_ticks = fast.run(10_000).unwrap();
+        let slow_ticks = slow.run_ticked(10_000).unwrap();
+        assert_eq!(fast_ticks, slow_ticks);
+        assert_eq!(fast.stats(), slow.stats());
+        assert_eq!(fast.column_stats(), slow.column_stats());
+        // The dead column billed nothing after the kill and never halts,
+        // so the chip as a whole never reports halted: starvation.
+        assert!(!fast.all_halted() && !slow.all_halted());
+        assert!(fast.column(0).unwrap().is_halted());
+        assert!(!fast.column(1).unwrap().is_halted());
+        assert!(fast.column(1).unwrap().is_failed());
+        // Both drivers consumed the full window instead of wedging inside.
+        assert_eq!(fast_ticks, 10_000);
     }
 
     #[test]

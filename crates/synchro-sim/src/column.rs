@@ -140,6 +140,7 @@ pub struct Column {
     trace: Trace,
     chip_id: u32,
     column_id: u32,
+    failed: bool,
 }
 
 impl Column {
@@ -178,6 +179,7 @@ impl Column {
             trace: Trace::off(),
             chip_id: 0,
             column_id: 0,
+            failed: false,
         }
     }
 
@@ -210,8 +212,23 @@ impl Column {
     }
 
     /// Has the column's program halted?
+    ///
+    /// A [failed](Column::fail) column is *not* halted: the hardware is
+    /// dead, not done, and a driver waiting for `all_halted` will starve.
     pub fn is_halted(&self) -> bool {
         self.controller.is_halted()
+    }
+
+    /// Mark the column as failed hardware: every subsequent step is an
+    /// unbilled no-op, but the column never reports halted — the static
+    /// schedule has no recovery path, so consumers of its data starve.
+    pub fn fail(&mut self) {
+        self.failed = true;
+    }
+
+    /// Has the column been killed by a fault?
+    pub fn is_failed(&self) -> bool {
+        self.failed
     }
 
     /// Accumulated statistics.
@@ -250,7 +267,7 @@ impl Column {
     /// Returns [`ColumnError`] when a tile faults or the DOU schedules an
     /// impossible bus transfer (both indicate a broken static schedule).
     pub fn step(&mut self) -> Result<(), ColumnError> {
-        if self.controller.is_halted() {
+        if self.failed || self.controller.is_halted() {
             return Ok(());
         }
 
@@ -352,7 +369,7 @@ impl Column {
     pub fn run(&mut self, max_cycles: u64) -> Result<u64, ColumnError> {
         let start = self.stats.cycles;
         for _ in 0..max_cycles {
-            if self.controller.is_halted() {
+            if self.failed || self.controller.is_halted() {
                 break;
             }
             self.step()?;

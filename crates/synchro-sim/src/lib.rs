@@ -20,8 +20,10 @@ pub mod board;
 pub mod chip;
 pub mod column;
 pub mod fast;
+pub mod fault;
 
 pub use board::{Board, BridgeProgram, BridgeTransfer};
 pub use chip::{BusProgram, BusSlot, Chip, ChipStats};
 pub use column::{Column, ColumnConfig, ColumnError, ColumnStats};
 pub use fast::{ColumnBatch, FastTier, FastTierError, FiringProfile};
+pub use fault::{FaultEvent, FaultPlan, FaultTarget, SimFault};

@@ -243,6 +243,40 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                     vec![("value".to_owned(), Value::num(*delta))],
                 ));
             }
+            TraceEvent::FaultColumnKilled { chip, column, tick } => {
+                let (pid, tid) = (PID_CHIP_BASE + u64::from(*chip), u64::from(*column));
+                track(pid, tid, format!("column {column}"));
+                let mut fields = event("fault: column killed", "i", *tick, pid, tid);
+                fields.push(("s".to_owned(), Value::str("g")));
+                out.push(with_args(fields, vec![]));
+            }
+            TraceEvent::FaultLaneKilled {
+                lane,
+                from_chip,
+                to_chip,
+                tick,
+            } => {
+                let (pid, tid) = (PID_BOARD, u64::from(*lane));
+                track(pid, tid, format!("bridge lane {lane}"));
+                let mut fields = event("fault: lane killed", "i", *tick, pid, tid);
+                fields.push(("s".to_owned(), Value::str("g")));
+                out.push(with_args(
+                    fields,
+                    vec![
+                        ("from_chip".to_owned(), Value::num(u64::from(*from_chip))),
+                        ("to_chip".to_owned(), Value::num(u64::from(*to_chip))),
+                    ],
+                ));
+            }
+            TraceEvent::FaultStalled { tick, window } => {
+                track(PID_BOARD, 3_000, "faults".to_owned());
+                let mut fields = event("fault: stalled", "i", *tick, PID_BOARD, 3_000);
+                fields.push(("s".to_owned(), Value::str("g")));
+                out.push(with_args(
+                    fields,
+                    vec![("window".to_owned(), Value::num(*window))],
+                ));
+            }
         }
     }
     let mut all = Vec::with_capacity(out.len() + 2 * tracks.len());

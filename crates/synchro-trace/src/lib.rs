@@ -167,6 +167,37 @@ pub enum TraceEvent {
         /// Amount added.
         delta: u64,
     },
+    /// A fault plan killed one SIMD column mid-run: from `tick` onward
+    /// the column executes nothing and bills no cycles.
+    FaultColumnKilled {
+        /// Chip holding the column.
+        chip: u32,
+        /// Column index within the chip.
+        column: u32,
+        /// Reference tick the fault fired at.
+        tick: u64,
+    },
+    /// A fault plan killed one bridge lane mid-run: slots scheduled on
+    /// the lane at or after `tick` are dropped undelivered.
+    FaultLaneKilled {
+        /// Bridge lane index within the board.
+        lane: u32,
+        /// Producing chip of the lane.
+        from_chip: u32,
+        /// Consuming chip of the lane.
+        to_chip: u32,
+        /// Reference tick the fault fired at.
+        tick: u64,
+    },
+    /// The starvation watchdog tripped: no column, bus, or bridge
+    /// progress across a full observation `window`, so the driver gave
+    /// up instead of spinning.
+    FaultStalled {
+        /// Reference tick the run was abandoned at.
+        tick: u64,
+        /// Watchdog window (reference ticks) that saw zero progress.
+        window: u64,
+    },
 }
 
 /// Where events go.  Implementations must tolerate concurrent `record`
@@ -299,6 +330,9 @@ pub struct MetricsSink {
     route_slots: AtomicU64,
     route_words: AtomicU64,
     route_rejects: AtomicU64,
+    fault_columns: AtomicU64,
+    fault_lanes: AtomicU64,
+    fault_stalls: AtomicU64,
     named: Mutex<BTreeMap<&'static str, u64>>,
 }
 
@@ -344,6 +378,15 @@ impl MetricsSink {
         put("route.slots", self.route_slots.load(Ordering::Relaxed));
         put("route.words", self.route_words.load(Ordering::Relaxed));
         put("route.rejects", self.route_rejects.load(Ordering::Relaxed));
+        put(
+            "sim.fault_columns",
+            self.fault_columns.load(Ordering::Relaxed),
+        );
+        put("sim.fault_lanes", self.fault_lanes.load(Ordering::Relaxed));
+        put(
+            "sim.fault_stalls",
+            self.fault_stalls.load(Ordering::Relaxed),
+        );
         for (name, value) in self.named.lock().expect("registry poisoned").iter() {
             put(name, *value);
         }
@@ -397,6 +440,15 @@ impl TraceSink for MetricsSink {
                     .expect("registry poisoned")
                     .entry(name)
                     .or_insert(0) += delta;
+            }
+            TraceEvent::FaultColumnKilled { .. } => {
+                self.fault_columns.fetch_add(1, Ordering::Relaxed);
+            }
+            TraceEvent::FaultLaneKilled { .. } => {
+                self.fault_lanes.fetch_add(1, Ordering::Relaxed);
+            }
+            TraceEvent::FaultStalled { .. } => {
+                self.fault_stalls.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -557,6 +609,28 @@ fn key_of(event: &TraceEvent) -> NormKey {
         ),
         TraceEvent::RouteReject { code, .. } => (9, 0, 0, 0, Vec::new(), (*code).to_owned()),
         TraceEvent::Counter { name, .. } => (10, 0, 0, 0, Vec::new(), (*name).to_owned()),
+        TraceEvent::FaultColumnKilled { chip, column, .. } => (
+            11,
+            u64::from(*chip),
+            u64::from(*column),
+            0,
+            Vec::new(),
+            String::new(),
+        ),
+        TraceEvent::FaultLaneKilled {
+            lane,
+            from_chip,
+            to_chip,
+            ..
+        } => (
+            12,
+            u64::from(*lane),
+            u64::from(*from_chip),
+            u64::from(*to_chip),
+            Vec::new(),
+            String::new(),
+        ),
+        TraceEvent::FaultStalled { .. } => (13, 0, 0, 0, Vec::new(), String::new()),
     }
 }
 
@@ -574,6 +648,9 @@ fn payload_of(event: &TraceEvent) -> (u64, u64) {
         TraceEvent::RouteSlot { words, .. } => (1, *words),
         TraceEvent::RouteReject { .. } => (1, 0),
         TraceEvent::Counter { delta, .. } => (*delta, 0),
+        TraceEvent::FaultColumnKilled { .. }
+        | TraceEvent::FaultLaneKilled { .. }
+        | TraceEvent::FaultStalled { .. } => (1, 0),
     }
 }
 
@@ -663,6 +740,23 @@ pub fn normalize(events: &[TraceEvent]) -> Vec<TraceEvent> {
             },
             TraceEvent::RouteReject { code, detail } => TraceEvent::RouteReject { code, detail },
             TraceEvent::Counter { name, .. } => TraceEvent::Counter { name, delta: count },
+            TraceEvent::FaultColumnKilled { chip, column, .. } => TraceEvent::FaultColumnKilled {
+                chip,
+                column,
+                tick: 0,
+            },
+            TraceEvent::FaultLaneKilled {
+                lane,
+                from_chip,
+                to_chip,
+                ..
+            } => TraceEvent::FaultLaneKilled {
+                lane,
+                from_chip,
+                to_chip,
+                tick: 0,
+            },
+            TraceEvent::FaultStalled { window, .. } => TraceEvent::FaultStalled { tick: 0, window },
         })
         .collect()
 }
@@ -850,6 +944,54 @@ mod tests {
         assert_eq!(normalize(&fine), normalize(&batched));
         // Different totals must NOT normalize equal.
         assert_ne!(normalize(&fine), normalize(&batched[..1]));
+    }
+
+    #[test]
+    fn fault_events_fold_into_the_registry_and_normalize() {
+        let sink = MetricsSink::new();
+        sink.record(&TraceEvent::FaultColumnKilled {
+            chip: 0,
+            column: 2,
+            tick: 700,
+        });
+        sink.record(&TraceEvent::FaultLaneKilled {
+            lane: 1,
+            from_chip: 0,
+            to_chip: 1,
+            tick: 700,
+        });
+        sink.record(&TraceEvent::FaultStalled {
+            tick: 1_440,
+            window: 720,
+        });
+        sink.record(&TraceEvent::FaultStalled {
+            tick: 2_880,
+            window: 720,
+        });
+        assert_eq!(sink.value("sim.fault_columns"), 1);
+        assert_eq!(sink.value("sim.fault_lanes"), 1);
+        assert_eq!(sink.value("sim.fault_stalls"), 2);
+
+        // Normalization drops ticks but keeps the fault's identity, so
+        // the ticked and event-driven tiers compare equal while a fault
+        // on a different column does not.
+        let a = vec![TraceEvent::FaultColumnKilled {
+            chip: 0,
+            column: 2,
+            tick: 700,
+        }];
+        let b = vec![TraceEvent::FaultColumnKilled {
+            chip: 0,
+            column: 2,
+            tick: 703,
+        }];
+        let c = vec![TraceEvent::FaultColumnKilled {
+            chip: 0,
+            column: 1,
+            tick: 700,
+        }];
+        assert_eq!(normalize(&a), normalize(&b));
+        assert_ne!(normalize(&a), normalize(&c));
     }
 
     #[test]

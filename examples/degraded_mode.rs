@@ -1,0 +1,160 @@
+//! Fault tolerance end to end: static rejection, degraded-mode
+//! remapping, and runtime fault injection, worked on the DDC.
+//!
+//! 1. Compiles and runs the healthy DDC reference mapping.
+//! 2. Marks the CFIR column as failed in a [`FaultSpec`] and shows the
+//!    compiler reject the unchanged mapping with a structured fault
+//!    error instead of silently running on dead hardware.
+//! 3. Asks [`explore_degraded`] for the recovery story: for each
+//!    reference column lost in turn, re-search the design space at the
+//!    reference budget minus the dead tiles, walking the rate ladder
+//!    down until a feasible mapping appears.
+//! 4. Kills the CFIR column mid-run with a [`FaultPlan`] and shows the
+//!    starvation watchdog abandon the run with a structured
+//!    [`SimFault::Stalled`] outcome — a killed column is dead but never
+//!    halts, so the chip can no longer drain — then writes the traced
+//!    run as a Chrome `trace_event` timeline for inspection in
+//!    Perfetto.
+//!
+//! Run with: `cargo run --release --example degraded_mode [timeline.json]`
+
+use std::sync::Arc;
+
+use synchroscalar::apps::{Application, ApplicationProfile};
+use synchroscalar::explorer::{explore_degraded, ExplorerConfig, ResourceLoss};
+use synchroscalar::mapper::{self, ExecutionTier, MapperOptions};
+use synchroscalar::power::Technology;
+use synchroscalar::sdf::FaultSpec;
+use synchroscalar::sim::FaultPlan;
+use synchroscalar::trace::chrome::chrome_trace;
+use synchroscalar::trace::{RingBufferSink, Trace};
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "ddc_faulted_timeline.json".to_owned());
+
+    let (graph, mapping, rate) = mapper::ddc_reference();
+    let tech = Technology::isca2004();
+    let options = MapperOptions {
+        iterations: 8,
+        iteration_rate_hz: rate,
+        tech: tech.clone(),
+        tier: ExecutionTier::Interpreted,
+        ..MapperOptions::default()
+    };
+
+    // 1. The healthy baseline: the reference mapping compiles and drains.
+    let mut healthy = mapper::compile(&graph, &mapping, &options).unwrap();
+    let report = healthy.execute().unwrap();
+    println!(
+        "Healthy DDC: {} iterations in {} reference ticks (hyperperiod {})",
+        report.iterations, report.reference_ticks, report.hyperperiod
+    );
+
+    // 2. Static rejection: the CFIR column (column 3, 16 tiles) fails.
+    // Compiling the unchanged mapping against the fault spec must be a
+    // structured error, not a run on dead silicon.
+    let cfir_column = 3;
+    let cfir_tiles = mapping.placements()[cfir_column].tiles;
+    let mut faults = FaultSpec::none();
+    faults.fail_column(0, cfir_column);
+    let rejected = mapper::compile(
+        &graph,
+        &mapping,
+        &MapperOptions {
+            faults,
+            ..options.clone()
+        },
+    );
+    match rejected {
+        Err(e) if e.is_fault() => println!("\nStatic rejection: {e}"),
+        other => panic!("expected a fault rejection, got {other:?}"),
+    }
+
+    // 3. Degraded-mode remapping: lose each reference column in turn and
+    // re-explore at the shrunken budget, walking the rate ladder down
+    // until feasible.  Losing the 2-tile CIC Comb column leaves enough
+    // slack for a full-rate remap; losing a 16-tile FIR column does not.
+    let budget = ApplicationProfile::of(Application::Ddc).reference_tiles();
+    let config = ExplorerConfig::new(rate, budget)
+        .with_tech(tech)
+        .single_actor_columns();
+    let mut losses: Vec<ResourceLoss> = mapping
+        .placements()
+        .iter()
+        .enumerate()
+        .map(|(column, p)| {
+            let name = graph.actor(p.actor).map_or("?", |a| a.name.as_str());
+            ResourceLoss::column(
+                format!("column {column} ({name}, {} tiles)", p.tiles),
+                p.tiles,
+            )
+        })
+        .collect();
+    losses.sort_by_key(|l| l.tiles_lost);
+    let curve = explore_degraded(&graph, &config, &losses).unwrap();
+    println!(
+        "\nDegradation curve (budget {budget} tiles, full rate {:.0} MHz iteration):",
+        curve.full_rate_hz / 1e6
+    );
+    println!(
+        "  {:<34} {:>6} {:>10} {:>10} {:>6}",
+        "loss", "rate", "MHz", "mW", "tiles"
+    );
+    for p in &curve.points {
+        println!(
+            "  {:<34} {:>3}/{:<2} {:>10.2} {:>10.1} {:>6}",
+            p.label,
+            p.rate_num,
+            p.rate_den,
+            p.rate_hz / 1e6,
+            p.power_mw,
+            p.tiles_used
+        );
+    }
+    assert!(curve.is_monotone(), "more damage never buys more rate");
+
+    // 4. Runtime injection: the same CFIR column dies mid-run.  A killed
+    // column executes nothing but never reaches its halt state, so the
+    // chip can never drain; the watchdog notices a whole hyperperiod
+    // with zero progress and abandons the run with a structured stall
+    // instead of wedging forever.
+    let ring = Arc::new(RingBufferSink::new(1 << 22));
+    let mut injected = mapper::compile(
+        &graph,
+        &mapping,
+        &MapperOptions {
+            trace: Trace::to(ring.clone()),
+            ..options.clone()
+        },
+    )
+    .unwrap();
+    let kill_tick = report.hyperperiod * 2;
+    let mut plan = FaultPlan::none();
+    plan.kill_column(0, cfir_column, kill_tick);
+    let run = injected.execute_faulted(&plan).unwrap();
+    let fault = run.fault.expect("a dead CFIR column starves the chip");
+    println!(
+        "\nRuntime injection: CFIR column ({cfir_tiles} tiles) killed at tick {kill_tick}:\n  {fault}"
+    );
+    for (column, (fired, expected)) in run
+        .report
+        .firing_counts
+        .iter()
+        .zip(&run.report.expected_firings)
+        .enumerate()
+    {
+        println!("  column {column}: {fired} of {expected} firings before the stall");
+    }
+
+    // The faulted run's timeline — the kill and the watchdog verdict are
+    // FaultColumnKilled / FaultStalled rows on the timeline.
+    let exported = chrome_trace(&ring.events());
+    std::fs::write(&out_path, &exported).unwrap();
+    println!(
+        "\nChrome trace of the faulted run written to {out_path} \
+         ({} bytes; open in Perfetto or chrome://tracing)",
+        exported.len()
+    );
+}

@@ -60,6 +60,9 @@ fn main() {
             TraceEvent::RouteSlot { .. } => "router slot decisions",
             TraceEvent::RouteReject { .. } => "router rejections",
             TraceEvent::Counter { .. } => "counters",
+            TraceEvent::FaultColumnKilled { .. }
+            | TraceEvent::FaultLaneKilled { .. }
+            | TraceEvent::FaultStalled { .. } => "fault events",
         };
         *kinds.entry(kind).or_default() += 1;
     }

@@ -444,6 +444,255 @@ proptest! {
     }
 }
 
+/// Execute `(graph, mapping, options)` under `plan` on all three chip
+/// drivers — event-driven interpreted, naive ticked, and the fast tier
+/// (which falls back to the interpreted driver whenever an event could
+/// fire) — and require bit-identical `FaultedRun`s and chip statistics.
+/// The structured outcome must also match the machine state: `fault:
+/// None` ⇔ every column halted, `Some(Stalled)` ⇔ a survivor starved.
+/// That the proptest returns at all is the watchdog's termination
+/// guarantee — a wedged chip must classify, never spin.
+fn check_faulted_tiers(
+    graph: &SdfGraph,
+    mapping: &Mapping,
+    options: &MapperOptions,
+    plan: &synchroscalar::sim::FaultPlan,
+) -> Result<(), TestCaseError> {
+    let compile_on = |tier| {
+        mapper::compile(
+            graph,
+            mapping,
+            &MapperOptions {
+                tier,
+                ..options.clone()
+            },
+        )
+    };
+    let interpreted = compile_on(ExecutionTier::Interpreted);
+    let fast = compile_on(ExecutionTier::Fast);
+    let ticked = compile_on(ExecutionTier::Interpreted);
+    let (mut interpreted, mut fast, mut ticked) = match (interpreted, fast, ticked) {
+        (Ok(i), Ok(f), Ok(t)) => (i, f, t),
+        (i, f, _) => {
+            prop_assert_eq!(format!("{:?}", i.err()), format!("{:?}", f.err()));
+            return Ok(());
+        }
+    };
+    let a = interpreted.execute_faulted(plan);
+    let b = fast.execute_faulted(plan);
+    let c = ticked.execute_faulted_ticked(plan);
+    prop_assert_eq!(
+        format!("{a:?}"),
+        format!("{b:?}"),
+        "interpreted vs fast faulted runs diverge"
+    );
+    prop_assert_eq!(
+        format!("{a:?}"),
+        format!("{c:?}"),
+        "event-driven vs ticked faulted runs diverge"
+    );
+    if let Ok(run) = a {
+        match &run.fault {
+            None => prop_assert!(
+                interpreted.chip().all_halted(),
+                "a clean outcome requires a fully halted chip"
+            ),
+            Some(synchroscalar::sim::SimFault::Stalled { .. }) => prop_assert!(
+                !interpreted.chip().all_halted(),
+                "a stall verdict requires a live survivor"
+            ),
+        }
+        prop_assert_eq!(interpreted.chip().stats(), fast.chip().stats());
+        prop_assert_eq!(interpreted.chip().stats(), ticked.chip().stats());
+        prop_assert_eq!(
+            interpreted.chip().column_stats(),
+            fast.chip().column_stats()
+        );
+        prop_assert_eq!(
+            interpreted.chip().column_stats(),
+            ticked.chip().column_stats()
+        );
+        prop_assert_eq!(
+            interpreted.chip().horizontal_stats(),
+            fast.chip().horizontal_stats()
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Fault-injected chains: killing any column at any tick produces
+    /// bit-identical runs on the event-driven, ticked and fast drivers —
+    /// identical statistics up to the injection point and the same
+    /// structured post-fault outcome (clean drain or watchdog stall).
+    #[test]
+    fn faulted_runs_are_bit_identical_across_all_three_drivers(
+        cycles in prop::collection::vec(1u64..40, 2..4),
+        cap_picks in prop::collection::vec(0usize..3, 2..4),
+        rate_picks in prop::collection::vec(0usize..4, 1..3),
+        iterations in 1u64..4,
+        victim in 0usize..4,
+        kill_tick in 0u64..500,
+    ) {
+        let n = cycles.len().min(cap_picks.len()).min(rate_picks.len() + 1);
+        let caps: Vec<u32> = cap_picks[..n].iter().map(|&i| [1u32, 2, 4][i]).collect();
+        let rates: Vec<(u64, u64)> = rate_picks[..n - 1].iter().map(|&i| RATE_CHOICES[i]).collect();
+        let (graph, mapping) = chain(&cycles[..n], &caps, &rates);
+        prop_assume!(mapping.validate(&graph).is_empty());
+        let options = MapperOptions {
+            iterations,
+            ..MapperOptions::default()
+        };
+        let mut plan = synchroscalar::sim::FaultPlan::none();
+        plan.kill_column(0, victim % n, kill_tick);
+        check_faulted_tiers(&graph, &mapping, &options, &plan)?;
+    }
+
+    /// The empty plan is exactly plain execution (the delegation path),
+    /// and a fault scheduled far past the halt never fires: both must be
+    /// bit-identical to `execute()` on every driver.
+    #[test]
+    fn unfired_faults_leave_runs_bit_identical_to_plain_execution(
+        cycles in prop::collection::vec(1u64..40, 2..4),
+        rate_picks in prop::collection::vec(0usize..4, 1..3),
+        iterations in 1u64..4,
+        fire_pick in 0usize..2,
+    ) {
+        let n = cycles.len().min(rate_picks.len() + 1);
+        let caps = vec![1u32; n];
+        let rates: Vec<(u64, u64)> = rate_picks[..n - 1].iter().map(|&i| RATE_CHOICES[i]).collect();
+        let (graph, mapping) = chain(&cycles[..n], &caps, &rates);
+        prop_assume!(mapping.validate(&graph).is_empty());
+        let options = MapperOptions {
+            iterations,
+            ..MapperOptions::default()
+        };
+        let mut plan = synchroscalar::sim::FaultPlan::none();
+        if fire_pick == 1 {
+            plan.kill_column(0, 0, u64::MAX);
+        }
+        let mut plain = mapper::compile(&graph, &mapping, &options).unwrap();
+        let baseline = plain.execute();
+        let mut faulted = mapper::compile(&graph, &mapping, &options).unwrap();
+        let run = faulted.execute_faulted(&plan);
+        match (baseline, run) {
+            (Ok(report), Ok(run)) => {
+                prop_assert_eq!(run.fault, None);
+                prop_assert_eq!(&run.report, &report);
+                prop_assert_eq!(plain.chip().stats(), faulted.chip().stats());
+            }
+            (a, b) => {
+                let b_report = b.map(|r| r.report);
+                prop_assert_eq!(format!("{:?}", a), format!("{:?}", b_report));
+            }
+        }
+        check_faulted_tiers(&graph, &mapping, &options, &plan)?;
+    }
+}
+
+/// Board-level fault differential: kill a column of either chip or a
+/// bridge lane mid-run; the interpreted and fast board drivers must
+/// produce bit-identical `FaultedBoardRun`s, per-chip statistics and
+/// bridge counters, and the structured outcome must match the board
+/// state.
+fn check_faulted_board_tiers(
+    graph: &SdfGraph,
+    mapping: &Mapping,
+    options: &MapperOptions,
+    plan: &synchroscalar::sim::FaultPlan,
+) -> Result<(), TestCaseError> {
+    let board_config = mapper::BoardConfig::default();
+    let compile_on = |tier| {
+        mapper::compile_board(
+            graph,
+            mapping,
+            &MapperOptions {
+                tier,
+                ..options.clone()
+            },
+            &board_config,
+        )
+    };
+    let (mut interpreted, mut fast) = match (
+        compile_on(ExecutionTier::Interpreted),
+        compile_on(ExecutionTier::Fast),
+    ) {
+        (Ok(i), Ok(f)) => (i, f),
+        (i, f) => {
+            prop_assert_eq!(format!("{:?}", i.err()), format!("{:?}", f.err()));
+            return Ok(());
+        }
+    };
+    let a = interpreted.execute_faulted(plan);
+    let b = fast.execute_faulted(plan);
+    prop_assert_eq!(
+        format!("{a:?}"),
+        format!("{b:?}"),
+        "board faulted runs diverge"
+    );
+    if let Ok(run) = a {
+        match &run.fault {
+            None => prop_assert!(interpreted.board().all_halted()),
+            Some(synchroscalar::sim::SimFault::Stalled { .. }) => {
+                prop_assert!(!interpreted.board().all_halted())
+            }
+        }
+        prop_assert_eq!(
+            interpreted.board().bridge_stats(),
+            fast.board().bridge_stats()
+        );
+        prop_assert_eq!(interpreted.board().lane_words(), fast.board().lane_words());
+        for chip in 0..interpreted.board().chips() {
+            let ic = interpreted.board().chip(chip).unwrap();
+            let fc = fast.board().chip(chip).unwrap();
+            prop_assert_eq!(ic.stats(), fc.stats(), "chip {} stats diverge", chip);
+            prop_assert_eq!(ic.column_stats(), fc.column_stats());
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Split chains with a mid-run column or bridge-lane kill: the board
+    /// drivers agree bit for bit on statistics and structured outcome,
+    /// and always terminate (lane kills drop traffic but never starve a
+    /// column — `recv` never blocks).
+    #[test]
+    fn faulted_board_runs_are_bit_identical_on_both_tiers(
+        cycles in prop::collection::vec(1u64..40, 2..4),
+        rate_picks in prop::collection::vec(0usize..4, 1..3),
+        iterations in 1u64..4,
+        split_pick in 0usize..4,
+        victim in 0usize..4,
+        lane_pick in 0usize..2,
+        kill_tick in 0u64..500,
+    ) {
+        let n = cycles.len().min(rate_picks.len() + 1);
+        let caps = vec![2u32; n];
+        let rates: Vec<(u64, u64)> = rate_picks[..n - 1].iter().map(|&i| RATE_CHOICES[i]).collect();
+        let (graph, single) = chain(&cycles[..n], &caps, &rates);
+        prop_assume!(single.validate(&graph).is_empty());
+        let split = 1 + split_pick % (n - 1);
+        let mut mapping = Mapping::new();
+        for (i, p) in single.placements().iter().enumerate() {
+            mapping.place_on_chip(usize::from(i >= split), p.actor, p.tiles, p.efficiency);
+        }
+        let options = MapperOptions {
+            iterations,
+            ..MapperOptions::default()
+        };
+        let mut plan = synchroscalar::sim::FaultPlan::none();
+        if lane_pick == 1 {
+            plan.kill_lane(0, kill_tick);
+        } else {
+            let chip = usize::from(victim % n >= split);
+            let column = if chip == 0 { victim % n } else { victim % n - split };
+            plan.kill_column(chip, column, kill_tick);
+        }
+        check_faulted_board_tiers(&graph, &mapping, &options, &plan)?;
+    }
+}
+
 /// Reference-profile pin: for all six paper applications, the interpreted
 /// and fast tiers must emit bit-identical normalized event streams — and
 /// actually emit something (divider ticks at minimum), so a silently
