@@ -25,13 +25,28 @@
 //! bit-identically on both tiers, and the degraded-mode summary
 //! (`experiments::degraded_mode_summary`) is timed and its per-profile
 //! recovery shape recorded under the `degraded` key.
+//!
+//! Trace analytics (always on full runs, on quick runs only with
+//! `--analyze`): every traced event of all six reference profiles is
+//! priced through the `synchro-power` models on both tiers
+//! (`experiments::energy_attribution_summary`) and the event-priced
+//! total must agree with the independent report-counter energy within
+//! 0.1%; the binding resource and deadline headroom are recorded per
+//! profile, and `experiments::explain_infeasibility` must blame the
+//! router's `period_overflow` for the single-chip deep pipeline.  Pass
+//! `--analyze <path>` to additionally write a Chrome trace of a short
+//! DDC run with the attributed power appended as Perfetto counter
+//! tracks.
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use bench::rule;
 use synchroscalar::apps::{deep_pipeline, DEEP_PIPELINE_RATE_HZ};
-use synchroscalar::experiments::degraded_mode_summary;
+use synchroscalar::experiments::{
+    degraded_mode_summary, energy_attribution_summary, explain_infeasibility, EnergyAttributionRow,
+    InfeasibilityExplanation,
+};
 use synchroscalar::mapper::{
     self, BoardConfig, BoardExecutionReport, CompiledBoard, CompiledChip, ExecutionReport,
     ExecutionTier, FaultedRun, MapperOptions,
@@ -39,7 +54,9 @@ use synchroscalar::mapper::{
 use synchroscalar::power::Technology;
 use synchroscalar::sdf::{ActorId, Mapping, SdfGraph};
 use synchroscalar::sim::{FaultPlan, SimFault};
-use synchroscalar::trace::{chrome::chrome_trace, NullSink, RingBufferSink, Trace};
+use synchroscalar::trace::analyze::power_timeline;
+use synchroscalar::trace::chrome::{chrome_trace, chrome_trace_with_power};
+use synchroscalar::trace::{NullSink, RingBufferSink, Trace};
 
 /// Measurement repetitions per tier; the fastest run is recorded (least
 /// scheduler interference).
@@ -323,6 +340,71 @@ fn measure_degraded() -> DegradedSummary {
     DegradedSummary { seconds, rows_json }
 }
 
+struct AnalysisSection {
+    seconds: f64,
+    rows: Vec<EnergyAttributionRow>,
+    explanation: InfeasibilityExplanation,
+}
+
+/// Price every traced event of the six reference profiles on both tiers
+/// and gate the event-priced energy against the independent
+/// report-counter energy (within 0.1%), then ask the rejection ledger
+/// why the 24-stage deep pipeline refuses a single chip: the answer
+/// must be the router's `period_overflow`.
+fn measure_analysis() -> AnalysisSection {
+    let start = Instant::now();
+    let rows = energy_attribution_summary(&Technology::isca2004());
+    for row in &rows {
+        assert_eq!(
+            row.unpriced_events, 0,
+            "{} [{}]: events escaped the price spec",
+            row.application, row.tier
+        );
+        assert!(
+            row.relative_error <= 1e-3,
+            "{} [{}]: attribution {:.4}% off the report counters",
+            row.application,
+            row.tier,
+            row.relative_error * 100.0
+        );
+    }
+    let explanation = explain_infeasibility(&deep_pipeline(), DEEP_PIPELINE_RATE_HZ, 64);
+    assert!(!explanation.feasible, "the single-chip split must fail");
+    assert_eq!(
+        explanation.classes.first().map(|c| c.code.as_str()),
+        Some("period_overflow"),
+        "the dominant rejection must be the router's period overflow"
+    );
+    AnalysisSection {
+        seconds: start.elapsed().as_secs_f64(),
+        rows,
+        explanation,
+    }
+}
+
+/// Record a short traced interpreted DDC run and write a Chrome trace
+/// with the attributed power appended as Perfetto counter tracks.
+fn export_power_timeline(graph: &SdfGraph, mapping: &Mapping, rate: f64, path: &str) {
+    let tech = Technology::isca2004();
+    let ring = Arc::new(RingBufferSink::new(1 << 22));
+    let options = MapperOptions {
+        iterations: 8,
+        iteration_rate_hz: rate,
+        tier: ExecutionTier::Interpreted,
+        trace: Trace::to(ring.clone()),
+        ..MapperOptions::default()
+    };
+    let mut compiled =
+        mapper::compile(graph, mapping, &options).expect("reference mapping compiles");
+    let report = compiled.execute().expect("reference trace executes");
+    assert_eq!(ring.dropped(), 0, "trace ring overflowed");
+    let events = ring.events();
+    let spec = compiled.price_spec(&tech);
+    let power = power_timeline(&events, &spec, report.reference_ticks, 64);
+    std::fs::write(path, chrome_trace_with_power(&events, &power)).expect("write power timeline");
+    println!("Chrome trace with power counter tracks written to {path}");
+}
+
 /// Repetitions per arm for the NullSink overhead measurement.  The two
 /// arms run identical code (see below), so the gate is pure
 /// noise-rejection: more repetitions than the tier benchmarks, with the
@@ -418,6 +500,15 @@ fn main() {
         .iter()
         .position(|a| a == "--trace")
         .map(|i| args.get(i + 1).expect("--trace requires a path").clone());
+    // Trace analytics mirror the fault path: always on full records,
+    // opt-in on quick runs.  The path operand is optional (`--analyze`
+    // alone gates without exporting).
+    let analyze_flag = args.iter().position(|a| a == "--analyze");
+    let analyze = !quick || analyze_flag.is_some();
+    let analyze_path = analyze_flag
+        .and_then(|i| args.get(i + 1))
+        .filter(|a| !a.starts_with("--"))
+        .cloned();
     let frames: u64 = if quick { 1_000 } else { 1_000_000 };
 
     let ddc = mapper::ddc_reference();
@@ -501,8 +592,46 @@ fn main() {
         (row, degraded)
     });
 
+    // Trace analytics: attribution-vs-counters agreement across all
+    // profiles and tiers, plus the ranked infeasibility explanation.
+    let analysis_section = analyze.then(|| {
+        let section = measure_analysis();
+        let worst = section
+            .rows
+            .iter()
+            .map(|r| r.relative_error)
+            .fold(0.0f64, f64::max);
+        println!(
+            "Energy attribution ({} profile/tier rows): worst disagreement {:.4}%, {:.3}s",
+            section.rows.len(),
+            worst * 100.0,
+            section.seconds
+        );
+        for row in &section.rows {
+            println!(
+                "  {:<14} [{:<11}] {:>9.3} µJ  {:>8.1} mW  binding {} ({:.0}%, {} ticks headroom)",
+                row.application,
+                row.tier,
+                row.attributed_j * 1e6,
+                row.average_power_mw,
+                row.binding,
+                row.binding_utilization * 100.0,
+                row.headroom_ticks
+            );
+        }
+        let dominant = section.explanation.classes.first().expect("rejections");
+        println!(
+            "Explain infeasibility (deep pipeline, 1 chip): {} ×{} — {}",
+            dominant.code, dominant.count, dominant.example
+        );
+        section
+    });
+
     if let Some(path) = &trace_path {
         export_timeline(&ddc.0, &ddc.1, ddc.2, path);
+    }
+    if let Some(path) = &analyze_path {
+        export_power_timeline(&ddc.0, &ddc.1, ddc.2, path);
     }
 
     if !quick {
@@ -565,12 +694,73 @@ fn main() {
         None => ("null".to_owned(), "null".to_owned()),
     };
 
+    // The analysis block is `null` when analytics were skipped (quick
+    // runs without `--analyze`), so the schema is stable.
+    let analysis_json = match &analysis_section {
+        Some(section) => {
+            let profile_rows: Vec<String> = section
+                .rows
+                .iter()
+                .map(|row| {
+                    format!(
+                        concat!(
+                            "      {{\n",
+                            "        \"application\": \"{}\",\n",
+                            "        \"tier\": \"{}\",\n",
+                            "        \"attributed_uj\": {:.6},\n",
+                            "        \"report_uj\": {:.6},\n",
+                            "        \"relative_error_pct\": {:.6},\n",
+                            "        \"average_power_mw\": {:.3},\n",
+                            "        \"binding\": \"{}\",\n",
+                            "        \"binding_utilization\": {:.4},\n",
+                            "        \"headroom_ticks\": {},\n",
+                            "        \"unpriced_events\": 0\n",
+                            "      }}"
+                        ),
+                        row.application,
+                        row.tier,
+                        row.attributed_j * 1e6,
+                        row.report_j * 1e6,
+                        row.relative_error * 100.0,
+                        row.average_power_mw,
+                        row.binding,
+                        row.binding_utilization,
+                        row.headroom_ticks,
+                    )
+                })
+                .collect();
+            let dominant = section.explanation.classes.first().expect("rejections");
+            format!(
+                concat!(
+                    "{{\n",
+                    "    \"seconds\": {:.6},\n",
+                    "    \"infeasibility\": {{\n",
+                    "      \"case\": \"deep_pipeline on 1 chip\",\n",
+                    "      \"dominant_code\": \"{}\",\n",
+                    "      \"dominant_count\": {},\n",
+                    "      \"example\": \"{}\"\n",
+                    "    }},\n",
+                    "    \"profiles\": [\n",
+                    "{}\n",
+                    "    ]\n",
+                    "  }}"
+                ),
+                section.seconds,
+                dominant.code,
+                dominant.count,
+                dominant.example,
+                profile_rows.join(",\n"),
+            )
+        }
+        None => "null".to_owned(),
+    };
+
     let rows_json: Vec<String> = rows.iter().map(row_json).collect();
     let json = format!(
         concat!(
             "{{\n",
             "  \"bench\": \"sim\",\n",
-            "  \"schema_version\": 3,\n",
+            "  \"schema_version\": 4,\n",
             "  \"generated_at\": \"{}\",\n",
             "  \"quick\": {},\n",
             "  \"runs_per_tier\": {},\n",
@@ -584,6 +774,7 @@ fn main() {
             "  }},\n",
             "  \"fault\": {},\n",
             "  \"degraded\": {},\n",
+            "  \"analysis\": {},\n",
             "  \"applications\": [\n",
             "{}\n",
             "  ]\n",
@@ -600,6 +791,7 @@ fn main() {
         MAX_TRACE_OVERHEAD_PCT,
         fault_json,
         degraded_json,
+        analysis_json,
         rows_json.join(",\n"),
     );
     std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");

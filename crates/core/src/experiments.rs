@@ -20,7 +20,11 @@ use synchro_power::{
     AreaModel, BusGeometry, ColumnActivity, ColumnPower, CriticalPath, InterconnectModel,
     LeakageModel, SimdDouArea, SlotActivity, Technology, TileArea, VfCurve,
 };
-use synchro_sdf::FaultSpec;
+use synchro_sdf::{FaultSpec, SdfGraph};
+use synchro_trace::analyze::{self, RejectionLedger};
+use synchro_trace::{RingBufferSink, Trace};
+
+use std::sync::Arc;
 
 /// One point of the Figure 5 voltage/frequency curves.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -1107,6 +1111,178 @@ pub fn degraded_mode_summary(tech: &Technology) -> Vec<DegradedModeRow> {
     rows
 }
 
+/// One row of the energy-attribution cross-check: a reference
+/// application run with the trace substrate on, its captured event
+/// stream priced through [`synchro_trace::analyze::attribute`], and the
+/// total compared against the independent report-counter energy
+/// ([`mapper::ReportEnergy`]).
+#[derive(Debug, Clone)]
+pub struct EnergyAttributionRow {
+    /// Application name.
+    pub application: String,
+    /// Execution tier the run used (`"interpreted"` / `"fast"`).
+    pub tier: &'static str,
+    /// Event-priced total energy of the run, joules.
+    pub attributed_j: f64,
+    /// Report-counter total energy of the run, joules.
+    pub report_j: f64,
+    /// `|attributed − report| / report` (0 when both are 0).
+    pub relative_error: f64,
+    /// Average attributed power over the run, milliwatts.
+    pub average_power_mw: f64,
+    /// Label of the binding resource per the bottleneck analysis.
+    pub binding: String,
+    /// Utilization of the binding resource in `[0, 1]`.
+    pub binding_utilization: f64,
+    /// Reference ticks of deadline headroom per hyperperiod on the
+    /// binding resource.
+    pub headroom_ticks: u64,
+    /// Simulation events the pricing spec could not bill (0 = every
+    /// event attributed).
+    pub unpriced_events: u64,
+}
+
+/// The energy-attribution experiment: every reference application, on
+/// both execution tiers, compiled with a [`RingBufferSink`] installed,
+/// executed, and its event stream priced against the compiled pricing
+/// spec.  The acceptance pin — attributed total ≡ report-counter total
+/// within 0.1 % — holds because both paths bill the same physical
+/// counters (billed cycles, occupied slots) through the same models;
+/// this function measures it rather than assuming it.
+///
+/// # Panics
+///
+/// Panics if a reference application fails to compile or execute, or if
+/// the capture ring overflows (the rows would silently under-count).
+pub fn energy_attribution_summary(tech: &Technology) -> Vec<EnergyAttributionRow> {
+    let mut rows = Vec::new();
+    for app in Application::all() {
+        let reference = reference_graph(app);
+        for (tier, tier_name) in [
+            (mapper::ExecutionTier::Interpreted, "interpreted"),
+            (mapper::ExecutionTier::Fast, "fast"),
+        ] {
+            let ring = Arc::new(RingBufferSink::new(1 << 22));
+            let options = MapperOptions {
+                iterations: 4,
+                iteration_rate_hz: reference.iteration_rate_hz,
+                tech: tech.clone(),
+                tier,
+                trace: Trace::to(ring.clone()),
+                ..MapperOptions::default()
+            };
+            let mut compiled = mapper::compile(&reference.graph, &reference.mapping, &options)
+                .expect("reference mappings compile");
+            let report = compiled.execute().expect("reference mappings execute");
+            assert_eq!(
+                ring.dropped(),
+                0,
+                "capture ring overflowed; the attribution would under-count"
+            );
+            let events = ring.events();
+            let spec = compiled.price_spec(tech);
+            let ledger = analyze::attribute(&events, &spec, report.reference_ticks);
+            let bottleneck = analyze::bottlenecks(&events, &spec, report.reference_ticks);
+            let report_energy = compiled.execution_energy(&report, tech);
+            let attributed_j = ledger.total_j();
+            let report_j = report_energy.total_j();
+            let relative_error = if report_j == 0.0 {
+                if attributed_j == 0.0 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                (attributed_j - report_j).abs() / report_j
+            };
+            rows.push(EnergyAttributionRow {
+                application: app.name().to_owned(),
+                tier: tier_name,
+                attributed_j,
+                report_j,
+                relative_error,
+                average_power_mw: ledger.average_power_mw(),
+                binding: bottleneck.binding.clone().unwrap_or_default(),
+                binding_utilization: bottleneck.binding_utilization,
+                headroom_ticks: bottleneck.headroom_ticks_per_hyperperiod,
+                unpriced_events: ledger.unpriced_events,
+            });
+        }
+    }
+    rows
+}
+
+/// The aggregated answer to "why is this `(graph, rate, budget)` triple
+/// infeasible?": the ranked rejection classes a [`RejectionLedger`]
+/// collected across exploration, realization and compilation, plus the
+/// rendered explanation.
+#[derive(Debug, Clone)]
+pub struct InfeasibilityExplanation {
+    /// Whether the triple compiled after all (empty ledger, no story to
+    /// tell).
+    pub feasible: bool,
+    /// Rejection classes, most frequent first.
+    pub classes: Vec<synchro_trace::analyze::RejectionClass>,
+    /// The rendered ranked explanation.
+    pub explanation: String,
+}
+
+/// Explain why `(graph, rate_hz, tile_budget)` does — or does not —
+/// map: run the explorer and (when it finds a candidate) the mapper with
+/// a [`RejectionLedger`] installed as the trace sink, so every
+/// structured rejection (router `PeriodOverflow`, explorer budget/comm
+/// prunes, fault rejections) lands in one ranked ledger.
+///
+/// The paper-pinned case: the 24-stage deep pipeline on one chip
+/// explores fine but dies in the router with `PeriodOverflow` — 46
+/// cross words against the reference 25-slot TDM frame — and that is
+/// exactly the dominant class this report names.
+pub fn explain_infeasibility(
+    graph: &SdfGraph,
+    rate_hz: f64,
+    tile_budget: u32,
+) -> InfeasibilityExplanation {
+    let ledger = Arc::new(RejectionLedger::new());
+    let trace = Trace::to(ledger.clone());
+    let config = ExplorerConfig::new(rate_hz, tile_budget)
+        .single_actor_columns()
+        .with_trace(trace.clone());
+    let feasible = match explore(graph, &config) {
+        Err(_) => false,
+        Ok(exploration) => match exploration.best.realize(graph) {
+            Err(err) => {
+                // Realization failures do not flow through a traced
+                // callee; mirror them into the ledger by hand.
+                trace.emit(|| synchro_trace::TraceEvent::RouteReject {
+                    code: err.code(),
+                    detail: err.to_string(),
+                });
+                false
+            }
+            Ok((realized, mapping)) => {
+                let options = MapperOptions {
+                    iterations: 1,
+                    iteration_rate_hz: rate_hz,
+                    trace: trace.clone(),
+                    ..MapperOptions::default()
+                };
+                mapper::compile(&realized, &mapping, &options).is_ok()
+            }
+        },
+    };
+    let title = format!(
+        "why the mapping {} at {:.0} Hz within {} tiles",
+        if feasible { "succeeds" } else { "fails" },
+        rate_hz,
+        tile_budget
+    );
+    InfeasibilityExplanation {
+        feasible,
+        classes: ledger.classes(),
+        explanation: ledger.explain(&title),
+    }
+}
+
 /// Convenience: the reference report of every application (used by the
 /// examples and the benchmark harness).
 pub fn reference_reports(tech: &Technology) -> Vec<ApplicationReport> {
@@ -1140,6 +1316,72 @@ mod tests {
         for p in &pts {
             assert!(p.frequency_fo4_15 > p.frequency_fo4_20);
         }
+    }
+
+    #[test]
+    fn energy_attribution_agrees_with_report_counters() {
+        let rows = energy_attribution_summary(&tech());
+        assert_eq!(rows.len(), 12, "six profiles on two tiers");
+        for row in &rows {
+            assert_eq!(
+                row.unpriced_events, 0,
+                "{} [{}]: every simulation event must be billable",
+                row.application, row.tier
+            );
+            assert!(
+                row.relative_error <= 1e-3,
+                "{} [{}]: attributed {} J vs report {} J disagree by {:.4}%",
+                row.application,
+                row.tier,
+                row.attributed_j,
+                row.report_j,
+                row.relative_error * 100.0
+            );
+            assert!(row.attributed_j > 0.0);
+            assert!(row.average_power_mw > 0.0);
+            assert!(
+                !row.binding.is_empty(),
+                "a loaded run has a binding resource"
+            );
+            assert!(row.binding_utilization > 0.0 && row.binding_utilization <= 1.0);
+        }
+        // The two tiers of one application price to the same energy —
+        // their streams are batching-equivalent, so the ledgers agree.
+        for pair in rows.chunks(2) {
+            let rel = (pair[0].attributed_j - pair[1].attributed_j).abs()
+                / pair[0].attributed_j.max(f64::MIN_POSITIVE);
+            assert!(
+                rel <= 1e-9,
+                "{}: tiers disagree by {rel}",
+                pair[0].application
+            );
+        }
+    }
+
+    #[test]
+    fn explain_infeasibility_names_the_period_overflow() {
+        let explanation = explain_infeasibility(&deep_pipeline(), DEEP_PIPELINE_RATE_HZ, 64);
+        assert!(!explanation.feasible);
+        let dominant = explanation
+            .classes
+            .first()
+            .expect("an infeasible triple has at least one rejection class");
+        assert_eq!(dominant.code, "period_overflow");
+        assert!(
+            explanation.explanation.contains("46") && explanation.explanation.contains("25"),
+            "the explanation names the 46-word demand against the 25-slot frame:\n{}",
+            explanation.explanation
+        );
+    }
+
+    #[test]
+    fn explain_infeasibility_reports_feasible_triples_with_an_empty_ledger() {
+        let reference = reference_graph(Application::Ddc);
+        // The DDC reference mapping realizes within a generous budget.
+        let explanation = explain_infeasibility(&reference.graph, reference.iteration_rate_hz, 64);
+        assert!(explanation.feasible);
+        assert!(explanation.classes.is_empty());
+        assert!(explanation.explanation.contains("no rejections"));
     }
 
     #[test]

@@ -44,7 +44,9 @@ use synchro_bus::{BusOp, BusStats, SegmentConfig};
 use synchro_dou::{DouError, DouProgram, ScheduleCompiler};
 use synchro_explore::{ExplorerError, ExplorerSolution};
 use synchro_isa::{DataReg, Program, ProgramBuilder};
-use synchro_power::{Technology, VfCurve};
+use synchro_power::{
+    BusGeometry, InterconnectModel, LeakageModel, Technology, TilePowerModel, VfCurve,
+};
 use synchro_route::{board_flows, BoardRoute, BoardSpec, BusSpec, RouteError, RouteSchedule};
 use synchro_sdf::{ActorId, FaultSpec, Mapping, MappingViolation, SdfError, SdfGraph};
 use synchro_sim::fast::{ColumnBatch, FastTier, FastTierError, FiringProfile};
@@ -53,6 +55,7 @@ use synchro_sim::{
     ColumnError, ColumnStats, FaultPlan, FaultTarget, SimFault,
 };
 use synchro_simd::RateMatcher;
+use synchro_trace::analyze::{BusPricing, ColumnPricing, PriceSpec};
 use synchro_trace::report::TrackUtilization;
 use synchro_trace::{Trace, TraceEvent};
 
@@ -514,6 +517,86 @@ impl CrossValidation {
     }
 }
 
+/// Aggregate energy of one run, derived purely from execution-report
+/// counters — the independent cross-check for the event-priced
+/// [`synchro_trace::analyze::EnergyLedger`].  Both sides bill the same
+/// physical quantities (billed column cycles, occupied bus slots, bridge
+/// words) through the same `synchro-power` models, so the two totals
+/// must agree to rounding; the `analyze_properties` suite pins that on
+/// every reference profile across both execution tiers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReportEnergy {
+    /// Dynamic switching energy of all columns, joules.
+    pub compute_j: f64,
+    /// Supply-time leakage energy of all columns, joules.
+    pub leakage_j: f64,
+    /// Interconnect energy (horizontal buses + bridge lanes), joules.
+    pub interconnect_j: f64,
+    /// Wall-clock seconds the run spanned.
+    pub duration_s: f64,
+}
+
+impl ReportEnergy {
+    /// Compute + leakage + interconnect, joules.
+    pub fn total_j(&self) -> f64 {
+        self.compute_j + self.leakage_j + self.interconnect_j
+    }
+
+    /// Average power over the run, milliwatts (0 for a zero-length run).
+    pub fn average_power_mw(&self) -> f64 {
+        if self.duration_s <= 0.0 {
+            0.0
+        } else {
+            self.total_j() / self.duration_s * 1e3
+        }
+    }
+}
+
+/// [`ColumnPricing`] rows for `plans`, one per placed column.
+fn column_pricing_rows(plans: &[ColumnPlan]) -> Vec<ColumnPricing> {
+    plans
+        .iter()
+        .map(|p| ColumnPricing {
+            chip: p.chip as u32,
+            column: p.column as u32,
+            label: p.name.clone(),
+            tiles: p.tiles,
+            voltage: p.voltage,
+            clock_divider: p.clock_divider,
+        })
+        .collect()
+}
+
+/// The supply voltage interconnect transfers switch at: the maximum
+/// column voltage of the chip (the calibration convention the
+/// route-schedule power summary uses).
+fn bus_voltage(plans: &[ColumnPlan]) -> f64 {
+    plans.iter().map(|p| p.voltage).fold(0.0, f64::max)
+}
+
+/// Column energy over one run per the report counters: every billed
+/// cycle (stalls included — a stalled column still clocks) at the
+/// column's operating point, plus leakage over the run.
+fn column_report_energy(
+    plans: &[ColumnPlan],
+    stats: &[ColumnStats],
+    tech: &Technology,
+    duration_s: f64,
+) -> (f64, f64) {
+    let tile_power = TilePowerModel::new(tech);
+    let leakage = LeakageModel::new(tech);
+    let mut compute_j = 0.0;
+    let mut leakage_j = 0.0;
+    for (plan, stats) in plans.iter().zip(stats) {
+        compute_j += tile_power.energy_per_cycle_nj(plan.voltage)
+            * 1e-9
+            * f64::from(plan.tiles)
+            * stats.cycles as f64;
+        leakage_j += leakage.power_mw(plan.tiles, plan.voltage) * 1e-3 * duration_s;
+    }
+    (compute_j, leakage_j)
+}
+
 /// A compiled, runnable chip plus everything needed to interpret it.
 #[derive(Debug)]
 pub struct CompiledChip {
@@ -524,6 +607,7 @@ pub struct CompiledChip {
     route: RouteSchedule,
     hyperperiod: u64,
     iterations: u64,
+    iteration_rate_hz: f64,
     drain_budget: u64,
     tier: ExecutionTier,
 }
@@ -569,6 +653,7 @@ pub struct CompiledBoard {
     bridge_energy_pj_per_word: f64,
     hyperperiod: u64,
     iterations: u64,
+    iteration_rate_hz: f64,
     drain_budget: u64,
     tier: ExecutionTier,
 }
@@ -1263,6 +1348,7 @@ pub fn compile_board(
         bridge_energy_pj_per_word: board.bridge_energy_pj_per_word,
         hyperperiod,
         iterations: options.iterations,
+        iteration_rate_hz: options.iteration_rate_hz,
         drain_budget,
         tier: options.tier,
     })
@@ -1305,6 +1391,55 @@ impl CompiledChip {
         self.iterations
     }
 
+    /// Graph-iteration rate the chip was compiled for.
+    pub fn iteration_rate_hz(&self) -> f64 {
+        self.iteration_rate_hz
+    }
+
+    /// The pricing context [`synchro_trace::analyze::attribute`] bills a
+    /// captured event stream of this chip against: per-column operating
+    /// points from the compiled plans plus the shared power models under
+    /// `tech`.
+    pub fn price_spec(&self, tech: &Technology) -> PriceSpec {
+        PriceSpec {
+            iteration_rate_hz: self.iteration_rate_hz,
+            hyperperiod: self.hyperperiod,
+            tile_power: TilePowerModel::new(tech),
+            leakage: LeakageModel::new(tech),
+            interconnect: InterconnectModel::new(tech),
+            columns: column_pricing_rows(&self.plans),
+            buses: vec![BusPricing {
+                chip: 0,
+                geometry: BusGeometry::horizontal(tech),
+                voltage: bus_voltage(&self.plans),
+                scheduled_slots_per_iteration: self.route.scheduled_slots(),
+            }],
+            bridge_energy_pj_per_word: 0.0,
+            bridge_scheduled_slots_per_iteration: 0,
+        }
+    }
+
+    /// Aggregate energy of one run derived from the report counters —
+    /// the independent cross-check for the event-priced ledger (see
+    /// [`ReportEnergy`]).
+    pub fn execution_energy(&self, report: &ExecutionReport, tech: &Technology) -> ReportEnergy {
+        let duration_s = if self.hyperperiod == 0 || self.iteration_rate_hz <= 0.0 {
+            0.0
+        } else {
+            report.reference_ticks as f64 / (self.hyperperiod as f64 * self.iteration_rate_hz)
+        };
+        let (compute_j, leakage_j) =
+            column_report_energy(&self.plans, &report.column_stats, tech, duration_s);
+        let word_j = InterconnectModel::new(tech)
+            .word_energy_j(&BusGeometry::horizontal(tech), bus_voltage(&self.plans));
+        ReportEnergy {
+            compute_j,
+            leakage_j,
+            interconnect_j: word_j * report.occupied_bus_slots as f64,
+            duration_s,
+        }
+    }
+
     /// Measured firings per column so far, derived from the broadcast
     /// counters (every issue slot of a firing is a broadcast).
     pub fn measured_firings(&self) -> Vec<u64> {
@@ -1328,6 +1463,7 @@ impl CompiledChip {
                     label: format!("col{i} {name} (\u{f7}{divider})"),
                     busy: stats.cycles - stats.branch_stalls - stats.rate_match_stalls,
                     total: stats.cycles,
+                    unit: "cycles",
                     detail: format!(
                         "{} firings, {} stall cycles",
                         report.firing_counts.get(i).copied().unwrap_or(0),
@@ -1340,6 +1476,7 @@ impl CompiledChip {
             label: "horizontal bus".to_owned(),
             busy: report.occupied_bus_slots,
             total: report.scheduled_bus_slots,
+            unit: "slots",
             detail: format!("{} words", report.simulated_horizontal_words),
         });
         tracks
@@ -1717,6 +1854,134 @@ impl CompiledBoard {
         self.bridge_energy_pj_per_word
     }
 
+    /// Graph-iteration rate the board was compiled for.
+    pub fn iteration_rate_hz(&self) -> f64 {
+        self.iteration_rate_hz
+    }
+
+    /// The pricing context [`synchro_trace::analyze::attribute`] bills a
+    /// captured event stream of this board against: every chip's column
+    /// operating points and bus, plus the bridge-lane word rating.
+    pub fn price_spec(&self, tech: &Technology) -> PriceSpec {
+        let columns = self
+            .parts
+            .iter()
+            .flat_map(|part| column_pricing_rows(&part.plans))
+            .collect();
+        let buses = self
+            .parts
+            .iter()
+            .enumerate()
+            .map(|(chip, part)| BusPricing {
+                chip: chip as u32,
+                geometry: BusGeometry::horizontal(tech),
+                voltage: bus_voltage(&part.plans),
+                scheduled_slots_per_iteration: self.route.chips()[chip].scheduled_slots(),
+            })
+            .collect();
+        PriceSpec {
+            iteration_rate_hz: self.iteration_rate_hz,
+            hyperperiod: self.hyperperiod,
+            tile_power: TilePowerModel::new(tech),
+            leakage: LeakageModel::new(tech),
+            interconnect: InterconnectModel::new(tech),
+            columns,
+            buses,
+            bridge_energy_pj_per_word: self.bridge_energy_pj_per_word,
+            bridge_scheduled_slots_per_iteration: self.route.bridge().scheduled_slots(),
+        }
+    }
+
+    /// Aggregate energy of one run derived from the report counters —
+    /// the independent cross-check for the event-priced ledger (see
+    /// [`ReportEnergy`]).
+    pub fn execution_energy(
+        &self,
+        report: &BoardExecutionReport,
+        tech: &Technology,
+    ) -> ReportEnergy {
+        let duration_s = if self.hyperperiod == 0 || self.iteration_rate_hz <= 0.0 {
+            0.0
+        } else {
+            report.reference_ticks as f64 / (self.hyperperiod as f64 * self.iteration_rate_hz)
+        };
+        let interconnect = InterconnectModel::new(tech);
+        let mut compute_j = 0.0;
+        let mut leakage_j = 0.0;
+        let mut interconnect_j = interconnect.bridge_word_energy_j(self.bridge_energy_pj_per_word)
+            * report.bridge_words as f64;
+        for (part, chip_report) in self.parts.iter().zip(&report.chips) {
+            let (c, l) =
+                column_report_energy(&part.plans, &chip_report.column_stats, tech, duration_s);
+            compute_j += c;
+            leakage_j += l;
+            interconnect_j += interconnect
+                .word_energy_j(&BusGeometry::horizontal(tech), bus_voltage(&part.plans))
+                * chip_report.occupied_bus_slots as f64;
+        }
+        ReportEnergy {
+            compute_j,
+            leakage_j,
+            interconnect_j,
+            duration_s,
+        }
+    }
+
+    /// Per-track utilization rows of one run's [`BoardExecutionReport`]
+    /// — the board-level analogue of [`CompiledChip::utilization`]: per
+    /// chip one row per column plus its horizontal bus, then one row per
+    /// bridge lane (words carried over the lane's word capacity for the
+    /// run) and the board-wide bridge frame occupancy.
+    pub fn utilization(&self, report: &BoardExecutionReport) -> Vec<TrackUtilization> {
+        let mut tracks = Vec::new();
+        for (chip, (part, chip_report)) in self.parts.iter().zip(&report.chips).enumerate() {
+            for (i, stats) in chip_report.column_stats.iter().enumerate() {
+                let name = part.plans.get(i).map_or("?", |p| p.name.as_str());
+                let divider = part.plans.get(i).map_or(1, |p| p.clock_divider);
+                tracks.push(TrackUtilization {
+                    label: format!("chip{chip}/col{i} {name} (\u{f7}{divider})"),
+                    busy: stats.cycles - stats.branch_stalls - stats.rate_match_stalls,
+                    total: stats.cycles,
+                    unit: "cycles",
+                    detail: format!(
+                        "{} firings, {} stall cycles",
+                        chip_report.firing_counts.get(i).copied().unwrap_or(0),
+                        stats.branch_stalls + stats.rate_match_stalls,
+                    ),
+                });
+            }
+            tracks.push(TrackUtilization {
+                label: format!("chip{chip}/horizontal bus"),
+                busy: chip_report.occupied_bus_slots,
+                total: chip_report.scheduled_bus_slots,
+                unit: "slots",
+                detail: format!("{} words", chip_report.simulated_horizontal_words),
+            });
+        }
+        let bridge = self.route.bridge();
+        let iterations = report
+            .reference_ticks
+            .checked_div(self.hyperperiod)
+            .unwrap_or(0);
+        for (i, lane) in bridge.lanes().iter().enumerate() {
+            tracks.push(TrackUtilization {
+                label: format!("bridge lane {i}"),
+                busy: report.lane_words.get(i).copied().unwrap_or(0),
+                total: lane.width_words * bridge.period() * iterations,
+                unit: "words",
+                detail: format!("chip{}\u{2192}chip{}", lane.from, lane.to),
+            });
+        }
+        tracks.push(TrackUtilization {
+            label: "bridge frame".to_owned(),
+            busy: report.occupied_bridge_slots,
+            total: report.scheduled_bridge_slots,
+            unit: "slots",
+            detail: format!("{} words", report.bridge_words),
+        });
+        tracks
+    }
+
     /// Unwrap a board of one chip into the legacy [`CompiledChip`] — the
     /// single-chip [`compile`] path.
     ///
@@ -1744,6 +2009,7 @@ impl CompiledBoard {
             route,
             hyperperiod: self.hyperperiod,
             iterations: self.iterations,
+            iteration_rate_hz: self.iteration_rate_hz,
             drain_budget: self.drain_budget,
             tier: self.tier,
         }

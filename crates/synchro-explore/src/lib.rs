@@ -52,7 +52,7 @@ use std::fmt;
 
 use synchro_power::{AreaModel, Technology};
 use synchro_sdf::{ActorId, Mapping, MappingViolation, SdfError, SdfGraph};
-use synchro_trace::Trace;
+use synchro_trace::{Trace, TraceEvent};
 
 mod degraded;
 mod model;
@@ -176,6 +176,22 @@ impl ExplorerError {
                 | ExplorerError::CommInfeasible { .. }
                 | ExplorerError::BoardInfeasible { .. }
         )
+    }
+
+    /// A stable machine-readable code naming the rejection class, the
+    /// explorer-side counterpart of `RouteError::code` — used by the
+    /// trace `RejectionLedger` to aggregate why candidate mappings died.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ExplorerError::Sdf(_) => "sdf",
+            ExplorerError::BudgetTooSmall { .. } => "budget_too_small",
+            ExplorerError::TooManyActorsForExhaustive { .. } => "too_many_actors",
+            ExplorerError::NoSolutions => "no_solutions",
+            ExplorerError::InvalidMapping { .. } => "invalid_mapping",
+            ExplorerError::IncompleteMapping { .. } => "incomplete_mapping",
+            ExplorerError::CommInfeasible { .. } => "comm_infeasible",
+            ExplorerError::BoardInfeasible { .. } => "board_infeasible",
+        }
     }
 }
 
@@ -480,6 +496,16 @@ impl ExplorerConfig {
         self
     }
 
+    /// Install a trace handle: search spans, prune counters and — on
+    /// failure — a structured `RouteReject` naming the
+    /// [`ExplorerError::code`] are emitted into it (feed a
+    /// `RejectionLedger` to aggregate why candidates died).
+    #[must_use]
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
+        self
+    }
+
     /// The worker-thread count this configuration actually runs with:
     /// `threads` when non-zero, otherwise one per available core.  Public
     /// so benchmarks can resolve the count *before* measuring and report
@@ -617,6 +643,23 @@ impl Exploration {
 /// Returns [`ExplorerError`] for unanalyzable graphs, impossible budgets,
 /// or an exhausted search space.
 pub fn explore(graph: &SdfGraph, config: &ExplorerConfig) -> Result<Exploration, ExplorerError> {
+    let result = explore_impl(graph, config);
+    reject_on_err(&config.trace, &result);
+    result
+}
+
+/// Emit a structured rejection event for a failed exploration, mirroring
+/// the router's convention so one `RejectionLedger` aggregates both.
+fn reject_on_err<T>(trace: &Trace, result: &Result<T, ExplorerError>) {
+    if let Err(err) = result {
+        trace.emit(|| TraceEvent::RouteReject {
+            code: err.code(),
+            detail: err.to_string(),
+        });
+    }
+}
+
+fn explore_impl(graph: &SdfGraph, config: &ExplorerConfig) -> Result<Exploration, ExplorerError> {
     let trace = &config.trace;
     let (ctx, plan, evaluator) = {
         let _span = trace.span("explore.plan");
@@ -1127,6 +1170,15 @@ pub fn explore_board(
     graph: &SdfGraph,
     config: &ExplorerConfig,
 ) -> Result<BoardExploration, ExplorerError> {
+    let result = explore_board_impl(graph, config);
+    reject_on_err(&config.trace, &result);
+    result
+}
+
+fn explore_board_impl(
+    graph: &SdfGraph,
+    config: &ExplorerConfig,
+) -> Result<BoardExploration, ExplorerError> {
     let board = config.board.unwrap_or_default();
     let ctx = GraphContext::new(graph)?;
     let reps = graph.repetition_vector()?;
@@ -1572,6 +1624,31 @@ mod tests {
             }
         ));
         assert!(err.to_string().contains('5'));
+    }
+
+    #[test]
+    fn failed_explorations_emit_structured_rejections() {
+        use std::sync::Arc;
+        use synchro_trace::RingBufferSink;
+
+        let g = ddc();
+        let ring = Arc::new(RingBufferSink::new(64));
+        let config = ExplorerConfig::new(16e6, 3)
+            .single_actor_columns()
+            .with_trace(Trace::to(ring.clone()));
+        let err = explore(&g, &config).unwrap_err();
+        assert_eq!(err.code(), "budget_too_small");
+        let rejects: Vec<(&'static str, String)> = ring
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::RouteReject { code, detail } => Some((*code, detail.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(rejects.len(), 1);
+        assert_eq!(rejects[0].0, "budget_too_small");
+        assert!(rejects[0].1.contains("tile budget 3"));
     }
 
     #[test]

@@ -13,11 +13,13 @@
 //! Reference ticks map directly to microsecond timestamps; compile-side
 //! events (which carry no tick) are laid out on a sequence axis.
 
+use crate::analyze::PowerTimeline;
 use crate::json::Value;
 use crate::TraceEvent;
 
 const PID_COMPILE: u64 = 1;
 const PID_BOARD: u64 = 2;
+const PID_POWER: u64 = 3;
 const PID_CHIP_BASE: u64 = 10;
 const TID_HORIZONTAL_BUS: u64 = 1_000;
 
@@ -56,6 +58,51 @@ fn metadata(kind: &str, pid: u64, tid: u64, label: &str) -> Value {
 /// to validate (CI does exactly this round trip on the exported DDC
 /// timeline).
 pub fn chrome_trace(events: &[TraceEvent]) -> String {
+    finish(build(events))
+}
+
+/// Render `events` as Chrome `trace_event` JSON with the attributed
+/// power timeline appended as Perfetto counter tracks.
+///
+/// A `power` process carries one `"C"` (counter) event per timeline
+/// bucket with `compute_mw` / `interconnect_mw` / `leakage_mw` series —
+/// Perfetto stacks the three into one area chart aligned with the
+/// reference-tick timeline of the simulation tracks.  Build the timeline
+/// with [`crate::analyze::power_timeline`] over the same events.
+pub fn chrome_trace_with_power(events: &[TraceEvent], power: &PowerTimeline) -> String {
+    let mut all = build(events);
+    all.push(metadata("process_name", PID_POWER, 0, "power"));
+    all.push(metadata(
+        "thread_name",
+        PID_POWER,
+        0,
+        "attributed power (mW)",
+    ));
+    for sample in &power.samples {
+        all.push(with_args(
+            event("power (mW)", "C", sample.start_tick, PID_POWER, 0),
+            vec![
+                ("compute_mw".to_owned(), Value::Num(sample.compute_mw)),
+                (
+                    "interconnect_mw".to_owned(),
+                    Value::Num(sample.interconnect_mw),
+                ),
+                ("leakage_mw".to_owned(), Value::Num(sample.leakage_mw)),
+            ],
+        ));
+    }
+    finish(all)
+}
+
+fn finish(all: Vec<Value>) -> String {
+    Value::Obj(vec![
+        ("traceEvents".to_owned(), Value::Arr(all)),
+        ("displayTimeUnit".to_owned(), Value::str("ms")),
+    ])
+    .to_json()
+}
+
+fn build(events: &[TraceEvent]) -> Vec<Value> {
     let mut out: Vec<Value> = Vec::new();
     let mut tracks: Vec<(u64, u64, String)> = Vec::new();
     let mut track = |pid: u64, tid: u64, label: String| {
@@ -294,11 +341,7 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
         all.push(metadata("thread_name", *pid, *tid, label));
     }
     all.extend(out);
-    Value::Obj(vec![
-        ("traceEvents".to_owned(), Value::Arr(all)),
-        ("displayTimeUnit".to_owned(), Value::str("ms")),
-    ])
-    .to_json()
+    all
 }
 
 #[cfg(test)]
@@ -378,6 +421,70 @@ mod tests {
         assert!(names.contains(&"column 2"));
         assert!(names.contains(&"horizontal bus"));
         assert!(names.contains(&"bridge lane 0"));
+    }
+
+    #[test]
+    fn power_export_appends_counter_tracks() {
+        use crate::analyze::{PowerSample, PowerTimeline};
+        let events = vec![TraceEvent::DividerTick {
+            chip: 0,
+            column: 0,
+            tick: 4,
+            count: 5,
+        }];
+        let power = PowerTimeline {
+            bucket_ticks: 5,
+            bucket_seconds: 5e-6,
+            samples: vec![
+                PowerSample {
+                    start_tick: 0,
+                    compute_mw: 120.5,
+                    interconnect_mw: 3.25,
+                    leakage_mw: 10.0,
+                },
+                PowerSample {
+                    start_tick: 5,
+                    compute_mw: 0.0,
+                    interconnect_mw: 0.0,
+                    leakage_mw: 10.0,
+                },
+            ],
+        };
+        let text = chrome_trace_with_power(&events, &power);
+        let parsed = json::parse(&text).expect("valid JSON");
+        let items = parsed
+            .get("traceEvents")
+            .and_then(|v| v.as_arr())
+            .expect("traceEvents array");
+        let counters: Vec<_> = items
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(|v| v.as_str()) == Some("C")
+                    && e.get("name").and_then(|v| v.as_str()) == Some("power (mW)")
+            })
+            .collect();
+        assert_eq!(counters.len(), 2);
+        assert_eq!(
+            counters[0]
+                .get("args")
+                .and_then(|a| a.get("compute_mw"))
+                .and_then(|v| v.as_num()),
+            Some(120.5)
+        );
+        assert_eq!(counters[1].get("ts").and_then(|v| v.as_num()), Some(5.0));
+        let names: Vec<&str> = items
+            .iter()
+            .filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some("M"))
+            .filter_map(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(|v| v.as_str())
+            })
+            .collect();
+        assert!(names.contains(&"power"));
+        assert!(names.contains(&"attributed power (mW)"));
+        // The plain exporter is unchanged by the power-aware one.
+        assert!(!chrome_trace(&events).contains("power"));
     }
 
     #[test]

@@ -330,6 +330,45 @@ mod tests {
     }
 
     #[test]
+    fn rejects_malformed_escapes() {
+        let err = parse("\"\\q\"").expect_err("unknown escape");
+        assert!(err.contains("bad escape"), "{err}");
+        let err = parse("\"\\u00").expect_err("truncated \\u escape");
+        assert!(err.contains("truncated \\u escape"), "{err}");
+        let err = parse("\"\\uZZZZ\"").expect_err("non-hex \\u digits");
+        assert!(err.contains("bad \\u escape"), "{err}");
+        let err = parse("\"\\").expect_err("escape at end of input");
+        assert!(err.contains("bad escape"), "{err}");
+    }
+
+    #[test]
+    fn rejects_truncated_arrays_and_objects() {
+        let err = parse("[1,2").expect_err("unclosed array");
+        assert!(err.contains("expected ',' or ']'"), "{err}");
+        assert!(parse("[1 2]").is_err(), "missing separator");
+        let err = parse("{\"a\":1,").expect_err("object cut after comma");
+        assert!(err.contains("expected '\"'"), "{err}");
+        let err = parse("{\"a\":1 \"b\":2}").expect_err("missing comma");
+        assert!(err.contains("expected ',' or '}'"), "{err}");
+        let err = parse("").expect_err("empty input");
+        assert!(err.contains("unexpected end of input"), "{err}");
+        let err = parse("[").expect_err("bare open bracket");
+        assert!(err.contains("unexpected end of input"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_numeric_counter_values() {
+        // A counters payload whose value is not a number must fail the
+        // whole parse, not silently coerce.
+        let err = parse("{\"value\":+-}").expect_err("sign salad");
+        assert!(err.contains("bad number"), "{err}");
+        assert!(parse("{\"value\":nan}").is_err(), "bare nan literal");
+        assert!(parse("{\"value\":1.2.3}").is_err(), "double decimal point");
+        assert!(parse("{\"value\":0x10}").is_err(), "hex is not JSON");
+        assert!(parse("truish").is_err(), "corrupted literal");
+    }
+
+    #[test]
     fn parses_escapes_and_whitespace() {
         let parsed = parse(" { \"k\" : \"a\\u0041\\n\" , \"n\" : [ ] } ").expect("parse");
         assert_eq!(parsed.get("k").and_then(|v| v.as_str()), Some("aA\n"));

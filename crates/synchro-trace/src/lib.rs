@@ -34,6 +34,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+pub mod analyze;
 pub mod chrome;
 pub mod json;
 pub mod report;
@@ -237,6 +238,26 @@ struct RingState {
     dropped: u64,
 }
 
+/// A consistent occupancy snapshot of a [`RingBufferSink`], taken under
+/// one lock so `len` and `dropped` agree with each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingStats {
+    /// Events the buffer retains before evicting.
+    pub capacity: usize,
+    /// Events currently held.
+    pub len: usize,
+    /// Events evicted because the buffer was full.
+    pub dropped: u64,
+}
+
+impl RingStats {
+    /// True when the captured timeline is incomplete (events were
+    /// evicted).
+    pub fn truncated(&self) -> bool {
+        self.dropped > 0
+    }
+}
+
 /// A bounded buffer keeping the most recent `capacity` events (oldest
 /// dropped first), for timeline export and differential testing.
 pub struct RingBufferSink {
@@ -280,6 +301,23 @@ impl RingBufferSink {
     /// Events evicted because the buffer was full.
     pub fn dropped(&self) -> u64 {
         self.state.lock().expect("ring buffer poisoned").dropped
+    }
+
+    /// The buffer's capacity (events retained before eviction starts).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// One consistent snapshot of the buffer's occupancy — a
+    /// [`TraceEvent`]-free view for consumers that only need to know
+    /// whether a timeline is complete, without cloning the events.
+    pub fn stats(&self) -> RingStats {
+        let state = self.state.lock().expect("ring buffer poisoned");
+        RingStats {
+            capacity: self.capacity,
+            len: state.events.len(),
+            dropped: state.dropped,
+        }
     }
 
     /// Number of events currently held.
@@ -844,6 +882,31 @@ mod tests {
             })
             .collect();
         assert_eq!(deltas, vec![2, 3, 4], "oldest events are evicted first");
+    }
+
+    #[test]
+    fn ring_buffer_stats_detect_truncation_without_cloning_events() {
+        let ring = RingBufferSink::new(2);
+        assert_eq!(ring.capacity(), 2);
+        let before = ring.stats();
+        assert_eq!(before.len, 0);
+        assert!(!before.truncated());
+        for i in 0..3u64 {
+            ring.record(&TraceEvent::Counter {
+                name: "x",
+                delta: i,
+            });
+        }
+        let after = ring.stats();
+        assert_eq!(
+            after,
+            RingStats {
+                capacity: 2,
+                len: 2,
+                dropped: 1
+            }
+        );
+        assert!(after.truncated());
     }
 
     #[test]

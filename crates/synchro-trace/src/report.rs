@@ -12,10 +12,14 @@ use std::fmt::Write as _;
 pub struct TrackUtilization {
     /// Track label, e.g. `"chip0/col2 (÷5)"` or `"horizontal bus"`.
     pub label: String,
-    /// Busy units (billed cycles, occupied slots, transfer cycles).
+    /// Busy units (billed cycles, occupied slots, transfer words).
     pub busy: u64,
     /// Capacity in the same units; `0` renders as an idle track.
     pub total: u64,
+    /// What the `busy/total` denominator counts (`"cycles"`, `"slots"`,
+    /// `"words"`) — printed with every row so tracks measured in
+    /// different units stay comparable at a glance.
+    pub unit: &'static str,
     /// Free-form annotation appended to the row (stall split, words, …).
     pub detail: String,
 }
@@ -34,7 +38,7 @@ impl TrackUtilization {
 /// Render `tracks` as an aligned ASCII histogram titled `title`.
 ///
 /// ```text
-/// chip0/col0 (÷1)  |########################################| 100.0%  4000/4000
+/// chip0/col0 (÷1)  |########################################| 100.0%  4000/4000 cycles
 /// horizontal bus   |################----------------------- |  40.0%  10/25 slots
 /// ```
 pub fn histogram(title: &str, tracks: &[TrackUtilization]) -> String {
@@ -54,13 +58,15 @@ pub fn histogram(title: &str, tracks: &[TrackUtilization]) -> String {
         let pad = label_width - t.label.chars().count();
         let _ = writeln!(
             out,
-            "{}{} |{}| {:>5.1}%  {}/{}{}{}",
+            "{}{} |{}| {:>5.1}%  {}/{}{}{}{}{}",
             t.label,
             " ".repeat(pad),
             bar,
             t.ratio() * 100.0,
             t.busy,
             t.total,
+            if t.unit.is_empty() { "" } else { " " },
+            t.unit,
             if t.detail.is_empty() { "" } else { "  " },
             t.detail,
         );
@@ -79,18 +85,21 @@ mod tests {
                 label: "col 0".to_owned(),
                 busy: 4,
                 total: 4,
+                unit: "cycles",
                 detail: String::new(),
             },
             TrackUtilization {
                 label: "horizontal bus".to_owned(),
                 busy: 10,
                 total: 25,
-                detail: "slots".to_owned(),
+                unit: "slots",
+                detail: "40 words".to_owned(),
             },
             TrackUtilization {
                 label: "idle".to_owned(),
                 busy: 0,
                 total: 0,
+                unit: "",
                 detail: String::new(),
             },
         ];
@@ -98,7 +107,8 @@ mod tests {
         assert!(text.starts_with("DDC utilization\n"));
         assert!(text.contains("100.0%"));
         assert!(text.contains(" 40.0%"));
-        assert!(text.contains("10/25  slots"));
+        assert!(text.contains("4/4 cycles"));
+        assert!(text.contains("10/25 slots  40 words"));
         assert!(text.contains("   0.0%  0/0"));
         // All bars are the same width.
         let widths: Vec<usize> = text
@@ -115,6 +125,7 @@ mod tests {
             label: "x".into(),
             busy: 10,
             total: 4,
+            unit: "cycles",
             detail: String::new(),
         };
         assert_eq!(t.ratio(), 1.0);

@@ -1,0 +1,217 @@
+//! Properties of the trace-analytics tier (`trace::analyze`): the
+//! event-priced energy ledger must agree with the independent
+//! report-counter energy on every reference profile, on both execution
+//! tiers, and on generated graphs; the bottleneck report must respect
+//! each resource's ceiling; and the pinned infeasible case must explain
+//! itself with the router's `PeriodOverflow`.
+//!
+//! The nightly CI job re-runs this suite at `PROPTEST_CASES=1024`.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use synchroscalar::apps::{deep_pipeline, DEEP_PIPELINE_RATE_HZ};
+use synchroscalar::experiments::{energy_attribution_summary, explain_infeasibility};
+use synchroscalar::mapper::{self, BoardConfig, ExecutionTier, MapperOptions};
+use synchroscalar::power::Technology;
+use synchroscalar::sdf::{ActorId, Mapping, SdfGraph};
+use synchroscalar::trace::analyze::{attribute, bottlenecks, power_timeline};
+use synchroscalar::trace::{RingBufferSink, Trace};
+
+/// Attributed-vs-report tolerance from the acceptance criteria: 0.1 %.
+const TOLERANCE: f64 = 1e-3;
+
+#[test]
+fn attribution_agrees_with_report_power_on_all_reference_profiles() {
+    let rows = energy_attribution_summary(&Technology::isca2004());
+    assert_eq!(rows.len(), 12, "six profiles on two tiers");
+    for row in &rows {
+        assert_eq!(row.unpriced_events, 0, "{} [{}]", row.application, row.tier);
+        assert!(
+            row.relative_error <= TOLERANCE,
+            "{} [{}]: attributed {} J vs report {} J ({:.4}% apart)",
+            row.application,
+            row.tier,
+            row.attributed_j,
+            row.report_j,
+            row.relative_error * 100.0
+        );
+        assert!(row.attributed_j > 0.0 && row.average_power_mw > 0.0);
+        assert!(!row.binding.is_empty());
+    }
+}
+
+#[test]
+fn explain_report_names_period_overflow_for_the_deep_pipeline() {
+    let explanation = explain_infeasibility(&deep_pipeline(), DEEP_PIPELINE_RATE_HZ, 64);
+    assert!(!explanation.feasible);
+    let dominant = &explanation.classes[0];
+    assert_eq!(dominant.code, "period_overflow");
+    assert!(explanation.explanation.contains("46"));
+    assert!(explanation.explanation.contains("25"));
+}
+
+#[test]
+fn board_attribution_prices_bridges_and_agrees_with_report_counters() {
+    let tech = Technology::isca2004();
+    let graph = deep_pipeline();
+    let mut mapping = Mapping::new();
+    for (i, actor) in graph.actors().iter().enumerate() {
+        mapping.place_on_chip(i / 12, ActorId(i), actor.max_parallel_tiles, 1.0);
+    }
+    for tier in [ExecutionTier::Interpreted, ExecutionTier::Fast] {
+        let ring = Arc::new(RingBufferSink::new(1 << 22));
+        let options = MapperOptions {
+            iterations: 2,
+            iteration_rate_hz: DEEP_PIPELINE_RATE_HZ,
+            tech: tech.clone(),
+            tier,
+            trace: Trace::to(ring.clone()),
+            ..MapperOptions::default()
+        };
+        let mut compiled =
+            mapper::compile_board(&graph, &mapping, &options, &BoardConfig::default())
+                .expect("the 12/12 deep-pipeline split compiles");
+        let report = compiled.execute().expect("the split executes");
+        assert_eq!(ring.dropped(), 0);
+        let events = ring.events();
+        let spec = compiled.price_spec(&tech);
+        let ledger = attribute(&events, &spec, report.reference_ticks);
+        assert_eq!(ledger.unpriced_events, 0);
+        assert!(
+            !ledger.bridges.is_empty(),
+            "a two-chip run carries bridge traffic"
+        );
+        assert!(ledger.bridges.iter().all(|b| b.energy_j > 0.0));
+        let report_energy = compiled.execution_energy(&report, &tech);
+        let rel = (ledger.total_j() - report_energy.total_j()).abs() / report_energy.total_j();
+        assert!(rel <= TOLERANCE, "{tier:?}: {rel}");
+        // The board histogram includes one row per bridge lane plus the
+        // board-wide bridge frame, with explicit units.
+        let tracks = compiled.utilization(&report);
+        let lanes: Vec<_> = tracks
+            .iter()
+            .filter(|t| t.label.starts_with("bridge lane"))
+            .collect();
+        assert!(!lanes.is_empty());
+        assert!(lanes.iter().all(|t| t.unit == "words" && t.total > 0));
+        assert!(tracks.iter().any(|t| t.label == "bridge frame"));
+        // Bottleneck ceilings hold board-wide too.
+        let bn = bottlenecks(&events, &spec, report.reference_ticks);
+        assert!(bn.tracks.iter().all(|t| t.utilization() <= 1.0));
+        assert!(bn.binding.is_some());
+    }
+}
+
+/// A rate-consistent chain: actor `i` feeds `i + 1` (the same generator
+/// the `sim_equivalence` differential suite uses).
+fn chain(cycles: &[u64], caps: &[u32], rates: &[(u64, u64)]) -> (SdfGraph, Mapping) {
+    let mut graph = SdfGraph::new();
+    let mut mapping = Mapping::new();
+    let mut prev = None;
+    for (i, (&c, &cap)) in cycles.iter().zip(caps).enumerate() {
+        let actor = graph.add_actor(format!("a{i}"), c, cap);
+        if let Some(p) = prev {
+            let (produce, consume) = rates[i - 1];
+            graph.add_edge(p, actor, produce, consume, 0).unwrap();
+        }
+        mapping.place(actor, cap, 1.0);
+        prev = Some(actor);
+    }
+    (graph, mapping)
+}
+
+const RATE_CHOICES: [(u64, u64); 4] = [(1, 1), (1, 2), (2, 1), (2, 2)];
+
+proptest! {
+    /// For any compiling generated chain, on either tier: every
+    /// simulation event is billable, the event-priced total matches the
+    /// report-counter total within 0.1 %, the two tiers' ledgers agree
+    /// with each other, no track exceeds its ceiling, and the bucketed
+    /// power timeline conserves the attributed energy.
+    #[test]
+    fn attribution_matches_report_counters_on_generated_chains(
+        cycles in prop::collection::vec(1u64..60, 2..5),
+        cap_picks in prop::collection::vec(0usize..3, 2..5),
+        rate_picks in prop::collection::vec(0usize..4, 1..4),
+        iterations in 1u64..6,
+    ) {
+        let tech = Technology::isca2004();
+        let n = cycles.len().min(cap_picks.len()).min(rate_picks.len() + 1);
+        let caps: Vec<u32> = cap_picks[..n].iter().map(|&i| [1u32, 2, 4][i]).collect();
+        let rates: Vec<(u64, u64)> = rate_picks[..n - 1].iter().map(|&i| RATE_CHOICES[i]).collect();
+        let (graph, mapping) = chain(&cycles[..n], &caps, &rates);
+        prop_assume!(mapping.validate(&graph).is_empty());
+
+        let mut totals = Vec::new();
+        for tier in [ExecutionTier::Interpreted, ExecutionTier::Fast] {
+            let ring = Arc::new(RingBufferSink::new(1 << 20));
+            let options = MapperOptions {
+                iterations,
+                tech: tech.clone(),
+                tier,
+                trace: Trace::to(ring.clone()),
+                ..MapperOptions::default()
+            };
+            let Ok(mut compiled) = mapper::compile(&graph, &mapping, &options) else {
+                return Ok(());
+            };
+            let Ok(report) = compiled.execute() else {
+                return Ok(());
+            };
+            prop_assert_eq!(ring.dropped(), 0, "trace ring overflowed");
+            let events = ring.events();
+            let spec = compiled.price_spec(&tech);
+            let ledger = attribute(&events, &spec, report.reference_ticks);
+            prop_assert_eq!(ledger.unpriced_events, 0);
+            let report_energy = compiled.execution_energy(&report, &tech);
+            let total = ledger.total_j();
+            if report_energy.total_j() > 0.0 {
+                let rel = (total - report_energy.total_j()).abs() / report_energy.total_j();
+                prop_assert!(
+                    rel <= TOLERANCE,
+                    "{:?}: attributed {} J vs report {} J",
+                    tier, total, report_energy.total_j()
+                );
+            }
+            let bn = bottlenecks(&events, &spec, report.reference_ticks);
+            for track in &bn.tracks {
+                prop_assert!(track.utilization() <= 1.0);
+            }
+            let timeline = power_timeline(&events, &spec, report.reference_ticks, 16);
+            // Event energy (dynamic + interconnect) is conserved exactly by
+            // bucketing; leakage may overshoot by at most the final bucket's
+            // padding past `reference_ticks`.
+            let bucketed_event_j: f64 = timeline
+                .samples
+                .iter()
+                .map(|s| (s.compute_mw + s.interconnect_mw) * 1e-3 * timeline.bucket_seconds)
+                .sum();
+            let event_j = ledger.dynamic_j() + ledger.interconnect_j();
+            prop_assert!(
+                (bucketed_event_j - event_j).abs() <= 1e-9 * event_j.max(1e-30),
+                "timeline buckets leak event energy: {} vs {}",
+                bucketed_event_j, event_j
+            );
+            let bucketed_leak_j: f64 = timeline
+                .samples
+                .iter()
+                .map(|s| s.leakage_mw * 1e-3 * timeline.bucket_seconds)
+                .sum();
+            let padding = (timeline.bucket_ticks * timeline.samples.len() as u64) as f64
+                / report.reference_ticks as f64;
+            prop_assert!(
+                bucketed_leak_j >= ledger.leakage_j() * (1.0 - 1e-9)
+                    && bucketed_leak_j <= ledger.leakage_j() * padding * (1.0 + 1e-9),
+                "bucketed leakage {} outside [{}, {}×{}]",
+                bucketed_leak_j, ledger.leakage_j(), ledger.leakage_j(), padding
+            );
+            totals.push(total);
+        }
+        if totals.len() == 2 {
+            // Batched and per-event streams price identically.
+            let rel = (totals[0] - totals[1]).abs() / totals[0].max(f64::MIN_POSITIVE);
+            prop_assert!(rel <= 1e-9, "tiers disagree: {} vs {}", totals[0], totals[1]);
+        }
+    }
+}
